@@ -1,0 +1,62 @@
+//! P1 — per-request decision latency vs graph size, per engine.
+//!
+//! Paper claim (§1): online search costs `O(|V| + |E|)` per query while
+//! an index answers in near-constant time. Expected shape: the online
+//! engine's latency grows with the graph; the adjacency join engine
+//! stays flat for selective policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socialreach_bench::{forward_join_config, quick_mode};
+use socialreach_core::{AccessEngine, JoinIndexEngine, JoinStrategy, OnlineEngine};
+use socialreach_workload::{generate_policies, requests_with_grant_rate, GraphSpec,
+    PolicyWorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let sizes: &[usize] = if quick_mode() { &[200] } else { &[500, 2_000, 8_000] };
+    let mut group = c.benchmark_group("p1_query_vs_size");
+    group.sample_size(10);
+
+    for &nodes in sizes {
+        let mut g = GraphSpec::ba_osn(nodes, 42).build();
+        let mut store = socialreach_core::PolicyStore::new();
+        let mut rng = StdRng::seed_from_u64(43);
+        let cfg = PolicyWorkloadConfig {
+            num_resources: 10,
+            out_prob: 1.0,
+            both_prob: 0.0,
+            ..PolicyWorkloadConfig::default()
+        };
+        let rids = generate_policies(&mut g, &mut store, &cfg, &mut rng);
+        let requests = requests_with_grant_rate(&g, &store, &rids, 20, 0.5, &mut rng);
+        let online = OnlineEngine;
+        let adjacency =
+            JoinIndexEngine::build(&g, forward_join_config(JoinStrategy::AdjacencyOnly));
+
+        let run = |engine: &dyn AccessEngine| {
+            for r in &requests {
+                let owner = store.owner_of(r.resource).expect("registered");
+                for rule in store.rules_for(r.resource) {
+                    for cond in &rule.conditions {
+                        let _ = engine
+                            .check(&g, cond.owner, &cond.path, r.requester)
+                            .expect("evaluates");
+                    }
+                }
+                std::hint::black_box(owner);
+            }
+        };
+
+        group.bench_with_input(BenchmarkId::new("online", nodes), &nodes, |b, _| {
+            b.iter(|| run(&online))
+        });
+        group.bench_with_input(BenchmarkId::new("join-adjacency", nodes), &nodes, |b, _| {
+            b.iter(|| run(&adjacency))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! P2 — index construction time per structure.
+//!
+//! Paper claim (§1): transitive closure costs `O(|V|·|E|)` to build and
+//! `O(|E|²)` to store; 2-hop labelings compress it. Expected shape: TC
+//! build/size grow quadratically; interval and 2-hop labels grow
+//! near-linearly; the join index pays the line-graph overhead on top.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialreach_bench::quick_mode;
+use socialreach_reach::{IntervalLabeling, JoinIndex, JoinIndexConfig, TransitiveClosure,
+    TwoHopLabeling};
+use socialreach_workload::GraphSpec;
+
+fn bench(c: &mut Criterion) {
+    let sizes: &[usize] = if quick_mode() { &[200] } else { &[500, 2_000] };
+    let mut group = c.benchmark_group("p2_index_build");
+    group.sample_size(10);
+
+    for &nodes in sizes {
+        // Follow-style (low reciprocity): the adversarial case for TC.
+        let g = GraphSpec::ba_follow(nodes, 42).build();
+        let d = g.to_digraph();
+
+        group.bench_with_input(BenchmarkId::new("transitive-closure", nodes), &nodes, |b, _| {
+            b.iter(|| TransitiveClosure::build(&d))
+        });
+        group.bench_with_input(BenchmarkId::new("interval", nodes), &nodes, |b, _| {
+            b.iter(|| IntervalLabeling::build(&d))
+        });
+        group.bench_with_input(BenchmarkId::new("2hop-pruned", nodes), &nodes, |b, _| {
+            b.iter(|| TwoHopLabeling::build_pruned(&d))
+        });
+        group.bench_with_input(BenchmarkId::new("join-index", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                JoinIndex::build(
+                    &g,
+                    &JoinIndexConfig {
+                        augment_reverse: false,
+                        greedy_cover_max_comps: 256,
+                        virtual_root: None,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! P3 — audience latency vs path length and depth bound.
+//!
+//! The §3.1 transformation multiplies line queries with depth-set width;
+//! expected shape: latency grows with the number of line queries for the
+//! join engine and with the product-state space for the online engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialreach_bench::{forward_join_config, quick_mode};
+use socialreach_core::{online, parse_path, AccessEngine, JoinIndexEngine, JoinStrategy};
+use socialreach_graph::NodeId;
+use socialreach_workload::GraphSpec;
+
+fn bench(c: &mut Criterion) {
+    let nodes = if quick_mode() { 200 } else { 2_000 };
+    let mut g = GraphSpec::ba_osn(nodes, 42).build();
+    let engine = JoinIndexEngine::build(&g, forward_join_config(JoinStrategy::AdjacencyOnly));
+    let owner = NodeId(0);
+
+    let mut group = c.benchmark_group("p3_path_length");
+    group.sample_size(10);
+
+    let mut texts: Vec<String> = (1..=4).map(|k| vec!["friend+[1]"; k].join("/")).collect();
+    for cap in 2..=4 {
+        texts.push(format!("friend+[1..{cap}]"));
+    }
+    for text in texts {
+        let path = parse_path(&text, g.vocab_mut()).expect("valid");
+        group.bench_with_input(BenchmarkId::new("online", &text), &path, |b, p| {
+            b.iter(|| online::evaluate(&g, owner, p, None))
+        });
+        group.bench_with_input(BenchmarkId::new("join-adjacency", &text), &path, |b, p| {
+            b.iter(|| engine.audience(&g, owner, p).expect("evaluates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! P4 — decision latency under all-grant / mixed / all-deny request
+//! mixes.
+//!
+//! Expected shape: denies are the *expensive* case for the online engine
+//! (the whole product space is exhausted before giving up) and the cheap
+//! case for the join engine (empty W-table entries and empty seed sets
+//! short-circuit).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socialreach_bench::{forward_join_config, quick_mode};
+use socialreach_core::{AccessEngine, JoinIndexEngine, JoinStrategy, OnlineEngine, PolicyStore};
+use socialreach_workload::{generate_policies, requests_with_grant_rate, GraphSpec,
+    PolicyWorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let nodes = if quick_mode() { 200 } else { 2_000 };
+    let mut g = GraphSpec::ba_osn(nodes, 42).build();
+    let mut store = PolicyStore::new();
+    let mut rng = StdRng::seed_from_u64(43);
+    let cfg = PolicyWorkloadConfig {
+        num_resources: 10,
+        out_prob: 1.0,
+        both_prob: 0.0,
+        ..PolicyWorkloadConfig::default()
+    };
+    let rids = generate_policies(&mut g, &mut store, &cfg, &mut rng);
+    let online = OnlineEngine;
+    let adjacency = JoinIndexEngine::build(&g, forward_join_config(JoinStrategy::AdjacencyOnly));
+
+    let mut group = c.benchmark_group("p4_selectivity");
+    group.sample_size(10);
+
+    for rate in [0.0, 0.5, 1.0] {
+        let requests = requests_with_grant_rate(&g, &store, &rids, 20, rate, &mut rng);
+        let run = |engine: &dyn AccessEngine| {
+            for r in &requests {
+                for rule in store.rules_for(r.resource) {
+                    for cond in &rule.conditions {
+                        let _ = engine
+                            .check(&g, cond.owner, &cond.path, r.requester)
+                            .expect("evaluates");
+                    }
+                }
+            }
+        };
+        let tag = format!("grant{:.0}", rate * 100.0);
+        group.bench_with_input(BenchmarkId::new("online", &tag), &(), |b, _| {
+            b.iter(|| run(&online))
+        });
+        group.bench_with_input(BenchmarkId::new("join-adjacency", &tag), &(), |b, _| {
+            b.iter(|| run(&adjacency))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! P6 — end-to-end enforcement throughput through the `Enforcer`
+//! (policy lookup + engine evaluation + decision cache).
+//!
+//! Expected shape: with the decision cache warm, both engines converge
+//! to hash-map lookup speed; cold, the join engine wins on selective
+//! forward policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socialreach_bench::{forward_join_config, quick_mode};
+use socialreach_core::{
+    Enforcer, JoinIndexEngine, JoinStrategy, OnlineEngine, PolicyStore,
+};
+use socialreach_workload::{generate_policies, requests_with_grant_rate, GraphSpec,
+    PolicyWorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let nodes = if quick_mode() { 200 } else { 2_000 };
+    let mut g = GraphSpec::ba_osn(nodes, 42).build();
+    let mut store = PolicyStore::new();
+    let mut rng = StdRng::seed_from_u64(43);
+    let cfg = PolicyWorkloadConfig {
+        num_resources: 10,
+        out_prob: 1.0,
+        both_prob: 0.0,
+        ..PolicyWorkloadConfig::default()
+    };
+    let rids = generate_policies(&mut g, &mut store, &cfg, &mut rng);
+    let requests = requests_with_grant_rate(&g, &store, &rids, 50, 0.5, &mut rng);
+
+    let mut group = c.benchmark_group("p6_throughput");
+    group.sample_size(10);
+
+    let online = Enforcer::new(OnlineEngine);
+    let adjacency = Enforcer::new(JoinIndexEngine::build(
+        &g,
+        forward_join_config(JoinStrategy::AdjacencyOnly),
+    ));
+
+    group.bench_with_input(BenchmarkId::new("cold", "online"), &(), |b, _| {
+        b.iter(|| {
+            for r in &requests {
+                online.invalidate();
+                let _ = online
+                    .check_access(&g, &store, r.resource, r.requester)
+                    .expect("ok");
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("cold", "join-adjacency"), &(), |b, _| {
+        b.iter(|| {
+            for r in &requests {
+                adjacency.invalidate();
+                let _ = adjacency
+                    .check_access(&g, &store, r.resource, r.requester)
+                    .expect("ok");
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("warm", "online"), &(), |b, _| {
+        b.iter(|| {
+            for r in &requests {
+                let _ = online
+                    .check_access(&g, &store, r.resource, r.requester)
+                    .expect("ok");
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("warm", "join-adjacency"), &(), |b, _| {
+        b.iter(|| {
+            for r in &requests {
+                let _ = adjacency
+                    .check_access(&g, &store, r.resource, r.requester)
+                    .expect("ok");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! P7 — topology sensitivity: the same policy mix over four network
+//! families at equal |V|.
+//!
+//! Expected shape: heavy-tailed BA graphs are the worst case for the
+//! online engine (hub frontiers) and inflate the line graph (hubs
+//! contribute deg² arcs); WS lattices are the friendliest; community
+//! graphs sit between, with bridge labels shrinking cross-community
+//! audiences.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socialreach_bench::{forward_join_config, quick_mode};
+use socialreach_core::{AccessEngine, JoinIndexEngine, JoinStrategy, OnlineEngine, PolicyStore};
+use socialreach_workload::{
+    generate_policies, requests_with_grant_rate, AttributeModel, GraphSpec, LabelModel,
+    PolicyWorkloadConfig, Topology,
+};
+
+fn bench(c: &mut Criterion) {
+    let nodes = if quick_mode() { 200 } else { 1_500 };
+    let ties = nodes * 3;
+    let topologies: Vec<(&str, Topology)> = vec![
+        ("erdos-renyi", Topology::ErdosRenyi { nodes, edges: ties }),
+        (
+            "barabasi-albert",
+            Topology::BarabasiAlbert {
+                nodes,
+                edges_per_node: 3,
+            },
+        ),
+        (
+            "watts-strogatz",
+            Topology::WattsStrogatz {
+                nodes,
+                neighbors: 6,
+                rewire: 0.1,
+            },
+        ),
+        (
+            "community",
+            Topology::Community {
+                nodes,
+                communities: (nodes / 50).max(1),
+                p_in: 0.12,
+                bridges: ties / 10,
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("p7_topology");
+    group.sample_size(10);
+
+    for (i, (name, topology)) in topologies.into_iter().enumerate() {
+        let spec = GraphSpec {
+            topology,
+            labels: LabelModel::osn_default(),
+            attributes: AttributeModel::osn_default(),
+            reciprocity: 0.5,
+            seed: 700 + i as u64,
+        };
+        let mut g = spec.build();
+        let mut store = PolicyStore::new();
+        let mut rng = StdRng::seed_from_u64(800 + i as u64);
+        let cfg = PolicyWorkloadConfig {
+            num_resources: 10,
+            out_prob: 1.0,
+            both_prob: 0.0,
+            ..PolicyWorkloadConfig::default()
+        };
+        let rids = generate_policies(&mut g, &mut store, &cfg, &mut rng);
+        let requests = requests_with_grant_rate(&g, &store, &rids, 20, 0.5, &mut rng);
+        let online = OnlineEngine;
+        let adjacency =
+            JoinIndexEngine::build(&g, forward_join_config(JoinStrategy::AdjacencyOnly));
+
+        let run = |engine: &dyn AccessEngine| {
+            for r in &requests {
+                for rule in store.rules_for(r.resource) {
+                    for cond in &rule.conditions {
+                        let _ = engine
+                            .check(&g, cond.owner, &cond.path, r.requester)
+                            .expect("evaluates");
+                    }
+                }
+            }
+        };
+        group.bench_with_input(BenchmarkId::new("online", name), &(), |b, _| {
+            b.iter(|| run(&online))
+        });
+        group.bench_with_input(BenchmarkId::new("join-adjacency", name), &(), |b, _| {
+            b.iter(|| run(&adjacency))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

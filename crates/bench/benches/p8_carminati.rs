@@ -1,0 +1,53 @@
+//! P8 — the Carminati et al. trust+radius baseline (§4 related work)
+//! against the reachability engines on the trust-free fragment.
+//!
+//! Expected shape: the baseline's layered DP costs `O(radius · |E_label|)`
+//! — comparable to one online evaluation of `label+[1..radius]`; the
+//! reachability engines additionally support multi-label ordered paths,
+//! which the baseline cannot express at any cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialreach_bench::{forward_join_config, quick_mode};
+use socialreach_core::carminati::{self, CarminatiRule, TrustAggregation};
+use socialreach_core::{online, AccessEngine, JoinIndexEngine, JoinStrategy};
+use socialreach_graph::{Direction, NodeId};
+use socialreach_workload::GraphSpec;
+
+fn bench(c: &mut Criterion) {
+    let nodes = if quick_mode() { 200 } else { 2_000 };
+    let mut g = GraphSpec::ba_osn(nodes, 800).build();
+    for e in g.edge_ids().collect::<Vec<_>>() {
+        g.set_edge_attr(e, "trust", 0.9f64);
+    }
+    let friend = g.vocab().label("friend").expect("friend");
+    let owner = NodeId(0);
+    let adjacency = JoinIndexEngine::build(&g, forward_join_config(JoinStrategy::AdjacencyOnly));
+
+    let mut group = c.benchmark_group("p8_carminati");
+    group.sample_size(10);
+
+    for radius in [1u32, 2, 3] {
+        let rule = CarminatiRule {
+            label: friend,
+            dir: Direction::Out,
+            max_depth: radius,
+            min_trust: 0.6,
+            trust_agg: TrustAggregation::Product,
+            default_trust: 1.0,
+        };
+        let path = rule.to_path_expr();
+        group.bench_with_input(BenchmarkId::new("carminati", radius), &rule, |b, r| {
+            b.iter(|| carminati::evaluate(&g, owner, r))
+        });
+        group.bench_with_input(BenchmarkId::new("online", radius), &path, |b, p| {
+            b.iter(|| online::evaluate(&g, owner, p, None))
+        });
+        group.bench_with_input(BenchmarkId::new("join-adjacency", radius), &path, |b, p| {
+            b.iter(|| adjacency.audience(&g, owner, p).expect("evaluates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

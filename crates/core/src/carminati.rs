@@ -1,0 +1,356 @@
+//! The Carminati–Ferrari–Perego baseline (OTM Workshops 2006) — the
+//! rule-based access-control model §4 of the paper positions itself
+//! against:
+//!
+//! > *"This work introduced trust and distance in the social graph as
+//! > key criteria for access preferences. The target of an access
+//! > authorization is specified as a sub-graph based on one simple
+//! > relationship (friendship, for instance), having in its center the
+//! > owner of the resource with a fixed radius."*
+//!
+//! A [`CarminatiRule`] grants access when the requester is connected to
+//! the owner by a path of **one relationship type**, of length at most
+//! `max_depth`, whose aggregated **trust** (product or minimum of the
+//! per-edge trust annotations) is at least `min_trust`.
+//!
+//! Relationship to the paper's model: the type+depth fragment is exactly
+//! the single-step path expression `label*[1..max_depth]`
+//! ([`CarminatiRule::to_path_expr`]), so the reachability model strictly
+//! generalizes it *except* for trust — trust is an **edge** property
+//! aggregated along the walk, which Definition 3's node-attribute
+//! conditions cannot express. That gap is why this baseline is
+//! implemented natively (and measured in experiment P8).
+
+use crate::path::{DepthSet, PathExpr, Step};
+use socialreach_graph::{AttrValue, Direction, LabelId, NodeId, SocialGraph};
+
+/// How per-edge trust values combine along a path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrustAggregation {
+    /// Multiply edge trusts (Carminati et al.'s default: trust decays
+    /// with distance).
+    Product,
+    /// Take the weakest edge (bottleneck trust).
+    Minimum,
+}
+
+/// A Carminati-style access rule: one relationship type, a radius, and a
+/// trust threshold.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CarminatiRule {
+    /// The (single) relationship type of the qualifying paths.
+    pub label: LabelId,
+    /// Traversal direction (the original model treats relationships as
+    /// undirected; use [`Direction::Both`] for fidelity).
+    pub dir: Direction,
+    /// Maximum path length (the "radius" of the authorized subgraph).
+    pub max_depth: u32,
+    /// Minimum aggregated trust in `[0, 1]`.
+    pub min_trust: f64,
+    /// Trust aggregation operator.
+    pub trust_agg: TrustAggregation,
+    /// Trust assumed for edges without a `trust` annotation.
+    pub default_trust: f64,
+}
+
+impl CarminatiRule {
+    /// A friendship-radius rule with full default trust (pure
+    /// type+depth, no trust filtering).
+    pub fn radius(label: LabelId, max_depth: u32) -> Self {
+        CarminatiRule {
+            label,
+            dir: Direction::Both,
+            max_depth,
+            min_trust: 0.0,
+            trust_agg: TrustAggregation::Product,
+            default_trust: 1.0,
+        }
+    }
+
+    /// The trust-free fragment of this rule as a path expression
+    /// (`label*[1..max_depth]`): the part of the baseline the
+    /// reachability model expresses directly.
+    pub fn to_path_expr(&self) -> PathExpr {
+        PathExpr::new(vec![Step {
+            label: self.label,
+            dir: self.dir,
+            depths: DepthSet::range(1, self.max_depth.max(1)),
+            conds: Vec::new(),
+        }])
+    }
+}
+
+/// Result of a Carminati evaluation from one owner.
+#[derive(Clone, Debug)]
+pub struct CarminatiOutcome {
+    /// Members granted access, sorted by id.
+    pub granted: Vec<NodeId>,
+    /// Best aggregated trust per granted member (parallel to
+    /// `granted`).
+    pub trust: Vec<f64>,
+}
+
+/// Per-edge trust: the `trust` attribute when it is a number, else the
+/// rule's default.
+fn edge_trust(g: &SocialGraph, e: socialreach_graph::EdgeId, rule: &CarminatiRule) -> f64 {
+    let key = g.vocab().attr("trust");
+    match key.and_then(|k| g.edge(e).attrs.get(k)) {
+        Some(AttrValue::Float(t)) => *t,
+        Some(AttrValue::Int(t)) => *t as f64,
+        _ => rule.default_trust,
+    }
+}
+
+/// Evaluates a rule: layered dynamic programming over path length.
+/// `best[d][v]` is the maximum aggregated trust of a `label`-typed walk
+/// of exactly `d` hops from `owner` to `v`; a member qualifies when any
+/// layer `1..=max_depth` reaches it with trust `>= min_trust`.
+///
+/// Exact for both aggregations because they are monotone: extending a
+/// walk never increases its trust, and the per-layer maximum dominates
+/// every other walk of that length.
+pub fn evaluate(g: &SocialGraph, owner: NodeId, rule: &CarminatiRule) -> CarminatiOutcome {
+    let n = g.num_nodes();
+    let mut best_overall = vec![f64::NEG_INFINITY; n];
+    let mut current = vec![f64::NEG_INFINITY; n];
+    current[owner.index()] = 1.0;
+
+    let out = matches!(rule.dir, Direction::Out | Direction::Both);
+    let inc = matches!(rule.dir, Direction::In | Direction::Both);
+
+    for _depth in 1..=rule.max_depth {
+        let mut next = vec![f64::NEG_INFINITY; n];
+        for (v, &t) in current.iter().enumerate() {
+            if t == f64::NEG_INFINITY {
+                continue;
+            }
+            let node = NodeId::from_index(v);
+            let mut relax = |eid, target: NodeId| {
+                let w = edge_trust(g, eid, rule);
+                let combined = match rule.trust_agg {
+                    TrustAggregation::Product => t * w,
+                    TrustAggregation::Minimum => t.min(w),
+                };
+                let slot = &mut next[target.index()];
+                if combined > *slot {
+                    *slot = combined;
+                }
+            };
+            if out {
+                for (eid, rec) in g.out_edges(node) {
+                    if rec.label == rule.label {
+                        relax(eid, rec.dst);
+                    }
+                }
+            }
+            if inc {
+                for (eid, rec) in g.in_edges(node) {
+                    if rec.label == rule.label {
+                        relax(eid, rec.src);
+                    }
+                }
+            }
+        }
+        for (slot, &t) in best_overall.iter_mut().zip(&next) {
+            if t > *slot {
+                *slot = t;
+            }
+        }
+        current = next;
+    }
+
+    let mut granted = Vec::new();
+    let mut trust = Vec::new();
+    for (v, &t) in best_overall.iter().enumerate() {
+        if t >= rule.min_trust && t > f64::NEG_INFINITY {
+            granted.push(NodeId::from_index(v));
+            trust.push(t);
+        }
+    }
+    CarminatiOutcome { granted, trust }
+}
+
+/// Does `requester` qualify under `rule` from `owner`?
+pub fn check(g: &SocialGraph, owner: NodeId, rule: &CarminatiRule, requester: NodeId) -> bool {
+    // Early-exit layered DP would complicate the code for little gain at
+    // radius <= 3 (the model's practical range); reuse the audience DP.
+    let outcome = evaluate(g, owner, rule);
+    outcome.granted.binary_search(&requester).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online;
+
+    /// Alice -0.9-> Bob -0.8-> Carol -0.4-> Dave (friend chain),
+    /// Alice -colleague-> Eve.
+    fn trust_chain() -> (SocialGraph, LabelId) {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("Alice");
+        let b = g.add_node("Bob");
+        let c = g.add_node("Carol");
+        let d = g.add_node("Dave");
+        let e = g.add_node("Eve");
+        let friend = g.intern_label("friend");
+        let colleague = g.intern_label("colleague");
+        let e1 = g.add_edge(a, b, friend);
+        let e2 = g.add_edge(b, c, friend);
+        let e3 = g.add_edge(c, d, friend);
+        g.add_edge(a, e, colleague);
+        g.set_edge_attr(e1, "trust", 0.9f64);
+        g.set_edge_attr(e2, "trust", 0.8f64);
+        g.set_edge_attr(e3, "trust", 0.4f64);
+        (g, friend)
+    }
+
+    fn granted_names(g: &SocialGraph, out: &CarminatiOutcome) -> Vec<String> {
+        out.granted.iter().map(|&n| g.node_name(n).to_owned()).collect()
+    }
+
+    fn trust_of(g: &SocialGraph, out: &CarminatiOutcome, name: &str) -> f64 {
+        let id = g.node_by_name(name).unwrap();
+        let i = out.granted.binary_search(&id).expect("granted");
+        out.trust[i]
+    }
+
+    #[test]
+    fn radius_without_trust_matches_depth_bound() {
+        // Walk semantics with dir = Both: the owner re-qualifies at even
+        // depths via back-and-forth walks (Alice -> Bob -> Alice), just
+        // as with the path-expression engines.
+        let (g, friend) = trust_chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let out = evaluate(&g, alice, &CarminatiRule::radius(friend, 2));
+        assert_eq!(granted_names(&g, &out), vec!["Alice", "Bob", "Carol"]);
+        let out3 = evaluate(&g, alice, &CarminatiRule::radius(friend, 3));
+        assert_eq!(
+            granted_names(&g, &out3),
+            vec!["Alice", "Bob", "Carol", "Dave"]
+        );
+        // With outgoing-only edges the chain is simple: no backtracking.
+        let out_dir = evaluate(
+            &g,
+            alice,
+            &CarminatiRule {
+                dir: Direction::Out,
+                ..CarminatiRule::radius(friend, 2)
+            },
+        );
+        assert_eq!(granted_names(&g, &out_dir), vec!["Bob", "Carol"]);
+    }
+
+    #[test]
+    fn product_trust_threshold_cuts_the_tail() {
+        let (g, friend) = trust_chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let rule = CarminatiRule {
+            min_trust: 0.5,
+            ..CarminatiRule::radius(friend, 3)
+        };
+        let out = evaluate(&g, alice, &rule);
+        // Bob: 0.9; Carol: 0.72; Alice herself: 0.81 (A->B->A);
+        // Dave: 0.288 < 0.5 — excluded.
+        assert_eq!(granted_names(&g, &out), vec!["Alice", "Bob", "Carol"]);
+        assert!((trust_of(&g, &out, "Bob") - 0.9).abs() < 1e-12);
+        assert!((trust_of(&g, &out, "Carol") - 0.72).abs() < 1e-12);
+        assert!((trust_of(&g, &out, "Alice") - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimum_aggregation_is_bottleneck_trust() {
+        let (g, friend) = trust_chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let rule = CarminatiRule {
+            min_trust: 0.5,
+            trust_agg: TrustAggregation::Minimum,
+            ..CarminatiRule::radius(friend, 3)
+        };
+        let out = evaluate(&g, alice, &rule);
+        // Carol's bottleneck is 0.8; Dave's is 0.4 — excluded.
+        assert_eq!(granted_names(&g, &out), vec!["Alice", "Bob", "Carol"]);
+        assert!((trust_of(&g, &out, "Carol") - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_filter_excludes_other_relationship_types() {
+        let (g, friend) = trust_chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let out = evaluate(&g, alice, &CarminatiRule::radius(friend, 3));
+        assert!(!granted_names(&g, &out).contains(&"Eve".to_owned()));
+    }
+
+    #[test]
+    fn direction_constraints_apply() {
+        let (g, friend) = trust_chain();
+        let carol = g.node_by_name("Carol").unwrap();
+        let rule_in = CarminatiRule {
+            dir: Direction::In,
+            ..CarminatiRule::radius(friend, 2)
+        };
+        let out = evaluate(&g, carol, &rule_in);
+        assert_eq!(granted_names(&g, &out), vec!["Alice", "Bob"]);
+        let rule_out = CarminatiRule {
+            dir: Direction::Out,
+            ..CarminatiRule::radius(friend, 2)
+        };
+        let out = evaluate(&g, carol, &rule_out);
+        assert_eq!(granted_names(&g, &out), vec!["Dave"]);
+    }
+
+    #[test]
+    fn unannotated_edges_use_default_trust() {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let friend = g.intern_label("friend");
+        g.add_edge(a, b, friend);
+        let rule = CarminatiRule {
+            min_trust: 0.6,
+            default_trust: 0.5,
+            dir: Direction::Out,
+            ..CarminatiRule::radius(friend, 1)
+        };
+        assert!(evaluate(&g, a, &rule).granted.is_empty());
+        let rule_high_default = CarminatiRule {
+            default_trust: 0.7,
+            ..rule
+        };
+        assert_eq!(evaluate(&g, a, &rule_high_default).granted, vec![b]);
+    }
+
+    #[test]
+    fn trust_free_fragment_agrees_with_path_expression_semantics() {
+        // With min_trust = 0 the baseline must equal the reachability
+        // model's `label*[1..d]` audience (minus the owner-self case).
+        let (mut g, friend) = trust_chain();
+        g.add_edge(
+            g.node_by_name("Dave").unwrap(),
+            g.node_by_name("Alice").unwrap(),
+            friend,
+        );
+        for owner in g.nodes() {
+            for depth in 1..=3u32 {
+                let rule = CarminatiRule::radius(friend, depth);
+                let baseline = evaluate(&g, owner, &rule);
+                let path = rule.to_path_expr();
+                let ours = online::evaluate(&g, owner, &path, None);
+                assert_eq!(
+                    baseline.granted, ours.matched,
+                    "owner {owner:?} depth {depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn check_matches_evaluate() {
+        let (g, friend) = trust_chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let carol = g.node_by_name("Carol").unwrap();
+        let eve = g.node_by_name("Eve").unwrap();
+        let rule = CarminatiRule::radius(friend, 2);
+        assert!(check(&g, alice, &rule, carol));
+        assert!(!check(&g, alice, &rule, eve));
+    }
+}

@@ -1,0 +1,177 @@
+//! The paper's running example: the Figure 1 social subgraph, the
+//! Figure 2 query Q1, and the §3.3–3.4 worked queries.
+//!
+//! These constructors are shared by the unit tests, the integration
+//! tests and the `paper-artifacts` binary so every figure is regenerated
+//! from one source of truth.
+
+use crate::path::{parse_path, PathExpr};
+use socialreach_graph::{NodeId, SocialGraph};
+
+/// The seven members of Figure 1, in the order the paper abbreviates
+/// them (A, B, C, D, E, F, G).
+pub const MEMBERS: [&str; 7] = [
+    "Alice", "Bill", "Colin", "David", "Elena", "Fred", "George",
+];
+
+/// Builds the Figure 1 subgraph: 7 members, 12 labeled edges over
+/// `{Friend, Colleague, Parent}`, Alice's attribute tuple from §2
+/// (`gender = female, age = 24`), and the edge annotations shown in the
+/// figure (`Friend Babysitting;0.8` on Alice→Colin, `Colleague
+/// biology;0.6` on Alice→David).
+///
+/// Edge list (reconstructed from the Figure 5 reachability table, which
+/// enumerates every edge of the example):
+///
+/// ```text
+/// Friend    Alice  -> Colin      Friend    Bill   -> Elena
+/// Colleague Alice  -> David      Parent    Colin  -> Fred
+/// Friend    Alice  -> Bill       Colleague David  -> Fred
+/// Friend    Colin  -> David      Parent    David  -> George
+/// Friend    Elena  -> Bill       Friend    Elena  -> David
+/// Friend    Elena  -> George     Friend    Fred   -> George
+/// ```
+pub fn paper_graph() -> SocialGraph {
+    let mut g = SocialGraph::new();
+    let ids: Vec<NodeId> = MEMBERS.iter().map(|n| g.add_node(n)).collect();
+    let [alice, bill, colin, david, elena, fred, george] = ids[..] else {
+        unreachable!("exactly seven members");
+    };
+
+    let friend = g.intern_label("friend");
+    let colleague = g.intern_label("colleague");
+    let parent = g.intern_label("parent");
+
+    // The order matches the Figure 5 node numbering (1..=12 after the
+    // virtual Null→Alice node 0).
+    let e_ac = g.add_edge(alice, colin, friend); // 1: Friend A-C
+    let e_ad = g.add_edge(alice, david, colleague); // 2: Colleague A-D
+    g.add_edge(alice, bill, friend); // 3: Friend A-B
+    g.add_edge(colin, david, friend); // 4: Friend C-D
+    g.add_edge(elena, bill, friend); // 5: Friend E-B
+    g.add_edge(bill, elena, friend); // 6: Friend B-E
+    g.add_edge(colin, fred, parent); // 7: Parent C-F
+    g.add_edge(david, fred, colleague); // 8: Colleague D-F
+    g.add_edge(david, george, parent); // 9: Parent D-G
+    g.add_edge(elena, david, friend); // 10: Friend E-D
+    g.add_edge(elena, george, friend); // 11: Friend E-G
+    g.add_edge(fred, george, friend); // 12: Friend F-G
+
+    // §2: δ(Alice) = (gender = female, age = 24). The remaining
+    // attribute tuples are illustrative (the paper shows only Alice's).
+    g.set_node_attr(alice, "gender", "female");
+    g.set_node_attr(alice, "age", 24i64);
+    g.set_node_attr(bill, "age", 31i64);
+    g.set_node_attr(colin, "age", 28i64);
+    g.set_node_attr(david, "age", 45i64);
+    g.set_node_attr(elena, "age", 27i64);
+    g.set_node_attr(fred, "age", 16i64);
+    g.set_node_attr(george, "age", 52i64);
+
+    // Figure 1 edge annotations (topic; trust).
+    g.set_edge_attr(e_ac, "topic", "Babysitting");
+    g.set_edge_attr(e_ac, "trust", 0.8f64);
+    g.set_edge_attr(e_ad, "topic", "biology");
+    g.set_edge_attr(e_ad, "trust", 0.6f64);
+
+    g
+}
+
+/// The Figure 2 reachability query Q1:
+/// `Alice / friend+[1,2] / colleague+[1]` — *"the colleagues of Alice's
+/// friends or those of the friends of her friends"*.
+pub fn q1(g: &mut SocialGraph) -> (NodeId, PathExpr) {
+    let alice = g.node_by_name("Alice").expect("paper graph has Alice");
+    let path = parse_path("friend+[1,2]/colleague+[1]", g.vocab_mut())
+        .expect("Q1 is syntactically valid");
+    (alice, path)
+}
+
+/// The §3.3–3.4 worked query `/friend/parent/friend` from Alice —
+/// *"the friends of her friends's parents"* — whose single matching walk
+/// is Alice → Colin → Fred → George.
+pub fn worked_query(g: &mut SocialGraph) -> (NodeId, PathExpr) {
+    let alice = g.node_by_name("Alice").expect("paper graph has Alice");
+    let path =
+        parse_path("friend+[1]/parent+[1]/friend+[1]", g.vocab_mut()).expect("valid path");
+    (alice, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online;
+
+    #[test]
+    fn figure_1_shape() {
+        let g = paper_graph();
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.vocab().num_labels(), 3);
+        // Label census: 9 friend, 2 colleague... no: friend edges are
+        // A-C, A-B, C-D, E-B, B-E, E-D, E-G, F-G = 8; colleague A-D,
+        // D-F = 2; parent C-F, D-G = 2.
+        let friend = g.vocab().label("friend").unwrap();
+        let colleague = g.vocab().label("colleague").unwrap();
+        let parent = g.vocab().label("parent").unwrap();
+        let census = |l| g.edges().filter(|(_, r)| r.label == l).count();
+        assert_eq!(census(friend), 8);
+        assert_eq!(census(colleague), 2);
+        assert_eq!(census(parent), 2);
+    }
+
+    #[test]
+    fn alice_attributes_match_section_2() {
+        let g = paper_graph();
+        let alice = g.node_by_name("Alice").unwrap();
+        assert_eq!(
+            g.node_attr_by_name(alice, "gender"),
+            Some(&"female".into())
+        );
+        assert_eq!(g.node_attr_by_name(alice, "age"), Some(&24i64.into()));
+    }
+
+    #[test]
+    fn friend_path_alice_to_george_has_length_3() {
+        // §2: "from Alice to George, there is a friend-typed path
+        // (Alice-Bill-Elena-George) of length 3".
+        let mut g = paper_graph();
+        let alice = g.node_by_name("Alice").unwrap();
+        let george = g.node_by_name("George").unwrap();
+        let p = parse_path("friend+[3]", g.vocab_mut()).unwrap();
+        let out = online::evaluate(&g, alice, &p, Some(george));
+        assert!(out.granted);
+        let witness = out.witness.unwrap();
+        assert_eq!(witness.len(), 3);
+    }
+
+    #[test]
+    fn q1_grants_exactly_fred() {
+        // Friends of Alice within 2 hops: {Colin, Bill} ∪ {David, Elena};
+        // their direct colleagues: David → Fred only.
+        let mut g = paper_graph();
+        let (alice, path) = q1(&mut g);
+        let out = online::evaluate(&g, alice, &path, None);
+        let names: Vec<&str> = out.matched.iter().map(|&n| g.node_name(n)).collect();
+        assert_eq!(names, vec!["Fred"]);
+    }
+
+    #[test]
+    fn worked_query_grants_george_via_colin_and_fred() {
+        let mut g = paper_graph();
+        let (alice, path) = worked_query(&mut g);
+        let out = online::evaluate(&g, alice, &path, None);
+        let names: Vec<&str> = out.matched.iter().map(|&n| g.node_name(n)).collect();
+        assert_eq!(names, vec!["George"]);
+        // And the witness is the §3.4 walk Alice→Colin→Fred→George.
+        let george = g.node_by_name("George").unwrap();
+        let out = online::evaluate(&g, alice, &path, Some(george));
+        let walk: Vec<&str> = out
+            .witness
+            .unwrap()
+            .iter()
+            .map(|&(e, _)| g.node_name(g.edge(e).dst))
+            .collect();
+        assert_eq!(walk, vec!["Colin", "Fred", "George"]);
+    }
+}

@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+//! # socialreach-core
+//!
+//! Reachability-based access control for social networks — a
+//! production-quality implementation of Ben Dhia's EDBT 2012 model.
+//!
+//! Resources are shared under **access rules** whose audiences are
+//! **path expressions** over the social graph: *"only the children of my
+//! friends' friends can read my notes"* becomes
+//! `friend+[1,2]/children+[1]`. Enforcement reduces each access request
+//! to an ordered label-constraint reachability query, answered either
+//! by a constrained product BFS ([`engine::OnlineEngine`]) or through
+//! the precomputed line-graph cluster join index of §3
+//! ([`joinengine::JoinIndexEngine`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use socialreach_core::{AccessControlSystem, Decision};
+//!
+//! let mut sys = AccessControlSystem::new_online();
+//! let alice = sys.add_user("Alice");
+//! let bob = sys.add_user("Bob");
+//! let carol = sys.add_user("Carol");
+//! sys.connect(alice, "friend", bob);
+//! sys.connect(bob, "friend", carol);
+//!
+//! let photos = sys.share(alice);
+//! sys.allow(photos, "friend+[1,2]").unwrap(); // friends ≤ 2 hops away
+//!
+//! assert_eq!(sys.check(photos, carol).unwrap(), Decision::Grant);
+//! ```
+//!
+//! ## Module map
+//!
+//! | module | paper section | contents |
+//! |--------|---------------|----------|
+//! | [`path`] | §2 Def. 3 | path-expression AST, parser, printer |
+//! | [`policy`] | §2 Def. 2 | access rules, policy store, decisions |
+//! | [`online`] | §1 | constrained product BFS (ground truth) |
+//! | [`lineplan`] | §3.1 | depth expansion into line queries (Fig. 4) |
+//! | [`joinengine`] | §3.3–3.4 | join pipeline + post-processing |
+//! | [`engine`] | — | engine trait, caching enforcer |
+//! | [`system`] | — | batteries-included façade |
+//! | [`examples`] | §2–3 | the Figure 1 graph, Q1, worked queries |
+//! | [`carminati`] | §4 | the Carminati et al. trust+radius baseline |
+
+pub mod carminati;
+pub mod engine;
+pub mod error;
+pub mod examples;
+pub mod joinengine;
+pub mod lineplan;
+pub mod online;
+pub mod path;
+pub mod policy;
+pub mod system;
+
+pub use carminati::{CarminatiOutcome, CarminatiRule, TrustAggregation};
+pub use engine::{
+    resource_audience, AccessEngine, AudienceOutcome, CheckOutcome, Enforcer, EvalStats,
+    OnlineEngine,
+};
+pub use error::{EvalError, ParseError};
+pub use joinengine::{JoinEngineConfig, JoinIndexEngine, JoinStrategy};
+pub use lineplan::{plan, LinePlan, LineQuery, PlanConfig};
+pub use path::{parse_path, AttrPredicate, CmpOp, DepthSet, PathExpr, Step};
+pub use policy::{AccessCondition, AccessRule, Decision, PolicyStore, ResourceId};
+pub use system::{AccessControlSystem, EngineChoice};
+
+// Re-exported so `JoinEngineConfig` can be configured without naming the
+// reach crate directly.
+pub use socialreach_reach::{JoinIndex, JoinIndexConfig};

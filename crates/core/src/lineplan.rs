@@ -1,0 +1,270 @@
+//! Line-query planning — the §3.1 query transformation (Figure 4).
+//!
+//! An ordered label-constraint reachability query is rewritten into one
+//! or more **line queries** before hitting the join index. Every line
+//! query fixes, for each single hop of the walk, the relationship label
+//! and the traversal orientation, so that matching tuples are sequences
+//! of line-graph vertices:
+//!
+//! * a depth set expands combinatorially: `friend+[1,2]/colleague+[1]`
+//!   becomes the two line queries of Figure 4 —
+//!   `friend/colleague` and `friend/friend/colleague`;
+//! * a `∗`-direction step expands into both orientations per hop;
+//! * an unbounded depth set (`[2..]`) is cut at
+//!   [`PlanConfig::max_depth`] and the plan is flagged
+//!   [`LinePlan::truncated`] (the online engine stays exact; the
+//!   truncation trade-off is measured in experiment P3).
+//!
+//! The expansion is exponential in the worst case, so
+//! [`PlanConfig::max_line_queries`] bounds it; exceeding the bound is an
+//! [`EvalError::PlanOverflow`].
+
+use crate::error::EvalError;
+use crate::path::PathExpr;
+use socialreach_graph::Direction;
+use socialreach_reach::LabelKey;
+
+/// Planner limits.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanConfig {
+    /// Depth cap for unbounded depth sets.
+    pub max_depth: u32,
+    /// Upper bound on the number of generated line queries.
+    pub max_line_queries: usize,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            max_depth: 8,
+            max_line_queries: 4096,
+        }
+    }
+}
+
+/// One fully expanded line query: a fixed-length sequence of
+/// `(label, orientation)` hops, with each hop remembering which path
+/// step it came from (attribute conditions apply at the last hop of each
+/// step's run).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LineQuery {
+    /// `(label, forward)` per hop.
+    pub hops: Vec<LabelKey>,
+    /// Originating step index per hop.
+    pub step_of: Vec<u16>,
+}
+
+impl LineQuery {
+    /// Number of hops (edges of the walk).
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True for the degenerate zero-hop query.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Hop positions that end a step (where that step's conditions are
+    /// checked): the last hop of every step's run.
+    pub fn step_end_positions(&self) -> Vec<(usize, u16)> {
+        let mut out = Vec::new();
+        for (i, &s) in self.step_of.iter().enumerate() {
+            let is_end = self.step_of.get(i + 1).is_none_or(|&n| n != s);
+            if is_end {
+                out.push((i, s));
+            }
+        }
+        out
+    }
+}
+
+/// The set of line queries a path expands into.
+#[derive(Clone, Debug)]
+pub struct LinePlan {
+    /// The expanded queries (deduplicated).
+    pub queries: Vec<LineQuery>,
+    /// True when an unbounded depth set was cut at the configured cap.
+    pub truncated: bool,
+}
+
+/// Expands `path` into line queries (Figure 4).
+pub fn plan(path: &PathExpr, cfg: &PlanConfig) -> Result<LinePlan, EvalError> {
+    let mut queries: Vec<LineQuery> = vec![LineQuery {
+        hops: Vec::new(),
+        step_of: Vec::new(),
+    }];
+    let mut truncated = false;
+
+    for (step_idx, step) in path.steps.iter().enumerate() {
+        if step.depths.is_unbounded() {
+            truncated = true;
+        }
+        let depths = step.depths.depths_up_to(cfg.max_depth);
+        if depths.is_empty() {
+            // The whole depth set lies beyond the cap: nothing the index
+            // can match (the plan is empty and truncated).
+            return Ok(LinePlan {
+                queries: Vec::new(),
+                truncated: true,
+            });
+        }
+        let orientations: &[bool] = match step.dir {
+            Direction::Out => &[true],
+            Direction::In => &[false],
+            Direction::Both => &[true, false],
+        };
+
+        let mut next: Vec<LineQuery> = Vec::new();
+        for q in &queries {
+            for &k in &depths {
+                // All orientation vectors of length k over `orientations`.
+                let mut stack: Vec<Vec<bool>> = vec![Vec::new()];
+                for _ in 0..k {
+                    let mut grown = Vec::with_capacity(stack.len() * orientations.len());
+                    for prefix in &stack {
+                        for &o in orientations {
+                            let mut p = prefix.clone();
+                            p.push(o);
+                            grown.push(p);
+                        }
+                    }
+                    stack = grown;
+                    if queries.len() * stack.len() > cfg.max_line_queries {
+                        return Err(EvalError::PlanOverflow {
+                            needed: queries.len() * stack.len(),
+                            limit: cfg.max_line_queries,
+                        });
+                    }
+                }
+                for vector in stack {
+                    let mut nq = q.clone();
+                    for o in vector {
+                        nq.hops.push((step.label, o));
+                        nq.step_of.push(step_idx as u16);
+                    }
+                    next.push(nq);
+                    if next.len() > cfg.max_line_queries {
+                        return Err(EvalError::PlanOverflow {
+                            needed: next.len(),
+                            limit: cfg.max_line_queries,
+                        });
+                    }
+                }
+            }
+        }
+        queries = next;
+    }
+
+    queries.sort_by(|a, b| (a.hops.len(), &a.hops).cmp(&(b.hops.len(), &b.hops)));
+    queries.dedup();
+    Ok(LinePlan { queries, truncated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::parse_path;
+    use socialreach_graph::Vocabulary;
+
+    fn expand(text: &str, cfg: &PlanConfig) -> (LinePlan, Vocabulary) {
+        let mut vocab = Vocabulary::new();
+        let p = parse_path(text, &mut vocab).unwrap();
+        (plan(&p, cfg).unwrap(), vocab)
+    }
+
+    #[test]
+    fn figure_4_expansion_yields_two_line_queries() {
+        // Q1 = friend+[1,2]/colleague+[1] -> friend/colleague and
+        // friend/friend/colleague.
+        let (plan, vocab) = expand("friend+[1,2]/colleague+[1]", &PlanConfig::default());
+        assert!(!plan.truncated);
+        assert_eq!(plan.queries.len(), 2);
+        let friend = vocab.label("friend").unwrap();
+        let colleague = vocab.label("colleague").unwrap();
+        assert_eq!(
+            plan.queries[0].hops,
+            vec![(friend, true), (colleague, true)]
+        );
+        assert_eq!(
+            plan.queries[1].hops,
+            vec![(friend, true), (friend, true), (colleague, true)]
+        );
+        assert_eq!(plan.queries[1].step_of, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn step_end_positions_mark_condition_sites() {
+        let (plan, _) = expand("friend+[2]/colleague+[1]", &PlanConfig::default());
+        let q = &plan.queries[0];
+        assert_eq!(q.step_end_positions(), vec![(1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn both_direction_expands_orientations() {
+        let (plan, _) = expand("friend*[1]", &PlanConfig::default());
+        assert_eq!(plan.queries.len(), 2);
+        let orientations: Vec<bool> = plan.queries.iter().map(|q| q.hops[0].1).collect();
+        assert!(orientations.contains(&true) && orientations.contains(&false));
+    }
+
+    #[test]
+    fn both_direction_depth_two_expands_four_vectors() {
+        let (plan, _) = expand("friend*[2]", &PlanConfig::default());
+        assert_eq!(plan.queries.len(), 4);
+    }
+
+    #[test]
+    fn unbounded_depth_truncates_at_cap() {
+        let cfg = PlanConfig {
+            max_depth: 3,
+            max_line_queries: 4096,
+        };
+        let (plan, _) = expand("friend+[1..]", &cfg);
+        assert!(plan.truncated);
+        assert_eq!(plan.queries.len(), 3); // depths 1, 2, 3
+        assert_eq!(plan.queries[2].hops.len(), 3);
+    }
+
+    #[test]
+    fn depth_set_entirely_beyond_cap_yields_empty_plan() {
+        let cfg = PlanConfig {
+            max_depth: 2,
+            max_line_queries: 4096,
+        };
+        let (plan, _) = expand("friend+[5..]", &cfg);
+        assert!(plan.truncated);
+        assert!(plan.queries.is_empty());
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let cfg = PlanConfig {
+            max_depth: 8,
+            max_line_queries: 8,
+        };
+        let mut vocab = Vocabulary::new();
+        let p = parse_path("friend*[4]/friend*[4]", &mut vocab).unwrap();
+        match plan(&p, &cfg) {
+            Err(EvalError::PlanOverflow { needed, limit }) => {
+                assert!(needed > limit);
+            }
+            other => panic!("expected overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_queries_are_removed() {
+        // [1,1] normalizes in DepthSet, but [1..2] ∪ [2] style overlaps
+        // can produce equal expansions; dedup keeps the plan minimal.
+        let (plan, _) = expand("friend+[1..2,2]", &PlanConfig::default());
+        assert_eq!(plan.queries.len(), 2);
+    }
+
+    #[test]
+    fn multi_interval_depths_expand_each_level() {
+        let (plan, _) = expand("friend+[1,3]", &PlanConfig::default());
+        let lens: Vec<usize> = plan.queries.iter().map(LineQuery::len).collect();
+        assert_eq!(lens, vec![1, 3]);
+    }
+}

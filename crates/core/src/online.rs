@@ -1,0 +1,399 @@
+//! The online evaluation engine: constrained product BFS over the social
+//! graph.
+//!
+//! This is the paper's §1 baseline (*"apply a Depth-First Search
+//! algorithm (respectively, Breadth-First Search algorithm) together
+//! with the constraints to reduce the search space"*) and the semantic
+//! **ground truth** the join-index engine is property-tested against.
+//!
+//! The search runs over product states `(member, step, depth-in-step)`:
+//!
+//! * from `(v, i, d)` every edge labeled `label_i` in direction `dir_i`
+//!   leads to `(u, i, d+1)`, as long as `d+1` does not exceed the step's
+//!   saturation depth (unbounded depth sets saturate: once `d` reaches
+//!   the open tail every further depth behaves identically, so the state
+//!   space stays finite);
+//! * a state `(u, i, d)` with `d ∈ I_i` whose attribute conditions
+//!   accept `u` *completes* step `i`: it matches the whole path when `i`
+//!   is the last step, and otherwise ε-moves to `(u, i+1, 0)`.
+//!
+//! Matching is over **walks** — members and relationships may repeat.
+
+use crate::path::PathExpr;
+use socialreach_graph::{Direction, EdgeId, NodeId, SocialGraph};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// Counters describing how much work an evaluation performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Product states dequeued.
+    pub states_visited: usize,
+    /// Edge traversals attempted.
+    pub edges_scanned: usize,
+}
+
+/// One traversed relationship of a witness walk: the edge plus the
+/// direction it was taken in (`true` = along its orientation).
+pub type WitnessHop = (EdgeId, bool);
+
+/// Result of evaluating one access condition online.
+#[derive(Clone, Debug)]
+pub struct OnlineOutcome {
+    /// Whether the target requester matched (always `false` when no
+    /// target was supplied).
+    pub granted: bool,
+    /// Every member that matches the full path (the audience) — only
+    /// populated when no early-exit target was supplied.
+    pub matched: Vec<NodeId>,
+    /// A shortest witness walk to the target, when granted.
+    pub witness: Option<Vec<WitnessHop>>,
+    /// Work counters.
+    pub stats: SearchStats,
+}
+
+/// Product state: (member, step index, depth within step).
+type State = (u32, u16, u32);
+
+/// Evaluates `path` from `owner`.
+///
+/// With `target = Some(v)` the search exits as soon as `v` matches and
+/// reconstructs a witness walk. With `target = None` it explores the
+/// whole product space and returns the full audience (sorted).
+pub fn evaluate(
+    g: &SocialGraph,
+    owner: NodeId,
+    path: &PathExpr,
+    target: Option<NodeId>,
+) -> OnlineOutcome {
+    let mut stats = SearchStats::default();
+
+    // Empty path: only the owner matches.
+    if path.is_empty() {
+        let granted = target == Some(owner);
+        return OnlineOutcome {
+            granted,
+            matched: if target.is_none() { vec![owner] } else { vec![] },
+            witness: granted.then(Vec::new),
+            stats,
+        };
+    }
+
+    let steps = &path.steps;
+    let sat: Vec<u32> = steps.iter().map(|s| s.depths.saturation()).collect();
+
+    // parent[state] = (previous state, hop taken), for witness
+    // reconstruction; also doubles as the visited set.
+    let mut parent: HashMap<State, Option<(State, Option<WitnessHop>)>> = HashMap::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    let start: State = (owner.0, 0, 0);
+    parent.insert(start, None);
+    queue.push_back(start);
+
+    let mut matched: Vec<NodeId> = Vec::new();
+    let mut matched_seen = vec![false; g.num_nodes()];
+    let mut granted_state: Option<State> = None;
+
+    'search: while let Some(state) = queue.pop_front() {
+        let (v, i, d) = state;
+        stats.states_visited += 1;
+        let step = &steps[i as usize];
+        let node = NodeId(v);
+
+        // Step completion: d hops taken, d ∈ I_i, conditions accept v.
+        if d >= 1 && step.depths.contains(d) && step.conds.iter().all(|c| c.eval(g.node_attrs(node)))
+        {
+            if (i as usize) == steps.len() - 1 {
+                if !matched_seen[node.index()] {
+                    matched_seen[node.index()] = true;
+                    matched.push(node);
+                }
+                if target == Some(node) {
+                    granted_state = Some(state);
+                    break 'search;
+                }
+            } else {
+                let eps: State = (v, i + 1, 0);
+                if let Entry::Vacant(e) = parent.entry(eps) {
+                    e.insert(Some((state, None)));
+                    queue.push_back(eps);
+                }
+            }
+        }
+
+        // Edge expansion within step i.
+        if d >= sat[i as usize] && !step.depths.is_unbounded() {
+            continue; // bounded step exhausted
+        }
+        let d_next = (d + 1).min(sat[i as usize]);
+        let out = matches!(step.dir, Direction::Out | Direction::Both);
+        let inc = matches!(step.dir, Direction::In | Direction::Both);
+        if out {
+            for (eid, rec) in g.out_edges(node) {
+                stats.edges_scanned += 1;
+                if rec.label != step.label {
+                    continue;
+                }
+                let next: State = (rec.dst.0, i, d_next);
+                if let Entry::Vacant(e) = parent.entry(next) {
+                    e.insert(Some((state, Some((eid, true)))));
+                    queue.push_back(next);
+                }
+            }
+        }
+        if inc {
+            for (eid, rec) in g.in_edges(node) {
+                stats.edges_scanned += 1;
+                if rec.label != step.label {
+                    continue;
+                }
+                let next: State = (rec.src.0, i, d_next);
+                if let Entry::Vacant(e) = parent.entry(next) {
+                    e.insert(Some((state, Some((eid, false)))));
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+
+    let witness = granted_state.map(|end| {
+        let mut hops = Vec::new();
+        let mut cur = end;
+        while let Some(Some((prev, hop))) = parent.get(&cur) {
+            if let Some(h) = hop {
+                hops.push(*h);
+            }
+            cur = *prev;
+        }
+        hops.reverse();
+        hops
+    });
+
+    matched.sort_unstable();
+    OnlineOutcome {
+        granted: granted_state.is_some(),
+        matched,
+        witness,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::{parse_path, PathExpr};
+
+    fn parse(g: &mut SocialGraph, text: &str) -> PathExpr {
+        parse_path(text, g.vocab_mut()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Alice -friend-> Bob -friend-> Carol -colleague-> Dave
+    ///   \--friend-> Eve
+    fn chain() -> SocialGraph {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("Alice");
+        let b = g.add_node("Bob");
+        let c = g.add_node("Carol");
+        let d = g.add_node("Dave");
+        let e = g.add_node("Eve");
+        g.connect(a, "friend", b);
+        g.connect(b, "friend", c);
+        g.connect(c, "colleague", d);
+        g.connect(a, "friend", e);
+        g
+    }
+
+    fn names(g: &SocialGraph, nodes: &[NodeId]) -> Vec<String> {
+        nodes.iter().map(|&n| g.node_name(n).to_owned()).collect()
+    }
+
+    #[test]
+    fn single_hop_out() {
+        let mut g = chain();
+        let p = parse(&mut g, "friend+[1]");
+        let alice = g.node_by_name("Alice").unwrap();
+        let out = evaluate(&g, alice, &p, None);
+        assert_eq!(names(&g, &out.matched), vec!["Bob", "Eve"]);
+    }
+
+    #[test]
+    fn depth_set_reaches_exact_levels() {
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let p2 = parse(&mut g, "friend+[2]");
+        let out = evaluate(&g, alice, &p2, None);
+        assert_eq!(names(&g, &out.matched), vec!["Carol"]);
+        let p12 = parse(&mut g, "friend+[1,2]");
+        let out = evaluate(&g, alice, &p12, None);
+        assert_eq!(names(&g, &out.matched), vec!["Bob", "Carol", "Eve"]);
+    }
+
+    #[test]
+    fn multi_step_path() {
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let p = parse(&mut g, "friend+[1,2]/colleague+[1]");
+        let out = evaluate(&g, alice, &p, None);
+        assert_eq!(names(&g, &out.matched), vec!["Dave"]);
+    }
+
+    #[test]
+    fn incoming_direction() {
+        let mut g = chain();
+        let bob = g.node_by_name("Bob").unwrap();
+        let p = parse(&mut g, "friend-[1]");
+        let out = evaluate(&g, bob, &p, None);
+        assert_eq!(names(&g, &out.matched), vec!["Alice"]);
+    }
+
+    #[test]
+    fn both_direction_unions_orientations() {
+        let mut g = chain();
+        let bob = g.node_by_name("Bob").unwrap();
+        let p = parse(&mut g, "friend*[1]");
+        let out = evaluate(&g, bob, &p, None);
+        assert_eq!(names(&g, &out.matched), vec!["Alice", "Carol"]);
+    }
+
+    #[test]
+    fn unbounded_depth_saturates() {
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let p = parse(&mut g, "friend+[1..]");
+        let out = evaluate(&g, alice, &p, None);
+        assert_eq!(names(&g, &out.matched), vec!["Bob", "Carol", "Eve"]);
+    }
+
+    #[test]
+    fn unbounded_with_hole_skips_depths() {
+        // friend+[3..] from Alice: only Carol is 3+ friend-hops away?
+        // Alice -> Bob (1) -> Carol (2); chain ends. Nothing at 3+.
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let p = parse(&mut g, "friend+[3..]");
+        let out = evaluate(&g, alice, &p, None);
+        assert!(out.matched.is_empty());
+    }
+
+    #[test]
+    fn walks_may_revisit_nodes() {
+        // Alice <-friend-> Bob (mutual), query friend+[3]: walks
+        // A->B->A->B land on Bob at depth 3.
+        let mut g = SocialGraph::new();
+        let a = g.add_node("Alice");
+        let b = g.add_node("Bob");
+        g.connect(a, "friend", b);
+        g.connect(b, "friend", a);
+        let p = parse(&mut g, "friend+[3]");
+        let out = evaluate(&g, a, &p, None);
+        assert_eq!(names(&g, &out.matched), vec!["Bob"]);
+    }
+
+    #[test]
+    fn attribute_conditions_filter_endpoints() {
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let bob = g.node_by_name("Bob").unwrap();
+        let eve = g.node_by_name("Eve").unwrap();
+        g.set_node_attr(bob, "age", 17i64);
+        g.set_node_attr(eve, "age", 30i64);
+        let p = parse(&mut g, "friend+[1]{age>=18}");
+        let out = evaluate(&g, alice, &p, None);
+        assert_eq!(names(&g, &out.matched), vec!["Eve"]);
+    }
+
+    #[test]
+    fn conditions_apply_at_step_end_not_mid_run() {
+        // friend+[2]{age>=18}: the intermediate member (Bob, 17) is only
+        // passed through; the condition tests the endpoint (Carol, 20).
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let bob = g.node_by_name("Bob").unwrap();
+        let carol = g.node_by_name("Carol").unwrap();
+        g.set_node_attr(bob, "age", 17i64);
+        g.set_node_attr(carol, "age", 20i64);
+        let p = parse(&mut g, "friend+[2]{age>=18}");
+        let out = evaluate(&g, alice, &p, None);
+        assert_eq!(names(&g, &out.matched), vec!["Carol"]);
+    }
+
+    #[test]
+    fn target_early_exit_and_witness() {
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let dave = g.node_by_name("Dave").unwrap();
+        let p = parse(&mut g, "friend+[1,2]/colleague+[1]");
+        let out = evaluate(&g, alice, &p, Some(dave));
+        assert!(out.granted);
+        let witness = out.witness.expect("witness present on grant");
+        assert_eq!(witness.len(), 3, "2 friend hops + 1 colleague hop");
+        // Replay the witness: it must be a connected walk from Alice to
+        // Dave.
+        let mut at = alice;
+        for (eid, forward) in witness {
+            let rec = g.edge(eid);
+            if forward {
+                assert_eq!(rec.src, at);
+                at = rec.dst;
+            } else {
+                assert_eq!(rec.dst, at);
+                at = rec.src;
+            }
+        }
+        assert_eq!(at, dave);
+    }
+
+    #[test]
+    fn deny_when_no_matching_walk() {
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let dave = g.node_by_name("Dave").unwrap();
+        let p = parse(&mut g, "colleague+[1]");
+        let out = evaluate(&g, alice, &p, Some(dave));
+        assert!(!out.granted);
+        assert!(out.witness.is_none());
+    }
+
+    #[test]
+    fn empty_path_matches_owner_only() {
+        let g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let bob = g.node_by_name("Bob").unwrap();
+        let p = PathExpr::new(vec![]);
+        assert!(evaluate(&g, alice, &p, Some(alice)).granted);
+        assert!(!evaluate(&g, alice, &p, Some(bob)).granted);
+        assert_eq!(evaluate(&g, alice, &p, None).matched, vec![alice]);
+    }
+
+    #[test]
+    fn unknown_label_matches_nothing() {
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let p = parse(&mut g, "enemy+[1]");
+        let out = evaluate(&g, alice, &p, None);
+        assert!(out.matched.is_empty());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let p = parse(&mut g, "friend+[1,2]/colleague+[1]");
+        let out = evaluate(&g, alice, &p, None);
+        assert!(out.stats.states_visited > 0);
+        assert!(out.stats.edges_scanned > 0);
+    }
+
+    #[test]
+    fn owner_can_be_in_their_own_audience_via_cycles() {
+        // Mutual friendship: friend+[2] from Alice loops back to Alice.
+        let mut g = SocialGraph::new();
+        let a = g.add_node("Alice");
+        let b = g.add_node("Bob");
+        g.connect(a, "friend", b);
+        g.connect(b, "friend", a);
+        let p = parse(&mut g, "friend+[2]");
+        let out = evaluate(&g, a, &p, None);
+        assert_eq!(names(&g, &out.matched), vec!["Alice"]);
+    }
+}

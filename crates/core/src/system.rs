@@ -1,0 +1,346 @@
+//! `AccessControlSystem` — the batteries-included façade a social
+//! platform would embed: members, relationships, shared resources,
+//! textual policies, and enforced access checks with pluggable engines.
+//!
+//! The system keeps the join index and the decision cache coherent: any
+//! mutation of the graph or the policies invalidates both (the paper
+//! treats the graph as static during enforcement; incremental index
+//! maintenance is future work there, so we rebuild lazily — see
+//! DESIGN.md §3).
+
+use crate::engine::{Enforcer, OnlineEngine};
+use crate::error::EvalError;
+use crate::joinengine::{JoinEngineConfig, JoinIndexEngine};
+use crate::online;
+use crate::path::parse_path;
+use crate::policy::{Decision, PolicyStore, ResourceId};
+use socialreach_graph::{AttrValue, EdgeId, NodeId, SocialGraph};
+
+/// Which engine evaluates access conditions.
+#[derive(Clone, Copy, Debug)]
+pub enum EngineChoice {
+    /// Constrained product BFS per request (no precomputation).
+    Online,
+    /// The §3 line-graph cluster join index (built lazily, rebuilt after
+    /// mutations).
+    JoinIndex(JoinEngineConfig),
+}
+
+/// High-level access-control façade.
+pub struct AccessControlSystem {
+    graph: SocialGraph,
+    store: PolicyStore,
+    choice: EngineChoice,
+    join: Option<Enforcer<JoinIndexEngine>>,
+    online: Enforcer<OnlineEngine>,
+}
+
+impl AccessControlSystem {
+    /// A system evaluating requests online (good default for evolving
+    /// graphs).
+    pub fn new_online() -> Self {
+        Self::new(EngineChoice::Online)
+    }
+
+    /// A system evaluating requests through the join index (good for
+    /// read-mostly graphs).
+    pub fn new_indexed() -> Self {
+        Self::new(EngineChoice::JoinIndex(JoinEngineConfig::default()))
+    }
+
+    /// A system with an explicit engine choice.
+    pub fn new(choice: EngineChoice) -> Self {
+        AccessControlSystem {
+            graph: SocialGraph::new(),
+            store: PolicyStore::new(),
+            choice,
+            join: None,
+            online: Enforcer::new(OnlineEngine),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Graph management (mutations invalidate caches/indexes)
+    // ------------------------------------------------------------------
+
+    /// Registers a member.
+    pub fn add_user(&mut self, name: &str) -> NodeId {
+        self.dirty();
+        self.graph.add_node(name)
+    }
+
+    /// Sets a member attribute.
+    pub fn set_user_attr(&mut self, user: NodeId, key: &str, value: impl Into<AttrValue>) {
+        self.dirty();
+        self.graph.set_node_attr(user, key, value);
+    }
+
+    /// Adds a directed relationship.
+    pub fn connect(&mut self, src: NodeId, label: &str, dst: NodeId) -> EdgeId {
+        self.dirty();
+        self.graph.connect(src, label, dst)
+    }
+
+    /// Adds a mutual relationship (both directions), as platforms model
+    /// symmetric friendship.
+    pub fn connect_mutual(&mut self, a: NodeId, label: &str, b: NodeId) -> (EdgeId, EdgeId) {
+        self.dirty();
+        let e1 = self.graph.connect(a, label, b);
+        let e2 = self.graph.connect(b, label, a);
+        (e1, e2)
+    }
+
+    /// Looks a member up by name.
+    pub fn user(&self, name: &str) -> Result<NodeId, EvalError> {
+        Ok(self.graph.require_node(name)?)
+    }
+
+    /// Read-only view of the social graph.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// Read-only view of the policy store.
+    pub fn store(&self) -> &PolicyStore {
+        &self.store
+    }
+
+    // ------------------------------------------------------------------
+    // Resources and policies
+    // ------------------------------------------------------------------
+
+    /// Registers a resource owned by `owner`. New resources are private.
+    pub fn share(&mut self, owner: NodeId) -> ResourceId {
+        self.dirty();
+        self.store.register_resource(owner)
+    }
+
+    /// Attaches a rule granting access along `path_text` (e.g.
+    /// `"friend+[1,2]/colleague+[1]"`) to the resource's audience.
+    pub fn allow(&mut self, rid: ResourceId, path_text: &str) -> Result<(), EvalError> {
+        self.dirty();
+        self.store.allow(rid, path_text, &mut self.graph)
+    }
+
+    // ------------------------------------------------------------------
+    // Enforcement
+    // ------------------------------------------------------------------
+
+    /// Decides whether `requester` may access `rid`.
+    pub fn check(&mut self, rid: ResourceId, requester: NodeId) -> Result<Decision, EvalError> {
+        match self.choice {
+            EngineChoice::Online => self
+                .online
+                .check_access(&self.graph, &self.store, rid, requester),
+            EngineChoice::JoinIndex(cfg) => {
+                if self.join.is_none() {
+                    self.join = Some(Enforcer::new(JoinIndexEngine::build(&self.graph, cfg)));
+                }
+                self.join
+                    .as_ref()
+                    .expect("join engine just built")
+                    .check_access(&self.graph, &self.store, rid, requester)
+            }
+        }
+    }
+
+    /// The full audience of a resource: the union over rules of the
+    /// intersection over each rule's conditions (plus the owner).
+    pub fn audience(&mut self, rid: ResourceId) -> Result<Vec<NodeId>, EvalError> {
+        match self.choice {
+            EngineChoice::Online => {
+                crate::engine::resource_audience(&self.graph, &self.store, rid, &OnlineEngine)
+            }
+            EngineChoice::JoinIndex(cfg) => {
+                if self.join.is_none() {
+                    self.join = Some(Enforcer::new(JoinIndexEngine::build(&self.graph, cfg)));
+                }
+                let engine = self.join.as_ref().expect("join engine just built").engine();
+                crate::engine::resource_audience(&self.graph, &self.store, rid, engine)
+            }
+        }
+    }
+
+    /// Explains a grant: a human-readable walk from the owner to the
+    /// requester matching one of the resource's rules, or `None` when
+    /// access is denied. Always uses the online engine (the join index
+    /// does not keep witnesses).
+    pub fn explain(
+        &mut self,
+        rid: ResourceId,
+        requester: NodeId,
+    ) -> Result<Option<Vec<String>>, EvalError> {
+        let owner = self.store.owner_of(rid)?;
+        if requester == owner {
+            return Ok(Some(vec![format!(
+                "{} owns the resource",
+                self.graph.node_name(owner)
+            )]));
+        }
+        let rules = self.store.rules_for(rid).to_vec();
+        'rules: for rule in &rules {
+            if rule.conditions.is_empty() {
+                continue;
+            }
+            let mut lines = Vec::new();
+            for cond in &rule.conditions {
+                let out = online::evaluate(&self.graph, cond.owner, &cond.path, Some(requester));
+                let Some(witness) = out.witness else {
+                    continue 'rules;
+                };
+                let mut walk = vec![self.graph.node_name(cond.owner).to_owned()];
+                let mut at = cond.owner;
+                for (eid, forward) in witness {
+                    let rec = self.graph.edge(eid);
+                    let (next, arrow) = if forward {
+                        (rec.dst, format!("-{}->", self.graph.vocab().label_name(rec.label)))
+                    } else {
+                        (rec.src, format!("<-{}-", self.graph.vocab().label_name(rec.label)))
+                    };
+                    walk.push(arrow);
+                    walk.push(self.graph.node_name(next).to_owned());
+                    at = next;
+                }
+                debug_assert_eq!(at, requester);
+                lines.push(walk.join(" "));
+            }
+            return Ok(Some(lines));
+        }
+        Ok(None)
+    }
+
+    /// Parses a path against this system's vocabulary (exposed for
+    /// examples and tests).
+    pub fn parse(&mut self, text: &str) -> Result<crate::path::PathExpr, EvalError> {
+        Ok(parse_path(text, self.graph.vocab_mut())?)
+    }
+
+    /// Decision-cache statistics of the active engine `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        match self.choice {
+            EngineChoice::Online => self.online.cache_stats(),
+            EngineChoice::JoinIndex(_) => self
+                .join
+                .as_ref()
+                .map(|e| e.cache_stats())
+                .unwrap_or((0, 0)),
+        }
+    }
+
+    fn dirty(&mut self) {
+        self.online.invalidate();
+        if let Some(join) = &self.join {
+            join.invalidate();
+        }
+        self.join = None; // the index is stale; rebuild lazily
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated(choice: EngineChoice) -> (AccessControlSystem, ResourceId) {
+        let mut sys = AccessControlSystem::new(choice);
+        let alice = sys.add_user("Alice");
+        let bob = sys.add_user("Bob");
+        let carol = sys.add_user("Carol");
+        let dave = sys.add_user("Dave");
+        sys.connect(alice, "friend", bob);
+        sys.connect(bob, "friend", carol);
+        sys.connect(carol, "colleague", dave);
+        let rid = sys.share(alice);
+        sys.allow(rid, "friend+[1,2]").unwrap();
+        (sys, rid)
+    }
+
+    #[test]
+    fn online_and_indexed_agree_end_to_end() {
+        for choice in [
+            EngineChoice::Online,
+            EngineChoice::JoinIndex(JoinEngineConfig::default()),
+        ] {
+            let (mut sys, rid) = populated(choice);
+            let bob = sys.user("Bob").unwrap();
+            let carol = sys.user("Carol").unwrap();
+            let dave = sys.user("Dave").unwrap();
+            assert_eq!(sys.check(rid, bob).unwrap(), Decision::Grant);
+            assert_eq!(sys.check(rid, carol).unwrap(), Decision::Grant);
+            assert_eq!(sys.check(rid, dave).unwrap(), Decision::Deny);
+        }
+    }
+
+    #[test]
+    fn audience_includes_owner_and_matching_members() {
+        let (mut sys, rid) = populated(EngineChoice::Online);
+        let names: Vec<String> = sys
+            .audience(rid)
+            .unwrap()
+            .iter()
+            .map(|&n| sys.graph().node_name(n).to_owned())
+            .collect();
+        assert_eq!(names, vec!["Alice", "Bob", "Carol"]);
+    }
+
+    #[test]
+    fn mutation_invalidates_the_index() {
+        let (mut sys, rid) = populated(EngineChoice::JoinIndex(JoinEngineConfig::default()));
+        let dave = sys.user("Dave").unwrap();
+        assert_eq!(sys.check(rid, dave).unwrap(), Decision::Deny);
+        // Alice befriends Dave directly; the index must be rebuilt.
+        let alice = sys.user("Alice").unwrap();
+        sys.connect(alice, "friend", dave);
+        assert_eq!(sys.check(rid, dave).unwrap(), Decision::Grant);
+    }
+
+    #[test]
+    fn explain_produces_a_readable_walk() {
+        let (mut sys, rid) = populated(EngineChoice::Online);
+        let carol = sys.user("Carol").unwrap();
+        let explanation = sys.explain(rid, carol).unwrap().expect("granted");
+        assert_eq!(explanation.len(), 1);
+        assert!(explanation[0].contains("Alice"));
+        assert!(explanation[0].contains("-friend->"));
+        assert!(explanation[0].ends_with("Carol"));
+        let dave = sys.user("Dave").unwrap();
+        assert!(sys.explain(rid, dave).unwrap().is_none());
+    }
+
+    #[test]
+    fn owner_explanation_is_ownership() {
+        let (mut sys, rid) = populated(EngineChoice::Online);
+        let alice = sys.user("Alice").unwrap();
+        let explanation = sys.explain(rid, alice).unwrap().unwrap();
+        assert!(explanation[0].contains("owns"));
+    }
+
+    #[test]
+    fn mutual_connection_adds_both_directions() {
+        let mut sys = AccessControlSystem::new_online();
+        let a = sys.add_user("A");
+        let b = sys.add_user("B");
+        sys.connect_mutual(a, "friend", b);
+        assert_eq!(sys.graph().num_edges(), 2);
+    }
+
+    #[test]
+    fn cache_stats_track_repeat_checks() {
+        let (mut sys, rid) = populated(EngineChoice::Online);
+        let bob = sys.user("Bob").unwrap();
+        sys.check(rid, bob).unwrap();
+        sys.check(rid, bob).unwrap();
+        let (hits, misses) = sys.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn unknown_user_and_resource_error() {
+        let mut sys = AccessControlSystem::new_online();
+        assert!(sys.user("Nobody").is_err());
+        let alice = sys.add_user("Alice");
+        assert!(matches!(
+            sys.check(ResourceId(99), alice),
+            Err(EvalError::UnknownResource(99))
+        ));
+    }
+}

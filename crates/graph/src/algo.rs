@@ -1,0 +1,329 @@
+//! Graph algorithms over [`DiGraph`]: BFS reachability, iterative Tarjan
+//! strongly-connected components, condensation, and topological order.
+//!
+//! These are the building blocks §3.2 of the paper relies on: Tarjan's
+//! algorithm turns the line graph into a DAG `G1` ("each SCC … is
+//! represented through a randomly selected node"), and the interval
+//! labeling walks `G1` in topological order.
+
+use crate::bitset::BitSet;
+use crate::digraph::DiGraph;
+use std::collections::VecDeque;
+
+/// Nodes reachable from `start` (including `start` itself).
+pub fn bfs_reachable(g: &DiGraph, start: u32) -> BitSet {
+    let mut seen = BitSet::new(g.num_nodes());
+    let mut queue = VecDeque::new();
+    seen.insert(start as usize);
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.successors(u) {
+            if seen.insert(v as usize) {
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// BFS distances from `start`; `None` for unreachable nodes.
+pub fn bfs_distances(g: &DiGraph, start: u32) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[start as usize] = Some(0);
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize].expect("queued node has a distance");
+        for &v in g.successors(u) {
+            if dist[v as usize].is_none() {
+                dist[v as usize] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Result of Tarjan's algorithm: a mapping from vertex to component, with
+/// components numbered in **reverse topological order of discovery**
+/// (Tarjan emits sinks first); [`Scc::condense`] renumbers them
+/// topologically.
+#[derive(Clone, Debug)]
+pub struct Scc {
+    /// `comp[v]` is the component id of vertex `v`.
+    pub comp: Vec<u32>,
+    /// Number of strongly connected components.
+    pub num_comps: usize,
+}
+
+/// Iterative Tarjan SCC (explicit stack, no recursion — safe on the long
+/// path-shaped line graphs social networks produce).
+pub fn tarjan_scc(g: &DiGraph) -> Scc {
+    let n = g.num_nodes();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = BitSet::new(n);
+    let mut stack: Vec<u32> = Vec::new();
+    let mut comp = vec![0u32; n];
+    let mut next_index = 0u32;
+    let mut num_comps = 0u32;
+
+    // Work frames: (vertex, next successor offset to explore).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut succ_i)) = frames.last_mut() {
+            if *succ_i == 0 {
+                index[v as usize] = next_index;
+                lowlink[v as usize] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack.insert(v as usize);
+            }
+            let succs = g.successors(v);
+            let mut advanced = false;
+            while *succ_i < succs.len() {
+                let w = succs[*succ_i];
+                *succ_i += 1;
+                if index[w as usize] == UNVISITED {
+                    frames.push((w, 0));
+                    advanced = true;
+                    break;
+                } else if on_stack.contains(w as usize) {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            }
+            if advanced {
+                continue;
+            }
+            // v finished: pop frame, propagate lowlink, maybe emit SCC.
+            frames.pop();
+            if let Some(&(parent, _)) = frames.last() {
+                lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+            }
+            if lowlink[v as usize] == index[v as usize] {
+                loop {
+                    let w = stack.pop().expect("SCC stack underflow");
+                    on_stack.remove(w as usize);
+                    comp[w as usize] = num_comps;
+                    if w == v {
+                        break;
+                    }
+                }
+                num_comps += 1;
+            }
+        }
+    }
+
+    Scc {
+        comp,
+        num_comps: num_comps as usize,
+    }
+}
+
+/// The condensation of a digraph: one vertex per SCC, edges between
+/// distinct components, **components renumbered in topological order**
+/// (every edge goes from a lower to a higher component id).
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// DAG over components.
+    pub dag: DiGraph,
+    /// `comp_of[v]` is the (topologically numbered) component of `v`.
+    pub comp_of: Vec<u32>,
+    /// Members of each component, in ascending vertex order.
+    pub members: Vec<Vec<u32>>,
+}
+
+impl Scc {
+    /// Builds the condensation DAG with topologically renumbered
+    /// components and deduplicated inter-component edges.
+    pub fn condense(&self, g: &DiGraph) -> Condensation {
+        // Tarjan numbers components so that every edge (u, v) with
+        // comp(u) != comp(v) satisfies comp(u) > comp(v) (sinks first).
+        // Reversing the numbering therefore yields a topological order.
+        let k = self.num_comps;
+        let renumber = |c: u32| (k as u32 - 1) - c;
+        let comp_of: Vec<u32> = self.comp.iter().map(|&c| renumber(c)).collect();
+
+        let mut members = vec![Vec::new(); k];
+        for (v, &c) in comp_of.iter().enumerate() {
+            members[c as usize].push(v as u32);
+        }
+
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (u, v) in g.edges() {
+            let (cu, cv) = (comp_of[u as usize], comp_of[v as usize]);
+            if cu != cv {
+                edges.push((cu, cv));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        Condensation {
+            dag: DiGraph::from_edges(k, &edges),
+            comp_of,
+            members,
+        }
+    }
+}
+
+/// Kahn's algorithm. Returns vertices in topological order, or `None` if
+/// the graph has a cycle.
+pub fn topo_order(g: &DiGraph) -> Option<Vec<u32>> {
+    let n = g.num_nodes();
+    let mut indeg = g.in_degrees();
+    let mut queue: VecDeque<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.successors(u) {
+            indeg[v as usize] -= 1;
+            if indeg[v as usize] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// True when `order` is a valid topological order of `g` (test helper and
+/// debug assertion for index builders).
+pub fn is_topo_order(g: &DiGraph, order: &[u32]) -> bool {
+    if order.len() != g.num_nodes() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.num_nodes()];
+    for (i, &v) in order.iter().enumerate() {
+        if pos[v as usize] != usize::MAX {
+            return false; // duplicate
+        }
+        pos[v as usize] = i;
+    }
+    g.edges().all(|(u, v)| pos[u as usize] < pos[v as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cycles_and_tail() -> DiGraph {
+        // SCCs: {0,1,2} (cycle), {3,4} (cycle), {5} — edges 2->3, 4->5.
+        DiGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)],
+        )
+    }
+
+    #[test]
+    fn bfs_reachable_covers_transitive_targets() {
+        let g = two_cycles_and_tail();
+        let r = bfs_reachable(&g, 0);
+        assert_eq!(r.count(), 6);
+        let r5 = bfs_reachable(&g, 5);
+        assert_eq!(r5.iter().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn bfs_distances_are_shortest() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(1), Some(2)]);
+        let d1 = bfs_distances(&g, 3);
+        assert_eq!(d1, vec![None, None, None, Some(0)]);
+    }
+
+    #[test]
+    fn tarjan_finds_three_components() {
+        let g = two_cycles_and_tail();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_comps, 3);
+        assert_eq!(scc.comp[0], scc.comp[1]);
+        assert_eq!(scc.comp[1], scc.comp[2]);
+        assert_eq!(scc.comp[3], scc.comp[4]);
+        assert_ne!(scc.comp[0], scc.comp[3]);
+        assert_ne!(scc.comp[3], scc.comp[5]);
+    }
+
+    #[test]
+    fn condensation_is_topologically_numbered() {
+        let g = two_cycles_and_tail();
+        let cond = tarjan_scc(&g).condense(&g);
+        assert_eq!(cond.dag.num_nodes(), 3);
+        // every DAG edge goes low -> high
+        assert!(cond.dag.edges().all(|(u, v)| u < v));
+        // members partition the vertex set
+        let total: usize = cond.members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 6);
+        // the {0,1,2} component precedes the {3,4} component
+        assert!(cond.comp_of[0] < cond.comp_of[3]);
+        assert!(cond.comp_of[3] < cond.comp_of[5]);
+    }
+
+    #[test]
+    fn condensation_dedups_parallel_component_edges() {
+        // two edges between the same pair of SCCs
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (0, 2), (1, 3), (2, 3), (3, 2)]);
+        let cond = tarjan_scc(&g).condense(&g);
+        assert_eq!(cond.dag.num_nodes(), 2);
+        assert_eq!(cond.dag.num_edges(), 1);
+    }
+
+    #[test]
+    fn acyclic_graph_has_singleton_components() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_comps, 4);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_scc() {
+        let g = DiGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_comps, 2);
+    }
+
+    #[test]
+    fn topo_order_on_dag() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = topo_order(&g).expect("DAG has a topo order");
+        assert!(is_topo_order(&g, &order));
+    }
+
+    #[test]
+    fn topo_order_rejects_cycles() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (1, 0)]);
+        assert_eq!(topo_order(&g), None);
+    }
+
+    #[test]
+    fn is_topo_order_rejects_duplicates_and_wrong_len() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]);
+        assert!(!is_topo_order(&g, &[0]));
+        assert!(!is_topo_order(&g, &[0, 0]));
+        assert!(!is_topo_order(&g, &[1, 0]));
+        assert!(is_topo_order(&g, &[0, 1]));
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // 200k-node path: a recursive Tarjan would blow the stack here.
+        let n = 200_000u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = DiGraph::from_edges(n as usize, &edges);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_comps, n as usize);
+    }
+
+    #[test]
+    fn condensation_topo_order_exists() {
+        let g = two_cycles_and_tail();
+        let cond = tarjan_scc(&g).condense(&g);
+        assert!(topo_order(&cond.dag).is_some());
+    }
+}

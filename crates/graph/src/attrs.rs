@@ -1,0 +1,261 @@
+//! Node and edge attributes (Definition 1's `δ(v)` tuples).
+//!
+//! The paper models each node as carrying a tuple of attribute/value pairs
+//! (`δ(Alice) = (gender = female, age = 24)`). Attribute values are
+//! dynamically typed; access-rule predicates compare them with numeric
+//! coercion between integers and floats.
+
+use crate::ids::AttrKey;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically typed attribute value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// 64-bit signed integer (ages, counters, years…).
+    Int(i64),
+    /// 64-bit float (trust scores, ratings…).
+    Float(f64),
+    /// UTF-8 text (names, cities, jobs…).
+    Text(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Compares two values, coercing `Int` and `Float` to a common
+    /// numeric domain. Returns `None` for incomparable types (e.g. text
+    /// vs. number) — predicates over incomparable values evaluate to
+    /// *not satisfied*, never to an error, so a malformed policy fails
+    /// closed.
+    pub fn partial_cmp_coerced(&self, other: &AttrValue) -> Option<Ordering> {
+        use AttrValue::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Structural equality with Int/Float coercion.
+    pub fn eq_coerced(&self, other: &AttrValue) -> bool {
+        matches!(self.partial_cmp_coerced(other), Some(Ordering::Equal))
+    }
+
+    /// True when `self` is text containing `needle` as a substring
+    /// (case-sensitive). Used by the `~` predicate operator.
+    pub fn contains_text(&self, needle: &AttrValue) -> bool {
+        match (self, needle) {
+            (AttrValue::Text(h), AttrValue::Text(n)) => h.contains(n.as_str()),
+            _ => false,
+        }
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AttrValue::Int(_) => "int",
+            AttrValue::Float(_) => "float",
+            AttrValue::Text(_) => "text",
+            AttrValue::Bool(_) => "bool",
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Text(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Text(v.to_owned())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Text(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// A small sorted map from [`AttrKey`] to [`AttrValue`].
+///
+/// Most nodes carry a handful of attributes, so a sorted `Vec` beats a
+/// hash map on both memory and lookup cost (see the perf-book guidance on
+/// specially handling small collections).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AttrMap {
+    entries: Vec<(AttrKey, AttrValue)>,
+}
+
+impl AttrMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of attributes stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no attributes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts or replaces the value under `key`, returning the previous
+    /// value if any.
+    pub fn set(&mut self, key: AttrKey, value: AttrValue) -> Option<AttrValue> {
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Looks up the value under `key`.
+    pub fn get(&self, key: AttrKey) -> Option<&AttrValue> {
+        self.entries
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Removes the value under `key`, returning it if it existed.
+    pub fn remove(&mut self, key: AttrKey) -> Option<AttrValue> {
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrKey, &AttrValue)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+impl FromIterator<(AttrKey, AttrValue)> for AttrMap {
+    fn from_iter<T: IntoIterator<Item = (AttrKey, AttrValue)>>(iter: T) -> Self {
+        let mut m = AttrMap::new();
+        for (k, v) in iter {
+            m.set(k, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercion_compares_int_and_float() {
+        assert!(AttrValue::Int(3).eq_coerced(&AttrValue::Float(3.0)));
+        assert_eq!(
+            AttrValue::Int(2).partial_cmp_coerced(&AttrValue::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            AttrValue::Float(4.5).partial_cmp_coerced(&AttrValue::Int(4)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn incomparable_types_yield_none() {
+        assert_eq!(
+            AttrValue::Text("a".into()).partial_cmp_coerced(&AttrValue::Int(1)),
+            None
+        );
+        assert_eq!(
+            AttrValue::Bool(true).partial_cmp_coerced(&AttrValue::Float(1.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn nan_floats_are_incomparable() {
+        assert_eq!(
+            AttrValue::Float(f64::NAN).partial_cmp_coerced(&AttrValue::Float(1.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn text_containment() {
+        let hay = AttrValue::Text("database systems".into());
+        assert!(hay.contains_text(&AttrValue::Text("base".into())));
+        assert!(!hay.contains_text(&AttrValue::Text("Base".into())));
+        assert!(!hay.contains_text(&AttrValue::Int(1)));
+    }
+
+    #[test]
+    fn attr_map_set_get_remove() {
+        let mut m = AttrMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.set(AttrKey(1), AttrValue::Int(24)), None);
+        assert_eq!(
+            m.set(AttrKey(1), AttrValue::Int(25)),
+            Some(AttrValue::Int(24))
+        );
+        m.set(AttrKey(0), "female".into());
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(AttrKey(1)), Some(&AttrValue::Int(25)));
+        assert_eq!(m.get(AttrKey(9)), None);
+        // keys iterate in sorted order regardless of insertion order
+        let keys: Vec<_> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![AttrKey(0), AttrKey(1)]);
+        assert_eq!(m.remove(AttrKey(0)), Some("female".into()));
+        assert_eq!(m.remove(AttrKey(0)), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_deduplicates_by_last_write() {
+        let m: AttrMap = vec![
+            (AttrKey(2), AttrValue::Int(1)),
+            (AttrKey(2), AttrValue::Int(9)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(AttrKey(2)), Some(&AttrValue::Int(9)));
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(AttrValue::Int(-3).to_string(), "-3");
+        assert_eq!(AttrValue::Bool(true).to_string(), "true");
+        assert_eq!(AttrValue::Text("x".into()).to_string(), "x");
+    }
+}

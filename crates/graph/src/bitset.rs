@@ -1,0 +1,186 @@
+//! A dense, fixed-capacity bit set.
+//!
+//! Used as the visited set of graph traversals and as the row type of the
+//! transitive-closure baseline. Implemented here rather than pulled in as
+//! a dependency so the workspace sticks to the sanctioned crate list.
+
+use serde::{Deserialize, Serialize};
+
+const BITS: usize = 64;
+
+/// Dense bit set over the universe `0..len`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates a set with all of `0..len` absent.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(BITS)],
+            len,
+        }
+    }
+
+    /// Universe size the set was created with.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `i`, returning whether it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let (w, b) = (i / BITS, i % BITS);
+        let mask = 1u64 << b;
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        fresh
+    }
+
+    /// Removes `i`, returning whether it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let (w, b) = (i / BITS, i % BITS);
+        let mask = 1u64 << b;
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        let (w, b) = (i / BITS, i % BITS);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Number of elements present.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// True when `self` and `other` share at least one element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over present elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * BITS + b)
+                }
+            })
+        })
+    }
+
+    /// Heap bytes used by the set (for index-size reporting).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "double insert reports not-fresh");
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(10));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn iter_yields_sorted_elements() {
+        let mut s = BitSet::new(200);
+        for &i in &[3, 64, 65, 190, 0] {
+            s.insert(i);
+        }
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![0, 3, 64, 65, 190]);
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(5);
+        b.insert(70);
+        assert!(!a.intersects(&b));
+        a.union_with(&b);
+        assert!(a.contains(70));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let mut s = BitSet::new(65);
+        s.insert(64);
+        s.clear();
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_set_works() {
+        let s = BitSet::new(0);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+}

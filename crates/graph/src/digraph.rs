@@ -1,0 +1,182 @@
+//! Compact CSR digraph.
+//!
+//! Index structures in this workspace (the line graph of §3.1, its SCC
+//! condensation, reachability labelings) only need plain adjacency over
+//! dense `u32` vertices. [`DiGraph`] stores successors in a single
+//! compressed-sparse-row buffer, so `successors(u)` is a slice lookup with
+//! no per-node allocation and good cache behaviour.
+
+use serde::{Deserialize, Serialize};
+
+/// A directed graph over vertices `0..num_nodes` in CSR form.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl DiGraph {
+    /// Builds a digraph from an edge list. Parallel edges are kept;
+    /// self-loops are allowed.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: &[(u32, u32)]) -> Self {
+        let n32 = u32::try_from(num_nodes).expect("DiGraph node count overflow");
+        let mut degree = vec![0u32; num_nodes];
+        for &(s, t) in edges {
+            assert!(s < n32 && t < n32, "edge ({s},{t}) out of range {num_nodes}");
+            degree[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..num_nodes].to_vec();
+        let mut targets = vec![0u32; edges.len()];
+        for &(s, t) in edges {
+            let c = &mut cursor[s as usize];
+            targets[*c as usize] = t;
+            *c += 1;
+        }
+        // Sort each adjacency run so successor slices are deterministic
+        // regardless of input edge order.
+        let mut g = DiGraph { offsets, targets };
+        for u in 0..num_nodes {
+            let (lo, hi) = g.range(u as u32);
+            g.targets[lo..hi].sort_unstable();
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    #[inline]
+    fn range(&self, u: u32) -> (usize, usize) {
+        (
+            self.offsets[u as usize] as usize,
+            self.offsets[u as usize + 1] as usize,
+        )
+    }
+
+    /// Successors of `u` as a sorted slice.
+    #[inline]
+    pub fn successors(&self, u: u32) -> &[u32] {
+        let (lo, hi) = self.range(u);
+        &self.targets[lo..hi]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: u32) -> usize {
+        let (lo, hi) = self.range(u);
+        hi - lo
+    }
+
+    /// Builds the reverse digraph (every edge flipped).
+    pub fn reversed(&self) -> DiGraph {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for u in 0..self.num_nodes() as u32 {
+            for &v in self.successors(u) {
+                edges.push((v, u));
+            }
+        }
+        DiGraph::from_edges(self.num_nodes(), &edges)
+    }
+
+    /// Iterates over all edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_nodes() as u32)
+            .flat_map(move |u| self.successors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// In-degrees of every vertex (one `O(|E|)` pass).
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes()];
+        for &t in &self.targets {
+            deg[t as usize] += 1;
+        }
+        deg
+    }
+
+    /// Heap bytes used (for index-size reporting).
+    pub fn heap_bytes(&self) -> usize {
+        (self.offsets.len() + self.targets.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn csr_layout_round_trips_edges() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.successors(0), &[1, 2]);
+        assert_eq!(g.successors(3), &[] as &[u32]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn successors_are_sorted_regardless_of_input_order() {
+        let g = DiGraph::from_edges(3, &[(0, 2), (0, 1)]);
+        assert_eq!(g.successors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn reversed_flips_every_edge() {
+        let g = diamond().reversed();
+        assert_eq!(g.successors(3), &[1, 2]);
+        assert_eq!(g.successors(1), &[0]);
+        assert_eq!(g.successors(0), &[] as &[u32]);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops_are_kept() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (0, 1), (1, 1)]);
+        assert_eq!(g.successors(0), &[1, 1]);
+        assert_eq!(g.successors(1), &[1]);
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn in_degrees_counts_incoming() {
+        let g = diamond();
+        assert_eq!(g.in_degrees(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, &[]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        DiGraph::from_edges(2, &[(0, 2)]);
+    }
+}

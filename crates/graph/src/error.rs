@@ -1,0 +1,47 @@
+//! Error type for graph construction and lookup.
+
+use crate::ids::{EdgeId, NodeId};
+use std::fmt;
+
+/// Errors raised by [`SocialGraph`](crate::SocialGraph) operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id does not exist in the graph.
+    UnknownNode(NodeId),
+    /// An edge id does not exist in the graph.
+    UnknownEdge(EdgeId),
+    /// A node name was not found.
+    UnknownName(String),
+    /// A node name is already taken (names are unique handles).
+    DuplicateName(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            GraphError::UnknownEdge(e) => write!(f, "unknown edge {e:?}"),
+            GraphError::UnknownName(s) => write!(f, "unknown node name {s:?}"),
+            GraphError::DuplicateName(s) => write!(f, "duplicate node name {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_offender() {
+        assert_eq!(
+            GraphError::UnknownNode(NodeId(3)).to_string(),
+            "unknown node n3"
+        );
+        assert_eq!(
+            GraphError::UnknownName("Zoe".into()).to_string(),
+            "unknown node name \"Zoe\""
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Textual renderings of graphs: Graphviz DOT and a plain edge list.
+//!
+//! `paper-artifacts fig1` uses [`to_dot`] to emit the Figure 1 subgraph;
+//! the edge-list form is the interchange format of the workload crate.
+
+use crate::graph::SocialGraph;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax. Node attributes appear in
+/// tooltips, edge labels carry the relationship type.
+pub fn to_dot(g: &SocialGraph) -> String {
+    let mut out = String::new();
+    out.push_str("digraph social {\n  rankdir=LR;\n");
+    for n in g.nodes() {
+        let attrs: Vec<String> = g
+            .node_attrs(n)
+            .iter()
+            .map(|(k, v)| format!("{}={}", g.vocab().attr_name(k), v))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\" tooltip=\"{}\"];",
+            n.index(),
+            g.node_name(n),
+            attrs.join(", ")
+        );
+    }
+    for (_, rec) in g.edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"];",
+            rec.src.index(),
+            rec.dst.index(),
+            g.vocab().label_name(rec.label)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders one `src<TAB>label<TAB>dst` line per edge, using display names.
+pub fn to_edge_list(g: &SocialGraph) -> String {
+    let mut out = String::new();
+    for (_, rec) in g.edges() {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}",
+            g.node_name(rec.src),
+            g.vocab().label_name(rec.label),
+            g.node_name(rec.dst)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SocialGraph {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("Alice");
+        let b = g.add_node("Bob");
+        g.set_node_attr(a, "age", 24i64);
+        g.connect(a, "friend", b);
+        g
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_labeled_edges() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("digraph social {"));
+        assert!(dot.contains("label=\"Alice\""));
+        assert!(dot.contains("tooltip=\"age=24\""));
+        assert!(dot.contains("n0 -> n1 [label=\"friend\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn edge_list_is_one_line_per_edge() {
+        let txt = to_edge_list(&sample());
+        assert_eq!(txt, "Alice\tfriend\tBob\n");
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let g = SocialGraph::new();
+        assert!(to_dot(&g).contains("digraph"));
+        assert_eq!(to_edge_list(&g), "");
+    }
+}

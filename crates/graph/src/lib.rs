@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! Social-network graph substrate for the `socialreach` workspace.
+//!
+//! This crate implements Definition 1 of Ben Dhia (EDBT 2012): a directed,
+//! edge-labeled multigraph `G = (V, E, δ, β)` where `δ` maps each node to a
+//! set of attributes and `β` maps each edge to a relationship type drawn
+//! from a finite alphabet `Σ`.
+//!
+//! The crate is split into:
+//!
+//! * [`ids`] — copy-cheap typed identifiers ([`NodeId`], [`EdgeId`],
+//!   [`LabelId`], [`AttrKey`]);
+//! * [`attrs`] — dynamically typed attribute values and per-node /
+//!   per-edge attribute maps;
+//! * [`vocab`] — string interning for relationship types and attribute
+//!   keys, so the hot paths work on integers;
+//! * [`graph`] — the mutable [`SocialGraph`] itself;
+//! * [`digraph`] — a compact CSR digraph used by index structures (the
+//!   line graph, condensations, …);
+//! * [`algo`] — BFS, iterative Tarjan SCC, condensation and topological
+//!   order over [`digraph::DiGraph`];
+//! * [`bitset`] — a small dense bit set used by reachability algorithms;
+//! * [`export`] — DOT and edge-list renderings for debugging and the
+//!   paper-figure artifacts.
+//!
+//! # Example
+//!
+//! ```
+//! use socialreach_graph::{SocialGraph, Direction};
+//!
+//! let mut g = SocialGraph::new();
+//! let alice = g.add_node("Alice");
+//! let bob = g.add_node("Bob");
+//! let friend = g.intern_label("friend");
+//! g.add_edge(alice, bob, friend);
+//! assert_eq!(g.out_degree(alice), 1);
+//! assert_eq!(g.neighbors(alice, friend, Direction::Out).count(), 1);
+//! ```
+
+pub mod algo;
+pub mod attrs;
+pub mod bitset;
+pub mod digraph;
+pub mod error;
+pub mod export;
+pub mod graph;
+pub mod ids;
+pub mod vocab;
+
+pub use attrs::{AttrMap, AttrValue};
+pub use bitset::BitSet;
+pub use digraph::DiGraph;
+pub use error::GraphError;
+pub use graph::{Direction, EdgeRecord, SocialGraph};
+pub use ids::{AttrKey, EdgeId, LabelId, NodeId};
+pub use vocab::Vocabulary;

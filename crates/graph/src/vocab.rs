@@ -1,0 +1,161 @@
+//! String interning for relationship types and attribute keys.
+//!
+//! The label alphabet `Σ` of Definition 1 is finite and small (the paper's
+//! example uses `{Colleague, Friend, Parent}`), so labels are interned to
+//! dense `u16` ids once and all query processing works on integers.
+
+use crate::ids::{AttrKey, LabelId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interner mapping label / attribute-key strings to dense ids and back.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    labels: Vec<String>,
+    #[serde(skip)]
+    label_lookup: HashMap<String, LabelId>,
+    attr_keys: Vec<String>,
+    #[serde(skip)]
+    attr_lookup: HashMap<String, AttrKey>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the (non-serialized) lookup maps after deserialization.
+    pub fn rebuild_lookups(&mut self) {
+        self.label_lookup = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), LabelId::from_index(i)))
+            .collect();
+        self.attr_lookup = self
+            .attr_keys
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), AttrKey::from_index(i)))
+            .collect();
+    }
+
+    /// Interns `name` as a relationship type, returning its id. Interning
+    /// the same name twice returns the same id.
+    pub fn intern_label(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.label_lookup.get(name) {
+            return id;
+        }
+        let id = LabelId::from_index(self.labels.len());
+        self.labels.push(name.to_owned());
+        self.label_lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a label id without interning.
+    pub fn label(&self, name: &str) -> Option<LabelId> {
+        self.label_lookup.get(name).copied()
+    }
+
+    /// Returns the label's name.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this vocabulary.
+    pub fn label_name(&self, id: LabelId) -> &str {
+        &self.labels[id.index()]
+    }
+
+    /// Number of distinct labels (`|Σ|`).
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Iterates over all `(id, name)` label pairs.
+    pub fn labels(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (LabelId::from_index(i), s.as_str()))
+    }
+
+    /// Interns `name` as an attribute key.
+    pub fn intern_attr(&mut self, name: &str) -> AttrKey {
+        if let Some(&id) = self.attr_lookup.get(name) {
+            return id;
+        }
+        let id = AttrKey::from_index(self.attr_keys.len());
+        self.attr_keys.push(name.to_owned());
+        self.attr_lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an attribute key without interning.
+    pub fn attr(&self, name: &str) -> Option<AttrKey> {
+        self.attr_lookup.get(name).copied()
+    }
+
+    /// Returns the attribute key's name.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this vocabulary.
+    pub fn attr_name(&self, id: AttrKey) -> &str {
+        &self.attr_keys[id.index()]
+    }
+
+    /// Number of distinct attribute keys.
+    pub fn num_attrs(&self) -> usize {
+        self.attr_keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern_label("friend");
+        let b = v.intern_label("colleague");
+        assert_ne!(a, b);
+        assert_eq!(v.intern_label("friend"), a);
+        assert_eq!(v.num_labels(), 2);
+        assert_eq!(v.label_name(a), "friend");
+        assert_eq!(v.label("colleague"), Some(b));
+        assert_eq!(v.label("parent"), None);
+    }
+
+    #[test]
+    fn attr_keys_are_a_separate_namespace() {
+        let mut v = Vocabulary::new();
+        let l = v.intern_label("age");
+        let k = v.intern_attr("age");
+        assert_eq!(l.index(), 0);
+        assert_eq!(k.index(), 0);
+        assert_eq!(v.attr_name(k), "age");
+        assert_eq!(v.num_attrs(), 1);
+    }
+
+    #[test]
+    fn labels_iterates_in_id_order() {
+        let mut v = Vocabulary::new();
+        v.intern_label("a");
+        v.intern_label("b");
+        let names: Vec<_> = v.labels().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn rebuild_lookups_restores_maps() {
+        let mut v = Vocabulary::new();
+        v.intern_label("friend");
+        v.intern_attr("age");
+        let mut v2 = v.clone();
+        v2.label_lookup.clear();
+        v2.attr_lookup.clear();
+        v2.rebuild_lookups();
+        assert_eq!(v2.label("friend"), v.label("friend"));
+        assert_eq!(v2.attr("age"), v.attr("age"));
+    }
+}

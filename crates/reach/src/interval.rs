@@ -1,0 +1,309 @@
+//! Interval labeling of DAGs — Agrawal, Borgida & Jagadish (SIGMOD 1989),
+//! as used in §3.2 of the paper.
+//!
+//! The construction follows the paper's three steps verbatim:
+//!
+//! 1. **Optimum tree cover.** *"traverse the graph in topological order,
+//!    and, for each node […] keep only the incoming edge that has the
+//!    least number of predecessors"* — we keep the incoming edge whose
+//!    source has the fewest direct predecessors (ties broken toward the
+//!    smallest vertex id so the labeling is deterministic).
+//! 2. **Postorder numbering** of the tree cover (1-based, matching the
+//!    numbers shown in Figure 5).
+//! 3. **Interval assignment**: each node starts with
+//!    `[lowest postorder among tree descendants, own postorder]` and, in
+//!    reverse topological order, inherits the intervals of all its
+//!    (tree and non-tree) successors; interval sets are compacted by
+//!    merging overlapping and adjacent runs.
+//!
+//! `u ⇝ v` then holds iff `po(v)` lies inside one of `u`'s intervals.
+//! Cyclic inputs are handled by SCC condensation, exactly as the paper
+//! prescribes for the line graph.
+
+use crate::oracle::ReachabilityOracle;
+use crate::util::{intervals_contain, merge_intervals};
+use socialreach_graph::algo::{tarjan_scc, Condensation};
+use socialreach_graph::DiGraph;
+
+/// Interval reachability labels over the SCC condensation of a digraph.
+#[derive(Clone, Debug)]
+pub struct IntervalLabeling {
+    comp_of: Vec<u32>,
+    /// 1-based postorder number per component.
+    po: Vec<u32>,
+    /// Sorted disjoint inclusive intervals per component.
+    intervals: Vec<Vec<(u32, u32)>>,
+}
+
+impl IntervalLabeling {
+    /// Builds the labeling for an arbitrary digraph (condensing first).
+    pub fn build(g: &DiGraph) -> Self {
+        let cond = tarjan_scc(g).condense(g);
+        Self::build_on_condensation(&cond)
+    }
+
+    /// Builds the labeling given a precomputed condensation (the join
+    /// index builds the condensation once and shares it).
+    pub fn build_on_condensation(cond: &Condensation) -> Self {
+        let dag = &cond.dag;
+        let k = dag.num_nodes();
+        if k == 0 {
+            return IntervalLabeling {
+                comp_of: cond.comp_of.clone(),
+                po: Vec::new(),
+                intervals: Vec::new(),
+            };
+        }
+
+        // --- Step 1: optimum tree cover -------------------------------
+        // Direct-predecessor lists and counts.
+        let rev = dag.reversed();
+        let mut parent = vec![u32::MAX; k];
+        // Components are topologically numbered, so ascending id order
+        // *is* a topological order.
+        for v in 0..k as u32 {
+            let preds = rev.successors(v);
+            if preds.is_empty() {
+                continue;
+            }
+            let best = preds
+                .iter()
+                .copied()
+                .min_by_key(|&p| (rev.out_degree(p), p))
+                .expect("non-empty predecessor list");
+            parent[v as usize] = best;
+        }
+
+        // Children lists of the tree cover, ascending for determinism.
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for v in 0..k as u32 {
+            let p = parent[v as usize];
+            if p != u32::MAX {
+                children[p as usize].push(v);
+            }
+        }
+        // Successor slices are sorted, and we pushed in ascending v, so
+        // children lists are already ascending.
+
+        // --- Step 2: postorder numbering (iterative DFS) --------------
+        let mut po = vec![0u32; k];
+        let mut low = vec![0u32; k]; // min postorder within the subtree
+        let mut counter = 1u32;
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        for root in 0..k as u32 {
+            if parent[root as usize] != u32::MAX {
+                continue;
+            }
+            stack.push((root, 0));
+            while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+                if *ci < children[v as usize].len() {
+                    let c = children[v as usize][*ci];
+                    *ci += 1;
+                    stack.push((c, 0));
+                } else {
+                    po[v as usize] = counter;
+                    low[v as usize] = children[v as usize]
+                        .iter()
+                        .map(|&c| low[c as usize])
+                        .min()
+                        .unwrap_or(counter);
+                    counter += 1;
+                    stack.pop();
+                }
+            }
+        }
+        debug_assert_eq!(counter as usize, k + 1, "postorder must visit all nodes");
+
+        // --- Step 3: interval propagation in reverse topo order -------
+        let mut intervals: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k];
+        for v in (0..k as u32).rev() {
+            let mut ivs = vec![(low[v as usize], po[v as usize])];
+            for &w in dag.successors(v) {
+                debug_assert!(w > v, "condensation edges must go low -> high");
+                ivs.extend_from_slice(&intervals[w as usize]);
+            }
+            intervals[v as usize] = merge_intervals(ivs);
+        }
+
+        IntervalLabeling {
+            comp_of: cond.comp_of.clone(),
+            po,
+            intervals,
+        }
+    }
+
+    /// Number of condensation components.
+    pub fn num_comps(&self) -> usize {
+        self.po.len()
+    }
+
+    /// Component of an original vertex.
+    pub fn comp_of(&self, v: u32) -> u32 {
+        self.comp_of[v as usize]
+    }
+
+    /// 1-based postorder number of a component.
+    pub fn postorder(&self, comp: u32) -> u32 {
+        self.po[comp as usize]
+    }
+
+    /// Interval set of a component (sorted, disjoint, inclusive).
+    pub fn intervals(&self, comp: u32) -> &[(u32, u32)] {
+        &self.intervals[comp as usize]
+    }
+
+    /// Component-level reachability test.
+    #[inline]
+    pub fn reaches_comp(&self, cu: u32, cv: u32) -> bool {
+        cu == cv || intervals_contain(&self.intervals[cu as usize], self.po[cv as usize])
+    }
+
+    /// Total number of stored intervals (the index-size figure of merit
+    /// the tree-cover heuristic minimizes).
+    pub fn total_intervals(&self) -> usize {
+        self.intervals.iter().map(Vec::len).sum()
+    }
+}
+
+impl ReachabilityOracle for IntervalLabeling {
+    fn num_nodes(&self) -> usize {
+        self.comp_of.len()
+    }
+
+    #[inline]
+    fn reaches(&self, u: u32, v: u32) -> bool {
+        self.reaches_comp(self.comp_of[u as usize], self.comp_of[v as usize])
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.comp_of.len() * 4
+            + self.po.len() * 4
+            + self
+                .intervals
+                .iter()
+                .map(|ivs| ivs.len() * std::mem::size_of::<(u32, u32)>())
+                .sum::<usize>()
+    }
+
+    fn name(&self) -> &'static str {
+        "interval-labeling"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::BfsOracle;
+
+    fn assert_agrees_with_bfs(g: &DiGraph) {
+        let il = IntervalLabeling::build(g);
+        let bfs = BfsOracle::new(g.clone());
+        for u in 0..g.num_nodes() as u32 {
+            for v in 0..g.num_nodes() as u32 {
+                assert_eq!(
+                    il.reaches(u, v),
+                    bfs.reaches(u, v),
+                    "disagreement at ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_needs_single_interval_per_node() {
+        // A binary tree: interval labeling is exact with one interval.
+        let g = DiGraph::from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]);
+        let il = IntervalLabeling::build(&g);
+        assert_eq!(il.total_intervals(), 7);
+        assert_agrees_with_bfs(&g);
+    }
+
+    #[test]
+    fn diamond_dag_matches_bfs() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_agrees_with_bfs(&g);
+    }
+
+    #[test]
+    fn non_tree_edges_propagate_intervals() {
+        // 0 -> 1 -> 3, 0 -> 2, 2 -> 3: node 2 must inherit 3's interval
+        // even though 3's tree parent is 1 (or vice versa).
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let il = IntervalLabeling::build(&g);
+        assert!(il.reaches(2, 3));
+        assert!(il.reaches(0, 3));
+        assert!(!il.reaches(1, 2));
+        assert_agrees_with_bfs(&g);
+    }
+
+    #[test]
+    fn cyclic_graph_condenses_and_matches_bfs() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)]);
+        assert_agrees_with_bfs(&g);
+        let il = IntervalLabeling::build(&g);
+        // All of the 3-cycle share a component and therefore reach
+        // each other.
+        assert!(il.reaches(0, 2) && il.reaches(2, 1) && il.reaches(1, 0));
+    }
+
+    #[test]
+    fn forest_with_multiple_roots() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (2, 3)]);
+        let il = IntervalLabeling::build(&g);
+        assert!(il.reaches(0, 1));
+        assert!(!il.reaches(0, 3));
+        assert!(!il.reaches(2, 1));
+        assert!(il.reaches(4, 4));
+        assert_agrees_with_bfs(&g);
+    }
+
+    #[test]
+    fn postorder_numbers_are_a_permutation() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let il = IntervalLabeling::build(&g);
+        let mut pos: Vec<u32> = (0..il.num_comps() as u32).map(|c| il.postorder(c)).collect();
+        pos.sort_unstable();
+        let expect: Vec<u32> = (1..=il.num_comps() as u32).collect();
+        assert_eq!(pos, expect);
+    }
+
+    #[test]
+    fn intervals_are_sorted_and_disjoint() {
+        let g = DiGraph::from_edges(
+            8,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 5), (5, 6), (2, 7), (7, 6)],
+        );
+        let il = IntervalLabeling::build(&g);
+        for c in 0..il.num_comps() as u32 {
+            let ivs = il.intervals(c);
+            for w in ivs.windows(2) {
+                assert!(w[0].1 + 1 < w[1].0, "intervals must be disjoint, non-adjacent");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let il = IntervalLabeling::build(&DiGraph::from_edges(0, &[]));
+        assert_eq!(il.num_comps(), 0);
+        assert_eq!(il.index_bytes(), 0);
+    }
+
+    #[test]
+    fn dense_random_dag_matches_bfs() {
+        // Deterministic pseudo-random DAG (edges only low -> high).
+        let n = 40u32;
+        let mut edges = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if state >> 61 == 0 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = DiGraph::from_edges(n as usize, &edges);
+        assert_agrees_with_bfs(&g);
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+//! Reachability indexing substrate for the `socialreach` workspace.
+//!
+//! This crate implements §3 of Ben Dhia (EDBT 2012) — everything the
+//! access-control engine precomputes in order to answer ordered
+//! label-constraint reachability queries without traversing the social
+//! graph online:
+//!
+//! * [`mod@line`] — the directed line graph `L(G)` (Definition 4), with
+//!   orientation augmentation and the Figure 5 virtual root;
+//! * [`oracle`] — the [`ReachabilityOracle`] abstraction plus the
+//!   index-free BFS baseline of §1;
+//! * [`tc`] — the transitive-closure baseline of §1 (`O(1)` query,
+//!   quadratic storage);
+//! * [`interval`] — Agrawal–Borgida–Jagadish interval labeling over
+//!   DAG condensations (§3.2, steps 1–3);
+//! * [`twohop`] — 2-hop covers/labelings (Definitions 5–6): the greedy
+//!   maximum-coverage construction and a pruned landmark construction;
+//! * [`joinindex`] — base tables, cluster index and W-table (§3.3),
+//!   bundled into [`JoinIndex`];
+//! * [`table`] — the Figure 5 reachability-table artifact.
+//!
+//! # Example: is one relationship reachable from another?
+//!
+//! ```
+//! use socialreach_graph::SocialGraph;
+//! use socialreach_reach::{JoinIndex, JoinIndexConfig};
+//!
+//! let mut g = SocialGraph::new();
+//! let a = g.add_node("Alice");
+//! let b = g.add_node("Bob");
+//! let c = g.add_node("Carol");
+//! let friend = g.intern_label("friend");
+//! let colleague = g.intern_label("colleague");
+//! g.add_edge(a, b, friend);
+//! g.add_edge(b, c, colleague);
+//!
+//! let idx = JoinIndex::build(&g, &JoinIndexConfig::default());
+//! // T_friend ⋈ T_colleague: friend A->B chains into colleague B->C.
+//! let tuples = idx.join_full((friend, true), (colleague, true));
+//! assert_eq!(tuples.len(), 1);
+//! ```
+
+pub mod interval;
+pub mod joinindex;
+pub mod line;
+pub mod oracle;
+pub mod table;
+pub mod tc;
+pub mod twohop;
+pub mod util;
+
+pub use interval::IntervalLabeling;
+pub use joinindex::{BaseTables, Cluster, ClusterIndex, JoinIndex, JoinIndexConfig, LabelKey, WTable};
+pub use line::{LineGraph, LineGraphConfig, LineNode, LineNodeKind};
+pub use oracle::{BfsOracle, ReachabilityOracle};
+pub use table::{ReachRow, ReachabilityTable};
+pub use tc::TransitiveClosure;
+pub use twohop::{TwoHopConstruction, TwoHopLabeling};

@@ -1,0 +1,421 @@
+//! Directed line graph construction — §3.1, Definition 4 of the paper.
+//!
+//! *"Given a directed graph G, its line graph L(G) is a directed graph
+//! such that each vertex of L(G) represents an edge of G, and two
+//! vertices in L(G) are connected by a directed edge if the target of the
+//! corresponding edge of the first vertex is the same as the source of
+//! the corresponding edge of the second vertex."*
+//!
+//! Two extensions the access-control pipeline needs:
+//!
+//! * **Orientation augmentation.** The model's steps may traverse a
+//!   relationship against its direction (`dir ∈ {−, ∗}`). With
+//!   [`LineGraphConfig::augment_reverse`] each edge of `G` contributes
+//!   *two* line vertices — a forward occurrence `u→v` and a backward
+//!   occurrence `v→u` — so a line-graph walk can realize any mixed-
+//!   direction walk of `G`. The paper's own figures only use forward
+//!   steps; building with `augment_reverse = false` reproduces them
+//!   exactly.
+//! * **Virtual root.** Figure 5 lists a `Null → A` vertex: a fictitious
+//!   incoming edge of the query source so the source participates in the
+//!   reachability table. [`LineGraphConfig::virtual_root`] adds it.
+
+use serde::{Deserialize, Serialize};
+use socialreach_graph::{DiGraph, EdgeId, LabelId, NodeId, SocialGraph};
+use std::collections::HashMap;
+
+/// What a line-graph vertex stands for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LineNodeKind {
+    /// An oriented occurrence of a real edge of `G`.
+    Real {
+        /// The underlying edge.
+        edge: EdgeId,
+        /// `true`: traversed src→dst; `false`: traversed dst→src.
+        forward: bool,
+    },
+    /// The fictitious `Null → root` edge of Figure 5.
+    VirtualRoot {
+        /// The query source the virtual edge points at.
+        node: NodeId,
+    },
+}
+
+/// A vertex of the line graph: an oriented edge occurrence.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineNode {
+    /// Provenance of this vertex.
+    pub kind: LineNodeKind,
+    /// Relationship type (`None` for the virtual root).
+    pub label: Option<LabelId>,
+    /// Oriented source endpoint in `G`.
+    pub from: NodeId,
+    /// Oriented target endpoint in `G`.
+    pub to: NodeId,
+}
+
+/// Construction options for [`LineGraph::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct LineGraphConfig {
+    /// Add a backward occurrence per edge (needed for `−`/`∗` steps).
+    pub augment_reverse: bool,
+    /// Add the `Null → node` vertex of Figure 5.
+    pub virtual_root: Option<NodeId>,
+}
+
+impl Default for LineGraphConfig {
+    fn default() -> Self {
+        LineGraphConfig {
+            augment_reverse: true,
+            virtual_root: None,
+        }
+    }
+}
+
+/// The directed line graph `L(G)` plus the lookup structures the join
+/// pipeline needs (per-(label, orientation) vertex lists, per-`G`-node
+/// leaving/entering lists).
+#[derive(Clone, Debug)]
+pub struct LineGraph {
+    nodes: Vec<LineNode>,
+    graph: DiGraph,
+    virtual_root: Option<u32>,
+    augmented: bool,
+    by_key: HashMap<(LabelId, bool), Vec<u32>>,
+    leaving: Vec<Vec<u32>>,
+    entering: Vec<Vec<u32>>,
+}
+
+impl LineGraph {
+    /// Builds `L(G)` for a social graph.
+    pub fn build(g: &SocialGraph, cfg: &LineGraphConfig) -> Self {
+        let mut nodes: Vec<LineNode> = Vec::with_capacity(
+            g.num_edges() * if cfg.augment_reverse { 2 } else { 1 }
+                + usize::from(cfg.virtual_root.is_some()),
+        );
+        for (eid, rec) in g.edges() {
+            nodes.push(LineNode {
+                kind: LineNodeKind::Real {
+                    edge: eid,
+                    forward: true,
+                },
+                label: Some(rec.label),
+                from: rec.src,
+                to: rec.dst,
+            });
+            if cfg.augment_reverse {
+                nodes.push(LineNode {
+                    kind: LineNodeKind::Real {
+                        edge: eid,
+                        forward: false,
+                    },
+                    label: Some(rec.label),
+                    from: rec.dst,
+                    to: rec.src,
+                });
+            }
+        }
+        let virtual_root = cfg.virtual_root.map(|root| {
+            assert!(g.contains_node(root), "virtual root {root:?} not in graph");
+            let idx = nodes.len() as u32;
+            nodes.push(LineNode {
+                kind: LineNodeKind::VirtualRoot { node: root },
+                label: None,
+                from: root,
+                to: root,
+            });
+            idx
+        });
+
+        // Per-G-node leaving/entering lists over *real* vertices only —
+        // the virtual root must not appear as anyone's successor.
+        let mut leaving: Vec<Vec<u32>> = vec![Vec::new(); g.num_nodes()];
+        let mut entering: Vec<Vec<u32>> = vec![Vec::new(); g.num_nodes()];
+        let mut by_key: HashMap<(LabelId, bool), Vec<u32>> = HashMap::new();
+        for (i, ln) in nodes.iter().enumerate() {
+            let LineNodeKind::Real { forward, .. } = ln.kind else {
+                continue;
+            };
+            leaving[ln.from.index()].push(i as u32);
+            entering[ln.to.index()].push(i as u32);
+            let label = ln.label.expect("real line nodes carry a label");
+            by_key.entry((label, forward)).or_default().push(i as u32);
+        }
+
+        // Adjacency: a → b iff a's oriented head meets b's oriented tail.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (i, ln) in nodes.iter().enumerate() {
+            match ln.kind {
+                LineNodeKind::Real { .. } => {
+                    for &b in &leaving[ln.to.index()] {
+                        edges.push((i as u32, b));
+                    }
+                }
+                LineNodeKind::VirtualRoot { node } => {
+                    for &b in &leaving[node.index()] {
+                        edges.push((i as u32, b));
+                    }
+                }
+            }
+        }
+        let graph = DiGraph::from_edges(nodes.len(), &edges);
+
+        LineGraph {
+            nodes,
+            graph,
+            virtual_root,
+            augmented: cfg.augment_reverse,
+            by_key,
+            leaving,
+            entering,
+        }
+    }
+
+    /// Number of line vertices (including the virtual root, if any).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Vertex metadata.
+    pub fn node(&self, i: u32) -> &LineNode {
+        &self.nodes[i as usize]
+    }
+
+    /// All vertex metadata, indexable by vertex id.
+    pub fn nodes(&self) -> &[LineNode] {
+        &self.nodes
+    }
+
+    /// The adjacency structure of `L(G)`.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Index of the virtual-root vertex, when configured.
+    pub fn virtual_root(&self) -> Option<u32> {
+        self.virtual_root
+    }
+
+    /// Whether backward edge occurrences were materialized.
+    pub fn is_augmented(&self) -> bool {
+        self.augmented
+    }
+
+    /// Line vertices carrying `label` in the given orientation
+    /// (ascending ids). Empty when the pair never occurs.
+    pub fn nodes_with(&self, label: LabelId, forward: bool) -> &[u32] {
+        self.by_key
+            .get(&(label, forward))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Distinct `(label, orientation)` keys present in the graph.
+    pub fn label_keys(&self) -> impl Iterator<Item = (LabelId, bool)> + '_ {
+        self.by_key.keys().copied()
+    }
+
+    /// Real line vertices leaving `n` (oriented tail = `n`).
+    pub fn leaving(&self, n: NodeId) -> &[u32] {
+        &self.leaving[n.index()]
+    }
+
+    /// Real line vertices entering `n` (oriented head = `n`).
+    pub fn entering(&self, n: NodeId) -> &[u32] {
+        &self.entering[n.index()]
+    }
+
+    /// True when `a`'s head meets `b`'s tail — consecutive edges of one
+    /// walk (the §3.4 post-processing adjacency test).
+    #[inline]
+    pub fn adjacent(&self, a: u32, b: u32) -> bool {
+        self.nodes[a as usize].to == self.nodes[b as usize].from
+    }
+
+    /// Human-readable vertex name in the paper's style
+    /// (`friend A-C`, `friend' C-A` for a backward occurrence,
+    /// `Null A` for the virtual root).
+    pub fn display_name(&self, g: &SocialGraph, i: u32) -> String {
+        let ln = &self.nodes[i as usize];
+        match ln.kind {
+            LineNodeKind::Real { forward, .. } => {
+                let label = g.vocab().label_name(ln.label.expect("real node label"));
+                let prime = if forward { "" } else { "'" };
+                format!(
+                    "{label}{prime} {}-{}",
+                    g.node_name(ln.from),
+                    g.node_name(ln.to)
+                )
+            }
+            LineNodeKind::VirtualRoot { node } => format!("Null {}", g.node_name(node)),
+        }
+    }
+
+    /// Heap bytes used (adjacency + lookup lists).
+    pub fn heap_bytes(&self) -> usize {
+        self.graph.heap_bytes()
+            + self.nodes.len() * std::mem::size_of::<LineNode>()
+            + self
+                .by_key
+                .values()
+                .chain(self.leaving.iter())
+                .chain(self.entering.iter())
+                .map(|v| v.len() * 4)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Alice -friend-> Bob -colleague-> Carol, Alice -friend-> Carol.
+    fn sample() -> (SocialGraph, LabelId, LabelId) {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("Alice");
+        let b = g.add_node("Bob");
+        let c = g.add_node("Carol");
+        let friend = g.intern_label("friend");
+        let colleague = g.intern_label("colleague");
+        g.add_edge(a, b, friend);
+        g.add_edge(b, c, colleague);
+        g.add_edge(a, c, friend);
+        (g, friend, colleague)
+    }
+
+    #[test]
+    fn unaugmented_line_graph_has_one_vertex_per_edge() {
+        let (g, ..) = sample();
+        let lg = LineGraph::build(
+            &g,
+            &LineGraphConfig {
+                augment_reverse: false,
+                virtual_root: None,
+            },
+        );
+        assert_eq!(lg.num_nodes(), g.num_edges());
+        // friend A->B is adjacent to colleague B->C; nothing else chains.
+        assert_eq!(lg.graph().num_edges(), 1);
+        assert_eq!(lg.graph().successors(0), &[1]);
+        assert!(lg.adjacent(0, 1));
+        assert!(!lg.adjacent(1, 0));
+    }
+
+    #[test]
+    fn augmented_line_graph_doubles_vertices() {
+        let (g, ..) = sample();
+        let lg = LineGraph::build(&g, &LineGraphConfig::default());
+        assert_eq!(lg.num_nodes(), 2 * g.num_edges());
+        assert!(lg.is_augmented());
+        // forward and backward occurrence of the same edge chain both
+        // ways (u->v then v->u is a legal walk).
+        let fwd0 = 0u32; // friend A->B forward
+        let bwd0 = 1u32; // friend B->A backward
+        assert!(lg.adjacent(fwd0, bwd0));
+        assert!(lg.adjacent(bwd0, fwd0));
+    }
+
+    #[test]
+    fn virtual_root_points_at_leaving_edges_only() {
+        let (g, ..) = sample();
+        let alice = g.node_by_name("Alice").unwrap();
+        let lg = LineGraph::build(
+            &g,
+            &LineGraphConfig {
+                augment_reverse: false,
+                virtual_root: Some(alice),
+            },
+        );
+        let vr = lg.virtual_root().expect("virtual root present");
+        assert_eq!(lg.num_nodes(), g.num_edges() + 1);
+        // successors of the virtual root = edges leaving Alice
+        let succ = lg.graph().successors(vr);
+        assert_eq!(succ.len(), 2);
+        // nothing points at the virtual root
+        let rev = lg.graph().reversed();
+        assert!(rev.successors(vr).is_empty());
+        assert_eq!(lg.node(vr).label, None);
+    }
+
+    #[test]
+    fn label_key_lookup_partitions_real_vertices() {
+        let (g, friend, colleague) = sample();
+        let lg = LineGraph::build(&g, &LineGraphConfig::default());
+        assert_eq!(lg.nodes_with(friend, true).len(), 2);
+        assert_eq!(lg.nodes_with(friend, false).len(), 2);
+        assert_eq!(lg.nodes_with(colleague, true).len(), 1);
+        assert_eq!(lg.nodes_with(LabelId(9), true).len(), 0);
+        let total: usize = lg.label_keys().map(|k| lg.nodes_with(k.0, k.1).len()).sum();
+        assert_eq!(total, lg.num_nodes());
+    }
+
+    #[test]
+    fn leaving_and_entering_track_oriented_endpoints() {
+        let (g, ..) = sample();
+        let alice = g.node_by_name("Alice").unwrap();
+        let carol = g.node_by_name("Carol").unwrap();
+        let lg = LineGraph::build(&g, &LineGraphConfig::default());
+        // Alice: 2 forward out-edges + 0 in-edges, augmented adds the
+        // backward occurrences of her in-edges (none) — but backward
+        // occurrences of her out-edges *enter* her.
+        assert_eq!(lg.leaving(alice).len(), 2);
+        assert_eq!(lg.entering(alice).len(), 2);
+        assert_eq!(lg.leaving(carol).len(), 2); // two backward occurrences
+        assert_eq!(lg.entering(carol).len(), 2);
+    }
+
+    #[test]
+    fn display_names_match_paper_style() {
+        let (g, ..) = sample();
+        let lg = LineGraph::build(
+            &g,
+            &LineGraphConfig {
+                augment_reverse: true,
+                virtual_root: Some(g.node_by_name("Alice").unwrap()),
+            },
+        );
+        assert_eq!(lg.display_name(&g, 0), "friend Alice-Bob");
+        assert_eq!(lg.display_name(&g, 1), "friend' Bob-Alice");
+        let vr = lg.virtual_root().unwrap();
+        assert_eq!(lg.display_name(&g, vr), "Null Alice");
+    }
+
+    #[test]
+    fn line_graph_walks_mirror_graph_walks() {
+        // In the unaugmented line graph, a path of length k corresponds
+        // to a walk of k+1 edges in G.
+        let (g, ..) = sample();
+        let lg = LineGraph::build(
+            &g,
+            &LineGraphConfig {
+                augment_reverse: false,
+                virtual_root: None,
+            },
+        );
+        // friend A->B (0), colleague B->C (1): 0 -> 1 realizes A->B->C.
+        assert!(lg.graph().successors(0).contains(&1));
+        // friend A->C (2) has no continuation (C has no out-edges).
+        assert!(lg.graph().successors(2).is_empty());
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = SocialGraph::new();
+        let lg = LineGraph::build(&g, &LineGraphConfig::default());
+        assert_eq!(lg.num_nodes(), 0);
+        assert_eq!(lg.graph().num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in graph")]
+    fn unknown_virtual_root_panics() {
+        let g = SocialGraph::new();
+        LineGraph::build(
+            &g,
+            &LineGraphConfig {
+                augment_reverse: false,
+                virtual_root: Some(NodeId(3)),
+            },
+        );
+    }
+}

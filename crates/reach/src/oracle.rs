@@ -1,0 +1,94 @@
+//! The reachability-oracle abstraction.
+//!
+//! §3 of the paper evaluates access rules by asking many *plain*
+//! reachability questions over the line graph ("is line node `x`
+//! reachable from line node `y`?"). Every index structure that can answer
+//! such questions — online BFS, transitive closure, interval labeling,
+//! 2-hop labeling — implements [`ReachabilityOracle`], so the join
+//! pipeline and the benchmarks can swap them freely (ablation P5).
+
+use socialreach_graph::algo::bfs_reachable;
+use socialreach_graph::DiGraph;
+
+/// Answers `u ⇝ v` queries over a fixed digraph.
+pub trait ReachabilityOracle {
+    /// Number of vertices of the indexed digraph.
+    fn num_nodes(&self) -> usize;
+
+    /// True iff there is a directed path (possibly empty) from `u` to
+    /// `v`; every vertex reaches itself.
+    fn reaches(&self, u: u32, v: u32) -> bool;
+
+    /// Heap bytes consumed by the index (0 for online search).
+    fn index_bytes(&self) -> usize;
+
+    /// Short name used in benchmark tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Index-free oracle: answers every query with a fresh BFS. This is the
+/// paper's `O(|V| + |E|)`-per-query baseline from §1.
+#[derive(Clone, Debug)]
+pub struct BfsOracle {
+    g: DiGraph,
+}
+
+impl BfsOracle {
+    /// Wraps a digraph; no preprocessing is performed.
+    pub fn new(g: DiGraph) -> Self {
+        BfsOracle { g }
+    }
+
+    /// The underlying digraph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.g
+    }
+}
+
+impl ReachabilityOracle for BfsOracle {
+    fn num_nodes(&self) -> usize {
+        self.g.num_nodes()
+    }
+
+    fn reaches(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return true;
+        }
+        bfs_reachable(&self.g, u).contains(v as usize)
+    }
+
+    fn index_bytes(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "online-bfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_oracle_answers_reachability() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        let o = BfsOracle::new(g);
+        assert!(o.reaches(0, 2));
+        assert!(o.reaches(1, 1), "reflexive");
+        assert!(!o.reaches(2, 0));
+        assert!(!o.reaches(0, 3));
+        assert_eq!(o.index_bytes(), 0);
+        assert_eq!(o.name(), "online-bfs");
+        assert_eq!(o.num_nodes(), 4);
+    }
+
+    #[test]
+    fn bfs_oracle_handles_cycles() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        let o = BfsOracle::new(g);
+        assert!(o.reaches(1, 0));
+        assert!(o.reaches(0, 2));
+        assert!(!o.reaches(2, 1));
+    }
+}

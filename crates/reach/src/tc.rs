@@ -1,0 +1,162 @@
+//! Full transitive closure — the paper's precomputation baseline.
+//!
+//! §1 of the paper: *"Another option is to precompute the transitive
+//! closure of the social graph and record the reachability between any
+//! pair of vertices […] While this approach can answer reachability
+//! queries in O(1) time, the computation of the transitive closure has a
+//! complexity of O(|V| · |E|) and the storage cost is O(|E|²)."*
+//!
+//! We build the closure the sane way (SCC condensation + reverse-topo
+//! bit-set DP), but the quadratic storage blow-up the paper criticizes is
+//! still there, and experiment **P2** measures it.
+
+use crate::oracle::ReachabilityOracle;
+use socialreach_graph::algo::tarjan_scc;
+use socialreach_graph::{BitSet, DiGraph};
+
+/// Bit-matrix transitive closure over the SCC condensation of a digraph.
+#[derive(Clone, Debug)]
+pub struct TransitiveClosure {
+    comp_of: Vec<u32>,
+    /// `rows[c]` = set of components reachable from component `c`
+    /// (including `c` itself).
+    rows: Vec<BitSet>,
+}
+
+impl TransitiveClosure {
+    /// Builds the closure. Cycles are handled by condensing first; the
+    /// DP over the condensation is `O(|V_c| · |E_c| / 64)` word
+    /// operations plus the Tarjan pass.
+    pub fn build(g: &DiGraph) -> Self {
+        let cond = tarjan_scc(g).condense(g);
+        let k = cond.dag.num_nodes();
+        let mut rows: Vec<BitSet> = (0..k).map(|_| BitSet::new(k)).collect();
+        // Components are topologically numbered (edges go low -> high),
+        // so walking from the highest id visits successors first.
+        for c in (0..k as u32).rev() {
+            // Split the borrow: successors all have ids > c.
+            let (head, tail) = rows.split_at_mut(c as usize + 1);
+            let row = &mut head[c as usize];
+            row.insert(c as usize);
+            for &d in cond.dag.successors(c) {
+                debug_assert!(d > c, "condensation must be topologically numbered");
+                row.union_with(&tail[(d - c - 1) as usize]);
+            }
+        }
+        TransitiveClosure {
+            comp_of: cond.comp_of,
+            rows,
+        }
+    }
+
+    /// Number of reachable pairs `(u, v)` with `u != v`, over original
+    /// vertices. Used to validate 2-hop covers against ground truth.
+    pub fn num_reachable_pairs(&self) -> u64 {
+        // |members(c)| per component
+        let mut size = vec![0u64; self.rows.len()];
+        for &c in &self.comp_of {
+            size[c as usize] += 1;
+        }
+        let mut pairs = 0u64;
+        for (c, row) in self.rows.iter().enumerate() {
+            let from = size[c];
+            let mut to = 0u64;
+            for d in row.iter() {
+                to += size[d];
+            }
+            pairs += from * to;
+        }
+        pairs - self.comp_of.len() as u64 // drop the reflexive (u, u) pairs
+    }
+}
+
+impl ReachabilityOracle for TransitiveClosure {
+    fn num_nodes(&self) -> usize {
+        self.comp_of.len()
+    }
+
+    #[inline]
+    fn reaches(&self, u: u32, v: u32) -> bool {
+        let (cu, cv) = (self.comp_of[u as usize], self.comp_of[v as usize]);
+        self.rows[cu as usize].contains(cv as usize)
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.comp_of.len() * std::mem::size_of::<u32>()
+            + self.rows.iter().map(BitSet::heap_bytes).sum::<usize>()
+    }
+
+    fn name(&self) -> &'static str {
+        "transitive-closure"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::BfsOracle;
+
+    fn assert_agrees_with_bfs(g: &DiGraph) {
+        let tc = TransitiveClosure::build(g);
+        let bfs = BfsOracle::new(g.clone());
+        for u in 0..g.num_nodes() as u32 {
+            for v in 0..g.num_nodes() as u32 {
+                assert_eq!(
+                    tc.reaches(u, v),
+                    bfs.reaches(u, v),
+                    "disagreement at ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_closure_matches_bfs() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        assert_agrees_with_bfs(&g);
+    }
+
+    #[test]
+    fn cyclic_closure_matches_bfs() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)]);
+        assert_agrees_with_bfs(&g);
+    }
+
+    #[test]
+    fn disconnected_closure_matches_bfs() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_agrees_with_bfs(&g);
+        let tc = TransitiveClosure::build(&g);
+        assert!(!tc.reaches(1, 2));
+    }
+
+    #[test]
+    fn reachable_pair_count_on_a_path() {
+        // 0 -> 1 -> 2: pairs (0,1), (0,2), (1,2)
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(TransitiveClosure::build(&g).num_reachable_pairs(), 3);
+    }
+
+    #[test]
+    fn reachable_pair_count_in_a_cycle() {
+        // 3-cycle: every ordered pair of distinct vertices is reachable.
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(TransitiveClosure::build(&g).num_reachable_pairs(), 6);
+    }
+
+    #[test]
+    fn index_bytes_is_nonzero_and_grows() {
+        let small = TransitiveClosure::build(&DiGraph::from_edges(4, &[(0, 1)]));
+        let big_edges: Vec<(u32, u32)> = (0..999).map(|i| (i, i + 1)).collect();
+        let big = TransitiveClosure::build(&DiGraph::from_edges(1000, &big_edges));
+        assert!(small.index_bytes() > 0);
+        assert!(big.index_bytes() > small.index_bytes());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let tc = TransitiveClosure::build(&DiGraph::from_edges(0, &[]));
+        assert_eq!(tc.num_nodes(), 0);
+        assert_eq!(tc.num_reachable_pairs(), 0);
+    }
+}

@@ -1,0 +1,517 @@
+//! 2-hop reachability covers and labelings (Definitions 5 and 6 of the
+//! paper, after Cohen et al. and Cheng et al.).
+//!
+//! A 2-hop labeling assigns each vertex `v` the label
+//! `L(v) = (L_in(v), L_out(v))` such that `u ⇝ v  ⇔  L_out(u) ∩ L_in(v) ≠ ∅`.
+//! The elements of the labels are *centers* (hubs); the cluster-based
+//! join index of §3.3 groups, for every center `w`, the cluster
+//! `U_w = {u : w ∈ L_out(u)}` of vertices that reach `w` and the cluster
+//! `V_w = {v : w ∈ L_in(v)}` of vertices reachable from `w`.
+//!
+//! Two constructions are provided:
+//!
+//! * [`TwoHopLabeling::build_greedy`] — the greedy maximum-coverage
+//!   set-cover construction: repeatedly pick the center covering the
+//!   largest number of still-uncovered reachable pairs. This is the idea
+//!   behind Cheng et al.'s `MaxCardinality` algorithm the paper invokes
+//!   (the original's machinery only accelerates the greedy choice). It is
+//!   `O(iterations · |V|² /64 · |V|)` and intended for the paper-scale
+//!   worked examples and for small graphs.
+//! * [`TwoHopLabeling::build_pruned`] — pruned landmark labeling
+//!   (Akiba et al.-style): process vertices from highest to lowest
+//!   degree; for each hub run a pruned forward and backward BFS. Produces
+//!   a valid (usually near-minimal) 2-hop labeling in near-linear time on
+//!   social topologies, making the index practical at the graph sizes the
+//!   benchmarks sweep.
+//!
+//! Both run on the SCC condensation, as §3.2 prescribes, and both yield
+//! the same query interface, so the join index can swap them (experiment
+//! P5 measures the trade-off).
+
+use crate::oracle::ReachabilityOracle;
+use crate::util::{sorted_contains, sorted_intersects};
+use socialreach_graph::algo::{tarjan_scc, Condensation};
+use socialreach_graph::{BitSet, DiGraph};
+use std::collections::VecDeque;
+
+/// Which construction produced a labeling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TwoHopConstruction {
+    /// Greedy maximum-coverage set cover (paper-faithful, small graphs).
+    Greedy,
+    /// Pruned landmark labeling (scalable).
+    Pruned,
+}
+
+/// A 2-hop reachability labeling over the SCC condensation of a digraph.
+#[derive(Clone, Debug)]
+pub struct TwoHopLabeling {
+    comp_of: Vec<u32>,
+    num_comps: usize,
+    /// Per component: sorted center ids `h` with `h ⇝ c`.
+    lin: Vec<Vec<u32>>,
+    /// Per component: sorted center ids `h` with `c ⇝ h`.
+    lout: Vec<Vec<u32>>,
+    /// Distinct centers, in selection order (greedy) or rank order
+    /// (pruned).
+    centers: Vec<u32>,
+    construction: TwoHopConstruction,
+}
+
+impl TwoHopLabeling {
+    // ------------------------------------------------------------------
+    // Greedy maximum-coverage construction
+    // ------------------------------------------------------------------
+
+    /// Greedy 2-hop cover (see module docs). Suitable for graphs whose
+    /// condensation has at most a few thousand components.
+    pub fn build_greedy(g: &DiGraph) -> Self {
+        let cond = tarjan_scc(g).condense(g);
+        Self::build_greedy_on_condensation(g, &cond)
+    }
+
+    /// Greedy construction over a precomputed condensation of `g`.
+    pub fn build_greedy_on_condensation(g: &DiGraph, cond: &Condensation) -> Self {
+        let dag = &cond.dag;
+        let k = dag.num_nodes();
+        let desc = closure_rows(dag, false);
+        let anc = closure_rows(dag, true);
+
+        // Uncovered pairs (cu, cv) with cu ⇝ cv. Distinct pairs always
+        // need covering; a reflexive pair (c, c) needs covering only
+        // when the component is *cyclic* — several members, or a single
+        // member with a self-loop — because only then does a real
+        // (non-trivial) path c ⇝ c exist for the join pipeline to find.
+        let mut multi = vec![false; k];
+        for m in &cond.members {
+            let cyclic = m.len() > 1
+                || m.first()
+                    .is_some_and(|&v| g.successors(v).binary_search(&v).is_ok());
+            if cyclic {
+                if let Some(&v0) = m.first() {
+                    multi[cond.comp_of[v0 as usize] as usize] = true;
+                }
+            }
+        }
+        let mut uncovered: Vec<BitSet> = (0..k).map(|_| BitSet::new(k)).collect();
+        let mut remaining: u64 = 0;
+        for u in 0..k {
+            for v in desc[u].iter() {
+                if v != u || multi[u] {
+                    uncovered[u].insert(v);
+                    remaining += 1;
+                }
+            }
+        }
+
+        let mut lin: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut lout: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut centers = Vec::new();
+
+        while remaining > 0 {
+            // Pick the center covering the most uncovered pairs.
+            let (mut best_w, mut best_gain) = (0u32, 0u64);
+            for w in 0..k as u32 {
+                let mut gain = 0u64;
+                for u in anc[w as usize].iter() {
+                    let row = &uncovered[u];
+                    // |uncovered[u] ∩ desc[w]|
+                    gain += row
+                        .iter()
+                        .filter(|&v| desc[w as usize].contains(v))
+                        .count() as u64;
+                }
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_w = w;
+                }
+            }
+            debug_assert!(best_gain > 0, "no center makes progress");
+            let w = best_w;
+            centers.push(w);
+
+            let mut touched_targets = BitSet::new(k);
+            for u in anc[w as usize].iter() {
+                let newly: Vec<usize> = uncovered[u]
+                    .iter()
+                    .filter(|&v| desc[w as usize].contains(v))
+                    .collect();
+                if newly.is_empty() {
+                    continue;
+                }
+                lout[u].push(w);
+                for v in newly {
+                    uncovered[u].remove(v);
+                    touched_targets.insert(v);
+                    remaining -= 1;
+                }
+            }
+            for v in touched_targets.iter() {
+                lin[v].push(w);
+            }
+        }
+
+        for l in lin.iter_mut().chain(lout.iter_mut()) {
+            l.sort_unstable();
+        }
+        TwoHopLabeling {
+            comp_of: cond.comp_of.clone(),
+            num_comps: k,
+            lin,
+            lout,
+            centers,
+            construction: TwoHopConstruction::Greedy,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pruned landmark construction
+    // ------------------------------------------------------------------
+
+    /// Pruned landmark labeling (see module docs). Scales to the graph
+    /// sizes the benchmark sweeps use.
+    pub fn build_pruned(g: &DiGraph) -> Self {
+        let cond = tarjan_scc(g).condense(g);
+        Self::build_pruned_on_condensation(&cond)
+    }
+
+    /// Pruned construction over a precomputed condensation.
+    pub fn build_pruned_on_condensation(cond: &Condensation) -> Self {
+        let dag = &cond.dag;
+        let rev = dag.reversed();
+        let k = dag.num_nodes();
+
+        // Hub order: total degree descending (heaviest hubs prune most).
+        let indeg = dag.in_degrees();
+        let mut order: Vec<u32> = (0..k as u32).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(indeg[v as usize] as u64 + dag.out_degree(v) as u64));
+
+        // Labels store hub *ranks* during construction (both lists stay
+        // ascending because hubs are processed in rank order), and are
+        // translated to component ids at the end.
+        let mut lin_r: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut lout_r: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut queue = VecDeque::new();
+        let mut visited = BitSet::new(k);
+
+        for (rank, &h) in order.iter().enumerate() {
+            let rank = rank as u32;
+            // Forward pruned BFS: h ⇝ u  ==>  rank(h) joins L_in(u).
+            visited.clear();
+            queue.clear();
+            queue.push_back(h);
+            visited.insert(h as usize);
+            while let Some(u) = queue.pop_front() {
+                if sorted_intersects(&lout_r[h as usize], &lin_r[u as usize]) {
+                    continue; // an earlier hub already explains h ⇝ u
+                }
+                lin_r[u as usize].push(rank);
+                for &w in dag.successors(u) {
+                    if visited.insert(w as usize) {
+                        queue.push_back(w);
+                    }
+                }
+            }
+            // Backward pruned BFS: u ⇝ h  ==>  rank(h) joins L_out(u).
+            visited.clear();
+            queue.clear();
+            queue.push_back(h);
+            visited.insert(h as usize);
+            while let Some(u) = queue.pop_front() {
+                if sorted_intersects(&lout_r[u as usize], &lin_r[h as usize]) {
+                    continue;
+                }
+                lout_r[u as usize].push(rank);
+                for &w in rev.successors(u) {
+                    if visited.insert(w as usize) {
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+
+        // Translate ranks back to component ids and sort.
+        let translate = |lists: Vec<Vec<u32>>| -> Vec<Vec<u32>> {
+            lists
+                .into_iter()
+                .map(|l| {
+                    let mut v: Vec<u32> = l.into_iter().map(|r| order[r as usize]).collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect()
+        };
+        let lin = translate(lin_r);
+        let lout = translate(lout_r);
+
+        let mut used = BitSet::new(k);
+        for l in lin.iter().chain(lout.iter()) {
+            for &h in l {
+                used.insert(h as usize);
+            }
+        }
+        let centers: Vec<u32> = used.iter().map(|c| c as u32).collect();
+
+        TwoHopLabeling {
+            comp_of: cond.comp_of.clone(),
+            num_comps: k,
+            lin,
+            lout,
+            centers,
+            construction: TwoHopConstruction::Pruned,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries and accessors
+    // ------------------------------------------------------------------
+
+    /// Component of an original vertex.
+    #[inline]
+    pub fn comp_of(&self, v: u32) -> u32 {
+        self.comp_of[v as usize]
+    }
+
+    /// Number of condensation components.
+    pub fn num_comps(&self) -> usize {
+        self.num_comps
+    }
+
+    /// Component-level reachability test.
+    #[inline]
+    pub fn reaches_comp(&self, cu: u32, cv: u32) -> bool {
+        cu == cv || sorted_intersects(&self.lout[cu as usize], &self.lin[cv as usize])
+    }
+
+    /// `L_in` of a component (sorted center ids).
+    pub fn lin_comps(&self, c: u32) -> &[u32] {
+        &self.lin[c as usize]
+    }
+
+    /// `L_out` of a component (sorted center ids).
+    pub fn lout_comps(&self, c: u32) -> &[u32] {
+        &self.lout[c as usize]
+    }
+
+    /// True when `w` is in `L_out` of `v`'s component — i.e. `v ∈ U_w`.
+    pub fn in_u_cluster(&self, w: u32, v: u32) -> bool {
+        sorted_contains(&self.lout[self.comp_of(v) as usize], w)
+    }
+
+    /// True when `w` is in `L_in` of `v`'s component — i.e. `v ∈ V_w`.
+    pub fn in_v_cluster(&self, w: u32, v: u32) -> bool {
+        sorted_contains(&self.lin[self.comp_of(v) as usize], w)
+    }
+
+    /// Distinct centers used by the labeling.
+    pub fn centers(&self) -> &[u32] {
+        &self.centers
+    }
+
+    /// How the labeling was built.
+    pub fn construction(&self) -> TwoHopConstruction {
+        self.construction
+    }
+
+    /// `Σ_v |L_in(v)| + |L_out(v)|` — Definition 5's "size of the
+    /// labeling".
+    pub fn label_size(&self) -> usize {
+        self.lin.iter().map(Vec::len).sum::<usize>() + self.lout.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+impl ReachabilityOracle for TwoHopLabeling {
+    fn num_nodes(&self) -> usize {
+        self.comp_of.len()
+    }
+
+    #[inline]
+    fn reaches(&self, u: u32, v: u32) -> bool {
+        self.reaches_comp(self.comp_of[u as usize], self.comp_of[v as usize])
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.comp_of.len() * 4 + (self.label_size() + self.centers.len()) * 4
+    }
+
+    fn name(&self) -> &'static str {
+        match self.construction {
+            TwoHopConstruction::Greedy => "2hop-greedy",
+            TwoHopConstruction::Pruned => "2hop-pruned",
+        }
+    }
+}
+
+/// Closure rows of a topologically numbered DAG: `rows[c]` is the set of
+/// vertices reachable from `c` (`reversed = false`) or reaching `c`
+/// (`reversed = true`), both including `c` itself.
+fn closure_rows(dag: &DiGraph, reversed: bool) -> Vec<BitSet> {
+    let k = dag.num_nodes();
+    let mut rows: Vec<BitSet> = (0..k).map(|_| BitSet::new(k)).collect();
+    if reversed {
+        let rev = dag.reversed();
+        // Predecessor closure: process in topological (ascending) order;
+        // predecessors have lower ids.
+        for c in 0..k as u32 {
+            let (head, tail) = rows.split_at_mut(c as usize);
+            let row = &mut tail[0];
+            row.insert(c as usize);
+            for &p in rev.successors(c) {
+                debug_assert!(p < c);
+                row.union_with(&head[p as usize]);
+            }
+        }
+    } else {
+        for c in (0..k as u32).rev() {
+            let (head, tail) = rows.split_at_mut(c as usize + 1);
+            let row = &mut head[c as usize];
+            row.insert(c as usize);
+            for &d in dag.successors(c) {
+                debug_assert!(d > c);
+                row.union_with(&tail[(d - c - 1) as usize]);
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::BfsOracle;
+
+    fn assert_agrees_with_bfs(g: &DiGraph, labeling: &TwoHopLabeling) {
+        let bfs = BfsOracle::new(g.clone());
+        for u in 0..g.num_nodes() as u32 {
+            for v in 0..g.num_nodes() as u32 {
+                assert_eq!(
+                    labeling.reaches(u, v),
+                    bfs.reaches(u, v),
+                    "{} disagrees at ({u},{v})",
+                    labeling.name()
+                );
+            }
+        }
+    }
+
+    fn sample_graphs() -> Vec<DiGraph> {
+        vec![
+            DiGraph::from_edges(1, &[]),
+            DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]),
+            DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)]),
+            DiGraph::from_edges(5, &[(0, 1), (2, 3)]),
+            DiGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]),
+            DiGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]),
+        ]
+    }
+
+    #[test]
+    fn greedy_labeling_matches_bfs_on_samples() {
+        for g in sample_graphs() {
+            let l = TwoHopLabeling::build_greedy(&g);
+            assert_agrees_with_bfs(&g, &l);
+        }
+    }
+
+    #[test]
+    fn pruned_labeling_matches_bfs_on_samples() {
+        for g in sample_graphs() {
+            let l = TwoHopLabeling::build_pruned(&g);
+            assert_agrees_with_bfs(&g, &l);
+        }
+    }
+
+    #[test]
+    fn greedy_covers_same_scc_pairs() {
+        // 0 <-> 1 in one SCC; the pair must answer true both ways.
+        let g = DiGraph::from_edges(2, &[(0, 1), (1, 0)]);
+        let l = TwoHopLabeling::build_greedy(&g);
+        assert!(l.reaches(0, 1) && l.reaches(1, 0));
+    }
+
+    #[test]
+    fn greedy_covers_self_loop_singletons() {
+        // Vertex 0 carries a self-loop: its singleton component is
+        // cyclic, so the cover must witness 0 ⇝ 0 through the labels
+        // (the W-table emptiness prune relies on this).
+        let g = DiGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        let l = TwoHopLabeling::build_greedy(&g);
+        let c0 = l.comp_of(0);
+        assert!(
+            sorted_intersects(l.lout_comps(c0), l.lin_comps(c0)),
+            "self-loop component must be hub-covered"
+        );
+        // Vertex 1 has no self-loop: no requirement on its labels.
+        assert!(l.reaches(0, 0) && l.reaches(0, 1) && !l.reaches(1, 0));
+    }
+
+    #[test]
+    fn label_size_reported() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let l = TwoHopLabeling::build_pruned(&g);
+        assert!(l.label_size() > 0);
+        assert!(l.index_bytes() >= l.label_size() * 4);
+    }
+
+    #[test]
+    fn greedy_produces_few_centers_on_a_star() {
+        // Star: center vertex covers everything; greedy should pick ~1
+        // center for all cross pairs.
+        let mut edges = Vec::new();
+        for leaf in 1..9u32 {
+            edges.push((leaf, 0)); // leaves -> hub
+            edges.push((0, leaf + 8)); // hub -> other leaves
+        }
+        let g = DiGraph::from_edges(17, &edges);
+        let l = TwoHopLabeling::build_greedy(&g);
+        assert_agrees_with_bfs(&g, &l);
+        assert!(
+            l.centers().len() <= 3,
+            "star cover should be tiny, got {} centers",
+            l.centers().len()
+        );
+    }
+
+    #[test]
+    fn cluster_membership_helpers_are_consistent() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let l = TwoHopLabeling::build_greedy(&g);
+        for &w in l.centers() {
+            for v in 0..4u32 {
+                assert_eq!(
+                    l.in_u_cluster(w, v),
+                    sorted_contains(l.lout_comps(l.comp_of(v)), w)
+                );
+                assert_eq!(
+                    l.in_v_cluster(w, v),
+                    sorted_contains(l.lin_comps(l.comp_of(v)), w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closure_rows_forward_and_reverse_are_transposes() {
+        let dag = DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let desc = closure_rows(&dag, false);
+        let anc = closure_rows(&dag, true);
+        for (u, row) in desc.iter().enumerate() {
+            for (v, anc_row) in anc.iter().enumerate() {
+                assert_eq!(row.contains(v), anc_row.contains(u));
+            }
+        }
+    }
+
+    #[test]
+    fn deep_chain_pruned_labels_stay_small() {
+        // On a path, pruned labeling is O(n log n) total label size —
+        // just check it builds and answers correctly at a distance.
+        let n = 2000u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = DiGraph::from_edges(n as usize, &edges);
+        let l = TwoHopLabeling::build_pruned(&g);
+        assert!(l.reaches(0, n - 1));
+        assert!(!l.reaches(n - 1, 0));
+        assert!(l.reaches(500, 1500));
+    }
+}

@@ -1,0 +1,124 @@
+//! Small shared helpers: sorted-slice set operations and interval-set
+//! normalization. These sit on the hot path of every 2-hop query and
+//! interval-containment test.
+
+/// True when two ascending-sorted slices share an element (linear merge;
+/// label lists are short, so a merge beats hashing).
+#[inline]
+pub fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Intersection of two ascending-sorted slices, as a new sorted vector.
+pub fn sorted_intersection(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Membership test on an ascending-sorted slice.
+#[inline]
+pub fn sorted_contains(a: &[u32], x: u32) -> bool {
+    a.binary_search(&x).is_ok()
+}
+
+/// Normalizes a list of inclusive intervals: sorts by start, merges
+/// overlapping **and adjacent** runs (postorder numbers are dense
+/// integers, so `[2,3]` and `[4,6]` compact to `[2,6]`).
+pub fn merge_intervals(mut ivs: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    debug_assert!(ivs.iter().all(|&(lo, hi)| lo <= hi), "malformed interval");
+    if ivs.len() <= 1 {
+        return ivs;
+    }
+    ivs.sort_unstable();
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(ivs.len());
+    for (lo, hi) in ivs {
+        match out.last_mut() {
+            Some(last) if lo <= last.1.saturating_add(1) => last.1 = last.1.max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+/// True when `x` falls inside one of the (sorted, disjoint) intervals.
+#[inline]
+pub fn intervals_contain(ivs: &[(u32, u32)], x: u32) -> bool {
+    // Find the last interval starting at or before x.
+    match ivs.binary_search_by_key(&x, |&(lo, _)| lo) {
+        Ok(_) => true,
+        Err(0) => false,
+        Err(i) => ivs[i - 1].1 >= x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersects_detects_common_and_absence() {
+        assert!(sorted_intersects(&[1, 3, 5], &[2, 3]));
+        assert!(!sorted_intersects(&[1, 3, 5], &[2, 4, 6]));
+        assert!(!sorted_intersects(&[], &[1]));
+        assert!(!sorted_intersects(&[], &[]));
+    }
+
+    #[test]
+    fn intersection_returns_sorted_common_elements() {
+        assert_eq!(sorted_intersection(&[1, 2, 4, 9], &[2, 3, 9]), vec![2, 9]);
+        assert!(sorted_intersection(&[1], &[2]).is_empty());
+    }
+
+    #[test]
+    fn sorted_contains_uses_binary_search() {
+        assert!(sorted_contains(&[1, 4, 7], 4));
+        assert!(!sorted_contains(&[1, 4, 7], 5));
+        assert!(!sorted_contains(&[], 0));
+    }
+
+    #[test]
+    fn merge_collapses_overlap_and_adjacency() {
+        assert_eq!(
+            merge_intervals(vec![(5, 7), (1, 2), (2, 3), (10, 10)]),
+            vec![(1, 3), (5, 7), (10, 10)]
+        );
+        // adjacent integers merge: [1,2] + [3,4] = [1,4]
+        assert_eq!(merge_intervals(vec![(3, 4), (1, 2)]), vec![(1, 4)]);
+        // containment collapses
+        assert_eq!(merge_intervals(vec![(1, 9), (2, 3)]), vec![(1, 9)]);
+        assert_eq!(merge_intervals(vec![]), vec![]);
+        assert_eq!(merge_intervals(vec![(2, 2)]), vec![(2, 2)]);
+    }
+
+    #[test]
+    fn interval_membership() {
+        let ivs = vec![(1, 3), (6, 6), (8, 12)];
+        for x in [1, 2, 3, 6, 8, 12] {
+            assert!(intervals_contain(&ivs, x), "{x} should be inside");
+        }
+        for x in [0, 4, 5, 7, 13] {
+            assert!(!intervals_contain(&ivs, x), "{x} should be outside");
+        }
+        assert!(!intervals_contain(&[], 1));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests: every reachability index must agree with online BFS
+//! on arbitrary digraphs, and the join strategies must agree with each
+//! other. These are the invariants the paper's §3 pipeline silently
+//! relies on.
+
+use proptest::prelude::*;
+use socialreach_graph::algo::bfs_reachable;
+use socialreach_graph::{DiGraph, SocialGraph};
+use socialreach_reach::{
+    BfsOracle, IntervalLabeling, JoinIndex, JoinIndexConfig, ReachabilityOracle, TransitiveClosure,
+    TwoHopLabeling,
+};
+
+/// Strategy: a digraph with up to `max_n` vertices and a sprinkling of
+/// random edges (duplicates and self-loops included on purpose).
+fn digraph_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = DiGraph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m)
+            .prop_map(move |edges| DiGraph::from_edges(n, &edges))
+    })
+}
+
+/// Strategy: a small labeled social graph (nodes + labeled edges).
+fn social_graph_strategy() -> impl Strategy<Value = SocialGraph> {
+    (2..10usize, 0..3usize).prop_flat_map(|(n, _)| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0..3u16), 0..24).prop_map(
+            move |edges| {
+                let mut g = SocialGraph::new();
+                for i in 0..n {
+                    g.add_node(&format!("u{i}"));
+                }
+                let labels = [
+                    g.intern_label("friend"),
+                    g.intern_label("colleague"),
+                    g.intern_label("parent"),
+                ];
+                for (s, t, l) in edges {
+                    g.add_edge(
+                        socialreach_graph::NodeId(s),
+                        socialreach_graph::NodeId(t),
+                        labels[l as usize % 3],
+                    );
+                }
+                g
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_oracles_agree_with_bfs(g in digraph_strategy(24, 60)) {
+        let bfs = BfsOracle::new(g.clone());
+        let tc = TransitiveClosure::build(&g);
+        let il = IntervalLabeling::build(&g);
+        let greedy = TwoHopLabeling::build_greedy(&g);
+        let pruned = TwoHopLabeling::build_pruned(&g);
+        for u in 0..g.num_nodes() as u32 {
+            let truth = bfs_reachable(&g, u);
+            for v in 0..g.num_nodes() as u32 {
+                let expect = truth.contains(v as usize);
+                prop_assert_eq!(bfs.reaches(u, v), expect);
+                prop_assert_eq!(tc.reaches(u, v), expect, "tc at ({},{})", u, v);
+                prop_assert_eq!(il.reaches(u, v), expect, "interval at ({},{})", u, v);
+                prop_assert_eq!(greedy.reaches(u, v), expect, "greedy at ({},{})", u, v);
+                prop_assert_eq!(pruned.reaches(u, v), expect, "pruned at ({},{})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn tc_pair_count_matches_enumeration(g in digraph_strategy(16, 40)) {
+        let tc = TransitiveClosure::build(&g);
+        let mut count = 0u64;
+        for u in 0..g.num_nodes() as u32 {
+            let truth = bfs_reachable(&g, u);
+            for v in 0..g.num_nodes() as u32 {
+                if u != v && truth.contains(v as usize) {
+                    count += 1;
+                }
+            }
+        }
+        prop_assert_eq!(tc.num_reachable_pairs(), count);
+    }
+
+    #[test]
+    fn join_strategies_agree(g in social_graph_strategy()) {
+        let idx = JoinIndex::build(&g, &JoinIndexConfig::default());
+        let keys: Vec<_> = idx.base_tables().keys().collect();
+        for &xk in &keys {
+            for &yk in &keys {
+                // Full join must equal the brute-force reachability
+                // product over base tables.
+                let got = idx.join_full(xk, yk);
+                let mut expect = Vec::new();
+                for &x in idx.base_tables().table(xk) {
+                    let reach = bfs_reachable(idx.line().graph(), x);
+                    for &y in idx.base_tables().table(yk) {
+                        if reach.contains(y as usize) {
+                            expect.push((x, y));
+                        }
+                    }
+                }
+                expect.sort_unstable();
+                expect.dedup();
+                prop_assert_eq!(got, expect, "join {:?} x {:?}", xk, yk);
+
+                for &end in idx.base_tables().table(xk) {
+                    prop_assert_eq!(
+                        idx.successors_via_wtable(end, xk, yk),
+                        idx.successors_via_scan(end, yk),
+                        "successor strategies at end={}", end
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn line_graph_edge_count_is_sum_of_tail_head_products(g in social_graph_strategy()) {
+        use socialreach_reach::{LineGraph, LineGraphConfig};
+        let line = LineGraph::build(&g, &LineGraphConfig { augment_reverse: false, virtual_root: None });
+        // |E(L(G))| = Σ_v in(v) * out(v) for the unaugmented line graph.
+        let expect: usize = g
+            .nodes()
+            .map(|v| g.in_degree(v) * g.out_degree(v))
+            .sum();
+        prop_assert_eq!(line.graph().num_edges(), expect);
+        prop_assert_eq!(line.num_nodes(), g.num_edges());
+    }
+
+    #[test]
+    fn interval_labeling_total_size_bounded_by_quadratic(g in digraph_strategy(20, 50)) {
+        let il = IntervalLabeling::build(&g);
+        // Worst case one interval per (node, descendant) pair.
+        let k = il.num_comps();
+        prop_assert!(il.total_intervals() <= k * k + k);
+    }
+}

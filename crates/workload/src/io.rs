@@ -1,0 +1,126 @@
+//! Edge-list import/export — the interchange format for running
+//! `socialreach` on external datasets (e.g. SNAP social-network dumps
+//! converted to `src <TAB> label <TAB> dst` lines).
+//!
+//! The reader accepts the exact format
+//! [`socialreach_graph::export::to_edge_list`] writes, plus:
+//!
+//! * `#`-prefixed comment lines and blank lines (SNAP convention);
+//! * two-column lines `src <TAB> dst`, labeled with a default
+//!   relationship type (plain follow graphs);
+//! * any run of tabs/spaces as the separator.
+
+use socialreach_graph::SocialGraph;
+use std::fmt;
+
+/// Errors from the edge-list reader.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeListError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edge list line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+/// Parses an edge list into a fresh [`SocialGraph`]. Node names are
+/// interned in order of first appearance; `default_label` is used for
+/// two-column lines.
+pub fn read_edge_list(text: &str, default_label: &str) -> Result<SocialGraph, EdgeListError> {
+    let mut g = SocialGraph::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let (src, label, dst) = match fields.as_slice() {
+            [src, dst] => (*src, default_label, *dst),
+            [src, label, dst] => (*src, *label, *dst),
+            _ => {
+                return Err(EdgeListError {
+                    line: i + 1,
+                    message: format!("expected 2 or 3 fields, found {}", fields.len()),
+                })
+            }
+        };
+        let s = g
+            .node_by_name(src)
+            .unwrap_or_else(|| g.add_node(src));
+        let d = g
+            .node_by_name(dst)
+            .unwrap_or_else(|| g.add_node(dst));
+        g.connect(s, label, d);
+    }
+    Ok(g)
+}
+
+/// Writes the graph back as `src <TAB> label <TAB> dst` lines (delegates
+/// to the graph crate's exporter, re-exported here so workload users
+/// have both directions in one place).
+pub fn write_edge_list(g: &SocialGraph) -> String {
+    socialreach_graph::export::to_edge_list(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_three_column_lines() {
+        let g = read_edge_list("Alice\tfriend\tBob\nBob\tcolleague\tCarol\n", "follows")
+            .expect("parses");
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.vocab().label("friend").is_some());
+        assert!(g.vocab().label("colleague").is_some());
+        assert!(g.vocab().label("follows").is_none(), "default unused");
+    }
+
+    #[test]
+    fn reads_two_column_lines_with_default_label() {
+        let g = read_edge_list("u1 u2\nu2 u3\n", "follows").expect("parses");
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.vocab().label("follows").is_some());
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# SNAP-style header\n\nu1\tu2\n# trailing comment\n";
+        let g = read_edge_list(text, "follows").expect("parses");
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_position() {
+        let err = read_edge_list("a b\nc\n", "x").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+        let err4 = read_edge_list("a b c d e\n", "x").unwrap_err();
+        assert!(err4.message.contains("found 5"));
+    }
+
+    #[test]
+    fn round_trips_with_the_exporter() {
+        let original = "Alice\tfriend\tBob\nAlice\tcolleague\tCarol\nBob\tfriend\tCarol\n";
+        let g = read_edge_list(original, "follows").expect("parses");
+        assert_eq!(write_edge_list(&g), original);
+    }
+
+    #[test]
+    fn duplicate_node_names_reuse_ids() {
+        let g = read_edge_list("a f b\na f c\nb f a\n", "x").expect("parses");
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        let a = g.node_by_name("a").unwrap();
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(a), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Access-request workloads, with controllable grant rates.
+//!
+//! Experiment P4 needs request mixes with known outcomes (all-grant,
+//! all-deny, 50/50): we compute each resource's ground-truth audience
+//! with the online engine and sample requesters inside or outside it.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use socialreach_core::{resource_audience, OnlineEngine, PolicyStore, ResourceId};
+use socialreach_graph::{NodeId, SocialGraph};
+
+/// A single access request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The requested resource.
+    pub resource: ResourceId,
+    /// Who is asking.
+    pub requester: NodeId,
+    /// Ground-truth outcome (owner requests count as grants).
+    pub expect_grant: bool,
+}
+
+/// Uniformly random requests (grant rate falls where it may).
+pub fn uniform_requests(
+    g: &SocialGraph,
+    store: &PolicyStore,
+    rids: &[ResourceId],
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<Request> {
+    assert!(!rids.is_empty() && g.num_nodes() > 0);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let resource = rids[rng.gen_range(0..rids.len())];
+        let requester = NodeId(rng.gen_range(0..g.num_nodes() as u32));
+        let audience =
+            resource_audience(g, store, resource, &OnlineEngine).expect("online eval succeeds");
+        out.push(Request {
+            resource,
+            requester,
+            expect_grant: audience.binary_search(&requester).is_ok(),
+        });
+    }
+    out
+}
+
+/// Requests with an expected grant rate of exactly
+/// `round(n * grant_rate) / n`, achieved by sampling requesters from the
+/// ground-truth audience (grants) or its complement (denies). Resources
+/// whose audience (or complement) is empty are skipped for that side.
+pub fn requests_with_grant_rate(
+    g: &SocialGraph,
+    store: &PolicyStore,
+    rids: &[ResourceId],
+    n: usize,
+    grant_rate: f64,
+    rng: &mut StdRng,
+) -> Vec<Request> {
+    assert!((0.0..=1.0).contains(&grant_rate));
+    assert!(!rids.is_empty() && g.num_nodes() > 0);
+    let want_grants = (n as f64 * grant_rate).round() as usize;
+
+    // Precompute audiences once per resource.
+    let audiences: Vec<(ResourceId, Vec<NodeId>)> = rids
+        .iter()
+        .map(|&rid| {
+            (
+                rid,
+                resource_audience(g, store, rid, &OnlineEngine).expect("online eval succeeds"),
+            )
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(n);
+    let mut guard = 0usize;
+    while out.len() < n && guard < 1000 * n.max(1) {
+        guard += 1;
+        let want_grant = out.len() < want_grants;
+        let (rid, audience) = &audiences[rng.gen_range(0..audiences.len())];
+        if want_grant {
+            if audience.is_empty() {
+                continue;
+            }
+            let requester = audience[rng.gen_range(0..audience.len())];
+            out.push(Request {
+                resource: *rid,
+                requester,
+                expect_grant: true,
+            });
+        } else {
+            if audience.len() >= g.num_nodes() {
+                continue; // everyone is in the audience
+            }
+            let requester = NodeId(rng.gen_range(0..g.num_nodes() as u32));
+            if audience.binary_search(&requester).is_ok() {
+                continue;
+            }
+            out.push(Request {
+                resource: *rid,
+                requester,
+                expect_grant: false,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{generate_policies, PolicyWorkloadConfig};
+    use crate::spec::GraphSpec;
+    use rand::SeedableRng;
+    use socialreach_core::{Decision, Enforcer, OnlineEngine};
+
+    fn setup() -> (SocialGraph, PolicyStore, Vec<ResourceId>) {
+        let mut g = GraphSpec::ba_osn(80, 21).build();
+        let mut store = PolicyStore::new();
+        let mut rng = StdRng::seed_from_u64(22);
+        let cfg = PolicyWorkloadConfig {
+            num_resources: 15,
+            ..PolicyWorkloadConfig::default()
+        };
+        let rids = generate_policies(&mut g, &mut store, &cfg, &mut rng);
+        (g, store, rids)
+    }
+
+    #[test]
+    fn uniform_requests_have_correct_ground_truth() {
+        let (g, store, rids) = setup();
+        let mut rng = StdRng::seed_from_u64(23);
+        let requests = uniform_requests(&g, &store, &rids, 50, &mut rng);
+        assert_eq!(requests.len(), 50);
+        let enforcer = Enforcer::new(OnlineEngine);
+        for r in &requests {
+            let decision = enforcer
+                .check_access(&g, &store, r.resource, r.requester)
+                .unwrap();
+            assert_eq!(
+                decision == Decision::Grant,
+                r.expect_grant,
+                "ground truth mismatch for {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn grant_rate_is_hit_exactly_when_feasible() {
+        let (g, store, rids) = setup();
+        let mut rng = StdRng::seed_from_u64(24);
+        for rate in [0.0, 0.5, 1.0] {
+            let requests = requests_with_grant_rate(&g, &store, &rids, 40, rate, &mut rng);
+            assert_eq!(requests.len(), 40, "rate {rate}");
+            let grants = requests.iter().filter(|r| r.expect_grant).count();
+            assert_eq!(grants, (40.0 * rate) as usize, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn grant_requests_really_grant() {
+        let (g, store, rids) = setup();
+        let mut rng = StdRng::seed_from_u64(25);
+        let requests = requests_with_grant_rate(&g, &store, &rids, 30, 1.0, &mut rng);
+        let enforcer = Enforcer::new(OnlineEngine);
+        for r in &requests {
+            assert_eq!(
+                enforcer
+                    .check_access(&g, &store, r.resource, r.requester)
+                    .unwrap(),
+                Decision::Grant
+            );
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Dataset specifications: topology + labeling + attributes + seed,
+//! deterministic end to end.
+
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socialreach_graph::SocialGraph;
+
+/// How relationship types are assigned to ties.
+#[derive(Clone, Debug)]
+pub enum LabelModel {
+    /// Independently sample a label per directed edge from a weighted
+    /// distribution.
+    Weighted(Vec<(String, f64)>),
+    /// Community-aware (for [`Topology::Community`]): intra-community
+    /// ties get `intra`, inter-community ties get `inter`, plus a
+    /// sprinkle of `extra` labels at the given rate (e.g. sparse
+    /// `parent` edges).
+    CommunityAware {
+        /// Label of ties inside a community.
+        intra: String,
+        /// Label of bridge ties.
+        inter: String,
+        /// Additional label sampled over random ordered pairs.
+        extra: String,
+        /// Number of `extra` edges per 100 members.
+        extra_per_100: usize,
+    },
+}
+
+impl LabelModel {
+    /// The default three-label OSN mix (friend-heavy, as in the paper's
+    /// Figure 1 census: 8 friend, 2 colleague, 2 parent).
+    pub fn osn_default() -> Self {
+        LabelModel::Weighted(vec![
+            ("friend".into(), 0.70),
+            ("colleague".into(), 0.20),
+            ("parent".into(), 0.10),
+        ])
+    }
+}
+
+/// How member attributes are assigned.
+#[derive(Clone, Debug)]
+pub struct AttributeModel {
+    /// Uniform integer attributes: `(key, lo, hi)` inclusive.
+    pub int_uniform: Vec<(String, i64, i64)>,
+    /// Categorical attributes: `(key, options)`.
+    pub choices: Vec<(String, Vec<String>)>,
+}
+
+impl AttributeModel {
+    /// No attributes.
+    pub fn none() -> Self {
+        AttributeModel {
+            int_uniform: vec![],
+            choices: vec![],
+        }
+    }
+
+    /// The default OSN profile: age 13..=80, gender, one of 8 cities.
+    pub fn osn_default() -> Self {
+        AttributeModel {
+            int_uniform: vec![("age".into(), 13, 80)],
+            choices: vec![
+                (
+                    "gender".into(),
+                    vec!["female".into(), "male".into(), "other".into()],
+                ),
+                (
+                    "city".into(),
+                    vec![
+                        "paris".into(),
+                        "berlin".into(),
+                        "tunis".into(),
+                        "london".into(),
+                        "madrid".into(),
+                        "rome".into(),
+                        "vienna".into(),
+                        "oslo".into(),
+                    ],
+                ),
+            ],
+        }
+    }
+}
+
+/// A complete, seeded dataset description.
+#[derive(Clone, Debug)]
+pub struct GraphSpec {
+    /// The tie generator.
+    pub topology: Topology,
+    /// Relationship-type assignment.
+    pub labels: LabelModel,
+    /// Member-attribute assignment.
+    pub attributes: AttributeModel,
+    /// Probability that a tie is reciprocated (both directed edges).
+    /// OSN friendships are typically mutual; authority edges (parent)
+    /// are not — reciprocity applies uniformly for simplicity.
+    pub reciprocity: f64,
+    /// RNG seed (everything downstream is deterministic in it).
+    pub seed: u64,
+}
+
+impl GraphSpec {
+    /// A ready-made Barabási–Albert OSN of `nodes` members
+    /// (friendship-style: half the ties are mutual).
+    pub fn ba_osn(nodes: usize, seed: u64) -> Self {
+        GraphSpec {
+            topology: Topology::BarabasiAlbert {
+                nodes,
+                edges_per_node: 3,
+            },
+            labels: LabelModel::osn_default(),
+            attributes: AttributeModel::osn_default(),
+            reciprocity: 0.5,
+            seed,
+        }
+    }
+
+    /// A follow-style directed network (Twitter-like): almost no
+    /// reciprocation, so the SCC condensation stays close to the raw
+    /// graph. This is the adversarial case for the transitive-closure
+    /// baseline (its rows grow with the number of components — the
+    /// `O(|E|²)` storage the paper's §1 warns about).
+    pub fn ba_follow(nodes: usize, seed: u64) -> Self {
+        GraphSpec {
+            topology: Topology::BarabasiAlbert {
+                nodes,
+                edges_per_node: 3,
+            },
+            labels: LabelModel::osn_default(),
+            attributes: AttributeModel::osn_default(),
+            reciprocity: 0.02,
+            seed,
+        }
+    }
+
+    /// Materializes the social graph.
+    pub fn build(&self) -> SocialGraph {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.topology.nodes();
+        let ties = self.topology.generate(&mut rng);
+
+        let mut g = SocialGraph::new();
+        for i in 0..n {
+            g.add_node(&format!("u{i}"));
+        }
+
+        // Labels first, so the vocabulary is stable across specs with
+        // the same model.
+        match &self.labels {
+            LabelModel::Weighted(weights) => {
+                let labels: Vec<_> = weights
+                    .iter()
+                    .map(|(name, w)| (g.intern_label(name), *w))
+                    .collect();
+                let total: f64 = labels.iter().map(|(_, w)| w).sum();
+                for (a, b) in ties {
+                    let (src, dst) = if rng.gen_bool(0.5) { (a, b) } else { (b, a) };
+                    let mut pick = rng.gen_range(0.0..total);
+                    let mut chosen = labels[0].0;
+                    for &(l, w) in &labels {
+                        if pick < w {
+                            chosen = l;
+                            break;
+                        }
+                        pick -= w;
+                    }
+                    g.add_edge(
+                        socialreach_graph::NodeId(src),
+                        socialreach_graph::NodeId(dst),
+                        chosen,
+                    );
+                    if rng.gen_bool(self.reciprocity) {
+                        g.add_edge(
+                            socialreach_graph::NodeId(dst),
+                            socialreach_graph::NodeId(src),
+                            chosen,
+                        );
+                    }
+                }
+            }
+            LabelModel::CommunityAware {
+                intra,
+                inter,
+                extra,
+                extra_per_100,
+            } => {
+                let l_intra = g.intern_label(intra);
+                let l_inter = g.intern_label(inter);
+                let l_extra = g.intern_label(extra);
+                for (a, b) in ties {
+                    let label = if self.topology.community_of(a) == self.topology.community_of(b)
+                    {
+                        l_intra
+                    } else {
+                        l_inter
+                    };
+                    let (src, dst) = if rng.gen_bool(0.5) { (a, b) } else { (b, a) };
+                    g.add_edge(
+                        socialreach_graph::NodeId(src),
+                        socialreach_graph::NodeId(dst),
+                        label,
+                    );
+                    if rng.gen_bool(self.reciprocity) {
+                        g.add_edge(
+                            socialreach_graph::NodeId(dst),
+                            socialreach_graph::NodeId(src),
+                            label,
+                        );
+                    }
+                }
+                let extras = n * extra_per_100 / 100;
+                for _ in 0..extras {
+                    let a = rng.gen_range(0..n as u32);
+                    let b = rng.gen_range(0..n as u32);
+                    if a != b {
+                        g.add_edge(
+                            socialreach_graph::NodeId(a),
+                            socialreach_graph::NodeId(b),
+                            l_extra,
+                        );
+                    }
+                }
+            }
+        }
+
+        for (key, lo, hi) in &self.attributes.int_uniform {
+            for v in 0..n {
+                let value = rng.gen_range(*lo..=*hi);
+                g.set_node_attr(socialreach_graph::NodeId(v as u32), key, value);
+            }
+        }
+        for (key, options) in &self.attributes.choices {
+            for v in 0..n {
+                let value = options[rng.gen_range(0..options.len())].clone();
+                g.set_node_attr(socialreach_graph::NodeId(v as u32), key, value);
+            }
+        }
+
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ba_osn_builds_a_labeled_attributed_graph() {
+        let g = GraphSpec::ba_osn(200, 42).build();
+        assert_eq!(g.num_nodes(), 200);
+        assert!(g.num_edges() >= 200 * 3, "ties + reciprocation");
+        assert_eq!(g.vocab().num_labels(), 3);
+        let alice = socialreach_graph::NodeId(0);
+        assert!(g.node_attr_by_name(alice, "age").is_some());
+        assert!(g.node_attr_by_name(alice, "gender").is_some());
+        assert!(g.node_attr_by_name(alice, "city").is_some());
+    }
+
+    #[test]
+    fn builds_are_deterministic_per_seed() {
+        let a = GraphSpec::ba_osn(100, 7).build();
+        let b = GraphSpec::ba_osn(100, 7).build();
+        assert_eq!(a.num_edges(), b.num_edges());
+        let ea: Vec<_> = a.edges().map(|(_, r)| (r.src, r.dst, r.label)).collect();
+        let eb: Vec<_> = b.edges().map(|(_, r)| (r.src, r.dst, r.label)).collect();
+        assert_eq!(ea, eb);
+        let c = GraphSpec::ba_osn(100, 8).build();
+        let ec: Vec<_> = c.edges().map(|(_, r)| (r.src, r.dst, r.label)).collect();
+        assert_ne!(ea, ec);
+    }
+
+    #[test]
+    fn community_aware_labels_follow_structure() {
+        let spec = GraphSpec {
+            topology: Topology::Community {
+                nodes: 60,
+                communities: 3,
+                p_in: 0.4,
+                bridges: 12,
+            },
+            labels: LabelModel::CommunityAware {
+                intra: "friend".into(),
+                inter: "colleague".into(),
+                extra: "parent".into(),
+                extra_per_100: 10,
+            },
+            attributes: AttributeModel::none(),
+            reciprocity: 1.0,
+            seed: 3,
+        };
+        let g = spec.build();
+        let friend = g.vocab().label("friend").unwrap();
+        let colleague = g.vocab().label("colleague").unwrap();
+        let parent = g.vocab().label("parent").unwrap();
+        let census = |l| g.edges().filter(|(_, r)| r.label == l).count();
+        assert!(census(friend) > 0);
+        assert_eq!(census(colleague), 24, "12 bridges, fully reciprocated");
+        assert_eq!(census(parent), 6, "10 per 100 members, 60 members");
+        // colleague edges must cross communities
+        for (_, r) in g.edges() {
+            if r.label == colleague {
+                assert_ne!(
+                    spec.topology.community_of(r.src.0),
+                    spec.topology.community_of(r.dst.0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_reciprocity_means_one_edge_per_tie() {
+        let spec = GraphSpec {
+            topology: Topology::ErdosRenyi {
+                nodes: 50,
+                edges: 80,
+            },
+            labels: LabelModel::osn_default(),
+            attributes: AttributeModel::none(),
+            reciprocity: 0.0,
+            seed: 11,
+        };
+        assert_eq!(spec.build().num_edges(), 80);
+    }
+
+    #[test]
+    fn attribute_ranges_are_respected() {
+        let g = GraphSpec::ba_osn(100, 5).build();
+        for v in g.nodes() {
+            match g.node_attr_by_name(v, "age") {
+                Some(socialreach_graph::AttrValue::Int(a)) => {
+                    assert!((13..=80).contains(a));
+                }
+                other => panic!("age missing or mistyped: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Dataset descriptive statistics — the "Table 1" every evaluation
+//! section opens with: size, degree distribution, SCC structure and
+//! label census of a social graph.
+
+use socialreach_graph::algo::tarjan_scc;
+use socialreach_graph::SocialGraph;
+
+/// Summary statistics of a social graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Members.
+    pub nodes: usize,
+    /// Directed relationship instances.
+    pub edges: usize,
+    /// Mean total degree (in + out).
+    pub mean_degree: f64,
+    /// Maximum total degree.
+    pub max_degree: usize,
+    /// Median total degree.
+    pub median_degree: usize,
+    /// 99th-percentile total degree (hub mass — the line-graph cost
+    /// driver: hubs contribute `deg²` line arcs).
+    pub p99_degree: usize,
+    /// Number of strongly connected components.
+    pub scc_count: usize,
+    /// Size of the largest SCC.
+    pub largest_scc: usize,
+    /// `(label name, count)` census in descending count order.
+    pub label_census: Vec<(String, usize)>,
+}
+
+impl GraphStats {
+    /// Computes all statistics in two passes (`O(|V| + |E|)` plus one
+    /// Tarjan run).
+    pub fn compute(g: &SocialGraph) -> Self {
+        let n = g.num_nodes();
+        let mut degrees: Vec<usize> = g
+            .nodes()
+            .map(|v| g.out_degree(v) + g.in_degree(v))
+            .collect();
+        degrees.sort_unstable();
+        let pick = |q: f64| -> usize {
+            if degrees.is_empty() {
+                0
+            } else {
+                degrees[((degrees.len() - 1) as f64 * q) as usize]
+            }
+        };
+
+        let d = g.to_digraph();
+        let scc = tarjan_scc(&d);
+        let mut comp_sizes = vec![0usize; scc.num_comps];
+        for &c in &scc.comp {
+            comp_sizes[c as usize] += 1;
+        }
+
+        let mut census: Vec<(String, usize)> = g
+            .vocab()
+            .labels()
+            .map(|(id, name)| {
+                (
+                    name.to_owned(),
+                    g.edges().filter(|(_, r)| r.label == id).count(),
+                )
+            })
+            .collect();
+        census.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        GraphStats {
+            nodes: n,
+            edges: g.num_edges(),
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * g.num_edges() as f64 / n as f64
+            },
+            max_degree: degrees.last().copied().unwrap_or(0),
+            median_degree: pick(0.5),
+            p99_degree: pick(0.99),
+            scc_count: scc.num_comps,
+            largest_scc: comp_sizes.into_iter().max().unwrap_or(0),
+            label_census: census,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "|V| = {}, |E| = {}, degree mean {:.1} / median {} / p99 {} / max {}",
+            self.nodes,
+            self.edges,
+            self.mean_degree,
+            self.median_degree,
+            self.p99_degree,
+            self.max_degree
+        )?;
+        writeln!(
+            f,
+            "SCCs: {} (largest {})",
+            self.scc_count, self.largest_scc
+        )?;
+        let census: Vec<String> = self
+            .label_census
+            .iter()
+            .map(|(name, count)| format!("{name}: {count}"))
+            .collect();
+        write!(f, "labels: {}", census.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GraphSpec;
+
+    #[test]
+    fn stats_on_a_tiny_graph_are_exact() {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.connect(a, "friend", b);
+        g.connect(b, "friend", a);
+        g.connect(b, "colleague", c);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_degree, 3); // b: 2 out + 1 in
+        assert_eq!(s.scc_count, 2); // {a,b}, {c}
+        assert_eq!(s.largest_scc, 2);
+        assert_eq!(
+            s.label_census,
+            vec![("friend".into(), 2), ("colleague".into(), 1)]
+        );
+        assert!((s.mean_degree - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ba_graph_shows_a_hub_tail() {
+        let g = GraphSpec::ba_osn(500, 9).build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 500);
+        assert!(s.max_degree > 3 * s.median_degree, "{s:?}");
+        assert!(s.p99_degree >= s.median_degree);
+        assert_eq!(
+            s.label_census.iter().map(|(_, c)| c).sum::<usize>(),
+            s.edges
+        );
+    }
+
+    #[test]
+    fn empty_graph_stats_do_not_panic() {
+        let s = GraphStats::compute(&SocialGraph::new());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.max_degree, 0);
+    }
+
+    #[test]
+    fn display_is_one_paragraph() {
+        let g = GraphSpec::ba_osn(50, 10).build();
+        let text = GraphStats::compute(&g).to_string();
+        assert!(text.contains("|V| = 50"));
+        assert!(text.contains("labels:"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: share a resource under a reachability policy and check a
+//! few requests.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use socialreach::{AccessControlSystem, Decision};
+
+fn main() {
+    // 1. Build a small social graph through the facade.
+    let mut sys = AccessControlSystem::new_indexed();
+    let alice = sys.add_user("Alice");
+    let bob = sys.add_user("Bob");
+    let carol = sys.add_user("Carol");
+    let dan = sys.add_user("Dan");
+    let eve = sys.add_user("Eve");
+
+    sys.connect_mutual(alice, "friend", bob);
+    sys.connect_mutual(bob, "friend", carol);
+    sys.connect(carol, "colleague", dan);
+    sys.connect(eve, "follows", alice);
+
+    sys.set_user_attr(carol, "age", 26i64);
+    sys.set_user_attr(dan, "age", 34i64);
+
+    // 2. Alice shares her holiday album with friends up to two hops
+    //    away, adults only.
+    let album = sys.share(alice);
+    sys.allow(album, "friend+[1,2]{age>=18}")
+        .expect("valid policy");
+
+    // 3. Enforce access requests.
+    for name in ["Bob", "Carol", "Dan", "Eve"] {
+        let user = sys.user(name).expect("user exists");
+        let decision = sys.check(album, user).expect("evaluates");
+        println!("{name:>5} -> {decision:?}");
+        match name {
+            "Carol" => assert_eq!(decision, Decision::Grant),
+            _ => assert_eq!(decision, Decision::Deny),
+        }
+    }
+    // Bob is a direct friend but has no age attribute: predicates fail
+    // closed, so he is denied until his profile says he is an adult.
+    sys.set_user_attr(sys.user("Bob").unwrap(), "age", 30i64);
+    let bob_now = sys.check(album, bob).expect("evaluates");
+    println!("  Bob -> {bob_now:?} (after setting age)");
+    assert_eq!(bob_now, Decision::Grant);
+
+    // 4. Explain a grant as a concrete walk.
+    let explanation = sys
+        .explain(album, carol)
+        .expect("evaluates")
+        .expect("granted");
+    println!("why Carol: {}", explanation.join("; "));
+
+    // 5. Materialize the audience.
+    let audience = sys.audience(album).expect("evaluates");
+    let names: Vec<&str> = audience
+        .iter()
+        .map(|&n| sys.graph().node_name(n))
+        .collect();
+    println!("audience: {names:?}");
+}

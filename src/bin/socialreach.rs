@@ -1,0 +1,160 @@
+//! `socialreach` — command-line front end for reachability-based access
+//! control.
+//!
+//! ```text
+//! socialreach check <edges.tsv> <owner> <path-expr> <requester>
+//! socialreach audience <edges.tsv> <owner> <path-expr>
+//! socialreach explain <edges.tsv> <owner> <path-expr> <requester>
+//! socialreach stats <edges.tsv>
+//! ```
+//!
+//! `<edges.tsv>` is an edge list (`src <TAB> label <TAB> dst`, `#`
+//! comments allowed; two-column lines default to the label `follows`),
+//! or `-` for stdin. `<path-expr>` uses the policy grammar, e.g.
+//! `'friend+[1,2]/colleague+[1]'`.
+//!
+//! Exit codes: 0 = granted / success, 1 = denied, 2 = usage or input
+//! error.
+
+use socialreach::workload::read_edge_list;
+use socialreach::{online, SocialGraph};
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(granted) => {
+            if granted {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  socialreach check    <edges.tsv> <owner> <path-expr> <requester>
+  socialreach audience <edges.tsv> <owner> <path-expr>
+  socialreach explain  <edges.tsv> <owner> <path-expr> <requester>
+  socialreach stats    <edges.tsv>
+
+<edges.tsv>: 'src<TAB>label<TAB>dst' lines ('-' reads stdin);
+<path-expr>: e.g. 'friend+[1,2]/colleague+[1]{age>=18}'";
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "check" => {
+            let [file, owner, path, requester] = take::<4>(&args[1..])?;
+            let mut g = load(file)?;
+            let (o, p, r) = resolve(&mut g, owner, path, Some(requester))?;
+            let out = online::evaluate(&g, o, &p, r);
+            println!("{}", if out.granted { "GRANT" } else { "DENY" });
+            Ok(out.granted)
+        }
+        "audience" => {
+            let [file, owner, path] = take::<3>(&args[1..])?;
+            let mut g = load(file)?;
+            let (o, p, _) = resolve(&mut g, owner, path, None)?;
+            let out = online::evaluate(&g, o, &p, None);
+            for n in &out.matched {
+                println!("{}", g.node_name(*n));
+            }
+            Ok(true)
+        }
+        "explain" => {
+            let [file, owner, path, requester] = take::<4>(&args[1..])?;
+            let mut g = load(file)?;
+            let (o, p, r) = resolve(&mut g, owner, path, Some(requester))?;
+            let out = online::evaluate(&g, o, &p, r);
+            match out.witness {
+                Some(witness) => {
+                    let mut walk = vec![g.node_name(o).to_owned()];
+                    let mut at = o;
+                    for (eid, fwd) in witness {
+                        let rec = g.edge(eid);
+                        let label = g.vocab().label_name(rec.label);
+                        let (next, arrow) = if fwd {
+                            (rec.dst, format!("-{label}->"))
+                        } else {
+                            (rec.src, format!("<-{label}-"))
+                        };
+                        walk.push(arrow);
+                        walk.push(g.node_name(next).to_owned());
+                        at = next;
+                    }
+                    debug_assert_eq!(Some(at), r);
+                    println!("GRANT via {}", walk.join(" "));
+                    Ok(true)
+                }
+                None => {
+                    println!("DENY (no walk matches the policy)");
+                    Ok(false)
+                }
+            }
+        }
+        "stats" => {
+            let [file] = take::<1>(&args[1..])?;
+            let g = load(file)?;
+            println!("{}", socialreach::workload::GraphStats::compute(&g));
+            Ok(true)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn take<const N: usize>(args: &[String]) -> Result<[&String; N], String> {
+    if args.len() != N {
+        return Err(format!("expected {N} arguments, found {}", args.len()));
+    }
+    let mut it = args.iter();
+    Ok(std::array::from_fn(|_| it.next().expect("length checked")))
+}
+
+fn load(path: &str) -> Result<SocialGraph, String> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    read_edge_list(&text, "follows").map_err(|e| e.to_string())
+}
+
+fn resolve(
+    g: &mut SocialGraph,
+    owner: &str,
+    path: &str,
+    requester: Option<&String>,
+) -> Result<
+    (
+        socialreach::NodeId,
+        socialreach::PathExpr,
+        Option<socialreach::NodeId>,
+    ),
+    String,
+> {
+    let o = g
+        .node_by_name(owner)
+        .ok_or_else(|| format!("unknown member {owner:?}"))?;
+    let r = match requester {
+        Some(name) => Some(
+            g.node_by_name(name)
+                .ok_or_else(|| format!("unknown member {name:?}"))?,
+        ),
+        None => None,
+    };
+    let p = socialreach::parse_path(path, g.vocab_mut()).map_err(|e| e.to_string())?;
+    Ok((o, p, r))
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+//! # socialreach
+//!
+//! Reachability-based access control for social networks — a
+//! production-quality Rust reproduction of:
+//!
+//! > Imen Ben Dhia. *Access Control in Social Networks: A
+//! > reachability-Based Approach.* EDBT/ICDT Workshops (PhD Symposium),
+//! > 2012.
+//!
+//! A resource owner describes the audience of each shared resource as a
+//! **path expression** over the social graph — *"only the colleagues of
+//! my friends (or of my friends' friends)"* is `friend+[1,2]/colleague+[1]`
+//! — and every access request becomes an *ordered label-constraint
+//! reachability query*, answered online (constrained BFS) or through the
+//! paper's precomputed line-graph + 2-hop cluster join index.
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! * [`graph`] — the directed, edge-labeled, node-attributed social
+//!   graph substrate (`socialreach-graph`);
+//! * [`reach`] — reachability indexes: line graphs, transitive closure,
+//!   interval labeling, 2-hop covers, the cluster join index
+//!   (`socialreach-reach`);
+//! * [`core`] — the access-control model and engines
+//!   (`socialreach-core`);
+//! * [`workload`] — seeded synthetic graphs, policies and request
+//!   streams (`socialreach-workload`).
+//!
+//! The most common entry points are re-exported at the crate root.
+//!
+//! ## Example
+//!
+//! ```
+//! use socialreach::{AccessControlSystem, Decision};
+//!
+//! let mut sys = AccessControlSystem::new_indexed();
+//! let alice = sys.add_user("Alice");
+//! let bob = sys.add_user("Bob");
+//! let carol = sys.add_user("Carol");
+//! sys.connect(alice, "friend", bob);
+//! sys.connect(bob, "friend", carol);
+//! sys.set_user_attr(carol, "age", 26i64);
+//!
+//! let album = sys.share(alice);
+//! sys.allow(album, "friend+[1,2]{age>=18}").unwrap();
+//!
+//! assert_eq!(sys.check(album, carol).unwrap(), Decision::Grant);
+//! assert_eq!(sys.check(album, bob).unwrap(), Decision::Deny); // no age
+//! ```
+
+pub use socialreach_core as core;
+pub use socialreach_graph as graph;
+pub use socialreach_reach as reach;
+pub use socialreach_workload as workload;
+
+pub use socialreach_core::{
+    examples, online, parse_path, AccessCondition, AccessControlSystem, AccessEngine, AccessRule,
+    Decision, Enforcer, EngineChoice, EvalError, JoinEngineConfig, JoinIndexEngine, JoinStrategy,
+    OnlineEngine, ParseError, PathExpr, PolicyStore, ResourceId,
+};
+pub use socialreach_graph::{AttrValue, Direction, EdgeId, LabelId, NodeId, SocialGraph};

@@ -1,0 +1,133 @@
+//! Smoke tests for the `socialreach` CLI binary: every subcommand, the
+//! documented exit codes, and error handling.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const EDGES: &str = "Alice\tfriend\tBob\nBob\tfriend\tCarol\nCarol\tcolleague\tDave\n";
+
+fn edges_file() -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "socialreach-cli-test-{}.tsv",
+        std::process::id()
+    ));
+    std::fs::write(&path, EDGES).expect("write temp edge list");
+    path
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_socialreach"))
+}
+
+#[test]
+fn check_grants_with_exit_code_zero() {
+    let file = edges_file();
+    let out = cli()
+        .args(["check", file.to_str().unwrap(), "Alice", "friend+[1,2]", "Carol"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "GRANT");
+}
+
+#[test]
+fn check_denies_with_exit_code_one() {
+    let file = edges_file();
+    let out = cli()
+        .args(["check", file.to_str().unwrap(), "Alice", "colleague+[1]", "Dave"])
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "DENY");
+}
+
+#[test]
+fn audience_lists_matching_members() {
+    let file = edges_file();
+    let out = cli()
+        .args(["audience", file.to_str().unwrap(), "Alice", "friend+[1,2]/colleague+[1]"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "Dave");
+}
+
+#[test]
+fn explain_prints_the_witness_walk() {
+    let file = edges_file();
+    let out = cli()
+        .args(["explain", file.to_str().unwrap(), "Alice", "friend+[2]", "Carol"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("GRANT via Alice -friend-> Bob -friend-> Carol"), "{text}");
+}
+
+#[test]
+fn stats_summarizes_the_graph() {
+    let file = edges_file();
+    let out = cli()
+        .args(["stats", file.to_str().unwrap()])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("|V| = 4"), "{text}");
+    assert!(text.contains("friend: 2"), "{text}");
+}
+
+#[test]
+fn stdin_input_via_dash() {
+    let mut child = cli()
+        .args(["check", "-", "Alice", "friend+[1]", "Bob"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(EDGES.as_bytes())
+        .expect("writes");
+    let out = child.wait_with_output().expect("finishes");
+    assert!(out.status.success());
+}
+
+#[test]
+fn usage_errors_exit_with_two() {
+    for args in [
+        vec![],
+        vec!["frobnicate"],
+        vec!["check", "nope.tsv"],
+        vec!["check", "/nonexistent/file.tsv", "A", "friend", "B"],
+    ] {
+        let out = cli().args(&args).output().expect("spawns");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage:"), "args {args:?}: {err}");
+    }
+}
+
+#[test]
+fn bad_path_expression_reports_position() {
+    let file = edges_file();
+    let out = cli()
+        .args(["check", file.to_str().unwrap(), "Alice", "friend+[0]", "Bob"])
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("depth levels start at 1"));
+}
+
+#[test]
+fn unknown_member_is_a_usage_error() {
+    let file = edges_file();
+    let out = cli()
+        .args(["check", file.to_str().unwrap(), "Zelda", "friend+[1]", "Bob"])
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown member"));
+}

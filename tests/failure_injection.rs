@@ -1,0 +1,209 @@
+//! Failure injection: malformed inputs, degenerate graphs, and limit
+//! boundaries. The policy layer must fail *closed* and fail *loudly*
+//! (typed errors), never panic or silently grant.
+
+use socialreach::core::{plan, PlanConfig};
+use socialreach::{
+    parse_path, AccessControlSystem, Decision, EvalError, JoinEngineConfig, JoinIndexEngine,
+    JoinStrategy, SocialGraph,
+};
+
+// ---------------------------------------------------------------------
+// Parser abuse
+// ---------------------------------------------------------------------
+
+#[test]
+fn parser_rejects_garbage_without_panicking() {
+    let garbage = [
+        "", " ", "/", "//", "[1]", "{x=1}", "friend+[", "friend+[]", "friend+[,]",
+        "friend+[1,]", "friend+[..]", "friend+[..3]", "friend{", "friend{}", "friend{=}",
+        "friend{a==}", "friend{a=\"", "friend++", "friend+-", "friend/",
+        "friend+[999999999999999999]", "friend+[0..0]", "friend*{a~}", "🦀+[1]",
+    ];
+    for text in garbage {
+        let mut vocab = socialreach::graph::Vocabulary::new();
+        let result = parse_path(text, &mut vocab);
+        assert!(result.is_err(), "{text:?} should be rejected, got {result:?}");
+    }
+}
+
+#[test]
+fn parse_error_positions_are_in_bounds() {
+    for text in ["friend+[", "friend korea", "friend{age>}"] {
+        let mut vocab = socialreach::graph::Vocabulary::new();
+        let err = parse_path(text, &mut vocab).unwrap_err();
+        assert!(err.pos <= text.len(), "position {} beyond {text:?}", err.pos);
+        // Display must not panic on any position.
+        let _ = err.to_string();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Degenerate graphs
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_graph_everything_denies_cleanly() {
+    let mut sys = AccessControlSystem::new_indexed();
+    let ghost = sys.add_user("OnlyUser");
+    let rid = sys.share(ghost);
+    sys.allow(rid, "friend+[1..]").unwrap();
+    // No edges at all: nobody but the owner.
+    assert_eq!(sys.check(rid, ghost).unwrap(), Decision::Grant);
+    assert_eq!(sys.audience(rid).unwrap(), vec![ghost]);
+}
+
+#[test]
+fn self_loops_are_handled_by_every_engine() {
+    // A member who "friends" themselves: walks may traverse the loop
+    // repeatedly; engines must agree and terminate.
+    let mut g = SocialGraph::new();
+    let a = g.add_node("Narcissus");
+    let b = g.add_node("Echo");
+    let friend = g.intern_label("friend");
+    g.add_edge(a, a, friend);
+    g.add_edge(a, b, friend);
+    let path = parse_path("friend+[3]", g.vocab_mut()).unwrap();
+
+    let truth = socialreach::online::evaluate(&g, a, &path, None);
+    for strategy in [
+        JoinStrategy::PaperFaithful,
+        JoinStrategy::OwnerSeeded,
+        JoinStrategy::AdjacencyOnly,
+    ] {
+        let engine = JoinIndexEngine::build(
+            &g,
+            JoinEngineConfig {
+                strategy,
+                ..JoinEngineConfig::default()
+            },
+        );
+        let got = socialreach::AccessEngine::audience(&engine, &g, a, &path).unwrap();
+        assert_eq!(got.members, truth.matched, "strategy {strategy:?}");
+    }
+    // loop³ ends on Narcissus, loop²·out ends on Echo: both match.
+    assert_eq!(truth.matched, vec![a, b]);
+}
+
+#[test]
+fn parallel_edges_count_as_distinct_relationships() {
+    let mut g = SocialGraph::new();
+    let a = g.add_node("A");
+    let b = g.add_node("B");
+    let friend = g.intern_label("friend");
+    g.add_edge(a, b, friend);
+    g.add_edge(a, b, friend); // duplicate tie
+    let path = parse_path("friend+[1]", g.vocab_mut()).unwrap();
+    let out = socialreach::online::evaluate(&g, a, &path, None);
+    assert_eq!(out.matched, vec![b], "audience is a set, not a bag");
+}
+
+#[test]
+fn isolated_owner_with_reverse_policy() {
+    let mut g = SocialGraph::new();
+    let a = g.add_node("A");
+    let b = g.add_node("B");
+    g.intern_label("friend");
+    let path = parse_path("friend-[1,2]", g.vocab_mut()).unwrap();
+    let out = socialreach::online::evaluate(&g, a, &path, Some(b));
+    assert!(!out.granted);
+}
+
+// ---------------------------------------------------------------------
+// Limits
+// ---------------------------------------------------------------------
+
+#[test]
+fn plan_overflow_is_a_typed_error_not_a_hang() {
+    let mut vocab = socialreach::graph::Vocabulary::new();
+    // 4 both-direction steps of depth 4 = 2^16 orientation vectors.
+    let path = parse_path(
+        "friend*[4]/friend*[4]/friend*[4]/friend*[4]",
+        &mut vocab,
+    )
+    .unwrap();
+    let err = plan(
+        &path,
+        &PlanConfig {
+            max_depth: 8,
+            max_line_queries: 1000,
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, EvalError::PlanOverflow { .. }));
+}
+
+#[test]
+fn tuple_overflow_denies_nothing_silently() {
+    // A dense bidirectional clique with a tiny budget: the engine must
+    // surface TupleOverflow, not return a partial (wrong) decision.
+    let mut g = SocialGraph::new();
+    let nodes: Vec<_> = (0..8).map(|i| g.add_node(&format!("u{i}"))).collect();
+    let f = g.intern_label("friend");
+    for &x in &nodes {
+        for &y in &nodes {
+            if x != y {
+                g.add_edge(x, y, f);
+            }
+        }
+    }
+    let path = parse_path("friend+[4]", g.vocab_mut()).unwrap();
+    let engine = JoinIndexEngine::build(
+        &g,
+        JoinEngineConfig {
+            strategy: JoinStrategy::PaperFaithful,
+            max_tuples: 100,
+            ..JoinEngineConfig::default()
+        },
+    );
+    let err = engine.evaluate(&g, nodes[0], &path, None).unwrap_err();
+    assert!(matches!(err, EvalError::TupleOverflow { limit: 100 }));
+}
+
+#[test]
+fn unknown_labels_in_policies_deny_but_do_not_error() {
+    // A policy can reference a relationship type no edge carries yet:
+    // it simply matches nobody (fail closed) — and starts matching once
+    // such edges appear.
+    let mut sys = AccessControlSystem::new_online();
+    let a = sys.add_user("A");
+    let b = sys.add_user("B");
+    sys.connect(a, "friend", b);
+    let rid = sys.share(a);
+    sys.allow(rid, "mentor+[1]").unwrap();
+    assert_eq!(sys.check(rid, b).unwrap(), Decision::Deny);
+    sys.connect(a, "mentor", b);
+    assert_eq!(sys.check(rid, b).unwrap(), Decision::Grant);
+}
+
+#[test]
+fn deep_unbounded_policy_terminates_on_cyclic_graphs() {
+    // friend+[1..] over a cycle: the online engine's saturation must
+    // terminate; the join planner truncates at max_depth.
+    let mut sys = AccessControlSystem::new_online();
+    let users: Vec<_> = (0..10).map(|i| sys.add_user(&format!("u{i}"))).collect();
+    for i in 0..10 {
+        sys.connect(users[i], "friend", users[(i + 1) % 10]);
+    }
+    let rid = sys.share(users[0]);
+    sys.allow(rid, "friend+[1..]").unwrap();
+    for &u in &users {
+        assert_eq!(sys.check(rid, u).unwrap(), Decision::Grant);
+    }
+}
+
+#[test]
+fn attribute_type_confusion_fails_closed() {
+    let mut sys = AccessControlSystem::new_online();
+    let a = sys.add_user("A");
+    let b = sys.add_user("B");
+    sys.connect(a, "friend", b);
+    sys.set_user_attr(b, "age", "twenty-six"); // text, not a number
+    let rid = sys.share(a);
+    sys.allow(rid, "friend+[1]{age>=18}").unwrap();
+    assert_eq!(
+        sys.check(rid, b).unwrap(),
+        Decision::Deny,
+        "text 'age' must not satisfy a numeric predicate"
+    );
+}

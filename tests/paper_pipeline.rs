@@ -1,0 +1,344 @@
+//! Integration tests that replay the paper end to end: every figure's
+//! artifact is rebuilt through the public API and checked against the
+//! properties the paper states (see EXPERIMENTS.md for the artifact
+//! index and the recorded discrepancies).
+
+use socialreach::core::examples::{paper_graph, q1, worked_query, MEMBERS};
+use socialreach::core::{plan, PlanConfig};
+use socialreach::reach::{
+    JoinIndex, JoinIndexConfig, LineGraph, LineGraphConfig, ReachabilityTable,
+    TwoHopConstruction,
+};
+use socialreach::{
+    online, AccessEngine, JoinEngineConfig, JoinIndexEngine, JoinStrategy,
+};
+use socialreach_graph::algo::bfs_reachable;
+
+fn forward_line(g: &socialreach::SocialGraph) -> LineGraph {
+    let alice = g.node_by_name("Alice").expect("Alice");
+    LineGraph::build(
+        g,
+        &LineGraphConfig {
+            augment_reverse: false,
+            virtual_root: Some(alice),
+        },
+    )
+}
+
+fn forward_index(g: &socialreach::SocialGraph) -> JoinIndex {
+    JoinIndex::build(
+        g,
+        &JoinIndexConfig {
+            augment_reverse: false,
+            greedy_cover_max_comps: 256,
+            virtual_root: None,
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// F1 — Figure 1
+// ---------------------------------------------------------------------
+
+#[test]
+fn f1_figure_1_graph_matches_the_paper() {
+    let g = paper_graph();
+    assert_eq!(g.num_nodes(), 7);
+    assert_eq!(g.num_edges(), 12);
+    for name in MEMBERS {
+        assert!(g.node_by_name(name).is_some(), "{name} present");
+    }
+    // Exact edge set, reconstructed from the Figure 5 node listing.
+    let expect = [
+        ("Alice", "friend", "Colin"),
+        ("Alice", "colleague", "David"),
+        ("Alice", "friend", "Bill"),
+        ("Colin", "friend", "David"),
+        ("Elena", "friend", "Bill"),
+        ("Bill", "friend", "Elena"),
+        ("Colin", "parent", "Fred"),
+        ("David", "colleague", "Fred"),
+        ("David", "parent", "George"),
+        ("Elena", "friend", "David"),
+        ("Elena", "friend", "George"),
+        ("Fred", "friend", "George"),
+    ];
+    let mut actual: Vec<(String, String, String)> = g
+        .edges()
+        .map(|(_, r)| {
+            (
+                g.node_name(r.src).to_owned(),
+                g.vocab().label_name(r.label).to_owned(),
+                g.node_name(r.dst).to_owned(),
+            )
+        })
+        .collect();
+    let mut expect: Vec<(String, String, String)> = expect
+        .iter()
+        .map(|&(s, l, d)| (s.to_owned(), l.to_owned(), d.to_owned()))
+        .collect();
+    actual.sort();
+    expect.sort();
+    assert_eq!(actual, expect);
+}
+
+// ---------------------------------------------------------------------
+// F2 — Figure 2 (Q1)
+// ---------------------------------------------------------------------
+
+#[test]
+fn f2_q1_audience_is_fred_on_every_engine() {
+    let mut g = paper_graph();
+    let (alice, path) = q1(&mut g);
+    assert_eq!(path.to_text(g.vocab()), "friend+[1..2]/colleague+[1]");
+
+    let fred = g.node_by_name("Fred").expect("Fred");
+    let truth = online::evaluate(&g, alice, &path, None);
+    assert_eq!(truth.matched, vec![fred]);
+
+    for strategy in [
+        JoinStrategy::PaperFaithful,
+        JoinStrategy::OwnerSeeded,
+        JoinStrategy::AdjacencyOnly,
+    ] {
+        let engine = JoinIndexEngine::build(
+            &g,
+            JoinEngineConfig {
+                strategy,
+                ..JoinEngineConfig::default()
+            },
+        );
+        let out = engine.audience(&g, alice, &path).expect("evaluates");
+        assert_eq!(out.members, vec![fred], "strategy {strategy:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// F3 — Figure 3 (line graph)
+// ---------------------------------------------------------------------
+
+#[test]
+fn f3_line_graph_has_13_vertices_like_figure_5() {
+    let g = paper_graph();
+    let line = forward_line(&g);
+    // 12 edges + the Null->Alice virtual vertex.
+    assert_eq!(line.num_nodes(), 13);
+    // Definition 4: arcs connect consecutive edges.
+    for (a, b) in line.graph().edges() {
+        assert_eq!(
+            line.node(a).to,
+            line.node(b).from,
+            "line arc must join consecutive edges"
+        );
+    }
+    // Walks in G of length 2 == arcs between real line vertices.
+    let real_arcs = line
+        .graph()
+        .edges()
+        .filter(|&(a, _)| Some(a) != line.virtual_root())
+        .count();
+    let mut two_walks = 0;
+    for (_, e1) in g.edges() {
+        for (_, e2) in g.edges() {
+            if e1.dst == e2.src {
+                two_walks += 1;
+            }
+        }
+    }
+    assert_eq!(real_arcs, two_walks);
+}
+
+// ---------------------------------------------------------------------
+// F4 — Figure 4 (line-query transformation)
+// ---------------------------------------------------------------------
+
+#[test]
+fn f4_q1_expands_into_the_two_line_queries_of_figure_4() {
+    let mut g = paper_graph();
+    let (_, path) = q1(&mut g);
+    let plan = plan(&path, &PlanConfig::default()).expect("plans");
+    assert!(!plan.truncated);
+    let friend = g.vocab().label("friend").expect("friend");
+    let colleague = g.vocab().label("colleague").expect("colleague");
+    let shapes: Vec<Vec<(socialreach::LabelId, bool)>> =
+        plan.queries.iter().map(|q| q.hops.clone()).collect();
+    assert_eq!(
+        shapes,
+        vec![
+            vec![(friend, true), (colleague, true)],
+            vec![(friend, true), (friend, true), (colleague, true)],
+        ]
+    );
+}
+
+// ---------------------------------------------------------------------
+// F5 — Figure 5 (reachability table)
+// ---------------------------------------------------------------------
+
+#[test]
+fn f5_reachability_table_is_sound_and_complete() {
+    let g = paper_graph();
+    let line = forward_line(&g);
+    let table = ReachabilityTable::build(&g, &line);
+    assert_eq!(table.rows().len(), 13);
+
+    // Postorder numbers are a permutation (per direction, over comps):
+    // checked indirectly via the containment property against BFS in
+    // both directions.
+    let lg = line.graph();
+    for a in 0..13u32 {
+        let fwd = bfs_reachable(lg, a);
+        for b in 0..13u32 {
+            assert_eq!(table.reaches_down(a, b), fwd.contains(b as usize));
+        }
+    }
+    let rev = lg.reversed();
+    for a in 0..13u32 {
+        let bwd = bfs_reachable(&rev, a);
+        for b in 0..13u32 {
+            assert_eq!(table.reaches_up(a, b), bwd.contains(b as usize));
+        }
+    }
+
+    // The textual artifact contains the paper's column layout.
+    let rendered = table.to_string();
+    assert!(rendered.contains("Null Alice"));
+    assert!(rendered.contains("po v") && rendered.contains("po ^"));
+}
+
+// ---------------------------------------------------------------------
+// F6/F7 — W-table and cluster index
+// ---------------------------------------------------------------------
+
+#[test]
+fn f6_wtable_routes_exactly_the_joinable_label_pairs() {
+    let g = paper_graph();
+    let idx = forward_index(&g);
+    let friend = g.vocab().label("friend").expect("friend");
+    let colleague = g.vocab().label("colleague").expect("colleague");
+    let parent = g.vocab().label("parent").expect("parent");
+    let keys = [(friend, true), (colleague, true), (parent, true)];
+    for &x in &keys {
+        for &y in &keys {
+            let joinable = !idx.join_full(x, y).is_empty();
+            let routed = !idx.wtable().centers(x, y).is_empty();
+            // Reflexive pairs are answered without centers (trivial
+            // paths), so x == y may be joinable yet unrouted.
+            if x != y {
+                assert_eq!(
+                    joinable, routed,
+                    "W-table must route exactly the joinable pairs ({x:?},{y:?})"
+                );
+            }
+        }
+    }
+    // The paper's example entry: (friend, colleague) is routed.
+    assert!(!idx.wtable().centers((friend, true), (colleague, true)).is_empty());
+    // And (parent, parent): no parent edge chains into another.
+    assert!(idx.join_full((parent, true), (parent, true))
+        .iter()
+        .all(|&(a, b)| a == b));
+}
+
+#[test]
+fn f7_cluster_index_is_a_valid_2hop_cover() {
+    let g = paper_graph();
+    let idx = forward_index(&g);
+    assert_eq!(
+        idx.labeling().construction(),
+        TwoHopConstruction::Greedy,
+        "the paper-scale example uses the greedy cover"
+    );
+    // Every (u, v) with u ⇝ v and u != v must be witnessed by some
+    // center w with u ∈ U_w and v ∈ V_w — Definition 6.
+    let lg = idx.line().graph();
+    for u in 0..lg.num_nodes() as u32 {
+        let reach = bfs_reachable(lg, u);
+        for v in 0..lg.num_nodes() as u32 {
+            if u == v {
+                continue;
+            }
+            let witnessed = idx.clusters().iter().any(|(_, c)| {
+                c.u.binary_search(&u).is_ok() && c.v.binary_search(&v).is_ok()
+            });
+            assert_eq!(
+                witnessed,
+                reach.contains(v as usize),
+                "cover witness mismatch at ({u},{v})"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// X1/X2 — §3.3 worked joins and §3.4 end-to-end example
+// ---------------------------------------------------------------------
+
+#[test]
+fn x1_worked_join_contains_the_papers_tuple_and_is_a_correct_superset() {
+    let g = paper_graph();
+    let idx = forward_index(&g);
+    let friend = g.vocab().label("friend").expect("friend");
+    let colleague = g.vocab().label("colleague").expect("colleague");
+    let tuples = idx.join_full((friend, true), (colleague, true));
+
+    let name = |x: u32| idx.line().display_name(&g, x);
+    let rendered: Vec<(String, String)> = tuples
+        .iter()
+        .map(|&(a, b)| (name(a), name(b)))
+        .collect();
+    // The paper's §3.3 result tuple:
+    assert!(
+        rendered.contains(&(
+            "friend Alice-Colin".to_owned(),
+            "colleague David-Fred".to_owned()
+        )),
+        "paper tuple present, got {rendered:?}"
+    );
+    // …and the join equals ground-truth reachability (the paper's
+    // listing is a subset; ours is verified complete).
+    for &(a, b) in &tuples {
+        assert!(
+            bfs_reachable(idx.line().graph(), a).contains(b as usize),
+            "join tuple must be reachable"
+        );
+    }
+}
+
+#[test]
+fn x2_worked_query_grants_george_with_one_surviving_tuple() {
+    let mut g = paper_graph();
+    let (alice, path) = worked_query(&mut g);
+    let george = g.node_by_name("George").expect("George");
+
+    let engine = JoinIndexEngine::build(
+        &g,
+        JoinEngineConfig {
+            strategy: JoinStrategy::PaperFaithful,
+            index: JoinIndexConfig {
+                augment_reverse: false,
+                ..JoinIndexConfig::default()
+            },
+            ..JoinEngineConfig::default()
+        },
+    );
+    let out = engine.evaluate(&g, alice, &path, None).expect("evaluates");
+    assert_eq!(out.matched, vec![george]);
+    assert_eq!(out.stats.tuples_kept, 1, "§3.4 keeps exactly one tuple");
+
+    // The witness of the online engine is the paper's walk.
+    let witness = online::evaluate(&g, alice, &path, Some(george))
+        .witness
+        .expect("granted");
+    let hops: Vec<String> = witness
+        .iter()
+        .map(|&(e, _)| {
+            format!(
+                "{}->{}",
+                g.node_name(g.edge(e).src),
+                g.node_name(g.edge(e).dst)
+            )
+        })
+        .collect();
+    assert_eq!(hops, vec!["Alice->Colin", "Colin->Fred", "Fred->George"]);
+}
