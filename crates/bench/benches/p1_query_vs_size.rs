@@ -10,11 +10,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socialreach_bench::{forward_join_config, quick_mode};
 use socialreach_core::{AccessEngine, JoinIndexEngine, JoinStrategy, OnlineEngine};
-use socialreach_workload::{generate_policies, requests_with_grant_rate, GraphSpec,
-    PolicyWorkloadConfig};
+use socialreach_workload::{
+    generate_policies, requests_with_grant_rate, GraphSpec, PolicyWorkloadConfig,
+};
 
 fn bench(c: &mut Criterion) {
-    let sizes: &[usize] = if quick_mode() { &[200] } else { &[500, 2_000, 8_000] };
+    let sizes: &[usize] = if quick_mode() {
+        &[200]
+    } else {
+        &[500, 2_000, 8_000]
+    };
     let mut group = c.benchmark_group("p1_query_vs_size");
     group.sample_size(10);
 

@@ -7,8 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use socialreach_bench::quick_mode;
-use socialreach_reach::{IntervalLabeling, JoinIndex, JoinIndexConfig, TransitiveClosure,
-    TwoHopLabeling};
+use socialreach_reach::{
+    IntervalLabeling, JoinIndex, JoinIndexConfig, TransitiveClosure, TwoHopLabeling,
+};
 use socialreach_workload::GraphSpec;
 
 fn bench(c: &mut Criterion) {
@@ -21,9 +22,11 @@ fn bench(c: &mut Criterion) {
         let g = GraphSpec::ba_follow(nodes, 42).build();
         let d = g.to_digraph();
 
-        group.bench_with_input(BenchmarkId::new("transitive-closure", nodes), &nodes, |b, _| {
-            b.iter(|| TransitiveClosure::build(&d))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("transitive-closure", nodes),
+            &nodes,
+            |b, _| b.iter(|| TransitiveClosure::build(&d)),
+        );
         group.bench_with_input(BenchmarkId::new("interval", nodes), &nodes, |b, _| {
             b.iter(|| IntervalLabeling::build(&d))
         });

@@ -11,8 +11,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socialreach_bench::{forward_join_config, quick_mode};
 use socialreach_core::{AccessEngine, JoinIndexEngine, JoinStrategy, OnlineEngine, PolicyStore};
-use socialreach_workload::{generate_policies, requests_with_grant_rate, GraphSpec,
-    PolicyWorkloadConfig};
+use socialreach_workload::{
+    generate_policies, requests_with_grant_rate, GraphSpec, PolicyWorkloadConfig,
+};
 
 fn bench(c: &mut Criterion) {
     let nodes = if quick_mode() { 200 } else { 2_000 };

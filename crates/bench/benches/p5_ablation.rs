@@ -12,8 +12,8 @@ use socialreach_bench::{forward_join_config, quick_mode};
 use socialreach_core::{parse_path, AccessEngine, JoinIndexEngine, JoinStrategy};
 use socialreach_graph::NodeId;
 use socialreach_reach::{
-    BfsOracle, IntervalLabeling, JoinIndex, JoinIndexConfig, ReachabilityOracle,
-    TransitiveClosure, TwoHopLabeling,
+    BfsOracle, IntervalLabeling, JoinIndex, JoinIndexConfig, ReachabilityOracle, TransitiveClosure,
+    TwoHopLabeling,
 };
 use socialreach_workload::GraphSpec;
 

@@ -9,11 +9,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socialreach_bench::{forward_join_config, quick_mode};
-use socialreach_core::{
-    Enforcer, JoinIndexEngine, JoinStrategy, OnlineEngine, PolicyStore,
+use socialreach_core::{Enforcer, JoinIndexEngine, JoinStrategy, OnlineEngine, PolicyStore};
+use socialreach_workload::{
+    generate_policies, requests_with_grant_rate, GraphSpec, PolicyWorkloadConfig,
 };
-use socialreach_workload::{generate_policies, requests_with_grant_rate, GraphSpec,
-    PolicyWorkloadConfig};
 
 fn bench(c: &mut Criterion) {
     let nodes = if quick_mode() { 200 } else { 2_000 };

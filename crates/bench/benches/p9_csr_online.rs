@@ -1,0 +1,38 @@
+//! P9 — the CSR flat-array online engine vs. the seed's HashMap product
+//! BFS (`online::evaluate_reference`), across the topology sweep plus a
+//! label-diverse case.
+//!
+//! Expected shape: the CSR engine wins everywhere (dense visited/parent
+//! arrays and swap-buffer frontiers vs. hashing every product state),
+//! and wins biggest on label-diverse graphs, where per-(node, label)
+//! slices skip the non-matching majority of every adjacency list that
+//! the reference engine must scan and filter.
+//!
+//! `cargo run --release -p socialreach-bench --bin p9-snapshot` records
+//! the same comparison as `BENCH_p9.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialreach_bench::p9::{cases, run_csr, run_reference};
+use socialreach_bench::quick_mode;
+
+fn bench(c: &mut Criterion) {
+    let nodes = if quick_mode() { 200 } else { 1_500 };
+    let mut group = c.benchmark_group("p9_csr_online");
+    group.sample_size(10);
+
+    for case in cases(nodes) {
+        let snap = case.graph.snapshot();
+        group.bench_with_input(
+            BenchmarkId::new("reference-hashmap", case.name),
+            &(),
+            |b, _| b.iter(|| run_reference(&case)),
+        );
+        group.bench_with_input(BenchmarkId::new("csr-flat", case.name), &(), |b, _| {
+            b.iter(|| run_csr(&case, &snap))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Records experiment P9 (CSR flat-array online engine vs. the seed's
+//! HashMap product BFS) as `BENCH_p9.json`, plus a human-readable
+//! table on stdout.
+//!
+//! ```text
+//! cargo run --release -p socialreach-bench --bin p9-snapshot            # default sizes
+//! SOCIALREACH_QUICK=1 cargo run --release -p socialreach-bench --bin p9-snapshot
+//! cargo run --release -p socialreach-bench --bin p9-snapshot -- out.json
+//! ```
+
+use serde::Value;
+use socialreach_bench::p9::{
+    cases, run_csr, run_csr_audience, run_reference, run_reference_audience, P9Case,
+};
+use socialreach_bench::{quick_mode, time_avg, Table};
+use socialreach_graph::csr::CsrSnapshot;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_p9.json".to_string());
+    let nodes = if quick_mode() { 200 } else { 1_500 };
+    let reps = if quick_mode() { 3 } else { 20 };
+
+    let mut table = Table::new(&[
+        "topology",
+        "mode",
+        "|V|",
+        "|E|",
+        "reference (ms)",
+        "csr-flat (ms)",
+        "speedup",
+    ]);
+    let mut rows: Vec<Value> = Vec::new();
+
+    type Runner = (&'static str, fn(&P9Case), fn(&P9Case, &CsrSnapshot));
+    let modes: [Runner; 2] = [
+        ("check", run_reference, run_csr),
+        ("audience", run_reference_audience, run_csr_audience),
+    ];
+
+    for case in cases(nodes) {
+        let snap = case.graph.snapshot();
+        for (mode, reference_fn, csr_fn) in modes {
+            let reference = time_avg(reps, || reference_fn(&case));
+            let csr = time_avg(reps, || csr_fn(&case, &snap));
+            let ref_ms = reference.as_secs_f64() * 1e3;
+            let csr_ms = csr.as_secs_f64() * 1e3;
+            let speedup = ref_ms / csr_ms;
+            table.row(vec![
+                case.name.to_string(),
+                mode.to_string(),
+                case.graph.num_nodes().to_string(),
+                case.graph.num_edges().to_string(),
+                format!("{ref_ms:.3}"),
+                format!("{csr_ms:.3}"),
+                format!("{speedup:.1}x"),
+            ]);
+            rows.push(Value::Map(vec![
+                ("topology".into(), Value::Str(case.name.into())),
+                ("mode".into(), Value::Str(mode.into())),
+                ("nodes".into(), Value::Int(case.graph.num_nodes() as i64)),
+                ("edges".into(), Value::Int(case.graph.num_edges() as i64)),
+                ("requests".into(), Value::Int(case.requests.len() as i64)),
+                ("reference_ms".into(), Value::Float(ref_ms)),
+                ("csr_flat_ms".into(), Value::Float(csr_ms)),
+                ("speedup".into(), Value::Float(speedup)),
+            ]));
+        }
+    }
+
+    println!("\nP9 — online engine: CSR flat-array vs. reference HashMap BFS");
+    println!("{}", table.render());
+
+    let doc = Value::Map(vec![
+        ("experiment".into(), Value::Str("p9_csr_online".into())),
+        (
+            "description".into(),
+            Value::Str(
+                "Per-request condition evaluation: label-partitioned CSR flat-array product \
+                 BFS vs. the seed HashMap/VecDeque product BFS, topology sweep"
+                    .into(),
+            ),
+        ),
+        ("nodes".into(), Value::Int(nodes as i64)),
+        ("repetitions".into(), Value::Int(reps as i64)),
+        ("results".into(), Value::Array(rows)),
+    ]);
+    let json = serde_json::to_string(&doc).expect("snapshot serializes");
+    std::fs::write(&out_path, json + "\n").expect("snapshot written");
+    println!("wrote {out_path}");
+}

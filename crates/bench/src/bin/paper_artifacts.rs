@@ -127,13 +127,7 @@ fn fig4() {
         let hops: Vec<String> = q
             .hops
             .iter()
-            .map(|&(l, fwd)| {
-                format!(
-                    "{}{}",
-                    g.vocab().label_name(l),
-                    if fwd { "" } else { "'" }
-                )
-            })
+            .map(|&(l, fwd)| format!("{}{}", g.vocab().label_name(l), if fwd { "" } else { "'" }))
             .collect();
         println!("  {}", hops.join(" / "));
     }
@@ -167,10 +161,8 @@ fn fig6() {
                     if k.1 { "" } else { "'" }
                 )
             };
-            let comp_names: Vec<String> = centers
-                .iter()
-                .map(|&w| comp_display(&g, &idx, w))
-                .collect();
+            let comp_names: Vec<String> =
+                centers.iter().map(|&w| comp_display(&g, &idx, w)).collect();
             (format!("({}, {})", name(x), name(y)), comp_names)
         })
         .collect();
@@ -236,7 +228,11 @@ fn joins() {
 
     println!("T_friend ⋈ T_colleague (candidates, x ⇝ y):");
     for (x, y) in idx.join_full((friend, true), (colleague, true)) {
-        let adjacent = if idx.line().adjacent(x, y) { "adjacent" } else { "non-adjacent" };
+        let adjacent = if idx.line().adjacent(x, y) {
+            "adjacent"
+        } else {
+            "non-adjacent"
+        };
         println!(
             "  ({}, {})  [{adjacent}]",
             idx.line().display_name(&g, x),

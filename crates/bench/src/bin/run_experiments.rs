@@ -11,8 +11,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socialreach_bench::{
-    batch_size, forward_join_config, human_bytes, human_duration, sweep_sizes, time_avg,
-    time_once, Table,
+    batch_size, forward_join_config, human_bytes, human_duration, sweep_sizes, time_avg, time_once,
+    Table,
 };
 use socialreach_core::{
     examples, online, AccessEngine, Decision, Enforcer, JoinIndexEngine, JoinStrategy,
@@ -20,12 +20,11 @@ use socialreach_core::{
 };
 use socialreach_graph::SocialGraph;
 use socialreach_reach::{
-    BfsOracle, IntervalLabeling, JoinIndex, JoinIndexConfig, ReachabilityOracle,
-    TransitiveClosure, TwoHopLabeling,
+    BfsOracle, IntervalLabeling, JoinIndex, JoinIndexConfig, ReachabilityOracle, TransitiveClosure,
+    TwoHopLabeling,
 };
 use socialreach_workload::{
-    generate_policies, requests_with_grant_rate, GraphSpec, PolicyWorkloadConfig, Request,
-    Topology,
+    generate_policies, requests_with_grant_rate, GraphSpec, PolicyWorkloadConfig, Request, Topology,
 };
 
 fn main() {
@@ -147,7 +146,14 @@ fn p0_datasets() {
     use socialreach_workload::GraphStats;
     header("P0 — dataset descriptions (seeded, deterministic)");
     let mut t = Table::new(&[
-        "dataset", "|V|", "|E|", "deg mean", "deg p99", "deg max", "SCCs", "largest SCC",
+        "dataset",
+        "|V|",
+        "|E|",
+        "deg mean",
+        "deg p99",
+        "deg max",
+        "SCCs",
+        "largest SCC",
         "labels",
     ]);
     let mut add = |name: &str, g: &socialreach_graph::SocialGraph| {
@@ -191,7 +197,13 @@ fn p0_datasets() {
 fn p1_query_vs_size() {
     header("P1 — per-request decision latency vs graph size (BA OSN, 50% grants)");
     let mut t = Table::new(&[
-        "|V|", "|E|", "online", "join/adjacency", "join/seeded", "index build", "index size",
+        "|V|",
+        "|E|",
+        "online",
+        "join/adjacency",
+        "join/seeded",
+        "index build",
+        "index size",
     ]);
     for (i, nodes) in sweep_sizes().into_iter().enumerate() {
         let bench = setup(nodes, 100 + i as u64, 0.5);
@@ -295,16 +307,14 @@ fn p3_path_length() {
     let adj = JoinIndexEngine::build(&g, forward_join_config(JoinStrategy::AdjacencyOnly));
 
     let mut t = Table::new(&["path", "line queries", "online", "join/adjacency"]);
-    let mut paths: Vec<String> = (1..=4)
-        .map(|k| vec!["friend+[1]"; k].join("/"))
-        .collect();
+    let mut paths: Vec<String> = (1..=4).map(|k| vec!["friend+[1]"; k].join("/")).collect();
     for cap in 2..=4 {
         paths.push(format!("friend+[1..{cap}]"));
     }
     for text in paths {
         let path = socialreach_core::parse_path(&text, g.vocab_mut()).expect("valid");
-        let plan = socialreach_core::plan(&path, &socialreach_core::PlanConfig::default())
-            .expect("plans");
+        let plan =
+            socialreach_core::plan(&path, &socialreach_core::PlanConfig::default()).expect("plans");
         let online_t = time_avg(3, || {
             let _ = online::evaluate(&g, owner, &path, None);
         });
@@ -355,8 +365,15 @@ fn p5_ablation() {
     // strategy explodes combinatorially long before graphs get large.
     let mut t = Table::new(&["graph", "strategy", "candidates", "kept", "audience time"]);
     let paper = examples::paper_graph();
-    let small = GraphSpec::ba_osn(if socialreach_bench::quick_mode() { 150 } else { 600 }, 500)
-        .build();
+    let small = GraphSpec::ba_osn(
+        if socialreach_bench::quick_mode() {
+            150
+        } else {
+            600
+        },
+        500,
+    )
+    .build();
     for (name, g) in [("paper-fig1", &paper), ("ba-osn", &small)] {
         for strategy in [
             JoinStrategy::PaperFaithful,
@@ -366,11 +383,9 @@ fn p5_ablation() {
             let mut g2 = (*g).clone();
             let (owner, path) = {
                 let owner = socialreach_graph::NodeId(0);
-                let path = socialreach_core::parse_path(
-                    "friend+[1,2]/colleague+[1]",
-                    g2.vocab_mut(),
-                )
-                .expect("valid");
+                let path =
+                    socialreach_core::parse_path("friend+[1,2]/colleague+[1]", g2.vocab_mut())
+                        .expect("valid");
                 (owner, path)
             };
             let engine = JoinIndexEngine::build(&g2, forward_join_config(strategy));
@@ -425,14 +440,29 @@ fn p5_ablation() {
         ]);
     };
     run("online-bfs", &|u, v| bfs.reaches(u, v), bfs.index_bytes());
-    run("transitive-closure", &|u, v| tc.reaches(u, v), tc.index_bytes());
-    run("interval-labeling", &|u, v| il.reaches(u, v), il.index_bytes());
+    run(
+        "transitive-closure",
+        &|u, v| tc.reaches(u, v),
+        tc.index_bytes(),
+    );
+    run(
+        "interval-labeling",
+        &|u, v| il.reaches(u, v),
+        il.index_bytes(),
+    );
     run("2hop-pruned", &|u, v| th.reaches(u, v), th.index_bytes());
     print!("{}", t.render());
 
     header("P5c — W-table routing vs base-table scan (successor generation)");
-    let small = GraphSpec::ba_osn(if socialreach_bench::quick_mode() { 150 } else { 600 }, 502)
-        .build();
+    let small = GraphSpec::ba_osn(
+        if socialreach_bench::quick_mode() {
+            150
+        } else {
+            600
+        },
+        502,
+    )
+    .build();
     let idx = JoinIndex::build(
         &small,
         &JoinIndexConfig {
@@ -443,7 +473,13 @@ fn p5_ablation() {
     );
     let friend = small.vocab().label("friend").expect("friend");
     let colleague = small.vocab().label("colleague").expect("colleague");
-    let ends: Vec<u32> = idx.base_tables().table((friend, true)).iter().copied().take(50).collect();
+    let ends: Vec<u32> = idx
+        .base_tables()
+        .table((friend, true))
+        .iter()
+        .copied()
+        .take(50)
+        .collect();
     let mut t = Table::new(&["strategy", "50 extensions"]);
     let wt = time_avg(3, || {
         for &e in &ends {
@@ -605,16 +641,14 @@ impl AccessEngine for EngineDyn<'_> {
 
 fn p7_topology() {
     header("P7 — topology sensitivity at equal |V| (decision latency, 50% grants)");
-    let nodes = if socialreach_bench::quick_mode() { 300 } else { 2_000 };
+    let nodes = if socialreach_bench::quick_mode() {
+        300
+    } else {
+        2_000
+    };
     let ties = nodes * 3;
     let topologies: Vec<(&str, Topology)> = vec![
-        (
-            "erdos-renyi",
-            Topology::ErdosRenyi {
-                nodes,
-                edges: ties,
-            },
-        ),
+        ("erdos-renyi", Topology::ErdosRenyi { nodes, edges: ties }),
         (
             "barabasi-albert",
             Topology::BarabasiAlbert {
@@ -654,8 +688,7 @@ fn p7_topology() {
         let mut rng = StdRng::seed_from_u64(701 + i as u64);
         let rids: Vec<ResourceId> =
             generate_policies(&mut g, &mut store, &forward_policies(20), &mut rng);
-        let requests =
-            requests_with_grant_rate(&g, &store, &rids, batch_size(), 0.5, &mut rng);
+        let requests = requests_with_grant_rate(&g, &store, &rids, batch_size(), 0.5, &mut rng);
         let bench = Bench { g, store, requests };
         let per_batch = bench.requests.len() as u32;
         let online_t = time_avg(2, || run_requests(&bench, &OnlineEngine)) / per_batch;

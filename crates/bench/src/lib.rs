@@ -12,6 +12,8 @@ use socialreach_core::{JoinEngineConfig, JoinIndexConfig, JoinStrategy, PlanConf
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+pub mod p9;
+
 pub use socialreach_core as core;
 pub use socialreach_graph as graph;
 pub use socialreach_reach as reach;
@@ -219,7 +221,15 @@ mod tests {
     #[test]
     fn configs_expose_expected_augmentation() {
         use socialreach_core::JoinStrategy;
-        assert!(!forward_join_config(JoinStrategy::OwnerSeeded).index.augment_reverse);
-        assert!(augmented_join_config(JoinStrategy::OwnerSeeded).index.augment_reverse);
+        assert!(
+            !forward_join_config(JoinStrategy::OwnerSeeded)
+                .index
+                .augment_reverse
+        );
+        assert!(
+            augmented_join_config(JoinStrategy::OwnerSeeded)
+                .index
+                .augment_reverse
+        );
     }
 }

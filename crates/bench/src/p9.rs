@@ -1,0 +1,204 @@
+//! Shared setup for experiment P9 — the CSR flat-array online engine
+//! against the retained HashMap/VecDeque reference, across the
+//! topology sweep. Used by both the `p9_csr_online` criterion bench and
+//! the `p9-snapshot` binary that records `BENCH_p9.json`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socialreach_core::PolicyStore;
+use socialreach_graph::SocialGraph;
+use socialreach_workload::{
+    generate_policies, requests_with_grant_rate, AttributeModel, GraphSpec, LabelModel,
+    PolicyWorkloadConfig, Request, Topology,
+};
+
+/// One prepared P9 scenario: a graph, its policies and a request batch.
+pub struct P9Case {
+    /// Scenario name (topology / label mix).
+    pub name: &'static str,
+    /// The social graph.
+    pub graph: SocialGraph,
+    /// Policies over it.
+    pub store: PolicyStore,
+    /// Request batch with ground-truth outcomes.
+    pub requests: Vec<Request>,
+}
+
+/// An eight-label evenly weighted mix: the label-diverse regime where
+/// per-(node, label) slices pay off most (each step touches ~1/8th of
+/// the adjacency the reference engine must filter through).
+fn diverse_labels() -> LabelModel {
+    LabelModel::Weighted(
+        [
+            "friend",
+            "colleague",
+            "parent",
+            "follows",
+            "mentor",
+            "teammate",
+            "neighbor",
+            "classmate",
+        ]
+        .iter()
+        .map(|&l| (l.to_string(), 0.125))
+        .collect(),
+    )
+}
+
+/// The topology sweep (matching P7's families) plus a label-diverse
+/// Barabási–Albert case.
+pub fn cases(nodes: usize) -> Vec<P9Case> {
+    let ties = nodes * 3;
+    let specs: Vec<(&'static str, Topology, LabelModel)> = vec![
+        (
+            "erdos-renyi",
+            Topology::ErdosRenyi { nodes, edges: ties },
+            LabelModel::osn_default(),
+        ),
+        (
+            "barabasi-albert",
+            Topology::BarabasiAlbert {
+                nodes,
+                edges_per_node: 3,
+            },
+            LabelModel::osn_default(),
+        ),
+        (
+            "watts-strogatz",
+            Topology::WattsStrogatz {
+                nodes,
+                neighbors: 6,
+                rewire: 0.1,
+            },
+            LabelModel::osn_default(),
+        ),
+        (
+            "community",
+            Topology::Community {
+                nodes,
+                communities: (nodes / 50).max(1),
+                p_in: 0.12,
+                bridges: ties / 10,
+            },
+            LabelModel::osn_default(),
+        ),
+        (
+            // Label-diverse *and* realistically dense (real OSNs carry
+            // hundreds of relationship instances per member): ~48
+            // incident edges across 8 labels, so a step's label selects
+            // ~1/8th of what the reference engine must scan and filter.
+            "ba-label-diverse",
+            Topology::BarabasiAlbert {
+                nodes,
+                edges_per_node: 24,
+            },
+            diverse_labels(),
+        ),
+    ];
+
+    specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, topology, labels))| {
+            let spec = GraphSpec {
+                topology,
+                labels,
+                attributes: AttributeModel::osn_default(),
+                reciprocity: 0.5,
+                seed: 900 + i as u64,
+            };
+            let mut graph = spec.build();
+            let mut store = PolicyStore::new();
+            let mut rng = StdRng::seed_from_u64(990 + i as u64);
+            // The default direction/depth mix: mostly `+`/`∗` steps,
+            // 40% of steps `[1..2]`/`[1..3]` deep — the constrained-BFS
+            // regime the paper's §1 baseline describes.
+            let cfg = PolicyWorkloadConfig {
+                num_resources: 40,
+                ..PolicyWorkloadConfig::default()
+            };
+            let rids = generate_policies(&mut graph, &mut store, &cfg, &mut rng);
+            let requests = requests_with_grant_rate(&graph, &store, &rids, 120, 0.5, &mut rng);
+            P9Case {
+                name,
+                graph,
+                store,
+                requests,
+            }
+        })
+        .collect()
+}
+
+impl P9Case {
+    /// Every distinct `(owner, path)` condition in the store, the unit
+    /// of audience materialization.
+    pub fn conditions(&self) -> Vec<(socialreach_graph::NodeId, &socialreach_core::PathExpr)> {
+        let mut out = Vec::new();
+        for r in &self.requests {
+            for rule in self.store.rules_for(r.resource) {
+                for cond in &rule.conditions {
+                    out.push((cond.owner, &cond.path));
+                }
+            }
+        }
+        out.sort_by_key(|&(owner, path)| (owner, path as *const _ as usize));
+        out.dedup_by(|a, b| a.0 == b.0 && std::ptr::eq(a.1, b.1));
+        out
+    }
+}
+
+/// Runs every request's conditions through the reference engine
+/// (targeted checks with early exit).
+pub fn run_reference(case: &P9Case) {
+    for r in &case.requests {
+        for rule in case.store.rules_for(r.resource) {
+            for cond in &rule.conditions {
+                let out = socialreach_core::online::evaluate_reference(
+                    &case.graph,
+                    cond.owner,
+                    &cond.path,
+                    Some(r.requester),
+                );
+                std::hint::black_box(out.granted);
+            }
+        }
+    }
+}
+
+/// Runs every request's conditions through the CSR engine with one
+/// cached snapshot (the enforcement layer's steady state).
+pub fn run_csr(case: &P9Case, snap: &socialreach_graph::csr::CsrSnapshot) {
+    for r in &case.requests {
+        for rule in case.store.rules_for(r.resource) {
+            for cond in &rule.conditions {
+                let out = socialreach_core::online::evaluate_with_snapshot(
+                    &case.graph,
+                    snap,
+                    cond.owner,
+                    &cond.path,
+                    Some(r.requester),
+                );
+                std::hint::black_box(out.granted);
+            }
+        }
+    }
+}
+
+/// Materializes every distinct condition's full audience through the
+/// reference engine (no early exit: the whole product space).
+pub fn run_reference_audience(case: &P9Case) {
+    for (owner, path) in case.conditions() {
+        let out = socialreach_core::online::evaluate_reference(&case.graph, owner, path, None);
+        std::hint::black_box(out.matched.len());
+    }
+}
+
+/// Materializes every distinct condition's full audience through the
+/// CSR engine.
+pub fn run_csr_audience(case: &P9Case, snap: &socialreach_graph::csr::CsrSnapshot) {
+    for (owner, path) in case.conditions() {
+        let out =
+            socialreach_core::online::evaluate_with_snapshot(&case.graph, snap, owner, path, None);
+        std::hint::black_box(out.matched.len());
+    }
+}

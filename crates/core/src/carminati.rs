@@ -22,7 +22,7 @@
 //! implemented natively (and measured in experiment P8).
 
 use crate::path::{DepthSet, PathExpr, Step};
-use socialreach_graph::{AttrValue, Direction, LabelId, NodeId, SocialGraph};
+use socialreach_graph::{AttrValue, Direction, EdgeId, LabelId, NodeId, SocialGraph};
 
 /// How per-edge trust values combine along a path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,6 +117,12 @@ pub fn evaluate(g: &SocialGraph, owner: NodeId, rule: &CarminatiRule) -> Carmina
 
     let out = matches!(rule.dir, Direction::Out | Direction::Both);
     let inc = matches!(rule.dir, Direction::In | Direction::Both);
+    // Relaxation scans only the rule's label: reuse the thread's CSR
+    // snapshot when one is already current (per-(node, label) slices
+    // instead of filtering full adjacency lists every layer), but don't
+    // build one — a full two-direction all-label index costs more than
+    // this single bounded scan.
+    let snap = crate::online::thread_snapshot_if_current(g);
 
     for _depth in 1..=rule.max_depth {
         let mut next = vec![f64::NEG_INFINITY; n];
@@ -137,16 +143,34 @@ pub fn evaluate(g: &SocialGraph, owner: NodeId, rule: &CarminatiRule) -> Carmina
                 }
             };
             if out {
-                for (eid, rec) in g.out_edges(node) {
-                    if rec.label == rule.label {
-                        relax(eid, rec.dst);
+                match &snap {
+                    Some(s) => {
+                        for (nbr, eid) in s.out_neighbors(node.0, rule.label).iter() {
+                            relax(EdgeId(eid), NodeId(nbr));
+                        }
+                    }
+                    None => {
+                        for (eid, rec) in g.out_edges(node) {
+                            if rec.label == rule.label {
+                                relax(eid, rec.dst);
+                            }
+                        }
                     }
                 }
             }
             if inc {
-                for (eid, rec) in g.in_edges(node) {
-                    if rec.label == rule.label {
-                        relax(eid, rec.src);
+                match &snap {
+                    Some(s) => {
+                        for (nbr, eid) in s.in_neighbors(node.0, rule.label).iter() {
+                            relax(EdgeId(eid), NodeId(nbr));
+                        }
+                    }
+                    None => {
+                        for (eid, rec) in g.in_edges(node) {
+                            if rec.label == rule.label {
+                                relax(eid, rec.src);
+                            }
+                        }
                     }
                 }
             }
@@ -205,7 +229,10 @@ mod tests {
     }
 
     fn granted_names(g: &SocialGraph, out: &CarminatiOutcome) -> Vec<String> {
-        out.granted.iter().map(|&n| g.node_name(n).to_owned()).collect()
+        out.granted
+            .iter()
+            .map(|&n| g.node_name(n).to_owned())
+            .collect()
     }
 
     fn trust_of(g: &SocialGraph, out: &CarminatiOutcome, name: &str) -> f64 {

@@ -25,7 +25,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "path syntax error at byte {}: {}", self.pos, self.message)?;
+        writeln!(
+            f,
+            "path syntax error at byte {}: {}",
+            self.pos, self.message
+        )?;
         writeln!(f, "  {}", self.source)?;
         write!(f, "  {}^", " ".repeat(self.pos.min(self.source.len())))
     }
@@ -119,7 +123,9 @@ mod tests {
             limit: 4096,
         };
         assert!(e.to_string().contains("9000"));
-        assert!(EvalError::UnsupportedDirection.to_string().contains("augment_reverse"));
+        assert!(EvalError::UnsupportedDirection
+            .to_string()
+            .contains("augment_reverse"));
         assert!(EvalError::UnknownResource(7).to_string().contains('7'));
     }
 }

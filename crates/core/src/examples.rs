@@ -10,9 +10,7 @@ use socialreach_graph::{NodeId, SocialGraph};
 
 /// The seven members of Figure 1, in the order the paper abbreviates
 /// them (A, B, C, D, E, F, G).
-pub const MEMBERS: [&str; 7] = [
-    "Alice", "Bill", "Colin", "David", "Elena", "Fred", "George",
-];
+pub const MEMBERS: [&str; 7] = ["Alice", "Bill", "Colin", "David", "Elena", "Fred", "George"];
 
 /// Builds the Figure 1 subgraph: 7 members, 12 labeled edges over
 /// `{Friend, Colleague, Parent}`, Alice's attribute tuple from §2
@@ -82,8 +80,8 @@ pub fn paper_graph() -> SocialGraph {
 /// friends or those of the friends of her friends"*.
 pub fn q1(g: &mut SocialGraph) -> (NodeId, PathExpr) {
     let alice = g.node_by_name("Alice").expect("paper graph has Alice");
-    let path = parse_path("friend+[1,2]/colleague+[1]", g.vocab_mut())
-        .expect("Q1 is syntactically valid");
+    let path =
+        parse_path("friend+[1,2]/colleague+[1]", g.vocab_mut()).expect("Q1 is syntactically valid");
     (alice, path)
 }
 
@@ -92,8 +90,7 @@ pub fn q1(g: &mut SocialGraph) -> (NodeId, PathExpr) {
 /// is Alice → Colin → Fred → George.
 pub fn worked_query(g: &mut SocialGraph) -> (NodeId, PathExpr) {
     let alice = g.node_by_name("Alice").expect("paper graph has Alice");
-    let path =
-        parse_path("friend+[1]/parent+[1]/friend+[1]", g.vocab_mut()).expect("valid path");
+    let path = parse_path("friend+[1]/parent+[1]/friend+[1]", g.vocab_mut()).expect("valid path");
     (alice, path)
 }
 
@@ -124,10 +121,7 @@ mod tests {
     fn alice_attributes_match_section_2() {
         let g = paper_graph();
         let alice = g.node_by_name("Alice").unwrap();
-        assert_eq!(
-            g.node_attr_by_name(alice, "gender"),
-            Some(&"female".into())
-        );
+        assert_eq!(g.node_attr_by_name(alice, "gender"), Some(&"female".into()));
         assert_eq!(g.node_attr_by_name(alice, "age"), Some(&24i64.into()));
     }
 

@@ -108,7 +108,11 @@ impl JoinIndexEngine {
             let granted = target == Some(owner);
             return Ok(JoinOutcome {
                 granted,
-                matched: if target.is_none() { vec![owner] } else { vec![] },
+                matched: if target.is_none() {
+                    vec![owner]
+                } else {
+                    vec![]
+                },
                 stats,
             });
         }
@@ -427,12 +431,20 @@ mod tests {
         .collect()
     }
 
-    fn audience_names(g: &SocialGraph, engine: &JoinIndexEngine, owner: &str, path: &str) -> Vec<String> {
+    fn audience_names(
+        g: &SocialGraph,
+        engine: &JoinIndexEngine,
+        owner: &str,
+        path: &str,
+    ) -> Vec<String> {
         let mut g2 = g.clone();
         let p = parse_path(path, g2.vocab_mut()).unwrap();
         let o = g.node_by_name(owner).unwrap();
         let out = engine.evaluate(&g2, o, &p, None).unwrap();
-        out.matched.iter().map(|&n| g.node_name(n).to_owned()).collect()
+        out.matched
+            .iter()
+            .map(|&n| g.node_name(n).to_owned())
+            .collect()
     }
 
     #[test]
@@ -474,7 +486,8 @@ mod tests {
                 for engine in &engines {
                     let got = engine.evaluate(&g, owner, &p, None).unwrap();
                     assert_eq!(
-                        got.matched, truth.matched,
+                        got.matched,
+                        truth.matched,
                         "{} disagrees with online for {path_text} from {}",
                         engine.name(),
                         g.node_name(owner)

@@ -37,13 +37,26 @@
 //! |--------|---------------|----------|
 //! | [`path`] | §2 Def. 3 | path-expression AST, parser, printer |
 //! | [`policy`] | §2 Def. 2 | access rules, policy store, decisions |
-//! | [`online`] | §1 | constrained product BFS (ground truth) |
+//! | [`online`] | §1 | constrained product BFS over a label-partitioned CSR snapshot (flat-array engine + retained reference implementation) |
 //! | [`lineplan`] | §3.1 | depth expansion into line queries (Fig. 4) |
 //! | [`joinengine`] | §3.3–3.4 | join pipeline + post-processing |
-//! | [`engine`] | — | engine trait, caching enforcer |
+//! | [`engine`] | — | engine trait, caching enforcer, per-generation snapshot cache |
 //! | [`system`] | — | batteries-included façade |
 //! | [`examples`] | §2–3 | the Figure 1 graph, Q1, worked queries |
 //! | [`carminati`] | §4 | the Carminati et al. trust+radius baseline |
+//!
+//! ## Snapshot / invalidation model
+//!
+//! The online engine runs over an immutable
+//! [`socialreach_graph::csr::CsrSnapshot`]: edges sorted by
+//! `(node, label)` with per-(node, label) offset runs, so each step
+//! expands exactly the matching `O(deg_label)` slice. Every
+//! [`SocialGraph`](socialreach_graph::SocialGraph) mutation advances a
+//! process-unique *generation* stamp; the enforcement layer
+//! ([`Enforcer`], [`AccessControlSystem`]) caches one snapshot per
+//! generation and rebuilds it lazily when the stamp moves, so evolving
+//! graphs pay for re-indexing only after an actual mutation, and only
+//! on their next access check.
 
 pub mod carminati;
 pub mod engine;

@@ -18,18 +18,46 @@
 //!   is the last step, and otherwise ε-moves to `(u, i+1, 0)`.
 //!
 //! Matching is over **walks** — members and relationships may repeat.
+//!
+//! # Two implementations, one semantics
+//!
+//! * [`evaluate`] / [`evaluate_with_snapshot`] — the production engine:
+//!   a level-synchronous BFS over a label-partitioned
+//!   [`CsrSnapshot`], with flat dense visited/parent arrays indexed by
+//!   `(step, depth) · |V| + member` and swap-buffer frontiers. A path
+//!   step scans only the `O(deg_label)` matching CSR slice instead of
+//!   filtering all `O(deg)` incident edges, and the hot loop touches no
+//!   hash map or `VecDeque`.
+//! * [`evaluate_reference`] — the original HashMap/VecDeque product BFS,
+//!   retained verbatim as the executable specification. The flat engine
+//!   is property-tested decision-for-decision against it
+//!   (`tests/csr_differential.rs`), and degenerate inputs whose product
+//!   space would make the dense arrays unreasonable (astronomical
+//!   saturation depths) transparently fall back to it.
+//!
+//! Both traversals expand states in identical FIFO order, so audiences,
+//! decisions and witness walks agree exactly. The only observable
+//! difference is [`SearchStats::edges_scanned`]: the snapshot engine
+//! never even looks at non-matching edges, so it counts only the label-
+//! matching traversals the reference engine had to filter out of the
+//! full adjacency lists.
 
 use crate::path::PathExpr;
+use socialreach_graph::csr::CsrSnapshot;
 use socialreach_graph::{Direction, EdgeId, NodeId, SocialGraph};
+use std::cell::RefCell;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
 
 /// Counters describing how much work an evaluation performed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Product states dequeued.
     pub states_visited: usize,
-    /// Edge traversals attempted.
+    /// Edge traversals attempted. The snapshot engine counts matching
+    /// edges only (it never scans a non-matching one); the reference
+    /// engine also counts the edges it filtered by label.
     pub edges_scanned: usize,
 }
 
@@ -52,15 +80,392 @@ pub struct OnlineOutcome {
     pub stats: SearchStats,
 }
 
-/// Product state: (member, step index, depth within step).
-type State = (u32, u16, u32);
+impl OnlineOutcome {
+    fn empty_path(owner: NodeId, target: Option<NodeId>) -> Self {
+        let granted = target == Some(owner);
+        OnlineOutcome {
+            granted,
+            matched: if target.is_none() {
+                vec![owner]
+            } else {
+                vec![]
+            },
+            witness: granted.then(Vec::new),
+            stats: SearchStats::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flat-array snapshot engine
+// ---------------------------------------------------------------------
+
+/// Cap on `layers · |V|` dense state slots (64 MiB of visited stamps).
+/// Above it the reference engine's sparse bookkeeping wins.
+const MAX_FLAT_STATES: u64 = 1 << 24;
+/// Cap on the number of `(step, depth)` layers by themselves, so a
+/// degenerate `label+[1..2^30]` cannot force a huge layer table.
+const MAX_FLAT_LAYERS: u64 = 1 << 20;
+/// `parent_hop` packs `edge id << 1 | forward`; this marks ε-moves and
+/// the start state.
+const HOP_NONE: u32 = u32::MAX;
+
+/// Reusable per-thread search buffers, epoch-stamped so reuse costs
+/// `O(1)` instead of a clear per query. Frontier entries pack
+/// `(layer << 32) | member` so the hot loop decodes with shifts instead
+/// of division; the flat array index is `layer · |V| + member`.
+#[derive(Default)]
+struct Scratch {
+    epoch: u32,
+    visited: Vec<u32>,
+    matched_epoch: Vec<u32>,
+    frontier: Vec<u64>,
+    next: Vec<u64>,
+    parent_state: Vec<u32>,
+    parent_hop: Vec<u32>,
+    /// Per-path layer table, rebuilt per call without reallocating.
+    layers: Vec<LayerInfo>,
+}
+
+/// Everything about a `(step, depth)` layer that is constant across its
+/// `|V|` states, precomputed once per call so the per-state loop is
+/// table lookups: depth-set membership, last-step flag, the ε-target
+/// layer, and the edge-expansion target layer.
+#[derive(Clone, Copy, Debug)]
+struct LayerInfo {
+    /// Index of the step this layer belongs to.
+    step: u16,
+    /// `d >= 1 && d ∈ I_step`: states here may complete the step.
+    completes: bool,
+    /// This is the path's final step (completion ⇒ match).
+    last: bool,
+    /// Layer id of `(step+1, 0)` for ε-moves (unused when `last`).
+    eps_layer: u32,
+    /// States here may take another `label_step` edge.
+    expands: bool,
+    /// Layer id reached by that edge (`min(d+1, sat)` of the same step).
+    next_layer: u32,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::default();
+    /// One cached snapshot per thread for callers that evaluate against
+    /// a bare `&SocialGraph` (the engine layer caches its own shared
+    /// snapshot; see `Enforcer`).
+    static SNAPSHOT: RefCell<Option<Rc<CsrSnapshot>>> = const { RefCell::new(None) };
+    /// `(topology generation, targeted-check misses)` — see
+    /// `BUILD_AFTER_MISSES`.
+    static SNAPSHOT_MISSES: RefCell<(u64, u32)> = const { RefCell::new((0, 0)) };
+}
+
+/// A one-shot targeted check on a graph with no current snapshot runs
+/// the reference engine instead of paying an `O(|E| log deg)` index
+/// build the seed never charged (a CLI `check`, or a mutate-then-check
+/// loop where every check sees a fresh topology generation). After
+/// this many consecutive targeted misses on one generation the build
+/// amortizes, so the snapshot is built. Audience materialization
+/// explores the whole product space and builds immediately.
+const BUILD_AFTER_MISSES: u32 = 2;
+
+/// Returns a current snapshot of `g`, reusing the thread-local cache
+/// when the topology generation still matches. `None` for uncacheable
+/// graphs (generation 0: deserialized without `rebuild_lookups`).
+fn thread_snapshot(g: &SocialGraph) -> Option<Rc<CsrSnapshot>> {
+    if g.topology_generation() == 0 {
+        return None;
+    }
+    SNAPSHOT.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if let Some(s) = slot.as_ref() {
+            if s.matches(g) {
+                return Some(Rc::clone(s));
+            }
+        }
+        let fresh = Rc::new(CsrSnapshot::build(g));
+        *slot = Some(Rc::clone(&fresh));
+        Some(fresh)
+    })
+}
+
+/// The thread-cached snapshot when it is already current for `g`,
+/// without building one. Single-shot label scans (`carminati`) use
+/// this: they profit from a snapshot another evaluation already paid
+/// for, but a full two-direction all-label index build would cost more
+/// than their one bounded scan.
+pub(crate) fn thread_snapshot_if_current(g: &SocialGraph) -> Option<Rc<CsrSnapshot>> {
+    SNAPSHOT.with(|slot| {
+        slot.borrow()
+            .as_ref()
+            .filter(|s| s.matches(g))
+            .map(Rc::clone)
+    })
+}
+
+/// Releases this thread's cached snapshot and search buffers.
+///
+/// The caches are sized to the largest graph/query this thread has
+/// evaluated and are otherwise retained for reuse; a long-lived worker
+/// that has finished with a large graph can call this to return the
+/// memory.
+pub fn release_thread_caches() {
+    SNAPSHOT.with(|slot| slot.borrow_mut().take());
+    SNAPSHOT_MISSES.with(|m| *m.borrow_mut() = (0, 0));
+    SCRATCH.with(|scratch| *scratch.borrow_mut() = Scratch::default());
+}
 
 /// Evaluates `path` from `owner`.
 ///
 /// With `target = Some(v)` the search exits as soon as `v` matches and
 /// reconstructs a witness walk. With `target = None` it explores the
 /// whole product space and returns the full audience (sorted).
+///
+/// Runs on the label-partitioned CSR engine, building (and caching, per
+/// thread) a [`CsrSnapshot`] as needed. Callers holding a snapshot —
+/// the enforcement layer does — should use [`evaluate_with_snapshot`].
 pub fn evaluate(
+    g: &SocialGraph,
+    owner: NodeId,
+    path: &PathExpr,
+    target: Option<NodeId>,
+) -> OnlineOutcome {
+    if path.is_empty() {
+        return OnlineOutcome::empty_path(owner, target);
+    }
+    if target.is_some() && thread_snapshot_if_current(g).is_none() {
+        // No snapshot yet for this topology: only build one once a few
+        // targeted checks have hit the same generation (see
+        // BUILD_AFTER_MISSES); a single early-exit BFS is cheaper than
+        // an index build.
+        let defer = SNAPSHOT_MISSES.with(|m| {
+            let m = &mut *m.borrow_mut();
+            if m.0 != g.topology_generation() {
+                *m = (g.topology_generation(), 0);
+            }
+            m.1 += 1;
+            m.1 <= BUILD_AFTER_MISSES
+        });
+        if defer {
+            return evaluate_reference(g, owner, path, target);
+        }
+    }
+    match thread_snapshot(g) {
+        Some(snap) => evaluate_with_snapshot(g, &snap, owner, path, target),
+        None => evaluate_reference(g, owner, path, target),
+    }
+}
+
+/// [`evaluate`] over a caller-provided snapshot (no cache probe, no
+/// build). Falls back to [`evaluate_reference`] when the snapshot is
+/// stale for `g` or the dense product space would be unreasonable.
+pub fn evaluate_with_snapshot(
+    g: &SocialGraph,
+    snap: &CsrSnapshot,
+    owner: NodeId,
+    path: &PathExpr,
+    target: Option<NodeId>,
+) -> OnlineOutcome {
+    if path.is_empty() {
+        return OnlineOutcome::empty_path(owner, target);
+    }
+    if !snap.matches(g) {
+        return evaluate_reference(g, owner, path, target);
+    }
+
+    let num_nodes = snap.num_nodes() as u64;
+    let steps = &path.steps;
+    let layer_count: u64 = steps.iter().map(|s| s.depths.saturation() as u64 + 1).sum();
+    if num_nodes == 0
+        || layer_count > MAX_FLAT_LAYERS
+        || layer_count * num_nodes > MAX_FLAT_STATES
+        || snap.num_edges() as u64 >= u64::from(HOP_NONE >> 1)
+    {
+        return evaluate_reference(g, owner, path, target);
+    }
+    let v_count = num_nodes as u32;
+    let total_states = (layer_count * num_nodes) as usize;
+
+    let mut stats = SearchStats::default();
+    let mut matched: Vec<NodeId> = Vec::new();
+    let mut granted_state: Option<u64> = None;
+    let track_parents = target.is_some();
+
+    let witness = SCRATCH.with(|scratch| {
+        let s = &mut *scratch.borrow_mut();
+
+        // Layer table: (step, depth) <-> dense layer id, so a product
+        // state is the single index `layer · |V| + member`, and all
+        // depth logic is resolved here once instead of per state.
+        s.layers.clear();
+        let mut base = 0u32;
+        for (i, step) in steps.iter().enumerate() {
+            let sat = step.depths.saturation();
+            let unbounded = step.depths.is_unbounded();
+            for d in 0..=sat {
+                s.layers.push(LayerInfo {
+                    step: i as u16,
+                    completes: d >= 1 && step.depths.contains(d),
+                    last: i == steps.len() - 1,
+                    eps_layer: base + sat + 1, // first layer of step i+1
+                    expands: d < sat || unbounded,
+                    next_layer: base + (d + 1).min(sat),
+                });
+            }
+            base += sat + 1;
+        }
+
+        if s.visited.len() < total_states {
+            s.visited.resize(total_states, 0);
+        }
+        if s.matched_epoch.len() < snap.num_nodes() {
+            s.matched_epoch.resize(snap.num_nodes(), 0);
+        }
+        if track_parents && s.parent_state.len() < total_states {
+            s.parent_state.resize(total_states, 0);
+            s.parent_hop.resize(total_states, 0);
+        }
+        if s.epoch == u32::MAX {
+            s.visited.fill(0);
+            s.matched_epoch.fill(0);
+            s.epoch = 0;
+        }
+        s.epoch += 1;
+        let epoch = s.epoch;
+        s.frontier.clear();
+        s.next.clear();
+
+        let start = u64::from(owner.0); // layer 0 is (step 0, depth 0)
+        s.visited[owner.index()] = epoch;
+        if track_parents {
+            s.parent_hop[owner.index()] = HOP_NONE;
+            s.parent_state[owner.index()] = owner.0;
+        }
+        s.frontier.push(start);
+
+        'search: while !s.frontier.is_empty() {
+            // Split-borrow the scratch so the frontier can be read while
+            // the visited/parent arrays and next-frontier are written.
+            let Scratch {
+                visited,
+                matched_epoch,
+                frontier,
+                next,
+                parent_state,
+                parent_hop,
+                layers,
+                ..
+            } = s;
+            for &state in frontier.iter() {
+                let v = state as u32;
+                let lay = (state >> 32) as usize;
+                let idx = lay as u32 * v_count + v;
+                let li = layers[lay];
+                stats.states_visited += 1;
+                let step = &steps[li.step as usize];
+                let node = NodeId(v);
+
+                // Step completion: d hops taken, d ∈ I_i, conditions
+                // accept v.
+                if li.completes && step.conds.iter().all(|c| c.eval(g.node_attrs(node))) {
+                    if li.last {
+                        if matched_epoch[node.index()] != epoch {
+                            matched_epoch[node.index()] = epoch;
+                            matched.push(node);
+                        }
+                        if target == Some(node) {
+                            granted_state = Some(state);
+                            break 'search;
+                        }
+                    } else {
+                        let eps = li.eps_layer * v_count + v;
+                        let slot = &mut visited[eps as usize];
+                        if *slot != epoch {
+                            *slot = epoch;
+                            if track_parents {
+                                parent_state[eps as usize] = idx;
+                                parent_hop[eps as usize] = HOP_NONE;
+                            }
+                            next.push((u64::from(li.eps_layer) << 32) | u64::from(v));
+                        }
+                    }
+                }
+
+                // Edge expansion within step i.
+                if !li.expands {
+                    continue; // bounded step exhausted
+                }
+                let next_base = li.next_layer * v_count;
+                let next_tag = u64::from(li.next_layer) << 32;
+                let mut expand = |nbr: u32, eid: u32, forward: bool| {
+                    stats.edges_scanned += 1;
+                    let ns = next_base + nbr;
+                    let slot = &mut visited[ns as usize];
+                    if *slot != epoch {
+                        *slot = epoch;
+                        if track_parents {
+                            parent_state[ns as usize] = idx;
+                            parent_hop[ns as usize] = (eid << 1) | u32::from(forward);
+                        }
+                        next.push(next_tag | u64::from(nbr));
+                    }
+                };
+                if matches!(step.dir, Direction::Out | Direction::Both) {
+                    let out = snap.out_neighbors(v, step.label);
+                    for (&nbr, &eid) in out.nodes.iter().zip(out.edges) {
+                        expand(nbr, eid, true);
+                    }
+                }
+                if matches!(step.dir, Direction::In | Direction::Both) {
+                    let inn = snap.in_neighbors(v, step.label);
+                    for (&nbr, &eid) in inn.nodes.iter().zip(inn.edges) {
+                        expand(nbr, eid, false);
+                    }
+                }
+            }
+            std::mem::swap(&mut s.frontier, &mut s.next);
+            s.next.clear();
+        }
+
+        // Replay parent pointers (all stamped this epoch) back to the
+        // self-parenting start state.
+        granted_state.map(|end| {
+            let mut hops = Vec::new();
+            let mut cur = ((end >> 32) as u32) * v_count + end as u32;
+            loop {
+                let hop = s.parent_hop[cur as usize];
+                let prev = s.parent_state[cur as usize];
+                if hop != HOP_NONE {
+                    hops.push((EdgeId(hop >> 1), hop & 1 == 1));
+                }
+                if prev == cur {
+                    break;
+                }
+                cur = prev;
+            }
+            hops.reverse();
+            hops
+        })
+    });
+
+    matched.sort_unstable();
+    OnlineOutcome {
+        granted: granted_state.is_some(),
+        matched,
+        witness,
+        stats,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference engine (original implementation, retained as the spec)
+// ---------------------------------------------------------------------
+
+/// Product state: (member, step index, depth within step).
+type State = (u32, u16, u32);
+
+/// The original HashMap/VecDeque product BFS, kept verbatim as the
+/// executable specification the flat-array engine is differential-tested
+/// against, and as the fallback for degenerate product spaces.
+pub fn evaluate_reference(
     g: &SocialGraph,
     owner: NodeId,
     path: &PathExpr,
@@ -70,13 +475,7 @@ pub fn evaluate(
 
     // Empty path: only the owner matches.
     if path.is_empty() {
-        let granted = target == Some(owner);
-        return OnlineOutcome {
-            granted,
-            matched: if target.is_none() { vec![owner] } else { vec![] },
-            witness: granted.then(Vec::new),
-            stats,
-        };
+        return OnlineOutcome::empty_path(owner, target);
     }
 
     let steps = &path.steps;
@@ -101,7 +500,9 @@ pub fn evaluate(
         let node = NodeId(v);
 
         // Step completion: d hops taken, d ∈ I_i, conditions accept v.
-        if d >= 1 && step.depths.contains(d) && step.conds.iter().all(|c| c.eval(g.node_attrs(node)))
+        if d >= 1
+            && step.depths.contains(d)
+            && step.conds.iter().all(|c| c.eval(g.node_attrs(node)))
         {
             if (i as usize) == steps.len() - 1 {
                 if !matched_seen[node.index()] {
@@ -395,5 +796,101 @@ mod tests {
         let p = parse(&mut g, "friend+[2]");
         let out = evaluate(&g, a, &p, None);
         assert_eq!(names(&g, &out.matched), vec!["Alice"]);
+    }
+
+    #[test]
+    fn snapshot_engine_matches_reference_on_the_chain() {
+        let mut g = chain();
+        g.set_node_attr(g.node_by_name("Carol").unwrap(), "age", 20i64);
+        let texts = [
+            "friend+[1]",
+            "friend+[1,2]",
+            "friend*[1..]",
+            "friend+[1,2]/colleague+[1]",
+            "friend+[2]{age>=18}",
+            "friend-[1]",
+        ];
+        let paths: Vec<PathExpr> = texts.iter().map(|t| parse(&mut g, t)).collect();
+        let snap = g.snapshot();
+        for (p, text) in paths.iter().zip(texts) {
+            for owner in g.nodes() {
+                let fast = evaluate_with_snapshot(&g, &snap, owner, p, None);
+                let slow = evaluate_reference(&g, owner, p, None);
+                assert_eq!(fast.matched, slow.matched, "{text} from {owner}");
+                assert_eq!(
+                    fast.stats.states_visited, slow.stats.states_visited,
+                    "{text}"
+                );
+                for requester in g.nodes() {
+                    let fast = evaluate_with_snapshot(&g, &snap, owner, p, Some(requester));
+                    let slow = evaluate_reference(&g, owner, p, Some(requester));
+                    assert_eq!(fast.granted, slow.granted, "{text} {owner}->{requester}");
+                    assert_eq!(fast.witness, slow.witness, "{text} {owner}->{requester}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_snapshot_falls_back_to_current_graph_semantics() {
+        let mut g = chain();
+        let snap = g.snapshot();
+        let alice = g.node_by_name("Alice").unwrap();
+        let dave = g.node_by_name("Dave").unwrap();
+        g.connect(alice, "friend", dave); // invalidates `snap`
+        let p = parse(&mut g, "friend+[1]");
+        let out = evaluate_with_snapshot(&g, &snap, alice, &p, Some(dave));
+        assert!(out.granted, "stale snapshot must not hide the new edge");
+    }
+
+    #[test]
+    fn astronomical_depths_use_the_reference_fallback() {
+        // sat ≈ 2^30 would want a ~2^30-layer dense space; the wrapper
+        // must transparently fall back and still answer correctly.
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let p = parse(&mut g, "friend+[1073741824..]");
+        let out = evaluate(&g, alice, &p, None);
+        assert!(out.matched.is_empty());
+    }
+
+    #[test]
+    fn attribute_writes_reuse_the_snapshot_but_change_results() {
+        // Attribute churn must not stale the topology snapshot, yet the
+        // engine must see fresh attribute values (it reads them live).
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let bob = g.node_by_name("Bob").unwrap();
+        let snap = g.snapshot();
+        let p = parse(&mut g, "friend+[1]{age>=18}");
+        assert!(evaluate_with_snapshot(&g, &snap, alice, &p, None)
+            .matched
+            .is_empty());
+        g.set_node_attr(bob, "age", 30i64);
+        assert!(snap.matches(&g), "attr write keeps the snapshot current");
+        let out = evaluate_with_snapshot(&g, &snap, alice, &p, None);
+        assert_eq!(names(&g, &out.matched), vec!["Bob"]);
+    }
+
+    #[test]
+    fn release_thread_caches_is_safe_mid_stream() {
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let p = parse(&mut g, "friend+[1,2]");
+        let before = evaluate(&g, alice, &p, None).matched;
+        release_thread_caches();
+        let after = evaluate(&g, alice, &p, None).matched;
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn thread_local_snapshot_is_reused_within_a_generation() {
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let p = parse(&mut g, "friend+[1]");
+        let gen_before = g.generation();
+        let _ = evaluate(&g, alice, &p, None);
+        let _ = evaluate(&g, alice, &p, None);
+        assert_eq!(g.generation(), gen_before, "evaluation never mutates");
     }
 }

@@ -75,7 +75,10 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')) {
+        while matches!(
+            self.peek(),
+            Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')
+        ) {
             self.pos += 1;
         }
     }
@@ -154,11 +157,10 @@ impl<'a> Parser<'a> {
                 self.skip_ws();
                 let item = if self.peek() == Some(b'.') {
                     self.expect(b'.')?;
-                    self.expect(b'.')
-                        .map_err(|mut e| {
-                            e.message = "expected '..' in a depth range".into();
-                            e
-                        })?;
+                    self.expect(b'.').map_err(|mut e| {
+                        e.message = "expected '..' in a depth range".into();
+                        e
+                    })?;
                     self.skip_ws();
                     if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                         let hi = self.integer()?;
@@ -372,7 +374,8 @@ mod tests {
 
     #[test]
     fn parses_conditions() {
-        let (p, vocab) = parse(r#"friend+{age>=18, gender="female"}/colleague+{dept~eng, senior=true}"#);
+        let (p, vocab) =
+            parse(r#"friend+{age>=18, gender="female"}/colleague+{dept~eng, senior=true}"#);
         let c = &p.steps[0].conds;
         assert_eq!(c.len(), 2);
         assert_eq!(vocab.attr_name(c[0].key), "age");

@@ -56,9 +56,9 @@ impl AccessCondition {
     /// is a node name, the remainder a path expression.
     pub fn parse(text: &str, g: &mut SocialGraph) -> Result<AccessCondition, EvalError> {
         let trimmed = text.trim_start();
-        let sep = trimmed
-            .find('/')
-            .ok_or_else(|| crate::error::ParseError::new(text.len(), "expected 'Owner/path…'", text))?;
+        let sep = trimmed.find('/').ok_or_else(|| {
+            crate::error::ParseError::new(text.len(), "expected 'Owner/path…'", text)
+        })?;
         let owner_name = trimmed[..sep].trim();
         let owner = g.require_node(owner_name)?;
         let path = parse_path(&trimmed[sep + 1..], g.vocab_mut())?;

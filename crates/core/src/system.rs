@@ -2,11 +2,15 @@
 //! platform would embed: members, relationships, shared resources,
 //! textual policies, and enforced access checks with pluggable engines.
 //!
-//! The system keeps the join index and the decision cache coherent: any
-//! mutation of the graph or the policies invalidates both (the paper
-//! treats the graph as static during enforcement; incremental index
-//! maintenance is future work there, so we rebuild lazily — see
-//! DESIGN.md §3).
+//! The system keeps three derived structures coherent with the graph
+//! and the policies: the decision cache, the join index, and the online
+//! engine's label-partitioned [`CsrSnapshot`] (one per graph
+//! generation, held by the wrapped `Enforcer`). Any mutation
+//! invalidates all of them and they rebuild lazily on the next check
+//! (the paper treats the graph as static during enforcement;
+//! incremental maintenance is future work there — see DESIGN.md §3).
+//!
+//! [`CsrSnapshot`]: socialreach_graph::csr::CsrSnapshot
 
 use crate::engine::{Enforcer, OnlineEngine};
 use crate::error::EvalError;
@@ -129,9 +133,10 @@ impl AccessControlSystem {
     /// Decides whether `requester` may access `rid`.
     pub fn check(&mut self, rid: ResourceId, requester: NodeId) -> Result<Decision, EvalError> {
         match self.choice {
-            EngineChoice::Online => self
-                .online
-                .check_access(&self.graph, &self.store, rid, requester),
+            EngineChoice::Online => {
+                self.online
+                    .check_access(&self.graph, &self.store, rid, requester)
+            }
             EngineChoice::JoinIndex(cfg) => {
                 if self.join.is_none() {
                     self.join = Some(Enforcer::new(JoinIndexEngine::build(&self.graph, cfg)));
@@ -193,9 +198,15 @@ impl AccessControlSystem {
                 for (eid, forward) in witness {
                     let rec = self.graph.edge(eid);
                     let (next, arrow) = if forward {
-                        (rec.dst, format!("-{}->", self.graph.vocab().label_name(rec.label)))
+                        (
+                            rec.dst,
+                            format!("-{}->", self.graph.vocab().label_name(rec.label)),
+                        )
                     } else {
-                        (rec.src, format!("<-{}-", self.graph.vocab().label_name(rec.label)))
+                        (
+                            rec.src,
+                            format!("<-{}-", self.graph.vocab().label_name(rec.label)),
+                        )
                     };
                     walk.push(arrow);
                     walk.push(self.graph.node_name(next).to_owned());
@@ -228,6 +239,8 @@ impl AccessControlSystem {
     }
 
     fn dirty(&mut self) {
+        // Enforcer::invalidate drops both the decision cache and the
+        // cached CSR snapshot; the join index is rebuilt lazily.
         self.online.invalidate();
         if let Some(join) = &self.join {
             join.invalidate();

@@ -10,8 +10,8 @@ use socialreach_graph::{Direction, NodeId, SocialGraph};
 
 fn graph_strategy() -> impl Strategy<Value = SocialGraph> {
     (2..10usize).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32, 0..2usize, 0..=10u32), 0..24)
-            .prop_map(move |edges| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0..2usize, 0..=10u32), 0..24).prop_map(
+            move |edges| {
                 let mut g = SocialGraph::new();
                 for i in 0..n {
                     g.add_node(&format!("u{i}"));
@@ -22,7 +22,8 @@ fn graph_strategy() -> impl Strategy<Value = SocialGraph> {
                     g.set_edge_attr(e, "trust", trust10 as f64 / 10.0);
                 }
                 g
-            })
+            },
+        )
     })
 }
 

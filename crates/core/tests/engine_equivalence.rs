@@ -19,8 +19,8 @@ struct Case {
 
 fn case_strategy() -> impl Strategy<Value = Case> {
     let graph = (2..9usize).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32, 0..3usize, 10..60i64), 0..20)
-            .prop_map(move |edges| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0..3usize, 10..60i64), 0..20).prop_map(
+            move |edges| {
                 let mut g = SocialGraph::new();
                 for i in 0..n {
                     g.add_node(&format!("u{i}"));
@@ -36,7 +36,8 @@ fn case_strategy() -> impl Strategy<Value = Case> {
                     g.set_node_attr(node, "age", *age);
                 }
                 g
-            })
+            },
+        )
     });
 
     let path_pool = prop::sample::subsequence(

@@ -3,7 +3,7 @@
 //! caps appears exactly once) and structurally well-formed.
 
 use proptest::prelude::*;
-use socialreach_core::{plan, parse_path, PlanConfig};
+use socialreach_core::{parse_path, plan, PlanConfig};
 use socialreach_graph::Vocabulary;
 
 /// A random syntactically valid path text over two labels.

@@ -214,10 +214,7 @@ mod tests {
 
     fn two_cycles_and_tail() -> DiGraph {
         // SCCs: {0,1,2} (cycle), {3,4} (cycle), {5} — edges 2->3, 4->5.
-        DiGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)],
-        )
+        DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)])
     }
 
     #[test]

@@ -87,10 +87,7 @@ impl BitSet {
 
     /// True when `self` and `other` share at least one element.
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Iterates over present elements in ascending order.

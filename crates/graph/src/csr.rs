@@ -1,0 +1,470 @@
+//! Label-partitioned CSR snapshots of a [`SocialGraph`].
+//!
+//! The online enforcement engine spends nearly all of its time expanding
+//! `(member, label, direction)` neighborhoods. The mutable
+//! [`SocialGraph`] stores adjacency as one `Vec<EdgeId>` per node in
+//! insertion order, so every label-constrained step scans **all**
+//! `deg(v)` incident edges and filters — `O(deg)` work and two pointer
+//! chases per edge for `O(deg_label)` useful output.
+//!
+//! [`CsrSnapshot`] is the immutable, cache-friendly alternative
+//! (pruned-landmark systems and production relationship-policy engines
+//! use the same layout): all edge occurrences of one direction live in
+//! two flat parallel arrays (`neighbor`, `edge id`), sorted by
+//! `(node, label, edge id)`, with a per-node run table locating each
+//! label's contiguous slice. A label-constrained expansion is then a
+//! binary search over the node's (few) label runs followed by a linear
+//! scan of exactly the matching edges.
+//!
+//! Snapshots are tied to the graph's mutation [`generation`]
+//! (`SocialGraph::generation`): caches hold one snapshot per generation
+//! and rebuild lazily after any mutation ([`CsrSnapshot::matches`]).
+//!
+//! [`generation`]: CsrSnapshot::generation
+
+use crate::graph::SocialGraph;
+use crate::ids::LabelId;
+
+/// One contiguous run of same-label edge occurrences of one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct LabelRun {
+    /// Interned label of every occurrence in the run.
+    label: u16,
+    /// Start offset into the direction's flat arrays.
+    start: u32,
+    /// One past the last offset.
+    end: u32,
+}
+
+/// Flat adjacency of one direction (out or in).
+#[derive(Clone, Debug, Default)]
+struct DirIndex {
+    /// `node_offsets[v]..node_offsets[v+1]` spans `v`'s occurrences in
+    /// the flat arrays (all labels, label-sorted).
+    node_offsets: Vec<u32>,
+    /// `run_offsets[v]..run_offsets[v+1]` spans `v`'s label runs.
+    run_offsets: Vec<u32>,
+    /// Label runs, per node, ascending by label.
+    runs: Vec<LabelRun>,
+    /// Neighbor member ids (`dst` for out, `src` for in).
+    neighbor: Vec<u32>,
+    /// Parallel underlying edge ids.
+    edge: Vec<u32>,
+}
+
+/// A label-constrained neighborhood: parallel slices of neighbor member
+/// ids and the edge ids that witness them, in ascending edge-id order.
+#[derive(Clone, Copy, Debug)]
+pub struct Neighbors<'a> {
+    /// Neighbor member ids.
+    pub nodes: &'a [u32],
+    /// Witnessing edge ids, parallel to `nodes`.
+    pub edges: &'a [u32],
+}
+
+impl Neighbors<'_> {
+    /// Number of matching edge occurrences.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no edge matches.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates `(neighbor, edge id)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.nodes.iter().copied().zip(self.edges.iter().copied())
+    }
+}
+
+impl DirIndex {
+    /// Builds one direction. `key_of(edge) -> bucket node`,
+    /// `nbr_of(edge) -> stored neighbor`.
+    fn build(
+        g: &SocialGraph,
+        key_of: impl Fn(usize) -> usize,
+        nbr_of: impl Fn(usize) -> u32,
+    ) -> Self {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        let mut counts = vec![0u32; n + 1];
+        for e in 0..m {
+            counts[key_of(e) + 1] += 1;
+        }
+        let mut node_offsets = counts;
+        for i in 0..n {
+            node_offsets[i + 1] += node_offsets[i];
+        }
+
+        // Bucket edge ids by node, preserving edge-id order, then sort
+        // each node's segment by (label, edge id) — stable within label.
+        let mut edge: Vec<u32> = vec![0; m];
+        let mut cursor: Vec<u32> = node_offsets[..n].to_vec();
+        for e in 0..m {
+            let k = key_of(e);
+            edge[cursor[k] as usize] = e as u32;
+            cursor[k] += 1;
+        }
+        let label_of = |e: u32| g.edge(crate::ids::EdgeId(e)).label.0;
+        for v in 0..n {
+            let seg = &mut edge[node_offsets[v] as usize..node_offsets[v + 1] as usize];
+            seg.sort_unstable_by_key(|&e| (label_of(e), e));
+        }
+
+        // Materialize neighbors and carve label runs.
+        let mut neighbor: Vec<u32> = Vec::with_capacity(m);
+        let mut runs: Vec<LabelRun> = Vec::new();
+        let mut run_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        run_offsets.push(0);
+        for v in 0..n {
+            let (lo, hi) = (node_offsets[v] as usize, node_offsets[v + 1] as usize);
+            let mut i = lo;
+            while i < hi {
+                let label = label_of(edge[i]);
+                let start = i;
+                while i < hi && label_of(edge[i]) == label {
+                    i += 1;
+                }
+                runs.push(LabelRun {
+                    label,
+                    start: start as u32,
+                    end: i as u32,
+                });
+            }
+            run_offsets.push(runs.len() as u32);
+        }
+        for &e in &edge {
+            neighbor.push(nbr_of(e as usize));
+        }
+
+        DirIndex {
+            node_offsets,
+            run_offsets,
+            runs,
+            neighbor,
+            edge,
+        }
+    }
+
+    #[inline]
+    fn label_slice(&self, v: u32, label: LabelId) -> Neighbors<'_> {
+        let (rlo, rhi) = (
+            self.run_offsets[v as usize] as usize,
+            self.run_offsets[v as usize + 1] as usize,
+        );
+        let runs = &self.runs[rlo..rhi];
+        // Nodes touch a handful of labels; runs are sorted by label, so
+        // binary search — and for the tiny common case the linear probe
+        // inside `binary_search_by` is already optimal.
+        match runs.binary_search_by(|r| r.label.cmp(&label.0)) {
+            Ok(i) => {
+                let r = runs[i];
+                Neighbors {
+                    nodes: &self.neighbor[r.start as usize..r.end as usize],
+                    edges: &self.edge[r.start as usize..r.end as usize],
+                }
+            }
+            Err(_) => Neighbors {
+                nodes: &[],
+                edges: &[],
+            },
+        }
+    }
+
+    #[inline]
+    fn all_slice(&self, v: u32) -> Neighbors<'_> {
+        let (lo, hi) = (
+            self.node_offsets[v as usize] as usize,
+            self.node_offsets[v as usize + 1] as usize,
+        );
+        Neighbors {
+            nodes: &self.neighbor[lo..hi],
+            edges: &self.edge[lo..hi],
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        (self.node_offsets.len() + self.run_offsets.len()) * 4
+            + self.runs.len() * std::mem::size_of::<LabelRun>()
+            + (self.neighbor.len() + self.edge.len()) * 4
+    }
+}
+
+/// Immutable label-partitioned CSR adjacency snapshot (see module docs).
+#[derive(Clone, Debug)]
+pub struct CsrSnapshot {
+    generation: u64,
+    num_nodes: u32,
+    num_edges: u32,
+    out: DirIndex,
+    inn: DirIndex,
+}
+
+impl CsrSnapshot {
+    /// Builds a snapshot of the graph's current topology. `O(|V| + |E| +
+    /// Σ_v deg(v) log deg(v))`.
+    pub fn build(g: &SocialGraph) -> Self {
+        CsrSnapshot {
+            generation: g.topology_generation(),
+            num_nodes: g.num_nodes() as u32,
+            num_edges: g.num_edges() as u32,
+            out: DirIndex::build(
+                g,
+                |e| g.edge(crate::ids::EdgeId(e as u32)).src.index(),
+                |e| g.edge(crate::ids::EdgeId(e as u32)).dst.0,
+            ),
+            inn: DirIndex::build(
+                g,
+                |e| g.edge(crate::ids::EdgeId(e as u32)).dst.index(),
+                |e| g.edge(crate::ids::EdgeId(e as u32)).src.0,
+            ),
+        }
+    }
+
+    /// The graph **topology** generation this snapshot was built at
+    /// (attribute writes advance only the overall generation).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// True when the snapshot is current for `g` — same topology
+    /// generation (and, defensively, same node/edge counts; a
+    /// deserialized graph that skipped `rebuild_lookups` carries
+    /// generation 0 and never matches). Attribute writes do **not**
+    /// stale a snapshot: it stores no attributes, and condition
+    /// evaluation reads them live from the graph.
+    pub fn matches(&self, g: &SocialGraph) -> bool {
+        self.generation != 0
+            && self.generation == g.topology_generation()
+            && self.num_nodes as usize == g.num_nodes()
+            && self.num_edges as usize == g.num_edges()
+    }
+
+    /// Number of members at snapshot time.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes as usize
+    }
+
+    /// Number of relationship instances at snapshot time.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges as usize
+    }
+
+    /// `label`-edges leaving `v` (`v --label--> x`).
+    #[inline]
+    pub fn out_neighbors(&self, v: u32, label: LabelId) -> Neighbors<'_> {
+        self.out.label_slice(v, label)
+    }
+
+    /// `label`-edges entering `v` (`x --label--> v`).
+    #[inline]
+    pub fn in_neighbors(&self, v: u32, label: LabelId) -> Neighbors<'_> {
+        self.inn.label_slice(v, label)
+    }
+
+    /// All edges leaving `v`, label-sorted.
+    #[inline]
+    pub fn out_all(&self, v: u32) -> Neighbors<'_> {
+        self.out.all_slice(v)
+    }
+
+    /// All edges entering `v`, label-sorted.
+    #[inline]
+    pub fn in_all(&self, v: u32) -> Neighbors<'_> {
+        self.inn.all_slice(v)
+    }
+
+    /// Heap bytes used (for index-size reporting).
+    pub fn heap_bytes(&self) -> usize {
+        self.out.heap_bytes() + self.inn.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+    use crate::ids::NodeId;
+
+    fn snap_of(g: &SocialGraph) -> CsrSnapshot {
+        CsrSnapshot::build(g)
+    }
+
+    /// Cross-check a snapshot slice against the mutable graph's
+    /// filtered adjacency (order-insensitive on the graph side; the
+    /// snapshot must be ascending by edge id).
+    fn assert_slices_agree(g: &SocialGraph, snap: &CsrSnapshot) {
+        for v in 0..g.num_nodes() as u32 {
+            for (label, _) in g.vocab().labels() {
+                let out = snap.out_neighbors(v, label);
+                let mut expect: Vec<(u32, u32)> = g
+                    .out_edges(NodeId(v))
+                    .filter(|(_, r)| r.label == label)
+                    .map(|(e, r)| (r.dst.0, e.0))
+                    .collect();
+                expect.sort_by_key(|&(_, e)| e);
+                assert_eq!(
+                    out.iter().collect::<Vec<_>>(),
+                    expect,
+                    "out v={v} {label:?}"
+                );
+                assert!(out.edges.windows(2).all(|w| w[0] < w[1]));
+
+                let inn = snap.in_neighbors(v, label);
+                let mut expect: Vec<(u32, u32)> = g
+                    .in_edges(NodeId(v))
+                    .filter(|(_, r)| r.label == label)
+                    .map(|(e, r)| (r.src.0, e.0))
+                    .collect();
+                expect.sort_by_key(|&(_, e)| e);
+                assert_eq!(inn.iter().collect::<Vec<_>>(), expect, "in v={v} {label:?}");
+            }
+            // The all-labels slice covers exactly the node's degree.
+            assert_eq!(snap.out_all(v).len(), g.out_degree(NodeId(v)));
+            assert_eq!(snap.in_all(v).len(), g.in_degree(NodeId(v)));
+        }
+    }
+
+    #[test]
+    fn empty_graph_snapshot() {
+        let g = SocialGraph::new();
+        let s = snap_of(&g);
+        assert_eq!(s.num_nodes(), 0);
+        assert_eq!(s.num_edges(), 0);
+        assert!(s.matches(&g));
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_slices() {
+        let mut g = SocialGraph::new();
+        g.add_node("a");
+        g.add_node("b");
+        let f = g.intern_label("friend");
+        let s = snap_of(&g);
+        assert!(s.out_neighbors(0, f).is_empty());
+        assert!(s.in_neighbors(1, f).is_empty());
+        assert!(s.out_all(0).is_empty());
+    }
+
+    #[test]
+    fn unknown_label_yields_empty_slice() {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.connect(a, "friend", b);
+        let ghost = LabelId(7); // never interned on any edge
+        let s = snap_of(&g);
+        assert!(s.out_neighbors(a.0, ghost).is_empty());
+    }
+
+    #[test]
+    fn label_runs_partition_multi_label_nodes() {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        // Interleave labels so runs must be carved out of mixed input.
+        g.connect(a, "friend", b);
+        g.connect(a, "colleague", c);
+        g.connect(a, "friend", c);
+        g.connect(a, "colleague", b);
+        let s = snap_of(&g);
+        assert_slices_agree(&g, &s);
+        let friend = g.vocab().label("friend").unwrap();
+        let out = s.out_neighbors(a.0, friend);
+        assert_eq!(out.nodes, &[b.0, c.0]);
+        assert_eq!(out.edges, &[0, 2], "edge-id order within the run");
+    }
+
+    #[test]
+    fn multi_edges_appear_once_per_instance() {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let f = g.intern_label("friend");
+        g.add_edge(a, b, f);
+        g.add_edge(a, b, f);
+        let s = snap_of(&g);
+        assert_eq!(s.out_neighbors(a.0, f).nodes, &[b.0, b.0]);
+        assert_eq!(s.in_neighbors(b.0, f).len(), 2);
+        assert_slices_agree(&g, &s);
+    }
+
+    #[test]
+    fn self_loops_occur_in_both_directions() {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("a");
+        let f = g.intern_label("friend");
+        g.add_edge(a, a, f);
+        let s = snap_of(&g);
+        assert_eq!(s.out_neighbors(a.0, f).nodes, &[a.0]);
+        assert_eq!(s.in_neighbors(a.0, f).nodes, &[a.0]);
+        assert_slices_agree(&g, &s);
+    }
+
+    #[test]
+    fn snapshot_matches_until_mutation() {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("a");
+        let s = snap_of(&g);
+        assert!(s.matches(&g));
+        let b = g.add_node("b");
+        assert!(!s.matches(&g), "add_node invalidates");
+        let s = snap_of(&g);
+        g.connect(a, "friend", b);
+        assert!(!s.matches(&g), "add_edge invalidates");
+        let s = snap_of(&g);
+        g.set_node_attr(a, "age", 9i64);
+        assert!(
+            s.matches(&g),
+            "attribute writes keep the snapshot current (it stores no attributes)"
+        );
+    }
+
+    #[test]
+    fn dense_random_graph_agrees_with_filtered_adjacency() {
+        // Deterministic pseudo-random multigraph exercising every slice.
+        let mut g = SocialGraph::new();
+        let n = 23u32;
+        for i in 0..n {
+            g.add_node(&format!("u{i}"));
+        }
+        let labels = [
+            g.intern_label("a"),
+            g.intern_label("b"),
+            g.intern_label("c"),
+        ];
+        let mut x = 12345u64;
+        for _ in 0..200 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let s = ((x >> 16) % n as u64) as u32;
+            let t = ((x >> 40) % n as u64) as u32;
+            let l = labels[((x >> 8) % 3) as usize];
+            g.add_edge(NodeId(s), NodeId(t), l);
+        }
+        let snap = snap_of(&g);
+        assert_slices_agree(&g, &snap);
+        assert!(snap.heap_bytes() > 0);
+        // Spot-check against the Direction-based neighbor iterator.
+        let v = NodeId(3);
+        let both: Vec<u32> = snap
+            .out_neighbors(3, labels[0])
+            .nodes
+            .iter()
+            .chain(snap.in_neighbors(3, labels[0]).nodes)
+            .copied()
+            .collect();
+        let mut expect: Vec<u32> = g
+            .neighbors(v, labels[0], Direction::Both)
+            .map(|n| n.0)
+            .collect();
+        let mut both_sorted = both;
+        both_sorted.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(both_sorted, expect);
+    }
+}

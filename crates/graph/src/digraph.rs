@@ -25,7 +25,10 @@ impl DiGraph {
         let n32 = u32::try_from(num_nodes).expect("DiGraph node count overflow");
         let mut degree = vec![0u32; num_nodes];
         for &(s, t) in edges {
-            assert!(s < n32 && t < n32, "edge ({s},{t}) out of range {num_nodes}");
+            assert!(
+                s < n32 && t < n32,
+                "edge ({s},{t}) out of range {num_nodes}"
+            );
             degree[s as usize] += 1;
         }
         let mut offsets = Vec::with_capacity(num_nodes + 1);
@@ -48,6 +51,43 @@ impl DiGraph {
         for u in 0..num_nodes {
             let (lo, hi) = g.range(u as u32);
             g.targets[lo..hi].sort_unstable();
+        }
+        g
+    }
+
+    /// Builds a digraph directly from CSR parts, skipping
+    /// [`DiGraph::from_edges`]'s counting sort and per-node
+    /// `sort_unstable` passes. For callers that already hold adjacency
+    /// in CSR shape (the line graph assembles successor runs from
+    /// per-node vertex lists) only a single linear `O(|V| + |E|)`
+    /// validation scan remains — no re-bucketing, no sorting.
+    ///
+    /// # Panics
+    /// Panics unless `offsets` is monotone from 0 to `targets.len()`
+    /// and every successor run is sorted and in range.
+    pub fn from_csr_parts(offsets: Vec<u32>, targets: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty(), "offsets needs a leading 0");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().expect("non-empty") as usize,
+            targets.len(),
+            "offsets must end at the target count"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        let n = offsets.len() - 1;
+        let g = DiGraph { offsets, targets };
+        for u in 0..n as u32 {
+            let run = g.successors(u);
+            assert!(
+                run.windows(2).all(|w| w[0] <= w[1]),
+                "successor run of {u} must be sorted"
+            );
+            if let Some(&last) = run.last() {
+                assert!((last as usize) < n, "target {last} out of range {n}");
+            }
         }
         g
     }

@@ -6,12 +6,24 @@
 //! `Babysitting; 0.8` annotation in Figure 1 of the paper).
 
 use crate::attrs::{AttrMap, AttrValue};
+use crate::csr::CsrSnapshot;
 use crate::digraph::DiGraph;
 use crate::error::GraphError;
 use crate::ids::{AttrKey, EdgeId, LabelId, NodeId};
 use crate::vocab::Vocabulary;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global mutation-generation counter. Stamps are unique across every
+/// live graph in the process, so a `(generation)` key never aliases two
+/// different topologies (clones share a stamp only while identical —
+/// the first mutation of either moves it to a fresh one).
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Traversal direction of a relationship, relative to a node.
 ///
@@ -53,7 +65,7 @@ pub struct EdgeRecord {
 }
 
 /// Directed, edge-labeled, node-attributed multigraph (Definition 1).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SocialGraph {
     vocab: Vocabulary,
     node_names: Vec<String>,
@@ -63,6 +75,35 @@ pub struct SocialGraph {
     edges: Vec<EdgeRecord>,
     out_adj: Vec<Vec<EdgeId>>,
     in_adj: Vec<Vec<EdgeId>>,
+    /// Mutation stamp for cache invalidation, advanced by **every**
+    /// mutating operation (see [`SocialGraph::generation`]). Not
+    /// serialized: deserialized graphs get a fresh stamp from
+    /// [`SocialGraph::rebuild_lookups`] (and carry the never-matching
+    /// `0` until then).
+    #[serde(skip)]
+    generation: u64,
+    /// Stamp advanced only by **topology** mutations (nodes/edges
+    /// added). [`CsrSnapshot`]s key on this one: attribute writes never
+    /// force a re-index, because snapshots store no attributes.
+    #[serde(skip)]
+    topology_generation: u64,
+}
+
+impl Default for SocialGraph {
+    fn default() -> Self {
+        let stamp = next_generation();
+        SocialGraph {
+            vocab: Vocabulary::default(),
+            node_names: Vec::new(),
+            name_lookup: HashMap::new(),
+            node_attrs: Vec::new(),
+            edges: Vec::new(),
+            out_adj: Vec::new(),
+            in_adj: Vec::new(),
+            generation: stamp,
+            topology_generation: stamp,
+        }
+    }
 }
 
 impl SocialGraph {
@@ -74,12 +115,50 @@ impl SocialGraph {
     /// Rebuilds non-serialized lookups after deserialization.
     pub fn rebuild_lookups(&mut self) {
         self.vocab.rebuild_lookups();
-        self.name_lookup = self
-            .node_names
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.clone(), NodeId::from_index(i)))
-            .collect();
+        // `add_node` gives duplicate display names first-wins semantics
+        // (`entry().or_insert()`); rebuild the same way so a serde
+        // round-trip cannot silently re-point `node_by_name`.
+        self.name_lookup = HashMap::with_capacity(self.node_names.len());
+        for (i, s) in self.node_names.iter().enumerate() {
+            self.name_lookup
+                .entry(s.clone())
+                .or_insert(NodeId::from_index(i));
+        }
+        self.touch_topology();
+    }
+
+    /// The graph's mutation generation: a process-unique stamp advanced
+    /// by every mutating operation (topology *and* attribute writes).
+    /// Decision caches key on this one.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The graph's topology generation: advanced only when nodes or
+    /// edges are added. [`CsrSnapshot`]s record the stamp they were
+    /// built at, so caches can tell a current snapshot from a stale one
+    /// in O(1) ([`CsrSnapshot::matches`]) without rebuilding after mere
+    /// attribute churn (conditions read attributes live from the graph).
+    pub fn topology_generation(&self) -> u64 {
+        self.topology_generation
+    }
+
+    /// Builds an immutable label-partitioned CSR adjacency snapshot of
+    /// the current topology.
+    pub fn snapshot(&self) -> CsrSnapshot {
+        CsrSnapshot::build(self)
+    }
+
+    #[inline]
+    fn touch(&mut self) {
+        self.generation = next_generation();
+    }
+
+    #[inline]
+    fn touch_topology(&mut self) {
+        let stamp = next_generation();
+        self.generation = stamp;
+        self.topology_generation = stamp;
     }
 
     // ------------------------------------------------------------------
@@ -115,6 +194,7 @@ impl SocialGraph {
     /// and need not be unique; [`SocialGraph::node_by_name`] returns the
     /// first member registered under a name.
     pub fn add_node(&mut self, name: &str) -> NodeId {
+        self.touch_topology();
         let id = NodeId::from_index(self.node_names.len());
         self.node_names.push(name.to_owned());
         self.name_lookup.entry(name.to_owned()).or_insert(id);
@@ -157,6 +237,7 @@ impl SocialGraph {
 
     /// Sets a node attribute (interning the key name).
     pub fn set_node_attr(&mut self, n: NodeId, key: &str, value: impl Into<AttrValue>) {
+        self.touch();
         let k = self.vocab.intern_attr(key);
         self.node_attrs[n.index()].set(k, value.into());
     }
@@ -187,6 +268,7 @@ impl SocialGraph {
     /// # Panics
     /// Panics if either endpoint is not a member of this graph.
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, label: LabelId) -> EdgeId {
+        self.touch_topology();
         assert!(self.contains_node(src), "add_edge: unknown src {src:?}");
         assert!(self.contains_node(dst), "add_edge: unknown dst {dst:?}");
         let id = EdgeId::from_index(self.edges.len());
@@ -219,6 +301,7 @@ impl SocialGraph {
 
     /// Sets an edge attribute (interning the key name).
     pub fn set_edge_attr(&mut self, e: EdgeId, key: &str, value: impl Into<AttrValue>) {
+        self.touch();
         let k = self.vocab.intern_attr(key);
         self.edges[e.index()].attrs.set(k, value.into());
     }
@@ -267,15 +350,13 @@ impl SocialGraph {
     ) -> impl Iterator<Item = NodeId> + '_ {
         let out = matches!(dir, Direction::Out | Direction::Both);
         let inc = matches!(dir, Direction::In | Direction::Both);
-        let out_iter = self
-            .out_adj[n.index()]
+        let out_iter = self.out_adj[n.index()]
             .iter()
             .filter(move |_| out)
             .map(|&e| self.edge(e))
             .filter(move |r| r.label == label)
             .map(|r| r.dst);
-        let in_iter = self
-            .in_adj[n.index()]
+        let in_iter = self.in_adj[n.index()]
             .iter()
             .filter(move |_| inc)
             .map(|&e| self.edge(e))
@@ -373,10 +454,7 @@ mod tests {
         let (mut g, a, _, _, _, _) = tiny();
         g.set_node_attr(a, "age", 24i64);
         g.set_node_attr(a, "gender", "female");
-        assert_eq!(
-            g.node_attr_by_name(a, "age"),
-            Some(&AttrValue::Int(24))
-        );
+        assert_eq!(g.node_attr_by_name(a, "age"), Some(&AttrValue::Int(24)));
         assert_eq!(g.node_attr_by_name(a, "height"), None);
         assert_eq!(g.node_attrs(a).len(), 2);
     }
@@ -434,5 +512,71 @@ mod tests {
         g2.name_lookup.clear();
         g2.rebuild_lookups();
         assert_eq!(g2.node_by_name("A"), Some(a));
+    }
+
+    #[test]
+    fn rebuild_lookups_keeps_first_wins_for_duplicate_names() {
+        // Regression: the rebuild used to insert last-wins while
+        // `add_node` resolves duplicates first-wins, so a serde
+        // round-trip silently re-pointed `node_by_name`.
+        let mut g = SocialGraph::new();
+        let first = g.add_node("X");
+        let _second = g.add_node("X");
+        assert_eq!(g.node_by_name("X"), Some(first));
+        let mut g2 = g.clone();
+        g2.name_lookup.clear();
+        g2.rebuild_lookups();
+        assert_eq!(g2.node_by_name("X"), Some(first));
+    }
+
+    #[test]
+    fn generation_advances_on_every_mutation() {
+        let mut g = SocialGraph::new();
+        let g0 = g.generation();
+        let a = g.add_node("a");
+        assert_ne!(g.generation(), g0);
+        let g1 = g.generation();
+        let b = g.add_node("b");
+        let e = g.connect(a, "friend", b);
+        assert_ne!(g.generation(), g1);
+        let g2 = g.generation();
+        g.set_node_attr(a, "age", 4i64);
+        assert_ne!(g.generation(), g2);
+        let g3 = g.generation();
+        g.set_edge_attr(e, "trust", 0.5f64);
+        assert_ne!(g.generation(), g3);
+        // Distinct graphs never share a stamp.
+        let other = SocialGraph::new();
+        assert_ne!(other.generation(), g.generation());
+    }
+
+    #[test]
+    fn topology_generation_ignores_attribute_writes() {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let e = g.connect(a, "friend", b);
+        let topo = g.topology_generation();
+        g.set_node_attr(a, "age", 4i64);
+        g.set_edge_attr(e, "trust", 0.5f64);
+        assert_eq!(
+            g.topology_generation(),
+            topo,
+            "attribute churn must not force a CSR re-index"
+        );
+        assert_ne!(g.generation(), topo, "overall generation still advances");
+        g.add_edge(a, b, g.vocab().label("friend").unwrap());
+        assert_ne!(g.topology_generation(), topo);
+    }
+
+    #[test]
+    fn snapshot_convenience_matches_current_generation() {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.connect(a, "friend", b);
+        let s = g.snapshot();
+        assert!(s.matches(&g));
+        assert_eq!(s.generation(), g.generation());
     }
 }

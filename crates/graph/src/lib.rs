@@ -14,7 +14,11 @@
 //!   per-edge attribute maps;
 //! * [`vocab`] — string interning for relationship types and attribute
 //!   keys, so the hot paths work on integers;
-//! * [`graph`] — the mutable [`SocialGraph`] itself;
+//! * [`graph`] — the mutable [`SocialGraph`] itself, carrying a
+//!   process-unique mutation *generation* stamp;
+//! * [`csr`] — immutable label-partitioned CSR adjacency snapshots
+//!   ([`CsrSnapshot`]): the online engine's hot-path layout, rebuilt
+//!   per generation by the caching layers (invalidate-on-mutation);
 //! * [`digraph`] — a compact CSR digraph used by index structures (the
 //!   line graph, condensations, …);
 //! * [`algo`] — BFS, iterative Tarjan SCC, condensation and topological
@@ -40,6 +44,7 @@
 pub mod algo;
 pub mod attrs;
 pub mod bitset;
+pub mod csr;
 pub mod digraph;
 pub mod error;
 pub mod export;
@@ -49,6 +54,7 @@ pub mod vocab;
 
 pub use attrs::{AttrMap, AttrValue};
 pub use bitset::BitSet;
+pub use csr::CsrSnapshot;
 pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use graph::{Direction, EdgeRecord, SocialGraph};

@@ -261,7 +261,9 @@ mod tests {
     fn postorder_numbers_are_a_permutation() {
         let g = DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
         let il = IntervalLabeling::build(&g);
-        let mut pos: Vec<u32> = (0..il.num_comps() as u32).map(|c| il.postorder(c)).collect();
+        let mut pos: Vec<u32> = (0..il.num_comps() as u32)
+            .map(|c| il.postorder(c))
+            .collect();
         pos.sort_unstable();
         let expect: Vec<u32> = (1..=il.num_comps() as u32).collect();
         assert_eq!(pos, expect);
@@ -271,13 +273,26 @@ mod tests {
     fn intervals_are_sorted_and_disjoint() {
         let g = DiGraph::from_edges(
             8,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 5), (5, 6), (2, 7), (7, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (1, 5),
+                (5, 6),
+                (2, 7),
+                (7, 6),
+            ],
         );
         let il = IntervalLabeling::build(&g);
         for c in 0..il.num_comps() as u32 {
             let ivs = il.intervals(c);
             for w in ivs.windows(2) {
-                assert!(w[0].1 + 1 < w[1].0, "intervals must be disjoint, non-adjacent");
+                assert!(
+                    w[0].1 + 1 < w[1].0,
+                    "intervals must be disjoint, non-adjacent"
+                );
             }
         }
     }
@@ -297,7 +312,9 @@ mod tests {
         let mut state = 0x9e3779b97f4a7c15u64;
         for u in 0..n {
             for v in (u + 1)..n {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if state >> 61 == 0 {
                     edges.push((u, v));
                 }

@@ -441,7 +441,10 @@ mod tests {
         // parent C->D cannot be continued by a friend edge (D has no
         // out-edges), so W(parent, friend) must be empty and so is the
         // join.
-        assert!(idx.wtable().centers((parent, true), (friend, true)).is_empty());
+        assert!(idx
+            .wtable()
+            .centers((parent, true), (friend, true))
+            .is_empty());
         assert!(idx.join_full((parent, true), (friend, true)).is_empty());
     }
 
@@ -475,7 +478,8 @@ mod tests {
         let bob = g.node_by_name("Bob").unwrap();
         let carol = g.node_by_name("Carol").unwrap();
         let witness = got.iter().any(|&(x, y)| {
-            idx.line().node(x).from == bob && idx.line().node(y).to == carol
+            idx.line().node(x).from == bob
+                && idx.line().node(y).to == carol
                 && idx.line().adjacent(x, y)
         });
         assert!(witness, "expected Bob->Alice->Carol candidate, got {got:?}");

@@ -51,7 +51,9 @@ pub mod twohop;
 pub mod util;
 
 pub use interval::IntervalLabeling;
-pub use joinindex::{BaseTables, Cluster, ClusterIndex, JoinIndex, JoinIndexConfig, LabelKey, WTable};
+pub use joinindex::{
+    BaseTables, Cluster, ClusterIndex, JoinIndex, JoinIndexConfig, LabelKey, WTable,
+};
 pub use line::{LineGraph, LineGraphConfig, LineNode, LineNodeKind};
 pub use oracle::{BfsOracle, ReachabilityOracle};
 pub use table::{ReachRow, ReachabilityTable};

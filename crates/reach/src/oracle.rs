@@ -7,7 +7,7 @@
 //! 2-hop labeling — implements [`ReachabilityOracle`], so the join
 //! pipeline and the benchmarks can swap them freely (ablation P5).
 
-use socialreach_graph::algo::bfs_reachable;
+use parking_lot::Mutex;
 use socialreach_graph::DiGraph;
 
 /// Answers `u ⇝ v` queries over a fixed digraph.
@@ -26,17 +26,40 @@ pub trait ReachabilityOracle {
     fn name(&self) -> &'static str;
 }
 
+/// Reusable BFS buffers: an epoch-stamped visited array (`O(1)` reset
+/// per query instead of a fresh bitset allocation) and a queue.
+#[derive(Debug, Default)]
+struct BfsScratch {
+    epoch: u32,
+    visited: Vec<u32>,
+    queue: Vec<u32>,
+}
+
 /// Index-free oracle: answers every query with a fresh BFS. This is the
 /// paper's `O(|V| + |E|)`-per-query baseline from §1.
-#[derive(Clone, Debug)]
+///
+/// The traversal buffers are reused across queries behind a mutex
+/// (`reaches` takes `&self`), so repeated oracle queries stop hammering
+/// the allocator; the BFS also exits as soon as it dequeues `v`.
+#[derive(Debug)]
 pub struct BfsOracle {
     g: DiGraph,
+    scratch: Mutex<BfsScratch>,
+}
+
+impl Clone for BfsOracle {
+    fn clone(&self) -> Self {
+        BfsOracle::new(self.g.clone())
+    }
 }
 
 impl BfsOracle {
     /// Wraps a digraph; no preprocessing is performed.
     pub fn new(g: DiGraph) -> Self {
-        BfsOracle { g }
+        BfsOracle {
+            g,
+            scratch: Mutex::new(BfsScratch::default()),
+        }
     }
 
     /// The underlying digraph.
@@ -54,7 +77,34 @@ impl ReachabilityOracle for BfsOracle {
         if u == v {
             return true;
         }
-        bfs_reachable(&self.g, u).contains(v as usize)
+        let s = &mut *self.scratch.lock();
+        if s.visited.len() < self.g.num_nodes() {
+            s.visited.resize(self.g.num_nodes(), 0);
+        }
+        if s.epoch == u32::MAX {
+            s.visited.fill(0);
+            s.epoch = 0;
+        }
+        s.epoch += 1;
+        let epoch = s.epoch;
+        s.queue.clear();
+        s.visited[u as usize] = epoch;
+        s.queue.push(u);
+        let mut head = 0;
+        while head < s.queue.len() {
+            let x = s.queue[head];
+            head += 1;
+            for &y in self.g.successors(x) {
+                if y == v {
+                    return true;
+                }
+                if s.visited[y as usize] != epoch {
+                    s.visited[y as usize] = epoch;
+                    s.queue.push(y);
+                }
+            }
+        }
+        false
     }
 
     fn index_bytes(&self) -> usize {
@@ -90,5 +140,22 @@ mod tests {
         assert!(o.reaches(1, 0));
         assert!(o.reaches(0, 2));
         assert!(!o.reaches(2, 1));
+    }
+
+    #[test]
+    fn scratch_reuse_keeps_answers_independent() {
+        // Interleave queries with disjoint reachable sets: a stale
+        // visited stamp from one query must never leak into the next.
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let o = BfsOracle::new(g);
+        for _ in 0..3 {
+            assert!(o.reaches(0, 2));
+            assert!(!o.reaches(0, 5));
+            assert!(o.reaches(3, 5));
+            assert!(!o.reaches(3, 2));
+            assert!(!o.reaches(5, 3));
+        }
+        let o2 = o.clone();
+        assert!(o2.reaches(0, 2), "clone gets a fresh scratch");
     }
 }

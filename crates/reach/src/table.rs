@@ -76,7 +76,8 @@ impl ReachabilityTable {
     /// `a ⇝ b` per the descendant labeling (used by the artifact's
     /// self-check).
     pub fn reaches_down(&self, a: u32, b: u32) -> bool {
-        self.down.reaches_comp(self.down.comp_of(a), self.down.comp_of(b))
+        self.down
+            .reaches_comp(self.down.comp_of(a), self.down.comp_of(b))
     }
 
     /// `a` is an ancestor of `b` per the ancestor labeling — i.e.

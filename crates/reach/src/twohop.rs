@@ -116,10 +116,7 @@ impl TwoHopLabeling {
                 for u in anc[w as usize].iter() {
                     let row = &uncovered[u];
                     // |uncovered[u] ∩ desc[w]|
-                    gain += row
-                        .iter()
-                        .filter(|&v| desc[w as usize].contains(v))
-                        .count() as u64;
+                    gain += row.iter().filter(|&v| desc[w as usize].contains(v)).count() as u64;
                 }
                 if gain > best_gain {
                     best_gain = gain;
@@ -184,7 +181,9 @@ impl TwoHopLabeling {
         // Hub order: total degree descending (heaviest hubs prune most).
         let indeg = dag.in_degrees();
         let mut order: Vec<u32> = (0..k as u32).collect();
-        order.sort_by_key(|&v| std::cmp::Reverse(indeg[v as usize] as u64 + dag.out_degree(v) as u64));
+        order.sort_by_key(|&v| {
+            std::cmp::Reverse(indeg[v as usize] as u64 + dag.out_degree(v) as u64)
+        });
 
         // Labels store hub *ranks* during construction (both lists stay
         // ascending because hubs are processed in rank order), and are
@@ -192,38 +191,44 @@ impl TwoHopLabeling {
         let mut lin_r: Vec<Vec<u32>> = vec![Vec::new(); k];
         let mut lout_r: Vec<Vec<u32>> = vec![Vec::new(); k];
         let mut queue = VecDeque::new();
-        let mut visited = BitSet::new(k);
+        // Epoch-stamped visited array, as in the CSR online engine: one
+        // increment resets it between the 2k pruned BFS passes, instead
+        // of an O(k/64) bitset clear per pass.
+        let mut visited: Vec<u32> = vec![0; k];
+        let mut epoch: u32 = 0;
 
         for (rank, &h) in order.iter().enumerate() {
             let rank = rank as u32;
             // Forward pruned BFS: h ⇝ u  ==>  rank(h) joins L_in(u).
-            visited.clear();
+            epoch += 1;
             queue.clear();
             queue.push_back(h);
-            visited.insert(h as usize);
+            visited[h as usize] = epoch;
             while let Some(u) = queue.pop_front() {
                 if sorted_intersects(&lout_r[h as usize], &lin_r[u as usize]) {
                     continue; // an earlier hub already explains h ⇝ u
                 }
                 lin_r[u as usize].push(rank);
                 for &w in dag.successors(u) {
-                    if visited.insert(w as usize) {
+                    if visited[w as usize] != epoch {
+                        visited[w as usize] = epoch;
                         queue.push_back(w);
                     }
                 }
             }
             // Backward pruned BFS: u ⇝ h  ==>  rank(h) joins L_out(u).
-            visited.clear();
+            epoch += 1;
             queue.clear();
             queue.push_back(h);
-            visited.insert(h as usize);
+            visited[h as usize] = epoch;
             while let Some(u) = queue.pop_front() {
                 if sorted_intersects(&lout_r[u as usize], &lin_r[h as usize]) {
                     continue;
                 }
                 lout_r[u as usize].push(rank);
                 for &w in rev.successors(u) {
-                    if visited.insert(w as usize) {
+                    if visited[w as usize] != epoch {
+                        visited[w as usize] = epoch;
                         queue.push_back(w);
                     }
                 }

@@ -1,0 +1,375 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, [`collection::vec`], [`sample::subsequence`], the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, and the
+//! `prop_assert*` macros. Unlike real proptest there is **no input
+//! shrinking** — a failing case panics with the sampled inputs' debug
+//! representation via the ordinary assert message, and cases are drawn
+//! from a fixed deterministic seed sequence so failures reproduce.
+
+use rand::rngs::StdRng;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Run configuration (subset of proptest's).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, then samples from the strategy `f` builds
+    /// from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.sample(rng)).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Size specifications accepted by collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// `Vec` of values from `element`, with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::*;
+
+    /// Order-preserving random subsequence of `values` with a size drawn
+    /// from `size`.
+    pub struct Subsequence<T: Clone> {
+        values: Vec<T>,
+        size: SizeRange,
+    }
+
+    /// Builds a [`Subsequence`] strategy.
+    pub fn subsequence<T: Clone>(values: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        let size = size.into();
+        assert!(
+            size.hi <= values.len(),
+            "subsequence size {} exceeds {} candidates",
+            size.hi,
+            values.len()
+        );
+        Subsequence { values, size }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            let k = rand::Rng::gen_range(rng, self.size.lo..=self.size.hi);
+            // Floyd's algorithm for k distinct indices, then sort to
+            // preserve the source order.
+            let n = self.values.len();
+            let mut picked: Vec<usize> = Vec::with_capacity(k);
+            for j in n - k..n {
+                let t = rand::Rng::gen_range(rng, 0..=j);
+                if picked.contains(&t) {
+                    picked.push(j);
+                } else {
+                    picked.push(t);
+                }
+            }
+            picked.sort_unstable();
+            picked.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+/// Asserts within a property (proptest-compatible spelling).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality within a property (proptest-compatible spelling).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality within a property (proptest-compatible spelling).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` becomes
+/// a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases as u64 {
+                // Deterministic per-case seed: failures reproduce on
+                // re-run; the case index surfaces in panic payloads.
+                let mut __rng = <$crate::TestRng as $crate::SeedableRng>::seed_from_u64(
+                    0x5eed_0000_0000_0000u64 ^ case,
+                );
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                // Real proptest bodies may `return Ok(())` early, so the
+                // body runs in a Result-returning closure.
+                let run = || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                if let ::std::result::Result::Err(e) = run() {
+                    panic!("property {} failed on case {}: {}", stringify!($name), case, e);
+                }
+            }
+        }
+    )*};
+}
+
+/// One-stop import, as in `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+
+    /// The `prop` shorthand module (`prop::collection`, `prop::sample`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = <TestRng as SeedableRng>::seed_from_u64(1);
+        let s = (0..5u32, 1..=3usize);
+        for _ in 0..100 {
+            let (a, b) = s.sample(&mut rng);
+            assert!(a < 5 && (1..=3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = <TestRng as SeedableRng>::seed_from_u64(2);
+        let s = (1..4usize)
+            .prop_flat_map(|n| collection::vec(0..n as u32, n).prop_map(move |v| (n, v)));
+        for _ in 0..50 {
+            let (n, v) = s.sample(&mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| (x as usize) < n));
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_distinctness() {
+        let mut rng = <TestRng as SeedableRng>::seed_from_u64(3);
+        let s = sample::subsequence(vec![1, 2, 3, 4, 5], 1..5);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 4);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "{v:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_runs_and_binds(x in 0..10u32, v in prop::collection::vec(0..3u8, 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (a single owned `Value` tree, see the `serde` shim) for the
+//! type shapes this workspace actually derives on: non-generic structs
+//! (named, tuple, unit) and enums (unit, tuple and struct variants),
+//! honoring `#[serde(skip)]` on named struct fields. Anything fancier
+//! fails loudly with a `compile_error!` so a silent wrong encoding can
+//! never ship.
+//!
+//! No `syn`/`quote`: the input item is parsed directly off the
+//! `proc_macro` token stream (the shapes involved are small), and the
+//! output is rendered as source text and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<(String, bool)>), // (name, skip)
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(ts: TokenStream) -> Self {
+        Parser {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes leading `#[...]` attributes; true when one of them is
+    /// `#[serde(skip)]` (or a `serde(...)` list containing `skip`).
+    fn skip_attrs(&mut self) -> Result<bool, String> {
+        let mut skip = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next(); // '#'
+            let Some(TokenTree::Group(g)) = self.next() else {
+                return Err("expected [...] after #".into());
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(name)) = inner.first() {
+                if name.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        let text = args.stream().to_string();
+                        if text.split(',').any(|part| part.trim() == "skip") {
+                            skip = true;
+                        } else {
+                            return Err(format!(
+                                "unsupported serde attribute `{text}` (shim supports only `skip`)"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(skip)
+    }
+
+    /// Consumes a visibility qualifier (`pub`, `pub(crate)`, …).
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consumes type tokens until a top-level `,` (which is consumed) or
+    /// the end of the stream. Tracks `<`/`>` nesting so commas inside
+    /// generic arguments don't split fields.
+    fn skip_type(&mut self) -> Result<(), String> {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return Ok(());
+                }
+                _ => {}
+            }
+            self.next();
+        }
+        Ok(())
+    }
+
+    fn parse_named_fields(stream: TokenStream) -> Result<Vec<(String, bool)>, String> {
+        let mut p = Parser::new(stream);
+        let mut out = Vec::new();
+        while !p.at_end() {
+            let skip = p.skip_attrs()?;
+            p.skip_vis();
+            let name = p.expect_ident()?;
+            match p.next() {
+                Some(TokenTree::Punct(c)) if c.as_char() == ':' => {}
+                other => return Err(format!("expected `:` after field {name}, found {other:?}")),
+            }
+            p.skip_type()?;
+            out.push((name, skip));
+        }
+        Ok(out)
+    }
+
+    fn parse_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+        let mut p = Parser::new(stream);
+        let mut count = 0;
+        while !p.at_end() {
+            let skip = p.skip_attrs()?;
+            if skip {
+                return Err("#[serde(skip)] on tuple fields is not supported by the shim".into());
+            }
+            p.skip_vis();
+            if p.at_end() {
+                break; // trailing comma
+            }
+            p.skip_type()?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+        let mut p = Parser::new(stream);
+        let mut out = Vec::new();
+        while !p.at_end() {
+            p.skip_attrs()?;
+            if p.at_end() {
+                break;
+            }
+            let name = p.expect_ident()?;
+            let fields = match p.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let g = g.stream();
+                    p.next();
+                    Fields::Named(Self::parse_named_fields(g)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let g = g.stream();
+                    p.next();
+                    Fields::Tuple(Self::parse_tuple_fields(g)?)
+                }
+                _ => Fields::Unit,
+            };
+            match p.next() {
+                None => {
+                    out.push(Variant { name, fields });
+                    break;
+                }
+                Some(TokenTree::Punct(c)) if c.as_char() == ',' => {
+                    out.push(Variant { name, fields });
+                }
+                other => {
+                    return Err(format!(
+                    "unexpected token after variant {name}: {other:?} (discriminants unsupported)"
+                ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the whole derive input into `(type name, shape)`.
+    fn parse_item(mut self) -> Result<(String, Shape), String> {
+        self.skip_attrs()?;
+        self.skip_vis();
+        let kw = self.expect_ident()?;
+        let name = self.expect_ident()?;
+        if matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return Err(format!(
+                "generic type {name} is not supported by the serde shim derive"
+            ));
+        }
+        match kw.as_str() {
+            "struct" => match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok((
+                    name,
+                    Shape::Struct(Fields::Named(Self::parse_named_fields(g.stream())?)),
+                )),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok((
+                    name,
+                    Shape::Struct(Fields::Tuple(Self::parse_tuple_fields(g.stream())?)),
+                )),
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    Ok((name, Shape::Struct(Fields::Unit)))
+                }
+                other => Err(format!("unexpected struct body: {other:?}")),
+            },
+            "enum" => match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Ok((name, Shape::Enum(Self::parse_variants(g.stream())?)))
+                }
+                other => Err(format!("unexpected enum body: {other:?}")),
+            },
+            other => Err(format!("expected struct or enum, found `{other}`")),
+        }
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", format!("serde shim derive: {msg}"))
+        .parse()
+        .expect("compile_error tokens parse")
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut s = String::from("let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for (f, skip) in fields {
+                if *skip {
+                    continue;
+                }
+                s.push_str(&format!(
+                    "m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Map(m)");
+            s
+        }
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|(f, _)| f.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|(f, _)| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_constructor(path: &str, fields: &[(String, bool)], map_expr: &str) -> String {
+    let mut init = String::new();
+    for (f, skip) in fields {
+        if *skip {
+            init.push_str(&format!("{f}: ::std::default::Default::default(),\n"));
+        } else {
+            init.push_str(&format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::value_get({map_expr}, {f:?})\
+                 .ok_or_else(|| ::serde::Error::new(concat!(\"missing field \", {f:?})))?)?,\n"
+            ));
+        }
+    }
+    format!("{path} {{\n{init}}}")
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let ctor = gen_named_constructor(name, fields, "m");
+            format!(
+                "let m = v.as_map().ok_or_else(|| ::serde::Error::new(\"expected map for {name}\"))?;\n\
+                 Ok({ctor})"
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                .collect();
+            format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::Error::new(\"expected array for {name}\"))?;\n\
+                 if a.len() != {n} {{ return Err(::serde::Error::new(\"arity mismatch for {name}\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let path = format!("{name}::{vn}");
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({path}),\n"));
+                    }
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "{vn:?} => Ok({path}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let a = inner.as_array().ok_or_else(|| ::serde::Error::new(\"expected array for {path}\"))?;\n\
+                             if a.len() != {n} {{ return Err(::serde::Error::new(\"arity mismatch for {path}\")); }}\n\
+                             Ok({path}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let ctor = gen_named_constructor(&path, fields, "m");
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let m = inner.as_map().ok_or_else(|| ::serde::Error::new(\"expected map for {path}\"))?;\n\
+                             Ok({ctor})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 _ => Err(::serde::Error::new(\"unknown variant for {name}\")),\n}},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 _ => Err(::serde::Error::new(\"unknown variant for {name}\")),\n}}\n}},\n\
+                 _ => Err(::serde::Error::new(\"expected variant encoding for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn derive(input: TokenStream, ser: bool) -> TokenStream {
+    match Parser::new(input).parse_item() {
+        Ok((name, shape)) => {
+            let code = if ser {
+                gen_serialize(&name, &shape)
+            } else {
+                gen_deserialize(&name, &shape)
+            };
+            match code.parse() {
+                Ok(ts) => ts,
+                Err(e) => compile_error(&format!("generated code failed to parse: {e}")),
+            }
+        }
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive(input, true)
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive(input, false)
+}

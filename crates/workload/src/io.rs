@@ -51,12 +51,8 @@ pub fn read_edge_list(text: &str, default_label: &str) -> Result<SocialGraph, Ed
                 })
             }
         };
-        let s = g
-            .node_by_name(src)
-            .unwrap_or_else(|| g.add_node(src));
-        let d = g
-            .node_by_name(dst)
-            .unwrap_or_else(|| g.add_node(dst));
+        let s = g.node_by_name(src).unwrap_or_else(|| g.add_node(src));
+        let d = g.node_by_name(dst).unwrap_or_else(|| g.add_node(dst));
         g.connect(s, label, d);
     }
     Ok(g)

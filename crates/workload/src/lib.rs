@@ -33,8 +33,8 @@ pub mod stats;
 pub mod topology;
 
 pub use io::{read_edge_list, write_edge_list, EdgeListError};
-pub use stats::GraphStats;
 pub use policies::{generate_policies, random_path_text, PolicyWorkloadConfig};
 pub use requests::{requests_with_grant_rate, uniform_requests, Request};
 pub use spec::{AttributeModel, GraphSpec, LabelModel};
+pub use stats::GraphStats;
 pub use topology::Topology;

@@ -47,7 +47,10 @@ impl Default for PolicyWorkloadConfig {
 /// Draws a random path-expression text over the graph's labels.
 pub fn random_path_text(g: &SocialGraph, cfg: &PolicyWorkloadConfig, rng: &mut StdRng) -> String {
     let labels: Vec<&str> = g.vocab().labels().map(|(_, name)| name).collect();
-    assert!(!labels.is_empty(), "graph has no labels to build paths from");
+    assert!(
+        !labels.is_empty(),
+        "graph has no labels to build paths from"
+    );
     let num_steps = rng.gen_range(cfg.steps.0..=cfg.steps.1.max(cfg.steps.0));
     let mut out = String::new();
     for i in 0..num_steps {
@@ -148,8 +151,12 @@ mod tests {
         let cfg = PolicyWorkloadConfig::default();
         let mut r1 = StdRng::seed_from_u64(4);
         let mut r2 = StdRng::seed_from_u64(4);
-        let t1: Vec<String> = (0..20).map(|_| random_path_text(&g1, &cfg, &mut r1)).collect();
-        let t2: Vec<String> = (0..20).map(|_| random_path_text(&g2, &cfg, &mut r2)).collect();
+        let t1: Vec<String> = (0..20)
+            .map(|_| random_path_text(&g1, &cfg, &mut r1))
+            .collect();
+        let t2: Vec<String> = (0..20)
+            .map(|_| random_path_text(&g2, &cfg, &mut r2))
+            .collect();
         assert_eq!(t1, t2);
     }
 }

@@ -191,8 +191,7 @@ impl GraphSpec {
                 let l_inter = g.intern_label(inter);
                 let l_extra = g.intern_label(extra);
                 for (a, b) in ties {
-                    let label = if self.topology.community_of(a) == self.topology.community_of(b)
-                    {
+                    let label = if self.topology.community_of(a) == self.topology.community_of(b) {
                         l_intra
                     } else {
                         l_inter

@@ -96,11 +96,7 @@ impl std::fmt::Display for GraphStats {
             self.p99_degree,
             self.max_degree
         )?;
-        writeln!(
-            f,
-            "SCCs: {} (largest {})",
-            self.scc_count, self.largest_scc
-        )?;
+        writeln!(f, "SCCs: {} (largest {})", self.scc_count, self.largest_scc)?;
         let census: Vec<String> = self
             .label_census
             .iter()

@@ -283,7 +283,10 @@ mod tests {
 
     #[test]
     fn er_caps_at_complete_graph() {
-        let t = Topology::ErdosRenyi { nodes: 5, edges: 999 };
+        let t = Topology::ErdosRenyi {
+            nodes: 5,
+            edges: 999,
+        };
         let ties = t.generate(&mut rng(2));
         assert_eq!(ties.len(), 10);
     }

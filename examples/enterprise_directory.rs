@@ -107,7 +107,10 @@ fn main() {
 
     assert_eq!(grants, grants_indexed, "engines must agree");
     assert_eq!(grants, requests.len() / 2, "workload targets 50% grants");
-    println!("\nonline:      {online_time:?} for {} requests", requests.len());
+    println!(
+        "\nonline:      {online_time:?} for {} requests",
+        requests.len()
+    );
     println!(
         "join index:  {indexed_time:?} (+ {build_time:?} one-off build, {} line vertices)",
         indexed.engine().index().line().num_nodes()

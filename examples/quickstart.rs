@@ -56,9 +56,6 @@ fn main() {
 
     // 5. Materialize the audience.
     let audience = sys.audience(album).expect("evaluates");
-    let names: Vec<&str> = audience
-        .iter()
-        .map(|&n| sys.graph().node_name(n))
-        .collect();
+    let names: Vec<&str> = audience.iter().map(|&n| sys.graph().node_name(n)).collect();
     println!("audience: {names:?}");
 }

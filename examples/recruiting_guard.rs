@@ -66,10 +66,10 @@ fn main() {
     let cv_audience = sys.audience(cv).expect("evaluates");
     println!("\nCV audience: {:?}", names(&sys, &cv_audience));
     for (user, expected) in [
-        (hr_bot, Decision::Grant),      // follows Nadia
-        (headhunter, Decision::Grant),  // follows a follower
-        (omar, Decision::Grant),        // colleague
-        (lena, Decision::Deny),         // friend-of-friend is not a recruiter path
+        (hr_bot, Decision::Grant),     // follows Nadia
+        (headhunter, Decision::Grant), // follows a follower
+        (omar, Decision::Grant),       // colleague
+        (lena, Decision::Deny),        // friend-of-friend is not a recruiter path
     ] {
         let d = sys.check(cv, user).expect("evaluates");
         assert_eq!(d, expected, "{}", sys.graph().node_name(user));

@@ -64,17 +64,20 @@ fn main() {
     // The reachability model expresses the same audience *shape* —
     // friends up to two hops — but not the trust filter:
     let path = rule.to_path_expr();
-    println!(
-        "\nreachability fragment {}:",
-        path.to_text(g.vocab())
-    );
+    println!("\nreachability fragment {}:", path.to_text(g.vocab()));
     let ours = online::evaluate(&g, alice, &path, None);
     let names: Vec<&str> = ours.matched.iter().map(|&n| g.node_name(n)).collect();
     println!("  audience (no trust filter): {names:?}");
-    assert!(names.contains(&"Bill"), "Bill is back without the trust filter");
+    assert!(
+        names.contains(&"Bill"),
+        "Bill is back without the trust filter"
+    );
 
     // The two models coincide exactly when trust does not discriminate:
-    let lax = CarminatiRule { min_trust: 0.0, ..rule };
+    let lax = CarminatiRule {
+        min_trust: 0.0,
+        ..rule
+    };
     let lax_out = carminati::evaluate(&g, alice, &lax);
     assert_eq!(lax_out.granted, ours.matched);
     println!("\nwith min_trust = 0 both models grant the same audience — the");

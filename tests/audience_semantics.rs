@@ -32,7 +32,10 @@ fn setup() -> (SocialGraph, PolicyStore) {
 }
 
 fn names(g: &SocialGraph, audience: &[socialreach::NodeId]) -> Vec<String> {
-    audience.iter().map(|&n| g.node_name(n).to_owned()).collect()
+    audience
+        .iter()
+        .map(|&n| g.node_name(n).to_owned())
+        .collect()
 }
 
 #[test]
@@ -60,8 +63,14 @@ fn conditions_intersect_within_a_rule() {
         .add_rule(AccessRule {
             resource: rid,
             conditions: vec![
-                AccessCondition { owner, path: p_friend }, // reaches c1
-                AccessCondition { owner, path: p_coll },   // reaches c1
+                AccessCondition {
+                    owner,
+                    path: p_friend,
+                }, // reaches c1
+                AccessCondition {
+                    owner,
+                    path: p_coll,
+                }, // reaches c1
             ],
         })
         .unwrap();
@@ -109,12 +118,14 @@ fn audience_membership_matches_individual_checks() {
     let (mut g, mut store) = setup();
     let owner = g.node_by_name("owner").unwrap();
     let rid = store.register_resource(owner);
-    store.allow(rid, "friend+[1]/colleague+[1,2]", &mut g).unwrap();
+    store
+        .allow(rid, "friend+[1]/colleague+[1,2]", &mut g)
+        .unwrap();
     let audience = resource_audience(&g, &store, rid, &OnlineEngine).unwrap();
     let enforcer = Enforcer::new(OnlineEngine);
     for u in g.nodes() {
-        let granted = enforcer.check_access(&g, &store, rid, u).unwrap()
-            == socialreach::Decision::Grant;
+        let granted =
+            enforcer.check_access(&g, &store, rid, u).unwrap() == socialreach::Decision::Grant;
         assert_eq!(
             granted,
             audience.binary_search(&u).is_ok(),

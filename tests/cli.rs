@@ -7,10 +7,8 @@ use std::process::{Command, Stdio};
 const EDGES: &str = "Alice\tfriend\tBob\nBob\tfriend\tCarol\nCarol\tcolleague\tDave\n";
 
 fn edges_file() -> std::path::PathBuf {
-    let path = std::env::temp_dir().join(format!(
-        "socialreach-cli-test-{}.tsv",
-        std::process::id()
-    ));
+    let path =
+        std::env::temp_dir().join(format!("socialreach-cli-test-{}.tsv", std::process::id()));
     std::fs::write(&path, EDGES).expect("write temp edge list");
     path
 }
@@ -23,10 +21,20 @@ fn cli() -> Command {
 fn check_grants_with_exit_code_zero() {
     let file = edges_file();
     let out = cli()
-        .args(["check", file.to_str().unwrap(), "Alice", "friend+[1,2]", "Carol"])
+        .args([
+            "check",
+            file.to_str().unwrap(),
+            "Alice",
+            "friend+[1,2]",
+            "Carol",
+        ])
         .output()
         .expect("spawns");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "GRANT");
 }
 
@@ -34,7 +42,13 @@ fn check_grants_with_exit_code_zero() {
 fn check_denies_with_exit_code_one() {
     let file = edges_file();
     let out = cli()
-        .args(["check", file.to_str().unwrap(), "Alice", "colleague+[1]", "Dave"])
+        .args([
+            "check",
+            file.to_str().unwrap(),
+            "Alice",
+            "colleague+[1]",
+            "Dave",
+        ])
         .output()
         .expect("spawns");
     assert_eq!(out.status.code(), Some(1));
@@ -45,7 +59,12 @@ fn check_denies_with_exit_code_one() {
 fn audience_lists_matching_members() {
     let file = edges_file();
     let out = cli()
-        .args(["audience", file.to_str().unwrap(), "Alice", "friend+[1,2]/colleague+[1]"])
+        .args([
+            "audience",
+            file.to_str().unwrap(),
+            "Alice",
+            "friend+[1,2]/colleague+[1]",
+        ])
         .output()
         .expect("spawns");
     assert!(out.status.success());
@@ -56,12 +75,21 @@ fn audience_lists_matching_members() {
 fn explain_prints_the_witness_walk() {
     let file = edges_file();
     let out = cli()
-        .args(["explain", file.to_str().unwrap(), "Alice", "friend+[2]", "Carol"])
+        .args([
+            "explain",
+            file.to_str().unwrap(),
+            "Alice",
+            "friend+[2]",
+            "Carol",
+        ])
         .output()
         .expect("spawns");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("GRANT via Alice -friend-> Bob -friend-> Carol"), "{text}");
+    assert!(
+        text.contains("GRANT via Alice -friend-> Bob -friend-> Carol"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -114,7 +142,13 @@ fn usage_errors_exit_with_two() {
 fn bad_path_expression_reports_position() {
     let file = edges_file();
     let out = cli()
-        .args(["check", file.to_str().unwrap(), "Alice", "friend+[0]", "Bob"])
+        .args([
+            "check",
+            file.to_str().unwrap(),
+            "Alice",
+            "friend+[0]",
+            "Bob",
+        ])
         .output()
         .expect("spawns");
     assert_eq!(out.status.code(), Some(2));
@@ -125,7 +159,13 @@ fn bad_path_expression_reports_position() {
 fn unknown_member_is_a_usage_error() {
     let file = edges_file();
     let out = cli()
-        .args(["check", file.to_str().unwrap(), "Zelda", "friend+[1]", "Bob"])
+        .args([
+            "check",
+            file.to_str().unwrap(),
+            "Zelda",
+            "friend+[1]",
+            "Bob",
+        ])
         .output()
         .expect("spawns");
     assert_eq!(out.status.code(), Some(2));

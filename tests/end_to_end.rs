@@ -4,11 +4,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use socialreach::workload::{
-    generate_policies, uniform_requests, GraphSpec, PolicyWorkloadConfig,
-};
+use socialreach::workload::{generate_policies, uniform_requests, GraphSpec, PolicyWorkloadConfig};
 use socialreach::{
-    AccessControlSystem, Decision, EngineChoice, Enforcer, JoinEngineConfig, JoinIndexEngine,
+    AccessControlSystem, Decision, Enforcer, EngineChoice, JoinEngineConfig, JoinIndexEngine,
     JoinStrategy, OnlineEngine, PolicyStore,
 };
 

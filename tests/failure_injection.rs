@@ -15,15 +15,38 @@ use socialreach::{
 #[test]
 fn parser_rejects_garbage_without_panicking() {
     let garbage = [
-        "", " ", "/", "//", "[1]", "{x=1}", "friend+[", "friend+[]", "friend+[,]",
-        "friend+[1,]", "friend+[..]", "friend+[..3]", "friend{", "friend{}", "friend{=}",
-        "friend{a==}", "friend{a=\"", "friend++", "friend+-", "friend/",
-        "friend+[999999999999999999]", "friend+[0..0]", "friend*{a~}", "🦀+[1]",
+        "",
+        " ",
+        "/",
+        "//",
+        "[1]",
+        "{x=1}",
+        "friend+[",
+        "friend+[]",
+        "friend+[,]",
+        "friend+[1,]",
+        "friend+[..]",
+        "friend+[..3]",
+        "friend{",
+        "friend{}",
+        "friend{=}",
+        "friend{a==}",
+        "friend{a=\"",
+        "friend++",
+        "friend+-",
+        "friend/",
+        "friend+[999999999999999999]",
+        "friend+[0..0]",
+        "friend*{a~}",
+        "🦀+[1]",
     ];
     for text in garbage {
         let mut vocab = socialreach::graph::Vocabulary::new();
         let result = parse_path(text, &mut vocab);
-        assert!(result.is_err(), "{text:?} should be rejected, got {result:?}");
+        assert!(
+            result.is_err(),
+            "{text:?} should be rejected, got {result:?}"
+        );
     }
 }
 
@@ -32,7 +55,11 @@ fn parse_error_positions_are_in_bounds() {
     for text in ["friend+[", "friend korea", "friend{age>}"] {
         let mut vocab = socialreach::graph::Vocabulary::new();
         let err = parse_path(text, &mut vocab).unwrap_err();
-        assert!(err.pos <= text.len(), "position {} beyond {text:?}", err.pos);
+        assert!(
+            err.pos <= text.len(),
+            "position {} beyond {text:?}",
+            err.pos
+        );
         // Display must not panic on any position.
         let _ = err.to_string();
     }
@@ -117,11 +144,7 @@ fn isolated_owner_with_reverse_policy() {
 fn plan_overflow_is_a_typed_error_not_a_hang() {
     let mut vocab = socialreach::graph::Vocabulary::new();
     // 4 both-direction steps of depth 4 = 2^16 orientation vectors.
-    let path = parse_path(
-        "friend*[4]/friend*[4]/friend*[4]/friend*[4]",
-        &mut vocab,
-    )
-    .unwrap();
+    let path = parse_path("friend*[4]/friend*[4]/friend*[4]/friend*[4]", &mut vocab).unwrap();
     let err = plan(
         &path,
         &PlanConfig {

@@ -6,12 +6,9 @@
 use socialreach::core::examples::{paper_graph, q1, worked_query, MEMBERS};
 use socialreach::core::{plan, PlanConfig};
 use socialreach::reach::{
-    JoinIndex, JoinIndexConfig, LineGraph, LineGraphConfig, ReachabilityTable,
-    TwoHopConstruction,
+    JoinIndex, JoinIndexConfig, LineGraph, LineGraphConfig, ReachabilityTable, TwoHopConstruction,
 };
-use socialreach::{
-    online, AccessEngine, JoinEngineConfig, JoinIndexEngine, JoinStrategy,
-};
+use socialreach::{online, AccessEngine, JoinEngineConfig, JoinIndexEngine, JoinStrategy};
 use socialreach_graph::algo::bfs_reachable;
 
 fn forward_line(g: &socialreach::SocialGraph) -> LineGraph {
@@ -233,9 +230,13 @@ fn f6_wtable_routes_exactly_the_joinable_label_pairs() {
         }
     }
     // The paper's example entry: (friend, colleague) is routed.
-    assert!(!idx.wtable().centers((friend, true), (colleague, true)).is_empty());
+    assert!(!idx
+        .wtable()
+        .centers((friend, true), (colleague, true))
+        .is_empty());
     // And (parent, parent): no parent edge chains into another.
-    assert!(idx.join_full((parent, true), (parent, true))
+    assert!(idx
+        .join_full((parent, true), (parent, true))
         .iter()
         .all(|&(a, b)| a == b));
 }
@@ -258,9 +259,10 @@ fn f7_cluster_index_is_a_valid_2hop_cover() {
             if u == v {
                 continue;
             }
-            let witnessed = idx.clusters().iter().any(|(_, c)| {
-                c.u.binary_search(&u).is_ok() && c.v.binary_search(&v).is_ok()
-            });
+            let witnessed = idx
+                .clusters()
+                .iter()
+                .any(|(_, c)| c.u.binary_search(&u).is_ok() && c.v.binary_search(&v).is_ok());
             assert_eq!(
                 witnessed,
                 reach.contains(v as usize),
@@ -283,10 +285,7 @@ fn x1_worked_join_contains_the_papers_tuple_and_is_a_correct_superset() {
     let tuples = idx.join_full((friend, true), (colleague, true));
 
     let name = |x: u32| idx.line().display_name(&g, x);
-    let rendered: Vec<(String, String)> = tuples
-        .iter()
-        .map(|&(a, b)| (name(a), name(b)))
-        .collect();
+    let rendered: Vec<(String, String)> = tuples.iter().map(|&(a, b)| (name(a), name(b))).collect();
     // The paper's §3.3 result tuple:
     assert!(
         rendered.contains(&(
