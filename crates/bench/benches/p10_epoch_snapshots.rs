@@ -1,0 +1,69 @@
+//! P10 — the epoch-published snapshot lifecycle: parallel CSR build vs
+//! single-threaded, incremental append patching vs full rebuild, and
+//! multi-source batch audience evaluation vs sequential per-condition
+//! walks.
+//!
+//! Expected shape: the parallel build wins roughly with the core count
+//! (two direction indexes × fanned segment sorts); the incremental
+//! patch wins big on small append batches (copy + merge, no sort); the
+//! batch audience wins in proportion to how many owners share each
+//! path template (one frontier pass serves the whole group).
+//!
+//! `cargo run --release -p socialreach-bench --bin p10-snapshot`
+//! records the same comparison as `BENCH_p10.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialreach_bench::p10::{
+    cases, run_batch_audiences, run_sequential_audiences, with_appended_edges,
+};
+use socialreach_bench::quick_mode;
+use socialreach_core::{Enforcer, OnlineEngine};
+use socialreach_graph::csr::CsrSnapshot;
+
+fn bench(c: &mut Criterion) {
+    let nodes = if quick_mode() { 200 } else { 1_500 };
+    let appends = if quick_mode() { 64 } else { 256 };
+    let mut group = c.benchmark_group("p10_epoch_snapshots");
+    group.sample_size(10);
+
+    for case in cases(nodes) {
+        let g = &case.graph;
+        group.bench_with_input(
+            BenchmarkId::new("build-1-thread", case.name),
+            &(),
+            |b, _| b.iter(|| std::hint::black_box(CsrSnapshot::build_with_threads(g, 1))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("build-parallel", case.name),
+            &(),
+            |b, _| b.iter(|| std::hint::black_box(CsrSnapshot::build(g))),
+        );
+
+        let base = CsrSnapshot::build(g);
+        let grown = with_appended_edges(g, appends, 7_700);
+        group.bench_with_input(
+            BenchmarkId::new("refresh-rebuild", case.name),
+            &(),
+            |b, _| b.iter(|| std::hint::black_box(CsrSnapshot::build(&grown))),
+        );
+        group.bench_with_input(BenchmarkId::new("refresh-patch", case.name), &(), |b, _| {
+            b.iter(|| std::hint::black_box(base.apply_edge_appends(&grown).expect("appends")))
+        });
+
+        let enforcer = Enforcer::new(OnlineEngine);
+        group.bench_with_input(
+            BenchmarkId::new("audience-sequential", case.name),
+            &(),
+            |b, _| b.iter(|| run_sequential_audiences(&case)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("audience-batch", case.name),
+            &(),
+            |b, _| b.iter(|| run_batch_audiences(&case, &enforcer)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Records experiment P10 (epoch-published snapshots: parallel CSR
+//! build, incremental append patching, batch audience evaluation) as
+//! `BENCH_p10.json`, plus human-readable tables on stdout.
+//!
+//! ```text
+//! cargo run --release -p socialreach-bench --bin p10-snapshot           # default sizes
+//! SOCIALREACH_QUICK=1 cargo run --release -p socialreach-bench --bin p10-snapshot
+//! cargo run --release -p socialreach-bench --bin p10-snapshot -- out.json
+//! ```
+
+use serde::Value;
+use socialreach_bench::p10::{
+    assert_batch_matches_sequential, cases, run_batch_audiences, run_sequential_audiences,
+    total_conditions, with_appended_edges,
+};
+use socialreach_bench::{quick_mode, time_avg, Table};
+use socialreach_core::{Enforcer, OnlineEngine};
+use socialreach_graph::csr::CsrSnapshot;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_p10.json".to_string());
+    let nodes = if quick_mode() { 200 } else { 1_500 };
+    let reps = if quick_mode() { 3 } else { 15 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let append_batches: &[usize] = if quick_mode() {
+        &[16, 128]
+    } else {
+        &[16, 256, 2048]
+    };
+
+    let mut build_rows: Vec<Value> = Vec::new();
+    let mut incr_rows: Vec<Value> = Vec::new();
+    let mut batch_rows: Vec<Value> = Vec::new();
+    let mut build_table = Table::new(&[
+        "topology",
+        "|V|",
+        "|E|",
+        "1-thread (ms)",
+        "parallel (ms)",
+        "speedup",
+    ]);
+    let mut incr_table = Table::new(&[
+        "topology",
+        "appends",
+        "rebuild (ms)",
+        "patch (ms)",
+        "speedup",
+    ]);
+    let mut batch_table = Table::new(&[
+        "topology",
+        "conds",
+        "sequential (ms)",
+        "batch (ms)",
+        "speedup",
+    ]);
+
+    for case in cases(nodes) {
+        let g = &case.graph;
+
+        // 1. Parallel build vs. single-threaded.
+        let seq = time_avg(reps, || {
+            std::hint::black_box(CsrSnapshot::build_with_threads(g, 1));
+        });
+        let par = time_avg(reps, || {
+            std::hint::black_box(CsrSnapshot::build(g));
+        });
+        let (seq_ms, par_ms) = (seq.as_secs_f64() * 1e3, par.as_secs_f64() * 1e3);
+        build_table.row(vec![
+            case.name.to_string(),
+            g.num_nodes().to_string(),
+            g.num_edges().to_string(),
+            format!("{seq_ms:.3}"),
+            format!("{par_ms:.3}"),
+            format!("{:.2}x", seq_ms / par_ms),
+        ]);
+        build_rows.push(Value::Map(vec![
+            ("topology".into(), Value::Str(case.name.into())),
+            ("nodes".into(), Value::Int(g.num_nodes() as i64)),
+            ("edges".into(), Value::Int(g.num_edges() as i64)),
+            ("single_thread_ms".into(), Value::Float(seq_ms)),
+            ("parallel_ms".into(), Value::Float(par_ms)),
+            ("speedup".into(), Value::Float(seq_ms / par_ms)),
+        ]));
+
+        // 2. Incremental patch vs. full rebuild over append batches.
+        let base = CsrSnapshot::build(g);
+        for &appends in append_batches {
+            let grown = with_appended_edges(g, appends, 7_000 + appends as u64);
+            let patched = base.apply_edge_appends(&grown).expect("append lineage");
+            assert_eq!(
+                patched,
+                CsrSnapshot::build(&grown),
+                "patch must equal rebuild"
+            );
+            let rebuild = time_avg(reps, || {
+                std::hint::black_box(CsrSnapshot::build(&grown));
+            });
+            let patch = time_avg(reps, || {
+                std::hint::black_box(base.apply_edge_appends(&grown).expect("append lineage"));
+            });
+            let (rebuild_ms, patch_ms) = (rebuild.as_secs_f64() * 1e3, patch.as_secs_f64() * 1e3);
+            incr_table.row(vec![
+                case.name.to_string(),
+                appends.to_string(),
+                format!("{rebuild_ms:.3}"),
+                format!("{patch_ms:.3}"),
+                format!("{:.2}x", rebuild_ms / patch_ms),
+            ]);
+            incr_rows.push(Value::Map(vec![
+                ("topology".into(), Value::Str(case.name.into())),
+                ("appends".into(), Value::Int(appends as i64)),
+                ("rebuild_ms".into(), Value::Float(rebuild_ms)),
+                ("patch_ms".into(), Value::Float(patch_ms)),
+                ("speedup".into(), Value::Float(rebuild_ms / patch_ms)),
+            ]));
+        }
+
+        // 3. Batch vs. sequential audience evaluation.
+        let enforcer = Enforcer::new(OnlineEngine);
+        assert_batch_matches_sequential(&case, &enforcer);
+        let sequential = time_avg(reps, || run_sequential_audiences(&case));
+        let batch = time_avg(reps, || run_batch_audiences(&case, &enforcer));
+        let (seq_ms, batch_ms) = (sequential.as_secs_f64() * 1e3, batch.as_secs_f64() * 1e3);
+        let conds = total_conditions(&case);
+        batch_table.row(vec![
+            case.name.to_string(),
+            conds.to_string(),
+            format!("{seq_ms:.3}"),
+            format!("{batch_ms:.3}"),
+            format!("{:.2}x", seq_ms / batch_ms),
+        ]);
+        batch_rows.push(Value::Map(vec![
+            ("topology".into(), Value::Str(case.name.into())),
+            ("conditions".into(), Value::Int(conds as i64)),
+            (
+                "resources".into(),
+                Value::Int(case.bundles.iter().map(Vec::len).sum::<usize>() as i64),
+            ),
+            ("sequential_ms".into(), Value::Float(seq_ms)),
+            ("batch_ms".into(), Value::Float(batch_ms)),
+            ("speedup".into(), Value::Float(seq_ms / batch_ms)),
+        ]));
+    }
+
+    println!("\nP10.1 — CSR snapshot build: single-threaded vs parallel ({cores} cores)");
+    println!("{}", build_table.render());
+    println!("P10.2 — append refresh: full rebuild vs incremental patch");
+    println!("{}", incr_table.render());
+    println!("P10.3 — bundle audiences: sequential per-condition vs multi-source batch");
+    println!("{}", batch_table.render());
+
+    let doc = Value::Map(vec![
+        (
+            "experiment".into(),
+            Value::Str("p10_epoch_snapshots".into()),
+        ),
+        (
+            "description".into(),
+            Value::Str(
+                "Epoch-published snapshot lifecycle: parallel CSR build vs single-threaded, \
+                 incremental apply_edge_appends vs full rebuild, and multi-source batch \
+                 audience evaluation vs sequential per-condition walks"
+                    .into(),
+            ),
+        ),
+        ("nodes".into(), Value::Int(nodes as i64)),
+        ("repetitions".into(), Value::Int(reps as i64)),
+        ("cores".into(), Value::Int(cores as i64)),
+        ("parallel_build".into(), Value::Array(build_rows)),
+        ("incremental_patch".into(), Value::Array(incr_rows)),
+        ("batch_audience".into(), Value::Array(batch_rows)),
+    ]);
+    let json = serde_json::to_string(&doc).expect("snapshot serializes");
+    std::fs::write(&out_path, json + "\n").expect("snapshot written");
+    println!("wrote {out_path}");
+}

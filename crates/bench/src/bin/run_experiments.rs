@@ -106,7 +106,7 @@ fn try_run_requests<E: AccessEngine>(
 ) -> Result<(), socialreach_core::EvalError> {
     let enforcer = Enforcer::new(EngineRef(engine));
     for r in &bench.requests {
-        enforcer.invalidate(); // measure evaluation, not the cache
+        enforcer.invalidate_decisions(); // measure evaluation, not the cache
         let d = enforcer.check_access(&bench.g, &bench.store, r.resource, r.requester)?;
         assert_eq!(d == Decision::Grant, r.expect_grant, "ground truth holds");
     }
@@ -515,13 +515,13 @@ fn p6_throughput() {
         let enforcer = Enforcer::new(EngineDyn(engine));
         let cold = time_avg(1, || {
             for r in reqs {
-                enforcer.invalidate();
+                enforcer.invalidate_decisions();
                 let _ = enforcer
                     .check_access(&bench.g, &bench.store, r.resource, r.requester)
                     .expect("ok");
             }
         });
-        enforcer.invalidate();
+        enforcer.invalidate_decisions();
         // warm: repeated identical requests hit the decision cache
         let warm = time_avg(1, || {
             for r in reqs {

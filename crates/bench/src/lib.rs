@@ -12,6 +12,7 @@ use socialreach_core::{JoinEngineConfig, JoinIndexConfig, JoinStrategy, PlanConf
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+pub mod p10;
 pub mod p9;
 
 pub use socialreach_core as core;

@@ -1,0 +1,193 @@
+//! Shared setup for experiment P10 — the epoch-published snapshot
+//! lifecycle. Three measurements, used by both the
+//! `p10_epoch_snapshots` criterion bench and the `p10-snapshot` binary
+//! that records `BENCH_p10.json`:
+//!
+//! 1. **Parallel CSR build** — `CsrSnapshot::build_with_threads(g, 1)`
+//!    vs. the auto-parallel `CsrSnapshot::build` (scoped threads per
+//!    direction, segment sorts fanned across workers).
+//! 2. **Incremental append patching** — `apply_edge_appends` from a
+//!    base snapshot vs. a full rebuild, across append-batch sizes.
+//! 3. **Batch audience evaluation** — `Enforcer::audience_batch` (the
+//!    multi-source flat BFS over one shared snapshot) vs. the seed's
+//!    sequential per-resource `resource_audience` loop.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socialreach_core::{resource_audience, Enforcer, OnlineEngine, PolicyStore, ResourceId};
+use socialreach_graph::{NodeId, SocialGraph};
+use socialreach_workload::{
+    generate_audience_bundles, AttributeModel, AudienceBundleConfig, GraphSpec, LabelModel,
+    PolicyWorkloadConfig, Topology,
+};
+
+/// One prepared P10 scenario: a graph plus batch-audience bundles.
+pub struct P10Case {
+    /// Scenario name (topology / label mix).
+    pub name: &'static str,
+    /// The social graph.
+    pub graph: SocialGraph,
+    /// Bundled policies over it.
+    pub store: PolicyStore,
+    /// Resource bundles for `audience_batch` (each reuses a handful of
+    /// path templates across many owners).
+    pub bundles: Vec<Vec<ResourceId>>,
+}
+
+/// An eight-label evenly weighted mix (the label-diverse regime).
+fn diverse_labels() -> LabelModel {
+    LabelModel::Weighted(
+        [
+            "friend",
+            "colleague",
+            "parent",
+            "follows",
+            "mentor",
+            "teammate",
+            "neighbor",
+            "classmate",
+        ]
+        .iter()
+        .map(|&l| (l.to_string(), 0.125))
+        .collect(),
+    )
+}
+
+/// The P10 sweep: a sparse random graph, a scale-free graph, and the
+/// dense label-diverse case where the CSR layout matters most.
+pub fn cases(nodes: usize) -> Vec<P10Case> {
+    let specs: Vec<(&'static str, Topology, LabelModel)> = vec![
+        (
+            "erdos-renyi",
+            Topology::ErdosRenyi {
+                nodes,
+                edges: nodes * 3,
+            },
+            LabelModel::osn_default(),
+        ),
+        (
+            "barabasi-albert",
+            Topology::BarabasiAlbert {
+                nodes,
+                edges_per_node: 3,
+            },
+            LabelModel::osn_default(),
+        ),
+        (
+            "ba-label-diverse",
+            Topology::BarabasiAlbert {
+                nodes,
+                edges_per_node: 24,
+            },
+            diverse_labels(),
+        ),
+    ];
+
+    specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, topology, labels))| {
+            let spec = GraphSpec {
+                topology,
+                labels,
+                attributes: AttributeModel::osn_default(),
+                reciprocity: 0.5,
+                seed: 1000 + i as u64,
+            };
+            let mut graph = spec.build();
+            let mut store = PolicyStore::new();
+            let mut rng = StdRng::seed_from_u64(1090 + i as u64);
+            // A feed-shaped workload: many resources per bundle, few
+            // templates (so dozens of owners share each multi-source
+            // pass), and paths deep enough that audiences are
+            // non-trivial — the regime batch evaluation is built for.
+            let cfg = AudienceBundleConfig {
+                bundles: 3,
+                resources_per_bundle: 64,
+                templates_per_bundle: 2,
+                paths: PolicyWorkloadConfig {
+                    steps: (2, 3),
+                    deep_prob: 0.7,
+                    ..PolicyWorkloadConfig::default()
+                },
+            };
+            let bundles = generate_audience_bundles(&mut graph, &mut store, &cfg, &mut rng);
+            P10Case {
+                name,
+                graph,
+                store,
+                bundles,
+            }
+        })
+        .collect()
+}
+
+/// A copy of `g` grown by `appends` random edges over the existing
+/// labels (the append-only mutation stream the incremental path
+/// serves). Deterministic per seed.
+pub fn with_appended_edges(g: &SocialGraph, appends: usize, seed: u64) -> SocialGraph {
+    let mut grown = g.clone();
+    let labels: Vec<_> = grown.vocab().labels().map(|(id, _)| id).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = grown.num_nodes() as u32;
+    for _ in 0..appends {
+        let s = NodeId(rng.gen_range(0..n));
+        let t = NodeId(rng.gen_range(0..n));
+        let label = labels[rng.gen_range(0..labels.len())];
+        grown.add_edge(s, t, label);
+    }
+    grown
+}
+
+/// The seed's audience path: one `resource_audience` per resource,
+/// each condition walked separately.
+pub fn run_sequential_audiences(case: &P10Case) {
+    for bundle in &case.bundles {
+        for &rid in bundle {
+            let audience = resource_audience(&case.graph, &case.store, rid, &OnlineEngine)
+                .expect("resources registered");
+            std::hint::black_box(audience.len());
+        }
+    }
+}
+
+/// The batched path: each bundle's conditions deduped and evaluated by
+/// the multi-source BFS over the enforcer's published snapshot.
+pub fn run_batch_audiences(case: &P10Case, enforcer: &Enforcer<OnlineEngine>) {
+    for bundle in &case.bundles {
+        let audiences = enforcer
+            .audience_batch(&case.graph, &case.store, bundle)
+            .expect("resources registered");
+        std::hint::black_box(audiences.len());
+    }
+}
+
+/// Total conditions across a case's bundles (the sequential walk count).
+pub fn total_conditions(case: &P10Case) -> usize {
+    case.bundles
+        .iter()
+        .flatten()
+        .map(|&rid| {
+            case.store
+                .rules_for(rid)
+                .iter()
+                .map(|r| r.conditions.len())
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+/// Checks the batched audiences agree with the sequential ones (run
+/// once before timing so the bench can't drift from the semantics).
+pub fn assert_batch_matches_sequential(case: &P10Case, enforcer: &Enforcer<OnlineEngine>) {
+    for bundle in &case.bundles {
+        let batched = enforcer
+            .audience_batch(&case.graph, &case.store, bundle)
+            .expect("resources registered");
+        for (&rid, batch) in bundle.iter().zip(&batched) {
+            let solo = resource_audience(&case.graph, &case.store, rid, &OnlineEngine)
+                .expect("resources registered");
+            assert_eq!(batch, &solo, "audience mismatch for {rid:?}");
+        }
+    }
+}

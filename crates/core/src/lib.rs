@@ -45,18 +45,33 @@
 //! | [`examples`] | §2–3 | the Figure 1 graph, Q1, worked queries |
 //! | [`carminati`] | §4 | the Carminati et al. trust+radius baseline |
 //!
-//! ## Snapshot / invalidation model
+//! ## Epoch-published snapshots
 //!
 //! The online engine runs over an immutable
 //! [`socialreach_graph::csr::CsrSnapshot`]: edges sorted by
 //! `(node, label)` with per-(node, label) offset runs, so each step
-//! expands exactly the matching `O(deg_label)` slice. Every
-//! [`SocialGraph`](socialreach_graph::SocialGraph) mutation advances a
-//! process-unique *generation* stamp; the enforcement layer
-//! ([`Enforcer`], [`AccessControlSystem`]) caches one snapshot per
-//! generation and rebuilds it lazily when the stamp moves, so evolving
-//! graphs pay for re-indexing only after an actual mutation, and only
-//! on their next access check.
+//! expands exactly the matching `O(deg_label)` slice. The enforcement
+//! layer treats snapshots as **publications**: at any time one
+//! `Arc<CsrSnapshot>` is the current *epoch*, and every reader —
+//! `check`, `audience`, `check_batch`, `audience_batch`, all `&self` —
+//! clones that `Arc` and traverses the immutable index concurrently.
+//! Mutations (`&mut self` on [`AccessControlSystem`]) never touch the
+//! published snapshot; they advance the graph's process-unique
+//! *generation* stamp, which makes the epoch stale. The next reader
+//! republishes under a write lock — **incrementally** when the owner
+//! can vouch for append-only lineage
+//! ([`CsrSnapshot::apply_edge_appends`](socialreach_graph::csr::CsrSnapshot::apply_edge_appends)
+//! merges the appended edges into the per-(node, label) runs in
+//! amortized `O(deg)`), and by a **parallel full build** otherwise
+//! (scoped threads per direction index, per-node segment sorts fanned
+//! across workers). In-flight readers keep their epoch's `Arc` alive
+//! until they finish, so publication is wait-free for them.
+//!
+//! On top of the shared snapshot, `audience_batch` evaluates all the
+//! owners/conditions of a policy bundle with a multi-source flat BFS
+//! ([`online::evaluate_audience_batch`]): up to 64 owners traverse
+//! together, one frontier pass per `(label, direction)` layer,
+//! amortizing edge scans across the bundle.
 
 pub mod carminati;
 pub mod engine;
@@ -71,8 +86,8 @@ pub mod system;
 
 pub use carminati::{CarminatiOutcome, CarminatiRule, TrustAggregation};
 pub use engine::{
-    resource_audience, AccessEngine, AudienceOutcome, CheckOutcome, Enforcer, EvalStats,
-    OnlineEngine,
+    resource_audience, resource_audience_batch, AccessEngine, AudienceOutcome, CheckOutcome,
+    Enforcer, EvalStats, OnlineEngine,
 };
 pub use error::{EvalError, ParseError};
 pub use joinengine::{JoinEngineConfig, JoinIndexEngine, JoinStrategy};

@@ -36,11 +36,23 @@
 //!   saturation depths) transparently fall back to it.
 //!
 //! Both traversals expand states in identical FIFO order, so audiences,
-//! decisions and witness walks agree exactly. The only observable
-//! difference is [`SearchStats::edges_scanned`]: the snapshot engine
-//! never even looks at non-matching edges, so it counts only the label-
-//! matching traversals the reference engine had to filter out of the
-//! full adjacency lists.
+//! decisions and witness walks agree exactly — including
+//! [`SearchStats::edges_scanned`], which on **both** engines counts
+//! label-matching traversals only. The reference engine additionally
+//! reports the non-matching edges it had to inspect and skip as
+//! [`SearchStats::edges_filtered`]; the snapshot engine never even
+//! looks at those, so its `edges_filtered` is always zero. The two
+//! `edges_scanned` series therefore share an axis in experiments.
+//!
+//! # Batch audience evaluation
+//!
+//! [`evaluate_audience_batch`] answers the audience-dominant workload
+//! ("who can see this post?" for a whole policy bundle) with a
+//! **multi-source** flat BFS: up to 64 owners traverse together, each
+//! product state carrying a bitmask of the sources that reached it, so
+//! one scan of a `(node, label, direction)` CSR slice serves every
+//! owner whose frontier touches that node — amortizing edge scans
+//! across the bundle instead of re-walking the graph per condition.
 
 use crate::path::PathExpr;
 use socialreach_graph::csr::CsrSnapshot;
@@ -55,10 +67,24 @@ use std::rc::Rc;
 pub struct SearchStats {
     /// Product states dequeued.
     pub states_visited: usize,
-    /// Edge traversals attempted. The snapshot engine counts matching
-    /// edges only (it never scans a non-matching one); the reference
-    /// engine also counts the edges it filtered by label.
+    /// Label-matching edge traversals. Both engines count exactly the
+    /// edges whose label matches the active step, so the series is
+    /// comparable across engines.
     pub edges_scanned: usize,
+    /// Edges inspected and skipped because their label did not match.
+    /// Only the reference engine pays this cost (it filters the full
+    /// adjacency list); the snapshot engine's per-(node, label) slices
+    /// never touch a non-matching edge, so it reports zero.
+    pub edges_filtered: usize,
+}
+
+impl SearchStats {
+    /// Element-wise accumulation (batch paths merge per-chunk counters).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.states_visited += other.states_visited;
+        self.edges_scanned += other.edges_scanned;
+        self.edges_filtered += other.edges_filtered;
+    }
 }
 
 /// One traversed relationship of a witness walk: the edge plus the
@@ -125,6 +151,32 @@ struct Scratch {
     parent_hop: Vec<u32>,
     /// Per-path layer table, rebuilt per call without reallocating.
     layers: Vec<LayerInfo>,
+    /// Multi-source batch BFS: source bits ever arrived at a state.
+    seen_mask: Vec<u64>,
+    /// Source bits that arrived since the state was last processed.
+    pending_mask: Vec<u64>,
+    /// Epoch stamps validating `seen_mask`/`pending_mask`.
+    mask_epoch: Vec<u32>,
+    /// Per-member source bits already recorded in an audience.
+    matched_mask: Vec<u64>,
+    /// Epoch stamps validating `matched_mask`.
+    matched_mask_epoch: Vec<u32>,
+}
+
+impl Scratch {
+    /// Advances and returns the reuse epoch, clearing every stamp array
+    /// on the (rare) wrap so stale stamps can never alias a new search.
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.visited.fill(0);
+            self.matched_epoch.fill(0);
+            self.mask_epoch.fill(0);
+            self.matched_mask_epoch.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
 }
 
 /// Everything about a `(step, depth)` layer that is constant across its
@@ -145,6 +197,52 @@ struct LayerInfo {
     expands: bool,
     /// Layer id reached by that edge (`min(d+1, sat)` of the same step).
     next_layer: u32,
+}
+
+/// Fills `layers` with the dense per-(step, depth) layer table of
+/// `steps` (shared by the single-source and batch engines).
+fn fill_layer_table(steps: &[crate::path::Step], layers: &mut Vec<LayerInfo>) {
+    layers.clear();
+    let mut base = 0u32;
+    for (i, step) in steps.iter().enumerate() {
+        let sat = step.depths.saturation();
+        let unbounded = step.depths.is_unbounded();
+        for d in 0..=sat {
+            layers.push(LayerInfo {
+                step: i as u16,
+                completes: d >= 1 && step.depths.contains(d),
+                last: i == steps.len() - 1,
+                eps_layer: base + sat + 1, // first layer of step i+1
+                expands: d < sat || unbounded,
+                next_layer: base + (d + 1).min(sat),
+            });
+        }
+        base += sat + 1;
+    }
+}
+
+/// `(v_count, layer_count, total_states)` when the dense product space
+/// of `path` over `snap` is reasonable, `None` when the reference
+/// engine's sparse bookkeeping should take over.
+fn flat_dimensions(snap: &CsrSnapshot, path: &PathExpr) -> Option<(u32, u64, usize)> {
+    let num_nodes = snap.num_nodes() as u64;
+    let layer_count: u64 = path
+        .steps
+        .iter()
+        .map(|s| s.depths.saturation() as u64 + 1)
+        .sum();
+    if num_nodes == 0
+        || layer_count > MAX_FLAT_LAYERS
+        || layer_count * num_nodes > MAX_FLAT_STATES
+        || snap.num_edges() as u64 >= u64::from(HOP_NONE >> 1)
+    {
+        return None;
+    }
+    Some((
+        num_nodes as u32,
+        layer_count,
+        (layer_count * num_nodes) as usize,
+    ))
 }
 
 thread_local! {
@@ -208,9 +306,40 @@ pub(crate) fn thread_snapshot_if_current(g: &SocialGraph) -> Option<Rc<CsrSnapsh
 /// that has finished with a large graph can call this to return the
 /// memory.
 pub fn release_thread_caches() {
+    release_thread_snapshot();
+    SCRATCH.with(|scratch| *scratch.borrow_mut() = Scratch::default());
+}
+
+/// Releases only this thread's cached [`CsrSnapshot`] (and the
+/// deferred-build miss counter), keeping the BFS scratch buffers.
+///
+/// The enforcement layer calls this from `Enforcer::invalidate`: after
+/// a mutation the calling thread's fallback snapshot is stale and would
+/// otherwise pin the old index in memory until the thread's next
+/// bare-graph evaluation notices the generation moved. The scratch
+/// stays — it is epoch-stamped and graph-agnostic, so retaining it is
+/// free and keeps mutate-then-check loops allocation-free.
+pub fn release_thread_snapshot() {
     SNAPSHOT.with(|slot| slot.borrow_mut().take());
     SNAPSHOT_MISSES.with(|m| *m.borrow_mut() = (0, 0));
-    SCRATCH.with(|scratch| *scratch.borrow_mut() = Scratch::default());
+}
+
+/// Observable footprint of this thread's online-engine caches, for
+/// tests and capacity instrumentation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadCacheStats {
+    /// Whether a CSR snapshot is cached for this thread.
+    pub snapshot_cached: bool,
+    /// Dense visited slots currently allocated in the BFS scratch.
+    pub scratch_state_slots: usize,
+}
+
+/// Reports this thread's cached-snapshot presence and scratch size.
+pub fn thread_cache_stats() -> ThreadCacheStats {
+    ThreadCacheStats {
+        snapshot_cached: SNAPSHOT.with(|slot| slot.borrow().is_some()),
+        scratch_state_slots: SCRATCH.with(|scratch| scratch.borrow().visited.len()),
+    }
 }
 
 /// Evaluates `path` from `owner`.
@@ -271,18 +400,10 @@ pub fn evaluate_with_snapshot(
         return evaluate_reference(g, owner, path, target);
     }
 
-    let num_nodes = snap.num_nodes() as u64;
     let steps = &path.steps;
-    let layer_count: u64 = steps.iter().map(|s| s.depths.saturation() as u64 + 1).sum();
-    if num_nodes == 0
-        || layer_count > MAX_FLAT_LAYERS
-        || layer_count * num_nodes > MAX_FLAT_STATES
-        || snap.num_edges() as u64 >= u64::from(HOP_NONE >> 1)
-    {
+    let Some((v_count, _, total_states)) = flat_dimensions(snap, path) else {
         return evaluate_reference(g, owner, path, target);
-    }
-    let v_count = num_nodes as u32;
-    let total_states = (layer_count * num_nodes) as usize;
+    };
 
     let mut stats = SearchStats::default();
     let mut matched: Vec<NodeId> = Vec::new();
@@ -295,23 +416,7 @@ pub fn evaluate_with_snapshot(
         // Layer table: (step, depth) <-> dense layer id, so a product
         // state is the single index `layer · |V| + member`, and all
         // depth logic is resolved here once instead of per state.
-        s.layers.clear();
-        let mut base = 0u32;
-        for (i, step) in steps.iter().enumerate() {
-            let sat = step.depths.saturation();
-            let unbounded = step.depths.is_unbounded();
-            for d in 0..=sat {
-                s.layers.push(LayerInfo {
-                    step: i as u16,
-                    completes: d >= 1 && step.depths.contains(d),
-                    last: i == steps.len() - 1,
-                    eps_layer: base + sat + 1, // first layer of step i+1
-                    expands: d < sat || unbounded,
-                    next_layer: base + (d + 1).min(sat),
-                });
-            }
-            base += sat + 1;
-        }
+        fill_layer_table(steps, &mut s.layers);
 
         if s.visited.len() < total_states {
             s.visited.resize(total_states, 0);
@@ -323,13 +428,7 @@ pub fn evaluate_with_snapshot(
             s.parent_state.resize(total_states, 0);
             s.parent_hop.resize(total_states, 0);
         }
-        if s.epoch == u32::MAX {
-            s.visited.fill(0);
-            s.matched_epoch.fill(0);
-            s.epoch = 0;
-        }
-        s.epoch += 1;
-        let epoch = s.epoch;
+        let epoch = s.next_epoch();
         s.frontier.clear();
         s.next.clear();
 
@@ -456,6 +555,219 @@ pub fn evaluate_with_snapshot(
 }
 
 // ---------------------------------------------------------------------
+// Multi-source batch audience engine
+// ---------------------------------------------------------------------
+
+/// Audiences of many owners under one path expression, evaluated
+/// together (see [`evaluate_audience_batch`]).
+#[derive(Clone, Debug)]
+pub struct BatchAudienceOutcome {
+    /// `audiences[i]` is the full sorted audience of `owners[i]` —
+    /// element-for-element what `evaluate(g, owners[i], path,
+    /// None).matched` returns.
+    pub audiences: Vec<Vec<NodeId>>,
+    /// Aggregate work counters across the whole batch. One frontier
+    /// pass serves every owner in a 64-source chunk, so
+    /// `edges_scanned` sits far below the per-owner sum a sequential
+    /// sweep would pay.
+    pub stats: SearchStats,
+}
+
+/// Materializes the audiences of up to arbitrarily many `owners` under
+/// one `path`, sharing frontier passes between them.
+///
+/// Owners are processed in chunks of 64; within a chunk every product
+/// state carries a bitmask of the sources that reached it, so each
+/// `(node, label, direction)` CSR slice is scanned **once per state
+/// activation** regardless of how many owners' searches pass through
+/// it (the multi-source BFS technique of Then et al., adapted to the
+/// layered product space). Bits propagate as deltas: a state forwards
+/// only the sources that newly arrived. Sources that reach a state in
+/// the same BFS wave share its slice scan outright, so total work
+/// approaches the *union* of the per-owner traversals when frontiers
+/// overlap — and degrades to at most their sum (one re-activation per
+/// distinct arrival wave, i.e. never worse than sequential evaluation
+/// by more than the mask bookkeeping) when they don't.
+///
+/// Falls back to per-owner [`evaluate_with_snapshot`] when the
+/// snapshot is stale for `g` or the dense product space would be
+/// unreasonable — semantics are identical either way.
+pub fn evaluate_audience_batch(
+    g: &SocialGraph,
+    snap: &CsrSnapshot,
+    owners: &[NodeId],
+    path: &PathExpr,
+) -> BatchAudienceOutcome {
+    let mut stats = SearchStats::default();
+    if path.is_empty() {
+        return BatchAudienceOutcome {
+            audiences: owners.iter().map(|&o| vec![o]).collect(),
+            stats,
+        };
+    }
+    let flat = if snap.matches(g) {
+        flat_dimensions(snap, path)
+    } else {
+        None
+    };
+    let Some((v_count, _, total_states)) = flat else {
+        // Degenerate product space or stale snapshot: same answers,
+        // one owner at a time.
+        let audiences = owners
+            .iter()
+            .map(|&o| {
+                let out = evaluate_with_snapshot(g, snap, o, path, None);
+                stats.absorb(&out.stats);
+                out.matched
+            })
+            .collect();
+        return BatchAudienceOutcome { audiences, stats };
+    };
+
+    let steps = &path.steps;
+    let mut audiences: Vec<Vec<NodeId>> = vec![Vec::new(); owners.len()];
+    SCRATCH.with(|scratch| {
+        let s = &mut *scratch.borrow_mut();
+        fill_layer_table(steps, &mut s.layers);
+        if s.seen_mask.len() < total_states {
+            s.seen_mask.resize(total_states, 0);
+            s.pending_mask.resize(total_states, 0);
+            s.mask_epoch.resize(total_states, 0);
+        }
+        if s.matched_mask.len() < snap.num_nodes() {
+            s.matched_mask.resize(snap.num_nodes(), 0);
+            s.matched_mask_epoch.resize(snap.num_nodes(), 0);
+        }
+
+        for (chunk_idx, chunk) in owners.chunks(64).enumerate() {
+            let chunk_base = chunk_idx * 64;
+            let epoch = s.next_epoch();
+            s.frontier.clear();
+            s.next.clear();
+
+            let Scratch {
+                frontier,
+                next,
+                layers,
+                seen_mask,
+                pending_mask,
+                mask_epoch,
+                matched_mask,
+                matched_mask_epoch,
+                ..
+            } = &mut *s;
+
+            // Validates a state's mask slots for this epoch, zeroing
+            // stale contents lazily.
+            macro_rules! fresh {
+                ($idx:expr) => {{
+                    let idx = $idx;
+                    if mask_epoch[idx] != epoch {
+                        mask_epoch[idx] = epoch;
+                        seen_mask[idx] = 0;
+                        pending_mask[idx] = 0;
+                    }
+                    idx
+                }};
+            }
+
+            // Seed layer 0 with each owner's bit; owners sharing a
+            // member share one start state with several bits.
+            for (bit, owner) in chunk.iter().enumerate() {
+                let idx = fresh!(owner.index());
+                let new = 1u64 << bit;
+                if seen_mask[idx] & new == 0 {
+                    seen_mask[idx] |= new;
+                    if pending_mask[idx] == 0 {
+                        frontier.push(u64::from(owner.0)); // layer 0 tag
+                    }
+                    pending_mask[idx] |= new;
+                }
+            }
+
+            while !frontier.is_empty() {
+                for &state in frontier.iter() {
+                    let v = state as u32;
+                    let lay = (state >> 32) as usize;
+                    let idx = (lay as u32 * v_count + v) as usize;
+                    // Consume the delta: only sources that arrived
+                    // since the state last ran need (re)processing.
+                    let delta = pending_mask[idx];
+                    pending_mask[idx] = 0;
+                    debug_assert_ne!(delta, 0, "queued state without pending bits");
+                    stats.states_visited += 1;
+                    let li = layers[lay];
+                    let step = &steps[li.step as usize];
+                    let node = NodeId(v);
+
+                    // Forwards `delta` to `target`, queueing it for the
+                    // next level on its 0 → nonzero pending transition.
+                    let mut send = |target_layer: u32,
+                                    target_v: u32,
+                                    bits: u64,
+                                    next: &mut Vec<u64>| {
+                        let t = fresh!((target_layer * v_count + target_v) as usize);
+                        let new = bits & !seen_mask[t];
+                        if new != 0 {
+                            seen_mask[t] |= new;
+                            if pending_mask[t] == 0 {
+                                next.push((u64::from(target_layer) << 32) | u64::from(target_v));
+                            }
+                            pending_mask[t] |= new;
+                        }
+                    };
+
+                    // Step completion for the newly arrived sources.
+                    if li.completes && step.conds.iter().all(|c| c.eval(g.node_attrs(node))) {
+                        if li.last {
+                            if matched_mask_epoch[node.index()] != epoch {
+                                matched_mask_epoch[node.index()] = epoch;
+                                matched_mask[node.index()] = 0;
+                            }
+                            let mut new_matched = delta & !matched_mask[node.index()];
+                            matched_mask[node.index()] |= new_matched;
+                            while new_matched != 0 {
+                                let bit = new_matched.trailing_zeros() as usize;
+                                new_matched &= new_matched - 1;
+                                audiences[chunk_base + bit].push(node);
+                            }
+                        } else {
+                            send(li.eps_layer, v, delta, next);
+                        }
+                    }
+
+                    // Edge expansion within the step.
+                    if !li.expands {
+                        continue;
+                    }
+                    if matches!(step.dir, Direction::Out | Direction::Both) {
+                        let out = snap.out_neighbors(v, step.label);
+                        for &nbr in out.nodes {
+                            stats.edges_scanned += 1;
+                            send(li.next_layer, nbr, delta, next);
+                        }
+                    }
+                    if matches!(step.dir, Direction::In | Direction::Both) {
+                        let inn = snap.in_neighbors(v, step.label);
+                        for &nbr in inn.nodes {
+                            stats.edges_scanned += 1;
+                            send(li.next_layer, nbr, delta, next);
+                        }
+                    }
+                }
+                std::mem::swap(frontier, next);
+                next.clear();
+            }
+        }
+    });
+
+    for audience in &mut audiences {
+        audience.sort_unstable();
+    }
+    BatchAudienceOutcome { audiences, stats }
+}
+
+// ---------------------------------------------------------------------
 // Reference engine (original implementation, retained as the spec)
 // ---------------------------------------------------------------------
 
@@ -531,10 +843,11 @@ pub fn evaluate_reference(
         let inc = matches!(step.dir, Direction::In | Direction::Both);
         if out {
             for (eid, rec) in g.out_edges(node) {
-                stats.edges_scanned += 1;
                 if rec.label != step.label {
+                    stats.edges_filtered += 1;
                     continue;
                 }
+                stats.edges_scanned += 1;
                 let next: State = (rec.dst.0, i, d_next);
                 if let Entry::Vacant(e) = parent.entry(next) {
                     e.insert(Some((state, Some((eid, true)))));
@@ -544,10 +857,11 @@ pub fn evaluate_reference(
         }
         if inc {
             for (eid, rec) in g.in_edges(node) {
-                stats.edges_scanned += 1;
                 if rec.label != step.label {
+                    stats.edges_filtered += 1;
                     continue;
                 }
+                stats.edges_scanned += 1;
                 let next: State = (rec.src.0, i, d_next);
                 if let Entry::Vacant(e) = parent.entry(next) {
                     e.insert(Some((state, Some((eid, false)))));
@@ -873,6 +1187,127 @@ mod tests {
     }
 
     #[test]
+    fn batch_audiences_match_per_owner_evaluation() {
+        let mut g = chain();
+        g.set_node_attr(g.node_by_name("Carol").unwrap(), "age", 20i64);
+        let texts = [
+            "friend+[1]",
+            "friend+[1,2]",
+            "friend*[1..]",
+            "friend+[1,2]/colleague+[1]",
+            "friend+[2]{age>=18}",
+            "friend-[1]",
+        ];
+        let paths: Vec<PathExpr> = texts.iter().map(|t| parse(&mut g, t)).collect();
+        let snap = g.snapshot();
+        let owners: Vec<NodeId> = g.nodes().collect();
+        for (p, text) in paths.iter().zip(texts) {
+            let batch = evaluate_audience_batch(&g, &snap, &owners, p);
+            assert_eq!(batch.audiences.len(), owners.len());
+            for (owner, audience) in owners.iter().zip(&batch.audiences) {
+                let solo = evaluate_with_snapshot(&g, &snap, *owner, p, None);
+                assert_eq!(audience, &solo.matched, "{text} from {owner}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_amortizes_edge_scans_across_owners() {
+        // A star: every leaf's friend-[1] audience passes through the
+        // hub, so the shared frontier scans far fewer edges than the
+        // per-owner sum.
+        let mut g = SocialGraph::new();
+        let hub = g.add_node("hub");
+        let leaves: Vec<NodeId> = (0..30).map(|i| g.add_node(&format!("l{i}"))).collect();
+        for &l in &leaves {
+            g.connect(hub, "friend", l);
+        }
+        let p = parse(&mut g, "friend-[1]/friend+[1]");
+        let snap = g.snapshot();
+        let batch = evaluate_audience_batch(&g, &snap, &leaves, &p);
+        let solo_total: usize = leaves
+            .iter()
+            .map(|&o| {
+                evaluate_with_snapshot(&g, &snap, o, &p, None)
+                    .stats
+                    .edges_scanned
+            })
+            .sum();
+        assert!(
+            batch.stats.edges_scanned < solo_total / 2,
+            "batch {} vs per-owner sum {}",
+            batch.stats.edges_scanned,
+            solo_total
+        );
+        for (i, &o) in leaves.iter().enumerate() {
+            let solo = evaluate_with_snapshot(&g, &snap, o, &p, None);
+            assert_eq!(batch.audiences[i], solo.matched);
+        }
+    }
+
+    #[test]
+    fn batch_chunks_beyond_64_owners() {
+        // 70 members in a friend ring — more owners than one mask
+        // chunk holds, so the chunk loop must run twice.
+        let mut g = SocialGraph::new();
+        let nodes: Vec<NodeId> = (0..70).map(|i| g.add_node(&format!("r{i}"))).collect();
+        for i in 0..70usize {
+            g.connect(nodes[i], "friend", nodes[(i + 1) % 70]);
+        }
+        let p = parse(&mut g, "friend+[1,2]");
+        let snap = g.snapshot();
+        let batch = evaluate_audience_batch(&g, &snap, &nodes, &p);
+        for (i, &o) in nodes.iter().enumerate() {
+            let solo = evaluate_with_snapshot(&g, &snap, o, &p, None);
+            assert_eq!(batch.audiences[i], solo.matched, "owner {o}");
+        }
+    }
+
+    #[test]
+    fn batch_handles_empty_paths_and_duplicate_owners() {
+        let g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let snap = g.snapshot();
+        let owners = [alice, alice];
+        let p = PathExpr::new(vec![]);
+        let batch = evaluate_audience_batch(&g, &snap, &owners, &p);
+        assert_eq!(batch.audiences, vec![vec![alice], vec![alice]]);
+    }
+
+    #[test]
+    fn batch_falls_back_on_stale_snapshots() {
+        let mut g = chain();
+        let snap = g.snapshot();
+        let alice = g.node_by_name("Alice").unwrap();
+        let dave = g.node_by_name("Dave").unwrap();
+        g.connect(alice, "friend", dave); // stales `snap`
+        let p = parse(&mut g, "friend+[1]");
+        let batch = evaluate_audience_batch(&g, &snap, &[alice], &p);
+        assert!(
+            batch.audiences[0].contains(&dave),
+            "stale snapshot must not hide the new edge"
+        );
+    }
+
+    #[test]
+    fn reference_engine_reports_filtered_edges_separately() {
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let p = parse(&mut g, "friend+[1]");
+        let slow = evaluate_reference(&g, alice, &p, None);
+        let snap = g.snapshot();
+        let fast = evaluate_with_snapshot(&g, &snap, alice, &p, None);
+        // Same matching traversals on both engines, shared axis.
+        assert_eq!(fast.stats.edges_scanned, slow.stats.edges_scanned);
+        assert_eq!(fast.stats.edges_filtered, 0, "CSR never inspects misses");
+        // Alice's neighborhood spans friend and colleague edges, so the
+        // reference engine must have filtered at least one.
+        let colleague = parse(&mut g, "colleague*[1]");
+        let slow = evaluate_reference(&g, alice, &colleague, None);
+        assert!(slow.stats.edges_filtered > 0);
+    }
+
+    #[test]
     fn release_thread_caches_is_safe_mid_stream() {
         let mut g = chain();
         let alice = g.node_by_name("Alice").unwrap();
@@ -881,6 +1316,37 @@ mod tests {
         release_thread_caches();
         let after = evaluate(&g, alice, &p, None).matched;
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn release_apis_drop_exactly_their_caches() {
+        // Regression for the stale thread-local fallback risk: the
+        // release functions must observably drop what they claim to.
+        let mut g = chain();
+        let alice = g.node_by_name("Alice").unwrap();
+        let p = parse(&mut g, "friend+[1,2]");
+        release_thread_caches();
+        let _ = evaluate(&g, alice, &p, None); // audience ⇒ builds + caches
+        let warm = thread_cache_stats();
+        assert!(
+            warm.snapshot_cached,
+            "audience evaluation caches a snapshot"
+        );
+        assert!(warm.scratch_state_slots > 0, "scratch sized to the search");
+
+        release_thread_snapshot();
+        let after_snap = thread_cache_stats();
+        assert!(!after_snap.snapshot_cached, "snapshot dropped");
+        assert_eq!(
+            after_snap.scratch_state_slots, warm.scratch_state_slots,
+            "scratch survives a snapshot-only release"
+        );
+
+        let _ = evaluate(&g, alice, &p, None);
+        release_thread_caches();
+        let cold = thread_cache_stats();
+        assert!(!cold.snapshot_cached);
+        assert_eq!(cold.scratch_state_slots, 0, "full release drops scratch");
     }
 
     #[test]

@@ -2,15 +2,29 @@
 //! platform would embed: members, relationships, shared resources,
 //! textual policies, and enforced access checks with pluggable engines.
 //!
-//! The system keeps three derived structures coherent with the graph
-//! and the policies: the decision cache, the join index, and the online
-//! engine's label-partitioned [`CsrSnapshot`] (one per graph
-//! generation, held by the wrapped `Enforcer`). Any mutation
-//! invalidates all of them and they rebuild lazily on the next check
-//! (the paper treats the graph as static during enforcement;
-//! incremental maintenance is future work there — see DESIGN.md §3).
+//! # Read/write split and the publication lifecycle
+//!
+//! Every **read** — [`check`](AccessControlSystem::check),
+//! [`check_batch`](AccessControlSystem::check_batch),
+//! [`audience`](AccessControlSystem::audience),
+//! [`audience_batch`](AccessControlSystem::audience_batch),
+//! [`explain`](AccessControlSystem::explain) — takes `&self`, so any
+//! number of requester threads can evaluate concurrently against one
+//! system (e.g. through `std::thread::scope`). Reads share the
+//! epoch-published [`CsrSnapshot`] held by the wrapped [`Enforcer`]:
+//! each read clones the current epoch's `Arc` and traverses the
+//! immutable index lock-free. Every **mutation** — adding members,
+//! relationships, resources or rules — takes `&mut self`, guaranteeing
+//! exclusivity, and only *stales* derived state: the decision caches
+//! drop immediately, while the published snapshot is retained so the
+//! next read can republish it **incrementally**
+//! ([`CsrSnapshot::apply_edge_appends`] — the system owns its graph,
+//! so the append-only lineage the patch requires holds by
+//! construction). The lazily built join index is dropped and rebuilt
+//! on the next indexed read, as in the paper's static-graph model.
 //!
 //! [`CsrSnapshot`]: socialreach_graph::csr::CsrSnapshot
+//! [`CsrSnapshot::apply_edge_appends`]: socialreach_graph::csr::CsrSnapshot::apply_edge_appends
 
 use crate::engine::{Enforcer, OnlineEngine};
 use crate::error::EvalError;
@@ -18,7 +32,9 @@ use crate::joinengine::{JoinEngineConfig, JoinIndexEngine};
 use crate::online;
 use crate::path::parse_path;
 use crate::policy::{Decision, PolicyStore, ResourceId};
+use parking_lot::RwLock;
 use socialreach_graph::{AttrValue, EdgeId, NodeId, SocialGraph};
+use std::sync::Arc;
 
 /// Which engine evaluates access conditions.
 #[derive(Clone, Copy, Debug)]
@@ -30,12 +46,13 @@ pub enum EngineChoice {
     JoinIndex(JoinEngineConfig),
 }
 
-/// High-level access-control façade.
+/// High-level access-control façade (see the module docs for the
+/// `&self` read path / `&mut self` write path contract).
 pub struct AccessControlSystem {
     graph: SocialGraph,
     store: PolicyStore,
     choice: EngineChoice,
-    join: Option<Enforcer<JoinIndexEngine>>,
+    join: RwLock<Option<Arc<Enforcer<JoinIndexEngine>>>>,
     online: Enforcer<OnlineEngine>,
 }
 
@@ -58,8 +75,11 @@ impl AccessControlSystem {
             graph: SocialGraph::new(),
             store: PolicyStore::new(),
             choice,
-            join: None,
-            online: Enforcer::new(OnlineEngine),
+            join: RwLock::new(None),
+            // The system owns its graph and routes every mutation, so
+            // the append-only lineage incremental publication needs is
+            // guaranteed by construction.
+            online: Enforcer::new(OnlineEngine).with_append_publication(),
         }
     }
 
@@ -127,43 +147,93 @@ impl AccessControlSystem {
     }
 
     // ------------------------------------------------------------------
-    // Enforcement
+    // Enforcement (the `&self` read path)
     // ------------------------------------------------------------------
 
+    /// The lazily built join-index enforcer (double-checked so
+    /// concurrent cold readers build it once).
+    ///
+    /// # Panics
+    /// Panics when called under [`EngineChoice::Online`].
+    fn join_enforcer(&self) -> Arc<Enforcer<JoinIndexEngine>> {
+        let EngineChoice::JoinIndex(cfg) = self.choice else {
+            unreachable!("join enforcer requested under the online choice")
+        };
+        if let Some(join) = self.join.read().as_ref() {
+            return Arc::clone(join);
+        }
+        let mut slot = self.join.write();
+        if let Some(join) = slot.as_ref() {
+            return Arc::clone(join);
+        }
+        let fresh = Arc::new(Enforcer::new(JoinIndexEngine::build(&self.graph, cfg)));
+        *slot = Some(Arc::clone(&fresh));
+        fresh
+    }
+
     /// Decides whether `requester` may access `rid`.
-    pub fn check(&mut self, rid: ResourceId, requester: NodeId) -> Result<Decision, EvalError> {
+    pub fn check(&self, rid: ResourceId, requester: NodeId) -> Result<Decision, EvalError> {
         match self.choice {
             EngineChoice::Online => {
                 self.online
                     .check_access(&self.graph, &self.store, rid, requester)
             }
-            EngineChoice::JoinIndex(cfg) => {
-                if self.join.is_none() {
-                    self.join = Some(Enforcer::new(JoinIndexEngine::build(&self.graph, cfg)));
-                }
-                self.join
-                    .as_ref()
-                    .expect("join engine just built")
+            EngineChoice::JoinIndex(_) => {
+                self.join_enforcer()
                     .check_access(&self.graph, &self.store, rid, requester)
+            }
+        }
+    }
+
+    /// Decides a batch of requests on up to `threads` worker threads
+    /// sharing the current snapshot epoch; decisions come back in
+    /// request order ([`Enforcer::check_batch`]).
+    pub fn check_batch(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+    ) -> Result<Vec<Decision>, EvalError> {
+        match self.choice {
+            EngineChoice::Online => {
+                self.online
+                    .check_batch(&self.graph, &self.store, requests, threads)
+            }
+            EngineChoice::JoinIndex(_) => {
+                self.join_enforcer()
+                    .check_batch(&self.graph, &self.store, requests, threads)
             }
         }
     }
 
     /// The full audience of a resource: the union over rules of the
     /// intersection over each rule's conditions (plus the owner).
-    pub fn audience(&mut self, rid: ResourceId) -> Result<Vec<NodeId>, EvalError> {
+    pub fn audience(&self, rid: ResourceId) -> Result<Vec<NodeId>, EvalError> {
+        Ok(self
+            .audience_batch(std::slice::from_ref(&rid))?
+            .pop()
+            .expect("one audience per requested resource"))
+    }
+
+    /// Audiences of a whole bundle of resources at once (a feed of
+    /// posts, an album), in `rids` order. Under the online engine the
+    /// bundle's distinct conditions are deduped and every set of owners
+    /// sharing a path template traverses the shared snapshot together
+    /// in one multi-source pass — the batch-audience workload this
+    /// system is built around.
+    pub fn audience_batch(&self, rids: &[ResourceId]) -> Result<Vec<Vec<NodeId>>, EvalError> {
         match self.choice {
-            EngineChoice::Online => {
-                crate::engine::resource_audience(&self.graph, &self.store, rid, &OnlineEngine)
-            }
-            EngineChoice::JoinIndex(cfg) => {
-                if self.join.is_none() {
-                    self.join = Some(Enforcer::new(JoinIndexEngine::build(&self.graph, cfg)));
-                }
-                let engine = self.join.as_ref().expect("join engine just built").engine();
-                crate::engine::resource_audience(&self.graph, &self.store, rid, engine)
+            EngineChoice::Online => self.online.audience_batch(&self.graph, &self.store, rids),
+            EngineChoice::JoinIndex(_) => {
+                self.join_enforcer()
+                    .audience_batch(&self.graph, &self.store, rids)
             }
         }
+    }
+
+    /// Number of snapshot publications the online enforcer has made
+    /// (each rebuild or incremental patch is one epoch).
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.online.snapshot_epoch()
     }
 
     /// Explains a grant: a human-readable walk from the owner to the
@@ -171,7 +241,7 @@ impl AccessControlSystem {
     /// access is denied. Always uses the online engine (the join index
     /// does not keep witnesses).
     pub fn explain(
-        &mut self,
+        &self,
         rid: ResourceId,
         requester: NodeId,
     ) -> Result<Option<Vec<String>>, EvalError> {
@@ -232,6 +302,7 @@ impl AccessControlSystem {
             EngineChoice::Online => self.online.cache_stats(),
             EngineChoice::JoinIndex(_) => self
                 .join
+                .read()
                 .as_ref()
                 .map(|e| e.cache_stats())
                 .unwrap_or((0, 0)),
@@ -239,13 +310,14 @@ impl AccessControlSystem {
     }
 
     fn dirty(&mut self) {
-        // Enforcer::invalidate drops both the decision cache and the
-        // cached CSR snapshot; the join index is rebuilt lazily.
-        self.online.invalidate();
-        if let Some(join) = &self.join {
-            join.invalidate();
-        }
-        self.join = None; // the index is stale; rebuild lazily
+        // Decisions are stale after any mutation, but the published CSR
+        // snapshot is *kept* as the next epoch's base: the system's
+        // mutations are all appends or attribute/policy writes, so the
+        // next read either revalidates it (non-topology writes) or
+        // patches it incrementally (appends). The join index has no
+        // incremental path; drop it and rebuild lazily.
+        self.online.invalidate_decisions();
+        *self.join.get_mut() = None;
     }
 }
 
@@ -273,7 +345,7 @@ mod tests {
             EngineChoice::Online,
             EngineChoice::JoinIndex(JoinEngineConfig::default()),
         ] {
-            let (mut sys, rid) = populated(choice);
+            let (sys, rid) = populated(choice);
             let bob = sys.user("Bob").unwrap();
             let carol = sys.user("Carol").unwrap();
             let dave = sys.user("Dave").unwrap();
@@ -285,7 +357,7 @@ mod tests {
 
     #[test]
     fn audience_includes_owner_and_matching_members() {
-        let (mut sys, rid) = populated(EngineChoice::Online);
+        let (sys, rid) = populated(EngineChoice::Online);
         let names: Vec<String> = sys
             .audience(rid)
             .unwrap()
@@ -308,7 +380,7 @@ mod tests {
 
     #[test]
     fn explain_produces_a_readable_walk() {
-        let (mut sys, rid) = populated(EngineChoice::Online);
+        let (sys, rid) = populated(EngineChoice::Online);
         let carol = sys.user("Carol").unwrap();
         let explanation = sys.explain(rid, carol).unwrap().expect("granted");
         assert_eq!(explanation.len(), 1);
@@ -321,7 +393,7 @@ mod tests {
 
     #[test]
     fn owner_explanation_is_ownership() {
-        let (mut sys, rid) = populated(EngineChoice::Online);
+        let (sys, rid) = populated(EngineChoice::Online);
         let alice = sys.user("Alice").unwrap();
         let explanation = sys.explain(rid, alice).unwrap().unwrap();
         assert!(explanation[0].contains("owns"));
@@ -338,12 +410,95 @@ mod tests {
 
     #[test]
     fn cache_stats_track_repeat_checks() {
-        let (mut sys, rid) = populated(EngineChoice::Online);
+        let (sys, rid) = populated(EngineChoice::Online);
         let bob = sys.user("Bob").unwrap();
         sys.check(rid, bob).unwrap();
         sys.check(rid, bob).unwrap();
         let (hits, misses) = sys.cache_stats();
         assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_snapshot_epoch() {
+        let (sys, rid) = populated(EngineChoice::Online);
+        let bob = sys.user("Bob").unwrap();
+        let carol = sys.user("Carol").unwrap();
+        let dave = sys.user("Dave").unwrap();
+        // Many threads checking through `&self` against one system.
+        let decisions: Vec<Decision> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let sys = &sys;
+                    let user = [bob, carol, dave][i % 3];
+                    scope.spawn(move || sys.check(rid, user).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, d) in decisions.iter().enumerate() {
+            let expect = if i % 3 == 2 {
+                Decision::Deny
+            } else {
+                Decision::Grant
+            };
+            assert_eq!(*d, expect);
+        }
+        assert_eq!(
+            sys.snapshot_epoch(),
+            1,
+            "all readers shared a single publication"
+        );
+    }
+
+    #[test]
+    fn appends_republish_incrementally_not_from_scratch() {
+        let (mut sys, rid) = populated(EngineChoice::Online);
+        let dave = sys.user("Dave").unwrap();
+        assert_eq!(sys.check(rid, dave).unwrap(), Decision::Deny);
+        assert_eq!(sys.snapshot_epoch(), 1);
+        let alice = sys.user("Alice").unwrap();
+        sys.connect(alice, "friend", dave);
+        assert_eq!(sys.check(rid, dave).unwrap(), Decision::Grant);
+        assert_eq!(sys.snapshot_epoch(), 2, "append published a new epoch");
+        // Attribute writes keep the epoch: the snapshot stores no
+        // attributes, so no republication happens.
+        sys.set_user_attr(dave, "age", 44i64);
+        assert_eq!(sys.check(rid, dave).unwrap(), Decision::Grant);
+        assert_eq!(sys.snapshot_epoch(), 2);
+    }
+
+    #[test]
+    fn check_batch_through_the_facade_matches_sequential() {
+        let (sys, rid) = populated(EngineChoice::Online);
+        let bob = sys.user("Bob").unwrap();
+        let dave = sys.user("Dave").unwrap();
+        let requests: Vec<_> = (0..30)
+            .map(|i| (rid, if i % 2 == 0 { bob } else { dave }))
+            .collect();
+        let sequential: Vec<Decision> = requests
+            .iter()
+            .map(|&(r, u)| sys.check(r, u).unwrap())
+            .collect();
+        assert_eq!(sys.check_batch(&requests, 4).unwrap(), sequential);
+    }
+
+    #[test]
+    fn audience_batch_matches_per_resource_audiences() {
+        for choice in [
+            EngineChoice::Online,
+            EngineChoice::JoinIndex(JoinEngineConfig::default()),
+        ] {
+            let (mut sys, rid) = populated(choice);
+            let bob = sys.user("Bob").unwrap();
+            let rid2 = sys.share(bob);
+            sys.allow(rid2, "friend+[1,2]").unwrap();
+            let rid3 = sys.share(bob); // private
+            let bundle = [rid, rid2, rid3];
+            let batched = sys.audience_batch(&bundle).unwrap();
+            for (&r, batch) in bundle.iter().zip(&batched) {
+                assert_eq!(batch, &sys.audience(r).unwrap());
+            }
+        }
     }
 
     #[test]

@@ -144,6 +144,34 @@ proptest! {
     }
 
     #[test]
+    fn batch_audiences_equal_reference_audiences(case in case_strategy()) {
+        // The multi-source batch engine must agree member-for-member
+        // with the reference spec for every owner, including duplicate
+        // owners in one batch (masks must not cross-contaminate).
+        let mut g = case.graph;
+        let parsed: Vec<PathExpr> = case
+            .paths
+            .iter()
+            .map(|t| parse_path(t, g.vocab_mut()).expect("generated paths parse"))
+            .collect();
+        let snap = g.snapshot();
+        let mut owners: Vec<NodeId> = g.nodes().collect();
+        owners.push(NodeId(0)); // duplicate source in the same chunk
+
+        for (path, text) in parsed.iter().zip(&case.paths) {
+            let batch = online::evaluate_audience_batch(&g, &snap, &owners, path);
+            prop_assert_eq!(batch.audiences.len(), owners.len());
+            for (owner, audience) in owners.iter().zip(&batch.audiences) {
+                let truth = online::evaluate_reference(&g, *owner, path, None);
+                prop_assert_eq!(
+                    audience, &truth.matched,
+                    "batch audience mismatch: path={} owner={}", text, owner
+                );
+            }
+        }
+    }
+
+    #[test]
     fn mutation_during_a_session_is_always_visible(case in case_strategy()) {
         // Evaluate → mutate → evaluate must see the new edge through
         // every entry point (generation invalidation end to end).

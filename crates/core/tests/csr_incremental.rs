@@ -1,0 +1,154 @@
+//! Differential property tests for incremental snapshot maintenance:
+//! on random base graphs × random append sequences,
+//! `CsrSnapshot::apply_edge_appends` must produce exactly the index a
+//! full `CsrSnapshot::build` of the grown graph would — and the online
+//! engine must return identical decisions, audiences and valid
+//! witnesses over either snapshot.
+
+use proptest::prelude::*;
+use socialreach_core::{online, parse_path, PathExpr};
+use socialreach_graph::csr::CsrSnapshot;
+use socialreach_graph::{NodeId, SocialGraph};
+
+const LABELS: [&str; 3] = ["friend", "colleague", "parent"];
+
+#[derive(Clone, Debug)]
+struct Append {
+    /// Add this many fresh members first.
+    new_nodes: usize,
+    /// Then these edges, endpoints modulo the grown node count.
+    edges: Vec<(u32, u32, usize)>,
+}
+
+#[derive(Clone, Debug)]
+struct Case {
+    base_nodes: usize,
+    base_edges: Vec<(u32, u32, usize)>,
+    /// Successive append batches (each patches the previous snapshot).
+    appends: Vec<Append>,
+    paths: Vec<String>,
+}
+
+fn append_strategy() -> impl Strategy<Value = Append> {
+    (
+        0..3usize,
+        proptest::collection::vec((0..64u32, 0..64u32, 0..3usize), 0..12),
+    )
+        .prop_map(|(new_nodes, edges)| Append { new_nodes, edges })
+}
+
+fn path_text_strategy() -> impl Strategy<Value = String> {
+    (0..3usize, 0..3usize, 1..3u32, 0..2u32).prop_map(|(label, dir, lo, extra)| {
+        let dir = ["+", "-", "*"][dir];
+        format!("{}{}[{}..{}]", LABELS[label], dir, lo, lo + extra)
+    })
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        2..8usize,
+        proptest::collection::vec((0..64u32, 0..64u32, 0..3usize), 0..16),
+        proptest::collection::vec(append_strategy(), 1..4),
+        proptest::collection::vec(path_text_strategy(), 1..3),
+    )
+        .prop_map(|(base_nodes, base_edges, appends, paths)| Case {
+            base_nodes,
+            base_edges,
+            appends,
+            paths,
+        })
+}
+
+fn add_edges(g: &mut SocialGraph, edges: &[(u32, u32, usize)]) {
+    let n = g.num_nodes() as u32;
+    for &(s, t, l) in edges {
+        let label = g.vocab().label(LABELS[l]).unwrap();
+        g.add_edge(NodeId(s % n), NodeId(t % n), label);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn patched_snapshots_are_identical_to_rebuilds(case in case_strategy()) {
+        let mut g = SocialGraph::new();
+        for i in 0..case.base_nodes {
+            g.add_node(&format!("u{i}"));
+        }
+        for l in LABELS {
+            g.intern_label(l);
+        }
+        add_edges(&mut g, &case.base_edges);
+
+        // Chain one patch per append batch; every intermediate patched
+        // snapshot must equal a from-scratch rebuild of that topology.
+        let mut snap = g.snapshot();
+        prop_assert_eq!(&snap, &CsrSnapshot::build(&g));
+        for (round, append) in case.appends.iter().enumerate() {
+            for k in 0..append.new_nodes {
+                g.add_node(&format!("extra{round}-{k}"));
+            }
+            add_edges(&mut g, &append.edges);
+            snap = snap.apply_edge_appends(&g).expect("append-only lineage");
+            prop_assert!(snap.matches(&g), "round {}", round);
+            prop_assert_eq!(&snap, &CsrSnapshot::build(&g), "round {}", round);
+        }
+
+        // The online engine agrees decision-for-decision over the
+        // patched snapshot (audiences, grants and witness validity
+        // against the reference spec on the final graph).
+        let parsed: Vec<PathExpr> = case
+            .paths
+            .iter()
+            .map(|t| parse_path(t, g.vocab_mut()).expect("generated paths parse"))
+            .collect();
+        for (path, text) in parsed.iter().zip(&case.paths) {
+            for owner in g.nodes() {
+                let truth = online::evaluate_reference(&g, owner, path, None);
+                let fast = online::evaluate_with_snapshot(&g, &snap, owner, path, None);
+                prop_assert_eq!(
+                    &fast.matched, &truth.matched,
+                    "audience mismatch: path={} owner={}", text, owner
+                );
+                for requester in g.nodes() {
+                    let truth = online::evaluate_reference(&g, owner, path, Some(requester));
+                    let fast =
+                        online::evaluate_with_snapshot(&g, &snap, owner, path, Some(requester));
+                    prop_assert_eq!(
+                        fast.granted, truth.granted,
+                        "decision mismatch: path={} owner={} requester={}",
+                        text, owner, requester
+                    );
+                    prop_assert_eq!(&fast.witness, &truth.witness, "path={}", text);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_patch_equals_chained_patches(case in case_strategy()) {
+        // Applying every append in one patch and applying them batch by
+        // batch must converge on the same index.
+        let mut g = SocialGraph::new();
+        for i in 0..case.base_nodes {
+            g.add_node(&format!("u{i}"));
+        }
+        for l in LABELS {
+            g.intern_label(l);
+        }
+        add_edges(&mut g, &case.base_edges);
+        let base = g.snapshot();
+
+        let mut chained = base.clone();
+        for (round, append) in case.appends.iter().enumerate() {
+            for k in 0..append.new_nodes {
+                g.add_node(&format!("extra{round}-{k}"));
+            }
+            add_edges(&mut g, &append.edges);
+            chained = chained.apply_edge_appends(&g).expect("append-only lineage");
+        }
+        let one_shot = base.apply_edge_appends(&g).expect("append-only lineage");
+        prop_assert_eq!(one_shot, chained);
+    }
+}

@@ -16,14 +16,33 @@
 //! binary search over the node's (few) label runs followed by a linear
 //! scan of exactly the matching edges.
 //!
+//! # Lifecycle: build, patch, publish
+//!
 //! Snapshots are tied to the graph's mutation [`generation`]
-//! (`SocialGraph::generation`): caches hold one snapshot per generation
-//! and rebuild lazily after any mutation ([`CsrSnapshot::matches`]).
+//! (`SocialGraph::generation`) and support three refresh paths:
+//!
+//! * [`CsrSnapshot::build`] — full (re)index, **parallel**: the two
+//!   direction indexes build on separate scoped threads, and each
+//!   direction fans its per-node segment sorts across workers
+//!   ([`CsrSnapshot::build_with_threads`] pins the worker count).
+//! * [`CsrSnapshot::apply_edge_appends`] — **incremental**: when the
+//!   graph has only grown (the only topology mutations [`SocialGraph`]
+//!   offers are node/edge appends), the per-(node, label) runs are
+//!   merged with the appended occurrences instead of re-sorted; the
+//!   copy-dominated patch beats a full rebuild on small append batches.
+//! * [`CsrSnapshot::matches`] — O(1) currency check used by the
+//!   publication layers in `socialreach-core`, which hold one
+//!   `Arc<CsrSnapshot>` per epoch and republish (patched or rebuilt)
+//!   after mutations.
 //!
 //! [`generation`]: CsrSnapshot::generation
 
 use crate::graph::SocialGraph;
-use crate::ids::LabelId;
+use crate::ids::{EdgeId, LabelId};
+
+/// Below this many edge occurrences a direction index builds and sorts
+/// on the calling thread: thread spawn overhead would dominate.
+const PARALLEL_MIN_EDGES: usize = 1 << 13;
 
 /// One contiguous run of same-label edge occurrences of one node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,8 +55,39 @@ struct LabelRun {
     end: u32,
 }
 
+/// Which endpoint of an edge buckets it in a direction index.
+#[derive(Clone, Copy, Debug)]
+enum Side {
+    /// Bucket by `src`, store `dst` (outgoing adjacency).
+    Out,
+    /// Bucket by `dst`, store `src` (incoming adjacency).
+    In,
+}
+
+impl Side {
+    /// The node whose adjacency the edge occurrence belongs to.
+    #[inline]
+    fn key(self, g: &SocialGraph, e: usize) -> usize {
+        let rec = g.edge(EdgeId(e as u32));
+        match self {
+            Side::Out => rec.src.index(),
+            Side::In => rec.dst.index(),
+        }
+    }
+
+    /// The neighbor stored for the occurrence.
+    #[inline]
+    fn nbr(self, g: &SocialGraph, e: u32) -> u32 {
+        let rec = g.edge(EdgeId(e));
+        match self {
+            Side::Out => rec.dst.0,
+            Side::In => rec.src.0,
+        }
+    }
+}
+
 /// Flat adjacency of one direction (out or in).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 struct DirIndex {
     /// `node_offsets[v]..node_offsets[v+1]` spans `v`'s occurrences in
     /// the flat arrays (all labels, label-sorted).
@@ -79,19 +129,77 @@ impl Neighbors<'_> {
     }
 }
 
+/// Sorts each node's bucketed segment by `(label, edge id)`, fanning
+/// contiguous chunks of nodes (balanced by occurrence count) across
+/// `workers` scoped threads.
+fn sort_segments(g: &SocialGraph, edge: &mut [u32], node_offsets: &[u32], workers: usize) {
+    let n = node_offsets.len() - 1;
+    let label_of = |e: u32| g.edge(EdgeId(e)).label.0;
+    if workers <= 1 || edge.len() < PARALLEL_MIN_EDGES {
+        for v in 0..n {
+            let seg = &mut edge[node_offsets[v] as usize..node_offsets[v + 1] as usize];
+            seg.sort_unstable_by_key(|&e| (label_of(e), e));
+        }
+        return;
+    }
+
+    // Chunk boundaries (node indices) splitting the occurrence total
+    // roughly evenly, so one hub node cannot serialize the fan-out any
+    // worse than its own segment.
+    let total = edge.len();
+    let mut bounds: Vec<usize> = Vec::with_capacity(workers + 1);
+    bounds.push(0);
+    for k in 1..workers {
+        let target = total * k / workers;
+        let v = node_offsets
+            .partition_point(|&o| (o as usize) < target)
+            .min(n);
+        if v > *bounds.last().expect("bounds seeded") && v < n {
+            bounds.push(v);
+        }
+    }
+    bounds.push(n);
+
+    std::thread::scope(|scope| {
+        let mut rest = edge;
+        let mut consumed = 0usize;
+        for (i, w) in bounds.windows(2).enumerate() {
+            let (lo_node, hi_node) = (w[0], w[1]);
+            let hi_off = node_offsets[hi_node] as usize;
+            let (chunk, tail) = rest.split_at_mut(hi_off - consumed);
+            rest = tail;
+            let base = consumed;
+            consumed = hi_off;
+            let mut sort_chunk = move || {
+                for v in lo_node..hi_node {
+                    let (lo, hi) = (
+                        node_offsets[v] as usize - base,
+                        node_offsets[v + 1] as usize - base,
+                    );
+                    chunk[lo..hi].sort_unstable_by_key(|&e| (label_of(e), e));
+                }
+            };
+            // The calling thread takes the last chunk itself instead of
+            // blocking idle at scope exit — same parallelism, one fewer
+            // spawn, and the worker budget is respected exactly.
+            if i + 2 == bounds.len() {
+                sort_chunk();
+            } else {
+                scope.spawn(sort_chunk);
+            }
+        }
+    });
+}
+
 impl DirIndex {
-    /// Builds one direction. `key_of(edge) -> bucket node`,
-    /// `nbr_of(edge) -> stored neighbor`.
-    fn build(
-        g: &SocialGraph,
-        key_of: impl Fn(usize) -> usize,
-        nbr_of: impl Fn(usize) -> u32,
-    ) -> Self {
+    /// Builds one direction, sorting node segments on up to `workers`
+    /// threads.
+    fn build(g: &SocialGraph, side: Side, workers: usize) -> Self {
         let n = g.num_nodes();
         let m = g.num_edges();
         let mut counts = vec![0u32; n + 1];
         for e in 0..m {
-            counts[key_of(e) + 1] += 1;
+            counts[side.key(g, e) + 1] += 1;
         }
         let mut node_offsets = counts;
         for i in 0..n {
@@ -103,17 +211,14 @@ impl DirIndex {
         let mut edge: Vec<u32> = vec![0; m];
         let mut cursor: Vec<u32> = node_offsets[..n].to_vec();
         for e in 0..m {
-            let k = key_of(e);
+            let k = side.key(g, e);
             edge[cursor[k] as usize] = e as u32;
             cursor[k] += 1;
         }
-        let label_of = |e: u32| g.edge(crate::ids::EdgeId(e)).label.0;
-        for v in 0..n {
-            let seg = &mut edge[node_offsets[v] as usize..node_offsets[v + 1] as usize];
-            seg.sort_unstable_by_key(|&e| (label_of(e), e));
-        }
+        sort_segments(g, &mut edge, &node_offsets, workers);
 
         // Materialize neighbors and carve label runs.
+        let label_of = |e: u32| g.edge(EdgeId(e)).label.0;
         let mut neighbor: Vec<u32> = Vec::with_capacity(m);
         let mut runs: Vec<LabelRun> = Vec::new();
         let mut run_offsets: Vec<u32> = Vec::with_capacity(n + 1);
@@ -136,7 +241,7 @@ impl DirIndex {
             run_offsets.push(runs.len() as u32);
         }
         for &e in &edge {
-            neighbor.push(nbr_of(e as usize));
+            neighbor.push(side.nbr(g, e));
         }
 
         DirIndex {
@@ -146,6 +251,111 @@ impl DirIndex {
             neighbor,
             edge,
         }
+    }
+
+    /// Rebuilds this direction for `g`, which must extend the indexed
+    /// graph by appends only (edge ids `old_m..` are new). Old runs are
+    /// block-copied and merged label-by-label with the sorted appended
+    /// occurrences — no per-edge re-sort. Appended edge ids are larger
+    /// than every indexed one, so appending them at the tail of their
+    /// label run preserves ascending edge-id order.
+    fn apply_appends(&self, g: &SocialGraph, side: Side, old_n: usize, old_m: usize) -> DirIndex {
+        let new_n = g.num_nodes();
+        let new_m = g.num_edges();
+        // Appended occurrences as (bucket node, label, edge id), sorted.
+        let mut added: Vec<(u32, u16, u32)> = (old_m..new_m)
+            .map(|e| {
+                (
+                    side.key(g, e) as u32,
+                    g.edge(EdgeId(e as u32)).label.0,
+                    e as u32,
+                )
+            })
+            .collect();
+        added.sort_unstable();
+
+        let mut out = DirIndex {
+            node_offsets: Vec::with_capacity(new_n + 1),
+            run_offsets: Vec::with_capacity(new_n + 1),
+            runs: Vec::with_capacity(self.runs.len() + added.len()),
+            neighbor: Vec::with_capacity(new_m),
+            edge: Vec::with_capacity(new_m),
+        };
+        out.node_offsets.push(0);
+        out.run_offsets.push(0);
+
+        let mut ai = 0usize;
+        for v in 0..new_n {
+            let (old_lo, old_hi, old_runs): (usize, usize, &[LabelRun]) = if v < old_n {
+                (
+                    self.node_offsets[v] as usize,
+                    self.node_offsets[v + 1] as usize,
+                    &self.runs[self.run_offsets[v] as usize..self.run_offsets[v + 1] as usize],
+                )
+            } else {
+                (0, 0, &[])
+            };
+            let a_start = ai;
+            while ai < added.len() && added[ai].0 == v as u32 {
+                ai += 1;
+            }
+            let news = &added[a_start..ai];
+
+            if news.is_empty() {
+                // Untouched node: block-copy the segment, shift the runs.
+                let base = out.edge.len() as u32;
+                out.edge.extend_from_slice(&self.edge[old_lo..old_hi]);
+                out.neighbor
+                    .extend_from_slice(&self.neighbor[old_lo..old_hi]);
+                for r in old_runs {
+                    out.runs.push(LabelRun {
+                        label: r.label,
+                        start: r.start - old_lo as u32 + base,
+                        end: r.end - old_lo as u32 + base,
+                    });
+                }
+            } else {
+                // Merge old runs with the node's new label groups, both
+                // ascending by label.
+                let mut oi = 0usize;
+                let mut ni = 0usize;
+                while oi < old_runs.len() || ni < news.len() {
+                    let next_old = old_runs.get(oi).map(|r| r.label);
+                    let next_new = news.get(ni).map(|&(_, l, _)| l);
+                    let label = match (next_old, next_new) {
+                        (Some(a), Some(b)) => a.min(b),
+                        (Some(a), None) => a,
+                        (None, Some(b)) => b,
+                        (None, None) => unreachable!("loop condition"),
+                    };
+                    let start = out.edge.len() as u32;
+                    if next_old == Some(label) {
+                        let r = old_runs[oi];
+                        oi += 1;
+                        out.edge
+                            .extend_from_slice(&self.edge[r.start as usize..r.end as usize]);
+                        out.neighbor
+                            .extend_from_slice(&self.neighbor[r.start as usize..r.end as usize]);
+                    }
+                    if next_new == Some(label) {
+                        while ni < news.len() && news[ni].1 == label {
+                            let eid = news[ni].2;
+                            out.edge.push(eid);
+                            out.neighbor.push(side.nbr(g, eid));
+                            ni += 1;
+                        }
+                    }
+                    out.runs.push(LabelRun {
+                        label,
+                        start,
+                        end: out.edge.len() as u32,
+                    });
+                }
+            }
+            out.node_offsets.push(out.edge.len() as u32);
+            out.run_offsets.push(out.runs.len() as u32);
+        }
+        out
     }
 
     #[inline]
@@ -193,7 +403,7 @@ impl DirIndex {
 }
 
 /// Immutable label-partitioned CSR adjacency snapshot (see module docs).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrSnapshot {
     generation: u64,
     num_nodes: u32,
@@ -203,24 +413,95 @@ pub struct CsrSnapshot {
 }
 
 impl CsrSnapshot {
-    /// Builds a snapshot of the graph's current topology. `O(|V| + |E| +
-    /// Σ_v deg(v) log deg(v))`.
+    /// Builds a snapshot of the graph's current topology, using up to
+    /// [`available_parallelism`](std::thread::available_parallelism)
+    /// worker threads, **capped at 8** — the build has two directions
+    /// × memory-bound segment sorts, so wider fan-out mostly adds
+    /// spawn overhead; pass a bigger budget explicitly through
+    /// [`CsrSnapshot::build_with_threads`] to probe beyond the cap.
+    /// `O(|V| + |E| + Σ_v deg(v) log deg(v))` total work; the two
+    /// direction indexes build concurrently and each direction's
+    /// per-node segment sorts fan across its workers.
     pub fn build(g: &SocialGraph) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        Self::build_with_threads(g, threads)
+    }
+
+    /// [`CsrSnapshot::build`] with an explicit worker-thread budget.
+    /// `threads <= 1` (or a graph below the parallel threshold) builds
+    /// entirely on the calling thread — the configuration benchmarked
+    /// as the single-threaded baseline.
+    pub fn build_with_threads(g: &SocialGraph, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (out, inn) = if threads == 1 || g.num_edges() < PARALLEL_MIN_EDGES {
+            (
+                DirIndex::build(g, Side::Out, 1),
+                DirIndex::build(g, Side::In, 1),
+            )
+        } else {
+            // One scoped thread per direction; each direction gets half
+            // the worker budget for its segment-sort fan-out.
+            let out_workers = threads.div_ceil(2);
+            let in_workers = (threads / 2).max(1);
+            std::thread::scope(|scope| {
+                let inn = scope.spawn(move || DirIndex::build(g, Side::In, in_workers));
+                let out = DirIndex::build(g, Side::Out, out_workers);
+                (out, inn.join().expect("direction builder panicked"))
+            })
+        };
         CsrSnapshot {
             generation: g.topology_generation(),
             num_nodes: g.num_nodes() as u32,
             num_edges: g.num_edges() as u32,
-            out: DirIndex::build(
-                g,
-                |e| g.edge(crate::ids::EdgeId(e as u32)).src.index(),
-                |e| g.edge(crate::ids::EdgeId(e as u32)).dst.0,
-            ),
-            inn: DirIndex::build(
-                g,
-                |e| g.edge(crate::ids::EdgeId(e as u32)).dst.index(),
-                |e| g.edge(crate::ids::EdgeId(e as u32)).src.0,
-            ),
+            out,
+            inn,
         }
+    }
+
+    /// Patches this snapshot to cover `g` **incrementally**, in
+    /// amortized `O(appended · log deg)` merge work plus a
+    /// copy-dominated `O(|V| + |E|)` array rewrite — no per-node
+    /// re-sort, which is what makes it beat [`CsrSnapshot::build`] on
+    /// small append batches.
+    ///
+    /// # Precondition (caller-guaranteed lineage)
+    ///
+    /// `g` must be the **same graph** this snapshot was built from,
+    /// advanced only by `add_node` / `add_edge` appends — which are the
+    /// only topology mutations [`SocialGraph`] offers, so any owner
+    /// that routes every mutation (e.g. `AccessControlSystem`) can
+    /// guarantee this. Generations are process-unique random-ish
+    /// stamps, so lineage cannot be verified here; what *can* be
+    /// checked is checked: `None` is returned when `g` has fewer nodes
+    /// or edges than the snapshot, or when either side carries the
+    /// unvalidatable generation `0`. Callers receiving `None` must
+    /// rebuild.
+    pub fn apply_edge_appends(&self, g: &SocialGraph) -> Option<CsrSnapshot> {
+        if self.generation == 0 || g.topology_generation() == 0 {
+            return None;
+        }
+        let (old_n, old_m) = (self.num_nodes as usize, self.num_edges as usize);
+        if g.num_nodes() < old_n || g.num_edges() < old_m {
+            return None;
+        }
+        if g.num_nodes() == old_n && g.num_edges() == old_m {
+            // Nothing appended (the generation still moved if nodes or
+            // edges were added elsewhere in the lineage — impossible
+            // under the precondition). Re-stamp only.
+            let mut same = self.clone();
+            same.generation = g.topology_generation();
+            return Some(same);
+        }
+        Some(CsrSnapshot {
+            generation: g.topology_generation(),
+            num_nodes: g.num_nodes() as u32,
+            num_edges: g.num_edges() as u32,
+            out: self.out.apply_appends(g, Side::Out, old_n, old_m),
+            inn: self.inn.apply_appends(g, Side::In, old_n, old_m),
+        })
     }
 
     /// The graph **topology** generation this snapshot was built at
@@ -327,6 +608,31 @@ mod tests {
         }
     }
 
+    /// Deterministic pseudo-random multigraph with `n` members and
+    /// `edges` relationship instances over three labels.
+    fn random_graph(n: u32, edges: usize, seed: u64) -> SocialGraph {
+        let mut g = SocialGraph::new();
+        for i in 0..n {
+            g.add_node(&format!("u{i}"));
+        }
+        let labels = [
+            g.intern_label("a"),
+            g.intern_label("b"),
+            g.intern_label("c"),
+        ];
+        let mut x = seed;
+        for _ in 0..edges {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let s = ((x >> 16) % n as u64) as u32;
+            let t = ((x >> 40) % n as u64) as u32;
+            let l = labels[((x >> 8) % 3) as usize];
+            g.add_edge(NodeId(s), NodeId(t), l);
+        }
+        g
+    }
+
     #[test]
     fn empty_graph_snapshot() {
         let g = SocialGraph::new();
@@ -425,46 +731,112 @@ mod tests {
 
     #[test]
     fn dense_random_graph_agrees_with_filtered_adjacency() {
-        // Deterministic pseudo-random multigraph exercising every slice.
-        let mut g = SocialGraph::new();
-        let n = 23u32;
-        for i in 0..n {
-            g.add_node(&format!("u{i}"));
-        }
-        let labels = [
-            g.intern_label("a"),
-            g.intern_label("b"),
-            g.intern_label("c"),
-        ];
-        let mut x = 12345u64;
-        for _ in 0..200 {
-            x = x
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            let s = ((x >> 16) % n as u64) as u32;
-            let t = ((x >> 40) % n as u64) as u32;
-            let l = labels[((x >> 8) % 3) as usize];
-            g.add_edge(NodeId(s), NodeId(t), l);
-        }
+        let g = random_graph(23, 200, 12345);
         let snap = snap_of(&g);
         assert_slices_agree(&g, &snap);
         assert!(snap.heap_bytes() > 0);
         // Spot-check against the Direction-based neighbor iterator.
         let v = NodeId(3);
+        let label = g.vocab().label("a").unwrap();
         let both: Vec<u32> = snap
-            .out_neighbors(3, labels[0])
+            .out_neighbors(3, label)
             .nodes
             .iter()
-            .chain(snap.in_neighbors(3, labels[0]).nodes)
+            .chain(snap.in_neighbors(3, label).nodes)
             .copied()
             .collect();
         let mut expect: Vec<u32> = g
-            .neighbors(v, labels[0], Direction::Both)
+            .neighbors(v, label, Direction::Both)
             .map(|n| n.0)
             .collect();
         let mut both_sorted = both;
         both_sorted.sort_unstable();
         expect.sort_unstable();
         assert_eq!(both_sorted, expect);
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        // Above the parallel threshold so the fan-out actually engages.
+        let g = random_graph(257, (PARALLEL_MIN_EDGES) + 1017, 777);
+        let seq = CsrSnapshot::build_with_threads(&g, 1);
+        for threads in [2, 3, 4, 8] {
+            let par = CsrSnapshot::build_with_threads(&g, threads);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+        assert_slices_agree(&g, &seq);
+    }
+
+    #[test]
+    fn apply_edge_appends_matches_rebuild() {
+        let mut g = random_graph(41, 160, 99);
+        let base = snap_of(&g);
+        // Append interleaved-label edges, a new label, and new members.
+        let d = g.intern_label("d");
+        let n0 = g.num_nodes() as u32;
+        let x = g.add_node("x");
+        let y = g.add_node("y");
+        let a_label = g.vocab().label("a").unwrap();
+        g.add_edge(NodeId(0), x, d);
+        g.add_edge(x, y, a_label);
+        g.add_edge(NodeId(5), NodeId(5), d); // self-loop append
+        for i in 0..40u32 {
+            g.add_edge(NodeId(i % n0), NodeId((i * 7) % n0), a_label);
+        }
+        let patched = base.apply_edge_appends(&g).expect("append-only lineage");
+        let rebuilt = snap_of(&g);
+        assert_eq!(patched, rebuilt);
+        assert!(patched.matches(&g));
+        assert_slices_agree(&g, &patched);
+    }
+
+    #[test]
+    fn apply_edge_appends_chains() {
+        // patch ∘ patch must equal one rebuild at the end.
+        let mut g = random_graph(19, 60, 4242);
+        let mut snap = snap_of(&g);
+        let b = g.vocab().label("b").unwrap();
+        for round in 0..5u32 {
+            let v = g.add_node(&format!("extra{round}"));
+            for i in 0..7u32 {
+                g.add_edge(NodeId((round * 3 + i) % 19), v, b);
+            }
+            snap = snap.apply_edge_appends(&g).expect("append-only lineage");
+        }
+        assert_eq!(snap, snap_of(&g));
+    }
+
+    #[test]
+    fn apply_edge_appends_without_topology_change_restamps() {
+        let mut g = random_graph(7, 20, 31);
+        let base = snap_of(&g);
+        g.set_node_attr(NodeId(0), "age", 9i64); // attrs only
+        let same = base.apply_edge_appends(&g).expect("no shrink");
+        assert!(same.matches(&g));
+        assert_eq!(same, base, "topology unchanged ⇒ identical index");
+    }
+
+    #[test]
+    fn apply_edge_appends_rejects_shrunk_graphs() {
+        let big = random_graph(9, 30, 8);
+        let small = random_graph(4, 5, 8);
+        let snap = snap_of(&big);
+        assert!(
+            snap.apply_edge_appends(&small).is_none(),
+            "fewer nodes/edges than the snapshot cannot be an append"
+        );
+    }
+
+    #[test]
+    fn apply_edge_appends_onto_empty_snapshot() {
+        let mut g = SocialGraph::new();
+        let base = snap_of(&g);
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.connect(a, "friend", b);
+        g.connect(b, "friend", a);
+        let patched = base.apply_edge_appends(&g).expect("pure appends");
+        assert_eq!(patched, snap_of(&g));
+        assert_slices_agree(&g, &patched);
     }
 }

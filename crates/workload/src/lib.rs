@@ -9,6 +9,9 @@
 //!   assignment + member attributes + reciprocity, deterministic per
 //!   seed;
 //! * [`policies`] — random access-rule workloads over a graph's labels;
+//! * [`bundles`] — batch-audience bundles: groups of resources whose
+//!   rules reuse a few path templates across many owners (the
+//!   multi-source audience-evaluation workload);
 //! * [`requests`] — access-request streams with ground-truth outcomes
 //!   and controllable grant rates.
 //!
@@ -25,6 +28,7 @@
 //! assert_eq!(rids.len(), 50);
 //! ```
 
+pub mod bundles;
 pub mod io;
 pub mod policies;
 pub mod requests;
@@ -32,6 +36,7 @@ pub mod spec;
 pub mod stats;
 pub mod topology;
 
+pub use bundles::{generate_audience_bundles, AudienceBundleConfig};
 pub use io::{read_edge_list, write_edge_list, EdgeListError};
 pub use policies::{generate_policies, random_path_text, PolicyWorkloadConfig};
 pub use requests::{requests_with_grant_rate, uniform_requests, Request};

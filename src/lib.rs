@@ -55,8 +55,8 @@ pub use socialreach_reach as reach;
 pub use socialreach_workload as workload;
 
 pub use socialreach_core::{
-    examples, online, parse_path, AccessCondition, AccessControlSystem, AccessEngine, AccessRule,
-    Decision, Enforcer, EngineChoice, EvalError, JoinEngineConfig, JoinIndexEngine, JoinStrategy,
-    OnlineEngine, ParseError, PathExpr, PolicyStore, ResourceId,
+    examples, online, parse_path, resource_audience_batch, AccessCondition, AccessControlSystem,
+    AccessEngine, AccessRule, Decision, Enforcer, EngineChoice, EvalError, JoinEngineConfig,
+    JoinIndexEngine, JoinStrategy, OnlineEngine, ParseError, PathExpr, PolicyStore, ResourceId,
 };
 pub use socialreach_graph::{AttrValue, Direction, EdgeId, LabelId, NodeId, SocialGraph};
