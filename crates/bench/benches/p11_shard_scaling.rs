@@ -1,0 +1,48 @@
+//! P11 — sharded multi-graph serving: the single-graph system vs
+//! `ShardedSystem` on the same controlled-crossing workload, across
+//! shard counts.
+//!
+//! Expected shape: the sharded fixpoint pays router overhead that
+//! grows with the crossing rate (every boundary state is re-seeded at
+//! its home shard), and buys per-round parallelism that grows with the
+//! shard count and the core count. On a single core the sharded column
+//! is an overhead measurement; the scaling story needs a multicore
+//! box.
+//!
+//! `cargo run --release -p socialreach-bench --bin p11-snapshot`
+//! records the same comparison as `BENCH_p11.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialreach_bench::p11::{
+    assert_sharded_matches_single, build_sharded, build_single, case, run_sharded_audiences,
+    run_single_audiences,
+};
+use socialreach_bench::quick_mode;
+
+fn bench(c: &mut Criterion) {
+    let nodes = if quick_mode() { 120 } else { 600 };
+    let shard_counts: &[u32] = if quick_mode() { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut group = c.benchmark_group("p11_shard_scaling");
+    group.sample_size(10);
+
+    for &shards in shard_counts {
+        let case = case(nodes, shards, 0.5, 60);
+        let single = build_single(&case);
+        let sharded = build_sharded(&case);
+        assert_sharded_matches_single(&case, &single, &sharded);
+        group.bench_with_input(
+            BenchmarkId::new("audience-single", &case.name),
+            &(),
+            |b, _| b.iter(|| run_single_audiences(&case, &single)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("audience-sharded", &case.name),
+            &(),
+            |b, _| b.iter(|| run_sharded_audiences(&case, &sharded)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

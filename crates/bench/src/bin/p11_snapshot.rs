@@ -1,0 +1,173 @@
+//! Records experiment P11 (sharded multi-graph serving: partition
+//! census, cold decision batches, audience bundles — single system vs
+//! `ShardedSystem` across shard counts × crossing rates) as
+//! `BENCH_p11.json`, plus human-readable tables on stdout.
+//!
+//! ```text
+//! cargo run --release -p socialreach-bench --bin p11-snapshot           # default sizes
+//! SOCIALREACH_QUICK=1 cargo run --release -p socialreach-bench --bin p11-snapshot
+//! cargo run --release -p socialreach-bench --bin p11-snapshot -- out.json
+//! ```
+
+use serde::Value;
+use socialreach_bench::p11::{
+    assert_sharded_matches_single, build_sharded, build_single, case, run_sharded_audiences,
+    run_sharded_checks, run_single_audiences, run_single_checks,
+};
+use socialreach_bench::{quick_mode, time_avg, time_once, Table};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_p11.json".to_string());
+    let nodes = if quick_mode() { 150 } else { 800 };
+    let num_requests = if quick_mode() { 120 } else { 600 };
+    let reps = if quick_mode() { 2 } else { 8 };
+    let threads = 4;
+    let shard_counts: &[u32] = if quick_mode() {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 8]
+    };
+    let cross_fractions: &[f64] = if quick_mode() {
+        &[0.5]
+    } else {
+        &[0.1, 0.5, 0.9]
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut census_rows: Vec<Value> = Vec::new();
+    let mut check_rows: Vec<Value> = Vec::new();
+    let mut audience_rows: Vec<Value> = Vec::new();
+    let mut census_table =
+        Table::new(&["case", "|V|", "|E|", "boundary", "ghosts", "member balance"]);
+    let mut check_table = Table::new(&[
+        "case",
+        "requests",
+        "single cold (ms)",
+        "sharded cold (ms)",
+        "ratio",
+    ]);
+    let mut audience_table =
+        Table::new(&["case", "resources", "single (ms)", "sharded (ms)", "ratio"]);
+
+    for &cross in cross_fractions {
+        for &shards in shard_counts {
+            let case = case(nodes, shards, cross, num_requests);
+            let single = build_single(&case);
+            let sharded = build_sharded(&case);
+            assert_sharded_matches_single(&case, &single, &sharded);
+
+            // 1. Partition census.
+            let stats = sharded.shard_stats();
+            let ghosts: usize = stats.iter().map(|s| s.ghosts).sum();
+            let balance: Vec<String> = stats.iter().map(|s| s.members.to_string()).collect();
+            census_table.row(vec![
+                case.name.clone(),
+                case.graph.num_nodes().to_string(),
+                case.graph.num_edges().to_string(),
+                sharded.boundary().len().to_string(),
+                ghosts.to_string(),
+                balance.join("/"),
+            ]);
+            census_rows.push(Value::Map(vec![
+                ("case".into(), Value::Str(case.name.clone())),
+                ("shards".into(), Value::Int(shards as i64)),
+                ("cross_fraction".into(), Value::Float(cross)),
+                ("nodes".into(), Value::Int(case.graph.num_nodes() as i64)),
+                ("edges".into(), Value::Int(case.graph.num_edges() as i64)),
+                (
+                    "boundary_edges".into(),
+                    Value::Int(sharded.boundary().len() as i64),
+                ),
+                ("ghosts".into(), Value::Int(ghosts as i64)),
+            ]));
+
+            // 2. Cold decision batches (fresh systems so the decision
+            //    caches cannot flatter either side).
+            let cold_single = build_single(&case);
+            let (_, single_cold) = time_once(|| run_single_checks(&case, &cold_single, threads));
+            let cold_sharded = build_sharded(&case);
+            let (_, sharded_cold) = time_once(|| run_sharded_checks(&case, &cold_sharded, threads));
+            let (s_ms, sh_ms) = (
+                single_cold.as_secs_f64() * 1e3,
+                sharded_cold.as_secs_f64() * 1e3,
+            );
+            check_table.row(vec![
+                case.name.clone(),
+                case.requests.len().to_string(),
+                format!("{s_ms:.3}"),
+                format!("{sh_ms:.3}"),
+                format!("{:.2}x", s_ms / sh_ms),
+            ]);
+            check_rows.push(Value::Map(vec![
+                ("case".into(), Value::Str(case.name.clone())),
+                ("shards".into(), Value::Int(shards as i64)),
+                ("cross_fraction".into(), Value::Float(cross)),
+                ("requests".into(), Value::Int(case.requests.len() as i64)),
+                ("threads".into(), Value::Int(threads as i64)),
+                ("single_cold_ms".into(), Value::Float(s_ms)),
+                ("sharded_cold_ms".into(), Value::Float(sh_ms)),
+                ("ratio".into(), Value::Float(s_ms / sh_ms)),
+            ]));
+
+            // 3. Audience bundles (uncached on both sides; averaged).
+            let single_aud = time_avg(reps, || run_single_audiences(&case, &single));
+            let sharded_aud = time_avg(reps, || run_sharded_audiences(&case, &sharded));
+            let (s_ms, sh_ms) = (
+                single_aud.as_secs_f64() * 1e3,
+                sharded_aud.as_secs_f64() * 1e3,
+            );
+            audience_table.row(vec![
+                case.name.clone(),
+                case.rids.len().to_string(),
+                format!("{s_ms:.3}"),
+                format!("{sh_ms:.3}"),
+                format!("{:.2}x", s_ms / sh_ms),
+            ]);
+            audience_rows.push(Value::Map(vec![
+                ("case".into(), Value::Str(case.name.clone())),
+                ("shards".into(), Value::Int(shards as i64)),
+                ("cross_fraction".into(), Value::Float(cross)),
+                ("resources".into(), Value::Int(case.rids.len() as i64)),
+                ("single_ms".into(), Value::Float(s_ms)),
+                ("sharded_ms".into(), Value::Float(sh_ms)),
+                ("ratio".into(), Value::Float(s_ms / sh_ms)),
+            ]));
+        }
+    }
+
+    println!("\nP11.1 — partition census (boundary edges and ghost replicas)");
+    println!("{}", census_table.render());
+    println!("P11.2 — cold decision batches: single vs sharded ({threads} threads, {cores} cores)");
+    println!("{}", check_table.render());
+    println!("P11.3 — audience bundles: single multi-source batch vs sharded fixpoint");
+    println!("{}", audience_table.render());
+
+    let doc = Value::Map(vec![
+        ("experiment".into(), Value::Str("p11_shard_scaling".into())),
+        (
+            "description".into(),
+            Value::Str(
+                "Sharded multi-graph serving vs the single-graph system: partition census \
+                 (boundary edges, ghost replicas), cold check_batch decision streams, and \
+                 audience_batch bundles, across shard counts and cross-shard crossing rates; \
+                 equivalence asserted before every measurement"
+                    .into(),
+            ),
+        ),
+        ("nodes".into(), Value::Int(nodes as i64)),
+        ("requests".into(), Value::Int(num_requests as i64)),
+        ("repetitions".into(), Value::Int(reps as i64)),
+        ("threads".into(), Value::Int(threads as i64)),
+        ("cores".into(), Value::Int(cores as i64)),
+        ("census".into(), Value::Array(census_rows)),
+        ("cold_checks".into(), Value::Array(check_rows)),
+        ("audience_bundles".into(), Value::Array(audience_rows)),
+    ]);
+    let json = serde_json::to_string(&doc).expect("snapshot serializes");
+    std::fs::write(&out_path, json + "\n").expect("snapshot written");
+    println!("wrote {out_path}");
+}

@@ -13,6 +13,7 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 pub mod p10;
+pub mod p11;
 pub mod p9;
 
 pub use socialreach_core as core;

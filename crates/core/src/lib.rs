@@ -42,6 +42,7 @@
 //! | [`joinengine`] | §3.3–3.4 | join pipeline + post-processing |
 //! | [`engine`] | — | engine trait, caching enforcer, per-generation snapshot cache |
 //! | [`system`] | — | batteries-included façade |
+//! | [`sharded`] | — | hash-partitioned multi-shard serving with cross-shard stitching |
 //! | [`examples`] | §2–3 | the Figure 1 graph, Q1, worked queries |
 //! | [`carminati`] | §4 | the Carminati et al. trust+radius baseline |
 //!
@@ -72,6 +73,24 @@
 //! ([`online::evaluate_audience_batch`]): up to 64 owners traverse
 //! together, one frontier pass per `(label, direction)` layer,
 //! amortizing edge scans across the bundle.
+//!
+//! ## Sharded serving
+//!
+//! [`ShardedSystem`] scales the read path horizontally: members are
+//! hash-partitioned across N independent shards (deterministic,
+//! seedable placement — [`socialreach_graph::shard::ShardAssignment`]),
+//! each shard an epoch-published graph of its own with the incremental
+//! append-patching pipeline above. Cross-shard relationships are
+//! recorded in a boundary table and replicated into both endpoint
+//! shards against attribute-synchronized *ghost* replicas. Reads run a
+//! round-based fixpoint of per-shard **seeded** product BFS
+//! ([`online::evaluate_seeded`]): each shard traverses its local CSR
+//! snapshot, exports every product state visited at a ghost, and the
+//! router re-seeds those states at the member's home shard (parallel
+//! scoped threads when several shards are active in a round) until no
+//! new state appears. Witnesses stitch per-shard walk segments. A
+//! differential proptest suite (`tests/shard_differential.rs`) pins the
+//! sharded semantics to the single-graph system across shard counts.
 
 pub mod carminati;
 pub mod engine;
@@ -82,6 +101,7 @@ pub mod lineplan;
 pub mod online;
 pub mod path;
 pub mod policy;
+pub mod sharded;
 pub mod system;
 
 pub use carminati::{CarminatiOutcome, CarminatiRule, TrustAggregation};
@@ -94,6 +114,7 @@ pub use joinengine::{JoinEngineConfig, JoinIndexEngine, JoinStrategy};
 pub use lineplan::{plan, LinePlan, LineQuery, PlanConfig};
 pub use path::{parse_path, AttrPredicate, CmpOp, DepthSet, PathExpr, Step};
 pub use policy::{AccessCondition, AccessRule, Decision, PolicyStore, ResourceId};
+pub use sharded::{ShardedEval, ShardedHop, ShardedSystem};
 pub use system::{AccessControlSystem, EngineChoice};
 
 // Re-exported so `JoinEngineConfig` can be configured without naming the

@@ -768,6 +768,464 @@ pub fn evaluate_audience_batch(
 }
 
 // ---------------------------------------------------------------------
+// Seeded evaluation (the sharded serving layer's per-shard primitive)
+// ---------------------------------------------------------------------
+
+/// A product-automaton coordinate exchanged between shards: the member
+/// plus its `(step, depth)` position, with `depth` capped at the step's
+/// saturation point (all deeper states behave identically, so the cap
+/// makes the coordinate canonical across independently built shards).
+pub type SeedState = (NodeId, u16, u32);
+
+/// What a seeded evaluation is looking for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeededTarget {
+    /// Explore the whole reachable product space: collect the audience
+    /// and every watched state.
+    Audience,
+    /// Stop as soon as this member completes the final step (an access
+    /// check).
+    Member(NodeId),
+    /// Stop as soon as this exact product state is visited (cross-shard
+    /// witness reconstruction replays a prior run up to the state it
+    /// exported).
+    State(NodeId, u16, u32),
+}
+
+/// Result of a seeded evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct SeededOutcome {
+    /// Members that completed the final step, sorted (includes watched
+    /// members — the caller filters ghosts).
+    pub matched: Vec<NodeId>,
+    /// Every product state visited at a watched member, depth already
+    /// saturated — the states a shard exports for its neighbors to
+    /// continue from. Unique by construction (each state is visited
+    /// once).
+    pub reached: Vec<SeedState>,
+    /// Whether the target (member or state) was found.
+    pub hit: bool,
+    /// When `hit` under a non-audience target: the local walk from one
+    /// of the seeds to the target, plus the index (into `seeds`) of the
+    /// seed it traces back to.
+    pub witness: Option<(Vec<WitnessHop>, usize)>,
+    /// Work counters.
+    pub stats: SearchStats,
+}
+
+/// Per-step base offsets and saturations of the dense layer table:
+/// layer id of `(step, depth)` is `bases[step] + depth.min(sats[step])`.
+fn layer_bases(steps: &[crate::path::Step]) -> (Vec<u32>, Vec<u32>) {
+    let mut bases = Vec::with_capacity(steps.len());
+    let mut sats = Vec::with_capacity(steps.len());
+    let mut base = 0u32;
+    for step in steps {
+        let sat = step.depths.saturation();
+        bases.push(base);
+        sats.push(sat);
+        base += sat + 1;
+    }
+    (bases, sats)
+}
+
+/// [`evaluate_with_snapshot`] generalized for the sharded serving
+/// layer: the search starts from arbitrary product states (`seeds`),
+/// reports every state visited at a *watched* member (the shard's
+/// ghost copies of remote members, whose expansion is completed by the
+/// owning shard), and can chase a state target as well as a member
+/// target.
+///
+/// Semantics are those of the single-graph engine restricted to this
+/// graph's edges: a state `(v, step, depth)` is reachable from the
+/// seeds exactly when the unsharded engine could reach it using only
+/// locally present edges. The sharded router obtains global semantics
+/// by fixpointing seeded runs across shards (every exported watched
+/// state is re-seeded at the member's owning shard, where its full
+/// adjacency lives).
+///
+/// Uses the flat dense-state engine when the product space is
+/// reasonable ([`evaluate_with_snapshot`]'s criterion) and a sparse
+/// HashMap walk mirroring [`evaluate_reference`] otherwise — results
+/// are identical.
+pub fn evaluate_seeded(
+    g: &SocialGraph,
+    snap: &CsrSnapshot,
+    path: &PathExpr,
+    seeds: &[SeedState],
+    watched: &[bool],
+    target: SeededTarget,
+) -> SeededOutcome {
+    debug_assert!(!path.is_empty(), "the router handles empty paths");
+    if path.is_empty() || seeds.is_empty() {
+        return SeededOutcome::default();
+    }
+    if snap.matches(g) && flat_dimensions(snap, path).is_some() {
+        evaluate_seeded_flat(g, snap, path, seeds, watched, target)
+    } else {
+        evaluate_seeded_sparse(g, path, seeds, watched, target)
+    }
+}
+
+fn evaluate_seeded_flat(
+    g: &SocialGraph,
+    snap: &CsrSnapshot,
+    path: &PathExpr,
+    seeds: &[SeedState],
+    watched: &[bool],
+    target: SeededTarget,
+) -> SeededOutcome {
+    let steps = &path.steps;
+    let (v_count, _, total_states) =
+        flat_dimensions(snap, path).expect("caller checked dimensions");
+    let (bases, sats) = layer_bases(steps);
+    let layer_of = |step: u16, depth: u32| bases[step as usize] + depth.min(sats[step as usize]);
+
+    let track_parents = !matches!(target, SeededTarget::Audience);
+    let target_member = match target {
+        SeededTarget::Member(m) => Some(m),
+        _ => None,
+    };
+    let target_idx: Option<u32> = match target {
+        SeededTarget::State(m, step, depth) => Some(layer_of(step, depth) * v_count + m.0),
+        _ => None,
+    };
+
+    let mut stats = SearchStats::default();
+    let mut matched: Vec<NodeId> = Vec::new();
+    let mut reached: Vec<SeedState> = Vec::new();
+    let mut hit_state: Option<u32> = None;
+    // Seed states self-parent; the replay resolves which seed a chain
+    // ends at through this (tiny) index list.
+    let mut seed_index: Vec<(u32, usize)> = Vec::with_capacity(seeds.len());
+
+    let witness = SCRATCH.with(|scratch| {
+        let s = &mut *scratch.borrow_mut();
+        fill_layer_table(steps, &mut s.layers);
+        // `layer_bases` must describe exactly the layout
+        // `fill_layer_table` produced — the two are parallel
+        // constructions, so pin their agreement here.
+        debug_assert_eq!(
+            s.layers.len() as u32,
+            bases.last().unwrap() + sats.last().unwrap() + 1,
+            "layer_bases and fill_layer_table disagree on the layer count"
+        );
+        for (i, &base) in bases.iter().enumerate() {
+            debug_assert_eq!(
+                s.layers[base as usize].step as usize, i,
+                "layer_bases and fill_layer_table disagree on step {i}'s base layer"
+            );
+        }
+        if s.visited.len() < total_states {
+            s.visited.resize(total_states, 0);
+        }
+        if s.matched_epoch.len() < snap.num_nodes() {
+            s.matched_epoch.resize(snap.num_nodes(), 0);
+        }
+        if track_parents && s.parent_state.len() < total_states {
+            s.parent_state.resize(total_states, 0);
+            s.parent_hop.resize(total_states, 0);
+        }
+        let epoch = s.next_epoch();
+        s.frontier.clear();
+        s.next.clear();
+
+        for (i, &(m, step, depth)) in seeds.iter().enumerate() {
+            let lay = layer_of(step, depth);
+            let idx = lay * v_count + m.0;
+            if s.visited[idx as usize] == epoch {
+                continue; // duplicate seed; first occurrence wins
+            }
+            s.visited[idx as usize] = epoch;
+            if track_parents {
+                s.parent_state[idx as usize] = idx;
+                s.parent_hop[idx as usize] = HOP_NONE;
+            }
+            seed_index.push((idx, i));
+            if target_idx == Some(idx) {
+                hit_state = Some(idx);
+            }
+            s.frontier.push((u64::from(lay) << 32) | u64::from(m.0));
+        }
+
+        'search: while !s.frontier.is_empty() && hit_state.is_none() {
+            let Scratch {
+                visited,
+                matched_epoch,
+                frontier,
+                next,
+                parent_state,
+                parent_hop,
+                layers,
+                ..
+            } = s;
+            for &state in frontier.iter() {
+                let v = state as u32;
+                let lay = (state >> 32) as u32;
+                let idx = lay * v_count + v;
+                let li = layers[lay as usize];
+                stats.states_visited += 1;
+                let step = &steps[li.step as usize];
+                let node = NodeId(v);
+
+                if watched[node.index()] {
+                    reached.push((node, li.step, lay - bases[li.step as usize]));
+                }
+
+                if li.completes && step.conds.iter().all(|c| c.eval(g.node_attrs(node))) {
+                    if li.last {
+                        if matched_epoch[node.index()] != epoch {
+                            matched_epoch[node.index()] = epoch;
+                            matched.push(node);
+                        }
+                        if target_member == Some(node) {
+                            hit_state = Some(idx);
+                            break 'search;
+                        }
+                    } else {
+                        let eps = li.eps_layer * v_count + v;
+                        let slot = &mut visited[eps as usize];
+                        if *slot != epoch {
+                            *slot = epoch;
+                            if track_parents {
+                                parent_state[eps as usize] = idx;
+                                parent_hop[eps as usize] = HOP_NONE;
+                            }
+                            if target_idx == Some(eps) {
+                                hit_state = Some(eps);
+                                break 'search;
+                            }
+                            next.push((u64::from(li.eps_layer) << 32) | u64::from(v));
+                        }
+                    }
+                }
+
+                if !li.expands {
+                    continue;
+                }
+                let next_base = li.next_layer * v_count;
+                let next_tag = u64::from(li.next_layer) << 32;
+                let mut found = false;
+                let mut expand = |nbr: u32, eid: u32, forward: bool| {
+                    stats.edges_scanned += 1;
+                    let ns = next_base + nbr;
+                    let slot = &mut visited[ns as usize];
+                    if *slot != epoch {
+                        *slot = epoch;
+                        if track_parents {
+                            parent_state[ns as usize] = idx;
+                            parent_hop[ns as usize] = (eid << 1) | u32::from(forward);
+                        }
+                        if target_idx == Some(ns) {
+                            found = true;
+                        }
+                        next.push(next_tag | u64::from(nbr));
+                    }
+                };
+                if matches!(step.dir, Direction::Out | Direction::Both) {
+                    let out = snap.out_neighbors(v, step.label);
+                    for (&nbr, &eid) in out.nodes.iter().zip(out.edges) {
+                        expand(nbr, eid, true);
+                    }
+                }
+                if matches!(step.dir, Direction::In | Direction::Both) {
+                    let inn = snap.in_neighbors(v, step.label);
+                    for (&nbr, &eid) in inn.nodes.iter().zip(inn.edges) {
+                        expand(nbr, eid, false);
+                    }
+                }
+                if found {
+                    hit_state = Some(target_idx.expect("found implies a state target"));
+                    break 'search;
+                }
+            }
+            std::mem::swap(&mut s.frontier, &mut s.next);
+            s.next.clear();
+        }
+
+        hit_state.filter(|_| track_parents).map(|end| {
+            let mut hops = Vec::new();
+            let mut cur = end;
+            loop {
+                let hop = s.parent_hop[cur as usize];
+                let prev = s.parent_state[cur as usize];
+                if hop != HOP_NONE {
+                    hops.push((EdgeId(hop >> 1), hop & 1 == 1));
+                }
+                if prev == cur {
+                    break;
+                }
+                cur = prev;
+            }
+            hops.reverse();
+            let seed = seed_index
+                .iter()
+                .find(|&&(idx, _)| idx == cur)
+                .map(|&(_, i)| i)
+                .expect("witness chain ends at a seed");
+            (hops, seed)
+        })
+    });
+
+    matched.sort_unstable();
+    SeededOutcome {
+        matched,
+        reached,
+        hit: hit_state.is_some(),
+        witness,
+        stats,
+    }
+}
+
+/// Sparse-state mirror of [`evaluate_seeded_flat`] for degenerate
+/// product spaces, structured after [`evaluate_reference`].
+fn evaluate_seeded_sparse(
+    g: &SocialGraph,
+    path: &PathExpr,
+    seeds: &[SeedState],
+    watched: &[bool],
+    target: SeededTarget,
+) -> SeededOutcome {
+    let steps = &path.steps;
+    let sat: Vec<u32> = steps.iter().map(|s| s.depths.saturation()).collect();
+    let canon = |(m, step, depth): SeedState| (m.0, step, depth.min(sat[step as usize]));
+
+    let target_member = match target {
+        SeededTarget::Member(m) => Some(m),
+        _ => None,
+    };
+    let target_state: Option<State> = match target {
+        SeededTarget::State(m, step, depth) => Some(canon((m, step, depth))),
+        _ => None,
+    };
+
+    let mut stats = SearchStats::default();
+    let mut parent: HashMap<State, Option<(State, Option<WitnessHop>)>> = HashMap::new();
+    let mut seed_of: HashMap<State, usize> = HashMap::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    for (i, &seed) in seeds.iter().enumerate() {
+        let state = canon(seed);
+        if let Entry::Vacant(e) = parent.entry(state) {
+            e.insert(None);
+            seed_of.insert(state, i);
+            queue.push_back(state);
+        }
+    }
+
+    let mut matched: Vec<NodeId> = Vec::new();
+    let mut matched_seen = vec![false; g.num_nodes()];
+    let mut reached: Vec<SeedState> = Vec::new();
+    let mut hit_state: Option<State> = target_state.filter(|t| parent.contains_key(t));
+
+    'search: while hit_state.is_none() {
+        let Some(state) = queue.pop_front() else {
+            break;
+        };
+        let (v, i, d) = state;
+        stats.states_visited += 1;
+        let step = &steps[i as usize];
+        let node = NodeId(v);
+
+        if watched[node.index()] {
+            reached.push((node, i, d));
+        }
+
+        if d >= 1
+            && step.depths.contains(d)
+            && step.conds.iter().all(|c| c.eval(g.node_attrs(node)))
+        {
+            if (i as usize) == steps.len() - 1 {
+                if !matched_seen[node.index()] {
+                    matched_seen[node.index()] = true;
+                    matched.push(node);
+                }
+                if target_member == Some(node) {
+                    hit_state = Some(state);
+                    break 'search;
+                }
+            } else {
+                let eps: State = (v, i + 1, 0);
+                if let Entry::Vacant(e) = parent.entry(eps) {
+                    e.insert(Some((state, None)));
+                    if target_state == Some(eps) {
+                        hit_state = Some(eps);
+                        break 'search;
+                    }
+                    queue.push_back(eps);
+                }
+            }
+        }
+
+        if d >= sat[i as usize] && !step.depths.is_unbounded() {
+            continue;
+        }
+        let d_next = (d + 1).min(sat[i as usize]);
+        let out = matches!(step.dir, Direction::Out | Direction::Both);
+        let inc = matches!(step.dir, Direction::In | Direction::Both);
+        if out {
+            for (eid, rec) in g.out_edges(node) {
+                if rec.label != step.label {
+                    stats.edges_filtered += 1;
+                    continue;
+                }
+                stats.edges_scanned += 1;
+                let next: State = (rec.dst.0, i, d_next);
+                if let Entry::Vacant(e) = parent.entry(next) {
+                    e.insert(Some((state, Some((eid, true)))));
+                    if target_state == Some(next) {
+                        hit_state = Some(next);
+                        break 'search;
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        if inc {
+            for (eid, rec) in g.in_edges(node) {
+                if rec.label != step.label {
+                    stats.edges_filtered += 1;
+                    continue;
+                }
+                stats.edges_scanned += 1;
+                let next: State = (rec.src.0, i, d_next);
+                if let Entry::Vacant(e) = parent.entry(next) {
+                    e.insert(Some((state, Some((eid, false)))));
+                    if target_state == Some(next) {
+                        hit_state = Some(next);
+                        break 'search;
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+
+    let witness = hit_state
+        .filter(|_| !matches!(target, SeededTarget::Audience))
+        .map(|end| {
+            let mut hops = Vec::new();
+            let mut cur = end;
+            while let Some(Some((prev, hop))) = parent.get(&cur) {
+                if let Some(h) = hop {
+                    hops.push(*h);
+                }
+                cur = *prev;
+            }
+            hops.reverse();
+            let seed = *seed_of.get(&cur).expect("witness chain ends at a seed");
+            (hops, seed)
+        });
+
+    matched.sort_unstable();
+    SeededOutcome {
+        matched,
+        reached,
+        hit: hit_state.is_some(),
+        witness,
+        stats,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Reference engine (original implementation, retained as the spec)
 // ---------------------------------------------------------------------
 
@@ -1358,5 +1816,143 @@ mod tests {
         let _ = evaluate(&g, alice, &p, None);
         let _ = evaluate(&g, alice, &p, None);
         assert_eq!(g.generation(), gen_before, "evaluation never mutates");
+    }
+
+    #[test]
+    fn seeded_from_the_start_state_matches_evaluate() {
+        let mut g = chain();
+        let snap = g.snapshot();
+        let alice = g.node_by_name("Alice").unwrap();
+        let carol = g.node_by_name("Carol").unwrap();
+        let dave = g.node_by_name("Dave").unwrap();
+        let none = vec![false; g.num_nodes()];
+        for text in ["friend+[1,2]", "friend*[1..]/colleague+[1]", "friend-[1]"] {
+            let p = parse(&mut g, text);
+            let truth = evaluate(&g, alice, &p, None);
+            let seeded = evaluate_seeded(
+                &g,
+                &snap,
+                &p,
+                &[(alice, 0, 0)],
+                &none,
+                SeededTarget::Audience,
+            );
+            assert_eq!(seeded.matched, truth.matched, "path {text}");
+            assert!(seeded.reached.is_empty(), "nothing watched");
+            for requester in [carol, dave] {
+                let truth = evaluate(&g, alice, &p, Some(requester));
+                let seeded = evaluate_seeded(
+                    &g,
+                    &snap,
+                    &p,
+                    &[(alice, 0, 0)],
+                    &none,
+                    SeededTarget::Member(requester),
+                );
+                assert_eq!(seeded.hit, truth.granted, "path {text}");
+                if seeded.hit {
+                    let (hops, seed) = seeded.witness.expect("hit carries a witness");
+                    assert_eq!(seed, 0);
+                    assert_eq!(hops, truth.witness.expect("granted carries a witness"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_flat_and_sparse_agree() {
+        let mut g = chain();
+        let snap = g.snapshot();
+        let alice = g.node_by_name("Alice").unwrap();
+        let bob = g.node_by_name("Bob").unwrap();
+        let mut watched = vec![false; g.num_nodes()];
+        watched[bob.index()] = true;
+        let p = parse(&mut g, "friend+[1..3]");
+        let seeds = [(alice, 0u16, 0u32), (bob, 0, 2)];
+        let flat = evaluate_seeded_flat(&g, &snap, &p, &seeds, &watched, SeededTarget::Audience);
+        let sparse = evaluate_seeded_sparse(&g, &p, &seeds, &watched, SeededTarget::Audience);
+        assert_eq!(flat.matched, sparse.matched);
+        let mut fr = flat.reached.clone();
+        let mut sr = sparse.reached.clone();
+        fr.sort_unstable();
+        sr.sort_unstable();
+        assert_eq!(fr, sr, "watched exports agree across engines");
+        assert!(!fr.is_empty(), "Bob is on the friend walk");
+    }
+
+    #[test]
+    fn seeded_mid_path_seeds_continue_the_walk() {
+        // Seeding Carol at (step 0, depth 1) of friend+[1..2]/colleague+[1]
+        // must complete through her colleague edge to Dave.
+        let mut g = chain();
+        let snap = g.snapshot();
+        let carol = g.node_by_name("Carol").unwrap();
+        let dave = g.node_by_name("Dave").unwrap();
+        let none = vec![false; g.num_nodes()];
+        let p = parse(&mut g, "friend+[1..2]/colleague+[1]");
+        let out = evaluate_seeded(
+            &g,
+            &snap,
+            &p,
+            &[(carol, 0, 1)],
+            &none,
+            SeededTarget::Audience,
+        );
+        assert_eq!(out.matched, vec![dave]);
+        // Depth past saturation canonicalizes to the same state.
+        let deep = evaluate_seeded(
+            &g,
+            &snap,
+            &p,
+            &[(carol, 0, 99)],
+            &none,
+            SeededTarget::Audience,
+        );
+        assert_eq!(deep.matched, vec![dave]);
+    }
+
+    #[test]
+    fn seeded_state_target_stops_with_a_segment() {
+        let mut g = chain();
+        let snap = g.snapshot();
+        let alice = g.node_by_name("Alice").unwrap();
+        let carol = g.node_by_name("Carol").unwrap();
+        let none = vec![false; g.num_nodes()];
+        let p = parse(&mut g, "friend+[1..2]/colleague+[1]");
+        // Reaching Carol at (step 0, depth 2) takes two friend hops.
+        let out = evaluate_seeded(
+            &g,
+            &snap,
+            &p,
+            &[(alice, 0, 0)],
+            &none,
+            SeededTarget::State(carol, 0, 2),
+        );
+        assert!(out.hit);
+        let (hops, seed) = out.witness.expect("state target carries a witness");
+        assert_eq!(seed, 0);
+        assert_eq!(hops.len(), 2);
+        // A state target that equals a seed yields an empty segment.
+        let trivial = evaluate_seeded(
+            &g,
+            &snap,
+            &p,
+            &[(alice, 0, 0)],
+            &none,
+            SeededTarget::State(alice, 0, 0),
+        );
+        assert!(trivial.hit);
+        assert_eq!(trivial.witness.expect("hit").0.len(), 0);
+        // An unreachable state never hits.
+        let missed = evaluate_seeded(
+            &g,
+            &snap,
+            &p,
+            &[(carol, 1, 1)],
+            &none,
+            SeededTarget::State(alice, 0, 1),
+        );
+        assert!(!missed.hit);
+        assert!(missed.witness.is_none());
     }
 }

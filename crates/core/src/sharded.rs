@@ -1,0 +1,1105 @@
+//! `ShardedSystem` — horizontal partitioning of the serving layer.
+//!
+//! The epoch-publication pipeline ([`crate::engine::Enforcer`] +
+//! `Arc<CsrSnapshot>`) serves one graph per enforcer. This module
+//! scales the read path out: members are **hash-partitioned** across N
+//! independent shards ([`ShardAssignment`], deterministic and
+//! seedable), each shard owning a [`SocialGraph`] + enforcer of its
+//! own, with its own epoch-published snapshot and its own incremental
+//! append patching.
+//!
+//! # Data placement
+//!
+//! * A member lives on exactly one **home shard** (by stable hash of
+//!   their name). Intra-shard relationships are ordinary edges of the
+//!   home shard's graph.
+//! * A relationship whose endpoints live on different shards is a
+//!   **boundary edge**: it is recorded in the global [`BoundaryTable`]
+//!   and **replicated into both endpoint shards**, attached to a
+//!   *ghost* copy of the remote endpoint. Ghosts carry a synchronized
+//!   copy of the member's attribute tuple (path predicates evaluate at
+//!   either replica) but are never reported as audience members — only
+//!   a member's home shard speaks for them.
+//!
+//! # Cross-shard reads
+//!
+//! Every read fans out over the shards through the existing `&self`
+//! epoch read path. A path-expression evaluation runs a **round-based
+//! fixpoint** of per-shard seeded product BFS
+//! ([`online::evaluate_seeded`]):
+//!
+//! 1. Round 0 seeds the owner's home shard at product state
+//!    `(owner, step 0, depth 0)`.
+//! 2. Each active shard traverses its local CSR snapshot. Whenever the
+//!    walk visits a state at a ghost, that `(member, step, depth)`
+//!    coordinate is exported.
+//! 3. The router forwards every newly seen export to the member's home
+//!    shard — the one place that has the member's full adjacency — and
+//!    the next round begins. States are deduplicated globally, so the
+//!    fixpoint terminates after at most |V| · |layers| imports.
+//!
+//! Rounds with several active shards evaluate them on **parallel
+//! scoped threads**; decisions, audiences and witnesses are
+//! deterministic regardless of the interleaving because exports are
+//! merged in shard order. Witnesses stitch per-shard walk segments:
+//! the granting shard returns the segment from its seed to the
+//! requester, and the router replays exporting runs backwards
+//! ([`online::SeededTarget::State`]) until it reaches the owner seed.
+//!
+//! # Mutations
+//!
+//! Mutations (`&mut self`) route to the owning shard(s): an edge
+//! append touches one shard (intra) or two (boundary), a ghost
+//! materialization appends a node — all **append-only**, so every
+//! shard's next publication goes through
+//! `CsrSnapshot::apply_edge_appends` instead of a rebuild. The
+//! top-level decision cache drops on any mutation; published shard
+//! snapshots are retained as patch bases.
+
+use crate::engine::{Enforcer, OnlineEngine};
+use crate::error::EvalError;
+use crate::online::{self, SeedState, SeededOutcome, SeededTarget, WitnessHop};
+use crate::path::{parse_path, PathExpr};
+use crate::policy::{Decision, PolicyStore, ResourceId};
+use parking_lot::RwLock;
+use socialreach_graph::csr::CsrSnapshot;
+use socialreach_graph::shard::{BoundaryEdge, BoundaryTable, ShardAssignment};
+use socialreach_graph::{AttrValue, LabelId, NodeId, SocialGraph, Vocabulary};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cross-shard product-state coordinate: global member, step index,
+/// saturated depth.
+type StateKey = (u32, u16, u32);
+
+/// One hop of a stitched cross-shard witness walk, in **global** ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardedHop {
+    /// Global id of the edge's source member.
+    pub src: NodeId,
+    /// Global id of the edge's target member.
+    pub dst: NodeId,
+    /// Relationship type (master vocabulary).
+    pub label: LabelId,
+    /// Whether the hop traverses the edge along its orientation.
+    pub forward: bool,
+}
+
+/// Result of one cross-shard access-condition evaluation.
+#[derive(Clone, Debug)]
+pub struct ShardedEval {
+    /// Every member matching the condition (global ids, sorted).
+    /// Populated only for audience evaluations (`target == None`).
+    pub matched: Vec<NodeId>,
+    /// Whether the target requester matched.
+    pub granted: bool,
+    /// A stitched walk from the owner to the requester when granted.
+    pub witness: Option<Vec<ShardedHop>>,
+}
+
+/// Size census of one shard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Members homed on the shard.
+    pub members: usize,
+    /// Ghost replicas of remote members.
+    pub ghosts: usize,
+    /// Edges in the shard's graph (intra + replicated boundary).
+    pub edges: usize,
+}
+
+/// One partition: a graph of home members + ghost replicas, and the
+/// enforcer publishing its epoch snapshots.
+struct Shard {
+    graph: SocialGraph,
+    enforcer: Enforcer<OnlineEngine>,
+    /// Local node index → global member id.
+    globals: Vec<NodeId>,
+    /// Local node index → is a ghost replica (the seeded BFS's watch
+    /// set: states visited here are exported to the home shard).
+    ghost: Vec<bool>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            graph: SocialGraph::new(),
+            // Every mutation this module performs on a shard graph is
+            // an append, so incremental publication is safe.
+            enforcer: Enforcer::new(OnlineEngine).with_append_publication(),
+            globals: Vec::new(),
+            ghost: Vec::new(),
+        }
+    }
+
+    fn stats(&self) -> ShardStats {
+        let ghosts = self.ghost.iter().filter(|&&g| g).count();
+        ShardStats {
+            members: self.graph.num_nodes() - ghosts,
+            ghosts,
+            edges: self.graph.num_edges(),
+        }
+    }
+}
+
+/// Where a member lives, plus every ghost replica of them.
+struct MemberEntry {
+    home: u32,
+    local: NodeId,
+    /// `(shard, local id)` of each ghost replica.
+    ghosts: Vec<(u32, NodeId)>,
+}
+
+/// A seeded run of one shard, recorded so witness reconstruction can
+/// replay it.
+struct RunRecord {
+    shard: usize,
+    seeds: Vec<SeedState>,
+    /// `keys[i]` is the global coordinate of `seeds[i]`.
+    keys: Vec<StateKey>,
+}
+
+/// The sharded serving façade: the [`crate::AccessControlSystem`] API
+/// over N hash-partitioned epoch-published shards (see the module docs
+/// for placement and the cross-shard read algorithm).
+pub struct ShardedSystem {
+    assignment: ShardAssignment,
+    /// Master vocabulary; every shard's vocabulary is a prefix-aligned
+    /// copy (same names interned in the same order), so `LabelId` /
+    /// `AttrKey` values are valid on every shard.
+    vocab: Vocabulary,
+    shards: Vec<Shard>,
+    members: Vec<MemberEntry>,
+    names: Vec<String>,
+    /// First-registration-wins name lookup (mirrors
+    /// [`SocialGraph::node_by_name`]).
+    name_lookup: HashMap<String, NodeId>,
+    store: PolicyStore,
+    boundary: BoundaryTable,
+    /// Global edge log `(src, label, dst)` in insertion order —
+    /// introspection, audits, witness validation.
+    edges: Vec<(NodeId, LabelId, NodeId)>,
+    cache: RwLock<HashMap<(ResourceId, NodeId), Decision>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedSystem {
+    /// A system of `shards` hash-partitioned shards (placement seeded
+    /// by `seed`; see [`ShardAssignment::hashed`]).
+    pub fn new(shards: u32, seed: u64) -> Self {
+        Self::with_assignment(ShardAssignment::hashed(shards, seed))
+    }
+
+    /// A system with an explicit placement function.
+    pub fn with_assignment(assignment: ShardAssignment) -> Self {
+        let n = assignment.shards();
+        ShardedSystem {
+            assignment,
+            vocab: Vocabulary::new(),
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            members: Vec::new(),
+            names: Vec::new(),
+            name_lookup: HashMap::new(),
+            store: PolicyStore::new(),
+            boundary: BoundaryTable::new(n),
+            edges: Vec::new(),
+            cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Ingests an existing graph: same member ids (insertion order),
+    /// same label/attr-key ids (the master vocabulary interns the
+    /// source vocabulary in order), same edge order. A policy store
+    /// built against `g` can then be adopted verbatim with
+    /// [`ShardedSystem::adopt_store`].
+    pub fn from_graph(g: &SocialGraph, assignment: ShardAssignment) -> Self {
+        let mut sys = Self::with_assignment(assignment);
+        for (_, name) in g.vocab().labels() {
+            sys.vocab.intern_label(name);
+        }
+        for i in 0..g.vocab().num_attrs() {
+            sys.vocab.intern_attr(
+                g.vocab()
+                    .attr_name(socialreach_graph::AttrKey::from_index(i)),
+            );
+        }
+        sys.sync_vocab();
+        for v in g.nodes() {
+            let global = sys.add_user(g.node_name(v));
+            debug_assert_eq!(global, v, "ingestion preserves member ids");
+            for (k, val) in g.node_attrs(v).iter() {
+                sys.set_user_attr(global, g.vocab().attr_name(k), val.clone());
+            }
+        }
+        for (_, rec) in g.edges() {
+            sys.connect(rec.src, g.vocab().label_name(rec.label), rec.dst);
+        }
+        sys
+    }
+
+    /// Adopts a policy store built against the graph this system was
+    /// ingested from ([`ShardedSystem::from_graph`] — ids align by
+    /// construction).
+    pub fn adopt_store(&mut self, store: PolicyStore) {
+        self.dirty();
+        self.store = store;
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The placement function.
+    pub fn assignment(&self) -> &ShardAssignment {
+        &self.assignment
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of registered members (across all shards, ghosts not
+    /// counted).
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of relationships (each boundary edge counted once).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The home shard of a member.
+    pub fn member_shard(&self, member: NodeId) -> u32 {
+        self.members[member.index()].home
+    }
+
+    /// Display name of a member.
+    pub fn member_name(&self, member: NodeId) -> &str {
+        &self.names[member.index()]
+    }
+
+    /// The cross-shard boundary table.
+    pub fn boundary(&self) -> &BoundaryTable {
+        &self.boundary
+    }
+
+    /// Per-shard size census.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(Shard::stats).collect()
+    }
+
+    /// Per-shard snapshot publication epochs (mirrors
+    /// [`crate::AccessControlSystem::snapshot_epoch`] per shard).
+    pub fn snapshot_epochs(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.enforcer.snapshot_epoch())
+            .collect()
+    }
+
+    /// The global edge log `(src, label, dst)` in insertion order.
+    pub fn edge_log(&self) -> &[(NodeId, LabelId, NodeId)] {
+        &self.edges
+    }
+
+    /// Read-only view of the policy store.
+    pub fn store(&self) -> &PolicyStore {
+        &self.store
+    }
+
+    /// Master vocabulary (labels + attribute keys).
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Looks a member up by name (first registered wins, as in
+    /// [`SocialGraph::node_by_name`]).
+    pub fn user(&self, name: &str) -> Result<NodeId, EvalError> {
+        self.name_lookup
+            .get(name)
+            .copied()
+            .ok_or_else(|| socialreach_graph::GraphError::UnknownName(name.to_owned()).into())
+    }
+
+    /// Decision-cache statistics `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations (route to the owning shard(s))
+    // ------------------------------------------------------------------
+
+    /// Registers a member on their hash-assigned home shard.
+    pub fn add_user(&mut self, name: &str) -> NodeId {
+        self.dirty();
+        let global = NodeId::from_index(self.members.len());
+        let home = self.assignment.shard_of(name);
+        let shard = &mut self.shards[home as usize];
+        let local = shard.graph.add_node(name);
+        shard.globals.push(global);
+        shard.ghost.push(false);
+        debug_assert_eq!(shard.globals.len(), shard.graph.num_nodes());
+        self.members.push(MemberEntry {
+            home,
+            local,
+            ghosts: Vec::new(),
+        });
+        self.names.push(name.to_owned());
+        self.name_lookup.entry(name.to_owned()).or_insert(global);
+        global
+    }
+
+    /// Sets a member attribute on the home replica **and every ghost
+    /// replica**, so path predicates evaluate identically on any shard
+    /// the member appears on.
+    pub fn set_user_attr(&mut self, member: NodeId, key: &str, value: impl Into<AttrValue>) {
+        self.dirty();
+        self.vocab.intern_attr(key);
+        self.sync_vocab();
+        let value: AttrValue = value.into();
+        let entry = &self.members[member.index()];
+        let (home, local) = (entry.home, entry.local);
+        let copies: Vec<(u32, NodeId)> = entry.ghosts.clone();
+        self.shards[home as usize]
+            .graph
+            .set_node_attr(local, key, value.clone());
+        for (shard, ghost_local) in copies {
+            self.shards[shard as usize]
+                .graph
+                .set_node_attr(ghost_local, key, value.clone());
+        }
+    }
+
+    /// Adds a directed relationship. Intra-shard edges land on the home
+    /// shard; cross-shard edges are recorded in the boundary table and
+    /// replicated into both endpoint shards against ghost replicas.
+    pub fn connect(&mut self, src: NodeId, label: &str, dst: NodeId) {
+        self.dirty();
+        let l = self.vocab.intern_label(label);
+        self.sync_vocab();
+        self.edges.push((src, l, dst));
+        let s_home = self.members[src.index()].home;
+        let d_home = self.members[dst.index()].home;
+        if s_home == d_home {
+            let shard = &mut self.shards[s_home as usize];
+            let (ls, ld) = (
+                self.members[src.index()].local,
+                self.members[dst.index()].local,
+            );
+            shard.graph.add_edge(ls, ld, l);
+        } else {
+            let ghost_dst = self.ensure_ghost(dst, s_home);
+            let ghost_src = self.ensure_ghost(src, d_home);
+            let ls = self.members[src.index()].local;
+            let ld = self.members[dst.index()].local;
+            self.shards[s_home as usize]
+                .graph
+                .add_edge(ls, ghost_dst, l);
+            self.shards[d_home as usize]
+                .graph
+                .add_edge(ghost_src, ld, l);
+            self.boundary.record(BoundaryEdge {
+                src: src.0,
+                dst: dst.0,
+                label: l,
+                src_shard: s_home,
+                dst_shard: d_home,
+            });
+        }
+    }
+
+    /// Adds a mutual relationship (both directions).
+    pub fn connect_mutual(&mut self, a: NodeId, label: &str, b: NodeId) {
+        self.connect(a, label, b);
+        self.connect(b, label, a);
+    }
+
+    /// Registers a resource owned by `owner` (private until a rule is
+    /// attached).
+    pub fn share(&mut self, owner: NodeId) -> ResourceId {
+        self.dirty();
+        self.store.register_resource(owner)
+    }
+
+    /// Attaches a single-condition rule parsed from `path_text` (same
+    /// surface as [`crate::AccessControlSystem::allow`]).
+    pub fn allow(&mut self, rid: ResourceId, path_text: &str) -> Result<(), EvalError> {
+        self.dirty();
+        let owner = self.store.owner_of(rid)?;
+        let path = parse_path(path_text, &mut self.vocab)?;
+        self.sync_vocab();
+        self.store.add_rule(crate::policy::AccessRule {
+            resource: rid,
+            conditions: vec![crate::policy::AccessCondition { owner, path }],
+        })
+    }
+
+    /// Parses a path against the master vocabulary.
+    pub fn parse(&mut self, text: &str) -> Result<PathExpr, EvalError> {
+        let path = parse_path(text, &mut self.vocab)?;
+        self.sync_vocab();
+        Ok(path)
+    }
+
+    /// Materializes (or finds) the ghost replica of `member` on
+    /// `shard`, copying the member's current attribute tuple.
+    fn ensure_ghost(&mut self, member: NodeId, shard: u32) -> NodeId {
+        if let Some(&(_, local)) = self.members[member.index()]
+            .ghosts
+            .iter()
+            .find(|&&(s, _)| s == shard)
+        {
+            return local;
+        }
+        let entry = &self.members[member.index()];
+        let (home, home_local) = (entry.home, entry.local);
+        debug_assert_ne!(home, shard, "a member is never its own ghost");
+        let attrs: Vec<(String, AttrValue)> = self.shards[home as usize]
+            .graph
+            .node_attrs(home_local)
+            .iter()
+            .map(|(k, v)| (self.vocab.attr_name(k).to_owned(), v.clone()))
+            .collect();
+        let target = &mut self.shards[shard as usize];
+        let local = target.graph.add_node(&self.names[member.index()]);
+        target.globals.push(member);
+        target.ghost.push(true);
+        for (key, value) in attrs {
+            target.graph.set_node_attr(local, &key, value);
+        }
+        self.members[member.index()].ghosts.push((shard, local));
+        local
+    }
+
+    /// Interns any master-vocabulary labels/keys the shards have not
+    /// seen yet, in master order, so interned ids agree everywhere.
+    /// (Interning never advances a graph's generation, so published
+    /// snapshots stay valid.)
+    fn sync_vocab(&mut self) {
+        for shard in &mut self.shards {
+            for i in shard.graph.vocab().num_labels()..self.vocab.num_labels() {
+                let name = self.vocab.label_name(LabelId::from_index(i)).to_owned();
+                let id = shard.graph.intern_label(&name);
+                debug_assert_eq!(id.index(), i);
+            }
+            for i in shard.graph.vocab().num_attrs()..self.vocab.num_attrs() {
+                let name = self
+                    .vocab
+                    .attr_name(socialreach_graph::AttrKey::from_index(i))
+                    .to_owned();
+                let id = shard.graph.intern_attr(&name);
+                debug_assert_eq!(id.index(), i);
+            }
+        }
+    }
+
+    /// Any mutation stales every cached decision. Published shard
+    /// snapshots are retained as incremental patch bases.
+    fn dirty(&mut self) {
+        self.cache.get_mut().clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Reads (the `&self` fan-out path)
+    // ------------------------------------------------------------------
+
+    /// Decides whether `requester` may access `rid` (same semantics as
+    /// the single-graph enforcer: owner always granted, rules disjoin,
+    /// conditions within a rule conjoin, no rules ⇒ private).
+    pub fn check(&self, rid: ResourceId, requester: NodeId) -> Result<Decision, EvalError> {
+        let owner = self.store.owner_of(rid)?;
+        if requester == owner {
+            return Ok(Decision::Grant);
+        }
+        if let Some(&d) = self.cache.read().get(&(rid, requester)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(d);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut decision = Decision::Deny;
+        'rules: for rule in self.store.rules_for(rid) {
+            if rule.conditions.is_empty() {
+                continue;
+            }
+            for cond in &rule.conditions {
+                if !self
+                    .evaluate_condition(cond.owner, &cond.path, Some(requester))
+                    .granted
+                {
+                    continue 'rules;
+                }
+            }
+            decision = Decision::Grant;
+            break;
+        }
+        self.cache.write().insert((rid, requester), decision);
+        Ok(decision)
+    }
+
+    /// Decides a batch of requests on up to `threads` scoped worker
+    /// threads sharing the shards' current epochs; decisions come back
+    /// in request order.
+    pub fn check_batch(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+    ) -> Result<Vec<Decision>, EvalError> {
+        let threads = threads.max(1).min(requests.len().max(1));
+        if threads == 1 {
+            return requests
+                .iter()
+                .map(|&(rid, req)| self.check(rid, req))
+                .collect();
+        }
+        // Publish every shard's epoch once up front so cold workers
+        // traverse immediately.
+        let _ = self.publish_all();
+        let chunk = requests.len().div_ceil(threads);
+        let results: Vec<Result<Vec<Decision>, EvalError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || {
+                        slice
+                            .iter()
+                            .map(|&(rid, req)| self.check(rid, req))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(requests.len());
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+
+    /// The full audience of a resource (global member ids, sorted).
+    pub fn audience(&self, rid: ResourceId) -> Result<Vec<NodeId>, EvalError> {
+        Ok(self
+            .audience_batch(std::slice::from_ref(&rid))?
+            .pop()
+            .expect("one audience per requested resource"))
+    }
+
+    /// Audiences of a whole bundle of resources, in `rids` order. Every
+    /// distinct `(owner, path)` condition across the bundle is
+    /// evaluated exactly once through the cross-shard fixpoint; the
+    /// per-resource merge semantics are the single-graph system's,
+    /// literally ([`crate::engine::merge_bundle_audiences`]).
+    pub fn audience_batch(&self, rids: &[ResourceId]) -> Result<Vec<Vec<NodeId>>, EvalError> {
+        crate::engine::merge_bundle_audiences(&self.store, rids, |uniq| {
+            Ok(uniq
+                .iter()
+                .map(|&(owner, path)| self.evaluate_condition(owner, path, None).matched)
+                .collect())
+        })
+    }
+
+    /// Explains a grant: a readable walk per satisfied condition of the
+    /// first granting rule, stitched across shard boundaries, or `None`
+    /// when access is denied.
+    pub fn explain(
+        &self,
+        rid: ResourceId,
+        requester: NodeId,
+    ) -> Result<Option<Vec<String>>, EvalError> {
+        let owner = self.store.owner_of(rid)?;
+        if requester == owner {
+            return Ok(Some(vec![format!(
+                "{} owns the resource",
+                self.member_name(owner)
+            )]));
+        }
+        'rules: for rule in self.store.rules_for(rid) {
+            if rule.conditions.is_empty() {
+                continue;
+            }
+            let mut lines = Vec::new();
+            for cond in &rule.conditions {
+                let out = self.evaluate_condition(cond.owner, &cond.path, Some(requester));
+                let Some(witness) = out.witness else {
+                    continue 'rules;
+                };
+                let mut walk = vec![self.member_name(cond.owner).to_owned()];
+                for hop in &witness {
+                    let (next, arrow) = if hop.forward {
+                        (hop.dst, format!("-{}->", self.vocab.label_name(hop.label)))
+                    } else {
+                        (hop.src, format!("<-{}-", self.vocab.label_name(hop.label)))
+                    };
+                    walk.push(arrow);
+                    walk.push(self.member_name(next).to_owned());
+                }
+                lines.push(walk.join(" "));
+            }
+            return Ok(Some(lines));
+        }
+        Ok(None)
+    }
+
+    /// Publishes every shard's snapshot for its current topology and
+    /// returns them (index-aligned with the shards).
+    fn publish_all(&self) -> Vec<Arc<CsrSnapshot>> {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.enforcer
+                    .publish_snapshot(&s.graph)
+                    .expect("online engine publishes snapshots")
+            })
+            .collect()
+    }
+
+    /// Evaluates one access condition `(owner, path)` across the
+    /// shards: the round-based seeded-BFS fixpoint of the module docs.
+    /// With `target = Some(v)` the evaluation short-circuits on grant
+    /// and reconstructs a stitched witness; with `None` it materializes
+    /// the full (global) audience.
+    pub fn evaluate_condition(
+        &self,
+        owner: NodeId,
+        path: &PathExpr,
+        target: Option<NodeId>,
+    ) -> ShardedEval {
+        if path.is_empty() {
+            let granted = target == Some(owner);
+            return ShardedEval {
+                matched: if target.is_none() {
+                    vec![owner]
+                } else {
+                    vec![]
+                },
+                granted,
+                witness: granted.then(Vec::new),
+            };
+        }
+        let snaps = self.publish_all();
+
+        let owner_entry = &self.members[owner.index()];
+        let mut imported: HashSet<StateKey> = HashSet::new();
+        let mut queues: Vec<(Vec<SeedState>, Vec<StateKey>)> =
+            (0..self.shards.len()).map(|_| Default::default()).collect();
+        let owner_key: StateKey = (owner.0, 0, 0);
+        imported.insert(owner_key);
+        queues[owner_entry.home as usize]
+            .0
+            .push((owner_entry.local, 0, 0));
+        queues[owner_entry.home as usize].1.push(owner_key);
+
+        let mut matched: Vec<NodeId> = Vec::new();
+        let mut runs: Vec<RunRecord> = Vec::new();
+        let mut origin: HashMap<StateKey, usize> = HashMap::new();
+        let mut grant: Option<(usize, Vec<WitnessHop>, usize)> = None;
+
+        while grant.is_none() {
+            let round: Vec<(usize, Vec<SeedState>, Vec<StateKey>)> = queues
+                .iter_mut()
+                .enumerate()
+                .filter(|(_, q)| !q.0.is_empty())
+                .map(|(i, q)| {
+                    let (seeds, keys) = std::mem::take(q);
+                    (i, seeds, keys)
+                })
+                .collect();
+            if round.is_empty() {
+                break;
+            }
+            let outs = self.run_round(&round, &snaps, path, target);
+
+            // Merge in shard order: deterministic regardless of the
+            // fan-out interleaving.
+            for ((shard_ix, seeds, keys), out) in round.into_iter().zip(outs) {
+                let run_ix = runs.len();
+                runs.push(RunRecord {
+                    shard: shard_ix,
+                    seeds,
+                    keys,
+                });
+                let shard = &self.shards[shard_ix];
+                for m in &out.matched {
+                    if !shard.ghost[m.index()] {
+                        matched.push(shard.globals[m.index()]);
+                    }
+                }
+                if out.hit {
+                    let (hops, seed_ix) = out.witness.expect("hit carries a witness");
+                    grant = Some((run_ix, hops, seed_ix));
+                    break;
+                }
+                for &(node, step, depth) in &out.reached {
+                    let global = shard.globals[node.index()];
+                    let key: StateKey = (global.0, step, depth);
+                    if imported.insert(key) {
+                        origin.insert(key, run_ix);
+                        let entry = &self.members[global.index()];
+                        let q = &mut queues[entry.home as usize];
+                        q.0.push((entry.local, step, depth));
+                        q.1.push(key);
+                    }
+                }
+            }
+        }
+
+        let witness = grant.map(|(run_ix, hops, seed_ix)| {
+            self.stitch_witness(
+                &runs, &snaps, path, owner_key, run_ix, hops, seed_ix, &origin,
+            )
+        });
+        matched.sort_unstable();
+        matched.dedup();
+        ShardedEval {
+            matched,
+            granted: witness.is_some(),
+            witness,
+        }
+    }
+
+    /// Runs one fixpoint round: each active shard evaluates its seeds
+    /// over its published snapshot — on parallel scoped threads when
+    /// several shards are active, inline when one is.
+    fn run_round(
+        &self,
+        round: &[(usize, Vec<SeedState>, Vec<StateKey>)],
+        snaps: &[Arc<CsrSnapshot>],
+        path: &PathExpr,
+        target: Option<NodeId>,
+    ) -> Vec<SeededOutcome> {
+        let eval = |shard_ix: usize, seeds: &[SeedState]| {
+            let shard = &self.shards[shard_ix];
+            let shard_target = match target {
+                Some(t) if self.members[t.index()].home as usize == shard_ix => {
+                    SeededTarget::Member(self.members[t.index()].local)
+                }
+                _ => SeededTarget::Audience,
+            };
+            online::evaluate_seeded(
+                &shard.graph,
+                &snaps[shard_ix],
+                path,
+                seeds,
+                &shard.ghost,
+                shard_target,
+            )
+        };
+        // Fan out only when it can pay: several active shards *and*
+        // actual hardware parallelism (a scoped spawn per shard per
+        // round is pure overhead on one core).
+        static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let cores = *CORES.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        if round.len() == 1 || cores == 1 {
+            return round
+                .iter()
+                .map(|(shard_ix, seeds, _)| eval(*shard_ix, seeds))
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let eval = &eval;
+            let handles: Vec<_> = round
+                .iter()
+                .map(|(shard_ix, seeds, _)| scope.spawn(move || eval(*shard_ix, seeds)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard evaluation panicked"))
+                .collect()
+        })
+    }
+
+    /// Stitches the granting run's local segment with replays of the
+    /// exporting runs, back to the owner seed.
+    #[allow(clippy::too_many_arguments)]
+    fn stitch_witness(
+        &self,
+        runs: &[RunRecord],
+        snaps: &[Arc<CsrSnapshot>],
+        path: &PathExpr,
+        owner_key: StateKey,
+        run_ix: usize,
+        hops: Vec<WitnessHop>,
+        seed_ix: usize,
+        origin: &HashMap<StateKey, usize>,
+    ) -> Vec<ShardedHop> {
+        let mut segments: Vec<Vec<ShardedHop>> =
+            vec![self.translate_hops(runs[run_ix].shard, &hops)];
+        let mut key = runs[run_ix].keys[seed_ix];
+        while key != owner_key {
+            let prev_ix = *origin
+                .get(&key)
+                .expect("every imported state has an exporting run");
+            let rr = &runs[prev_ix];
+            let shard = &self.shards[rr.shard];
+            // The exported state lived at the member's ghost replica on
+            // the exporting shard.
+            let ghost_local = self.members[key.0 as usize]
+                .ghosts
+                .iter()
+                .find(|&&(s, _)| s as usize == rr.shard)
+                .map(|&(_, l)| l)
+                .expect("exported states live at ghost replicas");
+            let out = online::evaluate_seeded(
+                &shard.graph,
+                &snaps[rr.shard],
+                path,
+                &rr.seeds,
+                &shard.ghost,
+                SeededTarget::State(ghost_local, key.1, key.2),
+            );
+            let (hops, seed_ix) = out
+                .witness
+                .expect("replaying an exporting run reaches its export");
+            segments.push(self.translate_hops(rr.shard, &hops));
+            key = rr.keys[seed_ix];
+        }
+        segments.reverse();
+        segments.concat()
+    }
+
+    /// Translates shard-local witness hops into global
+    /// [`ShardedHop`]s.
+    fn translate_hops(&self, shard_ix: usize, hops: &[WitnessHop]) -> Vec<ShardedHop> {
+        let shard = &self.shards[shard_ix];
+        hops.iter()
+            .map(|&(eid, forward)| {
+                let rec = shard.graph.edge(eid);
+                ShardedHop {
+                    src: shard.globals[rec.src.index()],
+                    dst: shard.globals[rec.dst.index()],
+                    label: rec.label,
+                    forward,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The system.rs fixture, sharded: Alice→Bob→Carol chained friends,
+    /// Carol→Dave colleague, a resource of Alice's with `friend+[1,2]`.
+    fn populated(shards: u32) -> (ShardedSystem, ResourceId) {
+        let mut sys = ShardedSystem::new(shards, 7);
+        let alice = sys.add_user("Alice");
+        let bob = sys.add_user("Bob");
+        let carol = sys.add_user("Carol");
+        let dave = sys.add_user("Dave");
+        sys.connect(alice, "friend", bob);
+        sys.connect(bob, "friend", carol);
+        sys.connect(carol, "colleague", dave);
+        let rid = sys.share(alice);
+        sys.allow(rid, "friend+[1,2]").unwrap();
+        (sys, rid)
+    }
+
+    #[test]
+    fn decisions_match_the_unsharded_semantics_across_shard_counts() {
+        for shards in [1, 2, 3, 5] {
+            let (sys, rid) = populated(shards);
+            let bob = sys.user("Bob").unwrap();
+            let carol = sys.user("Carol").unwrap();
+            let dave = sys.user("Dave").unwrap();
+            assert_eq!(sys.check(rid, bob).unwrap(), Decision::Grant, "{shards}");
+            assert_eq!(sys.check(rid, carol).unwrap(), Decision::Grant, "{shards}");
+            assert_eq!(sys.check(rid, dave).unwrap(), Decision::Deny, "{shards}");
+        }
+    }
+
+    #[test]
+    fn audience_matches_across_shard_counts() {
+        for shards in [1, 2, 3, 5] {
+            let (sys, rid) = populated(shards);
+            let names: Vec<&str> = sys
+                .audience(rid)
+                .unwrap()
+                .iter()
+                .map(|&n| sys.member_name(n))
+                .collect();
+            assert_eq!(names, vec!["Alice", "Bob", "Carol"], "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn members_land_on_their_assigned_shards() {
+        let (sys, _) = populated(4);
+        for name in ["Alice", "Bob", "Carol", "Dave"] {
+            let m = sys.user(name).unwrap();
+            assert_eq!(sys.member_shard(m), sys.assignment().shard_of(name));
+        }
+        let census: usize = sys.shard_stats().iter().map(|s| s.members).sum();
+        assert_eq!(census, 4);
+    }
+
+    #[test]
+    fn boundary_table_records_cross_shard_edges() {
+        // Pin everyone to alternating shards so every edge crosses.
+        let a = ShardAssignment::explicit(
+            2,
+            0,
+            vec![
+                ("Alice".into(), 0),
+                ("Bob".into(), 1),
+                ("Carol".into(), 0),
+                ("Dave".into(), 1),
+            ],
+        );
+        let mut sys = ShardedSystem::with_assignment(a);
+        let alice = sys.add_user("Alice");
+        let bob = sys.add_user("Bob");
+        let carol = sys.add_user("Carol");
+        let dave = sys.add_user("Dave");
+        sys.connect(alice, "friend", bob);
+        sys.connect(bob, "friend", carol);
+        sys.connect(carol, "colleague", dave);
+        assert_eq!(sys.boundary().len(), 3, "every edge crosses");
+        let stats = sys.shard_stats();
+        assert_eq!(stats[0].members, 2);
+        assert_eq!(stats[1].members, 2);
+        assert!(stats[0].ghosts > 0 && stats[1].ghosts > 0);
+        let rid = sys.share(alice);
+        sys.allow(rid, "friend+[1,2]").unwrap();
+        assert_eq!(sys.check(rid, carol).unwrap(), Decision::Grant);
+        assert_eq!(sys.check(rid, dave).unwrap(), Decision::Deny);
+        let audience: Vec<&str> = sys
+            .audience(rid)
+            .unwrap()
+            .iter()
+            .map(|&n| sys.member_name(n))
+            .collect();
+        assert_eq!(audience, vec!["Alice", "Bob", "Carol"]);
+    }
+
+    #[test]
+    fn explain_stitches_a_walk_across_shards() {
+        let a = ShardAssignment::explicit(2, 0, vec![("Alice".into(), 0), ("Carol".into(), 1)]);
+        let mut sys = ShardedSystem::with_assignment(a);
+        let alice = sys.add_user("Alice");
+        let bob = sys.add_user("Bob");
+        let carol = sys.add_user("Carol");
+        sys.connect(alice, "friend", bob);
+        sys.connect(bob, "friend", carol);
+        let rid = sys.share(alice);
+        sys.allow(rid, "friend+[1,2]").unwrap();
+        let lines = sys.explain(rid, carol).unwrap().expect("granted");
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("Alice"));
+        assert!(lines[0].contains("-friend->"));
+        assert!(lines[0].ends_with("Carol"), "{}", lines[0]);
+        assert!(sys.explain(rid, bob).unwrap().is_some());
+        assert_eq!(
+            sys.explain(rid, alice).unwrap().unwrap()[0],
+            "Alice owns the resource"
+        );
+    }
+
+    #[test]
+    fn appends_republish_shards_incrementally() {
+        let (mut sys, rid) = populated(2);
+        let dave = sys.user("Dave").unwrap();
+        assert_eq!(sys.check(rid, dave).unwrap(), Decision::Deny);
+        let epochs_before = sys.snapshot_epochs();
+        assert!(epochs_before.iter().all(|&e| e >= 1), "reads published");
+        let alice = sys.user("Alice").unwrap();
+        sys.connect(alice, "friend", dave);
+        assert_eq!(
+            sys.check(rid, dave).unwrap(),
+            Decision::Grant,
+            "post-append reads see the new edge"
+        );
+        let epochs_after = sys.snapshot_epochs();
+        assert!(
+            epochs_after.iter().zip(&epochs_before).any(|(a, b)| a > b),
+            "the touched shard republished"
+        );
+    }
+
+    #[test]
+    fn cache_and_batch_mirror_the_facade() {
+        let (sys, rid) = populated(3);
+        let bob = sys.user("Bob").unwrap();
+        let dave = sys.user("Dave").unwrap();
+        sys.check(rid, bob).unwrap();
+        sys.check(rid, bob).unwrap();
+        let (hits, misses) = sys.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+        let requests: Vec<_> = (0..30)
+            .map(|i| (rid, if i % 2 == 0 { bob } else { dave }))
+            .collect();
+        let sequential: Vec<Decision> = requests
+            .iter()
+            .map(|&(r, u)| sys.check(r, u).unwrap())
+            .collect();
+        for threads in [1, 2, 4] {
+            assert_eq!(sys.check_batch(&requests, threads).unwrap(), sequential);
+        }
+        assert!(matches!(
+            sys.check(ResourceId(99), bob),
+            Err(EvalError::UnknownResource(99))
+        ));
+    }
+
+    #[test]
+    fn from_graph_preserves_ids_and_decisions() {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("Alice");
+        let b = g.add_node("Bob");
+        let c = g.add_node("Carol");
+        g.connect(a, "friend", b);
+        g.connect(b, "colleague", c);
+        g.set_node_attr(c, "age", 44i64);
+        let mut store = PolicyStore::new();
+        let rid = store.register_resource(a);
+        store
+            .allow(rid, "friend+[1]/colleague+[1]{age>=40}", &mut g)
+            .unwrap();
+
+        let mut sys = ShardedSystem::from_graph(&g, ShardAssignment::hashed(3, 1));
+        sys.adopt_store(store.clone());
+        assert_eq!(sys.num_members(), 3);
+        assert_eq!(sys.num_edges(), 2);
+        assert_eq!(sys.user("Carol").unwrap(), c);
+        assert_eq!(sys.check(rid, c).unwrap(), Decision::Grant);
+        assert_eq!(sys.check(rid, b).unwrap(), Decision::Deny);
+        let audience = sys.audience(rid).unwrap();
+        assert_eq!(audience, vec![a, c]);
+    }
+
+    #[test]
+    fn ghost_attributes_stay_synchronized() {
+        // Predicate at a boundary member: the ghost replica must see
+        // attribute updates made after the ghost materialized.
+        let a = ShardAssignment::explicit(2, 0, vec![("A".into(), 0), ("B".into(), 1)]);
+        let mut sys = ShardedSystem::with_assignment(a);
+        let x = sys.add_user("A");
+        let y = sys.add_user("B");
+        sys.connect(x, "friend", y); // materializes ghosts
+        sys.set_user_attr(y, "age", 20i64); // after ghost creation
+        let rid = sys.share(x);
+        sys.allow(rid, "friend+[1]{age>=30}").unwrap();
+        assert_eq!(sys.check(rid, y).unwrap(), Decision::Deny);
+        sys.set_user_attr(y, "age", 35i64);
+        assert_eq!(sys.check(rid, y).unwrap(), Decision::Grant);
+        let lines = sys.explain(rid, y).unwrap().expect("granted");
+        assert_eq!(lines[0], "A -friend-> B");
+    }
+}

@@ -1,0 +1,352 @@
+//! Differential property tests for the sharded serving layer: on
+//! random graphs × random policies, [`ShardedSystem`] must return
+//! exactly the same **decisions**, **audiences** and *valid*
+//! **witnesses** as the single-graph system, across shard counts
+//! {1, 2, 4, 7} — partitioning is an implementation detail the
+//! semantics may never observe.
+
+use proptest::prelude::*;
+use socialreach_core::{
+    online, parse_path, resource_audience, Decision, Enforcer, OnlineEngine, PathExpr, PolicyStore,
+    ShardedHop, ShardedSystem,
+};
+use socialreach_graph::{NodeId, ShardAssignment, SocialGraph};
+
+const LABELS: [&str; 3] = ["friend", "colleague", "parent"];
+const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 7];
+
+#[derive(Clone, Debug)]
+struct Case {
+    graph: SocialGraph,
+    /// `(owner index, path text)` pairs; each becomes a single-condition
+    /// rule, and consecutive pairs additionally form one two-condition
+    /// (conjunctive) rule on the first pair's resource.
+    policies: Vec<(u32, String)>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = SocialGraph> {
+    (3..11usize).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0..3usize, 10..60i64), 0..30).prop_map(
+            move |edges| {
+                let mut g = SocialGraph::new();
+                for i in 0..n {
+                    g.add_node(&format!("u{i}"));
+                }
+                for l in LABELS {
+                    g.intern_label(l);
+                }
+                for (i, (s, t, l, age)) in edges.iter().enumerate() {
+                    let label = g.vocab().label(LABELS[*l]).unwrap();
+                    g.add_edge(NodeId(*s), NodeId(*t), label);
+                    let node = NodeId((i as u32 + s + t) % n as u32);
+                    g.set_node_attr(node, "age", *age);
+                }
+                g
+            },
+        )
+    })
+}
+
+fn path_text_strategy() -> impl Strategy<Value = String> {
+    let step = (0..3usize, 0..3usize, 1..3u32, 0..2u32, 0..5usize).prop_map(
+        |(label, dir, lo, extra, shape)| {
+            let dir = ["+", "-", "*"][dir];
+            let hi = lo + extra;
+            let depths = match shape {
+                0 => format!("[{lo}]"),
+                1 => format!("[{lo}..{hi}]"),
+                2 => format!("[{lo},{}]", hi + 2),
+                3 => format!("[{lo}..]"),
+                _ => format!("[{lo}..{hi}]{{age>=30}}"),
+            };
+            format!("{}{}{}", LABELS[label], dir, depths)
+        },
+    );
+    proptest::collection::vec(step, 1..3).prop_map(|steps| steps.join("/"))
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        graph_strategy(),
+        proptest::collection::vec((0..8u32, path_text_strategy()), 1..4),
+    )
+        .prop_map(|(graph, policies)| Case { graph, policies })
+}
+
+/// Builds the reference store over `g`: one resource per policy pair
+/// (single-condition rule), plus a conjunctive two-condition rule on
+/// the first resource when at least two policies exist.
+fn build_store(g: &mut SocialGraph, policies: &[(u32, String)]) -> PolicyStore {
+    let n = g.num_nodes() as u32;
+    let mut store = PolicyStore::new();
+    let mut rids = Vec::new();
+    for (owner_ix, text) in policies {
+        let owner = NodeId(owner_ix % n);
+        let rid = store.register_resource(owner);
+        store.allow(rid, text, g).expect("generated paths parse");
+        rids.push(rid);
+    }
+    if policies.len() >= 2 {
+        let owner_a = NodeId(policies[0].0 % n);
+        let owner_b = NodeId(policies[1].0 % n);
+        let path_a = parse_path(&policies[0].1, g.vocab_mut()).unwrap();
+        let path_b = parse_path(&policies[1].1, g.vocab_mut()).unwrap();
+        store
+            .add_rule(socialreach_core::AccessRule {
+                resource: rids[0],
+                conditions: vec![
+                    socialreach_core::AccessCondition {
+                        owner: owner_a,
+                        path: path_a,
+                    },
+                    socialreach_core::AccessCondition {
+                        owner: owner_b,
+                        path: path_b,
+                    },
+                ],
+            })
+            .expect("resource registered");
+    }
+    store
+}
+
+/// Validates a stitched witness: a connected walk `owner ⇝ requester`
+/// whose hops are real edges of the reference graph and whose
+/// label/direction/depth sequence is accepted by the path automaton.
+fn assert_witness_valid(
+    g: &SocialGraph,
+    owner: NodeId,
+    requester: NodeId,
+    path: &PathExpr,
+    witness: &[ShardedHop],
+) {
+    // 1. Each hop is an edge of the reference graph and the walk chains.
+    let mut at = owner;
+    for hop in witness {
+        let exists = g
+            .edges()
+            .any(|(_, r)| r.src == hop.src && r.dst == hop.dst && r.label == hop.label);
+        assert!(exists, "hop {hop:?} is not an edge of the graph");
+        let (from, to) = if hop.forward {
+            (hop.src, hop.dst)
+        } else {
+            (hop.dst, hop.src)
+        };
+        assert_eq!(from, at, "witness disconnects at {hop:?}");
+        at = to;
+    }
+    assert_eq!(at, requester, "witness does not end at the requester");
+
+    // 2. The hop sequence is accepted by the path automaton: NFA over
+    //    (step, depth) states with ε-completions between steps.
+    let steps = &path.steps;
+    // Saturation point of a depth set (all deeper depths equivalent),
+    // from the public interval view.
+    let sat: Vec<u32> = steps
+        .iter()
+        .map(|s| {
+            let &(lo, hi) = s.depths.intervals().last().expect("non-empty depth set");
+            hi.unwrap_or(lo)
+        })
+        .collect();
+    let completes = |i: usize, d: u32, node: NodeId| {
+        d >= 1
+            && steps[i].depths.contains(d)
+            && steps[i].conds.iter().all(|c| c.eval(g.node_attrs(node)))
+    };
+    let close = |states: &mut Vec<(usize, u32)>, node: NodeId| {
+        let mut k = 0;
+        while k < states.len() {
+            let (i, d) = states[k];
+            if i + 1 < steps.len() && completes(i, d, node) && !states.contains(&(i + 1, 0)) {
+                states.push((i + 1, 0));
+            }
+            k += 1;
+        }
+    };
+    let mut states: Vec<(usize, u32)> = vec![(0, 0)];
+    let mut at = owner;
+    for hop in witness {
+        close(&mut states, at);
+        let (label, forward) = (hop.label, hop.forward);
+        let mut next: Vec<(usize, u32)> = Vec::new();
+        for &(i, d) in &states {
+            let step = &steps[i];
+            if step.label != label {
+                continue;
+            }
+            let dir_ok = match step.dir {
+                socialreach_graph::Direction::Out => forward,
+                socialreach_graph::Direction::In => !forward,
+                socialreach_graph::Direction::Both => true,
+            };
+            if !dir_ok {
+                continue;
+            }
+            if d < sat[i] || step.depths.is_unbounded() {
+                let nd = (d + 1).min(sat[i]);
+                if !next.contains(&(i, nd)) {
+                    next.push((i, nd));
+                }
+            }
+        }
+        states = next;
+        assert!(!states.is_empty(), "witness hop {hop:?} matches no step");
+        at = if forward { hop.dst } else { hop.src };
+    }
+    assert!(
+        states
+            .iter()
+            .any(|&(i, d)| i == steps.len() - 1 && completes(i, d, at)),
+        "witness walk does not complete the path at the requester"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Decisions and audiences: `ShardedSystem` ≡ single-graph
+    /// enforcer, for every resource × member, across shard counts.
+    #[test]
+    fn sharded_decisions_and_audiences_match_single_graph(case in case_strategy()) {
+        let mut g = case.graph;
+        let store = build_store(&mut g, &case.policies);
+        let enforcer = Enforcer::new(OnlineEngine);
+        let rids: Vec<_> = {
+            let mut r: Vec<_> = store.resources().map(|(rid, _)| rid).collect();
+            r.sort_unstable();
+            r
+        };
+
+        for &shards in &SHARD_COUNTS {
+            let mut sys = ShardedSystem::from_graph(&g, ShardAssignment::hashed(shards, 11));
+            sys.adopt_store(store.clone());
+
+            for &rid in &rids {
+                let solo = resource_audience(&g, &store, rid, &OnlineEngine).unwrap();
+                let sharded = sys.audience(rid).unwrap();
+                prop_assert_eq!(
+                    &sharded, &solo,
+                    "audience mismatch: rid={:?} shards={}", rid, shards
+                );
+                for member in g.nodes() {
+                    let truth = enforcer.check_access(&g, &store, rid, member).unwrap();
+                    let got = sys.check(rid, member).unwrap();
+                    prop_assert_eq!(
+                        got, truth,
+                        "decision mismatch: rid={:?} member={} shards={}",
+                        rid, member, shards
+                    );
+                }
+            }
+
+            // Bundled audiences agree with per-resource ones (and the
+            // single system's bundled path).
+            let bundled = sys.audience_batch(&rids).unwrap();
+            for (&rid, audience) in rids.iter().zip(&bundled) {
+                let solo = resource_audience(&g, &store, rid, &OnlineEngine).unwrap();
+                prop_assert_eq!(audience, &solo, "batch audience: rid={:?}", rid);
+            }
+        }
+    }
+
+    /// Witnesses: for every granted condition, the sharded system's
+    /// stitched walk is a valid accepting walk of the reference graph.
+    #[test]
+    fn sharded_witnesses_are_valid_accepting_walks(case in case_strategy()) {
+        let mut g = case.graph;
+        let n = g.num_nodes() as u32;
+        let conds: Vec<(NodeId, PathExpr)> = case
+            .policies
+            .iter()
+            .map(|(owner_ix, text)| {
+                (NodeId(owner_ix % n), parse_path(text, g.vocab_mut()).unwrap())
+            })
+            .collect();
+
+        for &shards in &SHARD_COUNTS {
+            let sys = ShardedSystem::from_graph(&g, ShardAssignment::hashed(shards, 23));
+            for (owner, path) in &conds {
+                for requester in g.nodes() {
+                    let truth = online::evaluate(&g, *owner, path, Some(requester));
+                    let sharded = sys.evaluate_condition(*owner, path, Some(requester));
+                    prop_assert_eq!(
+                        sharded.granted, truth.granted,
+                        "condition decision: owner={} requester={} shards={}",
+                        owner, requester, shards
+                    );
+                    prop_assert_eq!(sharded.witness.is_some(), sharded.granted);
+                    if let Some(w) = &sharded.witness {
+                        assert_witness_valid(&g, *owner, requester, path, w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Condition audiences match the reference engine member-for-member
+    /// (the per-condition primitive underneath audiences).
+    #[test]
+    fn sharded_condition_audiences_match_reference(case in case_strategy()) {
+        let mut g = case.graph;
+        let n = g.num_nodes() as u32;
+        let conds: Vec<(NodeId, PathExpr)> = case
+            .policies
+            .iter()
+            .map(|(owner_ix, text)| {
+                (NodeId(owner_ix % n), parse_path(text, g.vocab_mut()).unwrap())
+            })
+            .collect();
+        for &shards in &SHARD_COUNTS {
+            let sys = ShardedSystem::from_graph(&g, ShardAssignment::hashed(shards, 31));
+            for (owner, path) in &conds {
+                let truth = online::evaluate_reference(&g, *owner, path, None);
+                let sharded = sys.evaluate_condition(*owner, path, None);
+                prop_assert_eq!(
+                    &sharded.matched, &truth.matched,
+                    "condition audience: owner={} shards={}", owner, shards
+                );
+            }
+        }
+    }
+}
+
+/// Placement determinism: two independently built systems place every
+/// member identically (the hash is seeded and stable), and decisions
+/// come out the same run to run.
+#[test]
+fn placement_and_decisions_are_reproducible() {
+    let build = || {
+        let mut g = SocialGraph::new();
+        for i in 0..40 {
+            g.add_node(&format!("u{i}"));
+        }
+        let friend = g.intern_label("friend");
+        for i in 0..39u32 {
+            g.add_edge(NodeId(i), NodeId(i + 1), friend);
+        }
+        let mut store = PolicyStore::new();
+        let rid = store.register_resource(NodeId(0));
+        store.allow(rid, "friend+[1..4]", &mut g).unwrap();
+        let mut sys = ShardedSystem::from_graph(&g, ShardAssignment::hashed(4, 99));
+        sys.adopt_store(store);
+        (sys, rid)
+    };
+    let (a, rid) = build();
+    let (b, _) = build();
+    for m in 0..40u32 {
+        assert_eq!(a.member_shard(NodeId(m)), b.member_shard(NodeId(m)));
+    }
+    assert_eq!(a.audience(rid).unwrap(), b.audience(rid).unwrap());
+    for m in 0..40u32 {
+        assert_eq!(
+            a.check(rid, NodeId(m)).unwrap(),
+            b.check(rid, NodeId(m)).unwrap()
+        );
+    }
+    assert_eq!(
+        a.check(rid, NodeId(4)).unwrap(),
+        Decision::Grant,
+        "u4 is 4 friend-hops from u0"
+    );
+}

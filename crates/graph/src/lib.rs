@@ -29,6 +29,10 @@
 //!   line graph, condensations, …);
 //! * [`algo`] — BFS, iterative Tarjan SCC, condensation and topological
 //!   order over [`digraph::DiGraph`];
+//! * [`shard`] — shard placement ([`ShardAssignment`]: deterministic,
+//!   seedable member → shard hashing with explicit pins for tests) and
+//!   the [`BoundaryTable`] of cross-shard relationships, the substrate
+//!   of the core crate's sharded serving layer;
 //! * [`bitset`] — a small dense bit set used by reachability algorithms;
 //! * [`export`] — DOT and edge-list renderings for debugging and the
 //!   paper-figure artifacts.
@@ -56,6 +60,7 @@ pub mod error;
 pub mod export;
 pub mod graph;
 pub mod ids;
+pub mod shard;
 pub mod vocab;
 
 pub use attrs::{AttrMap, AttrValue};
@@ -65,4 +70,5 @@ pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use graph::{Direction, EdgeRecord, SocialGraph};
 pub use ids::{AttrKey, EdgeId, LabelId, NodeId};
+pub use shard::{BoundaryEdge, BoundaryTable, ShardAssignment};
 pub use vocab::Vocabulary;

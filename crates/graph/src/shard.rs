@@ -1,0 +1,366 @@
+//! Shard placement and cross-shard boundary bookkeeping.
+//!
+//! The sharded serving layer (`socialreach-core`'s `ShardedSystem`)
+//! hash-partitions members across N independent epoch-published graphs.
+//! This module holds the graph-side vocabulary of that split:
+//!
+//! * [`ShardAssignment`] — the member → shard placement function.
+//!   Placement must be **deterministic and seedable**: the same member
+//!   name maps to the same shard on every run, every process and every
+//!   machine (a `RandomState`-keyed map would silently reshuffle the
+//!   fleet on restart). The hashed variant uses FNV-1a over the member
+//!   name mixed with a user seed; the explicit variant pins selected
+//!   members (regression tests build adversarial placements with it)
+//!   and falls back to the hash for everyone else.
+//! * [`BoundaryTable`] — the record of every relationship whose
+//!   endpoints live on different shards. The serving layer replicates
+//!   each boundary edge into both endpoint shards (attached to a ghost
+//!   copy of the remote endpoint) and uses this table for
+//!   introspection, rebalancing decisions and audits.
+
+use crate::ids::LabelId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Stable FNV-1a hash of `bytes`, independent of platform and process
+/// (unlike `std`'s `RandomState`-keyed hashers).
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET ^ seed.wrapping_mul(FNV_PRIME);
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Final avalanche (splitmix64 tail) so low-entropy names still
+    // spread across small shard counts.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// The member → shard placement function of a sharded deployment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ShardAssignment {
+    /// Every member placed by a stable seeded hash of their name.
+    Hashed {
+        /// Number of shards (≥ 1).
+        shards: u32,
+        /// Hash seed; two deployments with the same seed agree on
+        /// every placement.
+        seed: u64,
+    },
+    /// Selected members pinned to explicit shards; everyone else falls
+    /// back to the hashed placement. Regression tests use this to build
+    /// graphs whose only satisfying paths cross shard boundaries.
+    Explicit {
+        /// Number of shards (≥ 1).
+        shards: u32,
+        /// Hash seed for unpinned members.
+        seed: u64,
+        /// `name → shard` pins (must be `< shards`).
+        pins: Vec<(String, u32)>,
+    },
+}
+
+impl ShardAssignment {
+    /// A hashed assignment over `shards` shards.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn hashed(shards: u32, seed: u64) -> Self {
+        assert!(shards >= 1, "a deployment has at least one shard");
+        ShardAssignment::Hashed { shards, seed }
+    }
+
+    /// An explicit assignment: `pins` placed verbatim, everyone else
+    /// hashed with `seed`.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0` or any pin names a shard `>= shards`.
+    pub fn explicit(shards: u32, seed: u64, pins: Vec<(String, u32)>) -> Self {
+        assert!(shards >= 1, "a deployment has at least one shard");
+        for (name, s) in &pins {
+            assert!(*s < shards, "pin {name:?} -> {s} exceeds shard count");
+        }
+        ShardAssignment::Explicit { shards, seed, pins }
+    }
+
+    /// Number of shards in the deployment.
+    pub fn shards(&self) -> u32 {
+        match *self {
+            ShardAssignment::Hashed { shards, .. } | ShardAssignment::Explicit { shards, .. } => {
+                shards
+            }
+        }
+    }
+
+    /// The shard a member named `name` lives on. Pure: depends only on
+    /// the assignment value and the name.
+    pub fn shard_of(&self, name: &str) -> u32 {
+        match self {
+            ShardAssignment::Hashed { shards, seed } => {
+                (fnv1a(*seed, name.as_bytes()) % u64::from(*shards)) as u32
+            }
+            ShardAssignment::Explicit { shards, seed, pins } => pins
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, s)| s)
+                .unwrap_or_else(|| (fnv1a(*seed, name.as_bytes()) % u64::from(*shards)) as u32),
+        }
+    }
+}
+
+/// One relationship instance whose endpoints live on different shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundaryEdge {
+    /// Global id of the source member.
+    pub src: u32,
+    /// Global id of the target member.
+    pub dst: u32,
+    /// Relationship type.
+    pub label: LabelId,
+    /// Shard owning the source member.
+    pub src_shard: u32,
+    /// Shard owning the target member.
+    pub dst_shard: u32,
+}
+
+/// The record of every cross-shard relationship in a deployment,
+/// indexed by the shards it touches.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BoundaryTable {
+    edges: Vec<BoundaryEdge>,
+    /// `per_shard[s]` lists indexes into `edges` of boundary edges with
+    /// an endpoint owned by shard `s` (each edge appears under both of
+    /// its shards).
+    per_shard: Vec<Vec<u32>>,
+}
+
+impl BoundaryTable {
+    /// An empty table sized for `shards` shards.
+    pub fn new(shards: u32) -> Self {
+        BoundaryTable {
+            edges: Vec::new(),
+            per_shard: vec![Vec::new(); shards as usize],
+        }
+    }
+
+    /// Records a cross-shard edge.
+    ///
+    /// # Panics
+    /// Panics when the edge does not actually cross shards, or names a
+    /// shard the table was not sized for.
+    pub fn record(&mut self, edge: BoundaryEdge) {
+        assert_ne!(
+            edge.src_shard, edge.dst_shard,
+            "boundary edges cross shards by definition"
+        );
+        let i = self.edges.len() as u32;
+        self.per_shard[edge.src_shard as usize].push(i);
+        self.per_shard[edge.dst_shard as usize].push(i);
+        self.edges.push(edge);
+    }
+
+    /// All recorded boundary edges, in insertion order.
+    pub fn edges(&self) -> &[BoundaryEdge] {
+        &self.edges
+    }
+
+    /// Boundary edges with an endpoint owned by `shard`.
+    pub fn for_shard(&self, shard: u32) -> impl Iterator<Item = &BoundaryEdge> {
+        self.per_shard[shard as usize]
+            .iter()
+            .map(|&i| &self.edges[i as usize])
+    }
+
+    /// Number of cross-shard edges recorded.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edge crosses shards.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Per-shard member census of an assignment over a name universe —
+/// handy for balance checks and the workload generators.
+pub fn shard_census<'a>(
+    assignment: &ShardAssignment,
+    names: impl Iterator<Item = &'a str>,
+) -> Vec<usize> {
+    let mut census = vec![0usize; assignment.shards() as usize];
+    for name in names {
+        census[assignment.shard_of(name) as usize] += 1;
+    }
+    census
+}
+
+/// Groups a name universe into per-shard member lists (used by the
+/// cross-shard workload generator to sample endpoints by shard).
+pub fn members_by_shard(assignment: &ShardAssignment, names: &[String]) -> Vec<Vec<u32>> {
+    let mut by_shard = vec![Vec::new(); assignment.shards() as usize];
+    for (i, name) in names.iter().enumerate() {
+        by_shard[assignment.shard_of(name) as usize].push(i as u32);
+    }
+    by_shard
+}
+
+/// A deterministic map snapshot `name → shard` over a name universe,
+/// for round-trip tests and operator tooling.
+pub fn placement_map(
+    assignment: &ShardAssignment,
+    names: impl Iterator<Item = String>,
+) -> HashMap<String, u32> {
+    names
+        .map(|n| {
+            let s = assignment.shard_of(&n);
+            (n, s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashed_assignment_is_deterministic_across_constructions() {
+        let a = ShardAssignment::hashed(4, 99);
+        let b = ShardAssignment::hashed(4, 99);
+        for i in 0..500 {
+            let name = format!("u{i}");
+            assert_eq!(a.shard_of(&name), b.shard_of(&name));
+            assert!(a.shard_of(&name) < 4);
+        }
+    }
+
+    #[test]
+    fn hashed_assignment_depends_on_seed() {
+        let a = ShardAssignment::hashed(8, 1);
+        let b = ShardAssignment::hashed(8, 2);
+        let moved = (0..500)
+            .filter(|i| {
+                let name = format!("u{i}");
+                a.shard_of(&name) != b.shard_of(&name)
+            })
+            .count();
+        assert!(moved > 200, "different seeds reshuffle placements: {moved}");
+    }
+
+    #[test]
+    fn hashed_assignment_matches_pinned_expectations() {
+        // Frozen expectations: placement is part of the on-disk/wire
+        // contract, so a hash change must fail loudly here.
+        let a = ShardAssignment::hashed(4, 42);
+        let got: Vec<u32> = (0..8).map(|i| a.shard_of(&format!("u{i}"))).collect();
+        assert_eq!(got, vec![0, 2, 1, 2, 2, 1, 1, 2]);
+    }
+
+    #[test]
+    fn hashed_assignment_balances_roughly() {
+        let a = ShardAssignment::hashed(4, 7);
+        let names: Vec<String> = (0..2000).map(|i| format!("u{i}")).collect();
+        let census = shard_census(&a, names.iter().map(String::as_str));
+        assert_eq!(census.iter().sum::<usize>(), 2000);
+        for (s, &c) in census.iter().enumerate() {
+            assert!(
+                (350..=650).contains(&c),
+                "shard {s} holds {c} of 2000 members"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_pins_override_the_hash() {
+        let hashed = ShardAssignment::hashed(4, 5);
+        let pinned = ShardAssignment::explicit(4, 5, vec![("Alice".into(), 3), ("Bob".into(), 0)]);
+        assert_eq!(pinned.shard_of("Alice"), 3);
+        assert_eq!(pinned.shard_of("Bob"), 0);
+        assert_eq!(pinned.shard_of("Carol"), hashed.shard_of("Carol"));
+        assert_eq!(pinned.shards(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardAssignment::hashed(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds shard count")]
+    fn out_of_range_pin_rejected() {
+        ShardAssignment::explicit(2, 0, vec![("X".into(), 2)]);
+    }
+
+    #[test]
+    fn boundary_table_indexes_both_endpoint_shards() {
+        let mut t = BoundaryTable::new(3);
+        assert!(t.is_empty());
+        t.record(BoundaryEdge {
+            src: 0,
+            dst: 1,
+            label: LabelId(0),
+            src_shard: 0,
+            dst_shard: 2,
+        });
+        t.record(BoundaryEdge {
+            src: 2,
+            dst: 3,
+            label: LabelId(1),
+            src_shard: 1,
+            dst_shard: 0,
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.for_shard(0).count(), 2);
+        assert_eq!(t.for_shard(1).count(), 1);
+        assert_eq!(t.for_shard(2).count(), 1);
+        assert_eq!(t.edges()[0].dst_shard, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross shards")]
+    fn boundary_table_rejects_intra_shard_edges() {
+        let mut t = BoundaryTable::new(2);
+        t.record(BoundaryEdge {
+            src: 0,
+            dst: 1,
+            label: LabelId(0),
+            src_shard: 1,
+            dst_shard: 1,
+        });
+    }
+
+    #[test]
+    fn members_by_shard_partitions_the_universe() {
+        let a = ShardAssignment::hashed(3, 11);
+        let names: Vec<String> = (0..60).map(|i| format!("u{i}")).collect();
+        let by_shard = members_by_shard(&a, &names);
+        let total: usize = by_shard.iter().map(Vec::len).sum();
+        assert_eq!(total, 60);
+        for (s, members) in by_shard.iter().enumerate() {
+            for &m in members {
+                assert_eq!(a.shard_of(&names[m as usize]), s as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn placement_map_round_trips_through_serde() {
+        let a = ShardAssignment::explicit(4, 9, vec![("hub".into(), 1)]);
+        let json = serde_json::to_string(&a).expect("assignment serializes");
+        let back: ShardAssignment = serde_json::from_str(&json).expect("assignment parses");
+        assert_eq!(back, a);
+        let names: Vec<String> = (0..40).map(|i| format!("m{i}")).collect();
+        let before = placement_map(&a, names.iter().cloned());
+        let after = placement_map(&back, names.iter().cloned());
+        assert_eq!(before, after);
+    }
+}

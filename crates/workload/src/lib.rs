@@ -12,6 +12,8 @@
 //! * [`bundles`] — batch-audience bundles: groups of resources whose
 //!   rules reuse a few path templates across many owners (the
 //!   multi-source audience-evaluation workload);
+//! * [`sharding`] — shard-aware tie generation with a controlled
+//!   cross-shard crossing rate, for the shard-scaling experiments;
 //! * [`requests`] — access-request streams with ground-truth outcomes
 //!   and controllable grant rates.
 //!
@@ -32,6 +34,7 @@ pub mod bundles;
 pub mod io;
 pub mod policies;
 pub mod requests;
+pub mod sharding;
 pub mod spec;
 pub mod stats;
 pub mod topology;
@@ -40,6 +43,7 @@ pub use bundles::{generate_audience_bundles, AudienceBundleConfig};
 pub use io::{read_edge_list, write_edge_list, EdgeListError};
 pub use policies::{generate_policies, random_path_text, PolicyWorkloadConfig};
 pub use requests::{requests_with_grant_rate, uniform_requests, Request};
+pub use sharding::CrossShardTopology;
 pub use spec::{AttributeModel, GraphSpec, LabelModel};
 pub use stats::GraphStats;
 pub use topology::Topology;
