@@ -1,0 +1,49 @@
+//! P12 — cross-shard batch amortization: the batched bundle read path
+//! (one masked seeded fixpoint per bundle, round-persistent per-shard
+//! visited state) vs the per-condition sharded fixpoint on the same
+//! cross-heavy bundles.
+//!
+//! Expected shape: per-condition pays one full cross-shard fixpoint
+//! per condition — `O(conditions × rounds)` shard passes — while the
+//! batched engine's 64-way masks collapse a whole template group into
+//! one fixpoint, and its persistent visited state removes the
+//! quadratic re-traversal on walks that ping-pong across a boundary.
+//! The gap widens with the crossing rate.
+//!
+//! `cargo run --release -p socialreach-bench --bin p12-snapshot`
+//! records the same comparison as `BENCH_p12.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialreach_bench::p12::{
+    assert_batched_matches_oracles, build_sharded, build_single, case, run_batched,
+    run_per_condition,
+};
+use socialreach_bench::quick_mode;
+
+fn bench(c: &mut Criterion) {
+    let nodes = if quick_mode() { 120 } else { 600 };
+    let shard_counts: &[u32] = if quick_mode() { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut group = c.benchmark_group("p12_batch_amortization");
+    group.sample_size(10);
+
+    for &shards in shard_counts {
+        let case = case(nodes, shards, 0.7, 2);
+        let single = build_single(&case);
+        let sharded = build_sharded(&case);
+        assert_batched_matches_oracles(&case, &single, &sharded);
+        group.bench_with_input(
+            BenchmarkId::new("bundle-batched", &case.name),
+            &(),
+            |b, _| b.iter(|| run_batched(&case, &sharded)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bundle-per-condition", &case.name),
+            &(),
+            |b, _| b.iter(|| run_per_condition(&case, &sharded)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 pub mod p10;
 pub mod p11;
+pub mod p12;
 pub mod p9;
 
 pub use socialreach_core as core;

@@ -13,7 +13,12 @@
 //!    buys).
 //! 2. **Cold decision batches** — `check_batch` over a fixed request
 //!    stream, decision caches cold: single system vs sharded, per
-//!    shard count × crossing rate.
+//!    shard count × crossing rate. (Since the batch-amortization work
+//!    the sharded side decides by materializing the uncached
+//!    resources' audiences through one masked fixpoint per bundle —
+//!    the `threads` knob only fans out the *single* system's
+//!    per-request stream; the sharded fixpoint parallelizes per round
+//!    across shards instead.)
 //! 3. **Audience bundles** — `audience_batch` over every generated
 //!    resource: single system (multi-source batch BFS) vs the sharded
 //!    fixpoint fan-out.

@@ -1,0 +1,205 @@
+//! Shared setup for experiment P12 — cross-shard batch amortization.
+//!
+//! The question: what does the **batched** bundle read path (one
+//! masked seeded fixpoint per bundle, per-shard visited/mask state
+//! persisted across rounds — `ShardedSystem::audience_batch`) buy over
+//! the **per-condition** sharded fixpoint
+//! (`ShardedSystem::audience_batch_per_condition`, the pre-amortization
+//! shape), as a function of shard count and cross-shard traffic
+//! density? The single-graph multi-source batch BFS rides along as the
+//! roofline BENCH_p11.json showed it to be.
+//!
+//! Workload: [`CrossShardTopology`] graphs with controlled crossing
+//! rates × [`generate_cross_shard_bundles`] policy bundles whose
+//! owners fan out round-robin across every shard — the cross-heavy
+//! feed-materialization regime the ROADMAP's amortization item names.
+//!
+//! Correctness is asserted before timing
+//! ([`assert_batched_matches_oracles`]): batched ≡ per-condition ≡
+//! single-graph audiences on every measured bundle, so the bench can
+//! never drift from the differential-tested semantics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socialreach_core::{
+    AccessControlSystem, BundleFixpointStats, EngineChoice, PolicyStore, ResourceId, ShardedSystem,
+};
+use socialreach_graph::{ShardAssignment, SocialGraph};
+use socialreach_workload::{
+    generate_cross_shard_bundles, CrossShardBundleConfig, CrossShardTopology, PolicyWorkloadConfig,
+};
+
+/// One prepared P12 scenario: a controlled-crossing graph, cross-shard
+/// policy bundles over it, and the placement the serving layer uses.
+pub struct P12Case {
+    /// Scenario name (`s{shards}-x{crossing%}`).
+    pub name: String,
+    /// Serving shard count.
+    pub shards: u32,
+    /// Requested crossing rate.
+    pub cross_fraction: f64,
+    /// The social graph (single-system view).
+    pub graph: SocialGraph,
+    /// Policies over it.
+    pub store: PolicyStore,
+    /// The generated bundles (resource-id groups).
+    pub bundles: Vec<Vec<ResourceId>>,
+    /// The placement.
+    pub assignment: ShardAssignment,
+}
+
+/// Builds the P12 scenario for one `(shards, cross_fraction)` cell.
+/// Everything is deterministic in the arguments.
+pub fn case(nodes: usize, shards: u32, cross_fraction: f64, bundles: usize) -> P12Case {
+    let assignment = ShardAssignment::hashed(shards, 1200);
+    let topo = CrossShardTopology {
+        nodes,
+        edges: nodes * 3,
+        assignment: assignment.clone(),
+        cross_fraction,
+    };
+    let mut rng = StdRng::seed_from_u64(1212 + shards as u64);
+    let mut graph = topo.build_graph(&mut rng);
+
+    let mut store = PolicyStore::new();
+    let cfg = CrossShardBundleConfig {
+        bundles,
+        resources_per_bundle: 24,
+        templates_per_bundle: 2,
+        paths: PolicyWorkloadConfig {
+            steps: (1, 2),
+            deep_prob: 0.5,
+            // The controlled-crossing graphs carry no member
+            // attributes, so predicates would make rules vacuous.
+            pred_prob: 0.0,
+            ..PolicyWorkloadConfig::default()
+        },
+    };
+    let bundles = generate_cross_shard_bundles(&mut graph, &mut store, &assignment, &cfg, &mut rng);
+
+    P12Case {
+        name: format!("s{shards}-x{:02}", (cross_fraction * 100.0) as u32),
+        shards,
+        cross_fraction,
+        graph,
+        store,
+        bundles,
+        assignment,
+    }
+}
+
+/// A fresh sharded system over the case.
+pub fn build_sharded(case: &P12Case) -> ShardedSystem {
+    let mut sys = ShardedSystem::from_graph(&case.graph, case.assignment.clone());
+    sys.adopt_store(case.store.clone());
+    sys
+}
+
+/// A fresh single-graph system over the case.
+pub fn build_single(case: &P12Case) -> AccessControlSystem {
+    let mut sys = AccessControlSystem::new(EngineChoice::Online);
+    for v in case.graph.nodes() {
+        sys.add_user(case.graph.node_name(v));
+    }
+    for (_, rec) in case.graph.edges() {
+        sys.connect(rec.src, case.graph.vocab().label_name(rec.label), rec.dst);
+    }
+    let mut owned: Vec<(ResourceId, socialreach_graph::NodeId)> = case.store.resources().collect();
+    owned.sort_unstable();
+    for (rid, owner) in owned {
+        let got = sys.share(owner);
+        debug_assert_eq!(got, rid);
+    }
+    for bundle in &case.bundles {
+        for rule in bundle.iter().flat_map(|&r| case.store.rules_for(r)) {
+            // `allow` appends one single-condition rule per call, so a
+            // conjunctive rule would silently become disjunctive here;
+            // the bundle generator only emits single-condition rules,
+            // and this guard keeps the oracle honest if that changes.
+            assert_eq!(
+                rule.conditions.len(),
+                1,
+                "P12's single-graph oracle replays single-condition rules only"
+            );
+            for cond in &rule.conditions {
+                let text = cond.path.to_text(case.graph.vocab());
+                sys.allow(rule.resource, &text).expect("paths round-trip");
+            }
+        }
+    }
+    sys
+}
+
+/// Asserts batched ≡ per-condition ≡ single-graph audiences on every
+/// bundle (run once before timing).
+pub fn assert_batched_matches_oracles(
+    case: &P12Case,
+    single: &AccessControlSystem,
+    sharded: &ShardedSystem,
+) {
+    for bundle in &case.bundles {
+        let batched = sharded.audience_batch(bundle).expect("bundle evaluates");
+        let per_condition = sharded
+            .audience_batch_per_condition(bundle)
+            .expect("bundle evaluates");
+        assert_eq!(
+            batched, per_condition,
+            "batched/per-condition divergence in {}",
+            case.name
+        );
+        let single_audiences = single.audience_batch(bundle).expect("bundle evaluates");
+        assert_eq!(
+            batched, single_audiences,
+            "sharded/single divergence in {}",
+            case.name
+        );
+    }
+}
+
+/// Fixpoint work census over every bundle (the batched engine's own
+/// telemetry): sums of fixpoints, rounds, per-shard states expanded
+/// and routed masked exports.
+pub fn bundle_work_census(case: &P12Case, sharded: &ShardedSystem) -> BundleFixpointStats {
+    let mut total = BundleFixpointStats {
+        states_expanded: vec![0; sharded.num_shards()],
+        ..BundleFixpointStats::default()
+    };
+    for bundle in &case.bundles {
+        let (_, stats) = sharded
+            .audience_batch_with_stats(bundle)
+            .expect("bundle evaluates");
+        total.fixpoints += stats.fixpoints;
+        total.rounds += stats.rounds;
+        total.exported_states += stats.exported_states;
+        for (slot, s) in total.states_expanded.iter_mut().zip(&stats.states_expanded) {
+            *slot += s;
+        }
+    }
+    total
+}
+
+/// One pass of every bundle through the batched sharded path.
+pub fn run_batched(case: &P12Case, sys: &ShardedSystem) {
+    for bundle in &case.bundles {
+        let audiences = sys.audience_batch(bundle).expect("bundle evaluates");
+        std::hint::black_box(audiences.len());
+    }
+}
+
+/// One pass of every bundle through the per-condition sharded path.
+pub fn run_per_condition(case: &P12Case, sys: &ShardedSystem) {
+    for bundle in &case.bundles {
+        let audiences = sys
+            .audience_batch_per_condition(bundle)
+            .expect("bundle evaluates");
+        std::hint::black_box(audiences.len());
+    }
+}
+
+/// One pass of every bundle through the single-graph batch BFS.
+pub fn run_single(case: &P12Case, sys: &AccessControlSystem) {
+    for bundle in &case.bundles {
+        let audiences = sys.audience_batch(bundle).expect("bundle evaluates");
+        std::hint::black_box(audiences.len());
+    }
+}

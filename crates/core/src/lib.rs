@@ -91,6 +91,21 @@
 //! new state appears. Witnesses stitch per-shard walk segments. A
 //! differential proptest suite (`tests/shard_differential.rs`) pins the
 //! sharded semantics to the single-graph system across shard counts.
+//!
+//! Bundle reads are **batch-amortized**: `ShardedSystem::audience_batch`
+//! and `check_batch` run *one* masked fixpoint per bundle instead of
+//! one per condition. The bundle's distinct conditions group by path
+//! expression and traverse together as bits of a seeded multi-source
+//! mask BFS ([`online::evaluate_audience_batch_seeded`]); boundary
+//! exports carry those masks
+//! ([`socialreach_graph::shard::MaskedStateKey`], chunked into further
+//! 64-bit words for wider bundles), and each shard's visited/mask
+//! state persists across the fixpoint's rounds
+//! ([`online::SeededBatchState`]), keeping total work linear in the
+//! explored region even when walks ping-pong across a boundary. The
+//! batched path is pinned to the per-condition fixpoint, the
+//! single-graph batch BFS and the reference engine by
+//! `tests/shard_batch_differential.rs`.
 
 pub mod carminati;
 pub mod engine;
@@ -114,7 +129,7 @@ pub use joinengine::{JoinEngineConfig, JoinIndexEngine, JoinStrategy};
 pub use lineplan::{plan, LinePlan, LineQuery, PlanConfig};
 pub use path::{parse_path, AttrPredicate, CmpOp, DepthSet, PathExpr, Step};
 pub use policy::{AccessCondition, AccessRule, Decision, PolicyStore, ResourceId};
-pub use sharded::{ShardedEval, ShardedHop, ShardedSystem};
+pub use sharded::{BundleFixpointStats, ShardedEval, ShardedHop, ShardedSystem};
 pub use system::{AccessControlSystem, EngineChoice};
 
 // Re-exported so `JoinEngineConfig` can be configured without naming the

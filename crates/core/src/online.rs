@@ -53,6 +53,23 @@
 //! one scan of a `(node, label, direction)` CSR slice serves every
 //! owner whose frontier touches that node — amortizing edge scans
 //! across the bundle instead of re-walking the graph per condition.
+//!
+//! # Seeded mask engine (the sharded batch primitive)
+//!
+//! [`evaluate_audience_batch_seeded`] generalizes the mask BFS for the
+//! sharded serving layer: the search enters the layered product space
+//! at **arbitrary** `(member, step, depth, mask)` states and exports
+//! the masked states it visits at *watched* members (a shard's ghost
+//! replicas). Its visited/mask bookkeeping lives in a caller-owned
+//! [`SeededBatchState`] that **persists across runs**, so the
+//! cross-shard fixpoint can re-enter a shard round after round and pay
+//! only for the *new* condition bits each round delivers — total work
+//! stays linear in the explored region instead of re-traversing it per
+//! round (and, because up to 64 conditions share each frontier pass,
+//! linear in the region rather than in `conditions × region`). The
+//! single-source seeded engine ([`evaluate_seeded`]) remains the
+//! targeted-check/witness primitive; the mask engine is the audience
+//! and batched-decision hot path.
 
 use crate::path::PathExpr;
 use socialreach_graph::csr::CsrSnapshot;
@@ -1226,6 +1243,392 @@ fn evaluate_seeded_sparse(
 }
 
 // ---------------------------------------------------------------------
+// Seeded multi-source mask engine (the batched serving primitive)
+// ---------------------------------------------------------------------
+
+/// A masked product state exchanged between the batched fixpoint
+/// driver and the per-shard mask engine: the member, its `(step,
+/// depth)` coordinate (depth capped at the step's saturation point),
+/// and the bundle-condition bits that reached it.
+pub type MaskedSeedState = (NodeId, u16, u32, u64);
+
+/// Result of one [`evaluate_audience_batch_seeded`] run.
+#[derive(Clone, Debug, Default)]
+pub struct SeededBatchOutcome {
+    /// Members that completed the final step during this run, each
+    /// with the condition bits that **newly** matched them (the state
+    /// remembers what it already reported, so bits never repeat across
+    /// runs). Watched members are included; the caller filters ghosts.
+    pub matched: Vec<(NodeId, u64)>,
+    /// Masked states visited at watched members during this run, with
+    /// the bits that newly arrived there (depth already saturated).
+    /// Bits at one state are disjoint across runs by construction.
+    pub exports: Vec<MaskedSeedState>,
+    /// Work counters for this run only.
+    pub stats: SearchStats,
+}
+
+/// Round-persistent bookkeeping of the seeded mask engine: which
+/// condition bits have ever arrived at each product state, which bits
+/// await processing, and which bits each member has already matched
+/// under. One value serves **one** `(graph, snapshot, path, ≤64
+/// conditions)` evaluation across arbitrarily many seeded runs; the
+/// cross-shard fixpoint driver keeps one per shard per bundle chunk.
+///
+/// Persistence is the point: seeding a state whose bits are already
+/// known is a no-op, so a fixpoint that re-enters a shard `k` times
+/// (a walk ping-ponging across a boundary) expands each state at most
+/// once per arriving bit instead of re-traversing the explored region
+/// every round.
+pub struct SeededBatchState {
+    /// Cumulative states processed across every run (the
+    /// round-linearity instrumentation the sharded driver reports).
+    states_expanded: usize,
+    inner: BatchInner,
+}
+
+enum BatchInner {
+    Flat(FlatBatch),
+    Sparse(SparseBatch),
+}
+
+/// Dense-array variant: masks indexed by `layer · |V| + member`.
+struct FlatBatch {
+    v_count: u32,
+    bases: Vec<u32>,
+    sats: Vec<u32>,
+    layers: Vec<LayerInfo>,
+    /// Bits ever arrived, per product state.
+    seen: Vec<u64>,
+    /// Bits arrived since the state was last processed.
+    pending: Vec<u64>,
+    /// Bits already reported as matched, per member.
+    matched_mask: Vec<u64>,
+    frontier: Vec<u64>,
+    next: Vec<u64>,
+}
+
+/// Sparse mirror for degenerate product spaces (astronomical
+/// saturation depths), keyed by `(member, step, depth)`.
+struct SparseBatch {
+    sats: Vec<u32>,
+    seen: HashMap<State, u64>,
+    pending: HashMap<State, u64>,
+    matched_mask: HashMap<u32, u64>,
+    frontier: Vec<State>,
+    next: Vec<State>,
+}
+
+impl SeededBatchState {
+    /// Fresh state for evaluating `path` over `snap`/`g`. Picks the
+    /// flat dense-array variant when the product space is reasonable
+    /// ([`evaluate_with_snapshot`]'s criterion) and the sparse mirror
+    /// otherwise — run results are identical either way.
+    pub fn new(g: &SocialGraph, snap: &CsrSnapshot, path: &PathExpr) -> Self {
+        assert!(!path.is_empty(), "the batched driver handles empty paths");
+        let steps = &path.steps;
+        let inner = match if snap.matches(g) {
+            flat_dimensions(snap, path)
+        } else {
+            None
+        } {
+            Some((v_count, _, total_states)) => {
+                let (bases, sats) = layer_bases(steps);
+                let mut layers = Vec::new();
+                fill_layer_table(steps, &mut layers);
+                BatchInner::Flat(FlatBatch {
+                    v_count,
+                    bases,
+                    sats,
+                    layers,
+                    seen: vec![0; total_states],
+                    pending: vec![0; total_states],
+                    matched_mask: vec![0; snap.num_nodes()],
+                    frontier: Vec::new(),
+                    next: Vec::new(),
+                })
+            }
+            None => BatchInner::Sparse(SparseBatch {
+                sats: steps.iter().map(|s| s.depths.saturation()).collect(),
+                seen: HashMap::new(),
+                pending: HashMap::new(),
+                matched_mask: HashMap::new(),
+                frontier: Vec::new(),
+                next: Vec::new(),
+            }),
+        };
+        SeededBatchState {
+            states_expanded: 0,
+            inner,
+        }
+    }
+
+    /// Total product states processed across every run so far. Each
+    /// state is processed once per *wave of new bits*, so for a
+    /// single-condition evaluation this is exactly the number of
+    /// distinct states explored — the counter the round-linearity
+    /// regression pins.
+    pub fn states_expanded(&self) -> usize {
+        self.states_expanded
+    }
+}
+
+/// [`evaluate_audience_batch`] generalized to **seeded** entry: one
+/// run drains the frontier produced by `seeds` (plus whatever earlier
+/// runs left unexplored — nothing, by post-condition), recording
+/// matches and exporting masked states visited at `watched` members.
+///
+/// Semantics per condition bit are those of the single-source seeded
+/// engine ([`evaluate_seeded`]) restricted to this graph's edges: a
+/// state `(v, step, depth)` accumulates bit `b` exactly when the
+/// unsharded engine could reach it from one of bit `b`'s seeds using
+/// only locally present edges. The sharded router obtains global
+/// semantics by fixpointing masked runs across shards.
+///
+/// `state` must have been created by [`SeededBatchState::new`] for
+/// this same `(g, snap, path)`; runs may repeat freely, and bits
+/// reported (matched or exported) are disjoint across runs.
+pub fn evaluate_audience_batch_seeded(
+    g: &SocialGraph,
+    snap: &CsrSnapshot,
+    path: &PathExpr,
+    state: &mut SeededBatchState,
+    seeds: &[MaskedSeedState],
+    watched: &[bool],
+) -> SeededBatchOutcome {
+    let SeededBatchState {
+        states_expanded,
+        inner,
+    } = state;
+    match inner {
+        BatchInner::Flat(fb) => fb.run(g, snap, path, seeds, watched, states_expanded),
+        BatchInner::Sparse(sb) => sb.run(g, path, seeds, watched, states_expanded),
+    }
+}
+
+impl FlatBatch {
+    /// Forwards `bits` to a state, queueing it on the 0 → nonzero
+    /// pending transition. Free function shape so the BFS loop can
+    /// split-borrow the mask arrays.
+    #[inline]
+    fn send(
+        seen: &mut [u64],
+        pending: &mut [u64],
+        queue: &mut Vec<u64>,
+        v_count: u32,
+        layer: u32,
+        v: u32,
+        bits: u64,
+    ) {
+        let idx = (layer * v_count + v) as usize;
+        let new = bits & !seen[idx];
+        if new != 0 {
+            seen[idx] |= new;
+            if pending[idx] == 0 {
+                queue.push((u64::from(layer) << 32) | u64::from(v));
+            }
+            pending[idx] |= new;
+        }
+    }
+
+    fn run(
+        &mut self,
+        g: &SocialGraph,
+        snap: &CsrSnapshot,
+        path: &PathExpr,
+        seeds: &[MaskedSeedState],
+        watched: &[bool],
+        states_expanded: &mut usize,
+    ) -> SeededBatchOutcome {
+        debug_assert!(snap.matches(g), "snapshot pinned for the whole bundle");
+        let steps = &path.steps;
+        let mut out = SeededBatchOutcome::default();
+        let FlatBatch {
+            v_count,
+            bases,
+            sats,
+            layers,
+            seen,
+            pending,
+            matched_mask,
+            frontier,
+            next,
+        } = self;
+        let v_count = *v_count;
+
+        debug_assert!(frontier.is_empty(), "previous run drained its frontier");
+        for &(m, step, depth, bits) in seeds {
+            let lay = bases[step as usize] + depth.min(sats[step as usize]);
+            Self::send(seen, pending, frontier, v_count, lay, m.0, bits);
+        }
+
+        while !frontier.is_empty() {
+            for &packed in frontier.iter() {
+                let v = packed as u32;
+                let lay = (packed >> 32) as u32;
+                let idx = (lay * v_count + v) as usize;
+                let delta = pending[idx];
+                pending[idx] = 0;
+                debug_assert_ne!(delta, 0, "queued state without pending bits");
+                out.stats.states_visited += 1;
+                *states_expanded += 1;
+                let li = layers[lay as usize];
+                let step = &steps[li.step as usize];
+                let node = NodeId(v);
+
+                if watched[node.index()] {
+                    out.exports
+                        .push((node, li.step, lay - bases[li.step as usize], delta));
+                }
+
+                // Step completion for the newly arrived bits.
+                if li.completes && step.conds.iter().all(|c| c.eval(g.node_attrs(node))) {
+                    if li.last {
+                        let new_matched = delta & !matched_mask[node.index()];
+                        if new_matched != 0 {
+                            matched_mask[node.index()] |= new_matched;
+                            out.matched.push((node, new_matched));
+                        }
+                    } else {
+                        Self::send(seen, pending, next, v_count, li.eps_layer, v, delta);
+                    }
+                }
+
+                // Edge expansion within the step.
+                if !li.expands {
+                    continue;
+                }
+                if matches!(step.dir, Direction::Out | Direction::Both) {
+                    let nbrs = snap.out_neighbors(v, step.label);
+                    for &nbr in nbrs.nodes {
+                        out.stats.edges_scanned += 1;
+                        Self::send(seen, pending, next, v_count, li.next_layer, nbr, delta);
+                    }
+                }
+                if matches!(step.dir, Direction::In | Direction::Both) {
+                    let nbrs = snap.in_neighbors(v, step.label);
+                    for &nbr in nbrs.nodes {
+                        out.stats.edges_scanned += 1;
+                        Self::send(seen, pending, next, v_count, li.next_layer, nbr, delta);
+                    }
+                }
+            }
+            std::mem::swap(frontier, next);
+            next.clear();
+        }
+        out
+    }
+}
+
+impl SparseBatch {
+    #[inline]
+    fn send(
+        seen: &mut HashMap<State, u64>,
+        pending: &mut HashMap<State, u64>,
+        queue: &mut Vec<State>,
+        st: State,
+        bits: u64,
+    ) {
+        let slot = seen.entry(st).or_insert(0);
+        let new = bits & !*slot;
+        if new != 0 {
+            *slot |= new;
+            let p = pending.entry(st).or_insert(0);
+            if *p == 0 {
+                queue.push(st);
+            }
+            *p |= new;
+        }
+    }
+
+    fn run(
+        &mut self,
+        g: &SocialGraph,
+        path: &PathExpr,
+        seeds: &[MaskedSeedState],
+        watched: &[bool],
+        states_expanded: &mut usize,
+    ) -> SeededBatchOutcome {
+        let steps = &path.steps;
+        let mut out = SeededBatchOutcome::default();
+        let SparseBatch {
+            sats,
+            seen,
+            pending,
+            matched_mask,
+            frontier,
+            next,
+        } = self;
+
+        debug_assert!(frontier.is_empty(), "previous run drained its frontier");
+        for &(m, step, depth, bits) in seeds {
+            let st: State = (m.0, step, depth.min(sats[step as usize]));
+            Self::send(seen, pending, frontier, st, bits);
+        }
+
+        while !frontier.is_empty() {
+            for &st in frontier.iter() {
+                let (v, i, d) = st;
+                let delta = pending.insert(st, 0).unwrap_or(0);
+                debug_assert_ne!(delta, 0, "queued state without pending bits");
+                out.stats.states_visited += 1;
+                *states_expanded += 1;
+                let step = &steps[i as usize];
+                let node = NodeId(v);
+
+                if watched[node.index()] {
+                    out.exports.push((node, i, d, delta));
+                }
+
+                if d >= 1
+                    && step.depths.contains(d)
+                    && step.conds.iter().all(|c| c.eval(g.node_attrs(node)))
+                {
+                    if (i as usize) == steps.len() - 1 {
+                        let mask = matched_mask.entry(v).or_insert(0);
+                        let new_matched = delta & !*mask;
+                        if new_matched != 0 {
+                            *mask |= new_matched;
+                            out.matched.push((node, new_matched));
+                        }
+                    } else {
+                        Self::send(seen, pending, next, (v, i + 1, 0), delta);
+                    }
+                }
+
+                if d >= sats[i as usize] && !step.depths.is_unbounded() {
+                    continue;
+                }
+                let d_next = (d + 1).min(sats[i as usize]);
+                if matches!(step.dir, Direction::Out | Direction::Both) {
+                    for (_, rec) in g.out_edges(node) {
+                        if rec.label != step.label {
+                            out.stats.edges_filtered += 1;
+                            continue;
+                        }
+                        out.stats.edges_scanned += 1;
+                        Self::send(seen, pending, next, (rec.dst.0, i, d_next), delta);
+                    }
+                }
+                if matches!(step.dir, Direction::In | Direction::Both) {
+                    for (_, rec) in g.in_edges(node) {
+                        if rec.label != step.label {
+                            out.stats.edges_filtered += 1;
+                            continue;
+                        }
+                        out.stats.edges_scanned += 1;
+                        Self::send(seen, pending, next, (rec.src.0, i, d_next), delta);
+                    }
+                }
+            }
+            std::mem::swap(frontier, next);
+            next.clear();
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
 // Reference engine (original implementation, retained as the spec)
 // ---------------------------------------------------------------------
 
@@ -1954,5 +2357,139 @@ mod tests {
         );
         assert!(!missed.hit);
         assert!(missed.witness.is_none());
+    }
+
+    /// Collects a masked run's audiences per condition bit, sorted.
+    fn audiences_by_bit(matched: &[(NodeId, u64)], bits: usize) -> Vec<Vec<NodeId>> {
+        let mut audiences = vec![Vec::new(); bits];
+        for &(node, mask) in matched {
+            let mut m = mask;
+            while m != 0 {
+                let bit = m.trailing_zeros() as usize;
+                m &= m - 1;
+                audiences[bit].push(node);
+            }
+        }
+        for a in &mut audiences {
+            a.sort_unstable();
+        }
+        audiences
+    }
+
+    #[test]
+    fn masked_engine_matches_the_unseeded_batch() {
+        let mut g = chain();
+        let snap = g.snapshot();
+        let owners: Vec<NodeId> = g.nodes().collect();
+        let none = vec![false; g.num_nodes()];
+        for text in ["friend+[1,2]", "friend*[1..]/colleague+[1]", "friend-[1]"] {
+            let p = parse(&mut g, text);
+            let truth = evaluate_audience_batch(&g, &snap, &owners, &p);
+            let mut state = SeededBatchState::new(&g, &snap, &p);
+            let seeds: Vec<MaskedSeedState> = owners
+                .iter()
+                .enumerate()
+                .map(|(bit, &o)| (o, 0, 0, 1u64 << bit))
+                .collect();
+            let out = evaluate_audience_batch_seeded(&g, &snap, &p, &mut state, &seeds, &none);
+            assert!(out.exports.is_empty(), "nothing watched");
+            assert_eq!(
+                audiences_by_bit(&out.matched, owners.len()),
+                truth.audiences,
+                "path {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_engine_reports_each_bit_once_across_runs() {
+        let mut g = chain();
+        let snap = g.snapshot();
+        let alice = g.node_by_name("Alice").unwrap();
+        let bob = g.node_by_name("Bob").unwrap();
+        let none = vec![false; g.num_nodes()];
+        let p = parse(&mut g, "friend+[1,2]");
+        let mut state = SeededBatchState::new(&g, &snap, &p);
+        let out =
+            evaluate_audience_batch_seeded(&g, &snap, &p, &mut state, &[(alice, 0, 0, 1)], &none);
+        assert!(!out.matched.is_empty());
+        let expanded = state.states_expanded();
+        assert!(expanded > 0);
+
+        // Re-seeding known bits is a no-op: persistence makes the
+        // fixpoint linear in the explored region.
+        let again =
+            evaluate_audience_batch_seeded(&g, &snap, &p, &mut state, &[(alice, 0, 0, 1)], &none);
+        assert!(again.matched.is_empty());
+        assert!(again.exports.is_empty());
+        assert_eq!(again.stats.states_visited, 0);
+        assert_eq!(state.states_expanded(), expanded, "no re-traversal");
+
+        // A new bit through the same region reports only itself.
+        let fresh =
+            evaluate_audience_batch_seeded(&g, &snap, &p, &mut state, &[(bob, 0, 0, 2)], &none);
+        for &(_, mask) in &fresh.matched {
+            assert_eq!(mask & 1, 0, "bit 0 was already reported");
+        }
+    }
+
+    #[test]
+    fn masked_engine_exports_watched_states_with_delta_bits() {
+        let mut g = chain();
+        let snap = g.snapshot();
+        let alice = g.node_by_name("Alice").unwrap();
+        let eve = g.node_by_name("Eve").unwrap();
+        let bob = g.node_by_name("Bob").unwrap();
+        let mut watched = vec![false; g.num_nodes()];
+        watched[bob.index()] = true;
+        let p = parse(&mut g, "friend+[1,2]");
+        let mut state = SeededBatchState::new(&g, &snap, &p);
+        let out = evaluate_audience_batch_seeded(
+            &g,
+            &snap,
+            &p,
+            &mut state,
+            &[(alice, 0, 0, 0b01), (eve, 0, 0, 0b10)],
+            &watched,
+        );
+        // Alice reaches Bob at depth 1; Eve does not reach Bob at all.
+        assert_eq!(out.exports, vec![(bob, 0, 1, 0b01)]);
+        // A later run delivering Eve's bit to Bob exports only it.
+        let relay = evaluate_audience_batch_seeded(
+            &g,
+            &snap,
+            &p,
+            &mut state,
+            &[(bob, 0, 1, 0b11)],
+            &watched,
+        );
+        assert_eq!(relay.exports, vec![(bob, 0, 1, 0b10)]);
+    }
+
+    #[test]
+    fn masked_engine_sparse_variant_matches_per_owner_evaluation() {
+        // A saturation depth past MAX_FLAT_LAYERS forces the sparse
+        // mirror; answers must not change.
+        let mut g = chain();
+        let snap = g.snapshot();
+        let owners: Vec<NodeId> = g.nodes().collect();
+        let none = vec![false; g.num_nodes()];
+        let p = parse(&mut g, "friend+[1..4000000]");
+        let mut state = SeededBatchState::new(&g, &snap, &p);
+        assert!(
+            matches!(state.inner, BatchInner::Sparse(_)),
+            "degenerate saturation uses the sparse mirror"
+        );
+        let seeds: Vec<MaskedSeedState> = owners
+            .iter()
+            .enumerate()
+            .map(|(bit, &o)| (o, 0, 0, 1u64 << bit))
+            .collect();
+        let out = evaluate_audience_batch_seeded(&g, &snap, &p, &mut state, &seeds, &none);
+        let audiences = audiences_by_bit(&out.matched, owners.len());
+        for (bit, &owner) in owners.iter().enumerate() {
+            let truth = evaluate(&g, owner, &p, None);
+            assert_eq!(audiences[bit], truth.matched, "owner {owner}");
+        }
     }
 }

@@ -46,6 +46,31 @@
 //! requester, and the router replays exporting runs backwards
 //! ([`online::SeededTarget::State`]) until it reaches the owner seed.
 //!
+//! # Batched reads (one fixpoint per bundle)
+//!
+//! The per-condition fixpoint above is the targeted-check/witness
+//! primitive. Bundle reads — [`ShardedSystem::audience_batch`] and
+//! [`ShardedSystem::check_batch`] — run the **masked** variant
+//! instead: the bundle's distinct conditions are grouped by path
+//! expression and each group's owners traverse together through one
+//! round-based fixpoint of per-shard seeded mask BFS
+//! ([`online::evaluate_audience_batch_seeded`]), every product state
+//! carrying a bitmask of the conditions that reached it. Boundary
+//! exports carry those masks ([`MaskedStateKey`]; groups wider than 64
+//! conditions chunk into further mask words), and the router forwards
+//! only bits it has not forwarded before. Each shard's visited/mask
+//! state **persists across rounds** of the evaluation
+//! ([`online::SeededBatchState`]), so a walk that ping-pongs through
+//! one shard k times expands each product state at most once per
+//! arriving bit — total work is linear in the explored region, where
+//! re-seeding fresh visited sets each round (what the per-condition
+//! fixpoint does) is quadratic on such paths. Decisions for
+//! `check_batch` fall out of the materialized audiences (a requester
+//! is granted exactly when a rule's every condition-audience contains
+//! them), and grants needing a human-readable walk (`explain`) replay
+//! the targeted per-condition fixpoint, which reconstructs stitched
+//! witnesses.
+//!
 //! # Mutations
 //!
 //! Mutations (`&mut self`) route to the owning shard(s): an edge
@@ -58,12 +83,17 @@
 
 use crate::engine::{Enforcer, OnlineEngine};
 use crate::error::EvalError;
-use crate::online::{self, SeedState, SeededOutcome, SeededTarget, WitnessHop};
+use crate::online::{
+    self, MaskedSeedState, SeedState, SeededBatchOutcome, SeededBatchState, SeededOutcome,
+    SeededTarget, WitnessHop,
+};
 use crate::path::{parse_path, PathExpr};
 use crate::policy::{Decision, PolicyStore, ResourceId};
 use parking_lot::RwLock;
 use socialreach_graph::csr::CsrSnapshot;
-use socialreach_graph::shard::{BoundaryEdge, BoundaryTable, ShardAssignment};
+use socialreach_graph::shard::{
+    BoundaryEdge, BoundaryTable, MaskedExportSet, MaskedStateKey, ShardAssignment,
+};
 use socialreach_graph::{AttrValue, LabelId, NodeId, SocialGraph, Vocabulary};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -96,6 +126,35 @@ pub struct ShardedEval {
     pub granted: bool,
     /// A stitched walk from the owner to the requester when granted.
     pub witness: Option<Vec<ShardedHop>>,
+}
+
+/// Work census of one batched bundle evaluation (the masked
+/// cross-shard fixpoint), for benchmarks and the round-linearity
+/// regression tests.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BundleFixpointStats {
+    /// Masked fixpoints run: one per (path group, 64-condition chunk)
+    /// of the bundle — *not* one per condition.
+    pub fixpoints: usize,
+    /// Fixpoint rounds across all of them.
+    pub rounds: usize,
+    /// Product states expanded per shard, cumulative across the whole
+    /// bundle. Persistence of per-shard mask state across rounds keeps
+    /// this linear in the explored region per condition bit.
+    pub states_expanded: Vec<usize>,
+    /// Masked boundary exports the router forwarded (new bits only).
+    pub exported_states: usize,
+}
+
+impl BundleFixpointStats {
+    fn new(shards: usize) -> Self {
+        BundleFixpointStats {
+            fixpoints: 0,
+            rounds: 0,
+            states_expanded: vec![0; shards],
+            exported_states: 0,
+        }
+    }
 }
 
 /// Size census of one shard.
@@ -546,47 +605,73 @@ impl ShardedSystem {
         Ok(decision)
     }
 
-    /// Decides a batch of requests on up to `threads` scoped worker
-    /// threads sharing the shards' current epochs; decisions come back
-    /// in request order.
+    /// Decides a batch of requests through **one** masked cross-shard
+    /// fixpoint per bundle (per distinct path among the touched
+    /// resources' conditions), rather than one per request or per
+    /// condition: the uncached resources' condition audiences are
+    /// materialized together ([`ShardedSystem::audience_batch`]'s
+    /// engine) and each request is decided by audience membership —
+    /// the two are equivalent because a rule grants exactly the
+    /// members in the intersection of its condition audiences.
+    /// Decisions come back in request order and populate the decision
+    /// cache. `threads` is accepted for API stability; the fixpoint
+    /// already fans out across shards on parallel scoped threads.
     pub fn check_batch(
         &self,
         requests: &[(ResourceId, NodeId)],
         threads: usize,
     ) -> Result<Vec<Decision>, EvalError> {
-        let threads = threads.max(1).min(requests.len().max(1));
-        if threads == 1 {
-            return requests
-                .iter()
-                .map(|&(rid, req)| self.check(rid, req))
-                .collect();
+        let _ = threads;
+        if requests.len() == 1 {
+            // A single targeted check is cheaper through the
+            // early-exiting per-condition fixpoint.
+            let (rid, req) = requests[0];
+            return Ok(vec![self.check(rid, req)?]);
         }
-        // Publish every shard's epoch once up front so cold workers
-        // traverse immediately.
-        let _ = self.publish_all();
-        let chunk = requests.len().div_ceil(threads);
-        let results: Vec<Result<Vec<Decision>, EvalError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = requests
-                .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move || {
-                        slice
-                            .iter()
-                            .map(|&(rid, req)| self.check(rid, req))
-                            .collect::<Result<Vec<_>, _>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
-        let mut out = Vec::with_capacity(requests.len());
-        for r in results {
-            out.extend(r?);
+        let mut decisions: Vec<Option<Decision>> = vec![None; requests.len()];
+        // Insertion-ordered dedup of the resources needing evaluation.
+        let mut need: Vec<ResourceId> = Vec::new();
+        let mut needed: HashSet<ResourceId> = HashSet::new();
+        {
+            let cache = self.cache.read();
+            for (i, &(rid, req)) in requests.iter().enumerate() {
+                let owner = self.store.owner_of(rid)?;
+                if req == owner {
+                    decisions[i] = Some(Decision::Grant);
+                } else if let Some(&d) = cache.get(&(rid, req)) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    decisions[i] = Some(d);
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    if needed.insert(rid) {
+                        need.push(rid);
+                    }
+                }
+            }
         }
-        Ok(out)
+        if !need.is_empty() {
+            let audiences = self.audience_batch(&need)?;
+            let by_rid: HashMap<ResourceId, &Vec<NodeId>> =
+                need.iter().copied().zip(audiences.iter()).collect();
+            let mut cache = self.cache.write();
+            for (i, &(rid, req)) in requests.iter().enumerate() {
+                if decisions[i].is_some() {
+                    continue;
+                }
+                let audience = by_rid[&rid];
+                let d = if audience.binary_search(&req).is_ok() {
+                    Decision::Grant
+                } else {
+                    Decision::Deny
+                };
+                cache.insert((rid, req), d);
+                decisions[i] = Some(d);
+            }
+        }
+        Ok(decisions
+            .into_iter()
+            .map(|d| d.expect("every request decided"))
+            .collect())
     }
 
     /// The full audience of a resource (global member ids, sorted).
@@ -597,12 +682,44 @@ impl ShardedSystem {
             .expect("one audience per requested resource"))
     }
 
-    /// Audiences of a whole bundle of resources, in `rids` order. Every
-    /// distinct `(owner, path)` condition across the bundle is
-    /// evaluated exactly once through the cross-shard fixpoint; the
-    /// per-resource merge semantics are the single-graph system's,
+    /// Audiences of a whole bundle of resources, in `rids` order,
+    /// through **one** masked cross-shard fixpoint per bundle: the
+    /// distinct `(owner, path)` conditions are grouped by path and
+    /// each group's owners traverse together as condition bits of a
+    /// seeded mask BFS ([`ShardedSystem::evaluate_conditions_batched`]).
+    /// The per-resource merge semantics are the single-graph system's,
     /// literally ([`crate::engine::merge_bundle_audiences`]).
     pub fn audience_batch(&self, rids: &[ResourceId]) -> Result<Vec<Vec<NodeId>>, EvalError> {
+        Ok(self.audience_batch_with_stats(rids)?.0)
+    }
+
+    /// [`ShardedSystem::audience_batch`] plus the fixpoint work census
+    /// (rounds, per-shard states expanded, masked exports routed).
+    pub fn audience_batch_with_stats(
+        &self,
+        rids: &[ResourceId],
+    ) -> Result<(Vec<Vec<NodeId>>, BundleFixpointStats), EvalError> {
+        let mut stats = BundleFixpointStats::new(self.shards.len());
+        let audiences = crate::engine::merge_bundle_audiences(&self.store, rids, |uniq| {
+            let (audiences, s) = self.evaluate_conditions_batched(uniq);
+            stats = s;
+            Ok(audiences)
+        })?;
+        Ok((audiences, stats))
+    }
+
+    /// The pre-amortization bundle path, retained as the comparison
+    /// baseline (bench P12) and differential-test oracle: every
+    /// distinct condition runs its **own** per-condition cross-shard
+    /// fixpoint, with fresh per-round visited state. Semantics are
+    /// identical to [`ShardedSystem::audience_batch`]; the batched
+    /// engine exists because this shape pays `O(conditions × rounds)`
+    /// shard passes and re-traverses explored regions on paths that
+    /// ping-pong across a boundary.
+    pub fn audience_batch_per_condition(
+        &self,
+        rids: &[ResourceId],
+    ) -> Result<Vec<Vec<NodeId>>, EvalError> {
         crate::engine::merge_bundle_audiences(&self.store, rids, |uniq| {
             Ok(uniq
                 .iter()
@@ -817,6 +934,205 @@ impl ShardedSystem {
             let handles: Vec<_> = round
                 .iter()
                 .map(|(shard_ix, seeds, _)| scope.spawn(move || eval(*shard_ix, seeds)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard evaluation panicked"))
+                .collect()
+        })
+    }
+
+    /// Evaluates a bundle's distinct access conditions through the
+    /// masked batch fixpoint: conditions are grouped by path
+    /// expression; each group's owners become condition bits of a
+    /// seeded mask BFS (64 per mask word — wider groups chunk into
+    /// further words with no cross-talk), and **one** round-based
+    /// fixpoint per chunk serves every condition in it. Per-shard
+    /// visited/mask state persists across the rounds of a chunk
+    /// ([`online::SeededBatchState`]), so total work is linear in the
+    /// explored region per condition bit. Returns each condition's
+    /// audience (global ids, sorted) in `conds` order, plus the work
+    /// census.
+    pub fn evaluate_conditions_batched(
+        &self,
+        conds: &[(NodeId, &PathExpr)],
+    ) -> (Vec<Vec<NodeId>>, BundleFixpointStats) {
+        let mut stats = BundleFixpointStats::new(self.shards.len());
+        let mut audiences: Vec<Vec<NodeId>> = vec![Vec::new(); conds.len()];
+        if conds.is_empty() {
+            return (audiences, stats);
+        }
+        let snaps = self.publish_all();
+
+        // Group condition indices by equal path (bundles reuse a small
+        // set of templates, so the quadratic probe stays tiny).
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, &(_, path)) in conds.iter().enumerate() {
+            match groups.iter_mut().find(|(rep, _)| conds[*rep].1 == path) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((i, vec![i])),
+            }
+        }
+
+        for (rep, members) in groups {
+            let path = conds[rep].1;
+            if path.is_empty() {
+                for &ci in &members {
+                    audiences[ci] = vec![conds[ci].0];
+                }
+                continue;
+            }
+            // The router-side record of bits already forwarded, shared
+            // across the group's chunks (the word index keys them
+            // apart).
+            let mut imported = MaskedExportSet::new();
+            for (word, chunk) in members.chunks(64).enumerate() {
+                let word = word as u32;
+                stats.fixpoints += 1;
+                // Engines materialize lazily, on a shard's first seed
+                // delivery: shards the chunk's traversal never touches
+                // never allocate mask arrays.
+                let mut engines: Vec<Option<SeededBatchState>> =
+                    (0..self.shards.len()).map(|_| None).collect();
+                let mut pending: Vec<Vec<MaskedSeedState>> = vec![Vec::new(); self.shards.len()];
+                for (bit, &ci) in chunk.iter().enumerate() {
+                    let owner = conds[ci].0;
+                    let entry = &self.members[owner.index()];
+                    imported.insert(
+                        MaskedStateKey {
+                            member: owner.0,
+                            step: 0,
+                            depth: 0,
+                            word,
+                        },
+                        1 << bit,
+                    );
+                    pending[entry.home as usize].push((entry.local, 0, 0, 1 << bit));
+                }
+
+                loop {
+                    let round: Vec<(usize, Vec<MaskedSeedState>)> = pending
+                        .iter_mut()
+                        .enumerate()
+                        .filter(|(_, seeds)| !seeds.is_empty())
+                        .map(|(i, seeds)| (i, std::mem::take(seeds)))
+                        .collect();
+                    if round.is_empty() {
+                        break;
+                    }
+                    stats.rounds += 1;
+                    let outs = self.run_masked_round(&round, &mut engines, &snaps, path);
+
+                    // Merge in shard order: deterministic regardless
+                    // of the fan-out interleaving.
+                    for ((shard_ix, _), out) in round.iter().zip(outs) {
+                        let shard = &self.shards[*shard_ix];
+                        for &(m, bits) in &out.matched {
+                            if shard.ghost[m.index()] {
+                                continue; // only the home shard speaks
+                            }
+                            let global = shard.globals[m.index()];
+                            let mut b = bits;
+                            while b != 0 {
+                                let bit = b.trailing_zeros() as usize;
+                                b &= b - 1;
+                                audiences[chunk[bit]].push(global);
+                            }
+                        }
+                        for &(m, step, depth, bits) in &out.exports {
+                            let global = shard.globals[m.index()];
+                            let key = MaskedStateKey {
+                                member: global.0,
+                                step,
+                                depth,
+                                word,
+                            };
+                            let new = imported.insert(key, bits);
+                            if new != 0 {
+                                stats.exported_states += 1;
+                                let entry = &self.members[global.index()];
+                                pending[entry.home as usize].push((entry.local, step, depth, new));
+                            }
+                        }
+                    }
+                }
+
+                for (i, engine) in engines.iter().enumerate() {
+                    if let Some(engine) = engine {
+                        stats.states_expanded[i] += engine.states_expanded();
+                    }
+                }
+            }
+        }
+
+        for audience in &mut audiences {
+            audience.sort_unstable();
+            // Each (member, bit) pair is reported at most once (the
+            // engine's matched masks persist), so this is a no-op kept
+            // as a guard.
+            audience.dedup();
+        }
+        (audiences, stats)
+    }
+
+    /// Runs one masked fixpoint round: each active shard drains its
+    /// seeded frontier over its pinned snapshot and round-persistent
+    /// mask state — on parallel scoped threads when several shards are
+    /// active and the host has real cores, inline otherwise.
+    fn run_masked_round(
+        &self,
+        round: &[(usize, Vec<MaskedSeedState>)],
+        engines: &mut [Option<SeededBatchState>],
+        snaps: &[Arc<CsrSnapshot>],
+        path: &PathExpr,
+    ) -> Vec<SeededBatchOutcome> {
+        // Pair each active shard with the mutable borrow of its
+        // engine (materialized on first activation); `round` is in
+        // ascending shard order, so one pass over `iter_mut` yields
+        // the disjoint borrows.
+        let mut tasks: Vec<(usize, &Vec<MaskedSeedState>, &mut SeededBatchState)> =
+            Vec::with_capacity(round.len());
+        let mut it = engines.iter_mut().enumerate();
+        for (shard_ix, seeds) in round {
+            let slot = loop {
+                let (i, e) = it.next().expect("every active shard has an engine slot");
+                if i == *shard_ix {
+                    break e;
+                }
+            };
+            let engine = slot.get_or_insert_with(|| {
+                SeededBatchState::new(&self.shards[*shard_ix].graph, &snaps[*shard_ix], path)
+            });
+            tasks.push((*shard_ix, seeds, engine));
+        }
+        let eval = |shard_ix: usize, seeds: &[MaskedSeedState], engine: &mut SeededBatchState| {
+            let shard = &self.shards[shard_ix];
+            online::evaluate_audience_batch_seeded(
+                &shard.graph,
+                &snaps[shard_ix],
+                path,
+                engine,
+                seeds,
+                &shard.ghost,
+            )
+        };
+        static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let cores = *CORES.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        if tasks.len() == 1 || cores == 1 {
+            return tasks
+                .into_iter()
+                .map(|(shard_ix, seeds, engine)| eval(shard_ix, seeds, engine))
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let eval = &eval;
+            let handles: Vec<_> = tasks
+                .into_iter()
+                .map(|(shard_ix, seeds, engine)| scope.spawn(move || eval(shard_ix, seeds, engine)))
                 .collect();
             handles
                 .into_iter()

@@ -1,0 +1,518 @@
+//! Differential property tests for the **batched** sharded read path:
+//! on random graphs × bundle-shaped random policies, the one-fixpoint-
+//! per-bundle masked engine (`ShardedSystem::audience_batch` /
+//! `check_batch`) must agree condition-for-condition with
+//!
+//! 1. the single-graph multi-source batch BFS
+//!    (`online::evaluate_audience_batch`, via the engine's grouped
+//!    batch path),
+//! 2. the per-condition sharded fixpoint
+//!    (`ShardedSystem::audience_batch_per_condition`), and
+//! 3. the reference engine, member-for-member,
+//!
+//! across shard counts {1, 2, 4, 7} — batching, masking and chunking
+//! are implementation details the semantics may never observe. Granted
+//! batched decisions must be witnessable: the stitched walk of the
+//! targeted fixpoint replays through the path automaton.
+
+use proptest::prelude::*;
+use socialreach_core::{
+    online, parse_path, resource_audience, AccessEngine, Decision, Enforcer, OnlineEngine,
+    PathExpr, PolicyStore, ShardedHop, ShardedSystem,
+};
+use socialreach_graph::{NodeId, ShardAssignment, SocialGraph};
+
+const LABELS: [&str; 3] = ["friend", "colleague", "parent"];
+const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 7];
+
+/// A bundle-shaped case: a small pool of path templates, and resources
+/// instantiating them under many owners (the regime the masked batch
+/// fixpoint amortizes).
+#[derive(Clone, Debug)]
+struct Case {
+    graph: SocialGraph,
+    /// Path-template pool (texts).
+    templates: Vec<String>,
+    /// `(owner index, template index)` per resource.
+    resources: Vec<(u32, usize)>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = SocialGraph> {
+    (3..11usize).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0..3usize, 10..60i64), 0..30).prop_map(
+            move |edges| {
+                let mut g = SocialGraph::new();
+                for i in 0..n {
+                    g.add_node(&format!("u{i}"));
+                }
+                for l in LABELS {
+                    g.intern_label(l);
+                }
+                for (i, (s, t, l, age)) in edges.iter().enumerate() {
+                    let label = g.vocab().label(LABELS[*l]).unwrap();
+                    g.add_edge(NodeId(*s), NodeId(*t), label);
+                    let node = NodeId((i as u32 + s + t) % n as u32);
+                    g.set_node_attr(node, "age", *age);
+                }
+                g
+            },
+        )
+    })
+}
+
+fn path_text_strategy() -> impl Strategy<Value = String> {
+    let step = (0..3usize, 0..3usize, 1..3u32, 0..2u32, 0..5usize).prop_map(
+        |(label, dir, lo, extra, shape)| {
+            let dir = ["+", "-", "*"][dir];
+            let hi = lo + extra;
+            let depths = match shape {
+                0 => format!("[{lo}]"),
+                1 => format!("[{lo}..{hi}]"),
+                2 => format!("[{lo},{}]", hi + 2),
+                3 => format!("[{lo}..]"),
+                _ => format!("[{lo}..{hi}]{{age>=30}}"),
+            };
+            format!("{}{}{}", LABELS[label], dir, depths)
+        },
+    );
+    proptest::collection::vec(step, 1..3).prop_map(|steps| steps.join("/"))
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        graph_strategy(),
+        proptest::collection::vec(path_text_strategy(), 1..3),
+        proptest::collection::vec((0..16u32, 0..3usize), 1..9),
+    )
+        .prop_map(|(graph, templates, picks)| {
+            let resources = picks
+                .into_iter()
+                .map(|(owner, t)| (owner, t % templates.len()))
+                .collect();
+            Case {
+                graph,
+                templates,
+                resources,
+            }
+        })
+}
+
+/// Builds the policy store: one single-condition rule per resource,
+/// templates shared across owners, plus one conjunctive two-condition
+/// rule on the first resource when two resources exist.
+fn build_store(g: &mut SocialGraph, case: &Case) -> (PolicyStore, Vec<(NodeId, PathExpr)>) {
+    let n = g.num_nodes() as u32;
+    let mut store = PolicyStore::new();
+    let mut conds = Vec::new();
+    let mut rids = Vec::new();
+    for &(owner_ix, t) in &case.resources {
+        let owner = NodeId(owner_ix % n);
+        let rid = store.register_resource(owner);
+        store
+            .allow(rid, &case.templates[t], g)
+            .expect("generated paths parse");
+        conds.push((
+            owner,
+            parse_path(&case.templates[t], g.vocab_mut()).unwrap(),
+        ));
+        rids.push(rid);
+    }
+    if case.resources.len() >= 2 {
+        let a = conds[0].clone();
+        let b = conds[1].clone();
+        store
+            .add_rule(socialreach_core::AccessRule {
+                resource: rids[0],
+                conditions: vec![
+                    socialreach_core::AccessCondition {
+                        owner: a.0,
+                        path: a.1,
+                    },
+                    socialreach_core::AccessCondition {
+                        owner: b.0,
+                        path: b.1,
+                    },
+                ],
+            })
+            .expect("resource registered");
+    }
+    (store, conds)
+}
+
+/// Validates a stitched witness: a connected walk `owner ⇝ requester`
+/// whose hops are real edges of the reference graph and whose
+/// label/direction/depth sequence is accepted by the path automaton.
+fn assert_witness_valid(
+    g: &SocialGraph,
+    owner: NodeId,
+    requester: NodeId,
+    path: &PathExpr,
+    witness: &[ShardedHop],
+) {
+    let mut at = owner;
+    for hop in witness {
+        let exists = g
+            .edges()
+            .any(|(_, r)| r.src == hop.src && r.dst == hop.dst && r.label == hop.label);
+        assert!(exists, "hop {hop:?} is not an edge of the graph");
+        let (from, to) = if hop.forward {
+            (hop.src, hop.dst)
+        } else {
+            (hop.dst, hop.src)
+        };
+        assert_eq!(from, at, "witness disconnects at {hop:?}");
+        at = to;
+    }
+    assert_eq!(at, requester, "witness does not end at the requester");
+
+    let steps = &path.steps;
+    let sat: Vec<u32> = steps
+        .iter()
+        .map(|s| {
+            let &(lo, hi) = s.depths.intervals().last().expect("non-empty depth set");
+            hi.unwrap_or(lo)
+        })
+        .collect();
+    let completes = |i: usize, d: u32, node: NodeId| {
+        d >= 1
+            && steps[i].depths.contains(d)
+            && steps[i].conds.iter().all(|c| c.eval(g.node_attrs(node)))
+    };
+    let close = |states: &mut Vec<(usize, u32)>, node: NodeId| {
+        let mut k = 0;
+        while k < states.len() {
+            let (i, d) = states[k];
+            if i + 1 < steps.len() && completes(i, d, node) && !states.contains(&(i + 1, 0)) {
+                states.push((i + 1, 0));
+            }
+            k += 1;
+        }
+    };
+    let mut states: Vec<(usize, u32)> = vec![(0, 0)];
+    let mut at = owner;
+    for hop in witness {
+        close(&mut states, at);
+        let (label, forward) = (hop.label, hop.forward);
+        let mut next: Vec<(usize, u32)> = Vec::new();
+        for &(i, d) in &states {
+            let step = &steps[i];
+            if step.label != label {
+                continue;
+            }
+            let dir_ok = match step.dir {
+                socialreach_graph::Direction::Out => forward,
+                socialreach_graph::Direction::In => !forward,
+                socialreach_graph::Direction::Both => true,
+            };
+            if !dir_ok {
+                continue;
+            }
+            if d < sat[i] || step.depths.is_unbounded() {
+                let nd = (d + 1).min(sat[i]);
+                if !next.contains(&(i, nd)) {
+                    next.push((i, nd));
+                }
+            }
+        }
+        states = next;
+        assert!(!states.is_empty(), "witness hop {hop:?} matches no step");
+        at = if forward { hop.dst } else { hop.src };
+    }
+    assert!(
+        states
+            .iter()
+            .any(|&(i, d)| i == steps.len() - 1 && completes(i, d, at)),
+        "witness walk does not complete the path at the requester"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The batched bundle path ≡ the per-condition sharded fixpoint ≡
+    /// the single-graph multi-source batch BFS ≡ the single-graph
+    /// per-resource audience, across shard counts.
+    #[test]
+    fn batched_audiences_match_every_oracle(case in case_strategy()) {
+        let mut g = case.graph.clone();
+        let (store, conds) = build_store(&mut g, &case);
+        let rids: Vec<_> = {
+            let mut r: Vec<_> = store.resources().map(|(rid, _)| rid).collect();
+            r.sort_unstable();
+            r
+        };
+
+        // Single-graph oracles: the multi-source mask BFS over one
+        // snapshot (condition level) and the merged per-resource
+        // audiences.
+        let snap = g.snapshot();
+        let cond_refs: Vec<(NodeId, &PathExpr)> =
+            conds.iter().map(|(o, p)| (*o, p)).collect();
+        let single_conds = OnlineEngine
+            .audience_batch_with_snapshot(&g, &snap, &cond_refs)
+            .unwrap();
+
+        for &shards in &SHARD_COUNTS {
+            let mut sys = ShardedSystem::from_graph(&g, ShardAssignment::hashed(shards, 11));
+            sys.adopt_store(store.clone());
+
+            // Condition-level: masked batched fixpoint ≡ single-graph
+            // mask BFS ≡ reference engine.
+            let (batched_conds, stats) = sys.evaluate_conditions_batched(&cond_refs);
+            for (i, (owner, path)) in conds.iter().enumerate() {
+                prop_assert_eq!(
+                    &batched_conds[i], &single_conds[i].members,
+                    "condition audience: owner={} shards={}", owner, shards
+                );
+                let truth = online::evaluate_reference(&g, *owner, path, None);
+                prop_assert_eq!(
+                    &batched_conds[i], &truth.matched,
+                    "reference audience: owner={} shards={}", owner, shards
+                );
+            }
+            // One fixpoint per (path group, chunk), never per condition.
+            let distinct_paths = {
+                let mut seen: Vec<&PathExpr> = Vec::new();
+                for (_, p) in &cond_refs {
+                    if !seen.contains(p) {
+                        seen.push(p);
+                    }
+                }
+                seen.len()
+            };
+            prop_assert_eq!(
+                stats.fixpoints, distinct_paths,
+                "≤64 conditions per path share one fixpoint (shards={})", shards
+            );
+
+            // Resource-level: batched ≡ per-condition ≡ single merged.
+            let batched = sys.audience_batch(&rids).unwrap();
+            let per_condition = sys.audience_batch_per_condition(&rids).unwrap();
+            prop_assert_eq!(&batched, &per_condition, "shards={}", shards);
+            for (&rid, audience) in rids.iter().zip(&batched) {
+                let solo = resource_audience(&g, &store, rid, &OnlineEngine).unwrap();
+                prop_assert_eq!(
+                    audience, &solo,
+                    "merged audience: rid={:?} shards={}", rid, shards
+                );
+            }
+        }
+    }
+
+    /// Batched decisions ≡ the single-graph enforcer for every
+    /// resource × member, and every batched grant is witnessable by a
+    /// stitched walk the path automaton accepts.
+    #[test]
+    fn batched_checks_match_and_grants_are_witnessable(case in case_strategy()) {
+        let mut g = case.graph.clone();
+        let (store, _) = build_store(&mut g, &case);
+        let enforcer = Enforcer::new(OnlineEngine);
+        let rids: Vec<_> = {
+            let mut r: Vec<_> = store.resources().map(|(rid, _)| rid).collect();
+            r.sort_unstable();
+            r
+        };
+        let requests: Vec<_> = rids
+            .iter()
+            .flat_map(|&rid| g.nodes().map(move |m| (rid, m)))
+            .collect();
+
+        for &shards in &SHARD_COUNTS {
+            let mut sys = ShardedSystem::from_graph(&g, ShardAssignment::hashed(shards, 23));
+            sys.adopt_store(store.clone());
+            let decisions = sys.check_batch(&requests, 2).unwrap();
+            for (&(rid, member), &got) in requests.iter().zip(&decisions) {
+                let truth = enforcer.check_access(&g, &store, rid, member).unwrap();
+                prop_assert_eq!(
+                    got, truth,
+                    "decision: rid={:?} member={} shards={}", rid, member, shards
+                );
+                if got == Decision::Grant && store.owner_of(rid).unwrap() != member {
+                    // Every satisfied condition of some rule must be
+                    // witnessable through the stitched targeted path.
+                    let witnessed = store.rules_for(rid).iter().any(|rule| {
+                        !rule.conditions.is_empty()
+                            && rule.conditions.iter().all(|cond| {
+                                let out =
+                                    sys.evaluate_condition(cond.owner, &cond.path, Some(member));
+                                match &out.witness {
+                                    Some(w) => {
+                                        assert_witness_valid(
+                                            &g, cond.owner, member, &cond.path, w,
+                                        );
+                                        true
+                                    }
+                                    None => false,
+                                }
+                            })
+                    });
+                    prop_assert!(
+                        witnessed,
+                        "grant without witnessable rule: rid={:?} member={} shards={}",
+                        rid, member, shards
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A 64+-condition bundle chunks into multiple mask words; chunking
+/// must be invisible in the answers and cost one extra fixpoint per
+/// word, not one per condition.
+#[test]
+fn wide_bundles_chunk_into_words_without_cross_talk() {
+    // A friend ring of 80 members: every audience is the owner's two
+    // forward neighbors, so per-owner answers differ and any bit
+    // cross-talk between words would misattribute members.
+    let mut g = SocialGraph::new();
+    let n = 80u32;
+    for i in 0..n {
+        g.add_node(&format!("u{i}"));
+    }
+    let friend = g.intern_label("friend");
+    for i in 0..n {
+        g.add_edge(NodeId(i), NodeId((i + 1) % n), friend);
+    }
+    let mut store = PolicyStore::new();
+    let mut rids = Vec::new();
+    for i in 0..70u32 {
+        let rid = store.register_resource(NodeId(i));
+        store.allow(rid, "friend+[1,2]", &mut g).unwrap();
+        rids.push(rid);
+    }
+
+    for shards in [1u32, 3] {
+        let mut sys = ShardedSystem::from_graph(&g, ShardAssignment::hashed(shards, 9));
+        sys.adopt_store(store.clone());
+        let (batched, stats) = sys.audience_batch_with_stats(&rids).unwrap();
+        assert_eq!(
+            stats.fixpoints, 2,
+            "70 conditions of one template = two mask words (shards {shards})"
+        );
+        let per_condition = sys.audience_batch_per_condition(&rids).unwrap();
+        assert_eq!(batched, per_condition, "shards {shards}");
+        for (i, audience) in batched.iter().enumerate() {
+            let owner = i as u32;
+            let expect: Vec<NodeId> = {
+                let mut v = vec![
+                    NodeId(owner),
+                    NodeId((owner + 1) % n),
+                    NodeId((owner + 2) % n),
+                ];
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(audience, &expect, "owner u{owner} shards {shards}");
+        }
+    }
+}
+
+/// Round-linearity regression (the visited-persistence fix): a path
+/// that re-enters one shard's hub region k times expands O(region)
+/// states in total, not O(k · region). The per-condition fixpoint
+/// (fresh visited state per round) re-traverses the hub on every
+/// re-entry; the batched engine's round-persistent masks must not.
+#[test]
+fn pingpong_fixpoint_expands_the_region_once() {
+    const HUB: u32 = 40; // satellites of the shard-0 hub
+    const K: u32 = 12; // shard-0 re-entries
+
+    // Boundary edges replicate into both endpoint shards (against
+    // ghosts), so a walk only forces a new fixpoint round when it
+    // needs two *consecutive intra-shard* edges of the remote shard.
+    // The chain therefore alternates two-member segments:
+    //
+    //   shard 0: a_i → b_i   (intra)    + a_i → c → s_j (the hub)
+    //   shard 1: p_i → q_i   (intra)
+    //   cross:   b_i → p_i,  q_i → a_{i+1},  o → a_1
+    //
+    // Every re-entry lands on a fresh a_i whose hub edge points at the
+    // same c: without round-persistent visited state shard 0 re-walks
+    // the hub (c + HUB satellites) on each of the K re-entries.
+    let mut pins: Vec<(String, u32)> = vec![("o".into(), 1), ("c".into(), 0)];
+    for i in 1..=K {
+        pins.push((format!("a{i}"), 0));
+        pins.push((format!("b{i}"), 0));
+    }
+    for i in 1..K {
+        pins.push((format!("p{i}"), 1));
+        pins.push((format!("q{i}"), 1));
+    }
+    for j in 1..=HUB {
+        pins.push((format!("s{j}"), 0));
+    }
+    let assignment = ShardAssignment::explicit(2, 0, pins);
+    let mut sys = ShardedSystem::with_assignment(assignment);
+    let o = sys.add_user("o");
+    let c = sys.add_user("c");
+    let heads: Vec<NodeId> = (1..=K).map(|i| sys.add_user(&format!("a{i}"))).collect();
+    let tails: Vec<NodeId> = (1..=K).map(|i| sys.add_user(&format!("b{i}"))).collect();
+    let relays: Vec<(NodeId, NodeId)> = (1..K)
+        .map(|i| {
+            (
+                sys.add_user(&format!("p{i}")),
+                sys.add_user(&format!("q{i}")),
+            )
+        })
+        .collect();
+    let sats: Vec<NodeId> = (1..=HUB).map(|j| sys.add_user(&format!("s{j}"))).collect();
+    sys.connect(o, "friend", heads[0]);
+    for i in 0..K as usize {
+        sys.connect(heads[i], "friend", tails[i]);
+        sys.connect(heads[i], "friend", c);
+        if i + 1 < K as usize {
+            let (p, q) = relays[i];
+            sys.connect(tails[i], "friend", p);
+            sys.connect(p, "friend", q);
+            sys.connect(q, "friend", heads[i + 1]);
+        }
+    }
+    for &s in &sats {
+        sys.connect(c, "friend", s);
+    }
+
+    let path = sys.parse("friend+[1..]").unwrap();
+    let conds = [(o, &path)];
+    let (audiences, stats) = sys.evaluate_conditions_batched(&conds);
+
+    // Sanity: everything is reachable from the owner.
+    assert_eq!(audiences[0].len(), sys.num_members() - 1);
+
+    // The fixpoint really ping-pongs: each two-member segment costs a
+    // round on each side of the boundary.
+    assert!(
+        stats.rounds >= 2 * (K as usize - 1),
+        "expected ≥{} rounds, got {}",
+        2 * (K as usize - 1),
+        stats.rounds
+    );
+
+    // Work bound: friend+[1..] saturates at depth 1, so the explored
+    // region is O(members + ghosts) product states regardless of how
+    // many rounds delivered them. Without visited persistence the hub
+    // alone would be re-expanded on each of the K re-entries:
+    // ≥ K · HUB = 480 states.
+    let total: usize = stats.states_expanded.iter().sum();
+    let members = sys.num_members();
+    let region_bound = 4 * members + 8; // 2 layers × (home + ghost copies)
+    assert!(
+        total <= region_bound,
+        "states_expanded {total} exceeds the linear-region bound {region_bound} \
+         (quadratic re-traversal regression; K·HUB re-walking would be ≥{})",
+        K * HUB
+    );
+    assert!(
+        total < (K * HUB) as usize / 2,
+        "states_expanded {total} is not meaningfully below the re-traversal cost {}",
+        K * HUB
+    );
+
+    // Semantics stay equal to the per-condition fixpoint on the same
+    // adversarial topology.
+    let rid = sys.share(o);
+    sys.allow(rid, "friend+[1..]").unwrap();
+    let batched = sys.audience_batch(&[rid]).unwrap();
+    let per_cond = sys.audience_batch_per_condition(&[rid]).unwrap();
+    assert_eq!(batched, per_cond, "semantics agree on the ping-pong graph");
+}

@@ -1,9 +1,11 @@
-//! Concurrency smoke test for the sharded serving layer: reader
+//! Concurrency smoke tests for the sharded serving layer: reader
 //! threads hammer `check_batch` / `audience_batch` through the `&self`
 //! epoch read path while a writer interleaves edge appends and
-//! republications. The test asserts the absence of stale-decision
-//! panics (every read sees a coherent epoch) and that post-publication
-//! reads reflect the appends.
+//! republications. The tests assert the absence of stale-decision
+//! panics (every read sees a coherent epoch), that post-publication
+//! reads reflect the appends, and — for the batched bundle path — that
+//! every batch is **torn-free**: all conditions of one
+//! `audience_batch` call observe a single coherent epoch.
 
 use parking_lot::RwLock;
 use socialreach_core::{Decision, ResourceId, ShardedSystem};
@@ -112,4 +114,117 @@ fn readers_race_a_writer_across_epochs() {
         epochs.iter().any(|&e| e >= 2),
         "appends republished at least one shard epoch: {epochs:?}"
     );
+}
+
+#[test]
+fn batched_readers_observe_coherent_bundles_across_epochs() {
+    // Two resources with *equivalent but distinct* rules — the same
+    // friend chain expressed as an unbounded range and as an explicit
+    // depth list. Distinct `PathExpr`s means the bundle evaluates two
+    // conditions (two masked fixpoints over one set of pinned shard
+    // snapshots); equal audiences within every single batch proves the
+    // bundle was not torn across epochs while the writer grows the
+    // chain.
+    let sys = RwLock::new(ShardedSystem::new(3, 5));
+    let (rid_range, rid_list, mut members) = {
+        let mut s = sys.write();
+        let members: Vec<NodeId> = (0..6).map(|i| s.add_user(&format!("u{i}"))).collect();
+        for w in members.windows(2) {
+            s.connect(w[0], "friend", w[1]);
+        }
+        let rid_range = s.share(members[0]);
+        s.allow(rid_range, "friend+[1..16]").unwrap();
+        let rid_list = s.share(members[0]);
+        s.allow(rid_list, "friend+[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]")
+            .unwrap();
+        (rid_range, rid_list, members)
+    };
+
+    const APPENDS: usize = 8;
+    const READS_PER_THREAD: usize = 30;
+    let reads_done = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let writer_members = &mut members;
+        let sys_ref = &sys;
+        let writer = scope.spawn(move || {
+            for i in 0..APPENDS {
+                let mut s = sys_ref.write();
+                let tail = *writer_members.last().unwrap();
+                let fresh = s.add_user(&format!("w{i}"));
+                s.connect(tail, "friend", fresh);
+                writer_members.push(fresh);
+                drop(s);
+                std::thread::yield_now();
+            }
+        });
+
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reads_done = &reads_done;
+                scope.spawn(move || {
+                    for _ in 0..READS_PER_THREAD {
+                        let s = sys_ref.read();
+                        // The batched bundle: both conditions must see
+                        // one chain state.
+                        let bundle = s.audience_batch(&[rid_range, rid_list]).expect("bundle");
+                        assert_eq!(
+                            bundle[0], bundle[1],
+                            "torn bundle: equivalent conditions diverged within one batch"
+                        );
+                        assert!(bundle[0].contains(&NodeId(0)), "owner always present");
+                        // Batched decisions agree with the audience
+                        // *from the same locked state* (prefix members
+                        // are granted at every epoch).
+                        let requests: Vec<(ResourceId, NodeId)> = (1..6u32)
+                            .flat_map(|i| [(rid_range, NodeId(i)), (rid_list, NodeId(i))])
+                            .collect();
+                        let decisions = s.check_batch(&requests, 2).expect("no stale panics");
+                        for (req, d) in requests.iter().zip(&decisions) {
+                            assert_eq!(
+                                *d,
+                                Decision::Grant,
+                                "chain prefix member {:?} must stay granted",
+                                req.1
+                            );
+                        }
+                        reads_done.fetch_add(1, Ordering::Relaxed);
+                        drop(s);
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+
+        writer.join().expect("writer never panics");
+        for h in handles {
+            h.join().expect("reader never panics");
+        }
+    });
+
+    assert_eq!(reads_done.load(Ordering::Relaxed), 4 * READS_PER_THREAD);
+
+    // Post-publication: the final batch reflects every append on both
+    // equivalent rules, and decisions match audiences exactly.
+    let s = sys.read();
+    let bundle = s.audience_batch(&[rid_range, rid_list]).unwrap();
+    assert_eq!(bundle[0], bundle[1]);
+    assert_eq!(
+        bundle[0].len(),
+        (6 + APPENDS).min(17),
+        "friend+[1..16] reaches 16 hops plus the owner"
+    );
+    for &m in &members {
+        let granted = bundle[0].binary_search(&m).is_ok();
+        let d = s.check(rid_range, m).unwrap();
+        assert_eq!(
+            d,
+            if granted || m == NodeId(0) {
+                Decision::Grant
+            } else {
+                Decision::Deny
+            },
+            "decision/audience divergence at {m:?}"
+        );
+    }
 }

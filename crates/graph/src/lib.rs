@@ -70,5 +70,7 @@ pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use graph::{Direction, EdgeRecord, SocialGraph};
 pub use ids::{AttrKey, EdgeId, LabelId, NodeId};
-pub use shard::{BoundaryEdge, BoundaryTable, ShardAssignment};
+pub use shard::{
+    BoundaryEdge, BoundaryTable, MaskedExport, MaskedExportSet, MaskedStateKey, ShardAssignment,
+};
 pub use vocab::Vocabulary;

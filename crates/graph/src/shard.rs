@@ -17,6 +17,17 @@
 //!   each boundary edge into both endpoint shards (attached to a ghost
 //!   copy of the remote endpoint) and uses this table for
 //!   introspection, rebalancing decisions and audits.
+//! * [`MaskedStateKey`] / [`MaskedExportSet`] — the vocabulary of
+//!   **masked** boundary exports. The batched serving path evaluates a
+//!   whole bundle of access conditions in one cross-shard fixpoint:
+//!   every product state a shard exports carries a bitmask of the
+//!   bundle conditions that reached it, and the router forwards only
+//!   bits it has not forwarded before. Bundles wider than 64
+//!   conditions split into multiple mask **words**; the word index is
+//!   part of the key, so one export set serves an arbitrarily wide
+//!   bundle without cross-talk between words. [`MaskedExport`] is the
+//!   serialization-friendly wire entry (the unit a future
+//!   distributed-transport shard protocol would batch onto sockets).
 
 use crate::ids::LabelId;
 use serde::{Deserialize, Serialize};
@@ -190,6 +201,102 @@ impl BoundaryTable {
     }
 }
 
+/// A cross-shard product-state coordinate of a **masked** boundary
+/// export: the global member, the path-automaton position
+/// `(step, depth)` (depth already saturated, so the coordinate is
+/// canonical across independently built shards), and the mask **word**
+/// the accompanying bitmask belongs to. Bundles wider than 64
+/// conditions are evaluated in 64-condition chunks; each chunk owns a
+/// word, and keeping the word in the key lets one export set cover the
+/// whole bundle with no cross-talk between chunks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MaskedStateKey {
+    /// Global id of the member the state sits at.
+    pub member: u32,
+    /// Path step index.
+    pub step: u16,
+    /// Depth within the step, capped at the step's saturation point.
+    pub depth: u32,
+    /// Mask word index (condition `i` of a bundle lives in word
+    /// `i / 64`, bit `i % 64`).
+    pub word: u32,
+}
+
+/// One masked boundary export on the wire: the state key plus the
+/// condition bits being forwarded. This is the unit a distributed
+/// transport would batch between shard processes, so it round-trips
+/// through serde.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaskedExport {
+    /// The product-state coordinate.
+    pub key: MaskedStateKey,
+    /// Condition bits (within `key.word`) that reached the state.
+    pub mask: u64,
+}
+
+/// The router's record of which condition bits have already been
+/// forwarded to a member's home shard, per masked state key. Bits only
+/// ever accumulate, so the cross-shard fixpoint terminates after at
+/// most `states × words × 64` insertions of new bits.
+#[derive(Clone, Debug, Default)]
+pub struct MaskedExportSet {
+    masks: HashMap<MaskedStateKey, u64>,
+}
+
+impl MaskedExportSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `mask` bits for `key` and returns the bits that were
+    /// **new** (never recorded for this key before) — exactly the bits
+    /// the router still needs to forward. Returns `0` when every bit
+    /// was already known.
+    pub fn insert(&mut self, key: MaskedStateKey, mask: u64) -> u64 {
+        let slot = self.masks.entry(key).or_insert(0);
+        let new = mask & !*slot;
+        *slot |= new;
+        new
+    }
+
+    /// The bits recorded for `key` so far.
+    pub fn mask(&self, key: &MaskedStateKey) -> u64 {
+        self.masks.get(key).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct state keys recorded.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// The recorded `(key, mask)` pairs as serialization-friendly wire
+    /// entries, sorted by key for determinism.
+    pub fn to_entries(&self) -> Vec<MaskedExport> {
+        let mut entries: Vec<MaskedExport> = self
+            .masks
+            .iter()
+            .map(|(&key, &mask)| MaskedExport { key, mask })
+            .collect();
+        entries.sort_unstable_by_key(|e| (e.key.member, e.key.step, e.key.depth, e.key.word));
+        entries
+    }
+
+    /// Rebuilds a set from wire entries (bits of duplicate keys union).
+    pub fn from_entries(entries: &[MaskedExport]) -> Self {
+        let mut set = Self::new();
+        for e in entries {
+            set.insert(e.key, e.mask);
+        }
+        set
+    }
+}
+
 /// Per-shard member census of an assignment over a name universe —
 /// handy for balance checks and the workload generators.
 pub fn shard_census<'a>(
@@ -349,6 +456,81 @@ mod tests {
             for &m in members {
                 assert_eq!(a.shard_of(&names[m as usize]), s as u32);
             }
+        }
+    }
+
+    #[test]
+    fn masked_export_set_reports_only_new_bits() {
+        let mut set = MaskedExportSet::new();
+        let key = MaskedStateKey {
+            member: 7,
+            step: 1,
+            depth: 2,
+            word: 0,
+        };
+        assert_eq!(set.insert(key, 0b1011), 0b1011, "first arrival is all new");
+        assert_eq!(set.insert(key, 0b1110), 0b0100, "only the unseen bit");
+        assert_eq!(
+            set.insert(key, 0b1111),
+            0,
+            "fully known mask forwards nothing"
+        );
+        assert_eq!(set.mask(&key), 0b1111);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn masked_export_words_do_not_cross_talk() {
+        // A 64+-condition bundle splits into words; the same (member,
+        // step, depth) coordinate must track each word independently.
+        let mut set = MaskedExportSet::new();
+        let coord = |word| MaskedStateKey {
+            member: 3,
+            step: 0,
+            depth: 1,
+            word,
+        };
+        assert_eq!(set.insert(coord(0), 0b01), 0b01);
+        assert_eq!(
+            set.insert(coord(1), 0b01),
+            0b01,
+            "bit 0 of word 1 is condition 64, distinct from condition 0"
+        );
+        assert_eq!(set.insert(coord(0), 0b11), 0b10);
+        assert_eq!(set.mask(&coord(0)), 0b11);
+        assert_eq!(set.mask(&coord(1)), 0b01);
+        assert_eq!(set.len(), 2, "one entry per word");
+    }
+
+    #[test]
+    fn masked_exports_round_trip_through_serde() {
+        let mut set = MaskedExportSet::new();
+        set.insert(
+            MaskedStateKey {
+                member: 1,
+                step: 0,
+                depth: 1,
+                word: 0,
+            },
+            0xdead_beef,
+        );
+        set.insert(
+            MaskedStateKey {
+                member: 9,
+                step: 2,
+                depth: 0,
+                word: 3,
+            },
+            u64::MAX,
+        );
+        let entries = set.to_entries();
+        let json = serde_json::to_string(&entries).expect("exports serialize");
+        let back: Vec<MaskedExport> = serde_json::from_str(&json).expect("exports parse");
+        assert_eq!(back, entries);
+        let rebuilt = MaskedExportSet::from_entries(&back);
+        assert_eq!(rebuilt.to_entries(), entries);
+        for e in &entries {
+            assert_eq!(rebuilt.mask(&e.key), e.mask);
         }
     }
 

@@ -14,6 +14,7 @@ use crate::policies::{random_path_text, PolicyWorkloadConfig};
 use rand::rngs::StdRng;
 use rand::Rng;
 use socialreach_core::{parse_path, AccessCondition, AccessRule, PolicyStore, ResourceId};
+use socialreach_graph::shard::{members_by_shard, ShardAssignment};
 use socialreach_graph::NodeId;
 use socialreach_graph::SocialGraph;
 
@@ -83,6 +84,87 @@ pub fn generate_audience_bundles(
     bundles
 }
 
+/// Knobs of the **cross-shard** bundle generator.
+#[derive(Clone, Debug)]
+pub struct CrossShardBundleConfig {
+    /// Number of bundles to generate.
+    pub bundles: usize,
+    /// Resources per bundle.
+    pub resources_per_bundle: usize,
+    /// Distinct path templates shared within one bundle (smaller means
+    /// more conditions per masked fixpoint).
+    pub templates_per_bundle: usize,
+    /// Shape of the random path templates.
+    pub paths: PolicyWorkloadConfig,
+}
+
+impl Default for CrossShardBundleConfig {
+    fn default() -> Self {
+        CrossShardBundleConfig {
+            bundles: 4,
+            resources_per_bundle: 32,
+            templates_per_bundle: 2,
+            paths: PolicyWorkloadConfig::default(),
+        }
+    }
+}
+
+/// [`generate_audience_bundles`] specialized to the sharded serving
+/// layer's worst case: every bundle's owners are drawn **round-robin
+/// across the shards** of `assignment`, so a bundle's conditions seed
+/// every shard at once and the cross-shard fixpoint fans out maximally
+/// from round 0. Combined with a high-crossing
+/// [`crate::CrossShardTopology`] graph this is the regime the masked
+/// batch engine (one fixpoint per bundle, round-persistent shard
+/// state) is built for — and the regime where per-condition fixpoints
+/// pay `O(conditions × rounds)` shard passes.
+///
+/// Returns the bundles as resource-id groups, ready for
+/// `audience_batch`.
+pub fn generate_cross_shard_bundles(
+    g: &mut SocialGraph,
+    store: &mut PolicyStore,
+    assignment: &ShardAssignment,
+    cfg: &CrossShardBundleConfig,
+    rng: &mut StdRng,
+) -> Vec<Vec<ResourceId>> {
+    assert!(g.num_nodes() > 0, "cannot own resources in an empty graph");
+    assert!(cfg.templates_per_bundle > 0, "bundles need path templates");
+    let names: Vec<String> = g.nodes().map(|v| g.node_name(v).to_owned()).collect();
+    let by_shard: Vec<Vec<u32>> = members_by_shard(assignment, &names)
+        .into_iter()
+        .filter(|members| !members.is_empty())
+        .collect();
+    let mut shard_cursor = 0usize;
+    let mut bundles = Vec::with_capacity(cfg.bundles);
+    for _ in 0..cfg.bundles {
+        let templates: Vec<_> = (0..cfg.templates_per_bundle)
+            .map(|_| {
+                let text = random_path_text(g, &cfg.paths, rng);
+                parse_path(&text, g.vocab_mut())
+                    .unwrap_or_else(|e| panic!("generator produced invalid path {text:?}: {e}"))
+            })
+            .collect();
+        let mut bundle = Vec::with_capacity(cfg.resources_per_bundle);
+        for _ in 0..cfg.resources_per_bundle {
+            let members = &by_shard[shard_cursor % by_shard.len()];
+            shard_cursor += 1;
+            let owner = NodeId(members[rng.gen_range(0..members.len())]);
+            let rid = store.register_resource(owner);
+            let path = templates[rng.gen_range(0..templates.len())].clone();
+            store
+                .add_rule(AccessRule {
+                    resource: rid,
+                    conditions: vec![AccessCondition { owner, path }],
+                })
+                .expect("resource registered above");
+            bundle.push(rid);
+        }
+        bundles.push(bundle);
+    }
+    bundles
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +201,65 @@ mod tests {
             assert!(paths.len() <= 2, "templates leaked: {}", paths.len());
         }
         assert_eq!(store.num_resources(), 60);
+    }
+
+    #[test]
+    fn cross_shard_bundles_fan_owners_across_every_shard() {
+        let mut g = GraphSpec::ba_osn(120, 5).build();
+        let names: Vec<String> = g.nodes().map(|v| g.node_name(v).to_owned()).collect();
+        let assignment = ShardAssignment::hashed(4, 7);
+        let mut store = PolicyStore::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let cfg = CrossShardBundleConfig {
+            bundles: 2,
+            resources_per_bundle: 24,
+            templates_per_bundle: 2,
+            ..CrossShardBundleConfig::default()
+        };
+        let bundles = generate_cross_shard_bundles(&mut g, &mut store, &assignment, &cfg, &mut rng);
+        assert_eq!(bundles.len(), 2);
+        for bundle in &bundles {
+            assert_eq!(bundle.len(), 24);
+            // Round-robin owner placement touches every shard.
+            let mut shards_hit = std::collections::HashSet::new();
+            for &rid in bundle {
+                let owner = store.owner_of(rid).unwrap();
+                shards_hit.insert(assignment.shard_of(&names[owner.index()]));
+            }
+            assert_eq!(shards_hit.len(), 4, "owners fan out across all shards");
+            // Templates stay shared within the bundle.
+            let mut paths = Vec::new();
+            for &rid in bundle {
+                for rule in store.rules_for(rid) {
+                    for cond in &rule.conditions {
+                        if !paths.contains(&&cond.path) {
+                            paths.push(&cond.path);
+                        }
+                    }
+                }
+            }
+            assert!(paths.len() <= 2, "templates leaked: {}", paths.len());
+        }
+    }
+
+    #[test]
+    fn cross_shard_bundle_generation_is_deterministic() {
+        let build = || {
+            let mut g = GraphSpec::ba_osn(60, 3).build();
+            let mut store = PolicyStore::new();
+            let mut rng = StdRng::seed_from_u64(21);
+            let assignment = ShardAssignment::hashed(3, 5);
+            let cfg = CrossShardBundleConfig::default();
+            let bundles =
+                generate_cross_shard_bundles(&mut g, &mut store, &assignment, &cfg, &mut rng);
+            let owners: Vec<_> = bundles
+                .iter()
+                .flatten()
+                .map(|&rid| store.owner_of(rid).unwrap())
+                .collect();
+            (bundles, owners)
+        };
+        assert_eq!(build(), build());
     }
 
     #[test]

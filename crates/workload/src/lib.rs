@@ -39,7 +39,10 @@ pub mod spec;
 pub mod stats;
 pub mod topology;
 
-pub use bundles::{generate_audience_bundles, AudienceBundleConfig};
+pub use bundles::{
+    generate_audience_bundles, generate_cross_shard_bundles, AudienceBundleConfig,
+    CrossShardBundleConfig,
+};
 pub use io::{read_edge_list, write_edge_list, EdgeListError};
 pub use policies::{generate_policies, random_path_text, PolicyWorkloadConfig};
 pub use requests::{requests_with_grant_rate, uniform_requests, Request};

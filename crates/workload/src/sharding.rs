@@ -15,6 +15,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use socialreach_graph::shard::{members_by_shard, ShardAssignment};
+use socialreach_graph::{NodeId, SocialGraph};
 use std::collections::HashSet;
 
 /// A tie generator with a controlled cross-shard fraction under a
@@ -117,6 +118,43 @@ impl CrossShardTopology {
         out
     }
 
+    /// Builds a labeled [`SocialGraph`] over the controlled tie list:
+    /// ties are oriented uniformly, labeled with the friend-heavy OSN
+    /// mix (`friend` 70% / `colleague` 20% / `parent` 10%) and half of
+    /// them reciprocated — mirroring [`crate::spec::GraphSpec::build`]
+    /// over this generator's placement-aware ties. Deterministic per
+    /// RNG state; the benches (P11/P12) and the batch-amortization
+    /// workloads share this shape.
+    pub fn build_graph(&self, rng: &mut StdRng) -> SocialGraph {
+        let ties = self.generate(rng);
+        let mut graph = SocialGraph::new();
+        for name in self.member_names() {
+            graph.add_node(&name);
+        }
+        let labels = [
+            (graph.intern_label("friend"), 0.70),
+            (graph.intern_label("colleague"), 0.20),
+            (graph.intern_label("parent"), 0.10),
+        ];
+        for (a, b) in ties {
+            let (src, dst) = if rng.gen_bool(0.5) { (a, b) } else { (b, a) };
+            let mut pick = rng.gen_range(0.0..1.0);
+            let mut chosen = labels[0].0;
+            for &(l, w) in &labels {
+                if pick < w {
+                    chosen = l;
+                    break;
+                }
+                pick -= w;
+            }
+            graph.add_edge(NodeId(src), NodeId(dst), chosen);
+            if rng.gen_bool(0.5) {
+                graph.add_edge(NodeId(dst), NodeId(src), chosen);
+            }
+        }
+        graph
+    }
+
     /// Fraction of `ties` crossing shard boundaries under this
     /// generator's placement.
     pub fn crossing_rate(&self, ties: &[(u32, u32)]) -> f64 {
@@ -183,6 +221,21 @@ mod tests {
                 "requested {want}, realized {got}"
             );
         }
+    }
+
+    #[test]
+    fn build_graph_is_deterministic_and_covers_every_member() {
+        let t = topo(4, 0.6);
+        let a = t.build_graph(&mut StdRng::seed_from_u64(8));
+        let b = t.build_graph(&mut StdRng::seed_from_u64(8));
+        assert_eq!(a.num_nodes(), 300);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert!(a.num_edges() >= 900, "ties oriented, half reciprocated");
+        let edges_a: Vec<_> = a.edges().map(|(_, r)| (r.src, r.dst, r.label)).collect();
+        let edges_b: Vec<_> = b.edges().map(|(_, r)| (r.src, r.dst, r.label)).collect();
+        assert_eq!(edges_a, edges_b);
+        assert!(a.vocab().label("friend").is_some());
     }
 
     #[test]
