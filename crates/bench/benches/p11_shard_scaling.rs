@@ -14,8 +14,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use socialreach_bench::p11::{
-    assert_sharded_matches_single, build_sharded, build_single, case, run_sharded_audiences,
-    run_single_audiences,
+    assert_sharded_matches_single, build_sharded, build_single, case, run_audiences,
 };
 use socialreach_bench::quick_mode;
 
@@ -29,16 +28,16 @@ fn bench(c: &mut Criterion) {
         let case = case(nodes, shards, 0.5, 60);
         let single = build_single(&case);
         let sharded = build_sharded(&case);
-        assert_sharded_matches_single(&case, &single, &sharded);
+        assert_sharded_matches_single(&case, single.reads(), sharded.reads());
         group.bench_with_input(
             BenchmarkId::new("audience-single", &case.name),
             &(),
-            |b, _| b.iter(|| run_single_audiences(&case, &single)),
+            |b, _| b.iter(|| run_audiences(&case, single.reads())),
         );
         group.bench_with_input(
             BenchmarkId::new("audience-sharded", &case.name),
             &(),
-            |b, _| b.iter(|| run_sharded_audiences(&case, &sharded)),
+            |b, _| b.iter(|| run_audiences(&case, sharded.reads())),
         );
     }
     group.finish();

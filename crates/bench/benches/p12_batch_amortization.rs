@@ -30,16 +30,17 @@ fn bench(c: &mut Criterion) {
         let case = case(nodes, shards, 0.7, 2);
         let single = build_single(&case);
         let sharded = build_sharded(&case);
-        assert_batched_matches_oracles(&case, &single, &sharded);
+        let sharded_sys = sharded.as_sharded().expect("sharded deployment");
+        assert_batched_matches_oracles(&case, single.reads(), sharded_sys);
         group.bench_with_input(
             BenchmarkId::new("bundle-batched", &case.name),
             &(),
-            |b, _| b.iter(|| run_batched(&case, &sharded)),
+            |b, _| b.iter(|| run_batched(&case, sharded.reads())),
         );
         group.bench_with_input(
             BenchmarkId::new("bundle-per-condition", &case.name),
             &(),
-            |b, _| b.iter(|| run_per_condition(&case, &sharded)),
+            |b, _| b.iter(|| run_per_condition(&case, sharded_sys)),
         );
     }
     group.finish();

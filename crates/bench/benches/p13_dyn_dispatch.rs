@@ -1,0 +1,43 @@
+//! P13 — the service seam under criterion: batch reads through
+//! `&dyn AccessService` (virtual dispatch) vs statically dispatched
+//! trait calls on the concrete backend.
+//!
+//! Expected shape: indistinguishable. A batch read makes one virtual
+//! call and then traverses for micro- to milliseconds, so the vtable
+//! hop is noise — which is exactly why every caller (CLI, examples,
+//! harnesses) can afford to hold the trait object.
+//!
+//! `cargo run --release -p socialreach-bench --bin p13-snapshot`
+//! records the same comparison as `BENCH_p13.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialreach_bench::p13::{
+    assert_call_parity, backends, case, run_audiences_dyn, run_audiences_static,
+};
+use socialreach_bench::quick_mode;
+use socialreach_core::ServiceInstance;
+
+fn bench(c: &mut Criterion) {
+    let nodes = if quick_mode() { 120 } else { 600 };
+    let case = case(nodes, 60);
+    let mut group = c.benchmark_group("p13_dyn_dispatch");
+    group.sample_size(10);
+
+    for svc in backends(&case) {
+        assert_call_parity(&case, &svc);
+        let name = svc.reads().describe();
+        group.bench_with_input(BenchmarkId::new("audience-static", &name), &(), |b, _| {
+            b.iter(|| match &svc {
+                ServiceInstance::Single(sys) => run_audiences_static(&case, sys),
+                ServiceInstance::Sharded(sys) => run_audiences_static(&case, sys),
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("audience-dyn", &name), &(), |b, _| {
+            b.iter(|| run_audiences_dyn(&case, svc.reads()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

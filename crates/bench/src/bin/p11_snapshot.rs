@@ -11,8 +11,7 @@
 
 use serde::Value;
 use socialreach_bench::p11::{
-    assert_sharded_matches_single, build_sharded, build_single, case, run_sharded_audiences,
-    run_sharded_checks, run_single_audiences, run_single_checks,
+    assert_sharded_matches_single, build_sharded, build_single, case, run_audiences, run_checks,
 };
 use socialreach_bench::{quick_mode, time_avg, time_once, Table};
 
@@ -58,17 +57,18 @@ fn main() {
             let case = case(nodes, shards, cross, num_requests);
             let single = build_single(&case);
             let sharded = build_sharded(&case);
-            assert_sharded_matches_single(&case, &single, &sharded);
+            assert_sharded_matches_single(&case, single.reads(), sharded.reads());
+            let sharded_sys = sharded.as_sharded().expect("sharded deployment");
 
             // 1. Partition census.
-            let stats = sharded.shard_stats();
+            let stats = sharded_sys.shard_stats();
             let ghosts: usize = stats.iter().map(|s| s.ghosts).sum();
             let balance: Vec<String> = stats.iter().map(|s| s.members.to_string()).collect();
             census_table.row(vec![
                 case.name.clone(),
                 case.graph.num_nodes().to_string(),
                 case.graph.num_edges().to_string(),
-                sharded.boundary().len().to_string(),
+                sharded_sys.boundary().len().to_string(),
                 ghosts.to_string(),
                 balance.join("/"),
             ]);
@@ -80,7 +80,7 @@ fn main() {
                 ("edges".into(), Value::Int(case.graph.num_edges() as i64)),
                 (
                     "boundary_edges".into(),
-                    Value::Int(sharded.boundary().len() as i64),
+                    Value::Int(sharded_sys.boundary().len() as i64),
                 ),
                 ("ghosts".into(), Value::Int(ghosts as i64)),
             ]));
@@ -88,9 +88,9 @@ fn main() {
             // 2. Cold decision batches (fresh systems so the decision
             //    caches cannot flatter either side).
             let cold_single = build_single(&case);
-            let (_, single_cold) = time_once(|| run_single_checks(&case, &cold_single, threads));
+            let (_, single_cold) = time_once(|| run_checks(&case, cold_single.reads(), threads));
             let cold_sharded = build_sharded(&case);
-            let (_, sharded_cold) = time_once(|| run_sharded_checks(&case, &cold_sharded, threads));
+            let (_, sharded_cold) = time_once(|| run_checks(&case, cold_sharded.reads(), threads));
             let (s_ms, sh_ms) = (
                 single_cold.as_secs_f64() * 1e3,
                 sharded_cold.as_secs_f64() * 1e3,
@@ -114,8 +114,8 @@ fn main() {
             ]));
 
             // 3. Audience bundles (uncached on both sides; averaged).
-            let single_aud = time_avg(reps, || run_single_audiences(&case, &single));
-            let sharded_aud = time_avg(reps, || run_sharded_audiences(&case, &sharded));
+            let single_aud = time_avg(reps, || run_audiences(&case, single.reads()));
+            let sharded_aud = time_avg(reps, || run_audiences(&case, sharded.reads()));
             let (s_ms, sh_ms) = (
                 single_aud.as_secs_f64() * 1e3,
                 sharded_aud.as_secs_f64() * 1e3,

@@ -13,7 +13,7 @@
 use serde::Value;
 use socialreach_bench::p12::{
     assert_batched_matches_oracles, build_sharded, build_single, bundle_work_census, case,
-    run_batched, run_per_condition, run_single,
+    run_batched, run_per_condition,
 };
 use socialreach_bench::{quick_mode, time_avg, Table};
 
@@ -62,20 +62,21 @@ fn main() {
             let case = case(nodes, shards, cross, bundles);
             let single = build_single(&case);
             let sharded = build_sharded(&case);
-            assert_batched_matches_oracles(&case, &single, &sharded);
+            let sharded_sys = sharded.as_sharded().expect("sharded deployment");
+            assert_batched_matches_oracles(&case, single.reads(), sharded_sys);
 
             let conditions: usize = case.bundles.iter().map(Vec::len).sum();
 
             // 1. Fixpoint work census: the collapse from
-            //    O(conditions × rounds) shard passes to O(rounds).
-            let work = bundle_work_census(&case, &sharded);
-            let expanded: usize = work.states_expanded.iter().sum();
+            //    O(conditions × rounds) shard passes to O(rounds),
+            //    through the uniform ReadStats every backend reports.
+            let work = bundle_work_census(&case, sharded.reads());
             census_table.row(vec![
                 case.name.clone(),
                 conditions.to_string(),
-                work.fixpoints.to_string(),
+                work.traversals.to_string(),
                 work.rounds.to_string(),
-                expanded.to_string(),
+                work.states_expanded.to_string(),
                 work.exported_states.to_string(),
             ]);
             census_rows.push(Value::Map(vec![
@@ -83,9 +84,12 @@ fn main() {
                 ("shards".into(), Value::Int(shards as i64)),
                 ("cross_fraction".into(), Value::Float(cross)),
                 ("conditions".into(), Value::Int(conditions as i64)),
-                ("fixpoints".into(), Value::Int(work.fixpoints as i64)),
+                ("fixpoints".into(), Value::Int(work.traversals as i64)),
                 ("rounds".into(), Value::Int(work.rounds as i64)),
-                ("states_expanded".into(), Value::Int(expanded as i64)),
+                (
+                    "states_expanded".into(),
+                    Value::Int(work.states_expanded as i64),
+                ),
                 (
                     "masked_exports".into(),
                     Value::Int(work.exported_states as i64),
@@ -93,9 +97,9 @@ fn main() {
             ]));
 
             // 2. Bundle timings: batched vs per-condition vs single.
-            let batched = time_avg(reps, || run_batched(&case, &sharded));
-            let per_cond = time_avg(reps, || run_per_condition(&case, &sharded));
-            let single_t = time_avg(reps, || run_single(&case, &single));
+            let batched = time_avg(reps, || run_batched(&case, sharded.reads()));
+            let per_cond = time_avg(reps, || run_per_condition(&case, sharded_sys));
+            let single_t = time_avg(reps, || run_batched(&case, single.reads()));
             let (b_ms, p_ms, s_ms) = (
                 batched.as_secs_f64() * 1e3,
                 per_cond.as_secs_f64() * 1e3,

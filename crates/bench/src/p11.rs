@@ -32,7 +32,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use socialreach_core::{
-    AccessControlSystem, Decision, EngineChoice, PolicyStore, ResourceId, ShardedSystem,
+    AccessService, Decision, Deployment, PolicyStore, ResourceId, ServiceInstance,
 };
 use socialreach_graph::{NodeId, ShardAssignment, SocialGraph};
 use socialreach_workload::{generate_policies, CrossShardTopology, PolicyWorkloadConfig};
@@ -134,51 +134,27 @@ pub fn case(nodes: usize, shards: u32, cross_fraction: f64, num_requests: usize)
     }
 }
 
-/// A fresh single-graph system over the case (decision cache cold).
-pub fn build_single(case: &P11Case) -> AccessControlSystem {
-    let mut sys = AccessControlSystem::new(EngineChoice::Online);
-    for v in case.graph.nodes() {
-        sys.add_user(case.graph.node_name(v));
-    }
-    for (_, rec) in case.graph.edges() {
-        sys.connect(rec.src, case.graph.vocab().label_name(rec.label), rec.dst);
-    }
-    // Adopt the already-generated policies by replaying them (the path
-    // texts round-trip through the system's vocabulary).
-    replay_store(case, |rid, owner| {
-        let got = sys.share(owner);
-        debug_assert_eq!(got, rid);
-    });
-    for rule in case.rids.iter().flat_map(|&r| case.store.rules_for(r)) {
-        for cond in &rule.conditions {
-            let text = cond.path.to_text(case.graph.vocab());
-            sys.allow(rule.resource, &text).expect("paths round-trip");
-        }
-    }
-    sys
+/// A fresh single-graph deployment over the case (decision cache
+/// cold). The generated store is adopted verbatim —
+/// [`Deployment::from_graph`] replaced the per-backend replay
+/// plumbing this module used to carry.
+pub fn build_single(case: &P11Case) -> ServiceInstance {
+    Deployment::online().from_graph(&case.graph, case.store.clone())
 }
 
-/// A fresh sharded system over the case (decision cache cold).
-pub fn build_sharded(case: &P11Case) -> ShardedSystem {
-    let mut sys = ShardedSystem::from_graph(&case.graph, case.assignment.clone());
-    sys.adopt_store(case.store.clone());
-    sys
+/// A fresh sharded deployment over the case (decision cache cold).
+pub fn build_sharded(case: &P11Case) -> ServiceInstance {
+    Deployment::sharded_with(case.assignment.clone()).from_graph(&case.graph, case.store.clone())
 }
 
-fn replay_store(case: &P11Case, mut register: impl FnMut(ResourceId, NodeId)) {
-    let mut owned: Vec<(ResourceId, NodeId)> = case.store.resources().collect();
-    owned.sort_unstable();
-    for (rid, owner) in owned {
-        register(rid, owner);
-    }
-}
-
-/// Asserts the sharded system agrees with the single system on every
-/// measured request and audience (run once before timing).
+/// Asserts two deployments agree on every measured request and
+/// audience (run once before timing). Generic over the backends: any
+/// pair of [`AccessService`] implementations can be pinned to each
+/// other.
 pub fn assert_sharded_matches_single(
     case: &P11Case,
-    single: &AccessControlSystem,
-    sharded: &ShardedSystem,
+    single: &dyn AccessService,
+    sharded: &dyn AccessService,
 ) {
     let singles: Vec<Decision> = case
         .requests
@@ -202,33 +178,17 @@ pub fn assert_sharded_matches_single(
     );
 }
 
-/// One cold pass of the decision stream through the single system.
-pub fn run_single_checks(case: &P11Case, sys: &AccessControlSystem, threads: usize) {
-    let decisions = sys
+/// One cold pass of the decision stream through any deployment.
+pub fn run_checks(case: &P11Case, svc: &dyn AccessService, threads: usize) {
+    let decisions = svc
         .check_batch(&case.requests, threads)
         .expect("resources registered");
     std::hint::black_box(decisions.len());
 }
 
-/// One cold pass of the decision stream through the sharded system.
-pub fn run_sharded_checks(case: &P11Case, sys: &ShardedSystem, threads: usize) {
-    let decisions = sys
-        .check_batch(&case.requests, threads)
-        .expect("resources registered");
-    std::hint::black_box(decisions.len());
-}
-
-/// One audience-bundle pass through the single system.
-pub fn run_single_audiences(case: &P11Case, sys: &AccessControlSystem) {
-    let audiences = sys
-        .audience_batch(&case.rids)
-        .expect("resources registered");
-    std::hint::black_box(audiences.len());
-}
-
-/// One audience-bundle pass through the sharded system.
-pub fn run_sharded_audiences(case: &P11Case, sys: &ShardedSystem) {
-    let audiences = sys
+/// One audience-bundle pass through any deployment.
+pub fn run_audiences(case: &P11Case, svc: &dyn AccessService) {
+    let audiences = svc
         .audience_batch(&case.rids)
         .expect("resources registered");
     std::hint::black_box(audiences.len());

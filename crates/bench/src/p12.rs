@@ -22,7 +22,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socialreach_core::{
-    AccessControlSystem, BundleFixpointStats, EngineChoice, PolicyStore, ResourceId, ShardedSystem,
+    AccessService, Deployment, PolicyStore, ReadStats, ResourceId, ServiceInstance, ShardedSystem,
 };
 use socialreach_graph::{ShardAssignment, SocialGraph};
 use socialreach_workload::{
@@ -88,57 +88,31 @@ pub fn case(nodes: usize, shards: u32, cross_fraction: f64, bundles: usize) -> P
     }
 }
 
-/// A fresh sharded system over the case.
-pub fn build_sharded(case: &P12Case) -> ShardedSystem {
-    let mut sys = ShardedSystem::from_graph(&case.graph, case.assignment.clone());
-    sys.adopt_store(case.store.clone());
-    sys
+/// A fresh sharded deployment over the case.
+pub fn build_sharded(case: &P12Case) -> ServiceInstance {
+    Deployment::sharded_with(case.assignment.clone()).from_graph(&case.graph, case.store.clone())
 }
 
-/// A fresh single-graph system over the case.
-pub fn build_single(case: &P12Case) -> AccessControlSystem {
-    let mut sys = AccessControlSystem::new(EngineChoice::Online);
-    for v in case.graph.nodes() {
-        sys.add_user(case.graph.node_name(v));
-    }
-    for (_, rec) in case.graph.edges() {
-        sys.connect(rec.src, case.graph.vocab().label_name(rec.label), rec.dst);
-    }
-    let mut owned: Vec<(ResourceId, socialreach_graph::NodeId)> = case.store.resources().collect();
-    owned.sort_unstable();
-    for (rid, owner) in owned {
-        let got = sys.share(owner);
-        debug_assert_eq!(got, rid);
-    }
-    for bundle in &case.bundles {
-        for rule in bundle.iter().flat_map(|&r| case.store.rules_for(r)) {
-            // `allow` appends one single-condition rule per call, so a
-            // conjunctive rule would silently become disjunctive here;
-            // the bundle generator only emits single-condition rules,
-            // and this guard keeps the oracle honest if that changes.
-            assert_eq!(
-                rule.conditions.len(),
-                1,
-                "P12's single-graph oracle replays single-condition rules only"
-            );
-            for cond in &rule.conditions {
-                let text = cond.path.to_text(case.graph.vocab());
-                sys.allow(rule.resource, &text).expect("paths round-trip");
-            }
-        }
-    }
-    sys
+/// A fresh single-graph deployment over the case. The generated store
+/// is adopted verbatim — [`Deployment::from_graph`] replaced the
+/// text-round-trip replay (and its single-condition-rules-only
+/// restriction) this module used to carry.
+pub fn build_single(case: &P12Case) -> ServiceInstance {
+    Deployment::online().from_graph(&case.graph, case.store.clone())
 }
 
 /// Asserts batched ≡ per-condition ≡ single-graph audiences on every
 /// bundle (run once before timing).
 pub fn assert_batched_matches_oracles(
     case: &P12Case,
-    single: &AccessControlSystem,
+    single: &dyn AccessService,
     sharded: &ShardedSystem,
 ) {
     for bundle in &case.bundles {
-        let batched = sharded.audience_batch(bundle).expect("bundle evaluates");
+        let batched = sharded
+            .service()
+            .audience_batch(bundle)
+            .expect("bundle evaluates");
         let per_condition = sharded
             .audience_batch_per_condition(bundle)
             .expect("bundle evaluates");
@@ -156,50 +130,35 @@ pub fn assert_batched_matches_oracles(
     }
 }
 
-/// Fixpoint work census over every bundle (the batched engine's own
-/// telemetry): sums of fixpoints, rounds, per-shard states expanded
-/// and routed masked exports.
-pub fn bundle_work_census(case: &P12Case, sharded: &ShardedSystem) -> BundleFixpointStats {
-    let mut total = BundleFixpointStats {
-        states_expanded: vec![0; sharded.num_shards()],
-        ..BundleFixpointStats::default()
-    };
+/// Fixpoint work census over every bundle (the uniform [`ReadStats`]
+/// every backend reports): sums of conditions, traversals
+/// (fixpoints), rounds, states expanded and routed masked exports.
+pub fn bundle_work_census(case: &P12Case, svc: &dyn AccessService) -> ReadStats {
+    let mut total = ReadStats::default();
     for bundle in &case.bundles {
-        let (_, stats) = sharded
+        let (_, stats) = svc
             .audience_batch_with_stats(bundle)
             .expect("bundle evaluates");
-        total.fixpoints += stats.fixpoints;
-        total.rounds += stats.rounds;
-        total.exported_states += stats.exported_states;
-        for (slot, s) in total.states_expanded.iter_mut().zip(&stats.states_expanded) {
-            *slot += s;
-        }
+        total.absorb(&stats);
     }
     total
 }
 
-/// One pass of every bundle through the batched sharded path.
-pub fn run_batched(case: &P12Case, sys: &ShardedSystem) {
+/// One pass of every bundle through a deployment's batched read path.
+pub fn run_batched(case: &P12Case, svc: &dyn AccessService) {
     for bundle in &case.bundles {
-        let audiences = sys.audience_batch(bundle).expect("bundle evaluates");
+        let audiences = svc.audience_batch(bundle).expect("bundle evaluates");
         std::hint::black_box(audiences.len());
     }
 }
 
-/// One pass of every bundle through the per-condition sharded path.
+/// One pass of every bundle through the per-condition sharded path
+/// (the pre-amortization oracle — inherently backend-specific).
 pub fn run_per_condition(case: &P12Case, sys: &ShardedSystem) {
     for bundle in &case.bundles {
         let audiences = sys
             .audience_batch_per_condition(bundle)
             .expect("bundle evaluates");
-        std::hint::black_box(audiences.len());
-    }
-}
-
-/// One pass of every bundle through the single-graph batch BFS.
-pub fn run_single(case: &P12Case, sys: &AccessControlSystem) {
-    for bundle in &case.bundles {
-        let audiences = sys.audience_batch(bundle).expect("bundle evaluates");
         std::hint::black_box(audiences.len());
     }
 }

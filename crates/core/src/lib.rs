@@ -15,20 +15,27 @@
 //!
 //! ## Quick start
 //!
+//! Serving goes through the deployment-agnostic [`service`] API: pick
+//! a [`Deployment`] (one epoch-published graph, or N hash-partitioned
+//! shards), mutate through [`MutateService`], read through
+//! [`AccessService`] — nothing downstream of the config line knows
+//! which backend answers.
+//!
 //! ```
-//! use socialreach_core::{AccessControlSystem, Decision};
+//! use socialreach_core::{AccessService, Decision, Deployment, MutateService};
 //!
-//! let mut sys = AccessControlSystem::new_online();
-//! let alice = sys.add_user("Alice");
-//! let bob = sys.add_user("Bob");
-//! let carol = sys.add_user("Carol");
-//! sys.connect(alice, "friend", bob);
-//! sys.connect(bob, "friend", carol);
+//! let mut svc = Deployment::online().build();
+//! // …or Deployment::sharded(4, 7).build(): nothing below changes.
+//! let alice = svc.add_user("Alice");
+//! let bob = svc.add_user("Bob");
+//! let carol = svc.add_user("Carol");
+//! svc.add_relationship(alice, "friend", bob);
+//! svc.add_relationship(bob, "friend", carol);
 //!
-//! let photos = sys.share(alice);
-//! sys.allow(photos, "friend+[1,2]").unwrap(); // friends ≤ 2 hops away
+//! let photos = svc.add_resource(alice);
+//! svc.add_rule(photos, "friend+[1,2]").unwrap(); // friends ≤ 2 hops away
 //!
-//! assert_eq!(sys.check(photos, carol).unwrap(), Decision::Grant);
+//! assert_eq!(svc.reads().check(photos, carol).unwrap(), Decision::Grant);
 //! ```
 //!
 //! ## Module map
@@ -41,8 +48,9 @@
 //! | [`lineplan`] | §3.1 | depth expansion into line queries (Fig. 4) |
 //! | [`joinengine`] | §3.3–3.4 | join pipeline + post-processing |
 //! | [`engine`] | — | engine trait, caching enforcer, per-generation snapshot cache |
-//! | [`system`] | — | batteries-included façade |
-//! | [`sharded`] | — | hash-partitioned multi-shard serving with cross-shard stitching |
+//! | [`service`] | — | the deployment-agnostic serving API: `AccessService` / `MutateService` traits, request/response vocabulary, `Deployment` builder |
+//! | [`system`] | — | single-graph backend (`AccessControlSystem`) |
+//! | [`sharded`] | — | hash-partitioned multi-shard backend with cross-shard stitching |
 //! | [`examples`] | §2–3 | the Figure 1 graph, Q1, worked queries |
 //! | [`carminati`] | §4 | the Carminati et al. trust+radius baseline |
 //!
@@ -116,19 +124,24 @@ pub mod lineplan;
 pub mod online;
 pub mod path;
 pub mod policy;
+pub mod service;
 pub mod sharded;
 pub mod system;
 
 pub use carminati::{CarminatiOutcome, CarminatiRule, TrustAggregation};
 pub use engine::{
-    resource_audience, resource_audience_batch, AccessEngine, AudienceOutcome, CheckOutcome,
-    Enforcer, EvalStats, OnlineEngine,
+    resource_audience, resource_audience_batch, resource_audience_batch_with_stats, AccessEngine,
+    AudienceOutcome, CheckOutcome, Enforcer, EvalStats, OnlineEngine,
 };
 pub use error::{EvalError, ParseError};
 pub use joinengine::{JoinEngineConfig, JoinIndexEngine, JoinStrategy};
 pub use lineplan::{plan, LinePlan, LineQuery, PlanConfig};
 pub use path::{parse_path, AttrPredicate, CmpOp, DepthSet, PathExpr, Step};
 pub use policy::{AccessCondition, AccessRule, Decision, PolicyStore, ResourceId};
+pub use service::{
+    AccessResponse, AccessService, Deployment, Explanation, MutateService, ReadBatch, ReadRequest,
+    ReadStats, ServiceInstance, WalkHop, WitnessWalk,
+};
 pub use sharded::{BundleFixpointStats, ShardedEval, ShardedHop, ShardedSystem};
 pub use system::{AccessControlSystem, EngineChoice};
 

@@ -1,0 +1,769 @@
+//! The deployment-agnostic serving API: one request/response
+//! vocabulary over every enforcement backend.
+//!
+//! The paper's model is a single contract — a path-expression rule
+//! evaluated as an ordered label-constraint reachability query — but
+//! the repo grew two serving facades with drifting surfaces:
+//! [`AccessControlSystem`] (one epoch-published graph, pluggable
+//! engines) and [`ShardedSystem`] (N hash-partitioned shards with
+//! cross-shard fixpoints). This module is the seam that makes the
+//! backends interchangeable:
+//!
+//! * [`AccessService`] — the **object-safe read surface** (`check`,
+//!   `check_batch`, `audience`, `audience_batch`, `explain`, …) every
+//!   backend implements. Callers hold a `&dyn AccessService` and never
+//!   learn which deployment answers them.
+//! * [`MutateService`] — the `&mut self` write surface
+//!   (`add_user` / `add_relationship` / `add_resource` / `add_rule`).
+//! * [`ReadRequest`] / [`ReadBatch`] / [`AccessResponse`] — a uniform
+//!   request/response vocabulary carrying decisions, audiences,
+//!   structured witnesses and per-read [`ReadStats`].
+//! * [`Deployment`] — the builder that constructs either backend from
+//!   one config: [`Deployment::single`] wraps an [`EngineChoice`],
+//!   [`Deployment::sharded`] a shard count + placement seed (or a full
+//!   [`ShardAssignment`] via [`Deployment::sharded_with`]).
+//! * [`ServiceInstance`] — the constructed backend, usable as both
+//!   traits or narrowed with [`ServiceInstance::reads`] /
+//!   [`ServiceInstance::writes`].
+//!
+//! The differential harnesses compare any two `&dyn AccessService`
+//! implementations, so a future backend (e.g. the ROADMAP's
+//! distributed-transport shards) is testable against the existing ones
+//! the day it implements the trait.
+//!
+//! ```
+//! use socialreach_core::service::{AccessService, Deployment, MutateService};
+//! use socialreach_core::{Decision, EngineChoice};
+//!
+//! // One config line decides the deployment; nothing below changes.
+//! let mut svc = Deployment::single(EngineChoice::Online).build();
+//! // let mut svc = Deployment::sharded(4, 7).build();
+//!
+//! let alice = svc.add_user("Alice");
+//! let bob = svc.add_user("Bob");
+//! svc.add_relationship(alice, "friend", bob);
+//! let album = svc.add_resource(alice);
+//! svc.add_rule(album, "friend+[1,2]").unwrap();
+//!
+//! let reads = svc.reads(); // &dyn AccessService
+//! assert_eq!(reads.check(album, bob).unwrap(), Decision::Grant);
+//! assert_eq!(reads.audience(album).unwrap(), vec![alice, bob]);
+//! ```
+
+use crate::error::EvalError;
+use crate::policy::{Decision, ResourceId};
+use crate::sharded::ShardedSystem;
+use crate::system::{AccessControlSystem, EngineChoice};
+use socialreach_graph::shard::ShardAssignment;
+use socialreach_graph::{AttrValue, LabelId, NodeId, SocialGraph};
+
+// ---------------------------------------------------------------------
+// Uniform read statistics
+// ---------------------------------------------------------------------
+
+/// Uniform work census of a read, comparable across deployments (zero
+/// where a backend has nothing to report — the same convention as
+/// [`crate::EvalStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Distinct `(owner, path)` conditions evaluated after bundle-level
+    /// dedup.
+    pub conditions: usize,
+    /// Shared traversal passes run — one per path-template group ×
+    /// 64-condition mask chunk on both deployments (multi-source mask
+    /// BFS passes on a single graph, masked fixpoints on a sharded
+    /// one), so the column is comparable across backends.
+    pub traversals: usize,
+    /// Fixpoint rounds across those traversals. Equals `traversals` on
+    /// a single graph (one pass is one "round"); on a sharded
+    /// deployment it counts the cross-shard round-trips the read paid.
+    pub rounds: usize,
+    /// Product states expanded by the engines (cumulative across
+    /// shards; zero for the join-index engine, which counts work in
+    /// [`crate::EvalStats::line_queries`] instead).
+    pub states_expanded: usize,
+    /// Boundary states routed between shards (always zero on
+    /// single-graph deployments — a useful sanity probe for tests).
+    pub exported_states: usize,
+}
+
+impl ReadStats {
+    /// Element-wise accumulation.
+    pub fn absorb(&mut self, other: &ReadStats) {
+        self.conditions += other.conditions;
+        self.traversals += other.traversals;
+        self.rounds += other.rounds;
+        self.states_expanded += other.states_expanded;
+        self.exported_states += other.exported_states;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Witnesses
+// ---------------------------------------------------------------------
+
+/// One hop of a witness walk, in deployment-global member ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkHop {
+    /// Global id of the edge's source member.
+    pub src: NodeId,
+    /// Global id of the edge's target member.
+    pub dst: NodeId,
+    /// Relationship type.
+    pub label: LabelId,
+    /// Whether the hop traverses the edge along its orientation.
+    pub forward: bool,
+}
+
+impl WalkHop {
+    /// The member the hop departs from.
+    pub fn from(&self) -> NodeId {
+        if self.forward {
+            self.src
+        } else {
+            self.dst
+        }
+    }
+
+    /// The member the hop arrives at.
+    pub fn to(&self) -> NodeId {
+        if self.forward {
+            self.dst
+        } else {
+            self.src
+        }
+    }
+}
+
+/// A witness walk for one satisfied access condition: real edges from
+/// the condition owner to the requester, in walk order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WitnessWalk {
+    /// The condition owner the walk starts from.
+    pub start: NodeId,
+    /// The hops, chaining `start ⇝ requester` (empty when the
+    /// requester *is* the condition owner of an empty path).
+    pub hops: Vec<WalkHop>,
+}
+
+/// Why a request was granted: the structured form every backend
+/// produces, renderable to the human-readable walk strings with
+/// [`Explanation::render`] and replayable through the path automaton
+/// by the conformance suites.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Explanation {
+    /// The requester owns the resource.
+    Ownership {
+        /// The owning member.
+        owner: NodeId,
+    },
+    /// Some rule granted: one witness walk per condition of the first
+    /// granting rule.
+    Rule {
+        /// The per-condition walks, in rule-condition order.
+        walks: Vec<WitnessWalk>,
+    },
+}
+
+impl Explanation {
+    /// Renders the explanation as human-readable lines (`"Alice
+    /// -friend-> Bob"` walks, or the ownership sentence), resolving
+    /// names through the service that produced it.
+    pub fn render<S: AccessService + ?Sized>(&self, svc: &S) -> Vec<String> {
+        match self {
+            Explanation::Ownership { owner } => {
+                vec![format!("{} owns the resource", svc.member_name(*owner))]
+            }
+            Explanation::Rule { walks } => walks
+                .iter()
+                .map(|walk| {
+                    let mut line = vec![svc.member_name(walk.start).to_owned()];
+                    for hop in &walk.hops {
+                        let label = svc.label_name(hop.label);
+                        line.push(if hop.forward {
+                            format!("-{label}->")
+                        } else {
+                            format!("<-{label}-")
+                        });
+                        line.push(svc.member_name(hop.to()).to_owned());
+                    }
+                    line.join(" ")
+                })
+                .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request / response vocabulary
+// ---------------------------------------------------------------------
+
+/// One read, in the shared deployment-agnostic vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadRequest {
+    /// Decide whether `requester` may access `resource`.
+    Check {
+        /// The requested resource.
+        resource: ResourceId,
+        /// Who is asking.
+        requester: NodeId,
+    },
+    /// Materialize the full audience of `resource`.
+    Audience {
+        /// The resource whose audience to materialize.
+        resource: ResourceId,
+    },
+    /// Decide and, when granted, explain with witness walks.
+    Explain {
+        /// The requested resource.
+        resource: ResourceId,
+        /// Who is asking.
+        requester: NodeId,
+    },
+}
+
+/// A batch of reads evaluated together (backends answer every request
+/// of one batch against a coherent snapshot state, amortizing shared
+/// work — condition dedup, multi-source traversal — across the batch).
+#[derive(Clone, Debug, Default)]
+pub struct ReadBatch {
+    /// The reads, answered in order.
+    pub reads: Vec<ReadRequest>,
+    /// Worker-thread hint for backends that fan a batch out per
+    /// request (sharded deployments parallelize per fixpoint round
+    /// across shards instead and ignore it). `0` behaves as `1`.
+    pub threads: usize,
+}
+
+impl ReadBatch {
+    /// An empty batch with the default thread hint.
+    pub fn new() -> Self {
+        ReadBatch::default()
+    }
+
+    /// Appends a check read.
+    pub fn check(mut self, resource: ResourceId, requester: NodeId) -> Self {
+        self.reads.push(ReadRequest::Check {
+            resource,
+            requester,
+        });
+        self
+    }
+
+    /// Appends an audience read.
+    pub fn audience(mut self, resource: ResourceId) -> Self {
+        self.reads.push(ReadRequest::Audience { resource });
+        self
+    }
+
+    /// Appends an explain read.
+    pub fn explain(mut self, resource: ResourceId, requester: NodeId) -> Self {
+        self.reads.push(ReadRequest::Explain {
+            resource,
+            requester,
+        });
+        self
+    }
+}
+
+/// The response to one [`ReadRequest`]: exactly the fields the request
+/// kind implies are populated, plus the read's share of the batch work
+/// census (shared traversal work is attributed to the first read that
+/// triggered it and zero on the rest, so summing responses stays
+/// truthful — the [`crate::AccessEngine`] convention).
+#[derive(Clone, Debug, Default)]
+pub struct AccessResponse {
+    /// The decision (`Check` and `Explain` reads).
+    pub decision: Option<Decision>,
+    /// The materialized audience, sorted (`Audience` reads).
+    pub audience: Option<Vec<NodeId>>,
+    /// The structured witness walks (`Explain` reads that granted).
+    pub explanation: Option<Explanation>,
+    /// This read's share of the work census.
+    pub stats: ReadStats,
+}
+
+// ---------------------------------------------------------------------
+// The read trait
+// ---------------------------------------------------------------------
+
+/// The deployment-agnostic **read** surface of an access-control
+/// serving backend. Object-safe: callers hold `&dyn AccessService`
+/// and stay oblivious to whether one epoch-published graph or N
+/// shards answer them.
+///
+/// Required methods are the per-backend primitives; `audience`,
+/// `audience_batch`, `explain_lines` and `read_batch` are provided in
+/// terms of them, so a backend implements one body per primitive and
+/// inherits the rest.
+pub trait AccessService: Send + Sync {
+    /// Deployment label for logs and benchmark tables
+    /// (e.g. `"single(online-bfs)"`, `"sharded(n=4)"`).
+    fn describe(&self) -> String;
+
+    /// Number of registered members.
+    fn num_members(&self) -> usize;
+
+    /// Number of relationships (each boundary edge counted once on
+    /// sharded deployments).
+    fn num_relationships(&self) -> usize;
+
+    /// Looks a member up by display name (first registered wins).
+    fn resolve_user(&self, name: &str) -> Result<NodeId, EvalError>;
+
+    /// Display name of a member.
+    fn member_name(&self, member: NodeId) -> &str;
+
+    /// Display name of a relationship type.
+    fn label_name(&self, label: LabelId) -> &str;
+
+    /// Decides whether `requester` may access `resource` (owner always
+    /// granted; rules disjoin; conditions within a rule conjoin; no
+    /// rules ⇒ private).
+    fn check(&self, resource: ResourceId, requester: NodeId) -> Result<Decision, EvalError>;
+
+    /// Decides a batch of requests over one coherent snapshot state;
+    /// decisions come back in request order. `threads` is the worker
+    /// hint of [`ReadBatch::threads`].
+    fn check_batch(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+    ) -> Result<Vec<Decision>, EvalError>;
+
+    /// Audiences of a whole bundle of resources in `rids` order, plus
+    /// the bundle's uniform work census. This is the primitive the
+    /// audience reads build on: backends amortize shared traversal
+    /// across the bundle's deduped conditions here.
+    fn audience_batch_with_stats(
+        &self,
+        rids: &[ResourceId],
+    ) -> Result<(Vec<Vec<NodeId>>, ReadStats), EvalError>;
+
+    /// Explains a grant with structured witness walks, or `None` when
+    /// access is denied. Render with [`Explanation::render`] or
+    /// [`AccessService::explain_lines`]; replay through the path
+    /// automaton in conformance tests.
+    fn explain(
+        &self,
+        resource: ResourceId,
+        requester: NodeId,
+    ) -> Result<Option<Explanation>, EvalError>;
+
+    /// Decision-cache statistics `(hits, misses)`.
+    fn cache_stats(&self) -> (u64, u64);
+
+    /// The full audience of one resource (global member ids, sorted).
+    fn audience(&self, resource: ResourceId) -> Result<Vec<NodeId>, EvalError> {
+        Ok(self
+            .audience_batch(std::slice::from_ref(&resource))?
+            .pop()
+            .expect("one audience per requested resource"))
+    }
+
+    /// Audiences of a whole bundle of resources, in `rids` order.
+    fn audience_batch(&self, rids: &[ResourceId]) -> Result<Vec<Vec<NodeId>>, EvalError> {
+        Ok(self.audience_batch_with_stats(rids)?.0)
+    }
+
+    /// [`AccessService::explain`], rendered to the human-readable walk
+    /// lines the CLI and examples print.
+    fn explain_lines(
+        &self,
+        resource: ResourceId,
+        requester: NodeId,
+    ) -> Result<Option<Vec<String>>, EvalError> {
+        Ok(self.explain(resource, requester)?.map(|e| e.render(self)))
+    }
+
+    /// Evaluates a heterogeneous batch of reads, responses in request
+    /// order. Check reads of the batch are decided together through
+    /// [`AccessService::check_batch`]; audience reads together through
+    /// [`AccessService::audience_batch_with_stats`] (whose census is
+    /// attributed to the first audience read); explains run targeted.
+    fn read_batch(&self, batch: &ReadBatch) -> Result<Vec<AccessResponse>, EvalError> {
+        let mut responses: Vec<AccessResponse> = (0..batch.reads.len())
+            .map(|_| AccessResponse::default())
+            .collect();
+        let mut checks: Vec<(usize, (ResourceId, NodeId))> = Vec::new();
+        let mut audiences: Vec<(usize, ResourceId)> = Vec::new();
+        for (i, read) in batch.reads.iter().enumerate() {
+            match *read {
+                ReadRequest::Check {
+                    resource,
+                    requester,
+                } => checks.push((i, (resource, requester))),
+                ReadRequest::Audience { resource } => audiences.push((i, resource)),
+                ReadRequest::Explain {
+                    resource,
+                    requester,
+                } => {
+                    let explanation = self.explain(resource, requester)?;
+                    responses[i].decision = Some(if explanation.is_some() {
+                        Decision::Grant
+                    } else {
+                        Decision::Deny
+                    });
+                    responses[i].explanation = explanation;
+                }
+            }
+        }
+        if !checks.is_empty() {
+            let requests: Vec<(ResourceId, NodeId)> = checks.iter().map(|&(_, r)| r).collect();
+            let decisions = self.check_batch(&requests, batch.threads.max(1))?;
+            for (&(i, _), d) in checks.iter().zip(decisions) {
+                responses[i].decision = Some(d);
+            }
+        }
+        if !audiences.is_empty() {
+            let rids: Vec<ResourceId> = audiences.iter().map(|&(_, r)| r).collect();
+            let (results, stats) = self.audience_batch_with_stats(&rids)?;
+            for (k, (&(i, _), audience)) in audiences.iter().zip(results).enumerate() {
+                responses[i].audience = Some(audience);
+                if k == 0 {
+                    responses[i].stats = stats;
+                }
+            }
+        }
+        Ok(responses)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The write trait
+// ---------------------------------------------------------------------
+
+/// The deployment-agnostic **write** surface: every mutation takes
+/// `&mut self`, guaranteeing exclusivity against the lock-free `&self`
+/// readers of [`AccessService`]. Backends only *stale* derived state
+/// on mutation and republish incrementally on the next read.
+pub trait MutateService {
+    /// Registers a member.
+    fn add_user(&mut self, name: &str) -> NodeId;
+
+    /// Sets a member attribute (path predicates read these).
+    fn set_user_attr(&mut self, user: NodeId, key: &str, value: AttrValue);
+
+    /// Adds a directed relationship.
+    fn add_relationship(&mut self, src: NodeId, label: &str, dst: NodeId);
+
+    /// Adds a mutual relationship (both directions), as platforms model
+    /// symmetric friendship.
+    fn add_mutual_relationship(&mut self, a: NodeId, label: &str, b: NodeId) {
+        self.add_relationship(a, label, b);
+        self.add_relationship(b, label, a);
+    }
+
+    /// Registers a resource owned by `owner`. New resources are
+    /// private until a rule is attached.
+    fn add_resource(&mut self, owner: NodeId) -> ResourceId;
+
+    /// Attaches a rule granting access along `path_text`
+    /// (e.g. `"friend+[1,2]/colleague+[1]"`); repeated rules disjoin.
+    fn add_rule(&mut self, resource: ResourceId, path_text: &str) -> Result<(), EvalError>;
+}
+
+// ---------------------------------------------------------------------
+// Deployment builder
+// ---------------------------------------------------------------------
+
+/// One config describing *which* backend serves: the deployment is the
+/// only place the backend choice appears; everything downstream holds
+/// trait objects.
+#[derive(Clone, Debug)]
+pub enum Deployment {
+    /// One epoch-published graph behind the chosen evaluation engine.
+    Single(EngineChoice),
+    /// Members hash-partitioned across shards under the placement.
+    Sharded(ShardAssignment),
+}
+
+impl Deployment {
+    /// A single-graph deployment with an explicit engine choice.
+    pub fn single(choice: EngineChoice) -> Self {
+        Deployment::Single(choice)
+    }
+
+    /// A single-graph deployment evaluating online (good default for
+    /// evolving graphs).
+    pub fn online() -> Self {
+        Deployment::Single(EngineChoice::Online)
+    }
+
+    /// A sharded deployment of `shards` hash-partitioned shards
+    /// (placement seeded by `seed`).
+    pub fn sharded(shards: u32, seed: u64) -> Self {
+        Deployment::Sharded(ShardAssignment::hashed(shards, seed))
+    }
+
+    /// A sharded deployment with an explicit placement function.
+    pub fn sharded_with(assignment: ShardAssignment) -> Self {
+        Deployment::Sharded(assignment)
+    }
+
+    /// Deployment label for logs and benchmark tables.
+    pub fn describe(&self) -> String {
+        match self {
+            Deployment::Single(choice) => format!("single({choice:?})"),
+            Deployment::Sharded(a) => format!("sharded(n={})", a.shards()),
+        }
+    }
+
+    /// Constructs an empty backend for this deployment.
+    pub fn build(&self) -> ServiceInstance {
+        match self {
+            Deployment::Single(choice) => {
+                ServiceInstance::Single(AccessControlSystem::new(*choice))
+            }
+            Deployment::Sharded(a) => {
+                ServiceInstance::Sharded(ShardedSystem::with_assignment(a.clone()))
+            }
+        }
+    }
+
+    /// Constructs a backend serving an existing graph under an
+    /// existing policy store (ids preserved — a store built against
+    /// `g` is adopted verbatim). This is the one-liner the benches and
+    /// differential harnesses use to stand any backend up over a
+    /// shared workload.
+    pub fn from_graph(
+        &self,
+        g: &SocialGraph,
+        store: crate::policy::PolicyStore,
+    ) -> ServiceInstance {
+        match self {
+            Deployment::Single(choice) => {
+                let mut sys = AccessControlSystem::from_graph(g, *choice);
+                sys.adopt_store(store);
+                ServiceInstance::Single(sys)
+            }
+            Deployment::Sharded(a) => {
+                let mut sys = ShardedSystem::from_graph(g, a.clone());
+                sys.adopt_store(store);
+                ServiceInstance::Sharded(sys)
+            }
+        }
+    }
+}
+
+/// A constructed serving backend. Use it directly (it implements both
+/// traits), or narrow to the read/write halves with
+/// [`ServiceInstance::reads`] / [`ServiceInstance::writes`].
+pub enum ServiceInstance {
+    /// One epoch-published graph ([`AccessControlSystem`]).
+    Single(AccessControlSystem),
+    /// Hash-partitioned shards ([`ShardedSystem`]).
+    Sharded(ShardedSystem),
+}
+
+impl ServiceInstance {
+    /// This backend as a deployment-agnostic read service.
+    pub fn reads(&self) -> &dyn AccessService {
+        match self {
+            ServiceInstance::Single(s) => s,
+            ServiceInstance::Sharded(s) => s,
+        }
+    }
+
+    /// This backend as a deployment-agnostic write service.
+    pub fn writes(&mut self) -> &mut dyn MutateService {
+        match self {
+            ServiceInstance::Single(s) => s,
+            ServiceInstance::Sharded(s) => s,
+        }
+    }
+
+    /// The wrapped single-graph system, if this deployment is one.
+    pub fn as_single(&self) -> Option<&AccessControlSystem> {
+        match self {
+            ServiceInstance::Single(s) => Some(s),
+            ServiceInstance::Sharded(_) => None,
+        }
+    }
+
+    /// The wrapped sharded system, if this deployment is one.
+    pub fn as_sharded(&self) -> Option<&ShardedSystem> {
+        match self {
+            ServiceInstance::Single(_) => None,
+            ServiceInstance::Sharded(s) => Some(s),
+        }
+    }
+}
+
+impl AccessService for ServiceInstance {
+    fn describe(&self) -> String {
+        self.reads().describe()
+    }
+
+    fn num_members(&self) -> usize {
+        self.reads().num_members()
+    }
+
+    fn num_relationships(&self) -> usize {
+        self.reads().num_relationships()
+    }
+
+    fn resolve_user(&self, name: &str) -> Result<NodeId, EvalError> {
+        self.reads().resolve_user(name)
+    }
+
+    fn member_name(&self, member: NodeId) -> &str {
+        match self {
+            ServiceInstance::Single(s) => s.member_name(member),
+            ServiceInstance::Sharded(s) => AccessService::member_name(s, member),
+        }
+    }
+
+    fn label_name(&self, label: LabelId) -> &str {
+        match self {
+            ServiceInstance::Single(s) => AccessService::label_name(s, label),
+            ServiceInstance::Sharded(s) => AccessService::label_name(s, label),
+        }
+    }
+
+    fn check(&self, resource: ResourceId, requester: NodeId) -> Result<Decision, EvalError> {
+        self.reads().check(resource, requester)
+    }
+
+    fn check_batch(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+    ) -> Result<Vec<Decision>, EvalError> {
+        self.reads().check_batch(requests, threads)
+    }
+
+    fn audience_batch_with_stats(
+        &self,
+        rids: &[ResourceId],
+    ) -> Result<(Vec<Vec<NodeId>>, ReadStats), EvalError> {
+        self.reads().audience_batch_with_stats(rids)
+    }
+
+    fn explain(
+        &self,
+        resource: ResourceId,
+        requester: NodeId,
+    ) -> Result<Option<Explanation>, EvalError> {
+        self.reads().explain(resource, requester)
+    }
+
+    fn cache_stats(&self) -> (u64, u64) {
+        self.reads().cache_stats()
+    }
+}
+
+impl MutateService for ServiceInstance {
+    fn add_user(&mut self, name: &str) -> NodeId {
+        self.writes().add_user(name)
+    }
+
+    fn set_user_attr(&mut self, user: NodeId, key: &str, value: AttrValue) {
+        self.writes().set_user_attr(user, key, value);
+    }
+
+    fn add_relationship(&mut self, src: NodeId, label: &str, dst: NodeId) {
+        self.writes().add_relationship(src, label, dst);
+    }
+
+    fn add_resource(&mut self, owner: NodeId) -> ResourceId {
+        self.writes().add_resource(owner)
+    }
+
+    fn add_rule(&mut self, resource: ResourceId, path_text: &str) -> Result<(), EvalError> {
+        self.writes().add_rule(resource, path_text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populate(svc: &mut dyn MutateService) -> (Vec<NodeId>, ResourceId) {
+        let alice = svc.add_user("Alice");
+        let bob = svc.add_user("Bob");
+        let carol = svc.add_user("Carol");
+        let dave = svc.add_user("Dave");
+        svc.add_relationship(alice, "friend", bob);
+        svc.add_relationship(bob, "friend", carol);
+        svc.add_relationship(carol, "colleague", dave);
+        let rid = svc.add_resource(alice);
+        svc.add_rule(rid, "friend+[1,2]").unwrap();
+        (vec![alice, bob, carol, dave], rid)
+    }
+
+    #[test]
+    fn both_deployments_serve_the_same_script() {
+        for deployment in [
+            Deployment::online(),
+            Deployment::single(EngineChoice::JoinIndex(
+                crate::joinengine::JoinEngineConfig::default(),
+            )),
+            Deployment::sharded(3, 7),
+        ] {
+            let mut svc = deployment.build();
+            let (members, rid) = populate(svc.writes());
+            let reads = svc.reads();
+            assert_eq!(reads.num_members(), 4, "{}", deployment.describe());
+            assert_eq!(reads.num_relationships(), 3);
+            assert_eq!(reads.resolve_user("Carol").unwrap(), members[2]);
+            assert_eq!(reads.check(rid, members[1]).unwrap(), Decision::Grant);
+            assert_eq!(reads.check(rid, members[3]).unwrap(), Decision::Deny);
+            assert_eq!(
+                reads.audience(rid).unwrap(),
+                vec![members[0], members[1], members[2]],
+                "{}",
+                deployment.describe()
+            );
+        }
+    }
+
+    #[test]
+    fn read_batch_mixes_request_kinds() {
+        let mut svc = Deployment::sharded(2, 5).build();
+        let (members, rid) = populate(svc.writes());
+        let batch = ReadBatch::new()
+            .check(rid, members[2])
+            .audience(rid)
+            .explain(rid, members[1])
+            .check(rid, members[3]);
+        let responses = svc.reads().read_batch(&batch).unwrap();
+        assert_eq!(responses.len(), 4);
+        assert_eq!(responses[0].decision, Some(Decision::Grant));
+        assert_eq!(
+            responses[1].audience.as_deref(),
+            Some(&[members[0], members[1], members[2]][..])
+        );
+        assert!(responses[1].stats.conditions > 0, "census attributed");
+        assert_eq!(responses[2].decision, Some(Decision::Grant));
+        let lines = responses[2]
+            .explanation
+            .as_ref()
+            .expect("granted explain carries walks")
+            .render(svc.reads());
+        assert_eq!(lines, vec!["Alice -friend-> Bob".to_owned()]);
+        assert_eq!(responses[3].decision, Some(Decision::Deny));
+    }
+
+    #[test]
+    fn explanation_rendering_matches_the_legacy_strings() {
+        let mut svc = Deployment::online().build();
+        let (members, rid) = populate(svc.writes());
+        let reads = svc.reads();
+        assert_eq!(
+            reads.explain_lines(rid, members[0]).unwrap().unwrap(),
+            vec!["Alice owns the resource".to_owned()]
+        );
+        assert_eq!(
+            reads.explain_lines(rid, members[2]).unwrap().unwrap(),
+            vec!["Alice -friend-> Bob -friend-> Carol".to_owned()]
+        );
+        assert_eq!(reads.explain_lines(rid, members[3]).unwrap(), None);
+    }
+
+    #[test]
+    fn deployment_describe_names_the_backend() {
+        assert!(Deployment::online().describe().starts_with("single("));
+        assert_eq!(Deployment::sharded(4, 0).describe(), "sharded(n=4)");
+    }
+}

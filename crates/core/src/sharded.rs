@@ -89,6 +89,7 @@ use crate::online::{
 };
 use crate::path::{parse_path, PathExpr};
 use crate::policy::{Decision, PolicyStore, ResourceId};
+use crate::service::{AccessService, Explanation, MutateService, ReadStats, WalkHop, WitnessWalk};
 use parking_lot::RwLock;
 use socialreach_graph::csr::CsrSnapshot;
 use socialreach_graph::shard::{
@@ -103,18 +104,10 @@ use std::sync::Arc;
 /// saturated depth.
 type StateKey = (u32, u16, u32);
 
-/// One hop of a stitched cross-shard witness walk, in **global** ids.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ShardedHop {
-    /// Global id of the edge's source member.
-    pub src: NodeId,
-    /// Global id of the edge's target member.
-    pub dst: NodeId,
-    /// Relationship type (master vocabulary).
-    pub label: LabelId,
-    /// Whether the hop traverses the edge along its orientation.
-    pub forward: bool,
-}
+/// One hop of a stitched cross-shard witness walk, in **global** ids —
+/// the shared [`WalkHop`] of the service vocabulary (the name is kept
+/// as an alias for downstream code).
+pub type ShardedHop = WalkHop;
 
 /// Result of one cross-shard access-condition evaluation.
 #[derive(Clone, Debug)]
@@ -572,140 +565,52 @@ impl ShardedSystem {
     // Reads (the `&self` fan-out path)
     // ------------------------------------------------------------------
 
+    /// This backend as a deployment-agnostic read service (the
+    /// [`AccessService`] all read callers should migrate to).
+    pub fn service(&self) -> &dyn AccessService {
+        self
+    }
+
     /// Decides whether `requester` may access `rid` (same semantics as
     /// the single-graph enforcer: owner always granted, rules disjoin,
     /// conditions within a rule conjoin, no rules ⇒ private).
+    #[deprecated(since = "0.2.0", note = "read through the `AccessService` trait")]
     pub fn check(&self, rid: ResourceId, requester: NodeId) -> Result<Decision, EvalError> {
-        let owner = self.store.owner_of(rid)?;
-        if requester == owner {
-            return Ok(Decision::Grant);
-        }
-        if let Some(&d) = self.cache.read().get(&(rid, requester)) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(d);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut decision = Decision::Deny;
-        'rules: for rule in self.store.rules_for(rid) {
-            if rule.conditions.is_empty() {
-                continue;
-            }
-            for cond in &rule.conditions {
-                if !self
-                    .evaluate_condition(cond.owner, &cond.path, Some(requester))
-                    .granted
-                {
-                    continue 'rules;
-                }
-            }
-            decision = Decision::Grant;
-            break;
-        }
-        self.cache.write().insert((rid, requester), decision);
-        Ok(decision)
+        AccessService::check(self, rid, requester)
     }
 
     /// Decides a batch of requests through **one** masked cross-shard
-    /// fixpoint per bundle (per distinct path among the touched
-    /// resources' conditions), rather than one per request or per
-    /// condition: the uncached resources' condition audiences are
-    /// materialized together ([`ShardedSystem::audience_batch`]'s
-    /// engine) and each request is decided by audience membership —
-    /// the two are equivalent because a rule grants exactly the
-    /// members in the intersection of its condition audiences.
-    /// Decisions come back in request order and populate the decision
-    /// cache. `threads` is accepted for API stability; the fixpoint
-    /// already fans out across shards on parallel scoped threads.
+    /// fixpoint per bundle ([`AccessService::check_batch`] on this
+    /// backend).
+    #[deprecated(since = "0.2.0", note = "read through the `AccessService` trait")]
     pub fn check_batch(
         &self,
         requests: &[(ResourceId, NodeId)],
         threads: usize,
     ) -> Result<Vec<Decision>, EvalError> {
-        let _ = threads;
-        if requests.len() == 1 {
-            // A single targeted check is cheaper through the
-            // early-exiting per-condition fixpoint.
-            let (rid, req) = requests[0];
-            return Ok(vec![self.check(rid, req)?]);
-        }
-        let mut decisions: Vec<Option<Decision>> = vec![None; requests.len()];
-        // Insertion-ordered dedup of the resources needing evaluation.
-        let mut need: Vec<ResourceId> = Vec::new();
-        let mut needed: HashSet<ResourceId> = HashSet::new();
-        {
-            let cache = self.cache.read();
-            for (i, &(rid, req)) in requests.iter().enumerate() {
-                let owner = self.store.owner_of(rid)?;
-                if req == owner {
-                    decisions[i] = Some(Decision::Grant);
-                } else if let Some(&d) = cache.get(&(rid, req)) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    decisions[i] = Some(d);
-                } else {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    if needed.insert(rid) {
-                        need.push(rid);
-                    }
-                }
-            }
-        }
-        if !need.is_empty() {
-            let audiences = self.audience_batch(&need)?;
-            let by_rid: HashMap<ResourceId, &Vec<NodeId>> =
-                need.iter().copied().zip(audiences.iter()).collect();
-            let mut cache = self.cache.write();
-            for (i, &(rid, req)) in requests.iter().enumerate() {
-                if decisions[i].is_some() {
-                    continue;
-                }
-                let audience = by_rid[&rid];
-                let d = if audience.binary_search(&req).is_ok() {
-                    Decision::Grant
-                } else {
-                    Decision::Deny
-                };
-                cache.insert((rid, req), d);
-                decisions[i] = Some(d);
-            }
-        }
-        Ok(decisions
-            .into_iter()
-            .map(|d| d.expect("every request decided"))
-            .collect())
+        AccessService::check_batch(self, requests, threads)
     }
 
     /// The full audience of a resource (global member ids, sorted).
+    #[deprecated(since = "0.2.0", note = "read through the `AccessService` trait")]
     pub fn audience(&self, rid: ResourceId) -> Result<Vec<NodeId>, EvalError> {
-        Ok(self
-            .audience_batch(std::slice::from_ref(&rid))?
-            .pop()
-            .expect("one audience per requested resource"))
+        AccessService::audience(self, rid)
     }
 
-    /// Audiences of a whole bundle of resources, in `rids` order,
-    /// through **one** masked cross-shard fixpoint per bundle: the
-    /// distinct `(owner, path)` conditions are grouped by path and
-    /// each group's owners traverse together as condition bits of a
-    /// seeded mask BFS ([`ShardedSystem::evaluate_conditions_batched`]).
-    /// The per-resource merge semantics are the single-graph system's,
-    /// literally ([`crate::engine::merge_bundle_audiences`]).
+    /// Audiences of a whole bundle of resources, in `rids` order.
+    #[deprecated(since = "0.2.0", note = "read through the `AccessService` trait")]
     pub fn audience_batch(&self, rids: &[ResourceId]) -> Result<Vec<Vec<NodeId>>, EvalError> {
-        Ok(self.audience_batch_with_stats(rids)?.0)
+        AccessService::audience_batch(self, rids)
     }
 
-    /// [`ShardedSystem::audience_batch`] plus the fixpoint work census
-    /// (rounds, per-shard states expanded, masked exports routed).
+    /// [`ShardedSystem`]'s bundle audiences plus the uniform work
+    /// census.
+    #[deprecated(since = "0.2.0", note = "read through the `AccessService` trait")]
     pub fn audience_batch_with_stats(
         &self,
         rids: &[ResourceId],
-    ) -> Result<(Vec<Vec<NodeId>>, BundleFixpointStats), EvalError> {
-        let mut stats = BundleFixpointStats::new(self.shards.len());
-        let audiences = crate::engine::merge_bundle_audiences(&self.store, rids, |uniq| {
-            let (audiences, s) = self.evaluate_conditions_batched(uniq);
-            stats = s;
-            Ok(audiences)
-        })?;
-        Ok((audiences, stats))
+    ) -> Result<(Vec<Vec<NodeId>>, ReadStats), EvalError> {
+        AccessService::audience_batch_with_stats(self, rids)
     }
 
     /// The pre-amortization bundle path, retained as the comparison
@@ -728,46 +633,15 @@ impl ShardedSystem {
         })
     }
 
-    /// Explains a grant: a readable walk per satisfied condition of the
-    /// first granting rule, stitched across shard boundaries, or `None`
-    /// when access is denied.
+    /// Explains a grant as human-readable walk lines, stitched across
+    /// shard boundaries, or `None` when access is denied.
+    #[deprecated(since = "0.2.0", note = "read through the `AccessService` trait")]
     pub fn explain(
         &self,
         rid: ResourceId,
         requester: NodeId,
     ) -> Result<Option<Vec<String>>, EvalError> {
-        let owner = self.store.owner_of(rid)?;
-        if requester == owner {
-            return Ok(Some(vec![format!(
-                "{} owns the resource",
-                self.member_name(owner)
-            )]));
-        }
-        'rules: for rule in self.store.rules_for(rid) {
-            if rule.conditions.is_empty() {
-                continue;
-            }
-            let mut lines = Vec::new();
-            for cond in &rule.conditions {
-                let out = self.evaluate_condition(cond.owner, &cond.path, Some(requester));
-                let Some(witness) = out.witness else {
-                    continue 'rules;
-                };
-                let mut walk = vec![self.member_name(cond.owner).to_owned()];
-                for hop in &witness {
-                    let (next, arrow) = if hop.forward {
-                        (hop.dst, format!("-{}->", self.vocab.label_name(hop.label)))
-                    } else {
-                        (hop.src, format!("<-{}-", self.vocab.label_name(hop.label)))
-                    };
-                    walk.push(arrow);
-                    walk.push(self.member_name(next).to_owned());
-                }
-                lines.push(walk.join(" "));
-            }
-            return Ok(Some(lines));
-        }
-        Ok(None)
+        AccessService::explain_lines(self, rid, requester)
     }
 
     /// Publishes every shard's snapshot for its current topology and
@@ -1208,6 +1082,228 @@ impl ShardedSystem {
     }
 }
 
+/// The deployment-agnostic read surface: this impl block is the **one
+/// place** the sharded backend's reads live (the deprecated inherent
+/// methods forward here).
+impl AccessService for ShardedSystem {
+    fn describe(&self) -> String {
+        format!("sharded(n={})", self.shards.len())
+    }
+
+    fn num_members(&self) -> usize {
+        ShardedSystem::num_members(self)
+    }
+
+    fn num_relationships(&self) -> usize {
+        self.num_edges()
+    }
+
+    fn resolve_user(&self, name: &str) -> Result<NodeId, EvalError> {
+        self.user(name)
+    }
+
+    fn member_name(&self, member: NodeId) -> &str {
+        ShardedSystem::member_name(self, member)
+    }
+
+    fn label_name(&self, label: LabelId) -> &str {
+        self.vocab.label_name(label)
+    }
+
+    /// A single targeted check runs the early-exiting per-condition
+    /// cross-shard fixpoint (same semantics as the single-graph
+    /// enforcer: owner always granted, rules disjoin, conditions
+    /// within a rule conjoin, no rules ⇒ private).
+    fn check(&self, rid: ResourceId, requester: NodeId) -> Result<Decision, EvalError> {
+        let owner = self.store.owner_of(rid)?;
+        if requester == owner {
+            return Ok(Decision::Grant);
+        }
+        if let Some(&d) = self.cache.read().get(&(rid, requester)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(d);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut decision = Decision::Deny;
+        'rules: for rule in self.store.rules_for(rid) {
+            if rule.conditions.is_empty() {
+                continue;
+            }
+            for cond in &rule.conditions {
+                if !self
+                    .evaluate_condition(cond.owner, &cond.path, Some(requester))
+                    .granted
+                {
+                    continue 'rules;
+                }
+            }
+            decision = Decision::Grant;
+            break;
+        }
+        self.cache.write().insert((rid, requester), decision);
+        Ok(decision)
+    }
+
+    /// Decides a batch of requests through **one** masked cross-shard
+    /// fixpoint per bundle (per distinct path among the touched
+    /// resources' conditions), rather than one per request or per
+    /// condition: the uncached resources' condition audiences are
+    /// materialized together and each request is decided by audience
+    /// membership — the two are equivalent because a rule grants
+    /// exactly the members in the intersection of its condition
+    /// audiences. Decisions come back in request order and populate
+    /// the decision cache. `threads` is accepted for API stability;
+    /// the fixpoint already fans out across shards on parallel scoped
+    /// threads.
+    fn check_batch(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+    ) -> Result<Vec<Decision>, EvalError> {
+        let _ = threads;
+        if requests.len() == 1 {
+            // A single targeted check is cheaper through the
+            // early-exiting per-condition fixpoint.
+            let (rid, req) = requests[0];
+            return Ok(vec![AccessService::check(self, rid, req)?]);
+        }
+        let mut decisions: Vec<Option<Decision>> = vec![None; requests.len()];
+        // Insertion-ordered dedup of the resources needing evaluation.
+        let mut need: Vec<ResourceId> = Vec::new();
+        let mut needed: HashSet<ResourceId> = HashSet::new();
+        {
+            let cache = self.cache.read();
+            for (i, &(rid, req)) in requests.iter().enumerate() {
+                let owner = self.store.owner_of(rid)?;
+                if req == owner {
+                    decisions[i] = Some(Decision::Grant);
+                } else if let Some(&d) = cache.get(&(rid, req)) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    decisions[i] = Some(d);
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    if needed.insert(rid) {
+                        need.push(rid);
+                    }
+                }
+            }
+        }
+        if !need.is_empty() {
+            let audiences = AccessService::audience_batch(self, &need)?;
+            let by_rid: HashMap<ResourceId, &Vec<NodeId>> =
+                need.iter().copied().zip(audiences.iter()).collect();
+            let mut cache = self.cache.write();
+            for (i, &(rid, req)) in requests.iter().enumerate() {
+                if decisions[i].is_some() {
+                    continue;
+                }
+                let audience = by_rid[&rid];
+                let d = if audience.binary_search(&req).is_ok() {
+                    Decision::Grant
+                } else {
+                    Decision::Deny
+                };
+                cache.insert((rid, req), d);
+                decisions[i] = Some(d);
+            }
+        }
+        Ok(decisions
+            .into_iter()
+            .map(|d| d.expect("every request decided"))
+            .collect())
+    }
+
+    /// Audiences of a whole bundle of resources, in `rids` order,
+    /// through **one** masked cross-shard fixpoint per bundle: the
+    /// distinct `(owner, path)` conditions are grouped by path and
+    /// each group's owners traverse together as condition bits of a
+    /// seeded mask BFS ([`ShardedSystem::evaluate_conditions_batched`]).
+    /// The per-resource merge semantics are the single-graph system's,
+    /// literally ([`crate::engine::merge_bundle_audiences`]); the
+    /// fixpoint census comes back as the uniform [`ReadStats`].
+    fn audience_batch_with_stats(
+        &self,
+        rids: &[ResourceId],
+    ) -> Result<(Vec<Vec<NodeId>>, ReadStats), EvalError> {
+        let mut stats = ReadStats::default();
+        let audiences = crate::engine::merge_bundle_audiences(&self.store, rids, |uniq| {
+            let (audiences, s) = self.evaluate_conditions_batched(uniq);
+            stats = ReadStats {
+                conditions: uniq.len(),
+                traversals: s.fixpoints,
+                rounds: s.rounds,
+                states_expanded: s.states_expanded.iter().sum(),
+                exported_states: s.exported_states,
+            };
+            Ok(audiences)
+        })?;
+        Ok((audiences, stats))
+    }
+
+    /// Explains a grant with one stitched cross-shard walk per
+    /// satisfied condition of the first granting rule.
+    fn explain(
+        &self,
+        rid: ResourceId,
+        requester: NodeId,
+    ) -> Result<Option<Explanation>, EvalError> {
+        let owner = self.store.owner_of(rid)?;
+        if requester == owner {
+            return Ok(Some(Explanation::Ownership { owner }));
+        }
+        'rules: for rule in self.store.rules_for(rid) {
+            if rule.conditions.is_empty() {
+                continue;
+            }
+            let mut walks = Vec::new();
+            for cond in &rule.conditions {
+                let out = self.evaluate_condition(cond.owner, &cond.path, Some(requester));
+                let Some(witness) = out.witness else {
+                    continue 'rules;
+                };
+                walks.push(WitnessWalk {
+                    start: cond.owner,
+                    hops: witness,
+                });
+            }
+            return Ok(Some(Explanation::Rule { walks }));
+        }
+        Ok(None)
+    }
+
+    fn cache_stats(&self) -> (u64, u64) {
+        ShardedSystem::cache_stats(self)
+    }
+}
+
+/// The deployment-agnostic write surface (thin forwards onto the
+/// inherent mutators, which stay for richer ergonomics).
+impl MutateService for ShardedSystem {
+    fn add_user(&mut self, name: &str) -> NodeId {
+        ShardedSystem::add_user(self, name)
+    }
+
+    fn set_user_attr(&mut self, user: NodeId, key: &str, value: AttrValue) {
+        ShardedSystem::set_user_attr(self, user, key, value);
+    }
+
+    fn add_relationship(&mut self, src: NodeId, label: &str, dst: NodeId) {
+        self.connect(src, label, dst);
+    }
+
+    fn add_mutual_relationship(&mut self, a: NodeId, label: &str, b: NodeId) {
+        self.connect_mutual(a, label, b);
+    }
+
+    fn add_resource(&mut self, owner: NodeId) -> ResourceId {
+        self.share(owner)
+    }
+
+    fn add_rule(&mut self, rid: ResourceId, path_text: &str) -> Result<(), EvalError> {
+        self.allow(rid, path_text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1235,9 +1331,21 @@ mod tests {
             let bob = sys.user("Bob").unwrap();
             let carol = sys.user("Carol").unwrap();
             let dave = sys.user("Dave").unwrap();
-            assert_eq!(sys.check(rid, bob).unwrap(), Decision::Grant, "{shards}");
-            assert_eq!(sys.check(rid, carol).unwrap(), Decision::Grant, "{shards}");
-            assert_eq!(sys.check(rid, dave).unwrap(), Decision::Deny, "{shards}");
+            assert_eq!(
+                sys.service().check(rid, bob).unwrap(),
+                Decision::Grant,
+                "{shards}"
+            );
+            assert_eq!(
+                sys.service().check(rid, carol).unwrap(),
+                Decision::Grant,
+                "{shards}"
+            );
+            assert_eq!(
+                sys.service().check(rid, dave).unwrap(),
+                Decision::Deny,
+                "{shards}"
+            );
         }
     }
 
@@ -1246,6 +1354,7 @@ mod tests {
         for shards in [1, 2, 3, 5] {
             let (sys, rid) = populated(shards);
             let names: Vec<&str> = sys
+                .service()
                 .audience(rid)
                 .unwrap()
                 .iter()
@@ -1294,9 +1403,10 @@ mod tests {
         assert!(stats[0].ghosts > 0 && stats[1].ghosts > 0);
         let rid = sys.share(alice);
         sys.allow(rid, "friend+[1,2]").unwrap();
-        assert_eq!(sys.check(rid, carol).unwrap(), Decision::Grant);
-        assert_eq!(sys.check(rid, dave).unwrap(), Decision::Deny);
+        assert_eq!(sys.service().check(rid, carol).unwrap(), Decision::Grant);
+        assert_eq!(sys.service().check(rid, dave).unwrap(), Decision::Deny);
         let audience: Vec<&str> = sys
+            .service()
             .audience(rid)
             .unwrap()
             .iter()
@@ -1316,14 +1426,18 @@ mod tests {
         sys.connect(bob, "friend", carol);
         let rid = sys.share(alice);
         sys.allow(rid, "friend+[1,2]").unwrap();
-        let lines = sys.explain(rid, carol).unwrap().expect("granted");
+        let lines = sys
+            .service()
+            .explain_lines(rid, carol)
+            .unwrap()
+            .expect("granted");
         assert_eq!(lines.len(), 1);
         assert!(lines[0].starts_with("Alice"));
         assert!(lines[0].contains("-friend->"));
         assert!(lines[0].ends_with("Carol"), "{}", lines[0]);
-        assert!(sys.explain(rid, bob).unwrap().is_some());
+        assert!(sys.service().explain_lines(rid, bob).unwrap().is_some());
         assert_eq!(
-            sys.explain(rid, alice).unwrap().unwrap()[0],
+            sys.service().explain_lines(rid, alice).unwrap().unwrap()[0],
             "Alice owns the resource"
         );
     }
@@ -1332,13 +1446,13 @@ mod tests {
     fn appends_republish_shards_incrementally() {
         let (mut sys, rid) = populated(2);
         let dave = sys.user("Dave").unwrap();
-        assert_eq!(sys.check(rid, dave).unwrap(), Decision::Deny);
+        assert_eq!(sys.service().check(rid, dave).unwrap(), Decision::Deny);
         let epochs_before = sys.snapshot_epochs();
         assert!(epochs_before.iter().all(|&e| e >= 1), "reads published");
         let alice = sys.user("Alice").unwrap();
         sys.connect(alice, "friend", dave);
         assert_eq!(
-            sys.check(rid, dave).unwrap(),
+            sys.service().check(rid, dave).unwrap(),
             Decision::Grant,
             "post-append reads see the new edge"
         );
@@ -1354,8 +1468,8 @@ mod tests {
         let (sys, rid) = populated(3);
         let bob = sys.user("Bob").unwrap();
         let dave = sys.user("Dave").unwrap();
-        sys.check(rid, bob).unwrap();
-        sys.check(rid, bob).unwrap();
+        sys.service().check(rid, bob).unwrap();
+        sys.service().check(rid, bob).unwrap();
         let (hits, misses) = sys.cache_stats();
         assert_eq!((hits, misses), (1, 1));
         let requests: Vec<_> = (0..30)
@@ -1363,13 +1477,16 @@ mod tests {
             .collect();
         let sequential: Vec<Decision> = requests
             .iter()
-            .map(|&(r, u)| sys.check(r, u).unwrap())
+            .map(|&(r, u)| sys.service().check(r, u).unwrap())
             .collect();
         for threads in [1, 2, 4] {
-            assert_eq!(sys.check_batch(&requests, threads).unwrap(), sequential);
+            assert_eq!(
+                sys.service().check_batch(&requests, threads).unwrap(),
+                sequential
+            );
         }
         assert!(matches!(
-            sys.check(ResourceId(99), bob),
+            sys.service().check(ResourceId(99), bob),
             Err(EvalError::UnknownResource(99))
         ));
     }
@@ -1394,9 +1511,9 @@ mod tests {
         assert_eq!(sys.num_members(), 3);
         assert_eq!(sys.num_edges(), 2);
         assert_eq!(sys.user("Carol").unwrap(), c);
-        assert_eq!(sys.check(rid, c).unwrap(), Decision::Grant);
-        assert_eq!(sys.check(rid, b).unwrap(), Decision::Deny);
-        let audience = sys.audience(rid).unwrap();
+        assert_eq!(sys.service().check(rid, c).unwrap(), Decision::Grant);
+        assert_eq!(sys.service().check(rid, b).unwrap(), Decision::Deny);
+        let audience = sys.service().audience(rid).unwrap();
         assert_eq!(audience, vec![a, c]);
     }
 
@@ -1412,10 +1529,14 @@ mod tests {
         sys.set_user_attr(y, "age", 20i64); // after ghost creation
         let rid = sys.share(x);
         sys.allow(rid, "friend+[1]{age>=30}").unwrap();
-        assert_eq!(sys.check(rid, y).unwrap(), Decision::Deny);
+        assert_eq!(sys.service().check(rid, y).unwrap(), Decision::Deny);
         sys.set_user_attr(y, "age", 35i64);
-        assert_eq!(sys.check(rid, y).unwrap(), Decision::Grant);
-        let lines = sys.explain(rid, y).unwrap().expect("granted");
+        assert_eq!(sys.service().check(rid, y).unwrap(), Decision::Grant);
+        let lines = sys
+            .service()
+            .explain_lines(rid, y)
+            .unwrap()
+            .expect("granted");
         assert_eq!(lines[0], "A -friend-> B");
     }
 }

@@ -1,6 +1,10 @@
-//! `AccessControlSystem` — the batteries-included façade a social
-//! platform would embed: members, relationships, shared resources,
-//! textual policies, and enforced access checks with pluggable engines.
+//! `AccessControlSystem` — the single-graph serving backend: members,
+//! relationships, shared resources, textual policies, and enforced
+//! access checks with pluggable engines. Reads are served through the
+//! deployment-agnostic [`AccessService`] trait (the inherent read
+//! methods are deprecated one-line forwards onto it), writes through
+//! [`MutateService`]; construct one via
+//! [`crate::service::Deployment::single`] to stay backend-agnostic.
 //!
 //! # Read/write split and the publication lifecycle
 //!
@@ -32,8 +36,9 @@ use crate::joinengine::{JoinEngineConfig, JoinIndexEngine};
 use crate::online;
 use crate::path::parse_path;
 use crate::policy::{Decision, PolicyStore, ResourceId};
+use crate::service::{AccessService, Explanation, MutateService, ReadStats, WalkHop, WitnessWalk};
 use parking_lot::RwLock;
-use socialreach_graph::{AttrValue, EdgeId, NodeId, SocialGraph};
+use socialreach_graph::{AttrValue, EdgeId, LabelId, NodeId, SocialGraph};
 use std::sync::Arc;
 
 /// Which engine evaluates access conditions.
@@ -81,6 +86,33 @@ impl AccessControlSystem {
             // guaranteed by construction.
             online: Enforcer::new(OnlineEngine).with_append_publication(),
         }
+    }
+
+    /// A system serving a copy of an existing graph: same member ids,
+    /// same label/attr-key ids, same edge order. A policy store built
+    /// against `g` can then be adopted verbatim with
+    /// [`AccessControlSystem::adopt_store`] (the mirror of
+    /// [`crate::ShardedSystem::from_graph`], so
+    /// [`crate::service::Deployment::from_graph`] stands either backend
+    /// up over one shared workload).
+    pub fn from_graph(g: &SocialGraph, choice: EngineChoice) -> Self {
+        let mut sys = Self::new(choice);
+        sys.graph = g.clone();
+        sys
+    }
+
+    /// Adopts a policy store built against the graph this system was
+    /// ingested from ([`AccessControlSystem::from_graph`] — ids align
+    /// by construction).
+    pub fn adopt_store(&mut self, store: PolicyStore) {
+        self.dirty();
+        self.store = store;
+    }
+
+    /// This backend as a deployment-agnostic read service (the
+    /// [`AccessService`] all read callers should migrate to).
+    pub fn service(&self) -> &dyn AccessService {
+        self
     }
 
     // ------------------------------------------------------------------
@@ -172,62 +204,35 @@ impl AccessControlSystem {
     }
 
     /// Decides whether `requester` may access `rid`.
+    #[deprecated(since = "0.2.0", note = "read through the `AccessService` trait")]
     pub fn check(&self, rid: ResourceId, requester: NodeId) -> Result<Decision, EvalError> {
-        match self.choice {
-            EngineChoice::Online => {
-                self.online
-                    .check_access(&self.graph, &self.store, rid, requester)
-            }
-            EngineChoice::JoinIndex(_) => {
-                self.join_enforcer()
-                    .check_access(&self.graph, &self.store, rid, requester)
-            }
-        }
+        AccessService::check(self, rid, requester)
     }
 
     /// Decides a batch of requests on up to `threads` worker threads
     /// sharing the current snapshot epoch; decisions come back in
     /// request order ([`Enforcer::check_batch`]).
+    #[deprecated(since = "0.2.0", note = "read through the `AccessService` trait")]
     pub fn check_batch(
         &self,
         requests: &[(ResourceId, NodeId)],
         threads: usize,
     ) -> Result<Vec<Decision>, EvalError> {
-        match self.choice {
-            EngineChoice::Online => {
-                self.online
-                    .check_batch(&self.graph, &self.store, requests, threads)
-            }
-            EngineChoice::JoinIndex(_) => {
-                self.join_enforcer()
-                    .check_batch(&self.graph, &self.store, requests, threads)
-            }
-        }
+        AccessService::check_batch(self, requests, threads)
     }
 
     /// The full audience of a resource: the union over rules of the
     /// intersection over each rule's conditions (plus the owner).
+    #[deprecated(since = "0.2.0", note = "read through the `AccessService` trait")]
     pub fn audience(&self, rid: ResourceId) -> Result<Vec<NodeId>, EvalError> {
-        Ok(self
-            .audience_batch(std::slice::from_ref(&rid))?
-            .pop()
-            .expect("one audience per requested resource"))
+        AccessService::audience(self, rid)
     }
 
     /// Audiences of a whole bundle of resources at once (a feed of
-    /// posts, an album), in `rids` order. Under the online engine the
-    /// bundle's distinct conditions are deduped and every set of owners
-    /// sharing a path template traverses the shared snapshot together
-    /// in one multi-source pass — the batch-audience workload this
-    /// system is built around.
+    /// posts, an album), in `rids` order.
+    #[deprecated(since = "0.2.0", note = "read through the `AccessService` trait")]
     pub fn audience_batch(&self, rids: &[ResourceId]) -> Result<Vec<Vec<NodeId>>, EvalError> {
-        match self.choice {
-            EngineChoice::Online => self.online.audience_batch(&self.graph, &self.store, rids),
-            EngineChoice::JoinIndex(_) => {
-                self.join_enforcer()
-                    .audience_batch(&self.graph, &self.store, rids)
-            }
-        }
+        AccessService::audience_batch(self, rids)
     }
 
     /// Number of snapshot publications the online enforcer has made
@@ -236,58 +241,15 @@ impl AccessControlSystem {
         self.online.snapshot_epoch()
     }
 
-    /// Explains a grant: a human-readable walk from the owner to the
-    /// requester matching one of the resource's rules, or `None` when
-    /// access is denied. Always uses the online engine (the join index
-    /// does not keep witnesses).
+    /// Explains a grant as human-readable walk lines, or `None` when
+    /// access is denied.
+    #[deprecated(since = "0.2.0", note = "read through the `AccessService` trait")]
     pub fn explain(
         &self,
         rid: ResourceId,
         requester: NodeId,
     ) -> Result<Option<Vec<String>>, EvalError> {
-        let owner = self.store.owner_of(rid)?;
-        if requester == owner {
-            return Ok(Some(vec![format!(
-                "{} owns the resource",
-                self.graph.node_name(owner)
-            )]));
-        }
-        let rules = self.store.rules_for(rid).to_vec();
-        'rules: for rule in &rules {
-            if rule.conditions.is_empty() {
-                continue;
-            }
-            let mut lines = Vec::new();
-            for cond in &rule.conditions {
-                let out = online::evaluate(&self.graph, cond.owner, &cond.path, Some(requester));
-                let Some(witness) = out.witness else {
-                    continue 'rules;
-                };
-                let mut walk = vec![self.graph.node_name(cond.owner).to_owned()];
-                let mut at = cond.owner;
-                for (eid, forward) in witness {
-                    let rec = self.graph.edge(eid);
-                    let (next, arrow) = if forward {
-                        (
-                            rec.dst,
-                            format!("-{}->", self.graph.vocab().label_name(rec.label)),
-                        )
-                    } else {
-                        (
-                            rec.src,
-                            format!("<-{}-", self.graph.vocab().label_name(rec.label)),
-                        )
-                    };
-                    walk.push(arrow);
-                    walk.push(self.graph.node_name(next).to_owned());
-                    at = next;
-                }
-                debug_assert_eq!(at, requester);
-                lines.push(walk.join(" "));
-            }
-            return Ok(Some(lines));
-        }
-        Ok(None)
+        AccessService::explain_lines(self, rid, requester)
     }
 
     /// Parses a path against this system's vocabulary (exposed for
@@ -321,6 +283,166 @@ impl AccessControlSystem {
     }
 }
 
+/// The deployment-agnostic read surface: this impl block is the **one
+/// place** the single-graph backend's reads live (the deprecated
+/// inherent methods forward here).
+impl AccessService for AccessControlSystem {
+    fn describe(&self) -> String {
+        match self.choice {
+            EngineChoice::Online => "single(online-bfs)".to_owned(),
+            EngineChoice::JoinIndex(_) => "single(join-index)".to_owned(),
+        }
+    }
+
+    fn num_members(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn num_relationships(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn resolve_user(&self, name: &str) -> Result<NodeId, EvalError> {
+        self.user(name)
+    }
+
+    fn member_name(&self, member: NodeId) -> &str {
+        self.graph.node_name(member)
+    }
+
+    fn label_name(&self, label: LabelId) -> &str {
+        self.graph.vocab().label_name(label)
+    }
+
+    fn check(&self, rid: ResourceId, requester: NodeId) -> Result<Decision, EvalError> {
+        match self.choice {
+            EngineChoice::Online => {
+                self.online
+                    .check_access(&self.graph, &self.store, rid, requester)
+            }
+            EngineChoice::JoinIndex(_) => {
+                self.join_enforcer()
+                    .check_access(&self.graph, &self.store, rid, requester)
+            }
+        }
+    }
+
+    fn check_batch(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+    ) -> Result<Vec<Decision>, EvalError> {
+        match self.choice {
+            EngineChoice::Online => {
+                self.online
+                    .check_batch(&self.graph, &self.store, requests, threads)
+            }
+            EngineChoice::JoinIndex(_) => {
+                self.join_enforcer()
+                    .check_batch(&self.graph, &self.store, requests, threads)
+            }
+        }
+    }
+
+    /// Under the online engine the bundle's distinct conditions are
+    /// deduped and every set of owners sharing a path template
+    /// traverses the shared snapshot together in one multi-source pass
+    /// — the batch-audience workload this system is built around.
+    fn audience_batch_with_stats(
+        &self,
+        rids: &[ResourceId],
+    ) -> Result<(Vec<Vec<NodeId>>, ReadStats), EvalError> {
+        match self.choice {
+            EngineChoice::Online => {
+                self.online
+                    .audience_batch_with_stats(&self.graph, &self.store, rids)
+            }
+            EngineChoice::JoinIndex(_) => {
+                self.join_enforcer()
+                    .audience_batch_with_stats(&self.graph, &self.store, rids)
+            }
+        }
+    }
+
+    /// Always uses the online engine (the join index does not keep
+    /// witnesses).
+    fn explain(
+        &self,
+        rid: ResourceId,
+        requester: NodeId,
+    ) -> Result<Option<Explanation>, EvalError> {
+        let owner = self.store.owner_of(rid)?;
+        if requester == owner {
+            return Ok(Some(Explanation::Ownership { owner }));
+        }
+        let rules = self.store.rules_for(rid).to_vec();
+        'rules: for rule in &rules {
+            if rule.conditions.is_empty() {
+                continue;
+            }
+            let mut walks = Vec::new();
+            for cond in &rule.conditions {
+                let out = online::evaluate(&self.graph, cond.owner, &cond.path, Some(requester));
+                let Some(witness) = out.witness else {
+                    continue 'rules;
+                };
+                let mut hops = Vec::with_capacity(witness.len());
+                let mut at = cond.owner;
+                for (eid, forward) in witness {
+                    let rec = self.graph.edge(eid);
+                    hops.push(WalkHop {
+                        src: rec.src,
+                        dst: rec.dst,
+                        label: rec.label,
+                        forward,
+                    });
+                    at = if forward { rec.dst } else { rec.src };
+                }
+                debug_assert_eq!(at, requester);
+                walks.push(WitnessWalk {
+                    start: cond.owner,
+                    hops,
+                });
+            }
+            return Ok(Some(Explanation::Rule { walks }));
+        }
+        Ok(None)
+    }
+
+    fn cache_stats(&self) -> (u64, u64) {
+        AccessControlSystem::cache_stats(self)
+    }
+}
+
+/// The deployment-agnostic write surface (thin forwards onto the richer
+/// inherent mutators, which remain for callers that want `EdgeId`s or
+/// `impl Into<AttrValue>` ergonomics).
+impl MutateService for AccessControlSystem {
+    fn add_user(&mut self, name: &str) -> NodeId {
+        AccessControlSystem::add_user(self, name)
+    }
+
+    fn set_user_attr(&mut self, user: NodeId, key: &str, value: AttrValue) {
+        AccessControlSystem::set_user_attr(self, user, key, value);
+    }
+
+    fn add_relationship(&mut self, src: NodeId, label: &str, dst: NodeId) {
+        self.connect(src, label, dst);
+    }
+
+    fn add_mutual_relationship(&mut self, a: NodeId, label: &str, b: NodeId) {
+        self.connect_mutual(a, label, b);
+    }
+
+    fn add_resource(&mut self, owner: NodeId) -> ResourceId {
+        self.share(owner)
+    }
+
+    fn add_rule(&mut self, rid: ResourceId, path_text: &str) -> Result<(), EvalError> {
+        self.allow(rid, path_text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,9 +471,9 @@ mod tests {
             let bob = sys.user("Bob").unwrap();
             let carol = sys.user("Carol").unwrap();
             let dave = sys.user("Dave").unwrap();
-            assert_eq!(sys.check(rid, bob).unwrap(), Decision::Grant);
-            assert_eq!(sys.check(rid, carol).unwrap(), Decision::Grant);
-            assert_eq!(sys.check(rid, dave).unwrap(), Decision::Deny);
+            assert_eq!(sys.service().check(rid, bob).unwrap(), Decision::Grant);
+            assert_eq!(sys.service().check(rid, carol).unwrap(), Decision::Grant);
+            assert_eq!(sys.service().check(rid, dave).unwrap(), Decision::Deny);
         }
     }
 
@@ -359,6 +481,7 @@ mod tests {
     fn audience_includes_owner_and_matching_members() {
         let (sys, rid) = populated(EngineChoice::Online);
         let names: Vec<String> = sys
+            .service()
             .audience(rid)
             .unwrap()
             .iter()
@@ -371,31 +494,35 @@ mod tests {
     fn mutation_invalidates_the_index() {
         let (mut sys, rid) = populated(EngineChoice::JoinIndex(JoinEngineConfig::default()));
         let dave = sys.user("Dave").unwrap();
-        assert_eq!(sys.check(rid, dave).unwrap(), Decision::Deny);
+        assert_eq!(sys.service().check(rid, dave).unwrap(), Decision::Deny);
         // Alice befriends Dave directly; the index must be rebuilt.
         let alice = sys.user("Alice").unwrap();
         sys.connect(alice, "friend", dave);
-        assert_eq!(sys.check(rid, dave).unwrap(), Decision::Grant);
+        assert_eq!(sys.service().check(rid, dave).unwrap(), Decision::Grant);
     }
 
     #[test]
     fn explain_produces_a_readable_walk() {
         let (sys, rid) = populated(EngineChoice::Online);
         let carol = sys.user("Carol").unwrap();
-        let explanation = sys.explain(rid, carol).unwrap().expect("granted");
+        let explanation = sys
+            .service()
+            .explain_lines(rid, carol)
+            .unwrap()
+            .expect("granted");
         assert_eq!(explanation.len(), 1);
         assert!(explanation[0].contains("Alice"));
         assert!(explanation[0].contains("-friend->"));
         assert!(explanation[0].ends_with("Carol"));
         let dave = sys.user("Dave").unwrap();
-        assert!(sys.explain(rid, dave).unwrap().is_none());
+        assert!(sys.service().explain_lines(rid, dave).unwrap().is_none());
     }
 
     #[test]
     fn owner_explanation_is_ownership() {
         let (sys, rid) = populated(EngineChoice::Online);
         let alice = sys.user("Alice").unwrap();
-        let explanation = sys.explain(rid, alice).unwrap().unwrap();
+        let explanation = sys.service().explain_lines(rid, alice).unwrap().unwrap();
         assert!(explanation[0].contains("owns"));
     }
 
@@ -412,8 +539,8 @@ mod tests {
     fn cache_stats_track_repeat_checks() {
         let (sys, rid) = populated(EngineChoice::Online);
         let bob = sys.user("Bob").unwrap();
-        sys.check(rid, bob).unwrap();
-        sys.check(rid, bob).unwrap();
+        sys.service().check(rid, bob).unwrap();
+        sys.service().check(rid, bob).unwrap();
         let (hits, misses) = sys.cache_stats();
         assert_eq!((hits, misses), (1, 1));
     }
@@ -430,7 +557,7 @@ mod tests {
                 .map(|i| {
                     let sys = &sys;
                     let user = [bob, carol, dave][i % 3];
-                    scope.spawn(move || sys.check(rid, user).unwrap())
+                    scope.spawn(move || sys.service().check(rid, user).unwrap())
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -454,16 +581,16 @@ mod tests {
     fn appends_republish_incrementally_not_from_scratch() {
         let (mut sys, rid) = populated(EngineChoice::Online);
         let dave = sys.user("Dave").unwrap();
-        assert_eq!(sys.check(rid, dave).unwrap(), Decision::Deny);
+        assert_eq!(sys.service().check(rid, dave).unwrap(), Decision::Deny);
         assert_eq!(sys.snapshot_epoch(), 1);
         let alice = sys.user("Alice").unwrap();
         sys.connect(alice, "friend", dave);
-        assert_eq!(sys.check(rid, dave).unwrap(), Decision::Grant);
+        assert_eq!(sys.service().check(rid, dave).unwrap(), Decision::Grant);
         assert_eq!(sys.snapshot_epoch(), 2, "append published a new epoch");
         // Attribute writes keep the epoch: the snapshot stores no
         // attributes, so no republication happens.
         sys.set_user_attr(dave, "age", 44i64);
-        assert_eq!(sys.check(rid, dave).unwrap(), Decision::Grant);
+        assert_eq!(sys.service().check(rid, dave).unwrap(), Decision::Grant);
         assert_eq!(sys.snapshot_epoch(), 2);
     }
 
@@ -477,9 +604,9 @@ mod tests {
             .collect();
         let sequential: Vec<Decision> = requests
             .iter()
-            .map(|&(r, u)| sys.check(r, u).unwrap())
+            .map(|&(r, u)| sys.service().check(r, u).unwrap())
             .collect();
-        assert_eq!(sys.check_batch(&requests, 4).unwrap(), sequential);
+        assert_eq!(sys.service().check_batch(&requests, 4).unwrap(), sequential);
     }
 
     #[test]
@@ -494,9 +621,9 @@ mod tests {
             sys.allow(rid2, "friend+[1,2]").unwrap();
             let rid3 = sys.share(bob); // private
             let bundle = [rid, rid2, rid3];
-            let batched = sys.audience_batch(&bundle).unwrap();
+            let batched = sys.service().audience_batch(&bundle).unwrap();
             for (&r, batch) in bundle.iter().zip(&batched) {
-                assert_eq!(batch, &sys.audience(r).unwrap());
+                assert_eq!(batch, &sys.service().audience(r).unwrap());
             }
         }
     }
@@ -507,7 +634,7 @@ mod tests {
         assert!(sys.user("Nobody").is_err());
         let alice = sys.add_user("Alice");
         assert!(matches!(
-            sys.check(ResourceId(99), alice),
+            sys.service().check(ResourceId(99), alice),
             Err(EvalError::UnknownResource(99))
         ));
     }

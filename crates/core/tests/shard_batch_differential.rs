@@ -15,10 +15,12 @@
 //! batched decisions must be witnessable: the stitched walk of the
 //! targeted fixpoint replays through the path automaton.
 
+mod common;
+
 use proptest::prelude::*;
 use socialreach_core::{
-    online, parse_path, resource_audience, AccessEngine, Decision, Enforcer, OnlineEngine,
-    PathExpr, PolicyStore, ShardedHop, ShardedSystem,
+    online, parse_path, AccessEngine, Decision, Deployment, OnlineEngine, PathExpr, PolicyStore,
+    ShardedSystem,
 };
 use socialreach_graph::{NodeId, ShardAssignment, SocialGraph};
 
@@ -139,93 +141,6 @@ fn build_store(g: &mut SocialGraph, case: &Case) -> (PolicyStore, Vec<(NodeId, P
     (store, conds)
 }
 
-/// Validates a stitched witness: a connected walk `owner ⇝ requester`
-/// whose hops are real edges of the reference graph and whose
-/// label/direction/depth sequence is accepted by the path automaton.
-fn assert_witness_valid(
-    g: &SocialGraph,
-    owner: NodeId,
-    requester: NodeId,
-    path: &PathExpr,
-    witness: &[ShardedHop],
-) {
-    let mut at = owner;
-    for hop in witness {
-        let exists = g
-            .edges()
-            .any(|(_, r)| r.src == hop.src && r.dst == hop.dst && r.label == hop.label);
-        assert!(exists, "hop {hop:?} is not an edge of the graph");
-        let (from, to) = if hop.forward {
-            (hop.src, hop.dst)
-        } else {
-            (hop.dst, hop.src)
-        };
-        assert_eq!(from, at, "witness disconnects at {hop:?}");
-        at = to;
-    }
-    assert_eq!(at, requester, "witness does not end at the requester");
-
-    let steps = &path.steps;
-    let sat: Vec<u32> = steps
-        .iter()
-        .map(|s| {
-            let &(lo, hi) = s.depths.intervals().last().expect("non-empty depth set");
-            hi.unwrap_or(lo)
-        })
-        .collect();
-    let completes = |i: usize, d: u32, node: NodeId| {
-        d >= 1
-            && steps[i].depths.contains(d)
-            && steps[i].conds.iter().all(|c| c.eval(g.node_attrs(node)))
-    };
-    let close = |states: &mut Vec<(usize, u32)>, node: NodeId| {
-        let mut k = 0;
-        while k < states.len() {
-            let (i, d) = states[k];
-            if i + 1 < steps.len() && completes(i, d, node) && !states.contains(&(i + 1, 0)) {
-                states.push((i + 1, 0));
-            }
-            k += 1;
-        }
-    };
-    let mut states: Vec<(usize, u32)> = vec![(0, 0)];
-    let mut at = owner;
-    for hop in witness {
-        close(&mut states, at);
-        let (label, forward) = (hop.label, hop.forward);
-        let mut next: Vec<(usize, u32)> = Vec::new();
-        for &(i, d) in &states {
-            let step = &steps[i];
-            if step.label != label {
-                continue;
-            }
-            let dir_ok = match step.dir {
-                socialreach_graph::Direction::Out => forward,
-                socialreach_graph::Direction::In => !forward,
-                socialreach_graph::Direction::Both => true,
-            };
-            if !dir_ok {
-                continue;
-            }
-            if d < sat[i] || step.depths.is_unbounded() {
-                let nd = (d + 1).min(sat[i]);
-                if !next.contains(&(i, nd)) {
-                    next.push((i, nd));
-                }
-            }
-        }
-        states = next;
-        assert!(!states.is_empty(), "witness hop {hop:?} matches no step");
-        at = if forward { hop.dst } else { hop.src };
-    }
-    assert!(
-        states
-            .iter()
-            .any(|&(i, d)| i == steps.len() - 1 && completes(i, d, at)),
-        "witness walk does not complete the path at the requester"
-    );
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -285,28 +200,24 @@ proptest! {
                 "≤64 conditions per path share one fixpoint (shards={})", shards
             );
 
-            // Resource-level: batched ≡ per-condition ≡ single merged.
-            let batched = sys.audience_batch(&rids).unwrap();
+            // Resource-level: batched ≡ per-condition ≡ the single
+            // deployment, through the backend-agnostic harness.
+            let batched = sys.service().audience_batch(&rids).unwrap();
             let per_condition = sys.audience_batch_per_condition(&rids).unwrap();
             prop_assert_eq!(&batched, &per_condition, "shards={}", shards);
-            for (&rid, audience) in rids.iter().zip(&batched) {
-                let solo = resource_audience(&g, &store, rid, &OnlineEngine).unwrap();
-                prop_assert_eq!(
-                    audience, &solo,
-                    "merged audience: rid={:?} shards={}", rid, shards
-                );
-            }
+            let single = Deployment::online().from_graph(&g, store.clone());
+            common::assert_services_agree(single.reads(), sys.service(), &rids);
         }
     }
 
-    /// Batched decisions ≡ the single-graph enforcer for every
+    /// Batched decisions ≡ the single-graph deployment for every
     /// resource × member, and every batched grant is witnessable by a
     /// stitched walk the path automaton accepts.
     #[test]
     fn batched_checks_match_and_grants_are_witnessable(case in case_strategy()) {
         let mut g = case.graph.clone();
         let (store, _) = build_store(&mut g, &case);
-        let enforcer = Enforcer::new(OnlineEngine);
+        let single = Deployment::online().from_graph(&g, store.clone());
         let rids: Vec<_> = {
             let mut r: Vec<_> = store.resources().map(|(rid, _)| rid).collect();
             r.sort_unstable();
@@ -320,9 +231,9 @@ proptest! {
         for &shards in &SHARD_COUNTS {
             let mut sys = ShardedSystem::from_graph(&g, ShardAssignment::hashed(shards, 23));
             sys.adopt_store(store.clone());
-            let decisions = sys.check_batch(&requests, 2).unwrap();
+            let decisions = sys.service().check_batch(&requests, 2).unwrap();
             for (&(rid, member), &got) in requests.iter().zip(&decisions) {
-                let truth = enforcer.check_access(&g, &store, rid, member).unwrap();
+                let truth = single.reads().check(rid, member).unwrap();
                 prop_assert_eq!(
                     got, truth,
                     "decision: rid={:?} member={} shards={}", rid, member, shards
@@ -337,7 +248,7 @@ proptest! {
                                     sys.evaluate_condition(cond.owner, &cond.path, Some(member));
                                 match &out.witness {
                                     Some(w) => {
-                                        assert_witness_valid(
+                                        common::assert_witness_valid(
                                             &g, cond.owner, member, &cond.path, w,
                                         );
                                         true
@@ -382,14 +293,24 @@ fn wide_bundles_chunk_into_words_without_cross_talk() {
         rids.push(rid);
     }
 
+    // The uniform census agrees across deployments: the single-graph
+    // batch BFS also chunks the 70 shared-template owners into two
+    // 64-wide mask passes.
+    let single = Deployment::online().from_graph(&g, store.clone());
+    let (_, single_stats) = single.reads().audience_batch_with_stats(&rids).unwrap();
+    assert_eq!(single_stats.traversals, 2, "single backend: two mask words");
+    assert_eq!(single_stats.conditions, 70);
+    assert_eq!(single_stats.exported_states, 0);
+
     for shards in [1u32, 3] {
         let mut sys = ShardedSystem::from_graph(&g, ShardAssignment::hashed(shards, 9));
         sys.adopt_store(store.clone());
-        let (batched, stats) = sys.audience_batch_with_stats(&rids).unwrap();
+        let (batched, stats) = sys.service().audience_batch_with_stats(&rids).unwrap();
         assert_eq!(
-            stats.fixpoints, 2,
+            stats.traversals, 2,
             "70 conditions of one template = two mask words (shards {shards})"
         );
+        assert_eq!(stats.conditions, 70, "the bundle dedups to 70 conditions");
         let per_condition = sys.audience_batch_per_condition(&rids).unwrap();
         assert_eq!(batched, per_condition, "shards {shards}");
         for (i, audience) in batched.iter().enumerate() {
@@ -512,7 +433,7 @@ fn pingpong_fixpoint_expands_the_region_once() {
     // adversarial topology.
     let rid = sys.share(o);
     sys.allow(rid, "friend+[1..]").unwrap();
-    let batched = sys.audience_batch(&[rid]).unwrap();
+    let batched = sys.service().audience_batch(&[rid]).unwrap();
     let per_cond = sys.audience_batch_per_condition(&[rid]).unwrap();
     assert_eq!(batched, per_cond, "semantics agree on the ping-pong graph");
 }

@@ -61,9 +61,12 @@ fn readers_race_a_writer_across_epochs() {
                         let n = s.num_members() as u32;
                         let requests: Vec<(ResourceId, NodeId)> =
                             (1..n.min(8)).map(|i| (rid, NodeId(i))).collect();
-                        let decisions = s.check_batch(&requests, 2).expect("no stale panics");
+                        let decisions = s
+                            .service()
+                            .check_batch(&requests, 2)
+                            .expect("no stale panics");
                         assert_eq!(decisions.len(), requests.len());
-                        let audience = s.audience(rid).expect("audience evaluates");
+                        let audience = s.service().audience(rid).expect("audience evaluates");
                         assert!(
                             audience.contains(&NodeId(0)),
                             "the owner is always in the audience"
@@ -105,9 +108,13 @@ fn readers_race_a_writer_across_epochs() {
         } else {
             Decision::Deny
         };
-        assert_eq!(s.check(rid, m).unwrap(), expect, "member {i} of the chain");
+        assert_eq!(
+            s.service().check(rid, m).unwrap(),
+            expect,
+            "member {i} of the chain"
+        );
     }
-    let audience = s.audience(rid).unwrap();
+    let audience = s.service().audience(rid).unwrap();
     assert!(audience.len() >= 9, "audience covers the appended prefix");
     let epochs = s.snapshot_epochs();
     assert!(
@@ -167,7 +174,10 @@ fn batched_readers_observe_coherent_bundles_across_epochs() {
                         let s = sys_ref.read();
                         // The batched bundle: both conditions must see
                         // one chain state.
-                        let bundle = s.audience_batch(&[rid_range, rid_list]).expect("bundle");
+                        let bundle = s
+                            .service()
+                            .audience_batch(&[rid_range, rid_list])
+                            .expect("bundle");
                         assert_eq!(
                             bundle[0], bundle[1],
                             "torn bundle: equivalent conditions diverged within one batch"
@@ -179,7 +189,10 @@ fn batched_readers_observe_coherent_bundles_across_epochs() {
                         let requests: Vec<(ResourceId, NodeId)> = (1..6u32)
                             .flat_map(|i| [(rid_range, NodeId(i)), (rid_list, NodeId(i))])
                             .collect();
-                        let decisions = s.check_batch(&requests, 2).expect("no stale panics");
+                        let decisions = s
+                            .service()
+                            .check_batch(&requests, 2)
+                            .expect("no stale panics");
                         for (req, d) in requests.iter().zip(&decisions) {
                             assert_eq!(
                                 *d,
@@ -207,7 +220,7 @@ fn batched_readers_observe_coherent_bundles_across_epochs() {
     // Post-publication: the final batch reflects every append on both
     // equivalent rules, and decisions match audiences exactly.
     let s = sys.read();
-    let bundle = s.audience_batch(&[rid_range, rid_list]).unwrap();
+    let bundle = s.service().audience_batch(&[rid_range, rid_list]).unwrap();
     assert_eq!(bundle[0], bundle[1]);
     assert_eq!(
         bundle[0].len(),
@@ -216,7 +229,7 @@ fn batched_readers_observe_coherent_bundles_across_epochs() {
     );
     for &m in &members {
         let granted = bundle[0].binary_search(&m).is_ok();
-        let d = s.check(rid_range, m).unwrap();
+        let d = s.service().check(rid_range, m).unwrap();
         assert_eq!(
             d,
             if granted || m == NodeId(0) {

@@ -1,14 +1,18 @@
 //! Differential property tests for the sharded serving layer: on
-//! random graphs × random policies, [`ShardedSystem`] must return
+//! random graphs × random policies, the sharded deployment must return
 //! exactly the same **decisions**, **audiences** and *valid*
-//! **witnesses** as the single-graph system, across shard counts
+//! **witnesses** as the single-graph deployment, across shard counts
 //! {1, 2, 4, 7} — partitioning is an implementation detail the
-//! semantics may never observe.
+//! semantics may never observe. The equivalence harness
+//! ([`common::assert_services_agree`]) is generic over any two
+//! [`socialreach_core::AccessService`] implementations; this suite
+//! instantiates it with `Deployment::single` vs `Deployment::sharded`.
+
+mod common;
 
 use proptest::prelude::*;
 use socialreach_core::{
-    online, parse_path, resource_audience, Decision, Enforcer, OnlineEngine, PathExpr, PolicyStore,
-    ShardedHop, ShardedSystem,
+    online, parse_path, Decision, Deployment, PathExpr, PolicyStore, ShardedSystem,
 };
 use socialreach_graph::{NodeId, ShardAssignment, SocialGraph};
 
@@ -110,143 +114,28 @@ fn build_store(g: &mut SocialGraph, policies: &[(u32, String)]) -> PolicyStore {
     store
 }
 
-/// Validates a stitched witness: a connected walk `owner ⇝ requester`
-/// whose hops are real edges of the reference graph and whose
-/// label/direction/depth sequence is accepted by the path automaton.
-fn assert_witness_valid(
-    g: &SocialGraph,
-    owner: NodeId,
-    requester: NodeId,
-    path: &PathExpr,
-    witness: &[ShardedHop],
-) {
-    // 1. Each hop is an edge of the reference graph and the walk chains.
-    let mut at = owner;
-    for hop in witness {
-        let exists = g
-            .edges()
-            .any(|(_, r)| r.src == hop.src && r.dst == hop.dst && r.label == hop.label);
-        assert!(exists, "hop {hop:?} is not an edge of the graph");
-        let (from, to) = if hop.forward {
-            (hop.src, hop.dst)
-        } else {
-            (hop.dst, hop.src)
-        };
-        assert_eq!(from, at, "witness disconnects at {hop:?}");
-        at = to;
-    }
-    assert_eq!(at, requester, "witness does not end at the requester");
-
-    // 2. The hop sequence is accepted by the path automaton: NFA over
-    //    (step, depth) states with ε-completions between steps.
-    let steps = &path.steps;
-    // Saturation point of a depth set (all deeper depths equivalent),
-    // from the public interval view.
-    let sat: Vec<u32> = steps
-        .iter()
-        .map(|s| {
-            let &(lo, hi) = s.depths.intervals().last().expect("non-empty depth set");
-            hi.unwrap_or(lo)
-        })
-        .collect();
-    let completes = |i: usize, d: u32, node: NodeId| {
-        d >= 1
-            && steps[i].depths.contains(d)
-            && steps[i].conds.iter().all(|c| c.eval(g.node_attrs(node)))
-    };
-    let close = |states: &mut Vec<(usize, u32)>, node: NodeId| {
-        let mut k = 0;
-        while k < states.len() {
-            let (i, d) = states[k];
-            if i + 1 < steps.len() && completes(i, d, node) && !states.contains(&(i + 1, 0)) {
-                states.push((i + 1, 0));
-            }
-            k += 1;
-        }
-    };
-    let mut states: Vec<(usize, u32)> = vec![(0, 0)];
-    let mut at = owner;
-    for hop in witness {
-        close(&mut states, at);
-        let (label, forward) = (hop.label, hop.forward);
-        let mut next: Vec<(usize, u32)> = Vec::new();
-        for &(i, d) in &states {
-            let step = &steps[i];
-            if step.label != label {
-                continue;
-            }
-            let dir_ok = match step.dir {
-                socialreach_graph::Direction::Out => forward,
-                socialreach_graph::Direction::In => !forward,
-                socialreach_graph::Direction::Both => true,
-            };
-            if !dir_ok {
-                continue;
-            }
-            if d < sat[i] || step.depths.is_unbounded() {
-                let nd = (d + 1).min(sat[i]);
-                if !next.contains(&(i, nd)) {
-                    next.push((i, nd));
-                }
-            }
-        }
-        states = next;
-        assert!(!states.is_empty(), "witness hop {hop:?} matches no step");
-        at = if forward { hop.dst } else { hop.src };
-    }
-    assert!(
-        states
-            .iter()
-            .any(|&(i, d)| i == steps.len() - 1 && completes(i, d, at)),
-        "witness walk does not complete the path at the requester"
-    );
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Decisions and audiences: `ShardedSystem` ≡ single-graph
-    /// enforcer, for every resource × member, across shard counts.
+    /// Decisions, audiences, batched reads and explain grant-ness:
+    /// the sharded deployment ≡ the single-graph deployment, for every
+    /// resource × member, across shard counts — via the
+    /// backend-agnostic `&dyn AccessService` harness.
     #[test]
     fn sharded_decisions_and_audiences_match_single_graph(case in case_strategy()) {
         let mut g = case.graph;
         let store = build_store(&mut g, &case.policies);
-        let enforcer = Enforcer::new(OnlineEngine);
         let rids: Vec<_> = {
             let mut r: Vec<_> = store.resources().map(|(rid, _)| rid).collect();
             r.sort_unstable();
             r
         };
 
+        let single = Deployment::online().from_graph(&g, store.clone());
         for &shards in &SHARD_COUNTS {
-            let mut sys = ShardedSystem::from_graph(&g, ShardAssignment::hashed(shards, 11));
-            sys.adopt_store(store.clone());
-
-            for &rid in &rids {
-                let solo = resource_audience(&g, &store, rid, &OnlineEngine).unwrap();
-                let sharded = sys.audience(rid).unwrap();
-                prop_assert_eq!(
-                    &sharded, &solo,
-                    "audience mismatch: rid={:?} shards={}", rid, shards
-                );
-                for member in g.nodes() {
-                    let truth = enforcer.check_access(&g, &store, rid, member).unwrap();
-                    let got = sys.check(rid, member).unwrap();
-                    prop_assert_eq!(
-                        got, truth,
-                        "decision mismatch: rid={:?} member={} shards={}",
-                        rid, member, shards
-                    );
-                }
-            }
-
-            // Bundled audiences agree with per-resource ones (and the
-            // single system's bundled path).
-            let bundled = sys.audience_batch(&rids).unwrap();
-            for (&rid, audience) in rids.iter().zip(&bundled) {
-                let solo = resource_audience(&g, &store, rid, &OnlineEngine).unwrap();
-                prop_assert_eq!(audience, &solo, "batch audience: rid={:?}", rid);
-            }
+            let sharded = Deployment::sharded_with(ShardAssignment::hashed(shards, 11))
+                .from_graph(&g, store.clone());
+            common::assert_services_agree(single.reads(), sharded.reads(), &rids);
         }
     }
 
@@ -277,7 +166,7 @@ proptest! {
                     );
                     prop_assert_eq!(sharded.witness.is_some(), sharded.granted);
                     if let Some(w) = &sharded.witness {
-                        assert_witness_valid(&g, *owner, requester, path, w);
+                        common::assert_witness_valid(&g, *owner, requester, path, w);
                     }
                 }
             }
@@ -337,15 +226,18 @@ fn placement_and_decisions_are_reproducible() {
     for m in 0..40u32 {
         assert_eq!(a.member_shard(NodeId(m)), b.member_shard(NodeId(m)));
     }
-    assert_eq!(a.audience(rid).unwrap(), b.audience(rid).unwrap());
+    assert_eq!(
+        a.service().audience(rid).unwrap(),
+        b.service().audience(rid).unwrap()
+    );
     for m in 0..40u32 {
         assert_eq!(
-            a.check(rid, NodeId(m)).unwrap(),
-            b.check(rid, NodeId(m)).unwrap()
+            a.service().check(rid, NodeId(m)).unwrap(),
+            b.service().check(rid, NodeId(m)).unwrap()
         );
     }
     assert_eq!(
-        a.check(rid, NodeId(4)).unwrap(),
+        a.service().check(rid, NodeId(4)).unwrap(),
         Decision::Grant,
         "u4 is 4 friend-hops from u0"
     );

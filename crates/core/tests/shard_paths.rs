@@ -30,8 +30,8 @@ fn single_crossing_grants_and_appears_in_audience() {
     sys.connect(a, "friend", b);
     let rid = sys.share(a);
     sys.allow(rid, "friend+[1]").unwrap();
-    assert_eq!(sys.check(rid, b).unwrap(), Decision::Grant);
-    assert_eq!(sys.audience(rid).unwrap(), vec![a, b]);
+    assert_eq!(sys.service().check(rid, b).unwrap(), Decision::Grant);
+    assert_eq!(sys.service().audience(rid).unwrap(), vec![a, b]);
     assert_eq!(sys.boundary().len(), 1);
 }
 
@@ -48,15 +48,19 @@ fn double_crossing_out_and_back() {
     let rid = sys.share(a);
     sys.allow(rid, "friend+[2]").unwrap();
     assert_eq!(sys.boundary().len(), 2, "both hops cross");
-    assert_eq!(sys.check(rid, c).unwrap(), Decision::Grant);
+    assert_eq!(sys.service().check(rid, c).unwrap(), Decision::Grant);
     assert_eq!(
-        sys.check(rid, b).unwrap(),
+        sys.service().check(rid, b).unwrap(),
         Decision::Deny,
         "depth hole: exactly two hops required"
     );
-    assert_eq!(sys.audience(rid).unwrap(), vec![a, c]);
+    assert_eq!(sys.service().audience(rid).unwrap(), vec![a, c]);
     // The stitched explanation covers the full out-and-back walk.
-    let lines = sys.explain(rid, c).unwrap().expect("granted");
+    let lines = sys
+        .service()
+        .explain_lines(rid, c)
+        .unwrap()
+        .expect("granted");
     assert_eq!(lines[0], "A -friend-> B -friend-> C");
 }
 
@@ -76,9 +80,13 @@ fn n_crossings_along_a_zigzag_chain() {
     sys.allow(rid, "friend+[1..5]").unwrap();
     assert_eq!(sys.boundary().len(), 5, "every hop is a boundary edge");
     for &m in &members[1..] {
-        assert_eq!(sys.check(rid, m).unwrap(), Decision::Grant, "member {m:?}");
+        assert_eq!(
+            sys.service().check(rid, m).unwrap(),
+            Decision::Grant,
+            "member {m:?}"
+        );
     }
-    assert_eq!(sys.audience(rid).unwrap(), members);
+    assert_eq!(sys.service().audience(rid).unwrap(), members);
     // The witness for the far end walks all five boundary edges.
     let path = sys_parse(&sys, "friend+[1..5]");
     let eval = sys.evaluate_condition(members[0], &path, Some(members[5]));
@@ -106,10 +114,14 @@ fn label_change_at_the_boundary() {
     sys.connect(b, "colleague", c);
     let rid = sys.share(a);
     sys.allow(rid, "friend+[1]/colleague+[1]").unwrap();
-    assert_eq!(sys.check(rid, c).unwrap(), Decision::Grant);
-    assert_eq!(sys.check(rid, b).unwrap(), Decision::Deny);
-    assert_eq!(sys.audience(rid).unwrap(), vec![a, c]);
-    let lines = sys.explain(rid, c).unwrap().expect("granted");
+    assert_eq!(sys.service().check(rid, c).unwrap(), Decision::Grant);
+    assert_eq!(sys.service().check(rid, b).unwrap(), Decision::Deny);
+    assert_eq!(sys.service().audience(rid).unwrap(), vec![a, c]);
+    let lines = sys
+        .service()
+        .explain_lines(rid, c)
+        .unwrap()
+        .expect("granted");
     assert_eq!(lines[0], "A -friend-> B -colleague-> C");
 }
 
@@ -123,9 +135,13 @@ fn direction_reversal_across_the_boundary() {
     sys.connect(b, "friend", a);
     let rid = sys.share(a);
     sys.allow(rid, "friend-[1]").unwrap();
-    assert_eq!(sys.check(rid, b).unwrap(), Decision::Grant);
-    assert_eq!(sys.audience(rid).unwrap(), vec![a, b]);
-    let lines = sys.explain(rid, b).unwrap().expect("granted");
+    assert_eq!(sys.service().check(rid, b).unwrap(), Decision::Grant);
+    assert_eq!(sys.service().audience(rid).unwrap(), vec![a, b]);
+    let lines = sys
+        .service()
+        .explain_lines(rid, b)
+        .unwrap()
+        .expect("granted");
     assert_eq!(lines[0], "A <-friend- B");
 }
 
@@ -146,12 +162,12 @@ fn boundary_only_members_appear_in_audiences() {
     assert_eq!(stats[1].members, 1, "B homes on shard 1");
     assert_eq!(stats[1].ghosts, 2, "A and C ghost onto B's shard");
     assert_eq!(
-        sys.audience(rid).unwrap(),
+        sys.service().audience(rid).unwrap(),
         vec![a, b, c],
         "the boundary-only member and the member beyond it both match"
     );
-    assert_eq!(sys.check(rid, b).unwrap(), Decision::Grant);
-    assert_eq!(sys.check(rid, c).unwrap(), Decision::Grant);
+    assert_eq!(sys.service().check(rid, b).unwrap(), Decision::Grant);
+    assert_eq!(sys.service().check(rid, c).unwrap(), Decision::Grant);
 }
 
 #[test]
@@ -170,9 +186,9 @@ fn unbounded_depth_circulates_across_shards() {
     let rid = sys.share(a);
     sys.allow(rid, "friend+[2..]").unwrap();
     // Everyone (including A itself, 4 hops around) is ≥ 2 hops away.
-    assert_eq!(sys.audience(rid).unwrap(), vec![a, b, c, d]);
+    assert_eq!(sys.service().audience(rid).unwrap(), vec![a, b, c, d]);
     assert_eq!(
-        sys.check(rid, b).unwrap(),
+        sys.service().check(rid, b).unwrap(),
         Decision::Grant,
         "B is 5 hops around the ring"
     );
@@ -191,10 +207,10 @@ fn ghost_attribute_predicates_gate_mid_walk_completion() {
     let rid = sys.share(a);
     sys.allow(rid, "friend+[1]{age>=30}/colleague+[1]").unwrap();
     sys.set_user_attr(b, "age", 20i64);
-    assert_eq!(sys.check(rid, c).unwrap(), Decision::Deny);
+    assert_eq!(sys.service().check(rid, c).unwrap(), Decision::Deny);
     sys.set_user_attr(b, "age", 31i64);
     assert_eq!(
-        sys.check(rid, c).unwrap(),
+        sys.service().check(rid, c).unwrap(),
         Decision::Grant,
         "the ghost replica sees the updated attribute"
     );

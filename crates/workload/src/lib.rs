@@ -15,7 +15,10 @@
 //! * [`sharding`] — shard-aware tie generation with a controlled
 //!   cross-shard crossing rate, for the shard-scaling experiments;
 //! * [`requests`] — access-request streams with ground-truth outcomes
-//!   and controllable grant rates.
+//!   and controllable grant rates;
+//! * [`replay`] — deployment-agnostic replay of a request stream
+//!   through any `AccessService` backend, audited against the stream's
+//!   ground truth.
 //!
 //! ```
 //! use socialreach_workload::{GraphSpec, PolicyWorkloadConfig};
@@ -33,6 +36,7 @@
 pub mod bundles;
 pub mod io;
 pub mod policies;
+pub mod replay;
 pub mod requests;
 pub mod sharding;
 pub mod spec;
@@ -45,6 +49,7 @@ pub use bundles::{
 };
 pub use io::{read_edge_list, write_edge_list, EdgeListError};
 pub use policies::{generate_policies, random_path_text, PolicyWorkloadConfig};
+pub use replay::{replay_requests, ReplayReport};
 pub use requests::{requests_with_grant_rate, uniform_requests, Request};
 pub use sharding::CrossShardTopology;
 pub use spec::{AttributeModel, GraphSpec, LabelModel};

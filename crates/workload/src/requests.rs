@@ -109,9 +109,10 @@ pub fn requests_with_grant_rate(
 mod tests {
     use super::*;
     use crate::policies::{generate_policies, PolicyWorkloadConfig};
+    use crate::replay::replay_requests;
     use crate::spec::GraphSpec;
     use rand::SeedableRng;
-    use socialreach_core::{Decision, Enforcer, OnlineEngine};
+    use socialreach_core::Deployment;
 
     fn setup() -> (SocialGraph, PolicyStore, Vec<ResourceId>) {
         let mut g = GraphSpec::ba_osn(80, 21).build();
@@ -131,17 +132,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let requests = uniform_requests(&g, &store, &rids, 50, &mut rng);
         assert_eq!(requests.len(), 50);
-        let enforcer = Enforcer::new(OnlineEngine);
-        for r in &requests {
-            let decision = enforcer
-                .check_access(&g, &store, r.resource, r.requester)
-                .unwrap();
-            assert_eq!(
-                decision == Decision::Grant,
-                r.expect_grant,
-                "ground truth mismatch for {r:?}"
-            );
-        }
+        let svc = Deployment::online().from_graph(&g, store.clone());
+        let report = replay_requests(svc.reads(), &requests, 1).expect("replays");
+        assert!(
+            report.is_faithful(),
+            "ground truth mismatches at {:?}",
+            report.mismatches
+        );
     }
 
     #[test]
@@ -161,14 +158,9 @@ mod tests {
         let (g, store, rids) = setup();
         let mut rng = StdRng::seed_from_u64(25);
         let requests = requests_with_grant_rate(&g, &store, &rids, 30, 1.0, &mut rng);
-        let enforcer = Enforcer::new(OnlineEngine);
-        for r in &requests {
-            assert_eq!(
-                enforcer
-                    .check_access(&g, &store, r.resource, r.requester)
-                    .unwrap(),
-                Decision::Grant
-            );
-        }
+        let svc = Deployment::online().from_graph(&g, store.clone());
+        let report = replay_requests(svc.reads(), &requests, 1).expect("replays");
+        assert!(report.is_faithful());
+        assert_eq!(report.grants, 30, "an all-grant stream really grants");
     }
 }

@@ -81,8 +81,8 @@ fn decisions_agree_after_the_round_trip() {
         v.sort();
         v
     };
-    let aud_a = original.audience(rid_a).unwrap();
-    let aud_b = rebuilt.audience(rid_b).unwrap();
+    let aud_a = original.service().audience(rid_a).unwrap();
+    let aud_b = rebuilt.service().audience(rid_b).unwrap();
     assert_eq!(names_of(&original, &aud_a), names_of(&rebuilt, &aud_b));
 
     // Spot-check decisions by name.
@@ -91,8 +91,8 @@ fn decisions_agree_after_the_round_trip() {
         let ma = original.user(&name).unwrap();
         let mb = rebuilt.user(&name).unwrap();
         assert_eq!(
-            original.check(rid_a, ma).unwrap(),
-            rebuilt.check(rid_b, mb).unwrap(),
+            original.service().check(rid_a, ma).unwrap(),
+            rebuilt.service().check(rid_b, mb).unwrap(),
             "decision for {name}"
         );
     }

@@ -1,7 +1,9 @@
 //! Access control over a synthetic enterprise-scale graph: build a
 //! 2,000-member community network with the workload generators, attach
-//! policies, and compare both evaluation engines on the same request
-//! stream — a miniature of the benchmark suite, runnable as an example.
+//! policies, and replay the same request stream through **three
+//! deployments** of the service API — online single-graph, the paper's
+//! join index, and a four-shard partition — a miniature of the
+//! benchmark suite, runnable as an example.
 //!
 //! ```text
 //! cargo run --release --example enterprise_directory
@@ -10,12 +12,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socialreach::workload::{
-    generate_policies, requests_with_grant_rate, AttributeModel, GraphSpec, LabelModel,
-    PolicyWorkloadConfig, Topology,
+    generate_policies, replay_requests, requests_with_grant_rate, AttributeModel, GraphSpec,
+    LabelModel, PolicyWorkloadConfig, Topology,
 };
-use socialreach::{
-    Decision, Enforcer, JoinEngineConfig, JoinIndexEngine, JoinStrategy, OnlineEngine, PolicyStore,
-};
+use socialreach::{Deployment, EngineChoice, JoinEngineConfig, JoinStrategy, PolicyStore};
 use std::time::Instant;
 
 fn main() {
@@ -67,53 +67,41 @@ fn main() {
         requests.len()
     );
 
-    // Engine 1: online BFS.
-    let online = Enforcer::new(OnlineEngine);
-    let t0 = Instant::now();
-    let mut grants = 0;
-    for r in &requests {
-        if online
-            .check_access(&g, &store, r.resource, r.requester)
-            .expect("ok")
-            == Decision::Grant
-        {
-            grants += 1;
-        }
-    }
-    let online_time = t0.elapsed();
-
-    // Engine 2: the paper's join index (adjacency traversal strategy).
-    let t0 = Instant::now();
-    let indexed = Enforcer::new(JoinIndexEngine::build(
-        &g,
-        JoinEngineConfig {
+    // The same stream through every deployment: the scenario below
+    // holds nothing but `&dyn AccessService`.
+    println!();
+    let deployments = [
+        Deployment::online(),
+        Deployment::single(EngineChoice::JoinIndex(JoinEngineConfig {
             strategy: JoinStrategy::AdjacencyOnly,
             ..JoinEngineConfig::default()
-        },
-    ));
-    let build_time = t0.elapsed();
-    let t0 = Instant::now();
-    let mut grants_indexed = 0;
-    for r in &requests {
-        if indexed
-            .check_access(&g, &store, r.resource, r.requester)
-            .expect("ok")
-            == Decision::Grant
-        {
-            grants_indexed += 1;
-        }
+        })),
+        Deployment::sharded(4, 9),
+    ];
+    for deployment in deployments {
+        let t0 = Instant::now();
+        let svc = deployment.from_graph(&g, store.clone());
+        let build = t0.elapsed();
+        let t0 = Instant::now();
+        let report = replay_requests(svc.reads(), &requests, 4).expect("replays");
+        let serve = t0.elapsed();
+        assert!(
+            report.is_faithful(),
+            "{} diverged from ground truth at {:?}",
+            svc.reads().describe(),
+            report.mismatches
+        );
+        assert_eq!(
+            report.grants,
+            requests.len() / 2,
+            "workload targets 50% grants"
+        );
+        println!(
+            "{:<22} {serve:>12?} for {} requests (+ {build:?} build), grants {}/{}",
+            svc.reads().describe(),
+            report.requests,
+            report.grants,
+            report.requests,
+        );
     }
-    let indexed_time = t0.elapsed();
-
-    assert_eq!(grants, grants_indexed, "engines must agree");
-    assert_eq!(grants, requests.len() / 2, "workload targets 50% grants");
-    println!(
-        "\nonline:      {online_time:?} for {} requests",
-        requests.len()
-    );
-    println!(
-        "join index:  {indexed_time:?} (+ {build_time:?} one-off build, {} line vertices)",
-        indexed.engine().index().line().num_nodes()
-    );
-    println!("grants: {grants}/{len}", len = requests.len());
 }

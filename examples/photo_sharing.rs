@@ -6,14 +6,17 @@
 //!   which grants George through Alice → Colin → Fred → George;
 //! * a denial with the reason surfaced to the user.
 //!
+//! Three deployments of the service API answer the same requests — the
+//! online single-graph backend, the paper's join index, and a two-shard
+//! partition — and must agree on every decision.
+//!
 //! ```text
 //! cargo run --example photo_sharing
 //! ```
 
 use socialreach::core::examples::paper_graph;
 use socialreach::{
-    AccessEngine, Decision, Enforcer, JoinEngineConfig, JoinIndexEngine, JoinStrategy,
-    OnlineEngine, PolicyStore,
+    Decision, Deployment, EngineChoice, JoinEngineConfig, JoinStrategy, PolicyStore,
 };
 
 fn main() {
@@ -39,49 +42,74 @@ fn main() {
         .allow(jokes, "friend+[1]/parent+[1]/friend+[1]", &mut g)
         .expect("valid policy");
 
-    // Two engines, same decisions.
-    let online = Enforcer::new(OnlineEngine);
-    let indexed = Enforcer::new(JoinIndexEngine::build(
-        &g,
-        JoinEngineConfig {
+    // Three deployments, same decisions.
+    let deployments = [
+        Deployment::online(),
+        Deployment::single(EngineChoice::JoinIndex(JoinEngineConfig {
             strategy: JoinStrategy::AdjacencyOnly,
             ..JoinEngineConfig::default()
-        },
-    ));
-    println!(
-        "join index: {} line vertices, engine = {}",
-        indexed.engine().index().line().num_nodes(),
-        indexed.engine().name(),
-    );
+        })),
+        Deployment::sharded(2, 1),
+    ];
+    let backends: Vec<_> = deployments
+        .iter()
+        .map(|d| d.from_graph(&g, store.clone()))
+        .collect();
+    let online = backends[0].reads();
 
     for (rid, label) in [(photos, "birthday photos"), (jokes, "jokes")] {
         println!("\n== {label} ==");
         for name in ["Bill", "Colin", "David", "Elena", "Fred", "George"] {
-            let user = g.node_by_name(name).expect("member");
-            let d1 = online.check_access(&g, &store, rid, user).expect("ok");
-            let d2 = indexed.check_access(&g, &store, rid, user).expect("ok");
-            assert_eq!(d1, d2, "engines must agree on {name}");
+            let user = online.resolve_user(name).expect("member");
+            let d1 = online.check(rid, user).expect("ok");
+            for other in &backends[1..] {
+                let d2 = other.reads().check(rid, user).expect("ok");
+                assert_eq!(
+                    d1,
+                    d2,
+                    "{} must agree with {} on {name}",
+                    other.reads().describe(),
+                    online.describe()
+                );
+            }
             println!("  {name:>6} -> {d1:?}");
         }
     }
 
     // The paper's two headline answers:
-    let fred = g.node_by_name("Fred").expect("Fred");
-    let george = g.node_by_name("George").expect("George");
+    let fred = online.resolve_user("Fred").expect("Fred");
+    let george = online.resolve_user("George").expect("George");
     assert_eq!(
-        online.check_access(&g, &store, photos, fred).expect("ok"),
+        online.check(photos, fred).expect("ok"),
         Decision::Grant,
         "Q1 grants Fred"
     );
     assert_eq!(
-        online.check_access(&g, &store, jokes, george).expect("ok"),
+        online.check(jokes, george).expect("ok"),
         Decision::Grant,
         "§3.4 grants George"
     );
     assert_eq!(
-        online.check_access(&g, &store, photos, george).expect("ok"),
+        online.check(photos, george).expect("ok"),
         Decision::Deny,
         "George is not a colleague of Alice's friends"
     );
-    println!("\nQ1 grants Fred; §3.4 grants George — matching the paper.");
+    // And the grant is explainable on every deployment, with the same
+    // witness walk text.
+    let walk = online
+        .explain_lines(jokes, george)
+        .expect("ok")
+        .expect("granted");
+    for other in &backends[1..] {
+        // The join index keeps no witnesses; explain always evaluates
+        // online — another thing the trait makes uniform.
+        let theirs = other
+            .reads()
+            .explain_lines(jokes, george)
+            .expect("ok")
+            .expect("granted");
+        assert_eq!(walk, theirs, "{}", other.reads().describe());
+    }
+    println!("\nwhy George: {}", walk.join("; "));
+    println!("Q1 grants Fred; §3.4 grants George — matching the paper.");
 }

@@ -5,45 +5,46 @@
 //! them, while close friends still do.
 //!
 //! Also demonstrates incoming-direction steps (`-`), unbounded depth
-//! (`[1..]`), and audience diffing before/after a policy change.
+//! (`[1..]`), audience diffing before/after a policy change, and the
+//! deployment-agnostic service API the scenario is written against.
 //!
 //! ```text
 //! cargo run --example recruiting_guard
 //! ```
 
-use socialreach::{AccessControlSystem, Decision};
+use socialreach::{AccessService, Decision, Deployment, MutateService};
 
-fn names(sys: &AccessControlSystem, audience: &[socialreach::NodeId]) -> Vec<String> {
+fn names(reads: &dyn AccessService, audience: &[socialreach::NodeId]) -> Vec<String> {
     audience
         .iter()
-        .map(|&n| sys.graph().node_name(n).to_owned())
+        .map(|&n| reads.member_name(n).to_owned())
         .collect()
 }
 
 fn main() {
-    let mut sys = AccessControlSystem::new_online();
+    let mut svc = Deployment::online().build();
 
     // The candidate and her circle.
-    let nadia = sys.add_user("Nadia");
-    let samir = sys.add_user("Samir"); // close friend
-    let lena = sys.add_user("Lena"); // friend of Samir
-    let omar = sys.add_user("Omar"); // colleague
-    let hr_bot = sys.add_user("AcmeHR"); // recruiter following her
-    let headhunter = sys.add_user("HeadHunter");
+    let nadia = svc.add_user("Nadia");
+    let samir = svc.add_user("Samir"); // close friend
+    let lena = svc.add_user("Lena"); // friend of Samir
+    let omar = svc.add_user("Omar"); // colleague
+    let hr_bot = svc.add_user("AcmeHR"); // recruiter following her
+    let headhunter = svc.add_user("HeadHunter");
 
-    sys.connect_mutual(nadia, "friend", samir);
-    sys.connect_mutual(samir, "friend", lena);
-    sys.connect_mutual(nadia, "colleague", omar);
-    sys.connect(hr_bot, "follows", nadia);
-    sys.connect(headhunter, "follows", hr_bot);
+    svc.add_mutual_relationship(nadia, "friend", samir);
+    svc.add_mutual_relationship(samir, "friend", lena);
+    svc.add_mutual_relationship(nadia, "colleague", omar);
+    svc.add_relationship(hr_bot, "follows", nadia);
+    svc.add_relationship(headhunter, "follows", hr_bot);
 
     // A spicy post: friends only, any friend distance (the friend
     // subgraph is her trust domain).
-    let post = sys.share(nadia);
-    sys.allow(post, "friend+[1..]").expect("valid policy");
+    let post = svc.add_resource(nadia);
+    svc.add_rule(post, "friend+[1..]").expect("valid policy");
 
-    let audience = sys.audience(post).expect("evaluates");
-    println!("friends-only audience: {:?}", names(&sys, &audience));
+    let audience = svc.reads().audience(post).expect("evaluates");
+    println!("friends-only audience: {:?}", names(svc.reads(), &audience));
     for (user, expected) in [
         (samir, Decision::Grant),
         (lena, Decision::Grant), // friend-of-friend: still in the friend domain
@@ -51,36 +52,36 @@ fn main() {
         (hr_bot, Decision::Deny),
         (headhunter, Decision::Deny),
     ] {
-        let d = sys.check(post, user).expect("evaluates");
-        assert_eq!(d, expected, "{}", sys.graph().node_name(user));
-        println!("  {:>10} -> {d:?}", sys.graph().node_name(user));
+        let d = svc.reads().check(post, user).expect("evaluates");
+        assert_eq!(d, expected, "{}", svc.reads().member_name(user));
+        println!("  {:>10} -> {d:?}", svc.reads().member_name(user));
     }
 
     // Her CV is the opposite: she *wants* recruiters to see it. People
     // who follow her (incoming edges!) and their followers qualify,
     // as do colleagues.
-    let cv = sys.share(nadia);
-    sys.allow(cv, "follows-[1,2]").expect("valid policy");
-    sys.allow(cv, "colleague*[1]").expect("valid policy");
+    let cv = svc.add_resource(nadia);
+    svc.add_rule(cv, "follows-[1,2]").expect("valid policy");
+    svc.add_rule(cv, "colleague*[1]").expect("valid policy");
 
-    let cv_audience = sys.audience(cv).expect("evaluates");
-    println!("\nCV audience: {:?}", names(&sys, &cv_audience));
+    let cv_audience = svc.reads().audience(cv).expect("evaluates");
+    println!("\nCV audience: {:?}", names(svc.reads(), &cv_audience));
     for (user, expected) in [
         (hr_bot, Decision::Grant),     // follows Nadia
         (headhunter, Decision::Grant), // follows a follower
         (omar, Decision::Grant),       // colleague
         (lena, Decision::Deny),        // friend-of-friend is not a recruiter path
     ] {
-        let d = sys.check(cv, user).expect("evaluates");
-        assert_eq!(d, expected, "{}", sys.graph().node_name(user));
-        println!("  {:>10} -> {d:?}", sys.graph().node_name(user));
+        let d = svc.reads().check(cv, user).expect("evaluates");
+        assert_eq!(d, expected, "{}", svc.reads().member_name(user));
+        println!("  {:>10} -> {d:?}", svc.reads().member_name(user));
     }
 
     // The graph evolves: Omar leaves the company and becomes a friend.
     // Caches and indexes invalidate automatically.
-    let before = sys.check(post, omar).expect("evaluates");
-    sys.connect_mutual(nadia, "friend", omar);
-    let after = sys.check(post, omar).expect("evaluates");
+    let before = svc.reads().check(post, omar).expect("evaluates");
+    svc.add_mutual_relationship(nadia, "friend", omar);
+    let after = svc.reads().check(post, omar).expect("evaluates");
     println!("\nOmar on the spicy post: {before:?} -> {after:?} after becoming a friend");
     assert_eq!(before, Decision::Deny);
     assert_eq!(after, Decision::Grant);

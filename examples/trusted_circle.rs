@@ -14,7 +14,8 @@
 
 use socialreach::core::carminati::{self, CarminatiRule, TrustAggregation};
 use socialreach::core::examples::paper_graph;
-use socialreach::{online, Direction};
+use socialreach::core::{AccessCondition, AccessRule};
+use socialreach::{Deployment, Direction, PolicyStore};
 
 fn main() {
     let mut g = paper_graph();
@@ -62,24 +63,47 @@ fn main() {
     assert_eq!(names, vec!["Colin", "David"]);
 
     // The reachability model expresses the same audience *shape* —
-    // friends up to two hops — but not the trust filter:
+    // friends up to two hops — but not the trust filter. Serve it as a
+    // real policy through the deployment-agnostic service API: a
+    // resource of Alice's whose single rule is the translated path.
     let path = rule.to_path_expr();
     println!("\nreachability fragment {}:", path.to_text(g.vocab()));
-    let ours = online::evaluate(&g, alice, &path, None);
-    let names: Vec<&str> = ours.matched.iter().map(|&n| g.node_name(n)).collect();
+    let mut store = PolicyStore::new();
+    let rid = store.register_resource(alice);
+    store
+        .add_rule(AccessRule {
+            resource: rid,
+            conditions: vec![AccessCondition {
+                owner: alice,
+                path: path.clone(),
+            }],
+        })
+        .expect("resource registered");
+    let svc = Deployment::online().from_graph(&g, store);
+    let reads = svc.reads();
+    let audience = reads.audience(rid).expect("evaluates");
+    let names: Vec<&str> = audience.iter().map(|&n| reads.member_name(n)).collect();
     println!("  audience (no trust filter): {names:?}");
     assert!(
         names.contains(&"Bill"),
         "Bill is back without the trust filter"
     );
 
-    // The two models coincide exactly when trust does not discriminate:
+    // The two models coincide exactly when trust does not discriminate
+    // — up to the owner, whom the policy audience always contains:
     let lax = CarminatiRule {
         min_trust: 0.0,
         ..rule
     };
     let lax_out = carminati::evaluate(&g, alice, &lax);
-    assert_eq!(lax_out.granted, ours.matched);
+    let with_owner = {
+        let mut v = lax_out.granted.clone();
+        v.push(alice);
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    assert_eq!(with_owner, audience);
     println!("\nwith min_trust = 0 both models grant the same audience — the");
     println!("baseline is the trust-free fragment of the reachability model.");
 }

@@ -1,5 +1,5 @@
 //! `socialreach` — command-line front end for reachability-based access
-//! control.
+//! control, served through the deployment-agnostic `AccessService` API.
 //!
 //! ```text
 //! socialreach check <edges.tsv> <owner> <path-expr> <requester>
@@ -11,13 +11,23 @@
 //! `<edges.tsv>` is an edge list (`src <TAB> label <TAB> dst`, `#`
 //! comments allowed; two-column lines default to the label `follows`),
 //! or `-` for stdin. `<path-expr>` uses the policy grammar, e.g.
-//! `'friend+[1,2]/colleague+[1]'`.
+//! `'friend+[1,2]/colleague+[1]'`. Each invocation registers a
+//! resource owned by `<owner>` under that rule and serves the request
+//! with the full policy semantics — so the owner is always granted,
+//! and `audience` always lists the owner.
+//!
+//! Set `SOCIALREACH_SHARDS=N` to serve the same request from an
+//! N-shard deployment instead of the single-graph one; commands,
+//! outputs and exit codes are identical — that interchangeability is
+//! the point of the service API.
 //!
 //! Exit codes: 0 = granted / success, 1 = denied, 2 = usage or input
 //! error.
 
 use socialreach::workload::read_edge_list;
-use socialreach::{online, SocialGraph};
+use socialreach::{
+    AccessService, Decision, Deployment, PolicyStore, ResourceId, ServiceInstance, SocialGraph,
+};
 use std::io::Read as _;
 use std::process::ExitCode;
 
@@ -47,52 +57,36 @@ const USAGE: &str = "usage:
   socialreach stats    <edges.tsv>
 
 <edges.tsv>: 'src<TAB>label<TAB>dst' lines ('-' reads stdin);
-<path-expr>: e.g. 'friend+[1,2]/colleague+[1]{age>=18}'";
+<path-expr>: e.g. 'friend+[1,2]/colleague+[1]{age>=18}';
+SOCIALREACH_SHARDS=N serves from an N-shard deployment.";
 
 fn run(args: &[String]) -> Result<bool, String> {
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
         "check" => {
             let [file, owner, path, requester] = take::<4>(&args[1..])?;
-            let mut g = load(file)?;
-            let (o, p, r) = resolve(&mut g, owner, path, Some(requester))?;
-            let out = online::evaluate(&g, o, &p, r);
-            println!("{}", if out.granted { "GRANT" } else { "DENY" });
-            Ok(out.granted)
+            let (svc, rid) = serve(file, owner, path)?;
+            let requester = resolve(svc.reads(), requester)?;
+            let granted = svc.reads().check(rid, requester).map_err(to_msg)? == Decision::Grant;
+            println!("{}", if granted { "GRANT" } else { "DENY" });
+            Ok(granted)
         }
         "audience" => {
             let [file, owner, path] = take::<3>(&args[1..])?;
-            let mut g = load(file)?;
-            let (o, p, _) = resolve(&mut g, owner, path, None)?;
-            let out = online::evaluate(&g, o, &p, None);
-            for n in &out.matched {
-                println!("{}", g.node_name(*n));
+            let (svc, rid) = serve(file, owner, path)?;
+            let reads = svc.reads();
+            for n in reads.audience(rid).map_err(to_msg)? {
+                println!("{}", reads.member_name(n));
             }
             Ok(true)
         }
         "explain" => {
             let [file, owner, path, requester] = take::<4>(&args[1..])?;
-            let mut g = load(file)?;
-            let (o, p, r) = resolve(&mut g, owner, path, Some(requester))?;
-            let out = online::evaluate(&g, o, &p, r);
-            match out.witness {
-                Some(witness) => {
-                    let mut walk = vec![g.node_name(o).to_owned()];
-                    let mut at = o;
-                    for (eid, fwd) in witness {
-                        let rec = g.edge(eid);
-                        let label = g.vocab().label_name(rec.label);
-                        let (next, arrow) = if fwd {
-                            (rec.dst, format!("-{label}->"))
-                        } else {
-                            (rec.src, format!("<-{label}-"))
-                        };
-                        walk.push(arrow);
-                        walk.push(g.node_name(next).to_owned());
-                        at = next;
-                    }
-                    debug_assert_eq!(Some(at), r);
-                    println!("GRANT via {}", walk.join(" "));
+            let (svc, rid) = serve(file, owner, path)?;
+            let requester = resolve(svc.reads(), requester)?;
+            match svc.reads().explain_lines(rid, requester).map_err(to_msg)? {
+                Some(lines) => {
+                    println!("GRANT via {}", lines.join("; "));
                     Ok(true)
                 }
                 None => {
@@ -108,6 +102,31 @@ fn run(args: &[String]) -> Result<bool, String> {
             Ok(true)
         }
         other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Builds the configured deployment over the edge list, shares one
+/// resource owned by `owner` under the `path` rule, and returns the
+/// serving backend plus the resource.
+fn serve(file: &str, owner: &str, path: &str) -> Result<(ServiceInstance, ResourceId), String> {
+    let g = load(file)?;
+    let mut svc = deployment()?.from_graph(&g, PolicyStore::new());
+    let owner = resolve(svc.reads(), owner)?;
+    let rid = svc.writes().add_resource(owner);
+    svc.writes().add_rule(rid, path).map_err(to_msg)?;
+    Ok((svc, rid))
+}
+
+/// The deployment the environment asks for (single-graph by default).
+fn deployment() -> Result<Deployment, String> {
+    match std::env::var("SOCIALREACH_SHARDS") {
+        Err(_) => Ok(Deployment::online()),
+        Ok(v) => {
+            let shards: u32 = v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                format!("SOCIALREACH_SHARDS must be a positive integer, got {v:?}")
+            })?;
+            Ok(Deployment::sharded(shards, 0))
+        }
     }
 }
 
@@ -132,29 +151,12 @@ fn load(path: &str) -> Result<SocialGraph, String> {
     read_edge_list(&text, "follows").map_err(|e| e.to_string())
 }
 
-fn resolve(
-    g: &mut SocialGraph,
-    owner: &str,
-    path: &str,
-    requester: Option<&String>,
-) -> Result<
-    (
-        socialreach::NodeId,
-        socialreach::PathExpr,
-        Option<socialreach::NodeId>,
-    ),
-    String,
-> {
-    let o = g
-        .node_by_name(owner)
-        .ok_or_else(|| format!("unknown member {owner:?}"))?;
-    let r = match requester {
-        Some(name) => Some(
-            g.node_by_name(name)
-                .ok_or_else(|| format!("unknown member {name:?}"))?,
-        ),
-        None => None,
-    };
-    let p = socialreach::parse_path(path, g.vocab_mut()).map_err(|e| e.to_string())?;
-    Ok((o, p, r))
+fn resolve(reads: &dyn AccessService, name: &str) -> Result<socialreach::NodeId, String> {
+    reads
+        .resolve_user(name)
+        .map_err(|_| format!("unknown member {name:?}"))
+}
+
+fn to_msg(e: socialreach::EvalError) -> String {
+    e.to_string()
 }

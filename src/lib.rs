@@ -15,6 +15,44 @@
 //! reachability query*, answered online (constrained BFS) or through the
 //! paper's precomputed line-graph + 2-hop cluster join index.
 //!
+//! ## One API, any deployment
+//!
+//! Serving goes through the **deployment-agnostic service API**
+//! ([`AccessService`] for reads, [`MutateService`] for writes): a
+//! [`Deployment`] config constructs either the single-graph backend
+//! (one epoch-published CSR snapshot, pluggable engines) or the
+//! sharded backend (members hash-partitioned across N epoch-published
+//! shards with cross-shard fixpoint reads). Everything downstream of
+//! the config line — the CLI, the examples, the benches, the
+//! differential test harnesses — holds `&dyn AccessService` and never
+//! learns which backend answers.
+//!
+//! ```
+//! use socialreach::{AccessService, Decision, Deployment, MutateService};
+//!
+//! // The deployment is the only backend-specific line:
+//! let mut svc = Deployment::online().build();
+//! // let mut svc = Deployment::sharded(4, 7).build(); // …same program.
+//!
+//! let alice = svc.add_user("Alice");
+//! let bob = svc.add_user("Bob");
+//! let carol = svc.add_user("Carol");
+//! svc.add_relationship(alice, "friend", bob);
+//! svc.add_relationship(bob, "friend", carol);
+//! svc.set_user_attr(carol, "age", 26i64.into());
+//!
+//! let album = svc.add_resource(alice);
+//! svc.add_rule(album, "friend+[1,2]{age>=18}").unwrap();
+//!
+//! let reads = svc.reads();
+//! assert_eq!(reads.check(album, carol).unwrap(), Decision::Grant);
+//! assert_eq!(reads.check(album, bob).unwrap(), Decision::Deny); // no age
+//! assert_eq!(
+//!     reads.explain_lines(album, carol).unwrap().unwrap(),
+//!     vec!["Alice -friend-> Bob -friend-> Carol".to_owned()]
+//! );
+//! ```
+//!
 //! This facade crate re-exports the workspace layers:
 //!
 //! * [`graph`] — the directed, edge-labeled, node-attributed social
@@ -22,32 +60,12 @@
 //! * [`reach`] — reachability indexes: line graphs, transitive closure,
 //!   interval labeling, 2-hop covers, the cluster join index
 //!   (`socialreach-reach`);
-//! * [`core`] — the access-control model and engines
+//! * [`core`] — the access-control model, engines, and the service API
 //!   (`socialreach-core`);
-//! * [`workload`] — seeded synthetic graphs, policies and request
-//!   streams (`socialreach-workload`).
+//! * [`workload`] — seeded synthetic graphs, policies, request streams
+//!   and the service-level request replay (`socialreach-workload`).
 //!
 //! The most common entry points are re-exported at the crate root.
-//!
-//! ## Example
-//!
-//! ```
-//! use socialreach::{AccessControlSystem, Decision};
-//!
-//! let mut sys = AccessControlSystem::new_indexed();
-//! let alice = sys.add_user("Alice");
-//! let bob = sys.add_user("Bob");
-//! let carol = sys.add_user("Carol");
-//! sys.connect(alice, "friend", bob);
-//! sys.connect(bob, "friend", carol);
-//! sys.set_user_attr(carol, "age", 26i64);
-//!
-//! let album = sys.share(alice);
-//! sys.allow(album, "friend+[1,2]{age>=18}").unwrap();
-//!
-//! assert_eq!(sys.check(album, carol).unwrap(), Decision::Grant);
-//! assert_eq!(sys.check(album, bob).unwrap(), Decision::Deny); // no age
-//! ```
 
 pub use socialreach_core as core;
 pub use socialreach_graph as graph;
@@ -56,7 +74,9 @@ pub use socialreach_workload as workload;
 
 pub use socialreach_core::{
     examples, online, parse_path, resource_audience_batch, AccessCondition, AccessControlSystem,
-    AccessEngine, AccessRule, Decision, Enforcer, EngineChoice, EvalError, JoinEngineConfig,
-    JoinIndexEngine, JoinStrategy, OnlineEngine, ParseError, PathExpr, PolicyStore, ResourceId,
+    AccessEngine, AccessResponse, AccessRule, AccessService, Decision, Deployment, Enforcer,
+    EngineChoice, EvalError, Explanation, JoinEngineConfig, JoinIndexEngine, JoinStrategy,
+    MutateService, OnlineEngine, ParseError, PathExpr, PolicyStore, ReadBatch, ReadRequest,
+    ReadStats, ResourceId, ServiceInstance, ShardedSystem, WalkHop, WitnessWalk,
 };
 pub use socialreach_graph::{AttrValue, Direction, EdgeId, LabelId, NodeId, SocialGraph};

@@ -56,7 +56,7 @@ fn check_denies_with_exit_code_one() {
 }
 
 #[test]
-fn audience_lists_matching_members() {
+fn audience_lists_the_owner_and_matching_members() {
     let file = edges_file();
     let out = cli()
         .args([
@@ -68,7 +68,91 @@ fn audience_lists_matching_members() {
         .output()
         .expect("spawns");
     assert!(out.status.success());
-    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "Dave");
+    // Policy semantics: the resource audience always contains the
+    // owner, plus every member the rule's path matches.
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "Alice\nDave");
+}
+
+#[test]
+fn sharded_deployment_serves_identically() {
+    // SOCIALREACH_SHARDS swaps the serving backend behind the same
+    // AccessService API: outputs and exit codes must not move.
+    let file = edges_file();
+    for shards in ["1", "3"] {
+        let grant = cli()
+            .env("SOCIALREACH_SHARDS", shards)
+            .args([
+                "check",
+                file.to_str().unwrap(),
+                "Alice",
+                "friend+[1,2]",
+                "Carol",
+            ])
+            .output()
+            .expect("spawns");
+        assert!(grant.status.success(), "shards {shards}");
+        assert_eq!(String::from_utf8_lossy(&grant.stdout).trim(), "GRANT");
+        let explain = cli()
+            .env("SOCIALREACH_SHARDS", shards)
+            .args([
+                "explain",
+                file.to_str().unwrap(),
+                "Alice",
+                "friend+[2]",
+                "Carol",
+            ])
+            .output()
+            .expect("spawns");
+        let text = String::from_utf8_lossy(&explain.stdout);
+        assert!(
+            text.contains("GRANT via Alice -friend-> Bob -friend-> Carol"),
+            "shards {shards}: {text}"
+        );
+        let audience = cli()
+            .env("SOCIALREACH_SHARDS", shards)
+            .args([
+                "audience",
+                file.to_str().unwrap(),
+                "Alice",
+                "friend+[1,2]/colleague+[1]",
+            ])
+            .output()
+            .expect("spawns");
+        assert_eq!(
+            String::from_utf8_lossy(&audience.stdout).trim(),
+            "Alice\nDave",
+            "shards {shards}"
+        );
+    }
+    let bogus = cli()
+        .env("SOCIALREACH_SHARDS", "zero")
+        .args([
+            "check",
+            file.to_str().unwrap(),
+            "Alice",
+            "friend+[1]",
+            "Bob",
+        ])
+        .output()
+        .expect("spawns");
+    assert_eq!(bogus.status.code(), Some(2));
+}
+
+#[test]
+fn owner_requests_are_always_granted() {
+    let file = edges_file();
+    let out = cli()
+        .args([
+            "check",
+            file.to_str().unwrap(),
+            "Alice",
+            "colleague+[1]",
+            "Alice",
+        ])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "owners always access their resources");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "GRANT");
 }
 
 #[test]

@@ -63,11 +63,11 @@ fn multi_rule_multi_condition_policies_compose() {
     sys.allow(doc, "friend+[1]").expect("rule 1");
     sys.allow(doc, "colleague+[1]/friend+[1]").expect("rule 2");
 
-    assert_eq!(sys.check(doc, bob).unwrap(), Decision::Grant); // rule 1
-    assert_eq!(sys.check(doc, carol).unwrap(), Decision::Grant); // rule 2
-    assert_eq!(sys.check(doc, dave).unwrap(), Decision::Deny); // neither
+    assert_eq!(sys.service().check(doc, bob).unwrap(), Decision::Grant); // rule 1
+    assert_eq!(sys.service().check(doc, carol).unwrap(), Decision::Grant); // rule 2
+    assert_eq!(sys.service().check(doc, dave).unwrap(), Decision::Deny); // neither
 
-    let audience = sys.audience(doc).unwrap();
+    let audience = sys.service().audience(doc).unwrap();
     let names: Vec<&str> = audience.iter().map(|&n| sys.graph().node_name(n)).collect();
     assert_eq!(names, vec!["Alice", "Bob", "Carol"]);
 }
@@ -83,9 +83,17 @@ fn policy_changes_take_effect_immediately() {
         let bob = sys.add_user("Bob");
         sys.connect(alice, "friend", bob);
         let rid = sys.share(alice);
-        assert_eq!(sys.check(rid, bob).unwrap(), Decision::Deny, "private");
+        assert_eq!(
+            sys.service().check(rid, bob).unwrap(),
+            Decision::Deny,
+            "private"
+        );
         sys.allow(rid, "friend+[1]").unwrap();
-        assert_eq!(sys.check(rid, bob).unwrap(), Decision::Grant, "after allow");
+        assert_eq!(
+            sys.service().check(rid, bob).unwrap(),
+            Decision::Grant,
+            "after allow"
+        );
     }
 }
 
@@ -138,8 +146,16 @@ fn deny_by_default_and_owner_override_hold_for_every_engine() {
         let alice = sys.add_user("Alice");
         let bob = sys.add_user("Bob");
         let rid = sys.share(alice);
-        assert_eq!(sys.check(rid, alice).unwrap(), Decision::Grant, "owner");
-        assert_eq!(sys.check(rid, bob).unwrap(), Decision::Deny, "stranger");
+        assert_eq!(
+            sys.service().check(rid, alice).unwrap(),
+            Decision::Grant,
+            "owner"
+        );
+        assert_eq!(
+            sys.service().check(rid, bob).unwrap(),
+            Decision::Deny,
+            "stranger"
+        );
     }
 }
 
@@ -160,7 +176,7 @@ fn unbounded_depth_agrees_between_online_and_truncated_index() {
         let rid = sys.share(a);
         sys.allow(rid, "friend+[1..]").unwrap();
         let target = sys.user("d").unwrap();
-        assert_eq!(sys.check(rid, target).unwrap(), Decision::Grant);
+        assert_eq!(sys.service().check(rid, target).unwrap(), Decision::Grant);
     }
 }
 

@@ -76,8 +76,8 @@ fn empty_graph_everything_denies_cleanly() {
     let rid = sys.share(ghost);
     sys.allow(rid, "friend+[1..]").unwrap();
     // No edges at all: nobody but the owner.
-    assert_eq!(sys.check(rid, ghost).unwrap(), Decision::Grant);
-    assert_eq!(sys.audience(rid).unwrap(), vec![ghost]);
+    assert_eq!(sys.service().check(rid, ghost).unwrap(), Decision::Grant);
+    assert_eq!(sys.service().audience(rid).unwrap(), vec![ghost]);
 }
 
 #[test]
@@ -194,9 +194,9 @@ fn unknown_labels_in_policies_deny_but_do_not_error() {
     sys.connect(a, "friend", b);
     let rid = sys.share(a);
     sys.allow(rid, "mentor+[1]").unwrap();
-    assert_eq!(sys.check(rid, b).unwrap(), Decision::Deny);
+    assert_eq!(sys.service().check(rid, b).unwrap(), Decision::Deny);
     sys.connect(a, "mentor", b);
-    assert_eq!(sys.check(rid, b).unwrap(), Decision::Grant);
+    assert_eq!(sys.service().check(rid, b).unwrap(), Decision::Grant);
 }
 
 #[test]
@@ -211,7 +211,7 @@ fn deep_unbounded_policy_terminates_on_cyclic_graphs() {
     let rid = sys.share(users[0]);
     sys.allow(rid, "friend+[1..]").unwrap();
     for &u in &users {
-        assert_eq!(sys.check(rid, u).unwrap(), Decision::Grant);
+        assert_eq!(sys.service().check(rid, u).unwrap(), Decision::Grant);
     }
 }
 
@@ -225,7 +225,7 @@ fn attribute_type_confusion_fails_closed() {
     let rid = sys.share(a);
     sys.allow(rid, "friend+[1]{age>=18}").unwrap();
     assert_eq!(
-        sys.check(rid, b).unwrap(),
+        sys.service().check(rid, b).unwrap(),
         Decision::Deny,
         "text 'age' must not satisfy a numeric predicate"
     );
