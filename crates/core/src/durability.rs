@@ -1,0 +1,1010 @@
+//! Durability: write-ahead logging, checksummed snapshots and crash
+//! recovery for any serving deployment.
+//!
+//! An access-control system must **fail closed across restarts**: a
+//! crash that silently loses rules or relationships re-opens every
+//! decision those facts gated. This module makes the serving state
+//! durable without touching either backend:
+//!
+//! * **Write-ahead log** — [`DurableService`] wraps a
+//!   [`ServiceInstance`] and records every [`MutateService`] operation
+//!   as a [`WalRecord`] in an append-only log (`wal.log`) of
+//!   length-prefixed, CRC-32-checksummed frames *before* applying it.
+//!   Replaying the log through the same `MutateService` trait rebuilds
+//!   the exact state — member and resource ids are assigned
+//!   sequentially by every backend, so replay is deterministic.
+//! * **Snapshots** — [`DurableService::snapshot`] serializes the
+//!   canonical state (graph via the binary codec in
+//!   `socialreach_graph::persist`, policy store as JSON) into a
+//!   versioned, per-section-checksummed file stamped with the WAL
+//!   position it covers. Snapshots are written to a temp file and
+//!   atomically renamed; older snapshots are kept as a fallback chain.
+//! * **Recovery** — [`Deployment::durable`] reopens a data directory:
+//!   newest valid snapshot + WAL suffix replay. A torn or truncated
+//!   WAL tail (the expected shape of a crash mid-append) is discarded
+//!   and reported; everything else — a bit-flipped record in the body
+//!   of the log, a corrupt or version-incompatible snapshot, a
+//!   snapshot ahead of the log — is either detected loudly as a typed
+//!   [`DurabilityError`] or skipped onto an older snapshot with a
+//!   longer replay, per the [`RecoveryReport`]. Recovery never panics
+//!   and never silently grants: the recovered state always equals the
+//!   state after some prefix of the logged operations.
+//!
+//! The WAL currently retains the full mutation history (snapshots
+//! never truncate it), so the fallback chain always terminates at
+//! "empty state + full replay" and a future point-in-time audit read
+//! can replay to any historical position. Appends are buffered by the
+//! OS (no per-record fsync): a process crash loses nothing, a host
+//! crash may lose a suffix of appends — exactly the shape torn-tail
+//! recovery handles.
+//!
+//! ```
+//! use socialreach_core::{AccessService, Deployment, Decision, MutateService};
+//!
+//! let dir = std::env::temp_dir().join(format!("srdur-doc-{}", std::process::id()));
+//! let mut svc = Deployment::online().durable(&dir).unwrap();
+//! let alice = svc.add_user("Alice");
+//! let bob = svc.add_user("Bob");
+//! svc.add_relationship(alice, "friend", bob);
+//! let album = svc.add_resource(alice);
+//! svc.add_rule(album, "friend+[1]").unwrap();
+//! svc.snapshot().unwrap();
+//! drop(svc); // "crash"
+//!
+//! let recovered = Deployment::online().durable(&dir).unwrap();
+//! assert_eq!(recovered.reads().check(album, bob).unwrap(), Decision::Grant);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::error::EvalError;
+use crate::policy::{Decision, PolicyStore, ResourceId};
+use crate::service::{
+    AccessResponse, AccessService, Deployment, Explanation, MutateService, ReadBatch, ReadStats,
+    ServiceInstance,
+};
+use serde::{Deserialize, Serialize};
+use socialreach_graph::wire::crc32;
+use socialreach_graph::{persist, AttrValue, LabelId, NodeId, SocialGraph};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// On-disk format version of snapshot files.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Magic bytes opening every snapshot file.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"SRSNAP\r\n";
+
+/// Name of the write-ahead log inside a data directory.
+const WAL_FILE: &str = "wal.log";
+
+/// Upper bound on a single WAL frame's payload — far above any real
+/// record; a length field claiming more is treated as damage.
+const MAX_FRAME: u32 = 1 << 24;
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Typed durability failure: every corruption mode recovery can meet
+/// has a loud, named shape (the module never panics on bad bytes and
+/// never silently degrades a decision).
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// An OS-level I/O failure (open, read, write, rename, …).
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The operation that failed.
+        op: &'static str,
+        /// The OS error text.
+        message: String,
+    },
+    /// The WAL body is damaged: a checksum mismatch or undecodable
+    /// record *before* the final frame — truncation cannot explain it,
+    /// so recovery refuses to guess.
+    CorruptWal {
+        /// The log file.
+        path: PathBuf,
+        /// Byte offset of the damaged frame.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A snapshot file is damaged (bad magic, bad section checksum,
+    /// undecodable section, trailing bytes). Recovery skips it and
+    /// falls back to an older snapshot with a longer replay.
+    CorruptSnapshot {
+        /// The snapshot file.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A snapshot was written by an unknown format version.
+    UnsupportedVersion {
+        /// The snapshot file.
+        path: PathBuf,
+        /// The version the file claims.
+        found: u32,
+        /// The newest version this build reads.
+        supported: u32,
+    },
+    /// A snapshot claims to cover more WAL records than the log holds
+    /// — the log was truncated or swapped under the snapshot. The
+    /// snapshot is unusable (replaying from its position would skip
+    /// operations); recovery falls back.
+    SnapshotAheadOfWal {
+        /// The snapshot file.
+        path: PathBuf,
+        /// WAL records the snapshot claims to cover.
+        snapshot_records: u64,
+        /// WAL records actually on disk.
+        wal_records: u64,
+    },
+    /// A structurally valid WAL record failed to re-apply — the log
+    /// and the recorded history have diverged (records are only
+    /// appended after the operation validated).
+    Replay {
+        /// Zero-based index of the failing record.
+        record: u64,
+        /// Why it failed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io { path, op, message } => {
+                write!(f, "{op} {}: {message}", path.display())
+            }
+            DurabilityError::CorruptWal {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt write-ahead log {} at byte {offset}: {detail}",
+                path.display()
+            ),
+            DurabilityError::CorruptSnapshot { path, detail } => {
+                write!(f, "corrupt snapshot {}: {detail}", path.display())
+            }
+            DurabilityError::UnsupportedVersion {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "snapshot {} has format version {found}; this build reads up to {supported}",
+                path.display()
+            ),
+            DurabilityError::SnapshotAheadOfWal {
+                path,
+                snapshot_records,
+                wal_records,
+            } => write!(
+                f,
+                "snapshot {} covers {snapshot_records} WAL records but the log holds {wal_records}",
+                path.display()
+            ),
+            DurabilityError::Replay { record, detail } => {
+                write!(f, "WAL record {record} failed to re-apply: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+fn io_err(path: &Path, op: &'static str, e: std::io::Error) -> DurabilityError {
+    DurabilityError::Io {
+        path: path.to_path_buf(),
+        op,
+        message: e.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// WAL records and framing
+// ---------------------------------------------------------------------
+
+/// One logged [`MutateService`] operation, in wire form. Ids are
+/// recorded (not re-derived) so replay can cross-check the backend's
+/// sequential assignment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// [`MutateService::add_user`].
+    AddUser {
+        /// Display name.
+        name: String,
+    },
+    /// [`MutateService::set_user_attr`].
+    SetUserAttr {
+        /// The member.
+        user: NodeId,
+        /// Attribute key.
+        key: String,
+        /// Attribute value.
+        value: AttrValue,
+    },
+    /// [`MutateService::add_relationship`].
+    AddRelationship {
+        /// Source member.
+        src: NodeId,
+        /// Relationship type name.
+        label: String,
+        /// Target member.
+        dst: NodeId,
+    },
+    /// [`MutateService::add_resource`].
+    AddResource {
+        /// The owner.
+        owner: NodeId,
+    },
+    /// [`MutateService::add_rule`] (the rule re-parses on replay).
+    AddRule {
+        /// The resource.
+        resource: ResourceId,
+        /// The path-expression text.
+        path: String,
+    },
+}
+
+/// Encodes one record as a WAL frame:
+/// `[u32 LE payload len][u32 LE CRC-32][payload]`, where the checksum
+/// covers the length bytes *and* the payload, so a damaged length
+/// field cannot masquerade as a valid frame.
+fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let payload = serde_json::to_string(record)
+        .expect("WAL records serialize (no non-finite floats)")
+        .into_bytes();
+    let len = payload.len() as u32;
+    let mut checked = Vec::with_capacity(4 + payload.len());
+    checked.extend_from_slice(&len.to_le_bytes());
+    checked.extend_from_slice(&payload);
+    let crc = crc32(&checked);
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// A discarded torn tail: the expected damage shape of a crash during
+/// an append (partial frame at end-of-log).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset the valid prefix ends at (the log was truncated
+    /// back to this length).
+    pub offset: u64,
+    /// What the discarded bytes looked like.
+    pub detail: String,
+}
+
+/// Result of scanning a WAL file.
+struct WalScan {
+    records: Vec<WalRecord>,
+    /// Length of the valid prefix in bytes.
+    valid_len: u64,
+    torn: Option<TornTail>,
+}
+
+/// Scans a WAL file front to back. A partial frame at end-of-log is a
+/// torn tail (reported, prefix kept); damage *before* the final frame
+/// is a typed [`DurabilityError::CorruptWal`].
+fn read_wal(path: &Path) -> Result<WalScan, DurabilityError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalScan {
+                records: Vec::new(),
+                valid_len: 0,
+                torn: None,
+            })
+        }
+        Err(e) => return Err(io_err(path, "read", e)),
+    };
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            return Ok(WalScan {
+                records,
+                valid_len: pos as u64,
+                torn: None,
+            });
+        }
+        let torn = |records: Vec<WalRecord>, detail: String| {
+            Ok(WalScan {
+                records,
+                valid_len: pos as u64,
+                torn: Some(TornTail {
+                    offset: pos as u64,
+                    detail,
+                }),
+            })
+        };
+        if remaining < 8 {
+            return torn(records, format!("{remaining}-byte partial frame header"));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4"));
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("len 4"));
+        if len > MAX_FRAME || (len as usize) > remaining - 8 {
+            // The claimed payload extends past end-of-log: a frame cut
+            // short by a crash (or a damaged final length field —
+            // indistinguishable, and equally safe to discard).
+            return torn(
+                records,
+                format!(
+                    "frame claims {len}-byte payload, {} bytes remain",
+                    remaining - 8
+                ),
+            );
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len as usize];
+        let mut checked = Vec::with_capacity(4 + payload.len());
+        checked.extend_from_slice(&len.to_le_bytes());
+        checked.extend_from_slice(payload);
+        let frame_end = pos + 8 + len as usize;
+        if crc32(&checked) != crc {
+            if frame_end == bytes.len() {
+                // Checksum mismatch on the *final* frame: a torn write
+                // (header landed, payload didn't finish).
+                return torn(records, "checksum mismatch on final frame".to_owned());
+            }
+            return Err(DurabilityError::CorruptWal {
+                path: path.to_path_buf(),
+                offset: pos as u64,
+                detail: format!(
+                    "checksum mismatch (stored {crc:#010x}, computed {:#010x}) before end of log",
+                    crc32(&checked)
+                ),
+            });
+        }
+        let text = std::str::from_utf8(payload).map_err(|_| DurabilityError::CorruptWal {
+            path: path.to_path_buf(),
+            offset: pos as u64,
+            detail: "checksummed payload is not UTF-8".to_owned(),
+        })?;
+        let record: WalRecord =
+            serde_json::from_str(text).map_err(|e| DurabilityError::CorruptWal {
+                path: path.to_path_buf(),
+                offset: pos as u64,
+                detail: format!("undecodable record: {e}"),
+            })?;
+        records.push(record);
+        pos = frame_end;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot files
+// ---------------------------------------------------------------------
+
+fn snapshot_file_name(wal_records: u64) -> String {
+    // Zero-padded so lexicographic order is numeric order.
+    format!("snap-{wal_records:020}.snap")
+}
+
+fn encode_snapshot(g: &SocialGraph, store: &PolicyStore, wal_records: u64) -> Vec<u8> {
+    let graph_bytes = persist::encode_graph(g);
+    let store_bytes = serde_json::to_string(store)
+        .expect("policy store serializes")
+        .into_bytes();
+    let mut out = Vec::with_capacity(28 + graph_bytes.len() + store_bytes.len() + 16);
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&wal_records.to_le_bytes());
+    let header_crc = crc32(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    for section in [&graph_bytes, &store_bytes] {
+        out.extend_from_slice(&(section.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(section).to_le_bytes());
+        out.extend_from_slice(section);
+    }
+    out
+}
+
+fn decode_snapshot(
+    path: &Path,
+    bytes: &[u8],
+) -> Result<(SocialGraph, PolicyStore, u64), DurabilityError> {
+    let corrupt = |detail: String| DurabilityError::CorruptSnapshot {
+        path: path.to_path_buf(),
+        detail,
+    };
+    if bytes.len() < 24 {
+        return Err(corrupt(format!("{}-byte file is too short", bytes.len())));
+    }
+    if &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad magic".to_owned()));
+    }
+    // Version is read before any checksum so a future-format file is
+    // reported as such (its layout past the version field is unknown).
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("len 4"));
+    if version != SNAPSHOT_VERSION {
+        return Err(DurabilityError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    let header_crc = u32::from_le_bytes(bytes[20..24].try_into().expect("len 4"));
+    if crc32(&bytes[..20]) != header_crc {
+        return Err(corrupt("header checksum mismatch".to_owned()));
+    }
+    let wal_records = u64::from_le_bytes(bytes[12..20].try_into().expect("len 8"));
+    let mut pos = 24usize;
+    let mut sections: Vec<&[u8]> = Vec::with_capacity(2);
+    for name in ["graph", "policy"] {
+        if bytes.len() - pos < 8 {
+            return Err(corrupt(format!("truncated before {name} section header")));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("len 4"));
+        pos += 8;
+        if bytes.len() - pos < len {
+            return Err(corrupt(format!(
+                "{name} section claims {len} bytes, {} remain",
+                bytes.len() - pos
+            )));
+        }
+        let section = &bytes[pos..pos + len];
+        if crc32(section) != crc {
+            return Err(corrupt(format!("{name} section checksum mismatch")));
+        }
+        sections.push(section);
+        pos += len;
+    }
+    if pos != bytes.len() {
+        return Err(corrupt(format!("{} trailing bytes", bytes.len() - pos)));
+    }
+    let g = persist::decode_graph(sections[0]).map_err(|e| corrupt(format!("graph: {e}")))?;
+    let store_text =
+        std::str::from_utf8(sections[1]).map_err(|_| corrupt("policy: not UTF-8".to_owned()))?;
+    let store: PolicyStore =
+        serde_json::from_str(store_text).map_err(|e| corrupt(format!("policy: {e}")))?;
+    Ok((g, store, wal_records))
+}
+
+// ---------------------------------------------------------------------
+// Recovery report
+// ---------------------------------------------------------------------
+
+/// What [`Deployment::durable`] found and did while reopening a data
+/// directory. Every skipped artifact carries its typed error —
+/// corruption is always loud, even when recovery routed around it.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// The snapshot recovery started from (file name, WAL position),
+    /// or `None` when it replayed the full log from empty state.
+    pub snapshot_loaded: Option<(String, u64)>,
+    /// Snapshots that were newer but unusable, newest first, each with
+    /// the typed error that disqualified it.
+    pub snapshots_skipped: Vec<(String, DurabilityError)>,
+    /// Total intact records in the log.
+    pub wal_records: u64,
+    /// Records replayed on top of the loaded snapshot.
+    pub records_replayed: u64,
+    /// The discarded torn tail, if the log ended mid-append.
+    pub torn_tail: Option<TornTail>,
+}
+
+// ---------------------------------------------------------------------
+// The durable decorator
+// ---------------------------------------------------------------------
+
+/// A [`ServiceInstance`] with durability: every write is appended to
+/// the write-ahead log, a canonical mirror of the state (graph +
+/// policy store) is kept for snapshotting, and reads forward to the
+/// wrapped backend untouched. Construct with [`Deployment::durable`].
+///
+/// The mirror exists because the sharded backend has no global graph
+/// to export; it is authoritative for snapshots and doubles as the
+/// ground-truth source recovery audits replay against. Backends assign
+/// member and resource ids sequentially, so the mirror, the backend
+/// and any replayed copy agree on every id — divergence is checked on
+/// every write and surfaces as a loud error, never a wrong answer.
+pub struct DurableService {
+    inner: ServiceInstance,
+    mirror: SocialGraph,
+    store: PolicyStore,
+    dir: PathBuf,
+    wal_path: PathBuf,
+    wal: File,
+    wal_records: u64,
+    report: RecoveryReport,
+}
+
+impl Deployment {
+    /// Opens (or initializes) a durable deployment in `dir`: recovery
+    /// is newest-valid-snapshot + WAL-suffix replay, after which every
+    /// mutation through the returned service is write-ahead logged.
+    /// See [`DurableService`] and the module docs for the corruption
+    /// semantics.
+    pub fn durable(&self, dir: impl AsRef<Path>) -> Result<DurableService, DurabilityError> {
+        DurableService::open(self.clone(), dir.as_ref())
+    }
+}
+
+impl DurableService {
+    fn open(deployment: Deployment, dir: &Path) -> Result<Self, DurabilityError> {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, "create", e))?;
+        let wal_path = dir.join(WAL_FILE);
+        let scan = read_wal(&wal_path)?;
+        let wal_records = scan.records.len() as u64;
+
+        // Newest-first snapshot chain.
+        let mut snapshot_names: Vec<String> = fs::read_dir(dir)
+            .map_err(|e| io_err(dir, "read dir", e))?
+            .filter_map(|entry| entry.ok())
+            .filter_map(|entry| entry.file_name().into_string().ok())
+            .filter(|name| name.starts_with("snap-") && name.ends_with(".snap"))
+            .collect();
+        snapshot_names.sort_unstable_by(|a, b| b.cmp(a));
+
+        let mut report = RecoveryReport {
+            wal_records,
+            torn_tail: scan.torn.clone(),
+            ..RecoveryReport::default()
+        };
+        let mut base: Option<(SocialGraph, PolicyStore, u64)> = None;
+        for name in snapshot_names {
+            let path = dir.join(&name);
+            let loaded = fs::read(&path)
+                .map_err(|e| io_err(&path, "read", e))
+                .and_then(|bytes| decode_snapshot(&path, &bytes))
+                .and_then(|(g, store, covered)| {
+                    if covered > wal_records {
+                        Err(DurabilityError::SnapshotAheadOfWal {
+                            path: path.clone(),
+                            snapshot_records: covered,
+                            wal_records,
+                        })
+                    } else {
+                        Ok((g, store, covered))
+                    }
+                });
+            match loaded {
+                Ok(found) => {
+                    report.snapshot_loaded = Some((name, found.2));
+                    base = Some(found);
+                    break;
+                }
+                Err(e) => report.snapshots_skipped.push((name, e)),
+            }
+        }
+
+        let (mut mirror, mut store, replay_from) =
+            base.unwrap_or_else(|| (SocialGraph::new(), PolicyStore::new(), 0));
+        let mut inner = deployment.from_graph(&mirror, store.clone());
+        {
+            let writes = inner.writes();
+            for (i, record) in scan.records.iter().enumerate().skip(replay_from as usize) {
+                apply_record(record, writes, &mut mirror, &mut store).map_err(|detail| {
+                    DurabilityError::Replay {
+                        record: i as u64,
+                        detail,
+                    }
+                })?;
+                report.records_replayed += 1;
+            }
+        }
+
+        // Truncate a torn tail so future appends start at the valid
+        // prefix instead of extending garbage.
+        if scan.torn.is_some() {
+            let f = OpenOptions::new()
+                .write(true)
+                .open(&wal_path)
+                .map_err(|e| io_err(&wal_path, "open", e))?;
+            f.set_len(scan.valid_len)
+                .map_err(|e| io_err(&wal_path, "truncate", e))?;
+        }
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)
+            .map_err(|e| io_err(&wal_path, "open", e))?;
+
+        Ok(DurableService {
+            inner,
+            mirror,
+            store,
+            dir: dir.to_path_buf(),
+            wal_path,
+            wal,
+            wal_records,
+            report,
+        })
+    }
+
+    /// What recovery found: the snapshot used, artifacts skipped (with
+    /// their typed errors), records replayed, torn tail discarded.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// Number of intact records in the write-ahead log.
+    pub fn wal_records(&self) -> u64 {
+        self.wal_records
+    }
+
+    /// The data directory this service persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The canonical mirror graph (authoritative for snapshots and for
+    /// ground-truth audits of the wrapped backend).
+    pub fn graph(&self) -> &SocialGraph {
+        &self.mirror
+    }
+
+    /// The canonical policy store.
+    pub fn store(&self) -> &PolicyStore {
+        &self.store
+    }
+
+    /// This service as a deployment-agnostic read service.
+    pub fn reads(&self) -> &dyn AccessService {
+        self
+    }
+
+    /// This service as a deployment-agnostic write service.
+    pub fn writes(&mut self) -> &mut dyn MutateService {
+        self
+    }
+
+    /// Persists a snapshot of the current state, stamped with the WAL
+    /// position it covers, and returns its path. Written to a temp
+    /// file and atomically renamed; never overwrites a good snapshot
+    /// with a partial one. Takes `&self`: concurrent readers (behind a
+    /// shared lock) keep reading while the snapshot persists.
+    pub fn snapshot(&self) -> Result<PathBuf, DurabilityError> {
+        let bytes = encode_snapshot(&self.mirror, &self.store, self.wal_records);
+        let final_path = self.dir.join(snapshot_file_name(self.wal_records));
+        let tmp_path = self.dir.join(format!(
+            "{}.tmp-{}",
+            snapshot_file_name(self.wal_records),
+            std::process::id()
+        ));
+        fs::write(&tmp_path, &bytes).map_err(|e| io_err(&tmp_path, "write", e))?;
+        fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, "rename", e))?;
+        Ok(final_path)
+    }
+
+    /// Appends one frame to the log. WAL append failure is fail-stop:
+    /// acknowledging a write the log did not capture would break the
+    /// recovery contract.
+    fn append(&mut self, record: &WalRecord) {
+        let frame = encode_frame(record);
+        self.wal
+            .write_all(&frame)
+            .unwrap_or_else(|e| panic!("WAL append to {} failed: {e}", self.wal_path.display()));
+        self.wal_records += 1;
+    }
+}
+
+/// Applies one record to a backend and the canonical mirror, checking
+/// the two stay id-for-id identical. Invalid ids (possible only under
+/// a log that disagrees with its own history) error — never panic.
+fn apply_record(
+    record: &WalRecord,
+    inner: &mut dyn MutateService,
+    mirror: &mut SocialGraph,
+    store: &mut PolicyStore,
+) -> Result<(), String> {
+    let check_member = |user: NodeId, mirror: &SocialGraph| {
+        if mirror.contains_node(user) {
+            Ok(())
+        } else {
+            Err(format!(
+                "member {user} out of range ({} members)",
+                mirror.num_nodes()
+            ))
+        }
+    };
+    match record {
+        WalRecord::AddUser { name } => {
+            let got = inner.add_user(name);
+            let expect = mirror.add_node(name);
+            if got != expect {
+                return Err(format!(
+                    "backend assigned member id {got}, history says {expect}"
+                ));
+            }
+        }
+        WalRecord::SetUserAttr { user, key, value } => {
+            check_member(*user, mirror)?;
+            inner.set_user_attr(*user, key, value.clone());
+            mirror.set_node_attr(*user, key, value.clone());
+        }
+        WalRecord::AddRelationship { src, label, dst } => {
+            check_member(*src, mirror)?;
+            check_member(*dst, mirror)?;
+            inner.add_relationship(*src, label, *dst);
+            mirror.connect(*src, label, *dst);
+        }
+        WalRecord::AddResource { owner } => {
+            check_member(*owner, mirror)?;
+            let got = inner.add_resource(*owner);
+            let expect = store.register_resource(*owner);
+            if got != expect {
+                return Err(format!(
+                    "backend assigned resource id {got:?}, history says {expect:?}"
+                ));
+            }
+        }
+        WalRecord::AddRule { resource, path } => {
+            store
+                .allow(*resource, path, mirror)
+                .map_err(|e| format!("rule rejected: {e}"))?;
+            inner
+                .add_rule(*resource, path)
+                .map_err(|e| format!("backend rejected a rule the history accepted: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Trait impls: reads forward, writes log
+// ---------------------------------------------------------------------
+
+impl AccessService for DurableService {
+    fn describe(&self) -> String {
+        format!("durable({})", self.inner.reads().describe())
+    }
+
+    fn num_members(&self) -> usize {
+        self.inner.reads().num_members()
+    }
+
+    fn num_relationships(&self) -> usize {
+        self.inner.reads().num_relationships()
+    }
+
+    fn resolve_user(&self, name: &str) -> Result<NodeId, EvalError> {
+        self.inner.reads().resolve_user(name)
+    }
+
+    fn member_name(&self, member: NodeId) -> &str {
+        self.inner.member_name(member)
+    }
+
+    fn label_name(&self, label: LabelId) -> &str {
+        self.inner.label_name(label)
+    }
+
+    fn check(&self, resource: ResourceId, requester: NodeId) -> Result<Decision, EvalError> {
+        self.inner.reads().check(resource, requester)
+    }
+
+    fn check_batch(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+    ) -> Result<Vec<Decision>, EvalError> {
+        self.inner.reads().check_batch(requests, threads)
+    }
+
+    fn audience_batch_with_stats(
+        &self,
+        rids: &[ResourceId],
+    ) -> Result<(Vec<Vec<NodeId>>, ReadStats), EvalError> {
+        self.inner.reads().audience_batch_with_stats(rids)
+    }
+
+    fn explain(
+        &self,
+        resource: ResourceId,
+        requester: NodeId,
+    ) -> Result<Option<Explanation>, EvalError> {
+        self.inner.reads().explain(resource, requester)
+    }
+
+    fn cache_stats(&self) -> (u64, u64) {
+        self.inner.reads().cache_stats()
+    }
+
+    fn check_with_stats(
+        &self,
+        resource: ResourceId,
+        requester: NodeId,
+    ) -> Result<(Decision, ReadStats), EvalError> {
+        self.inner.reads().check_with_stats(resource, requester)
+    }
+
+    fn check_batch_with_stats(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+    ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        self.inner.reads().check_batch_with_stats(requests, threads)
+    }
+
+    fn explain_with_stats(
+        &self,
+        resource: ResourceId,
+        requester: NodeId,
+    ) -> Result<(Option<Explanation>, ReadStats), EvalError> {
+        self.inner.reads().explain_with_stats(resource, requester)
+    }
+
+    fn read_batch(&self, batch: &ReadBatch) -> Result<Vec<AccessResponse>, EvalError> {
+        self.inner.reads().read_batch(batch)
+    }
+}
+
+impl MutateService for DurableService {
+    fn add_user(&mut self, name: &str) -> NodeId {
+        self.append(&WalRecord::AddUser {
+            name: name.to_owned(),
+        });
+        let got = self.inner.writes().add_user(name);
+        let expect = self.mirror.add_node(name);
+        debug_assert_eq!(got, expect, "sequential id assignment diverged");
+        got
+    }
+
+    fn set_user_attr(&mut self, user: NodeId, key: &str, value: AttrValue) {
+        self.append(&WalRecord::SetUserAttr {
+            user,
+            key: key.to_owned(),
+            value: value.clone(),
+        });
+        self.inner.writes().set_user_attr(user, key, value.clone());
+        self.mirror.set_node_attr(user, key, value);
+    }
+
+    fn add_relationship(&mut self, src: NodeId, label: &str, dst: NodeId) {
+        self.append(&WalRecord::AddRelationship {
+            src,
+            label: label.to_owned(),
+            dst,
+        });
+        self.inner.writes().add_relationship(src, label, dst);
+        self.mirror.connect(src, label, dst);
+    }
+
+    fn add_resource(&mut self, owner: NodeId) -> ResourceId {
+        self.append(&WalRecord::AddResource { owner });
+        let got = self.inner.writes().add_resource(owner);
+        let expect = self.store.register_resource(owner);
+        debug_assert_eq!(got, expect, "sequential id assignment diverged");
+        got
+    }
+
+    /// Validate-then-log: the rule is parsed and applied to the
+    /// canonical mirror first, so a rejected rule is never logged (a
+    /// logged record must always re-apply on recovery).
+    fn add_rule(&mut self, resource: ResourceId, path_text: &str) -> Result<(), EvalError> {
+        self.store.allow(resource, path_text, &mut self.mirror)?;
+        self.append(&WalRecord::AddRule {
+            resource,
+            path: path_text.to_owned(),
+        });
+        self.inner
+            .writes()
+            .add_rule(resource, path_text)
+            .expect("backend accepts a rule the canonical mirror accepted");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "srdur-unit-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn wal_frames_round_trip() {
+        let records = vec![
+            WalRecord::AddUser {
+                name: "Alice".to_owned(),
+            },
+            WalRecord::SetUserAttr {
+                user: NodeId(0),
+                key: "age".to_owned(),
+                value: AttrValue::Int(30),
+            },
+            WalRecord::AddRelationship {
+                src: NodeId(0),
+                label: "friend".to_owned(),
+                dst: NodeId(1),
+            },
+            WalRecord::AddResource { owner: NodeId(0) },
+            WalRecord::AddRule {
+                resource: ResourceId(0),
+                path: "friend+[1,2]{age>=18}".to_owned(),
+            },
+        ];
+        let dir = temp_dir("frames");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(WAL_FILE);
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_frame(r));
+        }
+        fs::write(&path, &bytes).unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        assert!(scan.torn.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_wal_reads_as_empty() {
+        let dir = temp_dir("missing");
+        let scan = read_wal(&dir.join(WAL_FILE)).unwrap();
+        assert!(scan.records.is_empty());
+        assert!(scan.torn.is_none());
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut g = SocialGraph::new();
+        let a = g.add_node("Alice");
+        let b = g.add_node("Bob");
+        g.connect(a, "friend", b);
+        g.set_node_attr(b, "age", 26i64);
+        let mut store = PolicyStore::new();
+        let rid = store.register_resource(a);
+        store.allow(rid, "friend+[1]", &mut g).unwrap();
+
+        let bytes = encode_snapshot(&g, &store, 7);
+        let path = PathBuf::from("snap-test.snap");
+        let (g2, store2, covered) = decode_snapshot(&path, &bytes).unwrap();
+        assert_eq!(covered, 7);
+        assert_eq!(g2.num_nodes(), 2);
+        assert_eq!(g2.num_edges(), 1);
+        assert_eq!(store2.num_resources(), 1);
+        assert_eq!(store2.owner_of(rid).unwrap(), a);
+        assert_eq!(store2.rules_for(rid).len(), 1);
+    }
+
+    #[test]
+    fn snapshot_section_bitflip_is_typed() {
+        let mut g = SocialGraph::new();
+        g.add_node("Alice");
+        let bytes = encode_snapshot(&g, &PolicyStore::new(), 0);
+        let path = PathBuf::from("snap-test.snap");
+        // Flip one bit in every byte position past the header: each
+        // must surface as a typed error (checksum, version, …), never
+        // a panic or a silent success.
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x10;
+            assert!(
+                decode_snapshot(&path, &corrupt).is_err(),
+                "bit flip at byte {i} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_snapshot_version_is_typed() {
+        let g = SocialGraph::new();
+        let mut bytes = encode_snapshot(&g, &PolicyStore::new(), 0);
+        bytes[8] = 99;
+        let err = decode_snapshot(&PathBuf::from("x.snap"), &bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            DurabilityError::UnsupportedVersion { found: 99, .. }
+        ));
+    }
+}

@@ -116,6 +116,7 @@
 //! `tests/shard_batch_differential.rs`.
 
 pub mod carminati;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod examples;
@@ -129,6 +130,7 @@ pub mod sharded;
 pub mod system;
 
 pub use carminati::{CarminatiOutcome, CarminatiRule, TrustAggregation};
+pub use durability::{DurabilityError, DurableService, RecoveryReport, TornTail, WalRecord};
 pub use engine::{
     resource_audience, resource_audience_batch, resource_audience_batch_with_stats, AccessEngine,
     AudienceOutcome, CheckOutcome, Enforcer, EvalStats, OnlineEngine,

@@ -353,6 +353,38 @@ pub trait AccessService: Send + Sync {
     /// Decision-cache statistics `(hits, misses)`.
     fn cache_stats(&self) -> (u64, u64);
 
+    /// [`AccessService::check`] plus the read's work census. Backends
+    /// override this with real counters (the default reports zeros);
+    /// decision-cache hits and the owner fast path legitimately report
+    /// an all-zero census — no traversal ran.
+    fn check_with_stats(
+        &self,
+        resource: ResourceId,
+        requester: NodeId,
+    ) -> Result<(Decision, ReadStats), EvalError> {
+        Ok((self.check(resource, requester)?, ReadStats::default()))
+    }
+
+    /// [`AccessService::check_batch`] plus the batch's cumulative work
+    /// census. Backends override this with real counters.
+    fn check_batch_with_stats(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+    ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        Ok((self.check_batch(requests, threads)?, ReadStats::default()))
+    }
+
+    /// [`AccessService::explain`] plus the read's work census.
+    /// Backends override this with real counters.
+    fn explain_with_stats(
+        &self,
+        resource: ResourceId,
+        requester: NodeId,
+    ) -> Result<(Option<Explanation>, ReadStats), EvalError> {
+        Ok((self.explain(resource, requester)?, ReadStats::default()))
+    }
+
     /// The full audience of one resource (global member ids, sorted).
     fn audience(&self, resource: ResourceId) -> Result<Vec<NodeId>, EvalError> {
         Ok(self
@@ -378,9 +410,11 @@ pub trait AccessService: Send + Sync {
 
     /// Evaluates a heterogeneous batch of reads, responses in request
     /// order. Check reads of the batch are decided together through
-    /// [`AccessService::check_batch`]; audience reads together through
-    /// [`AccessService::audience_batch_with_stats`] (whose census is
-    /// attributed to the first audience read); explains run targeted.
+    /// [`AccessService::check_batch_with_stats`] (whose census is
+    /// attributed to the first check read); audience reads together
+    /// through [`AccessService::audience_batch_with_stats`] (census on
+    /// the first audience read); explains run targeted, each carrying
+    /// its own census.
     fn read_batch(&self, batch: &ReadBatch) -> Result<Vec<AccessResponse>, EvalError> {
         let mut responses: Vec<AccessResponse> = (0..batch.reads.len())
             .map(|_| AccessResponse::default())
@@ -398,21 +432,26 @@ pub trait AccessService: Send + Sync {
                     resource,
                     requester,
                 } => {
-                    let explanation = self.explain(resource, requester)?;
+                    let (explanation, stats) = self.explain_with_stats(resource, requester)?;
                     responses[i].decision = Some(if explanation.is_some() {
                         Decision::Grant
                     } else {
                         Decision::Deny
                     });
                     responses[i].explanation = explanation;
+                    responses[i].stats = stats;
                 }
             }
         }
         if !checks.is_empty() {
             let requests: Vec<(ResourceId, NodeId)> = checks.iter().map(|&(_, r)| r).collect();
-            let decisions = self.check_batch(&requests, batch.threads.max(1))?;
-            for (&(i, _), d) in checks.iter().zip(decisions) {
+            let (decisions, stats) =
+                self.check_batch_with_stats(&requests, batch.threads.max(1))?;
+            for (k, (&(i, _), d)) in checks.iter().zip(decisions).enumerate() {
                 responses[i].decision = Some(d);
+                if k == 0 {
+                    responses[i].stats = stats;
+                }
             }
         }
         if !audiences.is_empty() {
@@ -470,6 +509,18 @@ pub trait MutateService {
 /// One config describing *which* backend serves: the deployment is the
 /// only place the backend choice appears; everything downstream holds
 /// trait objects.
+///
+/// Three constructions cover every serving shape:
+///
+/// * [`Deployment::build`] — an empty in-memory backend;
+/// * [`Deployment::from_graph`] — a backend over an existing graph and
+///   policy store (ids preserved);
+/// * [`Deployment::durable`] (in [`crate::durability`]) — a persistent
+///   backend in a data directory: every mutation is write-ahead
+///   logged, [`crate::DurableService::snapshot`] checkpoints, and
+///   reopening the same directory recovers newest-valid-snapshot +
+///   WAL-suffix-replay. Either backend can sit behind it — durability
+///   wraps the deployment, not a particular engine.
 #[derive(Clone, Debug)]
 pub enum Deployment {
     /// One epoch-published graph behind the chosen evaluation engine.
@@ -650,6 +701,30 @@ impl AccessService for ServiceInstance {
 
     fn cache_stats(&self) -> (u64, u64) {
         self.reads().cache_stats()
+    }
+
+    fn check_with_stats(
+        &self,
+        resource: ResourceId,
+        requester: NodeId,
+    ) -> Result<(Decision, ReadStats), EvalError> {
+        self.reads().check_with_stats(resource, requester)
+    }
+
+    fn check_batch_with_stats(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+    ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        self.reads().check_batch_with_stats(requests, threads)
+    }
+
+    fn explain_with_stats(
+        &self,
+        resource: ResourceId,
+        requester: NodeId,
+    ) -> Result<(Option<Explanation>, ReadStats), EvalError> {
+        self.reads().explain_with_stats(resource, requester)
     }
 }
 

@@ -668,17 +668,39 @@ impl ShardedSystem {
         path: &PathExpr,
         target: Option<NodeId>,
     ) -> ShardedEval {
+        self.evaluate_condition_with_stats(owner, path, target).0
+    }
+
+    /// [`ShardedSystem::evaluate_condition`] plus the fixpoint's
+    /// uniform work census: one condition and one traversal (this
+    /// fixpoint), `rounds` cross-shard round-trips, the product states
+    /// the per-shard seeded evaluations expanded, and the boundary
+    /// states exported between shards.
+    pub fn evaluate_condition_with_stats(
+        &self,
+        owner: NodeId,
+        path: &PathExpr,
+        target: Option<NodeId>,
+    ) -> (ShardedEval, ReadStats) {
+        let mut stats = ReadStats {
+            conditions: 1,
+            traversals: 1,
+            ..ReadStats::default()
+        };
         if path.is_empty() {
             let granted = target == Some(owner);
-            return ShardedEval {
-                matched: if target.is_none() {
-                    vec![owner]
-                } else {
-                    vec![]
+            return (
+                ShardedEval {
+                    matched: if target.is_none() {
+                        vec![owner]
+                    } else {
+                        vec![]
+                    },
+                    granted,
+                    witness: granted.then(Vec::new),
                 },
-                granted,
-                witness: granted.then(Vec::new),
-            };
+                stats,
+            );
         }
         let snaps = self.publish_all();
 
@@ -711,12 +733,14 @@ impl ShardedSystem {
             if round.is_empty() {
                 break;
             }
+            stats.rounds += 1;
             let outs = self.run_round(&round, &snaps, path, target);
 
             // Merge in shard order: deterministic regardless of the
             // fan-out interleaving.
             for ((shard_ix, seeds, keys), out) in round.into_iter().zip(outs) {
                 let run_ix = runs.len();
+                stats.states_expanded += out.stats.states_visited;
                 runs.push(RunRecord {
                     shard: shard_ix,
                     seeds,
@@ -737,6 +761,7 @@ impl ShardedSystem {
                     let global = shard.globals[node.index()];
                     let key: StateKey = (global.0, step, depth);
                     if imported.insert(key) {
+                        stats.exported_states += 1;
                         origin.insert(key, run_ix);
                         let entry = &self.members[global.index()];
                         let q = &mut queues[entry.home as usize];
@@ -754,11 +779,14 @@ impl ShardedSystem {
         });
         matched.sort_unstable();
         matched.dedup();
-        ShardedEval {
-            matched,
-            granted: witness.is_some(),
-            witness,
-        }
+        (
+            ShardedEval {
+                matched,
+                granted: witness.is_some(),
+                witness,
+            },
+            stats,
+        )
     }
 
     /// Runs one fixpoint round: each active shard evaluates its seeds
@@ -1115,33 +1143,7 @@ impl AccessService for ShardedSystem {
     /// enforcer: owner always granted, rules disjoin, conditions
     /// within a rule conjoin, no rules ⇒ private).
     fn check(&self, rid: ResourceId, requester: NodeId) -> Result<Decision, EvalError> {
-        let owner = self.store.owner_of(rid)?;
-        if requester == owner {
-            return Ok(Decision::Grant);
-        }
-        if let Some(&d) = self.cache.read().get(&(rid, requester)) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(d);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut decision = Decision::Deny;
-        'rules: for rule in self.store.rules_for(rid) {
-            if rule.conditions.is_empty() {
-                continue;
-            }
-            for cond in &rule.conditions {
-                if !self
-                    .evaluate_condition(cond.owner, &cond.path, Some(requester))
-                    .granted
-                {
-                    continue 'rules;
-                }
-            }
-            decision = Decision::Grant;
-            break;
-        }
-        self.cache.write().insert((rid, requester), decision);
-        Ok(decision)
+        Ok(self.check_with_stats(rid, requester)?.0)
     }
 
     /// Decides a batch of requests through **one** masked cross-shard
@@ -1160,57 +1162,7 @@ impl AccessService for ShardedSystem {
         requests: &[(ResourceId, NodeId)],
         threads: usize,
     ) -> Result<Vec<Decision>, EvalError> {
-        let _ = threads;
-        if requests.len() == 1 {
-            // A single targeted check is cheaper through the
-            // early-exiting per-condition fixpoint.
-            let (rid, req) = requests[0];
-            return Ok(vec![AccessService::check(self, rid, req)?]);
-        }
-        let mut decisions: Vec<Option<Decision>> = vec![None; requests.len()];
-        // Insertion-ordered dedup of the resources needing evaluation.
-        let mut need: Vec<ResourceId> = Vec::new();
-        let mut needed: HashSet<ResourceId> = HashSet::new();
-        {
-            let cache = self.cache.read();
-            for (i, &(rid, req)) in requests.iter().enumerate() {
-                let owner = self.store.owner_of(rid)?;
-                if req == owner {
-                    decisions[i] = Some(Decision::Grant);
-                } else if let Some(&d) = cache.get(&(rid, req)) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    decisions[i] = Some(d);
-                } else {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    if needed.insert(rid) {
-                        need.push(rid);
-                    }
-                }
-            }
-        }
-        if !need.is_empty() {
-            let audiences = AccessService::audience_batch(self, &need)?;
-            let by_rid: HashMap<ResourceId, &Vec<NodeId>> =
-                need.iter().copied().zip(audiences.iter()).collect();
-            let mut cache = self.cache.write();
-            for (i, &(rid, req)) in requests.iter().enumerate() {
-                if decisions[i].is_some() {
-                    continue;
-                }
-                let audience = by_rid[&rid];
-                let d = if audience.binary_search(&req).is_ok() {
-                    Decision::Grant
-                } else {
-                    Decision::Deny
-                };
-                cache.insert((rid, req), d);
-                decisions[i] = Some(d);
-            }
-        }
-        Ok(decisions
-            .into_iter()
-            .map(|d| d.expect("every request decided"))
-            .collect())
+        Ok(self.check_batch_with_stats(requests, threads)?.0)
     }
 
     /// Audiences of a whole bundle of resources, in `rids` order,
@@ -1247,9 +1199,121 @@ impl AccessService for ShardedSystem {
         rid: ResourceId,
         requester: NodeId,
     ) -> Result<Option<Explanation>, EvalError> {
+        Ok(self.explain_with_stats(rid, requester)?.0)
+    }
+
+    fn cache_stats(&self) -> (u64, u64) {
+        ShardedSystem::cache_stats(self)
+    }
+
+    fn check_with_stats(
+        &self,
+        rid: ResourceId,
+        requester: NodeId,
+    ) -> Result<(Decision, ReadStats), EvalError> {
+        let mut stats = ReadStats::default();
         let owner = self.store.owner_of(rid)?;
         if requester == owner {
-            return Ok(Some(Explanation::Ownership { owner }));
+            return Ok((Decision::Grant, stats));
+        }
+        if let Some(&d) = self.cache.read().get(&(rid, requester)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((d, stats));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut decision = Decision::Deny;
+        'rules: for rule in self.store.rules_for(rid) {
+            if rule.conditions.is_empty() {
+                continue;
+            }
+            for cond in &rule.conditions {
+                let (out, s) =
+                    self.evaluate_condition_with_stats(cond.owner, &cond.path, Some(requester));
+                stats.absorb(&s);
+                if !out.granted {
+                    continue 'rules;
+                }
+            }
+            decision = Decision::Grant;
+            break;
+        }
+        self.cache.write().insert((rid, requester), decision);
+        Ok((decision, stats))
+    }
+
+    fn check_batch_with_stats(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+    ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        let _ = threads;
+        let mut stats = ReadStats::default();
+        if requests.len() == 1 {
+            // A single targeted check is cheaper through the
+            // early-exiting per-condition fixpoint.
+            let (rid, req) = requests[0];
+            let (d, s) = self.check_with_stats(rid, req)?;
+            return Ok((vec![d], s));
+        }
+        let mut decisions: Vec<Option<Decision>> = vec![None; requests.len()];
+        // Insertion-ordered dedup of the resources needing evaluation.
+        let mut need: Vec<ResourceId> = Vec::new();
+        let mut needed: HashSet<ResourceId> = HashSet::new();
+        {
+            let cache = self.cache.read();
+            for (i, &(rid, req)) in requests.iter().enumerate() {
+                let owner = self.store.owner_of(rid)?;
+                if req == owner {
+                    decisions[i] = Some(Decision::Grant);
+                } else if let Some(&d) = cache.get(&(rid, req)) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    decisions[i] = Some(d);
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    if needed.insert(rid) {
+                        need.push(rid);
+                    }
+                }
+            }
+        }
+        if !need.is_empty() {
+            let (audiences, s) = AccessService::audience_batch_with_stats(self, &need)?;
+            stats.absorb(&s);
+            let by_rid: HashMap<ResourceId, &Vec<NodeId>> =
+                need.iter().copied().zip(audiences.iter()).collect();
+            let mut cache = self.cache.write();
+            for (i, &(rid, req)) in requests.iter().enumerate() {
+                if decisions[i].is_some() {
+                    continue;
+                }
+                let audience = by_rid[&rid];
+                let d = if audience.binary_search(&req).is_ok() {
+                    Decision::Grant
+                } else {
+                    Decision::Deny
+                };
+                cache.insert((rid, req), d);
+                decisions[i] = Some(d);
+            }
+        }
+        Ok((
+            decisions
+                .into_iter()
+                .map(|d| d.expect("every request decided"))
+                .collect(),
+            stats,
+        ))
+    }
+
+    fn explain_with_stats(
+        &self,
+        rid: ResourceId,
+        requester: NodeId,
+    ) -> Result<(Option<Explanation>, ReadStats), EvalError> {
+        let mut stats = ReadStats::default();
+        let owner = self.store.owner_of(rid)?;
+        if requester == owner {
+            return Ok((Some(Explanation::Ownership { owner }), stats));
         }
         'rules: for rule in self.store.rules_for(rid) {
             if rule.conditions.is_empty() {
@@ -1257,7 +1321,9 @@ impl AccessService for ShardedSystem {
             }
             let mut walks = Vec::new();
             for cond in &rule.conditions {
-                let out = self.evaluate_condition(cond.owner, &cond.path, Some(requester));
+                let (out, s) =
+                    self.evaluate_condition_with_stats(cond.owner, &cond.path, Some(requester));
+                stats.absorb(&s);
                 let Some(witness) = out.witness else {
                     continue 'rules;
                 };
@@ -1266,13 +1332,9 @@ impl AccessService for ShardedSystem {
                     hops: witness,
                 });
             }
-            return Ok(Some(Explanation::Rule { walks }));
+            return Ok((Some(Explanation::Rule { walks }), stats));
         }
-        Ok(None)
-    }
-
-    fn cache_stats(&self) -> (u64, u64) {
-        ShardedSystem::cache_stats(self)
+        Ok((None, stats))
     }
 }
 

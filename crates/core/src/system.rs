@@ -371,9 +371,60 @@ impl AccessService for AccessControlSystem {
         rid: ResourceId,
         requester: NodeId,
     ) -> Result<Option<Explanation>, EvalError> {
+        Ok(self.explain_with_stats(rid, requester)?.0)
+    }
+
+    fn cache_stats(&self) -> (u64, u64) {
+        AccessControlSystem::cache_stats(self)
+    }
+
+    fn check_with_stats(
+        &self,
+        rid: ResourceId,
+        requester: NodeId,
+    ) -> Result<(Decision, ReadStats), EvalError> {
+        match self.choice {
+            EngineChoice::Online => {
+                self.online
+                    .check_access_with_stats(&self.graph, &self.store, rid, requester)
+            }
+            EngineChoice::JoinIndex(_) => self.join_enforcer().check_access_with_stats(
+                &self.graph,
+                &self.store,
+                rid,
+                requester,
+            ),
+        }
+    }
+
+    fn check_batch_with_stats(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+    ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        match self.choice {
+            EngineChoice::Online => {
+                self.online
+                    .check_batch_with_stats(&self.graph, &self.store, requests, threads)
+            }
+            EngineChoice::JoinIndex(_) => self.join_enforcer().check_batch_with_stats(
+                &self.graph,
+                &self.store,
+                requests,
+                threads,
+            ),
+        }
+    }
+
+    fn explain_with_stats(
+        &self,
+        rid: ResourceId,
+        requester: NodeId,
+    ) -> Result<(Option<Explanation>, ReadStats), EvalError> {
+        let mut stats = ReadStats::default();
         let owner = self.store.owner_of(rid)?;
         if requester == owner {
-            return Ok(Some(Explanation::Ownership { owner }));
+            return Ok((Some(Explanation::Ownership { owner }), stats));
         }
         let rules = self.store.rules_for(rid).to_vec();
         'rules: for rule in &rules {
@@ -383,6 +434,10 @@ impl AccessService for AccessControlSystem {
             let mut walks = Vec::new();
             for cond in &rule.conditions {
                 let out = online::evaluate(&self.graph, cond.owner, &cond.path, Some(requester));
+                stats.conditions += 1;
+                stats.traversals += 1;
+                stats.rounds += 1;
+                stats.states_expanded += out.stats.states_visited;
                 let Some(witness) = out.witness else {
                     continue 'rules;
                 };
@@ -404,13 +459,9 @@ impl AccessService for AccessControlSystem {
                     hops,
                 });
             }
-            return Ok(Some(Explanation::Rule { walks }));
+            return Ok((Some(Explanation::Rule { walks }), stats));
         }
-        Ok(None)
-    }
-
-    fn cache_stats(&self) -> (u64, u64) {
-        AccessControlSystem::cache_stats(self)
+        Ok((None, stats))
     }
 }
 

@@ -34,6 +34,11 @@
 //!   the [`BoundaryTable`] of cross-shard relationships, the substrate
 //!   of the core crate's sharded serving layer;
 //! * [`bitset`] — a small dense bit set used by reachability algorithms;
+//! * [`wire`] — CRC-32 and bounds-checked little-endian binary
+//!   primitives for on-disk persistence;
+//! * [`persist`] — the binary snapshot codec for [`SocialGraph`],
+//!   decoding through the public mutation API so rebuilt graphs assign
+//!   identical ids (the property WAL suffix replay relies on);
 //! * [`export`] — DOT and edge-list renderings for debugging and the
 //!   paper-figure artifacts.
 //!
@@ -60,8 +65,10 @@ pub mod error;
 pub mod export;
 pub mod graph;
 pub mod ids;
+pub mod persist;
 pub mod shard;
 pub mod vocab;
+pub mod wire;
 
 pub use attrs::{AttrMap, AttrValue};
 pub use bitset::BitSet;
@@ -70,7 +77,9 @@ pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use graph::{Direction, EdgeRecord, SocialGraph};
 pub use ids::{AttrKey, EdgeId, LabelId, NodeId};
+pub use persist::{decode_graph, encode_graph};
 pub use shard::{
     BoundaryEdge, BoundaryTable, MaskedExport, MaskedExportSet, MaskedStateKey, ShardAssignment,
 };
 pub use vocab::Vocabulary;
+pub use wire::{crc32, WireError, WireReader, WireWriter};

@@ -21,12 +21,22 @@
 //! outputs and exit codes are identical — that interchangeability is
 //! the point of the service API.
 //!
+//! Set `SOCIALREACH_DATA_DIR=<dir>` to serve durably: the edge list is
+//! ingested through the write-ahead-logged service (every mutation
+//! persists in `<dir>`), and passing `@` as `<edges.tsv>` serves the
+//! state recovered from `<dir>` without ingesting anything. The
+//! resource/rule registered by the invocation is logged too, so a
+//! durable directory accumulates policy across invocations.
+//! `SOCIALREACH_CRASH_AFTER=k` aborts the process after the k-th
+//! logged ingestion mutation — a crash lever for recovery drills.
+//!
 //! Exit codes: 0 = granted / success, 1 = denied, 2 = usage or input
 //! error.
 
 use socialreach::workload::read_edge_list;
 use socialreach::{
-    AccessService, Decision, Deployment, PolicyStore, ResourceId, ServiceInstance, SocialGraph,
+    AccessService, Decision, Deployment, DurableService, PolicyStore, ResourceId, ServiceInstance,
+    SocialGraph,
 };
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -56,9 +66,12 @@ const USAGE: &str = "usage:
   socialreach explain  <edges.tsv> <owner> <path-expr> <requester>
   socialreach stats    <edges.tsv>
 
-<edges.tsv>: 'src<TAB>label<TAB>dst' lines ('-' reads stdin);
+<edges.tsv>: 'src<TAB>label<TAB>dst' lines ('-' reads stdin,
+             '@' serves the recovered SOCIALREACH_DATA_DIR state);
 <path-expr>: e.g. 'friend+[1,2]/colleague+[1]{age>=18}';
-SOCIALREACH_SHARDS=N serves from an N-shard deployment.";
+SOCIALREACH_SHARDS=N serves from an N-shard deployment;
+SOCIALREACH_DATA_DIR=<dir> write-ahead logs every mutation in <dir>;
+SOCIALREACH_CRASH_AFTER=k aborts after k logged ingestion mutations.";
 
 fn run(args: &[String]) -> Result<bool, String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -97,24 +110,119 @@ fn run(args: &[String]) -> Result<bool, String> {
         }
         "stats" => {
             let [file] = take::<1>(&args[1..])?;
-            let g = load(file)?;
-            println!("{}", socialreach::workload::GraphStats::compute(&g));
+            if file.as_str() == "@" {
+                let dir = data_dir().ok_or("'@' requires SOCIALREACH_DATA_DIR")?;
+                let svc = deployment()?
+                    .durable(&dir)
+                    .map_err(|e| format!("recovering {dir}: {e}"))?;
+                println!(
+                    "{}",
+                    socialreach::workload::GraphStats::compute(svc.graph())
+                );
+            } else {
+                let g = load(file)?;
+                println!("{}", socialreach::workload::GraphStats::compute(&g));
+            }
             Ok(true)
         }
         other => Err(format!("unknown command {other:?}")),
     }
 }
 
+/// A serving backend: ephemeral (built per invocation) or durable
+/// (recovered from and persisting into `SOCIALREACH_DATA_DIR`).
+enum Served {
+    Ephemeral(Box<ServiceInstance>),
+    Durable(Box<DurableService>),
+}
+
+impl Served {
+    fn reads(&self) -> &dyn AccessService {
+        match self {
+            Served::Ephemeral(svc) => svc.reads(),
+            Served::Durable(svc) => svc.reads(),
+        }
+    }
+}
+
 /// Builds the configured deployment over the edge list, shares one
 /// resource owned by `owner` under the `path` rule, and returns the
 /// serving backend plus the resource.
-fn serve(file: &str, owner: &str, path: &str) -> Result<(ServiceInstance, ResourceId), String> {
-    let g = load(file)?;
-    let mut svc = deployment()?.from_graph(&g, PolicyStore::new());
+fn serve(file: &str, owner: &str, path: &str) -> Result<(Served, ResourceId), String> {
+    let mut svc = match data_dir() {
+        None => {
+            if file == "@" {
+                return Err("'@' requires SOCIALREACH_DATA_DIR".into());
+            }
+            Served::Ephemeral(Box::new(
+                deployment()?.from_graph(&load(file)?, PolicyStore::new()),
+            ))
+        }
+        Some(dir) => {
+            let mut svc = deployment()?
+                .durable(&dir)
+                .map_err(|e| format!("recovering {dir}: {e}"))?;
+            if file != "@" {
+                ingest(&load(file)?, &mut svc);
+            }
+            Served::Durable(Box::new(svc))
+        }
+    };
     let owner = resolve(svc.reads(), owner)?;
-    let rid = svc.writes().add_resource(owner);
-    svc.writes().add_rule(rid, path).map_err(to_msg)?;
+    let (rid, rule) = match &mut svc {
+        Served::Ephemeral(s) => {
+            let rid = s.writes().add_resource(owner);
+            (rid, s.writes().add_rule(rid, path))
+        }
+        Served::Durable(s) => {
+            let rid = s.writes().add_resource(owner);
+            (rid, s.writes().add_rule(rid, path))
+        }
+    };
+    rule.map_err(to_msg)?;
     Ok((svc, rid))
+}
+
+/// Replays an edge-list graph through the durable write path, honoring
+/// the `SOCIALREACH_CRASH_AFTER` crash lever.
+fn ingest(g: &SocialGraph, svc: &mut DurableService) {
+    let crash_after: Option<u64> = std::env::var("SOCIALREACH_CRASH_AFTER")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut done = 0u64;
+    let mut tick = move || {
+        done += 1;
+        if crash_after == Some(done) {
+            eprintln!("SOCIALREACH_CRASH_AFTER: aborting after {done} mutations");
+            std::process::abort();
+        }
+    };
+    // The directory may already hold members: map graph ids to the
+    // service's ids as they come back.
+    let mut ids = Vec::with_capacity(g.num_nodes());
+    for n in g.nodes() {
+        let id = svc.writes().add_user(g.node_name(n));
+        tick();
+        for (key, value) in g.node_attrs(n).iter() {
+            svc.writes()
+                .set_user_attr(id, g.vocab().attr_name(key), value.clone());
+            tick();
+        }
+        ids.push(id);
+    }
+    for (_, e) in g.edges() {
+        svc.writes().add_relationship(
+            ids[e.src.index()],
+            g.vocab().label_name(e.label),
+            ids[e.dst.index()],
+        );
+        tick();
+    }
+}
+
+/// The durable data directory, when the environment asks for one.
+fn data_dir() -> Option<String> {
+    std::env::var("SOCIALREACH_DATA_DIR").ok()
 }
 
 /// The deployment the environment asks for (single-graph by default).

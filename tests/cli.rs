@@ -255,3 +255,103 @@ fn unknown_member_is_a_usage_error() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown member"));
 }
+
+// ---------------------------------------------------------------------
+// Durable mode (SOCIALREACH_DATA_DIR)
+// ---------------------------------------------------------------------
+
+#[test]
+fn durable_ingestion_survives_a_crash_and_serves_from_recovery() {
+    let file = edges_file();
+    let dir = std::env::temp_dir().join(format!("socialreach-cli-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Ingest the edge list durably and answer a check.
+    let out = cli()
+        .env("SOCIALREACH_DATA_DIR", &dir)
+        .args([
+            "check",
+            file.to_str().unwrap(),
+            "Alice",
+            "friend+[1,2]",
+            "Carol",
+        ])
+        .output()
+        .expect("spawns");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(dir.join("wal.log").exists(), "mutations were logged");
+
+    // "Crash": the process above already exited. Serve the recovered
+    // state with '@' — no edge list, same decision.
+    let out = cli()
+        .env("SOCIALREACH_DATA_DIR", &dir)
+        .args(["check", "@", "Alice", "friend+[1,2]", "Carol"])
+        .output()
+        .expect("spawns");
+    assert!(
+        out.status.success(),
+        "recovered state serves: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "GRANT");
+
+    // Recovered stats see the ingested graph.
+    let out = cli()
+        .env("SOCIALREACH_DATA_DIR", &dir)
+        .args(["stats", "@"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_after_k_mutations_loses_nothing_already_logged() {
+    let file = edges_file();
+    let dir = std::env::temp_dir().join(format!("socialreach-cli-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Abort mid-ingestion: 4 members exist, the 3 edges don't yet.
+    let out = cli()
+        .env("SOCIALREACH_DATA_DIR", &dir)
+        .env("SOCIALREACH_CRASH_AFTER", "4")
+        .args([
+            "check",
+            file.to_str().unwrap(),
+            "Alice",
+            "friend+[1,2]",
+            "Carol",
+        ])
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success(), "the crash lever aborts the process");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("aborting after 4 mutations"));
+
+    // Recovery serves the logged prefix: members resolved, no edges,
+    // so the same check now denies (fail closed, never fabricate).
+    let out = cli()
+        .env("SOCIALREACH_DATA_DIR", &dir)
+        .args(["check", "@", "Alice", "friend+[1,2]", "Carol"])
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(1), "prefix state: edge not logged");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "DENY");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn at_file_without_data_dir_is_a_usage_error() {
+    let out = cli()
+        .env_remove("SOCIALREACH_DATA_DIR")
+        .args(["check", "@", "Alice", "friend+[1]", "Bob"])
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("SOCIALREACH_DATA_DIR"));
+}

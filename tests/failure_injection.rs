@@ -4,8 +4,8 @@
 
 use socialreach::core::{plan, PlanConfig};
 use socialreach::{
-    parse_path, AccessControlSystem, Decision, EvalError, JoinEngineConfig, JoinIndexEngine,
-    JoinStrategy, SocialGraph,
+    parse_path, AccessControlSystem, AccessService, Decision, Deployment, EvalError,
+    JoinEngineConfig, JoinIndexEngine, JoinStrategy, SocialGraph,
 };
 
 // ---------------------------------------------------------------------
@@ -212,6 +212,153 @@ fn deep_unbounded_policy_terminates_on_cyclic_graphs() {
     sys.allow(rid, "friend+[1..]").unwrap();
     for &u in &users {
         assert_eq!(sys.service().check(rid, u).unwrap(), Decision::Grant);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The same failure modes through the deployment-agnostic traits
+// ---------------------------------------------------------------------
+
+/// The deployment shapes the fail-closed scenarios below must hold on
+/// — notably the sharded serving layer, whose error paths cross shard
+/// boundaries.
+fn trait_deployments() -> Vec<Deployment> {
+    vec![
+        Deployment::online(),
+        Deployment::sharded(1, 3),
+        Deployment::sharded(4, 3),
+    ]
+}
+
+#[test]
+fn garbage_rules_are_rejected_through_every_deployment() {
+    // `add_rule` is the trait-level parser surface: every garbage
+    // expression must come back as a typed error on every backend —
+    // and a rejected rule must leave no trace (decisions unchanged).
+    let garbage = [
+        "",
+        "friend+[",
+        "friend+[]",
+        "friend{a==}",
+        "friend++",
+        "🦀+[1]",
+    ];
+    for deployment in trait_deployments() {
+        let mut svc = deployment.build();
+        let (b, rid) = {
+            let w = svc.writes();
+            let a = w.add_user("A");
+            let b = w.add_user("B");
+            w.add_relationship(a, "friend", b);
+            (b, w.add_resource(a))
+        };
+        let label = svc.reads().describe();
+        for text in garbage {
+            assert!(
+                svc.writes().add_rule(rid, text).is_err(),
+                "{text:?} accepted by {label}"
+            );
+        }
+        assert_eq!(
+            svc.reads().check(rid, b).unwrap(),
+            Decision::Deny,
+            "rejected rules must not leak into decisions ({})",
+            svc.reads().describe()
+        );
+    }
+}
+
+#[test]
+fn garbage_rules_are_never_persisted_by_the_durable_decorator() {
+    // The WAL logs only validated operations: a rejected rule leaves
+    // the log untouched, so recovery can never replay it.
+    let dir = std::env::temp_dir().join(format!("srdur-failinj-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut svc = Deployment::sharded(3, 3).durable(&dir).unwrap();
+        let a = svc.writes().add_user("A");
+        let rid = svc.writes().add_resource(a);
+        let before = svc.wal_records();
+        assert!(svc.writes().add_rule(rid, "friend+[").is_err());
+        assert_eq!(svc.wal_records(), before, "a rejected rule was logged");
+    }
+    let recovered = Deployment::sharded(3, 3).durable(&dir).unwrap();
+    assert_eq!(recovered.wal_records(), 2);
+    assert_eq!(recovered.reads().num_members(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn empty_graph_denies_cleanly_on_every_deployment() {
+    for deployment in trait_deployments() {
+        let mut svc = deployment.build();
+        let ghost = svc.writes().add_user("OnlyUser");
+        let rid = svc.writes().add_resource(ghost);
+        svc.writes().add_rule(rid, "friend+[1..8]").unwrap();
+        let reads: &dyn AccessService = svc.reads();
+        assert_eq!(reads.check(rid, ghost).unwrap(), Decision::Grant);
+        assert_eq!(reads.audience(rid).unwrap(), vec![ghost]);
+    }
+}
+
+#[test]
+fn unknown_labels_deny_but_do_not_error_on_every_deployment() {
+    for deployment in trait_deployments() {
+        let mut svc = deployment.build();
+        let a = svc.writes().add_user("A");
+        let b = svc.writes().add_user("B");
+        svc.writes().add_relationship(a, "friend", b);
+        let rid = svc.writes().add_resource(a);
+        svc.writes().add_rule(rid, "mentor+[1]").unwrap();
+        assert_eq!(svc.reads().check(rid, b).unwrap(), Decision::Deny);
+        svc.writes().add_relationship(a, "mentor", b);
+        assert_eq!(svc.reads().check(rid, b).unwrap(), Decision::Grant);
+    }
+}
+
+#[test]
+fn deep_bounded_policies_terminate_on_cyclic_graphs_on_every_deployment() {
+    // A friend cycle with a deep bounded policy: the cross-shard
+    // fixpoint must converge (visited-state dedup), not ping-pong
+    // around the ring forever.
+    for deployment in trait_deployments() {
+        let mut svc = deployment.build();
+        let users: Vec<_> = (0..10)
+            .map(|i| svc.writes().add_user(&format!("u{i}")))
+            .collect();
+        for i in 0..10 {
+            svc.writes()
+                .add_relationship(users[i], "friend", users[(i + 1) % 10]);
+        }
+        let rid = svc.writes().add_resource(users[0]);
+        svc.writes().add_rule(rid, "friend+[1..32]").unwrap();
+        for &u in &users {
+            assert_eq!(
+                svc.reads().check(rid, u).unwrap(),
+                Decision::Grant,
+                "cycle member on {}",
+                svc.reads().describe()
+            );
+        }
+    }
+}
+
+#[test]
+fn attribute_type_confusion_fails_closed_on_every_deployment() {
+    for deployment in trait_deployments() {
+        let mut svc = deployment.build();
+        let a = svc.writes().add_user("A");
+        let b = svc.writes().add_user("B");
+        svc.writes().add_relationship(a, "friend", b);
+        svc.writes().set_user_attr(b, "age", "twenty-six".into());
+        let rid = svc.writes().add_resource(a);
+        svc.writes().add_rule(rid, "friend+[1]{age>=18}").unwrap();
+        assert_eq!(
+            svc.reads().check(rid, b).unwrap(),
+            Decision::Deny,
+            "text 'age' must not satisfy a numeric predicate ({})",
+            svc.reads().describe()
+        );
     }
 }
 
