@@ -1,0 +1,54 @@
+//! P14 — the telemetry-fed adaptive read planner: a warm
+//! `PlannedService(Adaptive)` vs the forced-batch and
+//! forced-per-condition modes on each regime's read stream.
+//!
+//! Expected shape: after the warm-up pass the adaptive planner tracks
+//! whichever forced mode wins the regime (batched on dense and
+//! cross-heavy, per-condition on sparse) to within its probing
+//! overhead, and on the mixed stream — where no forced mode wins both
+//! halves — it splits per resource and beats both.
+//!
+//! `cargo run --release -p socialreach-bench --bin p14-snapshot`
+//! records the same comparison (plus the 10%-of-best acceptance bars)
+//! as `BENCH_p14.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialreach_bench::p14::{
+    assert_modes_agree, build_planned, build_reference, cases, run_stream,
+};
+use socialreach_bench::quick_mode;
+use socialreach_core::PlannerMode;
+
+fn bench(c: &mut Criterion) {
+    let nodes = if quick_mode() { 120 } else { 500 };
+    let mut group = c.benchmark_group("p14_adaptive_planner");
+    group.sample_size(10);
+
+    for case in cases(nodes, 1) {
+        let adaptive = build_planned(&case, PlannerMode::Adaptive);
+        let forced_batch = build_planned(&case, PlannerMode::ForcedBatch);
+        let forced_per_cond = build_planned(&case, PlannerMode::ForcedPerCondition);
+        let reference = build_reference(&case);
+        // Equivalence before timing; doubles as planner warm-up.
+        assert_modes_agree(
+            &case,
+            &[&adaptive, &forced_batch, &forced_per_cond],
+            reference.reads(),
+        );
+        group.bench_with_input(BenchmarkId::new("adaptive", case.name), &(), |b, _| {
+            b.iter(|| run_stream(&adaptive, &case.reads))
+        });
+        group.bench_with_input(BenchmarkId::new("forced-batch", case.name), &(), |b, _| {
+            b.iter(|| run_stream(&forced_batch, &case.reads))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("forced-per-condition", case.name),
+            &(),
+            |b, _| b.iter(|| run_stream(&forced_per_cond, &case.reads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -59,8 +59,8 @@
 use crate::error::EvalError;
 use crate::policy::{Decision, PolicyStore, ResourceId};
 use crate::service::{
-    AccessResponse, AccessService, Deployment, Explanation, MutateService, ReadBatch, ReadStats,
-    ServiceInstance,
+    AccessResponse, AccessService, BundleStrategy, CheckPlan, Deployment, Explanation,
+    MutateService, ReadBatch, ReadStats, ServiceInstance,
 };
 use serde::{Deserialize, Serialize};
 use socialreach_graph::wire::crc32;
@@ -837,6 +837,29 @@ impl AccessService for DurableService {
 
     fn read_batch(&self, batch: &ReadBatch) -> Result<Vec<AccessResponse>, EvalError> {
         self.inner.reads().read_batch(batch)
+    }
+
+    fn stats_supported(&self) -> bool {
+        self.inner.reads().stats_supported()
+    }
+
+    fn audience_batch_forced(
+        &self,
+        rids: &[ResourceId],
+        strategy: BundleStrategy,
+    ) -> Result<(Vec<Vec<NodeId>>, ReadStats), EvalError> {
+        self.inner.reads().audience_batch_forced(rids, strategy)
+    }
+
+    fn check_batch_forced(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+        plan: CheckPlan,
+    ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        self.inner
+            .reads()
+            .check_batch_forced(requests, threads, plan)
     }
 }
 

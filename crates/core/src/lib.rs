@@ -49,6 +49,7 @@
 //! | [`joinengine`] | §3.3–3.4 | join pipeline + post-processing |
 //! | [`engine`] | — | engine trait, caching enforcer, per-generation snapshot cache |
 //! | [`service`] | — | the deployment-agnostic serving API: `AccessService` / `MutateService` traits, request/response vocabulary, `Deployment` builder |
+//! | [`planner`] | — | telemetry-fed adaptive read planner: per-resource decaying profiles pick the winning engine per bundle |
 //! | [`system`] | — | single-graph backend (`AccessControlSystem`) |
 //! | [`sharded`] | — | hash-partitioned multi-shard backend with cross-shard stitching |
 //! | [`examples`] | §2–3 | the Figure 1 graph, Q1, worked queries |
@@ -124,6 +125,7 @@ pub mod joinengine;
 pub mod lineplan;
 pub mod online;
 pub mod path;
+pub mod planner;
 pub mod policy;
 pub mod service;
 pub mod sharded;
@@ -132,17 +134,21 @@ pub mod system;
 pub use carminati::{CarminatiOutcome, CarminatiRule, TrustAggregation};
 pub use durability::{DurabilityError, DurableService, RecoveryReport, TornTail, WalRecord};
 pub use engine::{
-    resource_audience, resource_audience_batch, resource_audience_batch_with_stats, AccessEngine,
-    AudienceOutcome, CheckOutcome, Enforcer, EvalStats, OnlineEngine,
+    resource_audience, resource_audience_batch, resource_audience_batch_per_condition_with_stats,
+    resource_audience_batch_with_stats, AccessEngine, AudienceOutcome, CheckOutcome, Enforcer,
+    EvalStats, OnlineEngine,
 };
 pub use error::{EvalError, ParseError};
 pub use joinengine::{JoinEngineConfig, JoinIndexEngine, JoinStrategy};
 pub use lineplan::{plan, LinePlan, LineQuery, PlanConfig};
 pub use path::{parse_path, AttrPredicate, CmpOp, DepthSet, PathExpr, Step};
+pub use planner::{
+    CostEstimate, PlannedService, Planner, PlannerMode, PlannerTally, ResourceProfile,
+};
 pub use policy::{AccessCondition, AccessRule, Decision, PolicyStore, ResourceId};
 pub use service::{
-    AccessResponse, AccessService, Deployment, Explanation, MutateService, ReadBatch, ReadRequest,
-    ReadStats, ServiceInstance, WalkHop, WitnessWalk,
+    AccessResponse, AccessService, BundleStrategy, CheckPlan, Deployment, Explanation,
+    MutateService, ReadBatch, ReadRequest, ReadStats, ServiceInstance, WalkHop, WitnessWalk,
 };
 pub use sharded::{BundleFixpointStats, ShardedEval, ShardedHop, ShardedSystem};
 pub use system::{AccessControlSystem, EngineChoice};

@@ -1264,6 +1264,13 @@ pub struct SeededBatchOutcome {
     /// the bits that newly arrived there (depth already saturated).
     /// Bits at one state are disjoint across runs by construction.
     pub exports: Vec<MaskedSeedState>,
+    /// The `(step, depth)` coordinate at which the `stop` member of an
+    /// early-exit run ([`evaluate_audience_batch_seeded_stop`])
+    /// completed the final step, when it did. The run returns
+    /// immediately on a hit, so a hit run's frontier is **not**
+    /// drained: after a hit the engine may only be used for
+    /// [`SeededBatchState::trace`].
+    pub hit: Option<(u16, u32)>,
     /// Work counters for this run only.
     pub stats: SearchStats,
 }
@@ -1292,6 +1299,17 @@ enum BatchInner {
     Sparse(SparseBatch),
 }
 
+/// Persistent parent pointers of a parent-tracked flat batch engine
+/// ([`SeededBatchState::with_parents`]): for each product state, the
+/// state it was **first** reached from and the hop taken, surviving
+/// across runs so a cross-round chain can be traced without replay.
+struct FlatParents {
+    /// Predecessor state index; seeds point at themselves.
+    state: Vec<u32>,
+    /// `(eid << 1) | forward`, or [`HOP_NONE`] for seeds and ε-moves.
+    hop: Vec<u32>,
+}
+
 /// Dense-array variant: masks indexed by `layer · |V| + member`.
 struct FlatBatch {
     v_count: u32,
@@ -1306,6 +1324,8 @@ struct FlatBatch {
     matched_mask: Vec<u64>,
     frontier: Vec<u64>,
     next: Vec<u64>,
+    /// First-arrival parent pointers, when tracking is enabled.
+    parents: Option<FlatParents>,
 }
 
 /// Sparse mirror for degenerate product spaces (astronomical
@@ -1317,6 +1337,9 @@ struct SparseBatch {
     matched_mask: HashMap<u32, u64>,
     frontier: Vec<State>,
     next: Vec<State>,
+    /// First-arrival parent pointers (`state → (predecessor, hop)`;
+    /// seeds map to themselves with no hop), when tracking is enabled.
+    parents: Option<HashMap<State, (State, Option<WitnessHop>)>>,
 }
 
 impl SeededBatchState {
@@ -1346,6 +1369,7 @@ impl SeededBatchState {
                     matched_mask: vec![0; snap.num_nodes()],
                     frontier: Vec::new(),
                     next: Vec::new(),
+                    parents: None,
                 })
             }
             None => BatchInner::Sparse(SparseBatch {
@@ -1355,6 +1379,7 @@ impl SeededBatchState {
                 matched_mask: HashMap::new(),
                 frontier: Vec::new(),
                 next: Vec::new(),
+                parents: None,
             }),
         };
         SeededBatchState {
@@ -1370,6 +1395,91 @@ impl SeededBatchState {
     /// regression pins.
     pub fn states_expanded(&self) -> usize {
         self.states_expanded
+    }
+
+    /// [`SeededBatchState::new`] with **first-arrival parent
+    /// tracking**: every product state remembers the state it was
+    /// first reached from and the hop taken, across runs, so
+    /// [`SeededBatchState::trace`] can reconstruct a witness chain
+    /// without replaying the search.
+    ///
+    /// Parent chains follow *first* arrivals regardless of condition
+    /// bits, so they are only guaranteed to carry a given bit for
+    /// **single-condition** (one-bit) evaluations — the targeted
+    /// `check`/`explain` path. Multi-bit bundles must keep using the
+    /// replay-based reconstruction.
+    pub fn with_parents(g: &SocialGraph, snap: &CsrSnapshot, path: &PathExpr) -> Self {
+        let mut state = Self::new(g, snap, path);
+        match &mut state.inner {
+            BatchInner::Flat(fb) => {
+                let total = fb.seen.len();
+                fb.parents = Some(FlatParents {
+                    state: vec![0; total],
+                    hop: vec![0; total],
+                });
+            }
+            BatchInner::Sparse(sb) => sb.parents = Some(HashMap::new()),
+        }
+        state
+    }
+
+    /// Walks the persistent parent chain back from the product state
+    /// `(member, step, depth)` to a **seed** of some earlier run,
+    /// returning the hops in walk order plus the seed's coordinate.
+    /// `None` when the engine wasn't built with
+    /// [`SeededBatchState::with_parents`] or the state was never
+    /// reached. Valid after an early-exit hit — tracing is the one
+    /// operation an exhausted engine still supports.
+    pub fn trace(
+        &self,
+        member: NodeId,
+        step: u16,
+        depth: u32,
+    ) -> Option<(Vec<WitnessHop>, SeedState)> {
+        match &self.inner {
+            BatchInner::Flat(fb) => {
+                let parents = fb.parents.as_ref()?;
+                let lay = fb.bases[step as usize] + depth.min(fb.sats[step as usize]);
+                let mut cur = lay * fb.v_count + member.0;
+                if fb.seen[cur as usize] == 0 {
+                    return None;
+                }
+                let mut hops = Vec::new();
+                loop {
+                    let hop = parents.hop[cur as usize];
+                    let prev = parents.state[cur as usize];
+                    if hop != HOP_NONE {
+                        hops.push((EdgeId(hop >> 1), hop & 1 == 1));
+                    }
+                    if prev == cur {
+                        break;
+                    }
+                    cur = prev;
+                }
+                hops.reverse();
+                let v = cur % fb.v_count;
+                let lay = cur / fb.v_count;
+                let li = fb.layers[lay as usize];
+                Some((hops, (NodeId(v), li.step, lay - fb.bases[li.step as usize])))
+            }
+            BatchInner::Sparse(sb) => {
+                let parents = sb.parents.as_ref()?;
+                let mut cur: State = (member.0, step, depth.min(sb.sats[step as usize]));
+                let mut hops = Vec::new();
+                loop {
+                    let &(prev, hop) = parents.get(&cur)?;
+                    if let Some(h) = hop {
+                        hops.push(h);
+                    }
+                    if prev == cur {
+                        break;
+                    }
+                    cur = prev;
+                }
+                hops.reverse();
+                Some((hops, (NodeId(cur.0), cur.1, cur.2)))
+            }
+        }
     }
 }
 
@@ -1396,20 +1506,40 @@ pub fn evaluate_audience_batch_seeded(
     seeds: &[MaskedSeedState],
     watched: &[bool],
 ) -> SeededBatchOutcome {
+    evaluate_audience_batch_seeded_stop(g, snap, path, state, seeds, watched, None)
+}
+
+/// [`evaluate_audience_batch_seeded`] with an **early-exit target**:
+/// the run returns the moment `stop` completes the final step
+/// (`hit` carries the completing `(step, depth)` coordinate), leaving
+/// the frontier undrained. After a hit the engine must only be used
+/// for [`SeededBatchState::trace`] — the targeted `check`/`explain`
+/// path that replaces the per-condition ping-pong fixpoint.
+pub fn evaluate_audience_batch_seeded_stop(
+    g: &SocialGraph,
+    snap: &CsrSnapshot,
+    path: &PathExpr,
+    state: &mut SeededBatchState,
+    seeds: &[MaskedSeedState],
+    watched: &[bool],
+    stop: Option<NodeId>,
+) -> SeededBatchOutcome {
     let SeededBatchState {
         states_expanded,
         inner,
     } = state;
     match inner {
-        BatchInner::Flat(fb) => fb.run(g, snap, path, seeds, watched, states_expanded),
-        BatchInner::Sparse(sb) => sb.run(g, path, seeds, watched, states_expanded),
+        BatchInner::Flat(fb) => fb.run(g, snap, path, seeds, watched, stop, states_expanded),
+        BatchInner::Sparse(sb) => sb.run(g, path, seeds, watched, stop, states_expanded),
     }
 }
 
 impl FlatBatch {
     /// Forwards `bits` to a state, queueing it on the 0 → nonzero
     /// pending transition. Free function shape so the BFS loop can
-    /// split-borrow the mask arrays.
+    /// split-borrow the mask arrays. Returns `true` on the state's
+    /// **first-ever** arrival (any bit), the moment a parent pointer
+    /// should be recorded.
     #[inline]
     fn send(
         seen: &mut [u64],
@@ -1419,8 +1549,9 @@ impl FlatBatch {
         layer: u32,
         v: u32,
         bits: u64,
-    ) {
+    ) -> bool {
         let idx = (layer * v_count + v) as usize;
+        let first = seen[idx] == 0;
         let new = bits & !seen[idx];
         if new != 0 {
             seen[idx] |= new;
@@ -1429,8 +1560,10 @@ impl FlatBatch {
             }
             pending[idx] |= new;
         }
+        first && new != 0
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run(
         &mut self,
         g: &SocialGraph,
@@ -1438,6 +1571,7 @@ impl FlatBatch {
         path: &PathExpr,
         seeds: &[MaskedSeedState],
         watched: &[bool],
+        stop: Option<NodeId>,
         states_expanded: &mut usize,
     ) -> SeededBatchOutcome {
         debug_assert!(snap.matches(g), "snapshot pinned for the whole bundle");
@@ -1453,13 +1587,20 @@ impl FlatBatch {
             matched_mask,
             frontier,
             next,
+            parents,
         } = self;
         let v_count = *v_count;
 
         debug_assert!(frontier.is_empty(), "previous run drained its frontier");
         for &(m, step, depth, bits) in seeds {
             let lay = bases[step as usize] + depth.min(sats[step as usize]);
-            Self::send(seen, pending, frontier, v_count, lay, m.0, bits);
+            if Self::send(seen, pending, frontier, v_count, lay, m.0, bits) {
+                if let Some(p) = parents.as_mut() {
+                    let idx = (lay * v_count + m.0) as usize;
+                    p.state[idx] = lay * v_count + m.0;
+                    p.hop[idx] = HOP_NONE;
+                }
+            }
         }
 
         while !frontier.is_empty() {
@@ -1488,9 +1629,17 @@ impl FlatBatch {
                         if new_matched != 0 {
                             matched_mask[node.index()] |= new_matched;
                             out.matched.push((node, new_matched));
+                            if stop == Some(node) {
+                                out.hit = Some((li.step, lay - bases[li.step as usize]));
+                                return out;
+                            }
                         }
-                    } else {
-                        Self::send(seen, pending, next, v_count, li.eps_layer, v, delta);
+                    } else if Self::send(seen, pending, next, v_count, li.eps_layer, v, delta) {
+                        if let Some(p) = parents.as_mut() {
+                            let ni = (li.eps_layer * v_count + v) as usize;
+                            p.state[ni] = idx as u32;
+                            p.hop[ni] = HOP_NONE;
+                        }
                     }
                 }
 
@@ -1500,16 +1649,60 @@ impl FlatBatch {
                 }
                 if matches!(step.dir, Direction::Out | Direction::Both) {
                     let nbrs = snap.out_neighbors(v, step.label);
-                    for &nbr in nbrs.nodes {
-                        out.stats.edges_scanned += 1;
-                        Self::send(seen, pending, next, v_count, li.next_layer, nbr, delta);
+                    match parents.as_mut() {
+                        None => {
+                            for &nbr in nbrs.nodes {
+                                out.stats.edges_scanned += 1;
+                                Self::send(seen, pending, next, v_count, li.next_layer, nbr, delta);
+                            }
+                        }
+                        Some(p) => {
+                            for (&nbr, &eid) in nbrs.nodes.iter().zip(nbrs.edges) {
+                                out.stats.edges_scanned += 1;
+                                if Self::send(
+                                    seen,
+                                    pending,
+                                    next,
+                                    v_count,
+                                    li.next_layer,
+                                    nbr,
+                                    delta,
+                                ) {
+                                    let ni = (li.next_layer * v_count + nbr) as usize;
+                                    p.state[ni] = idx as u32;
+                                    p.hop[ni] = (eid << 1) | 1;
+                                }
+                            }
+                        }
                     }
                 }
                 if matches!(step.dir, Direction::In | Direction::Both) {
                     let nbrs = snap.in_neighbors(v, step.label);
-                    for &nbr in nbrs.nodes {
-                        out.stats.edges_scanned += 1;
-                        Self::send(seen, pending, next, v_count, li.next_layer, nbr, delta);
+                    match parents.as_mut() {
+                        None => {
+                            for &nbr in nbrs.nodes {
+                                out.stats.edges_scanned += 1;
+                                Self::send(seen, pending, next, v_count, li.next_layer, nbr, delta);
+                            }
+                        }
+                        Some(p) => {
+                            for (&nbr, &eid) in nbrs.nodes.iter().zip(nbrs.edges) {
+                                out.stats.edges_scanned += 1;
+                                if Self::send(
+                                    seen,
+                                    pending,
+                                    next,
+                                    v_count,
+                                    li.next_layer,
+                                    nbr,
+                                    delta,
+                                ) {
+                                    let ni = (li.next_layer * v_count + nbr) as usize;
+                                    p.state[ni] = idx as u32;
+                                    p.hop[ni] = eid << 1;
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -1521,6 +1714,8 @@ impl FlatBatch {
 }
 
 impl SparseBatch {
+    /// Returns `true` on the state's first-ever arrival (any bit) —
+    /// the moment a parent pointer should be recorded.
     #[inline]
     fn send(
         seen: &mut HashMap<State, u64>,
@@ -1528,8 +1723,9 @@ impl SparseBatch {
         queue: &mut Vec<State>,
         st: State,
         bits: u64,
-    ) {
+    ) -> bool {
         let slot = seen.entry(st).or_insert(0);
+        let first = *slot == 0;
         let new = bits & !*slot;
         if new != 0 {
             *slot |= new;
@@ -1539,6 +1735,7 @@ impl SparseBatch {
             }
             *p |= new;
         }
+        first && new != 0
     }
 
     fn run(
@@ -1547,6 +1744,7 @@ impl SparseBatch {
         path: &PathExpr,
         seeds: &[MaskedSeedState],
         watched: &[bool],
+        stop: Option<NodeId>,
         states_expanded: &mut usize,
     ) -> SeededBatchOutcome {
         let steps = &path.steps;
@@ -1558,12 +1756,17 @@ impl SparseBatch {
             matched_mask,
             frontier,
             next,
+            parents,
         } = self;
 
         debug_assert!(frontier.is_empty(), "previous run drained its frontier");
         for &(m, step, depth, bits) in seeds {
             let st: State = (m.0, step, depth.min(sats[step as usize]));
-            Self::send(seen, pending, frontier, st, bits);
+            if Self::send(seen, pending, frontier, st, bits) {
+                if let Some(p) = parents.as_mut() {
+                    p.insert(st, (st, None));
+                }
+            }
         }
 
         while !frontier.is_empty() {
@@ -1590,9 +1793,15 @@ impl SparseBatch {
                         if new_matched != 0 {
                             *mask |= new_matched;
                             out.matched.push((node, new_matched));
+                            if stop == Some(node) {
+                                out.hit = Some((i, d));
+                                return out;
+                            }
                         }
-                    } else {
-                        Self::send(seen, pending, next, (v, i + 1, 0), delta);
+                    } else if Self::send(seen, pending, next, (v, i + 1, 0), delta) {
+                        if let Some(p) = parents.as_mut() {
+                            p.insert((v, i + 1, 0), (st, None));
+                        }
                     }
                 }
 
@@ -1601,23 +1810,33 @@ impl SparseBatch {
                 }
                 let d_next = (d + 1).min(sats[i as usize]);
                 if matches!(step.dir, Direction::Out | Direction::Both) {
-                    for (_, rec) in g.out_edges(node) {
+                    for (eid, rec) in g.out_edges(node) {
                         if rec.label != step.label {
                             out.stats.edges_filtered += 1;
                             continue;
                         }
                         out.stats.edges_scanned += 1;
-                        Self::send(seen, pending, next, (rec.dst.0, i, d_next), delta);
+                        let ns = (rec.dst.0, i, d_next);
+                        if Self::send(seen, pending, next, ns, delta) {
+                            if let Some(p) = parents.as_mut() {
+                                p.insert(ns, (st, Some((eid, true))));
+                            }
+                        }
                     }
                 }
                 if matches!(step.dir, Direction::In | Direction::Both) {
-                    for (_, rec) in g.in_edges(node) {
+                    for (eid, rec) in g.in_edges(node) {
                         if rec.label != step.label {
                             out.stats.edges_filtered += 1;
                             continue;
                         }
                         out.stats.edges_scanned += 1;
-                        Self::send(seen, pending, next, (rec.src.0, i, d_next), delta);
+                        let ns = (rec.src.0, i, d_next);
+                        if Self::send(seen, pending, next, ns, delta) {
+                            if let Some(p) = parents.as_mut() {
+                                p.insert(ns, (st, Some((eid, false))));
+                            }
+                        }
                     }
                 }
             }

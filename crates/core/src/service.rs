@@ -284,6 +284,40 @@ pub struct AccessResponse {
 }
 
 // ---------------------------------------------------------------------
+// Evaluation-strategy vocabulary (the planner's dispatch alphabet)
+// ---------------------------------------------------------------------
+
+/// How a bundle's deduped access conditions are traversed. Both
+/// in-tree backends implement both strategies with identical
+/// semantics — the choice moves latency, never correctness — which is
+/// what lets [`crate::planner::PlannedService`] pick per bundle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BundleStrategy {
+    /// The multi-source masked engine: up to 64 conditions ride one
+    /// traversal (the single-graph 64-way mask BFS, or the sharded
+    /// masked cross-shard fixpoint). Wins when conditions share path
+    /// templates over dense regions.
+    Batched,
+    /// One independent traversal per deduped condition. Wins on sparse
+    /// graphs and low-overlap bundles where mask bookkeeping is pure
+    /// overhead.
+    PerCondition,
+}
+
+/// How a batch of `check` requests is decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CheckPlan {
+    /// Early-exit targeted evaluation, one per request: stop as soon
+    /// as the requester is reached. Wins for small batches over
+    /// resources with large audiences.
+    Targeted,
+    /// Materialize the deduped resources' audiences with the given
+    /// bundle strategy and decide each request by (binary-search)
+    /// membership. Wins when many requests share few resources.
+    Audience(BundleStrategy),
+}
+
+// ---------------------------------------------------------------------
 // The read trait
 // ---------------------------------------------------------------------
 
@@ -353,6 +387,18 @@ pub trait AccessService: Send + Sync {
     /// Decision-cache statistics `(hits, misses)`.
     fn cache_stats(&self) -> (u64, u64);
 
+    /// Whether the `*_with_stats` reads report **real** work censuses.
+    /// Backends that override [`AccessService::check_with_stats`],
+    /// [`AccessService::explain_with_stats`] and
+    /// [`AccessService::check_batch_with_stats`] with live counters
+    /// must also override this to `true`; the inherited defaults
+    /// report all-zero censuses that would silently starve any
+    /// telemetry consumer (the adaptive planner learns nothing from
+    /// zeros). Both in-tree backends support stats.
+    fn stats_supported(&self) -> bool {
+        false
+    }
+
     /// [`AccessService::check`] plus the read's work census. Backends
     /// override this with real counters (the default reports zeros);
     /// decision-cache hits and the owner fast path legitimately report
@@ -362,6 +408,11 @@ pub trait AccessService: Send + Sync {
         resource: ResourceId,
         requester: NodeId,
     ) -> Result<(Decision, ReadStats), EvalError> {
+        debug_assert!(
+            !self.stats_supported(),
+            "{}: stats_supported() is true but check_with_stats inherited the zero-census default",
+            self.describe()
+        );
         Ok((self.check(resource, requester)?, ReadStats::default()))
     }
 
@@ -372,6 +423,11 @@ pub trait AccessService: Send + Sync {
         requests: &[(ResourceId, NodeId)],
         threads: usize,
     ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        debug_assert!(
+            !self.stats_supported(),
+            "{}: stats_supported() is true but check_batch_with_stats inherited the zero-census default",
+            self.describe()
+        );
         Ok((self.check_batch(requests, threads)?, ReadStats::default()))
     }
 
@@ -382,7 +438,40 @@ pub trait AccessService: Send + Sync {
         resource: ResourceId,
         requester: NodeId,
     ) -> Result<(Option<Explanation>, ReadStats), EvalError> {
+        debug_assert!(
+            !self.stats_supported(),
+            "{}: stats_supported() is true but explain_with_stats inherited the zero-census default",
+            self.describe()
+        );
         Ok((self.explain(resource, requester)?, ReadStats::default()))
+    }
+
+    /// [`AccessService::audience_batch_with_stats`] with the bundle
+    /// strategy **forced** instead of backend-chosen. Backends with
+    /// interchangeable engines override both arms (the planner's
+    /// dispatch seam); the default serves its one path regardless of
+    /// the hint, which is always semantically correct.
+    fn audience_batch_forced(
+        &self,
+        rids: &[ResourceId],
+        strategy: BundleStrategy,
+    ) -> Result<(Vec<Vec<NodeId>>, ReadStats), EvalError> {
+        let _ = strategy;
+        self.audience_batch_with_stats(rids)
+    }
+
+    /// [`AccessService::check_batch_with_stats`] with the decision
+    /// route **forced** instead of backend-chosen. Backends with both
+    /// a targeted path and an audience-membership path override; the
+    /// default serves its one path regardless of the hint.
+    fn check_batch_forced(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+        plan: CheckPlan,
+    ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        let _ = plan;
+        self.check_batch_with_stats(requests, threads)
     }
 
     /// The full audience of one resource (global member ids, sorted).
@@ -725,6 +814,27 @@ impl AccessService for ServiceInstance {
         requester: NodeId,
     ) -> Result<(Option<Explanation>, ReadStats), EvalError> {
         self.reads().explain_with_stats(resource, requester)
+    }
+
+    fn stats_supported(&self) -> bool {
+        self.reads().stats_supported()
+    }
+
+    fn audience_batch_forced(
+        &self,
+        rids: &[ResourceId],
+        strategy: BundleStrategy,
+    ) -> Result<(Vec<Vec<NodeId>>, ReadStats), EvalError> {
+        self.reads().audience_batch_forced(rids, strategy)
+    }
+
+    fn check_batch_forced(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+        plan: CheckPlan,
+    ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        self.reads().check_batch_forced(requests, threads, plan)
     }
 }
 

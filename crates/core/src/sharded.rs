@@ -89,7 +89,10 @@ use crate::online::{
 };
 use crate::path::{parse_path, PathExpr};
 use crate::policy::{Decision, PolicyStore, ResourceId};
-use crate::service::{AccessService, Explanation, MutateService, ReadStats, WalkHop, WitnessWalk};
+use crate::service::{
+    AccessService, BundleStrategy, CheckPlan, Explanation, MutateService, ReadStats, WalkHop,
+    WitnessWalk,
+};
 use parking_lot::RwLock;
 use socialreach_graph::csr::CsrSnapshot;
 use socialreach_graph::shard::{
@@ -625,12 +628,93 @@ impl ShardedSystem {
         &self,
         rids: &[ResourceId],
     ) -> Result<Vec<Vec<NodeId>>, EvalError> {
-        crate::engine::merge_bundle_audiences(&self.store, rids, |uniq| {
+        Ok(self.audience_batch_per_condition_with_stats(rids)?.0)
+    }
+
+    /// [`ShardedSystem::audience_batch_per_condition`] plus the
+    /// bundle's cumulative work census — the
+    /// [`crate::BundleStrategy::PerCondition`] entry point the planner
+    /// dispatches to. Each deduped condition's fixpoint reports one
+    /// condition / one traversal; absorbing them yields the uniform
+    /// bundle census.
+    pub fn audience_batch_per_condition_with_stats(
+        &self,
+        rids: &[ResourceId],
+    ) -> Result<(Vec<Vec<NodeId>>, ReadStats), EvalError> {
+        let mut stats = ReadStats::default();
+        let audiences = crate::engine::merge_bundle_audiences(&self.store, rids, |uniq| {
             Ok(uniq
                 .iter()
-                .map(|&(owner, path)| self.evaluate_condition(owner, path, None).matched)
+                .map(|&(owner, path)| {
+                    let (eval, s) = self.evaluate_condition_with_stats(owner, path, None);
+                    stats.absorb(&s);
+                    eval.matched
+                })
                 .collect())
-        })
+        })?;
+        Ok((audiences, stats))
+    }
+
+    /// Decides a batch by **audience membership**: the uncached
+    /// resources' condition audiences are materialized together (with
+    /// the forced bundle strategy) and each request decided by binary
+    /// search — equivalent to targeted checks because a rule grants
+    /// exactly the intersection of its condition audiences. Decisions
+    /// come back in request order and populate the decision cache.
+    fn check_batch_via_audiences(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        strategy: BundleStrategy,
+    ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        let mut stats = ReadStats::default();
+        let mut decisions: Vec<Option<Decision>> = vec![None; requests.len()];
+        // Insertion-ordered dedup of the resources needing evaluation.
+        let mut need: Vec<ResourceId> = Vec::new();
+        let mut needed: HashSet<ResourceId> = HashSet::new();
+        {
+            let cache = self.cache.read();
+            for (i, &(rid, req)) in requests.iter().enumerate() {
+                let owner = self.store.owner_of(rid)?;
+                if req == owner {
+                    decisions[i] = Some(Decision::Grant);
+                } else if let Some(&d) = cache.get(&(rid, req)) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    decisions[i] = Some(d);
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    if needed.insert(rid) {
+                        need.push(rid);
+                    }
+                }
+            }
+        }
+        if !need.is_empty() {
+            let (audiences, s) = AccessService::audience_batch_forced(self, &need, strategy)?;
+            stats.absorb(&s);
+            let by_rid: HashMap<ResourceId, &Vec<NodeId>> =
+                need.iter().copied().zip(audiences.iter()).collect();
+            let mut cache = self.cache.write();
+            for (i, &(rid, req)) in requests.iter().enumerate() {
+                if decisions[i].is_some() {
+                    continue;
+                }
+                let audience = by_rid[&rid];
+                let d = if audience.binary_search(&req).is_ok() {
+                    Decision::Grant
+                } else {
+                    Decision::Deny
+                };
+                cache.insert((rid, req), d);
+                decisions[i] = Some(d);
+            }
+        }
+        Ok((
+            decisions
+                .into_iter()
+                .map(|d| d.expect("every request decided"))
+                .collect(),
+            stats,
+        ))
     }
 
     /// Explains a grant as human-readable walk lines, stitched across
@@ -923,7 +1007,8 @@ impl ShardedSystem {
                         break;
                     }
                     stats.rounds += 1;
-                    let outs = self.run_masked_round(&round, &mut engines, &snaps, path);
+                    let outs =
+                        self.run_masked_round(&round, &mut engines, &snaps, path, None, false);
 
                     // Merge in shard order: deterministic regardless
                     // of the fan-out interleaving.
@@ -977,16 +1062,187 @@ impl ShardedSystem {
         (audiences, stats)
     }
 
+    /// Targeted single-condition evaluation through the **masked
+    /// seeded engine**: does `requester` satisfy `(owner, path)`? The
+    /// condition runs as a 1-bit bundle (bit 0, word 0) of the same
+    /// cross-shard fixpoint that serves batched audiences —
+    /// round-persistent per-shard mask state keeps the work linear in
+    /// the explored region even when a walk ping-pongs across a
+    /// boundary — with two targeted extras: the requester's home shard
+    /// **early-exits** the moment the requester completes the final
+    /// step, and every engine tracks first-arrival parent pointers so
+    /// the stitched witness is read off the persistent chains
+    /// ([`ShardedSystem::stitch_traced`]) instead of replaying runs.
+    ///
+    /// This replaces the legacy per-condition fixpoint (fresh
+    /// per-round visited state) for single `check`/`explain`;
+    /// `matched` is always empty — audiences go through
+    /// [`ShardedSystem::evaluate_conditions_batched`].
+    pub fn evaluate_condition_targeted_with_stats(
+        &self,
+        owner: NodeId,
+        path: &PathExpr,
+        requester: NodeId,
+    ) -> (ShardedEval, ReadStats) {
+        let mut stats = ReadStats {
+            conditions: 1,
+            traversals: 1,
+            ..ReadStats::default()
+        };
+        if path.is_empty() {
+            let granted = requester == owner;
+            return (
+                ShardedEval {
+                    matched: Vec::new(),
+                    granted,
+                    witness: granted.then(Vec::new),
+                },
+                stats,
+            );
+        }
+        let snaps = self.publish_all();
+        let req_entry = &self.members[requester.index()];
+        let stop = (req_entry.home as usize, req_entry.local);
+
+        let owner_entry = &self.members[owner.index()];
+        let mut imported = MaskedExportSet::new();
+        let mut origin: HashMap<StateKey, usize> = HashMap::new();
+        let mut engines: Vec<Option<SeededBatchState>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        let mut pending: Vec<Vec<MaskedSeedState>> = vec![Vec::new(); self.shards.len()];
+        imported.insert(
+            MaskedStateKey {
+                member: owner.0,
+                step: 0,
+                depth: 0,
+                word: 0,
+            },
+            1,
+        );
+        pending[owner_entry.home as usize].push((owner_entry.local, 0, 0, 1));
+
+        let mut hit: Option<(usize, u16, u32)> = None;
+        'fixpoint: loop {
+            let round: Vec<(usize, Vec<MaskedSeedState>)> = pending
+                .iter_mut()
+                .enumerate()
+                .filter(|(_, seeds)| !seeds.is_empty())
+                .map(|(i, seeds)| (i, std::mem::take(seeds)))
+                .collect();
+            if round.is_empty() {
+                break;
+            }
+            stats.rounds += 1;
+            let outs = self.run_masked_round(&round, &mut engines, &snaps, path, Some(stop), true);
+            for ((shard_ix, _), out) in round.iter().zip(outs) {
+                if let Some((step, depth)) = out.hit {
+                    // The chain to the hit consists of states seeded in
+                    // earlier rounds, so `origin` already covers every
+                    // cross-shard hand-off the trace will follow —
+                    // breaking without processing further exports is
+                    // safe (and the point of the early exit).
+                    hit = Some((*shard_ix, step, depth));
+                    break 'fixpoint;
+                }
+                let shard = &self.shards[*shard_ix];
+                for &(m, step, depth, bits) in &out.exports {
+                    let global = shard.globals[m.index()];
+                    let key = MaskedStateKey {
+                        member: global.0,
+                        step,
+                        depth,
+                        word: 0,
+                    };
+                    let new = imported.insert(key, bits);
+                    if new != 0 {
+                        stats.exported_states += 1;
+                        origin.insert((global.0, step, depth), *shard_ix);
+                        let entry = &self.members[global.index()];
+                        pending[entry.home as usize].push((entry.local, step, depth, new));
+                    }
+                }
+            }
+        }
+        for engine in engines.iter().flatten() {
+            stats.states_expanded += engine.states_expanded();
+        }
+
+        let witness = hit.map(|(shard_ix, step, depth)| {
+            self.stitch_traced(&engines, &origin, owner, shard_ix, stop.1, step, depth)
+        });
+        (
+            ShardedEval {
+                matched: Vec::new(),
+                granted: witness.is_some(),
+                witness,
+            },
+            stats,
+        )
+    }
+
+    /// Stitches a targeted grant's witness by walking the per-shard
+    /// **persistent parent chains** (no replay): the hit shard's
+    /// segment ends at a seed the router forwarded; `origin` names the
+    /// shard that exported it, where the chain continues from the
+    /// member's ghost replica — until the owner seed terminates the
+    /// walk.
+    #[allow(clippy::too_many_arguments)]
+    fn stitch_traced(
+        &self,
+        engines: &[Option<SeededBatchState>],
+        origin: &HashMap<StateKey, usize>,
+        owner: NodeId,
+        mut shard_ix: usize,
+        mut local: NodeId,
+        mut step: u16,
+        mut depth: u32,
+    ) -> Vec<ShardedHop> {
+        let mut segments: Vec<Vec<ShardedHop>> = Vec::new();
+        loop {
+            let engine = engines[shard_ix]
+                .as_ref()
+                .expect("traced shard ran a fixpoint");
+            let (hops, (seed_local, seed_step, seed_depth)) = engine
+                .trace(local, step, depth)
+                .expect("granting chain is parent-tracked");
+            segments.push(self.translate_hops(shard_ix, &hops));
+            let global = self.shards[shard_ix].globals[seed_local.index()];
+            if global == owner && seed_step == 0 && seed_depth == 0 {
+                break;
+            }
+            let src = *origin
+                .get(&(global.0, seed_step, seed_depth))
+                .expect("every imported seed has an exporting shard");
+            let ghost_local = self.members[global.index()]
+                .ghosts
+                .iter()
+                .find(|&&(s, _)| s as usize == src)
+                .map(|&(_, l)| l)
+                .expect("exported states live at ghost replicas");
+            shard_ix = src;
+            local = ghost_local;
+            step = seed_step;
+            depth = seed_depth;
+        }
+        segments.reverse();
+        segments.concat()
+    }
+
     /// Runs one masked fixpoint round: each active shard drains its
     /// seeded frontier over its pinned snapshot and round-persistent
     /// mask state — on parallel scoped threads when several shards are
-    /// active and the host has real cores, inline otherwise.
+    /// active and the host has real cores, inline otherwise. With
+    /// `stop = Some((shard, local))` that shard's run early-exits when
+    /// the member completes the final step; `parents` builds the
+    /// engines with first-arrival parent tracking (the targeted path).
     fn run_masked_round(
         &self,
         round: &[(usize, Vec<MaskedSeedState>)],
         engines: &mut [Option<SeededBatchState>],
         snaps: &[Arc<CsrSnapshot>],
         path: &PathExpr,
+        stop: Option<(usize, NodeId)>,
+        parents: bool,
     ) -> Vec<SeededBatchOutcome> {
         // Pair each active shard with the mutable borrow of its
         // engine (materialized on first activation); `round` is in
@@ -1003,19 +1259,25 @@ impl ShardedSystem {
                 }
             };
             let engine = slot.get_or_insert_with(|| {
-                SeededBatchState::new(&self.shards[*shard_ix].graph, &snaps[*shard_ix], path)
+                let shard = &self.shards[*shard_ix];
+                if parents {
+                    SeededBatchState::with_parents(&shard.graph, &snaps[*shard_ix], path)
+                } else {
+                    SeededBatchState::new(&shard.graph, &snaps[*shard_ix], path)
+                }
             });
             tasks.push((*shard_ix, seeds, engine));
         }
         let eval = |shard_ix: usize, seeds: &[MaskedSeedState], engine: &mut SeededBatchState| {
             let shard = &self.shards[shard_ix];
-            online::evaluate_audience_batch_seeded(
+            online::evaluate_audience_batch_seeded_stop(
                 &shard.graph,
                 &snaps[shard_ix],
                 path,
                 engine,
                 seeds,
                 &shard.ghost,
+                stop.filter(|&(s, _)| s == shard_ix).map(|(_, l)| l),
             )
         };
         static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
@@ -1228,7 +1490,7 @@ impl AccessService for ShardedSystem {
             }
             for cond in &rule.conditions {
                 let (out, s) =
-                    self.evaluate_condition_with_stats(cond.owner, &cond.path, Some(requester));
+                    self.evaluate_condition_targeted_with_stats(cond.owner, &cond.path, requester);
                 stats.absorb(&s);
                 if !out.granted {
                     continue 'rules;
@@ -1247,62 +1509,14 @@ impl AccessService for ShardedSystem {
         threads: usize,
     ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
         let _ = threads;
-        let mut stats = ReadStats::default();
         if requests.len() == 1 {
             // A single targeted check is cheaper through the
-            // early-exiting per-condition fixpoint.
+            // early-exiting masked fixpoint.
             let (rid, req) = requests[0];
             let (d, s) = self.check_with_stats(rid, req)?;
             return Ok((vec![d], s));
         }
-        let mut decisions: Vec<Option<Decision>> = vec![None; requests.len()];
-        // Insertion-ordered dedup of the resources needing evaluation.
-        let mut need: Vec<ResourceId> = Vec::new();
-        let mut needed: HashSet<ResourceId> = HashSet::new();
-        {
-            let cache = self.cache.read();
-            for (i, &(rid, req)) in requests.iter().enumerate() {
-                let owner = self.store.owner_of(rid)?;
-                if req == owner {
-                    decisions[i] = Some(Decision::Grant);
-                } else if let Some(&d) = cache.get(&(rid, req)) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    decisions[i] = Some(d);
-                } else {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    if needed.insert(rid) {
-                        need.push(rid);
-                    }
-                }
-            }
-        }
-        if !need.is_empty() {
-            let (audiences, s) = AccessService::audience_batch_with_stats(self, &need)?;
-            stats.absorb(&s);
-            let by_rid: HashMap<ResourceId, &Vec<NodeId>> =
-                need.iter().copied().zip(audiences.iter()).collect();
-            let mut cache = self.cache.write();
-            for (i, &(rid, req)) in requests.iter().enumerate() {
-                if decisions[i].is_some() {
-                    continue;
-                }
-                let audience = by_rid[&rid];
-                let d = if audience.binary_search(&req).is_ok() {
-                    Decision::Grant
-                } else {
-                    Decision::Deny
-                };
-                cache.insert((rid, req), d);
-                decisions[i] = Some(d);
-            }
-        }
-        Ok((
-            decisions
-                .into_iter()
-                .map(|d| d.expect("every request decided"))
-                .collect(),
-            stats,
-        ))
+        self.check_batch_via_audiences(requests, BundleStrategy::Batched)
     }
 
     fn explain_with_stats(
@@ -1322,7 +1536,7 @@ impl AccessService for ShardedSystem {
             let mut walks = Vec::new();
             for cond in &rule.conditions {
                 let (out, s) =
-                    self.evaluate_condition_with_stats(cond.owner, &cond.path, Some(requester));
+                    self.evaluate_condition_targeted_with_stats(cond.owner, &cond.path, requester);
                 stats.absorb(&s);
                 let Some(witness) = out.witness else {
                     continue 'rules;
@@ -1335,6 +1549,45 @@ impl AccessService for ShardedSystem {
             return Ok((Some(Explanation::Rule { walks }), stats));
         }
         Ok((None, stats))
+    }
+
+    fn stats_supported(&self) -> bool {
+        true
+    }
+
+    fn audience_batch_forced(
+        &self,
+        rids: &[ResourceId],
+        strategy: BundleStrategy,
+    ) -> Result<(Vec<Vec<NodeId>>, ReadStats), EvalError> {
+        match strategy {
+            BundleStrategy::Batched => AccessService::audience_batch_with_stats(self, rids),
+            BundleStrategy::PerCondition => self.audience_batch_per_condition_with_stats(rids),
+        }
+    }
+
+    fn check_batch_forced(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+        plan: CheckPlan,
+    ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        let _ = threads;
+        match plan {
+            CheckPlan::Targeted => {
+                // One early-exiting masked fixpoint per request;
+                // duplicates are served by the decision cache.
+                let mut stats = ReadStats::default();
+                let mut decisions = Vec::with_capacity(requests.len());
+                for &(rid, req) in requests {
+                    let (d, s) = self.check_with_stats(rid, req)?;
+                    stats.absorb(&s);
+                    decisions.push(d);
+                }
+                Ok((decisions, stats))
+            }
+            CheckPlan::Audience(strategy) => self.check_batch_via_audiences(requests, strategy),
+        }
     }
 }
 

@@ -36,7 +36,10 @@ use crate::joinengine::{JoinEngineConfig, JoinIndexEngine};
 use crate::online;
 use crate::path::parse_path;
 use crate::policy::{Decision, PolicyStore, ResourceId};
-use crate::service::{AccessService, Explanation, MutateService, ReadStats, WalkHop, WitnessWalk};
+use crate::service::{
+    AccessService, BundleStrategy, CheckPlan, Explanation, MutateService, ReadStats, WalkHop,
+    WitnessWalk,
+};
 use parking_lot::RwLock;
 use socialreach_graph::{AttrValue, EdgeId, LabelId, NodeId, SocialGraph};
 use std::sync::Arc;
@@ -462,6 +465,52 @@ impl AccessService for AccessControlSystem {
             return Ok((Some(Explanation::Rule { walks }), stats));
         }
         Ok((None, stats))
+    }
+
+    fn stats_supported(&self) -> bool {
+        true
+    }
+
+    fn audience_batch_forced(
+        &self,
+        rids: &[ResourceId],
+        strategy: BundleStrategy,
+    ) -> Result<(Vec<Vec<NodeId>>, ReadStats), EvalError> {
+        match self.choice {
+            EngineChoice::Online => {
+                self.online
+                    .audience_batch_forced(&self.graph, &self.store, rids, strategy)
+            }
+            EngineChoice::JoinIndex(_) => {
+                self.join_enforcer()
+                    .audience_batch_forced(&self.graph, &self.store, rids, strategy)
+            }
+        }
+    }
+
+    fn check_batch_forced(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+        plan: CheckPlan,
+    ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        match plan {
+            CheckPlan::Targeted => self.check_batch_with_stats(requests, threads),
+            CheckPlan::Audience(strategy) => match self.choice {
+                EngineChoice::Online => self.online.check_batch_via_audiences(
+                    &self.graph,
+                    &self.store,
+                    requests,
+                    strategy,
+                ),
+                EngineChoice::JoinIndex(_) => self.join_enforcer().check_batch_via_audiences(
+                    &self.graph,
+                    &self.store,
+                    requests,
+                    strategy,
+                ),
+            },
+        }
     }
 }
 

@@ -18,7 +18,9 @@
 //!   and controllable grant rates;
 //! * [`replay`] — deployment-agnostic replay of a request stream
 //!   through any `AccessService` backend, audited against the stream's
-//!   ground truth.
+//!   ground truth;
+//! * [`streams`] — mixed dense/sparse/cross-heavy read streams whose
+//!   regimes favour different engines (the adaptive-planner workload).
 //!
 //! ```
 //! use socialreach_workload::{GraphSpec, PolicyWorkloadConfig};
@@ -41,6 +43,7 @@ pub mod requests;
 pub mod sharding;
 pub mod spec;
 pub mod stats;
+pub mod streams;
 pub mod topology;
 
 pub use bundles::{
@@ -54,4 +57,5 @@ pub use requests::{requests_with_grant_rate, uniform_requests, Request};
 pub use sharding::CrossShardTopology;
 pub use spec::{AttributeModel, GraphSpec, LabelModel};
 pub use stats::GraphStats;
+pub use streams::{generate_mixed_stream, MixedStream, MixedStreamConfig, PlannerRead, RegimeKind};
 pub use topology::Topology;

@@ -1,0 +1,256 @@
+//! Mixed-regime read streams: the adaptive-planner workload.
+//!
+//! The core crate's read planner earns its keep only when one request
+//! stream spans regimes with *different* winning engines: dense
+//! template-sharing bundles (the multi-source batch engines win),
+//! sparse one-template-per-resource bundles (per-condition walks win),
+//! and cross-shard-heavy bundles whose owners fan out across every
+//! shard (the masked fixpoint wins). This module generates such a
+//! stream over one graph and policy store: per regime a set of
+//! resource bundles, then an interleaved sequence of
+//! [`PlannerRead::Audience`] and [`PlannerRead::Checks`] reads that
+//! round-robins across the regimes — so a planner serving the stream
+//! must keep per-resource profiles, not one global mode.
+//!
+//! The stream carries only resource/requester ids; replay it through
+//! any `AccessService` (or the planned decorator) with
+//! `audience_batch` / `check_batch`.
+
+use crate::bundles::{
+    generate_audience_bundles, generate_cross_shard_bundles, AudienceBundleConfig,
+    CrossShardBundleConfig,
+};
+use crate::policies::PolicyWorkloadConfig;
+use rand::rngs::StdRng;
+use rand::Rng;
+use socialreach_core::{PolicyStore, ResourceId};
+use socialreach_graph::shard::ShardAssignment;
+use socialreach_graph::{NodeId, SocialGraph};
+
+/// The workload regime a bundle was generated for — each has a
+/// different expected winning engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegimeKind {
+    /// Few path templates shared by many owners: the batched
+    /// multi-source engines amortize best here.
+    Dense,
+    /// One template per resource (no sharing): mask bookkeeping is
+    /// pure overhead, per-condition walks win.
+    Sparse,
+    /// Dense templates with owners round-robined across shards: the
+    /// cross-shard masked fixpoint's home regime. Only generated when
+    /// a [`ShardAssignment`] is supplied.
+    CrossHeavy,
+}
+
+impl RegimeKind {
+    /// Stable lowercase label for benchmark tables.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RegimeKind::Dense => "dense",
+            RegimeKind::Sparse => "sparse",
+            RegimeKind::CrossHeavy => "cross-heavy",
+        }
+    }
+}
+
+/// One read of the stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlannerRead {
+    /// An audience bundle: hand to `audience_batch`.
+    Audience(Vec<ResourceId>),
+    /// A check batch over a bundle's resources: hand to `check_batch`.
+    Checks(Vec<(ResourceId, NodeId)>),
+}
+
+/// Knobs of the mixed-stream generator.
+#[derive(Clone, Debug)]
+pub struct MixedStreamConfig {
+    /// Bundles generated per regime.
+    pub bundles_per_regime: usize,
+    /// Resources per bundle.
+    pub resources_per_bundle: usize,
+    /// Path templates per *dense* (and cross-heavy) bundle; sparse
+    /// bundles always use one template per resource.
+    pub dense_templates: usize,
+    /// Full passes over every bundle (first passes double as planner
+    /// warm-up).
+    pub rounds: usize,
+    /// Requests per generated check batch (requesters drawn
+    /// uniformly).
+    pub checks_per_batch: usize,
+    /// Shape of the random path templates.
+    pub paths: PolicyWorkloadConfig,
+}
+
+impl Default for MixedStreamConfig {
+    fn default() -> Self {
+        MixedStreamConfig {
+            bundles_per_regime: 2,
+            resources_per_bundle: 32,
+            dense_templates: 2,
+            rounds: 3,
+            checks_per_batch: 8,
+            paths: PolicyWorkloadConfig::default(),
+        }
+    }
+}
+
+/// A generated mixed-regime stream: the labelled bundles plus the
+/// interleaved read sequence over them.
+#[derive(Clone, Debug)]
+pub struct MixedStream {
+    /// Every generated bundle with the regime it belongs to.
+    pub regimes: Vec<(RegimeKind, Vec<Vec<ResourceId>>)>,
+    /// The interleaved reads, `rounds` passes over all bundles.
+    pub reads: Vec<PlannerRead>,
+}
+
+impl MixedStream {
+    /// All bundles of one regime (empty if the regime was not
+    /// generated).
+    pub fn bundles_of(&self, kind: RegimeKind) -> &[Vec<ResourceId>] {
+        self.regimes
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(&[], |(_, bundles)| bundles.as_slice())
+    }
+}
+
+/// Generates a mixed dense/sparse(/cross-heavy) read stream over `g`,
+/// registering every bundle's resources and rules in `store`.
+/// `assignment` enables the cross-heavy regime (pass the sharded
+/// deployment's placement; `None` on single-graph workloads). Each
+/// round interleaves the regimes bundle-by-bundle, and every audience
+/// read is followed by a check batch over the same bundle, so check
+/// planning and audience planning learn from the same resources.
+pub fn generate_mixed_stream(
+    g: &mut SocialGraph,
+    store: &mut PolicyStore,
+    assignment: Option<&ShardAssignment>,
+    cfg: &MixedStreamConfig,
+    rng: &mut StdRng,
+) -> MixedStream {
+    assert!(cfg.resources_per_bundle > 0, "bundles cannot be empty");
+    let dense = generate_audience_bundles(
+        g,
+        store,
+        &AudienceBundleConfig {
+            bundles: cfg.bundles_per_regime,
+            resources_per_bundle: cfg.resources_per_bundle,
+            templates_per_bundle: cfg.dense_templates,
+            paths: cfg.paths.clone(),
+        },
+        rng,
+    );
+    // Sparse: every resource instantiates its own template — zero
+    // sharing for the mask engines to amortize.
+    let sparse = generate_audience_bundles(
+        g,
+        store,
+        &AudienceBundleConfig {
+            bundles: cfg.bundles_per_regime,
+            resources_per_bundle: cfg.resources_per_bundle,
+            templates_per_bundle: cfg.resources_per_bundle,
+            paths: cfg.paths.clone(),
+        },
+        rng,
+    );
+    let mut regimes = vec![(RegimeKind::Dense, dense), (RegimeKind::Sparse, sparse)];
+    if let Some(assignment) = assignment {
+        let cross = generate_cross_shard_bundles(
+            g,
+            store,
+            assignment,
+            &CrossShardBundleConfig {
+                bundles: cfg.bundles_per_regime,
+                resources_per_bundle: cfg.resources_per_bundle,
+                templates_per_bundle: cfg.dense_templates,
+                paths: cfg.paths.clone(),
+            },
+            rng,
+        );
+        regimes.push((RegimeKind::CrossHeavy, cross));
+    }
+
+    let members = g.num_nodes() as u32;
+    let mut reads = Vec::new();
+    for _ in 0..cfg.rounds {
+        for bundle_ix in 0..cfg.bundles_per_regime {
+            for (_, bundles) in &regimes {
+                let bundle = &bundles[bundle_ix];
+                reads.push(PlannerRead::Audience(bundle.clone()));
+                let checks: Vec<(ResourceId, NodeId)> = (0..cfg.checks_per_batch)
+                    .map(|_| {
+                        let rid = bundle[rng.gen_range(0..bundle.len())];
+                        (rid, NodeId(rng.gen_range(0..members)))
+                    })
+                    .collect();
+                reads.push(PlannerRead::Checks(checks));
+            }
+        }
+    }
+    MixedStream { regimes, reads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GraphSpec;
+    use rand::SeedableRng;
+
+    fn stream(assignment: Option<&ShardAssignment>) -> MixedStream {
+        let mut g = GraphSpec::ba_osn(80, 5).build();
+        let mut store = PolicyStore::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        generate_mixed_stream(
+            &mut g,
+            &mut store,
+            assignment,
+            &MixedStreamConfig::default(),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn stream_interleaves_every_regime_each_round() {
+        let assignment = ShardAssignment::hashed(4, 7);
+        let s = stream(Some(&assignment));
+        assert_eq!(s.regimes.len(), 3);
+        let cfg = MixedStreamConfig::default();
+        // rounds × bundles × regimes × (audience + checks)
+        assert_eq!(s.reads.len(), cfg.rounds * cfg.bundles_per_regime * 3 * 2);
+        // Audience and check reads alternate, and each round's slice
+        // touches all three regimes' resources.
+        for pair in s.reads.chunks(2) {
+            let (a, c) = (&pair[0], &pair[1]);
+            let rids = match a {
+                PlannerRead::Audience(rids) => rids,
+                other => panic!("expected an audience read, got {other:?}"),
+            };
+            match c {
+                PlannerRead::Checks(reqs) => {
+                    assert!(reqs.iter().all(|(rid, _)| rids.contains(rid)));
+                }
+                other => panic!("expected a check batch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_bundles_do_not_share_templates() {
+        let s = stream(None);
+        assert_eq!(s.regimes.len(), 2, "no assignment, no cross-heavy regime");
+        assert!(s.bundles_of(RegimeKind::CrossHeavy).is_empty());
+        assert_eq!(
+            s.bundles_of(RegimeKind::Sparse).len(),
+            MixedStreamConfig::default().bundles_per_regime
+        );
+    }
+
+    #[test]
+    fn stream_generation_is_deterministic() {
+        let reads = |()| stream(None).reads;
+        assert_eq!(reads(()), reads(()));
+    }
+}

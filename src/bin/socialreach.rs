@@ -21,6 +21,14 @@
 //! outputs and exit codes are identical — that interchangeability is
 //! the point of the service API.
 //!
+//! Set `SOCIALREACH_PLANNER=adaptive|batch|per-condition` to route
+//! reads through the telemetry-fed planner (`adaptive` learns
+//! per-resource profiles and picks the winning engine per bundle;
+//! `batch`/`per-condition` force one strategy everywhere). The lever
+//! applies to the ephemeral serving path; durable deployments
+//! (`SOCIALREACH_DATA_DIR`) serve unplanned — the WAL decorator owns
+//! that seam.
+//!
 //! Set `SOCIALREACH_DATA_DIR=<dir>` to serve durably: the edge list is
 //! ingested through the write-ahead-logged service (every mutation
 //! persists in `<dir>`), and passing `@` as `<edges.tsv>` serves the
@@ -35,8 +43,8 @@
 
 use socialreach::workload::read_edge_list;
 use socialreach::{
-    AccessService, Decision, Deployment, DurableService, PolicyStore, ResourceId, ServiceInstance,
-    SocialGraph,
+    AccessService, Decision, Deployment, DurableService, MutateService, PlannedService,
+    PlannerMode, PolicyStore, ResourceId, ServiceInstance, SocialGraph,
 };
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -70,6 +78,8 @@ const USAGE: &str = "usage:
              '@' serves the recovered SOCIALREACH_DATA_DIR state);
 <path-expr>: e.g. 'friend+[1,2]/colleague+[1]{age>=18}';
 SOCIALREACH_SHARDS=N serves from an N-shard deployment;
+SOCIALREACH_PLANNER=adaptive|batch|per-condition routes reads through
+  the telemetry-fed planner (ephemeral serving only);
 SOCIALREACH_DATA_DIR=<dir> write-ahead logs every mutation in <dir>;
 SOCIALREACH_CRASH_AFTER=k aborts after k logged ingestion mutations.";
 
@@ -129,10 +139,13 @@ fn run(args: &[String]) -> Result<bool, String> {
     }
 }
 
-/// A serving backend: ephemeral (built per invocation) or durable
-/// (recovered from and persisting into `SOCIALREACH_DATA_DIR`).
+/// A serving backend: ephemeral (built per invocation), planned
+/// (ephemeral behind the `SOCIALREACH_PLANNER` read planner) or
+/// durable (recovered from and persisting into
+/// `SOCIALREACH_DATA_DIR`).
 enum Served {
     Ephemeral(Box<ServiceInstance>),
+    Planned(Box<PlannedService>),
     Durable(Box<DurableService>),
 }
 
@@ -140,6 +153,7 @@ impl Served {
     fn reads(&self) -> &dyn AccessService {
         match self {
             Served::Ephemeral(svc) => svc.reads(),
+            Served::Planned(svc) => &**svc,
             Served::Durable(svc) => svc.reads(),
         }
     }
@@ -154,9 +168,11 @@ fn serve(file: &str, owner: &str, path: &str) -> Result<(Served, ResourceId), St
             if file == "@" {
                 return Err("'@' requires SOCIALREACH_DATA_DIR".into());
             }
-            Served::Ephemeral(Box::new(
-                deployment()?.from_graph(&load(file)?, PolicyStore::new()),
-            ))
+            let instance = deployment()?.from_graph(&load(file)?, PolicyStore::new());
+            match planner_mode()? {
+                Some(mode) => Served::Planned(Box::new(PlannedService::over(instance, mode))),
+                None => Served::Ephemeral(Box::new(instance)),
+            }
         }
         Some(dir) => {
             let mut svc = deployment()?
@@ -173,6 +189,10 @@ fn serve(file: &str, owner: &str, path: &str) -> Result<(Served, ResourceId), St
         Served::Ephemeral(s) => {
             let rid = s.writes().add_resource(owner);
             (rid, s.writes().add_rule(rid, path))
+        }
+        Served::Planned(s) => {
+            let rid = s.add_resource(owner);
+            (rid, s.add_rule(rid, path))
         }
         Served::Durable(s) => {
             let rid = s.writes().add_resource(owner);
@@ -223,6 +243,16 @@ fn ingest(g: &SocialGraph, svc: &mut DurableService) {
 /// The durable data directory, when the environment asks for one.
 fn data_dir() -> Option<String> {
     std::env::var("SOCIALREACH_DATA_DIR").ok()
+}
+
+/// The planner mode the environment asks for, if any.
+fn planner_mode() -> Result<Option<PlannerMode>, String> {
+    match std::env::var("SOCIALREACH_PLANNER") {
+        Err(_) => Ok(None),
+        Ok(v) => PlannerMode::parse(&v).map(Some).ok_or_else(|| {
+            format!("SOCIALREACH_PLANNER must be adaptive|batch|per-condition, got {v:?}")
+        }),
+    }
 }
 
 /// The deployment the environment asks for (single-graph by default).

@@ -74,10 +74,10 @@ pub use socialreach_workload as workload;
 
 pub use socialreach_core::{
     examples, online, parse_path, resource_audience_batch, AccessCondition, AccessControlSystem,
-    AccessEngine, AccessResponse, AccessRule, AccessService, Decision, Deployment, DurabilityError,
-    DurableService, Enforcer, EngineChoice, EvalError, Explanation, JoinEngineConfig,
-    JoinIndexEngine, JoinStrategy, MutateService, OnlineEngine, ParseError, PathExpr, PolicyStore,
-    ReadBatch, ReadRequest, ReadStats, RecoveryReport, ResourceId, ServiceInstance, ShardedSystem,
-    WalkHop, WitnessWalk,
+    AccessEngine, AccessResponse, AccessRule, AccessService, BundleStrategy, CheckPlan, Decision,
+    Deployment, DurabilityError, DurableService, Enforcer, EngineChoice, EvalError, Explanation,
+    JoinEngineConfig, JoinIndexEngine, JoinStrategy, MutateService, OnlineEngine, ParseError,
+    PathExpr, PlannedService, Planner, PlannerMode, PolicyStore, ReadBatch, ReadRequest, ReadStats,
+    RecoveryReport, ResourceId, ServiceInstance, ShardedSystem, WalkHop, WitnessWalk,
 };
 pub use socialreach_graph::{AttrValue, Direction, EdgeId, LabelId, NodeId, SocialGraph};
