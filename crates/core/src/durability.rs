@@ -30,13 +30,39 @@
 //!   and never silently grants: the recovered state always equals the
 //!   state after some prefix of the logged operations.
 //!
-//! The WAL currently retains the full mutation history (snapshots
+//! The WAL retains the full mutation history by default (snapshots
 //! never truncate it), so the fallback chain always terminates at
-//! "empty state + full replay" and a future point-in-time audit read
-//! can replay to any historical position. Appends are buffered by the
-//! OS (no per-record fsync): a process crash loses nothing, a host
-//! crash may lose a suffix of appends — exactly the shape torn-tail
-//! recovery handles.
+//! "empty state + full replay" — and the history itself is a served
+//! surface:
+//!
+//! * **Point-in-time audit reads** — [`Deployment::durable_at`]
+//!   recovers the state *as of any historical position* (newest
+//!   snapshot ≤ position + WAL replay to exactly that position) into a
+//!   throwaway backend serving `&dyn AccessService`. [`read_history`]
+//!   enumerates the logged records with their positions (who changed
+//!   what, between which reads), and [`Deployment::audience_diff`]
+//!   reports who entered and left a resource's audience between two
+//!   positions — the audit/compliance questions a present-state-only
+//!   store cannot answer.
+//! * **Compaction with a retention horizon** — once history is
+//!   consumable it can also be bounded: [`DurableService::compact`]
+//!   truncates the log *front* up to the newest valid snapshot at or
+//!   below the horizon (snapshot-anchored, so the fallback chain stays
+//!   sound: the anchor snapshot replaces "empty state + full replay"
+//!   as the chain's terminal). A compacted log recovers identically to
+//!   the uncompacted one; positions below the new base become typed
+//!   [`DurabilityError::HistoryCompacted`] refusals, never wrong
+//!   answers.
+//!
+//! Appends are buffered by the OS (no per-record fsync): a process
+//! crash loses nothing, a host crash may lose a suffix of appends —
+//! exactly the shape torn-tail recovery handles. Damage that
+//! truncation *cannot* explain — a checksum mismatch or a corrupted
+//! length field with intact frames after it — is never classified as
+//! a torn tail: the scanner looks past the damaged frame, and any
+//! CRC-valid frame beyond it proves mid-log corruption
+//! ([`DurabilityError::CorruptWal`], acknowledged writes are never
+//! silently discarded).
 //!
 //! ```
 //! use socialreach_core::{AccessService, Deployment, Decision, MutateService};
@@ -53,6 +79,15 @@
 //!
 //! let recovered = Deployment::online().durable(&dir).unwrap();
 //! assert_eq!(recovered.reads().check(album, bob).unwrap(), Decision::Grant);
+//!
+//! // Point-in-time audit: at position 4 the rule had not landed yet,
+//! // so the album was still owner-only — replay proves it.
+//! let past = Deployment::online().durable_at(&dir, 4).unwrap();
+//! assert_eq!(past.reads().check(album, bob).unwrap(), Decision::Deny);
+//! assert_eq!(past.reads().check(album, alice).unwrap(), Decision::Grant);
+//! let history = socialreach_core::durability::read_history(&dir).unwrap();
+//! assert_eq!(history.len(), 5);
+//! assert_eq!(history[4].position, 4); // the rule append, in wire form
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
@@ -78,6 +113,16 @@ const SNAPSHOT_MAGIC: &[u8; 8] = b"SRSNAP\r\n";
 
 /// Name of the write-ahead log inside a data directory.
 const WAL_FILE: &str = "wal.log";
+
+/// Magic bytes opening a *compacted* write-ahead log. A fresh log is
+/// headerless (frames from byte 0, base position 0); compaction
+/// rewrites the file with this header so the absolute position of the
+/// first retained record survives the truncation. Layout:
+/// `[8B magic][u64 LE base][u32 LE CRC-32(magic‖base)]`.
+const WAL_MAGIC: &[u8; 8] = b"SRWALHDR";
+
+/// Byte length of the compacted-log header.
+const WAL_HEADER_LEN: usize = 20;
 
 /// Upper bound on a single WAL frame's payload — far above any real
 /// record; a length field claiming more is treated as damage.
@@ -151,6 +196,49 @@ pub enum DurabilityError {
         /// Why it failed.
         detail: String,
     },
+    /// A point-in-time read asked for a position past the end of the
+    /// recorded history.
+    PositionBeyondHistory {
+        /// The log file.
+        path: PathBuf,
+        /// The requested position.
+        requested: u64,
+        /// Positions `0..=available` are addressable.
+        available: u64,
+    },
+    /// A point-in-time read asked for a position below the compaction
+    /// horizon: the records needed to replay there were truncated away
+    /// by [`DurableService::compact`].
+    HistoryCompacted {
+        /// The log file.
+        path: PathBuf,
+        /// The requested position.
+        requested: u64,
+        /// The first position still recoverable (the log's base).
+        base: u64,
+    },
+    /// A snapshot covers a position *below* the compacted log's base —
+    /// the records needed to replay forward from it are gone (a crash
+    /// between compaction's rename and its snapshot cleanup can leave
+    /// one). Recovery skips it.
+    SnapshotBehindCompactedWal {
+        /// The snapshot file.
+        path: PathBuf,
+        /// WAL records the snapshot claims to cover.
+        snapshot_records: u64,
+        /// The compacted log's base position.
+        base: u64,
+    },
+    /// A compacted log (base > 0) has no usable snapshot at or above
+    /// its base: the chain cannot terminate at "empty + full replay"
+    /// because the pre-base records no longer exist. Recovery refuses
+    /// — the anchor snapshot compaction kept must be restored.
+    MissingCompactionAnchor {
+        /// The log file.
+        path: PathBuf,
+        /// The compacted log's base position.
+        base: u64,
+    },
 }
 
 impl fmt::Display for DurabilityError {
@@ -192,6 +280,38 @@ impl fmt::Display for DurabilityError {
             DurabilityError::Replay { record, detail } => {
                 write!(f, "WAL record {record} failed to re-apply: {detail}")
             }
+            DurabilityError::PositionBeyondHistory {
+                path,
+                requested,
+                available,
+            } => write!(
+                f,
+                "position {requested} is beyond the recorded history of {} ({available} records)",
+                path.display()
+            ),
+            DurabilityError::HistoryCompacted {
+                path,
+                requested,
+                base,
+            } => write!(
+                f,
+                "position {requested} of {} was compacted away (history starts at {base})",
+                path.display()
+            ),
+            DurabilityError::SnapshotBehindCompactedWal {
+                path,
+                snapshot_records,
+                base,
+            } => write!(
+                f,
+                "snapshot {} covers {snapshot_records} records, below the compacted log's base {base}",
+                path.display()
+            ),
+            DurabilityError::MissingCompactionAnchor { path, base } => write!(
+                f,
+                "compacted log {} (base {base}) has no usable snapshot at or above its base",
+                path.display()
+            ),
         }
     }
 }
@@ -252,6 +372,26 @@ pub enum WalRecord {
     },
 }
 
+impl fmt::Display for WalRecord {
+    /// Human-readable one-liner for audit surfaces (`history` in the
+    /// CLI, the audit-trail example).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalRecord::AddUser { name } => write!(f, "add-user {name:?}"),
+            WalRecord::SetUserAttr { user, key, value } => {
+                write!(f, "set-attr member={user} {key}={value:?}")
+            }
+            WalRecord::AddRelationship { src, label, dst } => {
+                write!(f, "add-relationship {src} -{label}-> {dst}")
+            }
+            WalRecord::AddResource { owner } => write!(f, "add-resource owner={owner}"),
+            WalRecord::AddRule { resource, path } => {
+                write!(f, "add-rule resource={} {path:?}", resource.0)
+            }
+        }
+    }
+}
+
 /// Encodes one record as a WAL frame:
 /// `[u32 LE payload len][u32 LE CRC-32][payload]`, where the checksum
 /// covers the length bytes *and* the payload, so a damaged length
@@ -285,41 +425,108 @@ pub struct TornTail {
 
 /// Result of scanning a WAL file.
 struct WalScan {
+    /// Absolute position of the first record in the file (0 unless the
+    /// log was compacted; read from the compaction header).
+    base: u64,
     records: Vec<WalRecord>,
-    /// Length of the valid prefix in bytes.
+    /// Byte offset each record's frame *ends* at (`ends[i]` closes
+    /// record `base + i`; the first frame starts at the header end).
+    ends: Vec<u64>,
+    /// Length of the valid prefix in bytes (header included).
     valid_len: u64,
     torn: Option<TornTail>,
 }
 
+impl WalScan {
+    /// Absolute position one past the last intact record.
+    fn total(&self) -> u64 {
+        self.base + self.records.len() as u64
+    }
+}
+
+/// Looks for a CRC-valid frame starting at any byte offset after
+/// `after`. One is proof that damage at `after` is *mid-log*
+/// corruption: a crash tears only the suffix of the file, so intact
+/// acknowledged frames past the damage cannot be explained by
+/// truncation (a 2⁻³² accidental CRC match is the error floor).
+fn later_valid_frame(bytes: &[u8], after: usize) -> Option<usize> {
+    let mut o = after + 1;
+    while o + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[o..o + 4].try_into().expect("len 4"));
+        if len <= MAX_FRAME && o + 8 + len as usize <= bytes.len() {
+            let crc = u32::from_le_bytes(bytes[o + 4..o + 8].try_into().expect("len 4"));
+            let mut checked = Vec::with_capacity(4 + len as usize);
+            checked.extend_from_slice(&len.to_le_bytes());
+            checked.extend_from_slice(&bytes[o + 8..o + 8 + len as usize]);
+            if crc32(&checked) == crc {
+                return Some(o);
+            }
+        }
+        o += 1;
+    }
+    None
+}
+
 /// Scans a WAL file front to back. A partial frame at end-of-log is a
-/// torn tail (reported, prefix kept); damage *before* the final frame
-/// is a typed [`DurabilityError::CorruptWal`].
+/// torn tail (reported, prefix kept); damage with any intact frame
+/// after it — a corrupted mid-log length field included — is a typed
+/// [`DurabilityError::CorruptWal`], never a silent truncation of
+/// acknowledged writes.
 fn read_wal(path: &Path) -> Result<WalScan, DurabilityError> {
     let bytes = match fs::read(path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             return Ok(WalScan {
+                base: 0,
                 records: Vec::new(),
+                ends: Vec::new(),
                 valid_len: 0,
                 torn: None,
             })
         }
         Err(e) => return Err(io_err(path, "read", e)),
     };
-    let mut records = Vec::new();
+    let mut base = 0u64;
     let mut pos = 0usize;
+    if bytes.len() >= 8 && &bytes[..8] == WAL_MAGIC {
+        // A compacted log: the header is written in one atomic rename,
+        // so damage here is corruption, not a torn append.
+        if bytes.len() < WAL_HEADER_LEN {
+            return Err(DurabilityError::CorruptWal {
+                path: path.to_path_buf(),
+                offset: 0,
+                detail: format!("{}-byte truncated compaction header", bytes.len()),
+            });
+        }
+        let stored = u32::from_le_bytes(bytes[16..20].try_into().expect("len 4"));
+        if crc32(&bytes[..16]) != stored {
+            return Err(DurabilityError::CorruptWal {
+                path: path.to_path_buf(),
+                offset: 0,
+                detail: "compaction header checksum mismatch".to_owned(),
+            });
+        }
+        base = u64::from_le_bytes(bytes[8..16].try_into().expect("len 8"));
+        pos = WAL_HEADER_LEN;
+    }
+    let mut records = Vec::new();
+    let mut ends = Vec::new();
     loop {
         let remaining = bytes.len() - pos;
         if remaining == 0 {
             return Ok(WalScan {
+                base,
                 records,
+                ends,
                 valid_len: pos as u64,
                 torn: None,
             });
         }
-        let torn = |records: Vec<WalRecord>, detail: String| {
+        let torn = |records: Vec<WalRecord>, ends: Vec<u64>, detail: String| {
             Ok(WalScan {
+                base,
                 records,
+                ends,
                 valid_len: pos as u64,
                 torn: Some(TornTail {
                     offset: pos as u64,
@@ -327,17 +534,36 @@ fn read_wal(path: &Path) -> Result<WalScan, DurabilityError> {
                 }),
             })
         };
+        let corrupt_midlog = |next: usize, detail: String| {
+            Err(DurabilityError::CorruptWal {
+                path: path.to_path_buf(),
+                offset: pos as u64,
+                detail: format!("{detail}, but an intact frame follows at byte {next} — mid-log corruption, not a torn tail"),
+            })
+        };
         if remaining < 8 {
-            return torn(records, format!("{remaining}-byte partial frame header"));
+            return torn(
+                records,
+                ends,
+                format!("{remaining}-byte partial frame header"),
+            );
         }
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4"));
         let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("len 4"));
         if len > MAX_FRAME || (len as usize) > remaining - 8 {
             // The claimed payload extends past end-of-log: a frame cut
-            // short by a crash (or a damaged final length field —
-            // indistinguishable, and equally safe to discard).
+            // short by a crash, or a damaged length field. Truncation
+            // only ever loses the suffix — so an intact frame anywhere
+            // past this point disproves the torn-tail reading.
+            if let Some(next) = later_valid_frame(&bytes, pos) {
+                return corrupt_midlog(
+                    next,
+                    format!("length field claims a {len}-byte payload past end-of-log"),
+                );
+            }
             return torn(
                 records,
+                ends,
                 format!(
                     "frame claims {len}-byte payload, {} bytes remain",
                     remaining - 8
@@ -351,9 +577,14 @@ fn read_wal(path: &Path) -> Result<WalScan, DurabilityError> {
         let frame_end = pos + 8 + len as usize;
         if crc32(&checked) != crc {
             if frame_end == bytes.len() {
-                // Checksum mismatch on the *final* frame: a torn write
-                // (header landed, payload didn't finish).
-                return torn(records, "checksum mismatch on final frame".to_owned());
+                // Checksum mismatch on what claims to be the final
+                // frame. A torn write (header landed, payload didn't
+                // finish) — unless a damaged length field swallowed
+                // intact frames into its claimed payload.
+                if let Some(next) = later_valid_frame(&bytes, pos) {
+                    return corrupt_midlog(next, "checksum mismatch on final frame".to_owned());
+                }
+                return torn(records, ends, "checksum mismatch on final frame".to_owned());
             }
             return Err(DurabilityError::CorruptWal {
                 path: path.to_path_buf(),
@@ -376,6 +607,7 @@ fn read_wal(path: &Path) -> Result<WalScan, DurabilityError> {
                 detail: format!("undecodable record: {e}"),
             })?;
         records.push(record);
+        ends.push(frame_end as u64);
         pos = frame_end;
     }
 }
@@ -485,8 +717,11 @@ pub struct RecoveryReport {
     /// Snapshots that were newer but unusable, newest first, each with
     /// the typed error that disqualified it.
     pub snapshots_skipped: Vec<(String, DurabilityError)>,
-    /// Total intact records in the log.
+    /// Absolute position one past the last intact record of the log.
     pub wal_records: u64,
+    /// Absolute position of the first record still in the log — 0
+    /// unless [`DurableService::compact`] truncated earlier history.
+    pub wal_base: u64,
     /// Records replayed on top of the loaded snapshot.
     pub records_replayed: u64,
     /// The discarded torn tail, if the log ended mid-append.
@@ -515,6 +750,7 @@ pub struct DurableService {
     dir: PathBuf,
     wal_path: PathBuf,
     wal: File,
+    wal_base: u64,
     wal_records: u64,
     report: RecoveryReport,
 }
@@ -528,6 +764,339 @@ impl Deployment {
     pub fn durable(&self, dir: impl AsRef<Path>) -> Result<DurableService, DurabilityError> {
         DurableService::open(self.clone(), dir.as_ref())
     }
+
+    /// Recovers the state of a durable data directory **as of an
+    /// historical position**: the newest valid snapshot at or below
+    /// `position` plus WAL replay to exactly `position`, served from a
+    /// throwaway in-memory backend of this deployment shape. Position
+    /// `k` means "after the first `k` logged records" — `0` is the
+    /// empty state, [`DurableService::wal_records`] is the present.
+    ///
+    /// The directory is only read, never written: the returned
+    /// instance is not durable, logs nothing, and can be dropped
+    /// freely — it exists to answer audit questions ("who could see
+    /// this resource after record `k`?") with the full policy
+    /// semantics of a live deployment. Positions past the history or
+    /// below a compaction horizon are typed refusals
+    /// ([`DurabilityError::PositionBeyondHistory`] /
+    /// [`DurabilityError::HistoryCompacted`]).
+    pub fn durable_at(
+        &self,
+        dir: impl AsRef<Path>,
+        position: u64,
+    ) -> Result<ServiceInstance, DurabilityError> {
+        let dir = dir.as_ref();
+        let wal_path = dir.join(WAL_FILE);
+        let scan = read_wal(&wal_path)?;
+        check_position(&wal_path, &scan, position)?;
+        Ok(recover_to(self, dir, &wal_path, &scan, position)?.inner)
+    }
+
+    /// Audits how a resource's audience changed between two historical
+    /// positions: who **entered**, who **left**, and who was
+    /// **retained**, computed by recovering both points with
+    /// [`Deployment::durable_at`] semantics and materializing the
+    /// audience at each. A position where the resource did not exist
+    /// yet contributes an empty audience (nobody could see a resource
+    /// before it was shared).
+    pub fn audience_diff(
+        &self,
+        dir: impl AsRef<Path>,
+        resource: ResourceId,
+        from: u64,
+        to: u64,
+    ) -> Result<AudienceDiff, AuditError> {
+        let dir = dir.as_ref();
+        let wal_path = dir.join(WAL_FILE);
+        let scan = read_wal(&wal_path)?;
+        check_position(&wal_path, &scan, from)?;
+        check_position(&wal_path, &scan, to)?;
+        let audience_at = |target: u64| -> Result<Vec<NodeId>, AuditError> {
+            let rec = recover_to(self, dir, &wal_path, &scan, target)?;
+            if (resource.0 as usize) < rec.store.num_resources() {
+                rec.inner
+                    .reads()
+                    .audience(resource)
+                    .map_err(AuditError::Eval)
+            } else {
+                Ok(Vec::new())
+            }
+        };
+        let before = audience_at(from)?;
+        let after = audience_at(to)?;
+        // Audiences come back sorted; split them with one merge pass.
+        let mut entered = Vec::new();
+        let mut left = Vec::new();
+        let mut retained = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < before.len() || j < after.len() {
+            match (before.get(i), after.get(j)) {
+                (Some(&b), Some(&a)) if b == a => {
+                    retained.push(b);
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&b), Some(&a)) if b < a => {
+                    left.push(b);
+                    i += 1;
+                }
+                (Some(_), Some(&a)) => {
+                    entered.push(a);
+                    j += 1;
+                }
+                (Some(&b), None) => {
+                    left.push(b);
+                    i += 1;
+                }
+                (None, Some(&a)) => {
+                    entered.push(a);
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop guard"),
+            }
+        }
+        Ok(AudienceDiff {
+            resource,
+            from,
+            to,
+            entered,
+            left,
+            retained,
+        })
+    }
+}
+
+/// One logged mutation with its absolute position in the history.
+/// The state *after* this record is `durable_at(dir, position + 1)`;
+/// the state it acted on is `durable_at(dir, position)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryEntry {
+    /// Absolute zero-based position of the record in the WAL.
+    pub position: u64,
+    /// The logged operation, in wire form.
+    pub record: WalRecord,
+}
+
+/// Enumerates the durable history of a data directory: every intact
+/// WAL record with its absolute position (after compaction, positions
+/// start at the retained base, not 0). A torn tail is tolerated — the
+/// intact records before it *are* the history — while mid-log
+/// corruption is a typed [`DurabilityError::CorruptWal`].
+pub fn read_history(dir: impl AsRef<Path>) -> Result<Vec<HistoryEntry>, DurabilityError> {
+    let wal_path = dir.as_ref().join(WAL_FILE);
+    let scan = read_wal(&wal_path)?;
+    let base = scan.base;
+    Ok(scan
+        .records
+        .into_iter()
+        .enumerate()
+        .map(|(i, record)| HistoryEntry {
+            position: base + i as u64,
+            record,
+        })
+        .collect())
+}
+
+/// How a resource's audience changed between two historical positions
+/// (see [`Deployment::audience_diff`]). Member ids are stable across
+/// the whole history (backends assign them sequentially), so the same
+/// id names the same member at both points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AudienceDiff {
+    /// The audited resource.
+    pub resource: ResourceId,
+    /// The earlier position.
+    pub from: u64,
+    /// The later position.
+    pub to: u64,
+    /// Members in the audience at `to` but not at `from`, sorted.
+    pub entered: Vec<NodeId>,
+    /// Members in the audience at `from` but not at `to`, sorted.
+    pub left: Vec<NodeId>,
+    /// Members in both audiences, sorted.
+    pub retained: Vec<NodeId>,
+}
+
+/// An audit read failure: either the history could not be recovered
+/// (durability layer) or the recovered backend refused the read
+/// (evaluation layer).
+#[derive(Debug)]
+pub enum AuditError {
+    /// Recovering the requested position failed.
+    Durability(DurabilityError),
+    /// The recovered backend rejected the read.
+    Eval(EvalError),
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::Durability(e) => write!(f, "{e}"),
+            AuditError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+impl From<DurabilityError> for AuditError {
+    fn from(e: DurabilityError) -> Self {
+        AuditError::Durability(e)
+    }
+}
+
+impl From<EvalError> for AuditError {
+    fn from(e: EvalError) -> Self {
+        AuditError::Eval(e)
+    }
+}
+
+/// What [`DurableService::compact`] did: the snapshot the truncation
+/// anchored at, the history it dropped, and the snapshots it deleted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// The anchor snapshot `(file name, position)` the log was cut at,
+    /// or `None` when no snapshot at or below the horizon exists (the
+    /// log is left untouched — compaction never cuts past what a
+    /// snapshot can recover).
+    pub anchor: Option<(String, u64)>,
+    /// Records truncated off the front of the log.
+    pub records_dropped: u64,
+    /// Snapshot files deleted because their positions fell below the
+    /// new base (replaying forward from them is no longer possible).
+    pub snapshots_deleted: Vec<String>,
+    /// The log's base position after the call.
+    pub base: u64,
+}
+
+/// Rejects positions outside the recoverable range of a scanned log.
+fn check_position(wal_path: &Path, scan: &WalScan, position: u64) -> Result<(), DurabilityError> {
+    if position > scan.total() {
+        Err(DurabilityError::PositionBeyondHistory {
+            path: wal_path.to_path_buf(),
+            requested: position,
+            available: scan.total(),
+        })
+    } else if position < scan.base {
+        Err(DurabilityError::HistoryCompacted {
+            path: wal_path.to_path_buf(),
+            requested: position,
+            base: scan.base,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// A recovered state: the backend, its canonical mirror, and the
+/// report of how it was reconstructed.
+struct Recovered {
+    inner: ServiceInstance,
+    mirror: SocialGraph,
+    store: PolicyStore,
+    report: RecoveryReport,
+}
+
+/// The shared recovery engine: reconstructs the state as of absolute
+/// position `target` (`scan.base <= target <= scan.total()`) from the
+/// newest usable snapshot at or below it plus WAL replay. Snapshots
+/// newer than `target` but within the log are simply not candidates
+/// (a point-in-time read routes around them silently); damaged,
+/// ahead-of-log or behind-compaction snapshots are skipped loudly in
+/// the report.
+fn recover_to(
+    deployment: &Deployment,
+    dir: &Path,
+    wal_path: &Path,
+    scan: &WalScan,
+    target: u64,
+) -> Result<Recovered, DurabilityError> {
+    let total = scan.total();
+    debug_assert!(target >= scan.base && target <= total, "caller bounds");
+
+    let mut snapshot_names: Vec<String> = fs::read_dir(dir)
+        .map_err(|e| io_err(dir, "read dir", e))?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("snap-") && name.ends_with(".snap"))
+        .collect();
+    snapshot_names.sort_unstable_by(|a, b| b.cmp(a));
+
+    let mut report = RecoveryReport {
+        wal_records: total,
+        wal_base: scan.base,
+        torn_tail: scan.torn.clone(),
+        ..RecoveryReport::default()
+    };
+    let mut base_state: Option<(SocialGraph, PolicyStore, u64)> = None;
+    for name in snapshot_names {
+        let path = dir.join(&name);
+        let loaded = fs::read(&path)
+            .map_err(|e| io_err(&path, "read", e))
+            .and_then(|bytes| decode_snapshot(&path, &bytes))
+            .and_then(|(g, store, covered)| {
+                if covered > total {
+                    Err(DurabilityError::SnapshotAheadOfWal {
+                        path: path.clone(),
+                        snapshot_records: covered,
+                        wal_records: total,
+                    })
+                } else if covered < scan.base {
+                    Err(DurabilityError::SnapshotBehindCompactedWal {
+                        path: path.clone(),
+                        snapshot_records: covered,
+                        base: scan.base,
+                    })
+                } else {
+                    Ok((g, store, covered))
+                }
+            });
+        match loaded {
+            Ok((_, _, covered)) if covered > target => {
+                // Intact, but newer than the requested point in time.
+            }
+            Ok(found) => {
+                report.snapshot_loaded = Some((name, found.2));
+                base_state = Some(found);
+                break;
+            }
+            Err(e) => report.snapshots_skipped.push((name, e)),
+        }
+    }
+
+    let (mut mirror, mut store, replay_from) = match base_state {
+        Some(found) => found,
+        None if scan.base > 0 => {
+            // A compacted log cannot fall back to empty + full replay:
+            // the pre-base records are gone.
+            return Err(DurabilityError::MissingCompactionAnchor {
+                path: wal_path.to_path_buf(),
+                base: scan.base,
+            });
+        }
+        None => (SocialGraph::new(), PolicyStore::new(), 0),
+    };
+    let mut inner = deployment.from_graph(&mirror, store.clone());
+    {
+        let writes = inner.writes();
+        let lo = (replay_from - scan.base) as usize;
+        let hi = (target - scan.base) as usize;
+        for (i, record) in scan.records[lo..hi].iter().enumerate() {
+            apply_record(record, writes, &mut mirror, &mut store).map_err(|detail| {
+                DurabilityError::Replay {
+                    record: replay_from + i as u64,
+                    detail,
+                }
+            })?;
+            report.records_replayed += 1;
+        }
+    }
+    Ok(Recovered {
+        inner,
+        mirror,
+        store,
+        report,
+    })
 }
 
 impl DurableService {
@@ -535,67 +1104,12 @@ impl DurableService {
         fs::create_dir_all(dir).map_err(|e| io_err(dir, "create", e))?;
         let wal_path = dir.join(WAL_FILE);
         let scan = read_wal(&wal_path)?;
-        let wal_records = scan.records.len() as u64;
-
-        // Newest-first snapshot chain.
-        let mut snapshot_names: Vec<String> = fs::read_dir(dir)
-            .map_err(|e| io_err(dir, "read dir", e))?
-            .filter_map(|entry| entry.ok())
-            .filter_map(|entry| entry.file_name().into_string().ok())
-            .filter(|name| name.starts_with("snap-") && name.ends_with(".snap"))
-            .collect();
-        snapshot_names.sort_unstable_by(|a, b| b.cmp(a));
-
-        let mut report = RecoveryReport {
-            wal_records,
-            torn_tail: scan.torn.clone(),
-            ..RecoveryReport::default()
-        };
-        let mut base: Option<(SocialGraph, PolicyStore, u64)> = None;
-        for name in snapshot_names {
-            let path = dir.join(&name);
-            let loaded = fs::read(&path)
-                .map_err(|e| io_err(&path, "read", e))
-                .and_then(|bytes| decode_snapshot(&path, &bytes))
-                .and_then(|(g, store, covered)| {
-                    if covered > wal_records {
-                        Err(DurabilityError::SnapshotAheadOfWal {
-                            path: path.clone(),
-                            snapshot_records: covered,
-                            wal_records,
-                        })
-                    } else {
-                        Ok((g, store, covered))
-                    }
-                });
-            match loaded {
-                Ok(found) => {
-                    report.snapshot_loaded = Some((name, found.2));
-                    base = Some(found);
-                    break;
-                }
-                Err(e) => report.snapshots_skipped.push((name, e)),
-            }
-        }
-
-        let (mut mirror, mut store, replay_from) =
-            base.unwrap_or_else(|| (SocialGraph::new(), PolicyStore::new(), 0));
-        let mut inner = deployment.from_graph(&mirror, store.clone());
-        {
-            let writes = inner.writes();
-            for (i, record) in scan.records.iter().enumerate().skip(replay_from as usize) {
-                apply_record(record, writes, &mut mirror, &mut store).map_err(|detail| {
-                    DurabilityError::Replay {
-                        record: i as u64,
-                        detail,
-                    }
-                })?;
-                report.records_replayed += 1;
-            }
-        }
+        let recovered = recover_to(&deployment, dir, &wal_path, &scan, scan.total())?;
 
         // Truncate a torn tail so future appends start at the valid
-        // prefix instead of extending garbage.
+        // prefix instead of extending garbage. The surviving record
+        // count — not the pre-truncation byte length — is what every
+        // later snapshot stamp must cover.
         if scan.torn.is_some() {
             let f = OpenOptions::new()
                 .write(true)
@@ -611,14 +1125,15 @@ impl DurableService {
             .map_err(|e| io_err(&wal_path, "open", e))?;
 
         Ok(DurableService {
-            inner,
-            mirror,
-            store,
+            inner: recovered.inner,
+            mirror: recovered.mirror,
+            store: recovered.store,
             dir: dir.to_path_buf(),
             wal_path,
             wal,
-            wal_records,
-            report,
+            wal_base: scan.base,
+            wal_records: scan.total(),
+            report: recovered.report,
         })
     }
 
@@ -628,9 +1143,24 @@ impl DurableService {
         &self.report
     }
 
-    /// Number of intact records in the write-ahead log.
+    /// Absolute position one past the last record in the write-ahead
+    /// log — the "present" position for [`Deployment::durable_at`].
     pub fn wal_records(&self) -> u64 {
         self.wal_records
+    }
+
+    /// Absolute position of the oldest record still in the log: 0 on
+    /// an uncompacted log, the anchor-snapshot position after
+    /// [`DurableService::compact`]. Point-in-time reads below this are
+    /// refused with [`DurabilityError::HistoryCompacted`].
+    pub fn wal_base(&self) -> u64 {
+        self.wal_base
+    }
+
+    /// The durable history of this service's data directory: every
+    /// logged record with its absolute position (see [`read_history`]).
+    pub fn history(&self) -> Result<Vec<HistoryEntry>, DurabilityError> {
+        read_history(&self.dir)
     }
 
     /// The data directory this service persists into.
@@ -675,6 +1205,104 @@ impl DurableService {
         fs::write(&tmp_path, &bytes).map_err(|e| io_err(&tmp_path, "write", e))?;
         fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, "rename", e))?;
         Ok(final_path)
+    }
+
+    /// Truncates history older than `horizon` off the *front* of the
+    /// write-ahead log, anchored at the newest valid snapshot at or
+    /// below the horizon. Snapshot-anchored means the fallback chain
+    /// stays sound by construction: the log is only ever cut at a
+    /// position a snapshot on disk can recover, that anchor becomes
+    /// the chain's terminal (replacing "empty + full replay"), and the
+    /// rewritten log carries the cut position in a checksummed header
+    /// so positions stay absolute. Without a usable snapshot at or
+    /// below the horizon the call is a no-op (`anchor: None`) — the
+    /// log is never cut past what a snapshot can prove.
+    ///
+    /// The rewrite is tmp-file + atomic rename (a crash leaves either
+    /// the old or the new log, both recoverable). Snapshots below the
+    /// new base are deleted afterwards: replaying forward from them is
+    /// no longer possible, and recovery would only skip them loudly.
+    /// Point-in-time reads below the new base become typed
+    /// [`DurabilityError::HistoryCompacted`] refusals.
+    pub fn compact(&mut self, horizon: u64) -> Result<CompactionReport, DurabilityError> {
+        let horizon = horizon.min(self.wal_records);
+        let mut report = CompactionReport {
+            base: self.wal_base,
+            ..CompactionReport::default()
+        };
+
+        // Newest valid snapshot within [base, horizon] anchors the cut
+        // (validated by a full decode — anchoring on a snapshot that
+        // cannot load would break the chain's terminal).
+        let mut names: Vec<String> = fs::read_dir(&self.dir)
+            .map_err(|e| io_err(&self.dir, "read dir", e))?
+            .filter_map(|entry| entry.ok())
+            .filter_map(|entry| entry.file_name().into_string().ok())
+            .filter(|name| name.starts_with("snap-") && name.ends_with(".snap"))
+            .collect();
+        names.sort_unstable_by(|a, b| b.cmp(a));
+        let mut anchor: Option<(String, u64)> = None;
+        for name in names.iter() {
+            let path = self.dir.join(name);
+            let Ok(bytes) = fs::read(&path) else { continue };
+            let Ok((_, _, covered)) = decode_snapshot(&path, &bytes) else {
+                continue;
+            };
+            if covered >= self.wal_base && covered <= horizon {
+                anchor = Some((name.clone(), covered));
+                break;
+            }
+        }
+        let Some((anchor_name, cut)) = anchor else {
+            return Ok(report);
+        };
+        report.anchor = Some((anchor_name, cut));
+        if cut <= self.wal_base {
+            // Already compacted at least this far; nothing to drop.
+            return Ok(report);
+        }
+
+        // Rewrite the log as header + the frames from `cut` on, with
+        // byte boundaries re-derived from disk (every acknowledged
+        // append is already on the file).
+        let scan = read_wal(&self.wal_path)?;
+        debug_assert!(scan.torn.is_none(), "live log has whole frames only");
+        debug_assert_eq!(scan.total(), self.wal_records, "log matches service");
+        let bytes = fs::read(&self.wal_path).map_err(|e| io_err(&self.wal_path, "read", e))?;
+        let keep_from = scan.ends[(cut - scan.base) as usize - 1] as usize;
+        let mut out = Vec::with_capacity(WAL_HEADER_LEN + bytes.len() - keep_from);
+        out.extend_from_slice(WAL_MAGIC);
+        out.extend_from_slice(&cut.to_le_bytes());
+        let header_crc = crc32(&out);
+        out.extend_from_slice(&header_crc.to_le_bytes());
+        out.extend_from_slice(&bytes[keep_from..scan.valid_len as usize]);
+        let tmp_path = self
+            .dir
+            .join(format!("{WAL_FILE}.tmp-{}", std::process::id()));
+        fs::write(&tmp_path, &out).map_err(|e| io_err(&tmp_path, "write", e))?;
+        fs::rename(&tmp_path, &self.wal_path).map_err(|e| io_err(&self.wal_path, "rename", e))?;
+        // The old append handle points at the replaced inode; reopen.
+        self.wal = OpenOptions::new()
+            .append(true)
+            .open(&self.wal_path)
+            .map_err(|e| io_err(&self.wal_path, "open", e))?;
+        report.records_dropped = cut - self.wal_base;
+        report.base = cut;
+        self.wal_base = cut;
+
+        // Snapshots below the new base can no longer seed a replay.
+        for name in names {
+            let covered: Option<u64> = name
+                .strip_prefix("snap-")
+                .and_then(|n| n.strip_suffix(".snap"))
+                .and_then(|n| n.parse().ok());
+            if covered.is_some_and(|c| c < cut) {
+                let path = self.dir.join(&name);
+                fs::remove_file(&path).map_err(|e| io_err(&path, "remove", e))?;
+                report.snapshots_deleted.push(name);
+            }
+        }
+        Ok(report)
     }
 
     /// Appends one frame to the log. WAL append failure is fail-stop:

@@ -132,7 +132,10 @@ pub mod sharded;
 pub mod system;
 
 pub use carminati::{CarminatiOutcome, CarminatiRule, TrustAggregation};
-pub use durability::{DurabilityError, DurableService, RecoveryReport, TornTail, WalRecord};
+pub use durability::{
+    read_history, AudienceDiff, AuditError, CompactionReport, DurabilityError, DurableService,
+    HistoryEntry, RecoveryReport, TornTail, WalRecord,
+};
 pub use engine::{
     resource_audience, resource_audience_batch, resource_audience_batch_per_condition_with_stats,
     resource_audience_batch_with_stats, AccessEngine, AudienceOutcome, CheckOutcome, Enforcer,

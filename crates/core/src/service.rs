@@ -610,6 +610,13 @@ pub trait MutateService {
 ///   reopening the same directory recovers newest-valid-snapshot +
 ///   WAL-suffix-replay. Either backend can sit behind it — durability
 ///   wraps the deployment, not a particular engine.
+///
+/// A durable directory also answers **point-in-time audit reads**:
+/// [`Deployment::durable_at`] recovers the state as of any logged
+/// position into a throwaway backend of this shape,
+/// [`Deployment::audience_diff`] compares a resource's audience
+/// between two positions, and [`crate::read_history`] enumerates the
+/// records themselves — see [`crate::durability`].
 #[derive(Clone, Debug)]
 pub enum Deployment {
     /// One epoch-published graph behind the chosen evaluation engine.

@@ -231,6 +231,110 @@ fn every_single_byte_flip_never_panics_and_never_extends_state() {
 }
 
 #[test]
+fn midlog_length_corruption_is_corrupt_not_torn() {
+    // Mode 3b (the regression this suite existed to catch): a flipped
+    // *length* byte in a non-final frame. Depending on the bit this
+    // either fails the checksum or makes the frame claim to run past
+    // the end of the log — and the scanner used to classify the latter
+    // as a torn tail, truncating every acknowledged record after the
+    // damage. Valid frames past the flip prove mid-log corruption, so
+    // recovery must refuse with CorruptWal and leave the file alone.
+    let deployment = Deployment::online();
+    let dir = DataDir::new("lenflip");
+    populate(&deployment, &dir.0);
+    let wal = std::fs::read(dir.wal()).unwrap();
+    let ends = frame_ends(&wal);
+    let frame_start = ends[2]; // fourth frame: mid-log, plenty after it
+    for byte in 0..4 {
+        for mask in [0x01u8, 0x10, 0x80] {
+            let mut corrupt = wal.clone();
+            corrupt[frame_start + byte] ^= mask;
+            std::fs::write(dir.wal(), &corrupt).unwrap();
+            match deployment.durable(&dir.0) {
+                Err(DurabilityError::CorruptWal { offset, .. }) => {
+                    assert_eq!(
+                        offset, frame_start as u64,
+                        "len byte {byte} mask {mask:#04x}: damage located at its frame"
+                    );
+                }
+                Err(other) => {
+                    panic!("len byte {byte} mask {mask:#04x}: expected CorruptWal, got {other:?}")
+                }
+                Ok(_) => {
+                    panic!("len byte {byte} mask {mask:#04x}: a corrupted length must not recover")
+                }
+            }
+            // Zero data loss: the refusal must not have truncated the
+            // log — every byte is still there for repair.
+            assert_eq!(
+                std::fs::read(dir.wal()).unwrap(),
+                corrupt,
+                "len byte {byte} mask {mask:#04x}: refusal left the file untouched"
+            );
+        }
+    }
+    // Restoring the pristine log recovers the full state: nothing was
+    // discarded along the way.
+    std::fs::write(dir.wal(), &wal).unwrap();
+    let recovered = deployment.durable(&dir.0).unwrap();
+    let reference = reference_prefix(&deployment, script().len());
+    common::assert_services_agree(
+        reference.reads(),
+        recovered.reads(),
+        &rids_after(script().len()),
+    );
+}
+
+#[test]
+fn snapshot_after_torn_recovery_covers_the_truncated_position() {
+    // A snapshot taken right after a torn-tail recovery must be
+    // stamped with the *post-truncation* record count: stamping the
+    // pre-crash count would make later recoveries skip real records.
+    // Proven end to end: tear → recover → snapshot → write more →
+    // recover again → equals the never-crashed twin of the surviving
+    // history.
+    for deployment in [Deployment::online(), Deployment::sharded(3, 3)] {
+        let dir = DataDir::new("snapaftertorn");
+        populate(&deployment, &dir.0);
+        let wal = std::fs::read(dir.wal()).unwrap();
+        let ends = frame_ends(&wal);
+        let survived = ends.len() - 1;
+        std::fs::write(dir.wal(), &wal[..ends[survived - 1] + 5]).unwrap();
+
+        {
+            let svc = deployment.durable(&dir.0).unwrap();
+            assert!(svc.recovery_report().torn_tail.is_some());
+            assert_eq!(svc.wal_records(), survived as u64);
+            let snap = svc.snapshot().unwrap();
+            assert!(
+                snap.file_name()
+                    .unwrap()
+                    .to_string_lossy()
+                    .contains(&format!("{survived:020}")),
+                "snapshot stamped with the post-truncation position"
+            );
+        }
+        {
+            let mut svc = deployment.durable(&dir.0).unwrap();
+            let report = svc.recovery_report();
+            assert_eq!(
+                report.snapshot_loaded.as_ref().unwrap().1,
+                survived as u64,
+                "recovery seeds from the post-truncation snapshot"
+            );
+            assert_eq!(report.records_replayed, 0);
+            svc.writes().add_user("Zed");
+        }
+
+        let recovered = deployment.durable(&dir.0).unwrap();
+        assert_eq!(recovered.wal_records(), (survived + 1) as u64);
+        let mut reference = reference_prefix(&deployment, survived);
+        reference.writes().add_user("Zed");
+        common::assert_services_agree(reference.reads(), recovered.reads(), &rids_after(survived));
+    }
+}
+
+#[test]
 fn corrupt_newest_snapshot_falls_back_to_older_plus_longer_replay() {
     // Mode 4: the newest snapshot is damaged. Recovery skips it (with
     // a typed error in the report), loads the older snapshot, replays

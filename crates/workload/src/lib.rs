@@ -52,7 +52,7 @@ pub use bundles::{
 };
 pub use io::{read_edge_list, write_edge_list, EdgeListError};
 pub use policies::{generate_policies, random_path_text, PolicyWorkloadConfig};
-pub use replay::{replay_requests, ReplayReport};
+pub use replay::{compare_replays, replay_requests, DecisionFlip, DriftReport, ReplayReport};
 pub use requests::{requests_with_grant_rate, uniform_requests, Request};
 pub use sharding::CrossShardTopology;
 pub use spec::{AttributeModel, GraphSpec, LabelModel};

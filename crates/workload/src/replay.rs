@@ -33,6 +33,87 @@ impl ReplayReport {
     }
 }
 
+/// One request whose decision flipped between two replays of the same
+/// stream (see [`compare_replays`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecisionFlip {
+    /// Index of the request in the replayed stream.
+    pub request: usize,
+    /// The resource asked about.
+    pub resource: ResourceId,
+    /// The member asking.
+    pub requester: NodeId,
+    /// What the `then` service answered.
+    pub then: Decision,
+    /// What the `now` service answered.
+    pub now: Decision,
+}
+
+/// How one request stream answers differently across two services —
+/// typically two points in time of the same durable history
+/// (`Deployment::durable_at` at `k1` vs `k2`), but any pair works.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DriftReport {
+    /// Requests replayed against both services.
+    pub requests: usize,
+    /// Requests granted by `then`.
+    pub grants_then: usize,
+    /// Requests granted by `now`.
+    pub grants_now: usize,
+    /// Every request whose decision flipped, in stream order.
+    pub flips: Vec<DecisionFlip>,
+}
+
+impl DriftReport {
+    /// True when both services answered every request identically.
+    pub fn is_unchanged(&self) -> bool {
+        self.flips.is_empty()
+    }
+}
+
+/// Replays one stream through two backends and reports every decision
+/// that flipped between them. The audit-read drills use it to answer
+/// "which of these accesses would have been decided differently at
+/// position `k`?" — the stream's own ground truth is ignored, only
+/// the two services' answers are compared.
+pub fn compare_replays(
+    then: &dyn AccessService,
+    now: &dyn AccessService,
+    requests: &[Request],
+    threads: usize,
+) -> Result<DriftReport, EvalError> {
+    let batch: Vec<(ResourceId, NodeId)> =
+        requests.iter().map(|r| (r.resource, r.requester)).collect();
+    let decisions_then = then.check_batch(&batch, threads)?;
+    let decisions_now = now.check_batch(&batch, threads)?;
+    let mut report = DriftReport {
+        requests: requests.len(),
+        ..DriftReport::default()
+    };
+    for (i, (r, (t, n))) in requests
+        .iter()
+        .zip(decisions_then.iter().zip(&decisions_now))
+        .enumerate()
+    {
+        if *t == Decision::Grant {
+            report.grants_then += 1;
+        }
+        if *n == Decision::Grant {
+            report.grants_now += 1;
+        }
+        if t != n {
+            report.flips.push(DecisionFlip {
+                request: i,
+                resource: r.resource,
+                requester: r.requester,
+                then: *t,
+                now: *n,
+            });
+        }
+    }
+    Ok(report)
+}
+
 /// Replays the stream through [`AccessService::check_batch`] (one
 /// coherent snapshot state, `threads` workers where the backend fans
 /// out) and audits every decision against
@@ -97,6 +178,46 @@ mod tests {
             );
             assert_eq!(report.grants + report.denies, report.requests);
         }
+    }
+
+    #[test]
+    fn drift_between_two_policy_states_is_itemized() {
+        // Same graph, two policy states: the `now` store gains a rule
+        // the `then` store lacks, so exactly the requests that rule
+        // decides differently must show up as flips.
+        let mut g = GraphSpec::ba_osn(60, 15).build();
+        let mut store = PolicyStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let rids = generate_policies(
+            &mut g,
+            &mut store,
+            &PolicyWorkloadConfig {
+                num_resources: 6,
+                ..PolicyWorkloadConfig::default()
+            },
+            &mut rng,
+        );
+        let requests = uniform_requests(&g, &store, &rids, 60, &mut rng);
+
+        let then = Deployment::online().from_graph(&g, store.clone());
+        let mut now = Deployment::online().from_graph(&g, store);
+        now.writes()
+            .add_rule(rids[0], "friend+[1..3]")
+            .expect("valid rule");
+
+        let drift = compare_replays(then.reads(), now.reads(), &requests, 2).expect("replays");
+        assert_eq!(drift.requests, 60);
+        // A rule can only widen an audience: every flip is Deny→Grant.
+        for flip in &drift.flips {
+            assert_eq!(flip.resource, rids[0]);
+            assert_eq!((flip.then, flip.now), (Decision::Deny, Decision::Grant));
+        }
+        assert_eq!(drift.grants_now - drift.flips.len(), drift.grants_then);
+
+        // A service compared against itself never drifts.
+        let same = compare_replays(then.reads(), then.reads(), &requests, 2).expect("replays");
+        assert!(same.is_unchanged());
+        assert_eq!(same.grants_then, same.grants_now);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! ```text
 //! cargo run --example crash_recovery -- populate <dir> [crash_after]
 //! cargo run --example crash_recovery -- audit <dir>
+//! cargo run --example crash_recovery -- timetravel <dir>
 //! ```
 //!
 //! `populate` writes a deterministic community graph with a handful of
@@ -18,10 +19,19 @@
 //! through the serving backend: any divergence between recovered state
 //! and recovered backend fails the audit. A populate → kill → audit
 //! round-trip is the crash-safety smoke test CI runs.
+//!
+//! `timetravel` drills the point-in-time read surface over a
+//! populated directory: it recovers the state one record before the
+//! present (`Deployment::durable_at`), asserts the historical album
+//! audience differs from the present one (the final populate record
+//! is an age overwrite that revokes a member), compacts the log at
+//! its snapshot-anchored horizon, shows that pre-base positions
+//! become typed refusals, and finishes with the same full replay
+//! audit — the compacted directory must still recover faithfully.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use socialreach::workload::{replay_requests, uniform_requests};
+use socialreach::workload::{compare_replays, replay_requests, uniform_requests};
 use socialreach::{Deployment, DurableService, ResourceId};
 use std::process::ExitCode;
 
@@ -34,12 +44,15 @@ fn main() -> ExitCode {
             Err(_) => usage(),
         },
         ["audit", dir] => audit(dir),
+        ["timetravel", dir] => timetravel(dir),
         _ => usage(),
     }
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: crash_recovery populate <dir> [crash_after] | audit <dir>");
+    eprintln!(
+        "usage: crash_recovery populate <dir> [crash_after] | audit <dir> | timetravel <dir>"
+    );
     ExitCode::from(2)
 }
 
@@ -142,6 +155,10 @@ fn populate(dir: &str, crash_after: Option<u64>) -> ExitCode {
     w.edge(c[2], "friend", c[3]);
     let wall = w.resource(a[0]);
     w.rule(wall, "follows-[1,2]");
+    // The final record revokes a2 from the age-gated album — so the
+    // state one position back answers differently than the present,
+    // which is what the `timetravel` drill asserts.
+    w.attr(a[2], "age", 16);
 
     println!(
         "populated {} members, {} resources, {} WAL records in {dir}",
@@ -213,6 +230,123 @@ fn audit(dir: &str) -> ExitCode {
         eprintln!("AUDIT FAIL: recovered backend diverges from recovered state");
         ExitCode::FAILURE
     }
+}
+
+fn timetravel(dir: &str) -> ExitCode {
+    let deployment = deployment();
+    let album = ResourceId(0);
+    let mut svc = match deployment.durable(dir) {
+        Ok(svc) => svc,
+        Err(e) => {
+            eprintln!("error: recovery failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let present_position = svc.wal_records();
+    if present_position == 0 {
+        eprintln!("error: {dir} holds no history; run populate first");
+        return ExitCode::from(2);
+    }
+    let present = svc.reads().audience(album).expect("present audience reads");
+
+    // One record back: populate's final record is the age overwrite
+    // that revoked a2, so the historical audience must be larger.
+    let mid = present_position - 1;
+    let past_svc = match deployment.durable_at(dir, mid) {
+        Ok(svc) => svc,
+        Err(e) => {
+            eprintln!("error: historical recovery at {mid} failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let past = past_svc
+        .reads()
+        .audience(album)
+        .expect("historical audience reads");
+    println!(
+        "album audience: {} members at position {mid}, {} at present ({present_position})",
+        past.len(),
+        present.len()
+    );
+    if past == present {
+        eprintln!("TIMETRAVEL FAIL: historical audience equals the present one");
+        return ExitCode::FAILURE;
+    }
+
+    // Drift report: the same request stream answered at both points.
+    // Requests the final record decided differently show up as flips.
+    let rids: Vec<ResourceId> = svc.store().resources().map(|(rid, _)| rid).collect();
+    let mut rng = StdRng::seed_from_u64(0x7173);
+    let requests = uniform_requests(svc.graph(), svc.store(), &rids, 200, &mut rng);
+    let drift = match compare_replays(past_svc.reads(), svc.reads(), &requests, 4) {
+        Ok(drift) => drift,
+        Err(e) => {
+            eprintln!("error: drift replay failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replayed {} requests at both positions: {} decisions flipped ({} grants then, {} now)",
+        drift.requests,
+        drift.flips.len(),
+        drift.grants_then,
+        drift.grants_now
+    );
+
+    // Retention: cut the log at the snapshot-anchored horizon, then
+    // show pre-base history refuses loudly instead of answering wrong.
+    let report = match svc.compact(present_position) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: compaction failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some((anchor, base)) = report.anchor.clone() else {
+        eprintln!("TIMETRAVEL FAIL: no snapshot anchored the compaction");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "compacted at {base} (anchor {anchor}): dropped {} records, deleted {} snapshots",
+        report.records_dropped,
+        report.snapshots_deleted.len()
+    );
+    if base > 0 {
+        match deployment.durable_at(dir, base - 1) {
+            Err(socialreach::DurabilityError::HistoryCompacted { .. }) => {
+                println!("position {} is below the horizon: typed refusal", base - 1);
+            }
+            Err(e) => {
+                eprintln!("error: expected HistoryCompacted below the base, got {e}");
+                return ExitCode::from(2);
+            }
+            Ok(_) => {
+                eprintln!("TIMETRAVEL FAIL: pre-base position recovered silently");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // The historical read above the base still works on the compacted
+    // log, and full recovery still replays faithfully.
+    drop(svc);
+    match deployment.durable_at(dir, mid) {
+        Ok(again) => {
+            let audience = again
+                .reads()
+                .audience(album)
+                .expect("post-compaction historical reads");
+            if audience != past {
+                eprintln!("TIMETRAVEL FAIL: compaction changed a historical answer");
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("error: post-compaction historical recovery failed: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    audit(dir)
 }
 
 /// Honors `SOCIALREACH_SHARDS` like the CLI, so the drill can run

@@ -38,6 +38,29 @@
 //! `SOCIALREACH_CRASH_AFTER=k` aborts the process after the k-th
 //! logged ingestion mutation — a crash lever for recovery drills.
 //!
+//! ## Audit reads over the durable history
+//!
+//! Set `SOCIALREACH_AUDIT_AT=k` (with `SOCIALREACH_DATA_DIR` and `@`
+//! as `<edges.tsv>`) to serve `check`/`audience`/`explain` from the
+//! state **as of position k** — after the first `k` logged records —
+//! recovered read-only into a throwaway backend; the resource/rule
+//! the invocation registers stays ephemeral, nothing is logged. Two
+//! verbs walk the history itself:
+//!
+//! ```text
+//! socialreach history [from [to]]      # positions + logged records
+//! socialreach diff <rid> <k1> <k2>     # who entered/left an audience
+//! ```
+//!
+//! `history` prints each record with its absolute position (the
+//! position is the state *before* the record; `durable_at(k)` and
+//! `SOCIALREACH_AUDIT_AT=k` address it). `diff` compares resource
+//! `<rid>`'s audience between positions `k1` and `k2`: `+` entered,
+//! `-` left, `=` retained. Both honor `SOCIALREACH_SHARDS`. Retention
+//! is a library lever — `DurableService::compact(horizon)` truncates
+//! history below a snapshot-anchored horizon, after which positions
+//! below the new base are typed refusals.
+//!
 //! Exit codes: 0 = granted / success, 1 = denied, 2 = usage or input
 //! error.
 
@@ -73,6 +96,8 @@ const USAGE: &str = "usage:
   socialreach audience <edges.tsv> <owner> <path-expr>
   socialreach explain  <edges.tsv> <owner> <path-expr> <requester>
   socialreach stats    <edges.tsv>
+  socialreach history  [from [to]]
+  socialreach diff     <rid> <k1> <k2>
 
 <edges.tsv>: 'src<TAB>label<TAB>dst' lines ('-' reads stdin,
              '@' serves the recovered SOCIALREACH_DATA_DIR state);
@@ -81,7 +106,15 @@ SOCIALREACH_SHARDS=N serves from an N-shard deployment;
 SOCIALREACH_PLANNER=adaptive|batch|per-condition routes reads through
   the telemetry-fed planner (ephemeral serving only);
 SOCIALREACH_DATA_DIR=<dir> write-ahead logs every mutation in <dir>;
-SOCIALREACH_CRASH_AFTER=k aborts after k logged ingestion mutations.";
+SOCIALREACH_CRASH_AFTER=k aborts after k logged ingestion mutations;
+SOCIALREACH_AUDIT_AT=k serves check/audience/explain from the state
+  as of position k (read-only; requires SOCIALREACH_DATA_DIR and '@').
+
+'history' lists the logged records of SOCIALREACH_DATA_DIR with their
+absolute positions; 'diff' shows who entered (+), left (-) and stayed
+(=) in resource <rid>'s audience between positions <k1> and <k2>.
+History below a compaction horizon (DurableService::compact) is a
+typed refusal, never a wrong answer.";
 
 fn run(args: &[String]) -> Result<bool, String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -135,8 +168,71 @@ fn run(args: &[String]) -> Result<bool, String> {
             }
             Ok(true)
         }
+        "history" => {
+            let dir = data_dir().ok_or("'history' requires SOCIALREACH_DATA_DIR")?;
+            let (from, to) = match &args[1..] {
+                [] => (0, u64::MAX),
+                [f] => (parse_position(f)?, u64::MAX),
+                [f, t] => (parse_position(f)?, parse_position(t)?),
+                more => {
+                    return Err(format!(
+                        "expected at most 2 arguments, found {}",
+                        more.len()
+                    ))
+                }
+            };
+            let entries = socialreach::read_history(&dir)
+                .map_err(|e| format!("reading the history of {dir}: {e}"))?;
+            for entry in entries {
+                if entry.position >= from && entry.position <= to {
+                    println!("{:>6}  {}", entry.position, entry.record);
+                }
+            }
+            Ok(true)
+        }
+        "diff" => {
+            let [rid, k1, k2] = take::<3>(&args[1..])?;
+            let dir = data_dir().ok_or("'diff' requires SOCIALREACH_DATA_DIR")?;
+            let rid = ResourceId(
+                rid.parse()
+                    .map_err(|_| format!("<rid> must be a resource id, got {rid:?}"))?,
+            );
+            let (from, to) = (parse_position(k1)?, parse_position(k2)?);
+            let deployment = deployment()?;
+            let diff = deployment
+                .audience_diff(&dir, rid, from, to)
+                .map_err(|e| format!("auditing {dir}: {e}"))?;
+            // Member ids are stable across the history; the later
+            // point knows every name the diff can mention.
+            let names = deployment
+                .durable_at(&dir, from.max(to))
+                .map_err(|e| format!("recovering {dir}: {e}"))?;
+            let reads = names.reads();
+            println!(
+                "resource {} audience, position {from} -> {to}: {} entered, {} left, {} retained",
+                rid.0,
+                diff.entered.len(),
+                diff.left.len(),
+                diff.retained.len()
+            );
+            for m in &diff.entered {
+                println!("+ {}", reads.member_name(*m));
+            }
+            for m in &diff.left {
+                println!("- {}", reads.member_name(*m));
+            }
+            for m in &diff.retained {
+                println!("= {}", reads.member_name(*m));
+            }
+            Ok(true)
+        }
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+fn parse_position(arg: &str) -> Result<u64, String> {
+    arg.parse()
+        .map_err(|_| format!("positions are non-negative record counts, got {arg:?}"))
 }
 
 /// A serving backend: ephemeral (built per invocation), planned
@@ -163,25 +259,43 @@ impl Served {
 /// resource owned by `owner` under the `path` rule, and returns the
 /// serving backend plus the resource.
 fn serve(file: &str, owner: &str, path: &str) -> Result<(Served, ResourceId), String> {
-    let mut svc = match data_dir() {
-        None => {
-            if file == "@" {
-                return Err("'@' requires SOCIALREACH_DATA_DIR".into());
-            }
-            let instance = deployment()?.from_graph(&load(file)?, PolicyStore::new());
-            match planner_mode()? {
-                Some(mode) => Served::Planned(Box::new(PlannedService::over(instance, mode))),
-                None => Served::Ephemeral(Box::new(instance)),
-            }
+    let mut svc = if let Some(position) = audit_at()? {
+        // Audit read: recover the durable history to exactly
+        // `position`, read-only, into a throwaway backend. The
+        // resource/rule registered below stays ephemeral — asking
+        // "who could this rule have reached back then?" must not
+        // rewrite the history it queries.
+        let dir = data_dir().ok_or("SOCIALREACH_AUDIT_AT requires SOCIALREACH_DATA_DIR")?;
+        if file != "@" {
+            return Err(
+                "SOCIALREACH_AUDIT_AT serves recorded history: pass '@' as <edges.tsv>".into(),
+            );
         }
-        Some(dir) => {
-            let mut svc = deployment()?
-                .durable(&dir)
-                .map_err(|e| format!("recovering {dir}: {e}"))?;
-            if file != "@" {
-                ingest(&load(file)?, &mut svc);
+        let instance = deployment()?
+            .durable_at(&dir, position)
+            .map_err(|e| format!("recovering {dir} at position {position}: {e}"))?;
+        Served::Ephemeral(Box::new(instance))
+    } else {
+        match data_dir() {
+            None => {
+                if file == "@" {
+                    return Err("'@' requires SOCIALREACH_DATA_DIR".into());
+                }
+                let instance = deployment()?.from_graph(&load(file)?, PolicyStore::new());
+                match planner_mode()? {
+                    Some(mode) => Served::Planned(Box::new(PlannedService::over(instance, mode))),
+                    None => Served::Ephemeral(Box::new(instance)),
+                }
             }
-            Served::Durable(Box::new(svc))
+            Some(dir) => {
+                let mut svc = deployment()?
+                    .durable(&dir)
+                    .map_err(|e| format!("recovering {dir}: {e}"))?;
+                if file != "@" {
+                    ingest(&load(file)?, &mut svc);
+                }
+                Served::Durable(Box::new(svc))
+            }
         }
     };
     let owner = resolve(svc.reads(), owner)?;
@@ -243,6 +357,16 @@ fn ingest(g: &SocialGraph, svc: &mut DurableService) {
 /// The durable data directory, when the environment asks for one.
 fn data_dir() -> Option<String> {
     std::env::var("SOCIALREACH_DATA_DIR").ok()
+}
+
+/// The historical position the environment asks to serve, if any.
+fn audit_at() -> Result<Option<u64>, String> {
+    match std::env::var("SOCIALREACH_AUDIT_AT") {
+        Err(_) => Ok(None),
+        Ok(v) => v.parse().map(Some).map_err(|_| {
+            format!("SOCIALREACH_AUDIT_AT must be a WAL position (record count), got {v:?}")
+        }),
+    }
 }
 
 /// The planner mode the environment asks for, if any.

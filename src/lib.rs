@@ -73,11 +73,12 @@ pub use socialreach_reach as reach;
 pub use socialreach_workload as workload;
 
 pub use socialreach_core::{
-    examples, online, parse_path, resource_audience_batch, AccessCondition, AccessControlSystem,
-    AccessEngine, AccessResponse, AccessRule, AccessService, BundleStrategy, CheckPlan, Decision,
-    Deployment, DurabilityError, DurableService, Enforcer, EngineChoice, EvalError, Explanation,
-    JoinEngineConfig, JoinIndexEngine, JoinStrategy, MutateService, OnlineEngine, ParseError,
-    PathExpr, PlannedService, Planner, PlannerMode, PolicyStore, ReadBatch, ReadRequest, ReadStats,
-    RecoveryReport, ResourceId, ServiceInstance, ShardedSystem, WalkHop, WitnessWalk,
+    examples, online, parse_path, read_history, resource_audience_batch, AccessCondition,
+    AccessControlSystem, AccessEngine, AccessResponse, AccessRule, AccessService, AudienceDiff,
+    AuditError, BundleStrategy, CheckPlan, CompactionReport, Decision, Deployment, DurabilityError,
+    DurableService, Enforcer, EngineChoice, EvalError, Explanation, HistoryEntry, JoinEngineConfig,
+    JoinIndexEngine, JoinStrategy, MutateService, OnlineEngine, ParseError, PathExpr,
+    PlannedService, Planner, PlannerMode, PolicyStore, ReadBatch, ReadRequest, ReadStats,
+    RecoveryReport, ResourceId, ServiceInstance, ShardedSystem, WalRecord, WalkHop, WitnessWalk,
 };
 pub use socialreach_graph::{AttrValue, Direction, EdgeId, LabelId, NodeId, SocialGraph};
