@@ -30,6 +30,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| match &svc {
                 ServiceInstance::Single(sys) => run_audiences_static(&case, sys),
                 ServiceInstance::Sharded(sys) => run_audiences_static(&case, sys),
+                ServiceInstance::Networked(sys) => run_audiences_static(&case, sys),
             })
         });
         group.bench_with_input(BenchmarkId::new("audience-dyn", &name), &(), |b, _| {

@@ -91,6 +91,18 @@ fn main() {
                     || run_checks_dyn(&case, svc.reads(), threads),
                 ),
             ),
+            ServiceInstance::Networked(sys) => (
+                time_pair_min(
+                    reps,
+                    || run_audiences_static(&case, sys),
+                    || run_audiences_dyn(&case, svc.reads()),
+                ),
+                time_pair_min(
+                    reps,
+                    || run_checks_static(&case, sys, threads),
+                    || run_checks_dyn(&case, svc.reads(), threads),
+                ),
+            ),
         };
 
         for (read, st, dy) in [

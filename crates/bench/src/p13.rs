@@ -170,6 +170,16 @@ pub fn assert_call_parity(case: &P13Case, svc: &ServiceInstance) {
                 sys.check_batch(&case.requests, 2).expect("evaluates"),
             );
         }
+        ServiceInstance::Networked(sys) => {
+            check_against(
+                "static",
+                &name,
+                &dyn_audiences,
+                &dyn_decisions,
+                AccessService::audience_batch(sys, &case.rids).expect("evaluates"),
+                AccessService::check_batch(sys, &case.requests, 2).expect("evaluates"),
+            );
+        }
     };
 }
 

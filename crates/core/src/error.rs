@@ -65,6 +65,12 @@ pub enum EvalError {
     UnsupportedDirection,
     /// The policy references a resource that was never registered.
     UnknownResource(u64),
+    /// A networked deployment could not complete the read against its
+    /// shard fleet (transport failure, corrupt frame, protocol
+    /// violation, or a shard's typed refusal) even after the router's
+    /// revive-and-retry pass. The read produced **no** decision — a
+    /// transport fault is never converted into a grant or a deny.
+    Remote(crate::remote::RemoteError),
 }
 
 impl fmt::Display for EvalError {
@@ -85,6 +91,7 @@ impl fmt::Display for EvalError {
                  was built with augment_reverse = false"
             ),
             EvalError::UnknownResource(r) => write!(f, "unknown resource id {r}"),
+            EvalError::Remote(e) => write!(f, "remote shard fleet: {e}"),
         }
     }
 }
@@ -100,6 +107,12 @@ impl From<ParseError> for EvalError {
 impl From<socialreach_graph::GraphError> for EvalError {
     fn from(e: socialreach_graph::GraphError) -> Self {
         EvalError::Graph(e)
+    }
+}
+
+impl From<crate::remote::RemoteError> for EvalError {
+    fn from(e: crate::remote::RemoteError) -> Self {
+        EvalError::Remote(e)
     }
 }
 

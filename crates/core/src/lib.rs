@@ -52,6 +52,7 @@
 //! | [`planner`] | — | telemetry-fed adaptive read planner: per-resource decaying profiles pick the winning engine per bundle |
 //! | [`system`] | — | single-graph backend (`AccessControlSystem`) |
 //! | [`sharded`] | — | hash-partitioned multi-shard backend with cross-shard stitching |
+//! | [`remote`] | — | shards as **processes**: CRC-framed wire protocol over TCP/Unix sockets, shard servers, and the networked router |
 //! | [`examples`] | §2–3 | the Figure 1 graph, Q1, worked queries |
 //! | [`carminati`] | §4 | the Carminati et al. trust+radius baseline |
 //!
@@ -115,6 +116,32 @@
 //! batched path is pinned to the per-condition fixpoint, the
 //! single-graph batch BFS and the reference engine by
 //! `tests/shard_batch_differential.rs`.
+//!
+//! ## Networked serving: shards as processes
+//!
+//! The [`remote`] module lifts the sharded backend across process
+//! boundaries. Each shard runs as a [`remote::ShardServer`] — a plain
+//! `std::net` acceptor (TCP or Unix domain socket) with blocking
+//! worker threads — speaking a hand-rolled length-prefixed, CRC-framed
+//! request/response protocol ([`remote::frame`], [`remote::proto`]):
+//! `[u32 len][u32 crc][payload]`, the checksum covering length bytes
+//! and payload so a damaged header can never masquerade as a valid
+//! frame. The [`remote::NetworkedSystem`] router implements
+//! [`AccessService`]/[`MutateService`] by driving the *same*
+//! round-based masked fixpoint as [`ShardedSystem`], exchanging
+//! `MaskedExportSet` batches with remote shards (bounded per-round
+//! sub-batches, at most one frame in flight per shard) and stitching
+//! witnesses from remote `Trace` segments. Mutations publish through a
+//! two-phase **epoch fence** — `Prepare` everywhere, then `Commit`
+//! everywhere; any prepare failure aborts the epoch on every shard
+//! that staged it — and reads carry the expected epoch in `BeginEval`,
+//! so a lagging shard refuses the evaluation rather than serving a
+//! torn epoch. Transport faults surface as typed
+//! [`EvalError::Remote`] errors, never as a wrong decision; a
+//! wire-level conformance and fault-injection tier
+//! (`tests/wire_roundtrip.rs`, `tests/remote_faults.rs`,
+//! `tests/remote_conformance.rs`) pins the networked deployment to its
+//! in-process twins byte by byte and fault by fault.
 
 pub mod carminati;
 pub mod durability;
@@ -127,6 +154,7 @@ pub mod online;
 pub mod path;
 pub mod planner;
 pub mod policy;
+pub mod remote;
 pub mod service;
 pub mod sharded;
 pub mod system;
@@ -149,9 +177,11 @@ pub use planner::{
     CostEstimate, PlannedService, Planner, PlannerMode, PlannerTally, ResourceProfile,
 };
 pub use policy::{AccessCondition, AccessRule, Decision, PolicyStore, ResourceId};
+pub use remote::{NetworkedSystem, RemoteError, ShardAddr, ShardHandle, ShardServer};
 pub use service::{
     AccessResponse, AccessService, BundleStrategy, CheckPlan, Deployment, Explanation,
-    MutateService, ReadBatch, ReadRequest, ReadStats, ServiceInstance, WalkHop, WitnessWalk,
+    MutateService, NetworkedSpec, ReadBatch, ReadRequest, ReadStats, ServiceInstance, WalkHop,
+    WitnessWalk,
 };
 pub use sharded::{BundleFixpointStats, ShardedEval, ShardedHop, ShardedSystem};
 pub use system::{AccessControlSystem, EngineChoice};

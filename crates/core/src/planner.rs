@@ -680,8 +680,12 @@ impl PlannedService {
     fn default_check_plan(&self, len: usize) -> CheckPlan {
         match &self.inner {
             ServiceInstance::Single(_) => CheckPlan::Targeted,
-            ServiceInstance::Sharded(_) if len <= 1 => CheckPlan::Targeted,
-            ServiceInstance::Sharded(_) => CheckPlan::Audience(BundleStrategy::Batched),
+            ServiceInstance::Sharded(_) | ServiceInstance::Networked(_) if len <= 1 => {
+                CheckPlan::Targeted
+            }
+            ServiceInstance::Sharded(_) | ServiceInstance::Networked(_) => {
+                CheckPlan::Audience(BundleStrategy::Batched)
+            }
         }
     }
 }

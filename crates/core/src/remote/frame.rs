@@ -1,0 +1,234 @@
+//! Length-prefixed, CRC-framed message transport.
+//!
+//! Every message between a router and a shard server travels as one
+//! frame: `[u32 LE payload len][u32 LE CRC-32][payload]`, the exact
+//! shape of the durability WAL's record frames — and for the same
+//! reason: the checksum covers the **length bytes and the payload**,
+//! so a damaged length field cannot masquerade as a valid frame (a
+//! corrupted length changes the CRC input and the mismatch is caught
+//! before any payload byte is interpreted).
+//!
+//! Reads classify failures instead of guessing:
+//!
+//! * [`FrameError::Closed`] — the peer closed cleanly *between*
+//!   frames (a normal connection end).
+//! * [`FrameError::Torn`] — the stream ended *mid*-frame (a crashed
+//!   or killed peer).
+//! * [`FrameError::Corrupt`] — the header or payload failed the CRC
+//!   (bit rot, a mis-framed stream, or an overlong length field).
+//! * [`FrameError::Io`] — the transport itself failed (including
+//!   read timeouts, which callers map to their own timeout error).
+//!
+//! The conformance tier's byte-flip sweep pins the contract: every
+//! single-byte corruption of a valid frame must surface as one of the
+//! typed errors above, never as a successfully parsed wrong payload.
+
+use socialreach_graph::wire::crc32;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload. Far above any real round batch
+/// (export batching caps request sizes well below this); its job is to
+/// stop a corrupted length field from provoking a giant allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (includes read timeouts).
+    Io(io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The stream ended in the middle of a frame.
+    Torn {
+        /// Bytes of the frame that did arrive.
+        got: usize,
+        /// Bytes the frame header promised.
+        wanted: usize,
+    },
+    /// The frame failed its checksum or carried an impossible header.
+    Corrupt {
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport i/o error: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Torn { got, wanted } => {
+                write!(f, "torn frame: stream ended after {got} of {wanted} bytes")
+            }
+            FrameError::Corrupt { detail } => write!(f, "corrupt frame: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Encodes one payload as a standalone frame (the byte layout tests
+/// and the golden-bytes pins read this form).
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_FRAME, "frame payload exceeds cap");
+    let len = (payload.len() as u32).to_le_bytes();
+    let mut checked = Vec::with_capacity(4 + payload.len());
+    checked.extend_from_slice(&len);
+    checked.extend_from_slice(payload);
+    let crc = crc32(&checked);
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&len);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Writes one frame to `w` and flushes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME {
+        return Err(FrameError::Corrupt {
+            detail: format!(
+                "refusing to send {}-byte payload (cap {MAX_FRAME})",
+                payload.len()
+            ),
+        });
+    }
+    w.write_all(&encode_frame(payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from `r`, verifying the checksum before returning
+/// the payload. A clean EOF before the first byte is [`FrameError::Closed`];
+/// an EOF anywhere later is [`FrameError::Torn`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(FrameError::Closed),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    read_frame_resume(r, first[0])
+}
+
+/// [`read_frame`] after the caller already consumed the frame's first
+/// byte (servers poll for it with a short timeout so a shutdown flag
+/// is noticed between requests without risking a mid-frame timeout).
+pub fn read_frame_resume<R: Read>(r: &mut R, first: u8) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 8];
+    header[0] = first;
+    read_exact_into_frame(r, &mut header[1..], 1, 8)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let expected_crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return Err(FrameError::Corrupt {
+            detail: format!("length field claims {len} bytes (cap {MAX_FRAME})"),
+        });
+    }
+    let mut checked = vec![0u8; 4 + len];
+    checked[0..4].copy_from_slice(&header[0..4]);
+    read_exact_into_frame(r, &mut checked[4..], 8, 8 + len)?;
+    let actual = crc32(&checked);
+    if actual != expected_crc {
+        return Err(FrameError::Corrupt {
+            detail: format!(
+                "checksum mismatch (stored {expected_crc:#010x}, computed {actual:#010x})"
+            ),
+        });
+    }
+    checked.drain(0..4);
+    Ok(checked)
+}
+
+/// `read_exact` that reports a mid-frame EOF as [`FrameError::Torn`]
+/// with frame-relative offsets (`already` bytes consumed before this
+/// call, `wanted` total frame bytes).
+fn read_exact_into_frame<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    already: usize,
+    wanted: usize,
+) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(FrameError::Torn {
+                    got: already + filled,
+                    wanted,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        for payload in [&b""[..], b"x", b"socialreach", &[0u8; 4096][..]] {
+            let frame = encode_frame(payload);
+            assert_eq!(frame.len(), 8 + payload.len());
+            let mut r = &frame[..];
+            assert_eq!(read_frame(&mut r).unwrap(), payload);
+            assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+        }
+    }
+
+    #[test]
+    fn consecutive_frames_stream() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"two").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"one");
+        assert_eq!(read_frame(&mut r).unwrap(), b"two");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn truncation_is_torn_not_corrupt() {
+        let frame = encode_frame(b"payload bytes");
+        for cut in 1..frame.len() {
+            let mut r = &frame[..cut];
+            match read_frame(&mut r) {
+                Err(FrameError::Torn { got, wanted }) => {
+                    assert_eq!(got, cut);
+                    // Inside the header the reader can't yet know the
+                    // full frame length — it reports the 8 header bytes
+                    // it was after; past the header it knows the total.
+                    let expect = if cut < 8 { 8 } else { frame.len() };
+                    assert_eq!(wanted, expect);
+                }
+                other => panic!("cut at {cut}: expected torn, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversize_length_field_is_typed() {
+        let mut frame = encode_frame(b"ok");
+        frame[0..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = &frame[..];
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Corrupt { .. })
+        ));
+    }
+}

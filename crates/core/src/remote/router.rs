@@ -1,0 +1,1508 @@
+//! The router: [`AccessService`]/[`MutateService`] over remote shards.
+//!
+//! [`NetworkedSystem`] is the wire twin of
+//! [`crate::sharded::ShardedSystem`]: the same hash placement
+//! ([`ShardAssignment`]), the same ghost-replicated boundary edges,
+//! and the same round-based masked fixpoint — but each shard's graph
+//! lives in a server process ([`super::ShardServer`]) and the rounds
+//! exchange [`MaskedExport`] batches over CRC-framed sockets.
+//!
+//! The router keeps only **metadata**: member placement, names,
+//! attribute tuples (to materialize ghost replicas), the policy store,
+//! the boundary table, and a per-shard op log of every committed
+//! epoch. Graph topology lives exclusively on the shards; all reads
+//! fan out.
+//!
+//! Mutations run the two-phase epoch fence (`Prepare` everywhere →
+//! `Commit` everywhere; any prepare failure aborts the epoch). Once
+//! every shard has prepared, the epoch is *presumed committed*: the
+//! router records it in the op log and advances before sending
+//! commits, so a shard that dies between its prepare and its commit is
+//! simply marked down and replayed from the op log on revival — the
+//! fleet can never end up split between epochs from the router's point
+//! of view, and a shard that *is* behind refuses `BeginEval`'s epoch
+//! check rather than serving a torn read.
+//!
+//! Reads are `&self` and fan out on scoped threads like the in-process
+//! backend; on a retryable transport failure the router re-dials every
+//! down shard (op-log catch-up included) and re-runs the whole
+//! evaluation once with fresh evaluation ids — the engines' masked
+//! state is per-evaluation, so a retry cannot observe leftovers.
+
+use super::frame::{self, FrameError};
+use super::proto::{self, Request, Response, ShardOp, PROTOCOL_VERSION};
+use super::{Conn, RemoteError, ShardAddr, DEFAULT_READ_TIMEOUT, MAX_ROUND_EXPORTS};
+use crate::error::EvalError;
+use crate::path::{parse_path, PathExpr};
+use crate::policy::{Decision, PolicyStore, ResourceId};
+use crate::service::{
+    AccessService, BundleStrategy, CheckPlan, Explanation, MutateService, ReadStats, WalkHop,
+    WitnessWalk,
+};
+use parking_lot::{Mutex, RwLock};
+use socialreach_graph::shard::{
+    BoundaryEdge, BoundaryTable, MaskedExport, MaskedExportSet, MaskedStateKey, ShardAssignment,
+};
+use socialreach_graph::{AttrValue, LabelId, NodeId, SocialGraph, Vocabulary};
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A cross-shard product-state coordinate: global member, step index,
+/// saturated depth.
+type StateKey = (u32, u16, u32);
+
+/// One dialed shard connection.
+struct ShardClient {
+    conn: Conn,
+    addr: String,
+}
+
+impl ShardClient {
+    /// Dials, handshakes, and returns the client plus the shard's
+    /// published epoch.
+    fn connect(addr: &ShardAddr, timeout: Duration) -> Result<(ShardClient, u64), RemoteError> {
+        let text = addr.to_string();
+        let conn = Conn::dial(addr).map_err(|e| RemoteError::Connect {
+            addr: text.clone(),
+            detail: e.to_string(),
+        })?;
+        conn.set_read_timeout(Some(timeout))
+            .map_err(|e| RemoteError::Connect {
+                addr: text.clone(),
+                detail: e.to_string(),
+            })?;
+        let mut client = ShardClient { conn, addr: text };
+        match client.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::Hello { epoch, .. } => Ok((client, epoch)),
+            Response::Refused(refusal) => Err(RemoteError::Refused {
+                addr: client.addr,
+                refusal,
+            }),
+            other => Err(client.unexpected("Hello", &other)),
+        }
+    }
+
+    /// One request/response exchange on the framed stream.
+    fn call(&mut self, req: &Request) -> Result<Response, RemoteError> {
+        frame::write_frame(&mut self.conn, &proto::encode_request(req))
+            .map_err(|e| self.classify(e))?;
+        let payload = frame::read_frame(&mut self.conn).map_err(|e| self.classify(e))?;
+        proto::decode_response(&payload).map_err(|detail| RemoteError::Protocol {
+            addr: self.addr.clone(),
+            detail,
+        })
+    }
+
+    /// Maps a frame-layer failure to the typed remote error.
+    fn classify(&self, e: FrameError) -> RemoteError {
+        let addr = self.addr.clone();
+        match e {
+            FrameError::Io(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                RemoteError::Timeout { addr }
+            }
+            FrameError::Io(e) => RemoteError::Io {
+                addr,
+                detail: e.to_string(),
+            },
+            FrameError::Closed => RemoteError::Io {
+                addr,
+                detail: "connection closed mid-exchange".to_owned(),
+            },
+            FrameError::Torn { got, wanted } => RemoteError::Io {
+                addr,
+                detail: format!("torn frame ({got} of {wanted} bytes)"),
+            },
+            FrameError::Corrupt { detail } => RemoteError::Corrupt { addr, detail },
+        }
+    }
+
+    fn unexpected(&self, wanted: &str, got: &Response) -> RemoteError {
+        RemoteError::Protocol {
+            addr: self.addr.clone(),
+            detail: format!("expected a {wanted} response, got {got:?}"),
+        }
+    }
+}
+
+/// Per-shard connection lane: the client (None = marked down) plus how
+/// much of the master vocabulary the shard has acknowledged interning.
+struct Lane {
+    client: Option<ShardClient>,
+    synced_labels: usize,
+    synced_attrs: usize,
+}
+
+/// Where a member lives, plus the shards holding a ghost replica
+/// (shard-local ids stay server-side).
+struct NetMember {
+    home: u32,
+    ghosts: Vec<u32>,
+}
+
+/// Work census of one remote fixpoint, folded into [`ReadStats`].
+#[derive(Clone, Copy, Debug, Default)]
+struct NetStats {
+    fixpoints: usize,
+    rounds: usize,
+    states_expanded: usize,
+    exported_states: usize,
+}
+
+/// Result of one remote round on one shard.
+struct RoundOutcome {
+    matched: Vec<proto::WireMatch>,
+    exports: Vec<MaskedExport>,
+    hit: Option<(u16, u32)>,
+    states_expanded: u64,
+}
+
+/// The networked deployment's router (see the module docs).
+pub struct NetworkedSystem {
+    assignment: ShardAssignment,
+    /// Shard endpoints; retargetable so a shard restarted on a new
+    /// ephemeral port can be re-registered ([`NetworkedSystem::retarget`]).
+    addrs: Vec<Mutex<ShardAddr>>,
+    lanes: Vec<Mutex<Lane>>,
+    /// Master vocabulary; every shard interns the same names in the
+    /// same order (`Intern` requests), so `LabelId`/`AttrKey` values
+    /// agree fleet-wide.
+    vocab: Vocabulary,
+    members: Vec<NetMember>,
+    names: Vec<String>,
+    name_lookup: HashMap<String, NodeId>,
+    /// Current attribute tuple per member, kept to materialize ghost
+    /// replicas with the right predicate state.
+    attrs: Vec<Vec<(String, AttrValue)>>,
+    store: PolicyStore,
+    boundary: BoundaryTable,
+    edges: Vec<(NodeId, LabelId, NodeId)>,
+    /// Per-shard committed history `(epoch, ops)` — the revival replay
+    /// source for shards that missed commits.
+    oplog: Vec<Vec<(u64, Vec<ShardOp>)>>,
+    epoch: u64,
+    cache: RwLock<HashMap<(ResourceId, NodeId), Decision>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    eval_counter: AtomicU64,
+    read_timeout: Duration,
+}
+
+impl NetworkedSystem {
+    /// Connects to a fleet of (fresh, epoch-0) shard servers with
+    /// hash placement seeded by `seed`.
+    pub fn connect(addrs: &[ShardAddr], seed: u64) -> Result<NetworkedSystem, RemoteError> {
+        Self::with_assignment(addrs, ShardAssignment::hashed(addrs.len() as u32, seed))
+    }
+
+    /// [`NetworkedSystem::connect`] with an explicit placement
+    /// function (must agree with the fleet size).
+    pub fn with_assignment(
+        addrs: &[ShardAddr],
+        assignment: ShardAssignment,
+    ) -> Result<NetworkedSystem, RemoteError> {
+        assert_eq!(
+            addrs.len(),
+            assignment.shards() as usize,
+            "one endpoint per shard of the placement"
+        );
+        let n = addrs.len();
+        let sys = NetworkedSystem {
+            assignment,
+            addrs: addrs.iter().cloned().map(Mutex::new).collect(),
+            lanes: (0..n)
+                .map(|_| {
+                    Mutex::new(Lane {
+                        client: None,
+                        synced_labels: 0,
+                        synced_attrs: 0,
+                    })
+                })
+                .collect(),
+            vocab: Vocabulary::new(),
+            members: Vec::new(),
+            names: Vec::new(),
+            name_lookup: HashMap::new(),
+            attrs: Vec::new(),
+            store: PolicyStore::new(),
+            boundary: BoundaryTable::new(n as u32),
+            edges: Vec::new(),
+            oplog: vec![Vec::new(); n],
+            epoch: 0,
+            cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            eval_counter: AtomicU64::new(1),
+            read_timeout: DEFAULT_READ_TIMEOUT,
+        };
+        for shard in 0..n {
+            sys.revive(shard)?;
+        }
+        Ok(sys)
+    }
+
+    /// Ingests an existing graph + policy store: same member ids
+    /// (insertion order), same label/attr ids, same edge order — the
+    /// conformance suites build networked twins of in-process systems
+    /// with this.
+    pub fn from_graph(
+        addrs: &[ShardAddr],
+        assignment: ShardAssignment,
+        g: &SocialGraph,
+        store: PolicyStore,
+    ) -> Result<NetworkedSystem, RemoteError> {
+        let mut sys = Self::with_assignment(addrs, assignment)?;
+        for (_, name) in g.vocab().labels() {
+            sys.vocab.intern_label(name);
+        }
+        for i in 0..g.vocab().num_attrs() {
+            sys.vocab.intern_attr(
+                g.vocab()
+                    .attr_name(socialreach_graph::AttrKey::from_index(i)),
+            );
+        }
+        for v in g.nodes() {
+            let global = sys.try_add_user(g.node_name(v))?;
+            debug_assert_eq!(global, v, "ingestion preserves member ids");
+            for (k, val) in g.node_attrs(v).iter() {
+                sys.try_set_user_attr(global, g.vocab().attr_name(k), val.clone())?;
+            }
+        }
+        for (_, rec) in g.edges() {
+            sys.try_connect(rec.src, g.vocab().label_name(rec.label), rec.dst)?;
+        }
+        sys.store = store;
+        Ok(sys)
+    }
+
+    /// Sets the per-exchange read timeout on future connections (tests
+    /// shrink it to exercise the stall path). Existing connections are
+    /// dropped so the new patience applies immediately.
+    pub fn set_read_timeout(&mut self, timeout: Duration) {
+        self.read_timeout = timeout;
+        for lane in &self.lanes {
+            lane.lock().client = None;
+        }
+    }
+
+    /// Re-registers a shard's endpoint (a restarted server usually
+    /// lands on a new ephemeral port) and drops the old connection;
+    /// the next exchange re-dials and replays the op log.
+    pub fn retarget(&self, shard: usize, addr: ShardAddr) {
+        *self.addrs[shard].lock() = addr;
+        self.lanes[shard].lock().client = None;
+    }
+
+    /// The placement function.
+    pub fn assignment(&self) -> &ShardAssignment {
+        &self.assignment
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The fleet's current epoch (every committed mutation batch
+    /// advanced it by one).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Master vocabulary (labels + attribute keys).
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Read-only view of the policy store.
+    pub fn store(&self) -> &PolicyStore {
+        &self.store
+    }
+
+    /// Adopts a policy store built against the same member ids.
+    pub fn adopt_store(&mut self, store: PolicyStore) {
+        self.cache.get_mut().clear();
+        self.store = store;
+    }
+
+    /// Display name of a member.
+    pub fn member_name(&self, member: NodeId) -> &str {
+        &self.names[member.index()]
+    }
+
+    /// The home shard of a member.
+    pub fn member_shard(&self, member: NodeId) -> u32 {
+        self.members[member.index()].home
+    }
+
+    /// Looks a member up by name (first registered wins).
+    pub fn user(&self, name: &str) -> Result<NodeId, EvalError> {
+        self.name_lookup
+            .get(name)
+            .copied()
+            .ok_or_else(|| socialreach_graph::GraphError::UnknownName(name.to_owned()).into())
+    }
+
+    /// Live size census of every shard (`(members, ghosts, edges,
+    /// epoch)` per shard), fetched over the wire.
+    pub fn shard_census(&self) -> Result<Vec<(u64, u64, u64, u64)>, RemoteError> {
+        (0..self.lanes.len())
+            .map(|shard| match self.call_reviving(shard, &Request::Census)? {
+                Response::Census {
+                    members,
+                    ghosts,
+                    edges,
+                    epoch,
+                } => Ok((members, ghosts, edges, epoch)),
+                other => Err(self.unexpected(shard, "Census", &other)),
+            })
+            .collect()
+    }
+
+    /// Asks every shard process to shut down (best-effort; used by the
+    /// CLI drill for a clean fleet teardown).
+    pub fn shutdown_fleet(&self) {
+        for shard in 0..self.lanes.len() {
+            let _ = self.call_shard(shard, &Request::Shutdown);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Connection management
+    // ------------------------------------------------------------------
+
+    /// One exchange with a shard. A transport failure marks the lane
+    /// down (the connection cannot be trusted mid-stream); a typed
+    /// refusal keeps it (the stream is still framed correctly).
+    fn call_shard(&self, shard: usize, req: &Request) -> Result<Response, RemoteError> {
+        let mut lane = self.lanes[shard].lock();
+        let Some(client) = lane.client.as_mut() else {
+            return Err(RemoteError::ShardDown {
+                shard: shard as u32,
+            });
+        };
+        match client.call(req) {
+            Ok(Response::Refused(refusal)) => Err(RemoteError::Refused {
+                addr: client.addr.clone(),
+                refusal,
+            }),
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                lane.client = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// [`NetworkedSystem::call_shard`] with one revive-and-retry on a
+    /// retryable failure. Only safe for requests that are idempotent
+    /// across a shard restart (`Intern`, `Prepare`, `Commit`, `Abort`,
+    /// `Census`, `Shutdown`) — evaluation requests retry at the
+    /// whole-read level instead, with fresh evaluation ids.
+    fn call_reviving(&self, shard: usize, req: &Request) -> Result<Response, RemoteError> {
+        match self.call_shard(shard, req) {
+            Err(e) if e.retryable() => {
+                self.revive(shard)?;
+                self.call_shard(shard, req)
+            }
+            other => other,
+        }
+    }
+
+    /// (Re-)dials a shard, interns the full vocabulary, and replays
+    /// any committed epochs the shard missed (a restarted process
+    /// reports epoch 0 and receives the whole op log as one jumped
+    /// prepare+commit).
+    fn revive(&self, shard: usize) -> Result<(), RemoteError> {
+        let addr = self.addrs[shard].lock().clone();
+        let mut lane = self.lanes[shard].lock();
+        let (mut client, shard_epoch) = ShardClient::connect(&addr, self.read_timeout)?;
+        if shard_epoch > self.epoch {
+            return Err(RemoteError::Protocol {
+                addr: client.addr,
+                detail: format!(
+                    "shard is at epoch {shard_epoch}, ahead of the router's {} — refusing to \
+                     adopt a fleet this router did not populate",
+                    self.epoch
+                ),
+            });
+        }
+        let labels: Vec<String> = (0..self.vocab.num_labels())
+            .map(|i| self.vocab.label_name(LabelId::from_index(i)).to_owned())
+            .collect();
+        let attrs: Vec<String> = (0..self.vocab.num_attrs())
+            .map(|i| {
+                self.vocab
+                    .attr_name(socialreach_graph::AttrKey::from_index(i))
+                    .to_owned()
+            })
+            .collect();
+        let (synced_labels, synced_attrs) = (labels.len(), attrs.len());
+        match client.call(&Request::Intern { labels, attrs })? {
+            Response::Ok => {}
+            Response::Refused(refusal) => {
+                return Err(RemoteError::Refused {
+                    addr: client.addr,
+                    refusal,
+                })
+            }
+            other => return Err(client.unexpected("Ok", &other)),
+        }
+        if shard_epoch < self.epoch {
+            // A presumed-committed epoch may still be staged from
+            // before the crash of the *connection* (server alive, the
+            // commit lost): clear it, then replay everything missed as
+            // one jumped epoch.
+            match client.call(&Request::Abort { epoch: self.epoch })? {
+                Response::Aborted { .. } => {}
+                Response::Refused(refusal) => {
+                    return Err(RemoteError::Refused {
+                        addr: client.addr,
+                        refusal,
+                    })
+                }
+                other => return Err(client.unexpected("Aborted", &other)),
+            }
+            let ops: Vec<ShardOp> = self.oplog[shard]
+                .iter()
+                .filter(|(e, _)| *e > shard_epoch)
+                .flat_map(|(_, ops)| ops.iter().cloned())
+                .collect();
+            match client.call(&Request::Prepare {
+                epoch: self.epoch,
+                ops,
+            })? {
+                Response::Prepared { .. } => {}
+                Response::Refused(refusal) => {
+                    return Err(RemoteError::Refused {
+                        addr: client.addr,
+                        refusal,
+                    })
+                }
+                other => return Err(client.unexpected("Prepared", &other)),
+            }
+            match client.call(&Request::Commit { epoch: self.epoch })? {
+                Response::Committed { .. } => {}
+                Response::Refused(refusal) => {
+                    return Err(RemoteError::Refused {
+                        addr: client.addr,
+                        refusal,
+                    })
+                }
+                other => return Err(client.unexpected("Committed", &other)),
+            }
+        }
+        lane.client = Some(client);
+        lane.synced_labels = synced_labels;
+        lane.synced_attrs = synced_attrs;
+        Ok(())
+    }
+
+    /// Brings every down lane back up, best-effort (the whole-read
+    /// retry path; individual failures surface on the retried calls).
+    fn revive_down_lanes(&self) {
+        for shard in 0..self.lanes.len() {
+            if self.lanes[shard].lock().client.is_none() {
+                let _ = self.revive(shard);
+            }
+        }
+    }
+
+    /// Sends the master-vocabulary suffix a shard has not acknowledged
+    /// yet (no-op when in sync). Reads call this lazily before opening
+    /// an evaluation, so vocabulary grown by `allow`/`parse` (which
+    /// touch no shard) reaches the fleet.
+    fn ensure_vocab(&self, shard: usize) -> Result<(), RemoteError> {
+        let mut lane = self.lanes[shard].lock();
+        let (have_l, have_a) = (lane.synced_labels, lane.synced_attrs);
+        let (want_l, want_a) = (self.vocab.num_labels(), self.vocab.num_attrs());
+        if have_l == want_l && have_a == want_a {
+            return Ok(());
+        }
+        let Some(client) = lane.client.as_mut() else {
+            return Err(RemoteError::ShardDown {
+                shard: shard as u32,
+            });
+        };
+        let labels: Vec<String> = (have_l..want_l)
+            .map(|i| self.vocab.label_name(LabelId::from_index(i)).to_owned())
+            .collect();
+        let attrs: Vec<String> = (have_a..want_a)
+            .map(|i| {
+                self.vocab
+                    .attr_name(socialreach_graph::AttrKey::from_index(i))
+                    .to_owned()
+            })
+            .collect();
+        match client.call(&Request::Intern { labels, attrs }) {
+            Ok(Response::Ok) => {
+                lane.synced_labels = want_l;
+                lane.synced_attrs = want_a;
+                Ok(())
+            }
+            Ok(Response::Refused(refusal)) => Err(RemoteError::Refused {
+                addr: client.addr.clone(),
+                refusal,
+            }),
+            Ok(other) => Err(client.unexpected("Ok", &other)),
+            Err(e) => {
+                lane.client = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn unexpected(&self, shard: usize, wanted: &str, got: &Response) -> RemoteError {
+        RemoteError::Protocol {
+            addr: self.addrs[shard].lock().to_string(),
+            detail: format!("expected a {wanted} response, got {got:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations: the two-phase epoch fence
+    // ------------------------------------------------------------------
+
+    /// Commits one batch of per-shard ops as the next epoch, or rolls
+    /// it back. On `Ok` every shard either applied the epoch or is
+    /// marked down with the epoch in its replay log; on `Err` no shard
+    /// applied it (prepares staged before the failure are aborted) and
+    /// the router's state is untouched.
+    fn commit_ops(&mut self, per_shard: Vec<Vec<ShardOp>>) -> Result<(), RemoteError> {
+        debug_assert_eq!(per_shard.len(), self.lanes.len());
+        let epoch = self.epoch + 1;
+        // Vocabulary first: prepare validation refuses ops naming
+        // labels/attrs the shard has not interned.
+        for shard in 0..self.lanes.len() {
+            if let Err(e) = self.ensure_vocab(shard) {
+                if !e.retryable() {
+                    return Err(e);
+                }
+                self.revive(shard)?;
+                self.ensure_vocab(shard)?;
+            }
+        }
+        // Phase one: stage everywhere (every shard participates, even
+        // with no ops — the epoch fence requires the whole fleet to
+        // advance together).
+        let mut prepared: Vec<usize> = Vec::new();
+        for (shard, ops) in per_shard.iter().enumerate() {
+            let req = Request::Prepare {
+                epoch,
+                ops: ops.clone(),
+            };
+            match self.call_reviving(shard, &req) {
+                Ok(Response::Prepared { .. }) => prepared.push(shard),
+                Ok(other) => {
+                    let err = self.unexpected(shard, "Prepared", &other);
+                    self.abort_prepared(&prepared, epoch);
+                    return Err(err);
+                }
+                Err(e) => {
+                    self.abort_prepared(&prepared, epoch);
+                    return Err(e);
+                }
+            }
+        }
+        // Point of no return: every shard holds the staged epoch, so
+        // it is presumed committed — record it for replay *before*
+        // sending commits, then advance.
+        for (shard, ops) in per_shard.into_iter().enumerate() {
+            self.oplog[shard].push((epoch, ops));
+        }
+        self.epoch = epoch;
+        // Phase two: publish. A shard whose commit is lost is marked
+        // down by `call_shard` and healed by the op-log replay on its
+        // next revival — it can never serve the old epoch to a read,
+        // because `BeginEval` carries the new epoch.
+        for shard in 0..self.lanes.len() {
+            match self.call_reviving(shard, &Request::Commit { epoch }) {
+                Ok(Response::Committed { .. }) | Err(_) => {}
+                Ok(other) => {
+                    // Treat as a lost commit: drop the lane, heal later.
+                    let _ = self.unexpected(shard, "Committed", &other);
+                    self.lanes[shard].lock().client = None;
+                }
+            }
+        }
+        self.cache.get_mut().clear();
+        Ok(())
+    }
+
+    fn abort_prepared(&self, prepared: &[usize], epoch: u64) {
+        for &shard in prepared {
+            let _ = self.call_shard(shard, &Request::Abort { epoch });
+        }
+    }
+
+    /// Registers a member on their hash-assigned home shard.
+    pub fn try_add_user(&mut self, name: &str) -> Result<NodeId, RemoteError> {
+        let global = NodeId::from_index(self.members.len());
+        let home = self.assignment.shard_of(name);
+        let mut per_shard = vec![Vec::new(); self.lanes.len()];
+        per_shard[home as usize].push(ShardOp::AddNode {
+            global: global.0,
+            name: name.to_owned(),
+            ghost: false,
+        });
+        self.commit_ops(per_shard)?;
+        self.members.push(NetMember {
+            home,
+            ghosts: Vec::new(),
+        });
+        self.names.push(name.to_owned());
+        self.name_lookup.entry(name.to_owned()).or_insert(global);
+        self.attrs.push(Vec::new());
+        Ok(global)
+    }
+
+    /// Sets a member attribute on the home copy and every ghost
+    /// replica (predicates must evaluate identically on any shard the
+    /// member appears on).
+    pub fn try_set_user_attr(
+        &mut self,
+        member: NodeId,
+        key: &str,
+        value: AttrValue,
+    ) -> Result<(), RemoteError> {
+        self.vocab.intern_attr(key);
+        let mut per_shard = vec![Vec::new(); self.lanes.len()];
+        let entry = &self.members[member.index()];
+        let op = ShardOp::SetAttr {
+            global: member.0,
+            key: key.to_owned(),
+            value: value.clone(),
+        };
+        per_shard[entry.home as usize].push(op.clone());
+        for &shard in &entry.ghosts {
+            per_shard[shard as usize].push(op.clone());
+        }
+        self.commit_ops(per_shard)?;
+        let tuple = &mut self.attrs[member.index()];
+        match tuple.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value,
+            None => tuple.push((key.to_owned(), value)),
+        }
+        Ok(())
+    }
+
+    /// Adds a directed relationship. Intra-shard edges land on the
+    /// home shard; cross-shard edges are replicated into both endpoint
+    /// shards against ghost replicas (materialized in the same epoch)
+    /// and recorded in the boundary table.
+    pub fn try_connect(
+        &mut self,
+        src: NodeId,
+        label: &str,
+        dst: NodeId,
+    ) -> Result<(), RemoteError> {
+        let l = self.vocab.intern_label(label);
+        let s_home = self.members[src.index()].home;
+        let d_home = self.members[dst.index()].home;
+        let mut per_shard = vec![Vec::new(); self.lanes.len()];
+        let edge = |shard_ops: &mut Vec<ShardOp>| {
+            shard_ops.push(ShardOp::AddEdge {
+                src: src.0,
+                label: label.to_owned(),
+                dst: dst.0,
+            });
+        };
+        let mut new_ghosts: Vec<(NodeId, u32)> = Vec::new();
+        if s_home == d_home {
+            edge(&mut per_shard[s_home as usize]);
+        } else {
+            for (member, shard) in [(dst, s_home), (src, d_home)] {
+                if !self.members[member.index()].ghosts.contains(&shard) {
+                    let ops = &mut per_shard[shard as usize];
+                    ops.push(ShardOp::AddNode {
+                        global: member.0,
+                        name: self.names[member.index()].clone(),
+                        ghost: true,
+                    });
+                    for (key, value) in &self.attrs[member.index()] {
+                        ops.push(ShardOp::SetAttr {
+                            global: member.0,
+                            key: key.clone(),
+                            value: value.clone(),
+                        });
+                    }
+                    new_ghosts.push((member, shard));
+                }
+            }
+            edge(&mut per_shard[s_home as usize]);
+            edge(&mut per_shard[d_home as usize]);
+        }
+        self.commit_ops(per_shard)?;
+        for (member, shard) in new_ghosts {
+            self.members[member.index()].ghosts.push(shard);
+        }
+        if s_home != d_home {
+            self.boundary.record(BoundaryEdge {
+                src: src.0,
+                dst: dst.0,
+                label: l,
+                src_shard: s_home,
+                dst_shard: d_home,
+            });
+        }
+        self.edges.push((src, l, dst));
+        Ok(())
+    }
+
+    /// Registers a resource owned by `owner` (router-local: policy
+    /// lives at the router, only topology is sharded).
+    pub fn share(&mut self, owner: NodeId) -> ResourceId {
+        self.cache.get_mut().clear();
+        self.store.register_resource(owner)
+    }
+
+    /// Attaches a single-condition rule parsed from `path_text`.
+    pub fn allow(&mut self, rid: ResourceId, path_text: &str) -> Result<(), EvalError> {
+        self.cache.get_mut().clear();
+        let owner = self.store.owner_of(rid)?;
+        let path = parse_path(path_text, &mut self.vocab)?;
+        self.store.add_rule(crate::policy::AccessRule {
+            resource: rid,
+            conditions: vec![crate::policy::AccessCondition { owner, path }],
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Reads: the remote masked fixpoint
+    // ------------------------------------------------------------------
+
+    /// Runs a read closure with one whole-read retry: on a retryable
+    /// transport failure every down shard is revived (op-log replay
+    /// included) and the closure re-runs with fresh evaluation ids.
+    /// Non-retryable failures (corrupt frames, protocol violations,
+    /// semantic refusals) surface immediately — never a wrong answer.
+    fn with_read_retry<T>(&self, f: impl Fn() -> Result<T, RemoteError>) -> Result<T, EvalError> {
+        match f() {
+            Ok(v) => Ok(v),
+            Err(e) if e.retryable() => {
+                self.revive_down_lanes();
+                f().map_err(EvalError::Remote)
+            }
+            Err(e) => Err(EvalError::Remote(e)),
+        }
+    }
+
+    /// Opens the evaluation on a shard if this is its first activation,
+    /// then delivers the seeds in [`MAX_ROUND_EXPORTS`]-sized
+    /// sub-batches (at most one frame in flight per shard). Returns
+    /// the merged outcome; an early-exit hit stops further delivery.
+    #[allow(clippy::too_many_arguments)]
+    fn shard_round(
+        &self,
+        shard: usize,
+        eval: u64,
+        begun: &mut bool,
+        seeds: &[MaskedExport],
+        path_text: &str,
+        word: u32,
+        parents: bool,
+        stop: Option<u32>,
+    ) -> Result<RoundOutcome, RemoteError> {
+        if !*begun {
+            self.ensure_vocab(shard)?;
+            let req = Request::BeginEval {
+                eval,
+                epoch: self.epoch,
+                path: path_text.to_owned(),
+                word,
+                parents,
+            };
+            match self.call_shard(shard, &req)? {
+                Response::EvalOpen { .. } => *begun = true,
+                other => return Err(self.unexpected(shard, "EvalOpen", &other)),
+            }
+        }
+        let mut out = RoundOutcome {
+            matched: Vec::new(),
+            exports: Vec::new(),
+            hit: None,
+            states_expanded: 0,
+        };
+        for chunk in seeds.chunks(MAX_ROUND_EXPORTS) {
+            let req = Request::Round {
+                eval,
+                seeds: chunk.to_vec(),
+                stop,
+            };
+            match self.call_shard(shard, &req)? {
+                Response::Round {
+                    matched,
+                    exports,
+                    hit,
+                    states_expanded,
+                } => {
+                    out.matched.extend(matched);
+                    out.exports.extend(exports);
+                    out.states_expanded += states_expanded;
+                    if hit.is_some() {
+                        out.hit = hit;
+                        break;
+                    }
+                }
+                other => return Err(self.unexpected(shard, "Round", &other)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// One fixpoint round across the active shards — on parallel
+    /// scoped threads when several shards are active and the host has
+    /// real cores (each thread owns its shard's lane lock), inline
+    /// otherwise. Mirrors the in-process driver's fan-out policy.
+    #[allow(clippy::too_many_arguments)]
+    fn run_remote_round(
+        &self,
+        round: &[(usize, Vec<MaskedExport>)],
+        begun: &mut [bool],
+        eval: u64,
+        path_text: &str,
+        word: u32,
+        parents: bool,
+        stop: Option<(usize, u32)>,
+    ) -> Result<Vec<RoundOutcome>, RemoteError> {
+        let eval_one = |shard: usize, seeds: &[MaskedExport], begun: &mut bool| {
+            self.shard_round(
+                shard,
+                eval,
+                begun,
+                seeds,
+                path_text,
+                word,
+                parents,
+                stop.filter(|&(s, _)| s == shard).map(|(_, m)| m),
+            )
+        };
+        static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let cores = *CORES.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        if round.len() == 1 || cores == 1 {
+            let mut outs = Vec::with_capacity(round.len());
+            for (shard, seeds) in round {
+                outs.push(eval_one(*shard, seeds, &mut begun[*shard])?);
+            }
+            return Ok(outs);
+        }
+        // Disjoint &mut begun[shard] borrows for the scoped threads.
+        let mut slots: Vec<(usize, &Vec<MaskedExport>, &mut bool)> =
+            Vec::with_capacity(round.len());
+        let mut it = begun.iter_mut().enumerate();
+        for (shard, seeds) in round {
+            let flag = loop {
+                let (i, b) = it.next().expect("round is in ascending shard order");
+                if i == *shard {
+                    break b;
+                }
+            };
+            slots.push((*shard, seeds, flag));
+        }
+        std::thread::scope(|scope| {
+            let eval_one = &eval_one;
+            let handles: Vec<_> = slots
+                .into_iter()
+                .map(|(shard, seeds, flag)| scope.spawn(move || eval_one(shard, seeds, flag)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard round panicked"))
+                .collect()
+        })
+    }
+
+    /// Closes an evaluation on every shard it was opened on
+    /// (best-effort: a dead shard's sessions died with it).
+    fn end_eval(&self, eval: u64, begun: &[bool]) {
+        for (shard, b) in begun.iter().enumerate() {
+            if *b {
+                let _ = self.call_shard(shard, &Request::EndEval { eval });
+            }
+        }
+    }
+
+    /// The batched bundle fixpoint over the wire — the exact algorithm
+    /// of [`crate::sharded::ShardedSystem::evaluate_conditions_batched`]
+    /// with `Round` exchanges in place of in-process seeded runs:
+    /// conditions group by path, each group's owners traverse as
+    /// condition bits (64 per word chunk), the router forwards only
+    /// **new** bits between shards ([`MaskedExportSet`]), and merging
+    /// happens in shard order for determinism.
+    fn evaluate_conditions_batched(
+        &self,
+        conds: &[(NodeId, &PathExpr)],
+    ) -> Result<(Vec<Vec<NodeId>>, NetStats), RemoteError> {
+        let n = self.lanes.len();
+        let mut stats = NetStats::default();
+        let mut audiences: Vec<Vec<NodeId>> = vec![Vec::new(); conds.len()];
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, &(_, path)) in conds.iter().enumerate() {
+            match groups.iter_mut().find(|(rep, _)| conds[*rep].1 == path) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((i, vec![i])),
+            }
+        }
+        for (rep, members) in groups {
+            let path = conds[rep].1;
+            if path.is_empty() {
+                for &ci in &members {
+                    audiences[ci] = vec![conds[ci].0];
+                }
+                continue;
+            }
+            let path_text = path.to_text(&self.vocab);
+            let mut imported = MaskedExportSet::new();
+            for (word, chunk) in members.chunks(64).enumerate() {
+                let word = word as u32;
+                stats.fixpoints += 1;
+                let eval = self.eval_counter.fetch_add(1, Ordering::Relaxed);
+                let mut begun = vec![false; n];
+                let mut pending: Vec<Vec<MaskedExport>> = vec![Vec::new(); n];
+                for (bit, &ci) in chunk.iter().enumerate() {
+                    let owner = conds[ci].0;
+                    let key = MaskedStateKey {
+                        member: owner.0,
+                        step: 0,
+                        depth: 0,
+                        word,
+                    };
+                    imported.insert(key, 1 << bit);
+                    pending[self.members[owner.index()].home as usize].push(MaskedExport {
+                        key,
+                        mask: 1 << bit,
+                    });
+                }
+                let result = (|| loop {
+                    let round: Vec<(usize, Vec<MaskedExport>)> = pending
+                        .iter_mut()
+                        .enumerate()
+                        .filter(|(_, seeds)| !seeds.is_empty())
+                        .map(|(i, seeds)| (i, std::mem::take(seeds)))
+                        .collect();
+                    if round.is_empty() {
+                        return Ok(());
+                    }
+                    stats.rounds += 1;
+                    let outs = self.run_remote_round(
+                        &round, &mut begun, eval, &path_text, word, false, None,
+                    )?;
+                    for ((_, _), out) in round.iter().zip(outs) {
+                        for m in &out.matched {
+                            let mut b = m.mask;
+                            while b != 0 {
+                                let bit = b.trailing_zeros() as usize;
+                                b &= b - 1;
+                                audiences[chunk[bit]].push(NodeId(m.member));
+                            }
+                        }
+                        for exp in &out.exports {
+                            let new = imported.insert(exp.key, exp.mask);
+                            if new != 0 {
+                                stats.exported_states += 1;
+                                let home = self.members[exp.key.member as usize].home as usize;
+                                pending[home].push(MaskedExport {
+                                    key: exp.key,
+                                    mask: new,
+                                });
+                            }
+                        }
+                        stats.states_expanded += out.states_expanded as usize;
+                    }
+                })();
+                self.end_eval(eval, &begun);
+                result?;
+            }
+        }
+        for audience in &mut audiences {
+            audience.sort_unstable();
+            audience.dedup();
+        }
+        Ok((audiences, stats))
+    }
+
+    /// The targeted single-condition fixpoint over the wire (the
+    /// `check`/`explain` path): a 1-bit bundle with first-arrival
+    /// parent tracking on every shard engine, early exit on the
+    /// requester's home shard, and the witness stitched from remote
+    /// `Trace` segments. Mirrors
+    /// [`crate::sharded::ShardedSystem::evaluate_condition_targeted_with_stats`].
+    fn evaluate_condition_targeted(
+        &self,
+        owner: NodeId,
+        path: &PathExpr,
+        requester: NodeId,
+        want_witness: bool,
+    ) -> Result<(Option<Vec<WalkHop>>, NetStats), RemoteError> {
+        let _ = want_witness; // the stitch is cheap; always produced on a hit
+        let mut stats = NetStats {
+            fixpoints: 1,
+            ..NetStats::default()
+        };
+        if path.is_empty() {
+            return Ok(((requester == owner).then(Vec::new), stats));
+        }
+        let n = self.lanes.len();
+        let path_text = path.to_text(&self.vocab);
+        let eval = self.eval_counter.fetch_add(1, Ordering::Relaxed);
+        let mut begun = vec![false; n];
+        let stop = (self.members[requester.index()].home as usize, requester.0);
+        let mut imported = MaskedExportSet::new();
+        let mut origin: HashMap<StateKey, usize> = HashMap::new();
+        let mut pending: Vec<Vec<MaskedExport>> = vec![Vec::new(); n];
+        let owner_key = MaskedStateKey {
+            member: owner.0,
+            step: 0,
+            depth: 0,
+            word: 0,
+        };
+        imported.insert(owner_key, 1);
+        pending[self.members[owner.index()].home as usize].push(MaskedExport {
+            key: owner_key,
+            mask: 1,
+        });
+        let result = (|| {
+            let mut hit: Option<(usize, u16, u32)> = None;
+            'fixpoint: loop {
+                let round: Vec<(usize, Vec<MaskedExport>)> = pending
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(_, seeds)| !seeds.is_empty())
+                    .map(|(i, seeds)| (i, std::mem::take(seeds)))
+                    .collect();
+                if round.is_empty() {
+                    break;
+                }
+                stats.rounds += 1;
+                let outs = self.run_remote_round(
+                    &round,
+                    &mut begun,
+                    eval,
+                    &path_text,
+                    0,
+                    true,
+                    Some(stop),
+                )?;
+                for ((shard_ix, _), out) in round.iter().zip(outs) {
+                    stats.states_expanded += out.states_expanded as usize;
+                    if let Some((step, depth)) = out.hit {
+                        // The granting chain consists of states seeded
+                        // in earlier rounds, so `origin` already covers
+                        // every hand-off the trace follows.
+                        hit = Some((*shard_ix, step, depth));
+                        break 'fixpoint;
+                    }
+                    for exp in &out.exports {
+                        let new = imported.insert(exp.key, exp.mask);
+                        if new != 0 {
+                            stats.exported_states += 1;
+                            origin.insert((exp.key.member, exp.key.step, exp.key.depth), *shard_ix);
+                            let home = self.members[exp.key.member as usize].home as usize;
+                            pending[home].push(MaskedExport {
+                                key: exp.key,
+                                mask: new,
+                            });
+                        }
+                    }
+                }
+            }
+            match hit {
+                None => Ok(None),
+                Some((shard_ix, step, depth)) => self
+                    .stitch_remote(eval, &origin, owner, shard_ix, requester.0, step, depth)
+                    .map(Some),
+            }
+        })();
+        self.end_eval(eval, &begun);
+        result.map(|witness| (witness, stats))
+    }
+
+    /// Stitches a targeted grant's witness from remote `Trace`
+    /// segments: the hit shard's parent chain ends at a seed the
+    /// router forwarded; `origin` names the exporting shard, where the
+    /// chain continues (the member's copy there is its ghost replica)
+    /// — until the owner seed terminates the walk.
+    #[allow(clippy::too_many_arguments)]
+    fn stitch_remote(
+        &self,
+        eval: u64,
+        origin: &HashMap<StateKey, usize>,
+        owner: NodeId,
+        mut shard_ix: usize,
+        mut member: u32,
+        mut step: u16,
+        mut depth: u32,
+    ) -> Result<Vec<WalkHop>, RemoteError> {
+        let mut segments: Vec<Vec<WalkHop>> = Vec::new();
+        loop {
+            let req = Request::Trace {
+                eval,
+                member,
+                step,
+                depth,
+            };
+            let (hops, seed_member, seed_step, seed_depth) =
+                match self.call_shard(shard_ix, &req)? {
+                    Response::Traced {
+                        hops,
+                        seed_member,
+                        seed_step,
+                        seed_depth,
+                    } => (hops, seed_member, seed_step, seed_depth),
+                    other => return Err(self.unexpected(shard_ix, "Traced", &other)),
+                };
+            segments.push(
+                hops.iter()
+                    .map(|h| WalkHop {
+                        src: NodeId(h.src),
+                        dst: NodeId(h.dst),
+                        label: LabelId(h.label),
+                        forward: h.forward,
+                    })
+                    .collect(),
+            );
+            if seed_member == owner.0 && seed_step == 0 && seed_depth == 0 {
+                break;
+            }
+            shard_ix = *origin
+                .get(&(seed_member, seed_step, seed_depth))
+                .ok_or_else(|| RemoteError::Protocol {
+                    addr: self.addrs[shard_ix].lock().to_string(),
+                    detail: format!(
+                        "trace reached seed (member {seed_member}, step {seed_step}, depth \
+                         {seed_depth}) the router never forwarded"
+                    ),
+                })?;
+            member = seed_member;
+            step = seed_step;
+            depth = seed_depth;
+        }
+        segments.reverse();
+        Ok(segments.concat())
+    }
+
+    /// The per-condition bundle strategy: each deduped condition runs
+    /// its own 1-bit batched fixpoint (fresh eval, fresh engines) —
+    /// the planner's [`BundleStrategy::PerCondition`] arm.
+    fn audience_per_condition(
+        &self,
+        conds: &[(NodeId, &PathExpr)],
+    ) -> Result<(Vec<Vec<NodeId>>, NetStats), RemoteError> {
+        let mut total = NetStats::default();
+        let mut audiences = Vec::with_capacity(conds.len());
+        for &cond in conds {
+            let (mut auds, s) = self.evaluate_conditions_batched(&[cond])?;
+            total.fixpoints += s.fixpoints;
+            total.rounds += s.rounds;
+            total.states_expanded += s.states_expanded;
+            total.exported_states += s.exported_states;
+            audiences.push(auds.pop().expect("one audience per condition"));
+        }
+        Ok((audiences, total))
+    }
+
+    /// Decides a batch by audience membership (the audience-plan arm
+    /// shared with the in-process backends).
+    fn check_batch_via_audiences(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        strategy: BundleStrategy,
+    ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        let mut stats = ReadStats::default();
+        let mut decisions: Vec<Option<Decision>> = vec![None; requests.len()];
+        let mut need: Vec<ResourceId> = Vec::new();
+        let mut needed: HashSet<ResourceId> = HashSet::new();
+        {
+            let cache = self.cache.read();
+            for (i, &(rid, req)) in requests.iter().enumerate() {
+                let owner = self.store.owner_of(rid)?;
+                if req == owner {
+                    decisions[i] = Some(Decision::Grant);
+                } else if let Some(&d) = cache.get(&(rid, req)) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    decisions[i] = Some(d);
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    if needed.insert(rid) {
+                        need.push(rid);
+                    }
+                }
+            }
+        }
+        if !need.is_empty() {
+            let (audiences, s) = AccessService::audience_batch_forced(self, &need, strategy)?;
+            stats.absorb(&s);
+            let by_rid: HashMap<ResourceId, &Vec<NodeId>> =
+                need.iter().copied().zip(audiences.iter()).collect();
+            let mut cache = self.cache.write();
+            for (i, &(rid, req)) in requests.iter().enumerate() {
+                if decisions[i].is_some() {
+                    continue;
+                }
+                let d = if by_rid[&rid].binary_search(&req).is_ok() {
+                    Decision::Grant
+                } else {
+                    Decision::Deny
+                };
+                cache.insert((rid, req), d);
+                decisions[i] = Some(d);
+            }
+        }
+        Ok((
+            decisions
+                .into_iter()
+                .map(|d| d.expect("every request decided"))
+                .collect(),
+            stats,
+        ))
+    }
+}
+
+impl NetStats {
+    fn into_read_stats(self, conditions: usize) -> ReadStats {
+        ReadStats {
+            conditions,
+            traversals: self.fixpoints,
+            rounds: self.rounds,
+            states_expanded: self.states_expanded,
+            exported_states: self.exported_states,
+        }
+    }
+}
+
+impl AccessService for NetworkedSystem {
+    fn describe(&self) -> String {
+        format!("networked(n={})", self.lanes.len())
+    }
+
+    fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    fn num_relationships(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn resolve_user(&self, name: &str) -> Result<NodeId, EvalError> {
+        self.user(name)
+    }
+
+    fn member_name(&self, member: NodeId) -> &str {
+        NetworkedSystem::member_name(self, member)
+    }
+
+    fn label_name(&self, label: LabelId) -> &str {
+        self.vocab.label_name(label)
+    }
+
+    fn check(&self, rid: ResourceId, requester: NodeId) -> Result<Decision, EvalError> {
+        Ok(self.check_with_stats(rid, requester)?.0)
+    }
+
+    fn check_batch(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+    ) -> Result<Vec<Decision>, EvalError> {
+        Ok(self.check_batch_with_stats(requests, threads)?.0)
+    }
+
+    fn audience_batch_with_stats(
+        &self,
+        rids: &[ResourceId],
+    ) -> Result<(Vec<Vec<NodeId>>, ReadStats), EvalError> {
+        let mut stats = ReadStats::default();
+        let audiences = crate::engine::merge_bundle_audiences(&self.store, rids, |uniq| {
+            let (audiences, s) = self.with_read_retry(|| self.evaluate_conditions_batched(uniq))?;
+            stats = s.into_read_stats(uniq.len());
+            Ok(audiences)
+        })?;
+        Ok((audiences, stats))
+    }
+
+    fn explain(
+        &self,
+        rid: ResourceId,
+        requester: NodeId,
+    ) -> Result<Option<Explanation>, EvalError> {
+        Ok(self.explain_with_stats(rid, requester)?.0)
+    }
+
+    fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn check_with_stats(
+        &self,
+        rid: ResourceId,
+        requester: NodeId,
+    ) -> Result<(Decision, ReadStats), EvalError> {
+        let mut stats = ReadStats::default();
+        let owner = self.store.owner_of(rid)?;
+        if requester == owner {
+            return Ok((Decision::Grant, stats));
+        }
+        if let Some(&d) = self.cache.read().get(&(rid, requester)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((d, stats));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut decision = Decision::Deny;
+        'rules: for rule in self.store.rules_for(rid) {
+            if rule.conditions.is_empty() {
+                continue;
+            }
+            for cond in &rule.conditions {
+                let (witness, s) = self.with_read_retry(|| {
+                    self.evaluate_condition_targeted(cond.owner, &cond.path, requester, false)
+                })?;
+                stats.absorb(&s.into_read_stats(1));
+                if witness.is_none() {
+                    continue 'rules;
+                }
+            }
+            decision = Decision::Grant;
+            break;
+        }
+        self.cache.write().insert((rid, requester), decision);
+        Ok((decision, stats))
+    }
+
+    fn check_batch_with_stats(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+    ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        let _ = threads;
+        if requests.len() == 1 {
+            let (rid, req) = requests[0];
+            let (d, s) = self.check_with_stats(rid, req)?;
+            return Ok((vec![d], s));
+        }
+        self.check_batch_via_audiences(requests, BundleStrategy::Batched)
+    }
+
+    fn explain_with_stats(
+        &self,
+        rid: ResourceId,
+        requester: NodeId,
+    ) -> Result<(Option<Explanation>, ReadStats), EvalError> {
+        let mut stats = ReadStats::default();
+        let owner = self.store.owner_of(rid)?;
+        if requester == owner {
+            return Ok((Some(Explanation::Ownership { owner }), stats));
+        }
+        'rules: for rule in self.store.rules_for(rid) {
+            if rule.conditions.is_empty() {
+                continue;
+            }
+            let mut walks = Vec::new();
+            for cond in &rule.conditions {
+                let (witness, s) = self.with_read_retry(|| {
+                    self.evaluate_condition_targeted(cond.owner, &cond.path, requester, true)
+                })?;
+                stats.absorb(&s.into_read_stats(1));
+                let Some(witness) = witness else {
+                    continue 'rules;
+                };
+                walks.push(WitnessWalk {
+                    start: cond.owner,
+                    hops: witness,
+                });
+            }
+            return Ok((Some(Explanation::Rule { walks }), stats));
+        }
+        Ok((None, stats))
+    }
+
+    fn stats_supported(&self) -> bool {
+        true
+    }
+
+    fn audience_batch_forced(
+        &self,
+        rids: &[ResourceId],
+        strategy: BundleStrategy,
+    ) -> Result<(Vec<Vec<NodeId>>, ReadStats), EvalError> {
+        match strategy {
+            BundleStrategy::Batched => AccessService::audience_batch_with_stats(self, rids),
+            BundleStrategy::PerCondition => {
+                let mut stats = ReadStats::default();
+                let audiences = crate::engine::merge_bundle_audiences(&self.store, rids, |uniq| {
+                    let (audiences, s) =
+                        self.with_read_retry(|| self.audience_per_condition(uniq))?;
+                    stats = s.into_read_stats(uniq.len());
+                    Ok(audiences)
+                })?;
+                Ok((audiences, stats))
+            }
+        }
+    }
+
+    fn check_batch_forced(
+        &self,
+        requests: &[(ResourceId, NodeId)],
+        threads: usize,
+        plan: CheckPlan,
+    ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
+        let _ = threads;
+        match plan {
+            CheckPlan::Targeted => {
+                let mut stats = ReadStats::default();
+                let mut decisions = Vec::with_capacity(requests.len());
+                for &(rid, req) in requests {
+                    let (d, s) = self.check_with_stats(rid, req)?;
+                    stats.absorb(&s);
+                    decisions.push(d);
+                }
+                Ok((decisions, stats))
+            }
+            CheckPlan::Audience(strategy) => self.check_batch_via_audiences(requests, strategy),
+        }
+    }
+}
+
+impl MutateService for NetworkedSystem {
+    /// The trait's infallible write surface is **fail-stop** over the
+    /// wire: a mutation the fleet cannot atomically commit panics
+    /// (after rolling the epoch back everywhere reachable). Callers
+    /// that want typed transport errors use the `try_*` inherent
+    /// methods directly.
+    fn add_user(&mut self, name: &str) -> NodeId {
+        self.try_add_user(name)
+            .expect("networked add_user failed (use try_add_user for typed errors)")
+    }
+
+    fn set_user_attr(&mut self, user: NodeId, key: &str, value: AttrValue) {
+        self.try_set_user_attr(user, key, value)
+            .expect("networked set_user_attr failed (use try_set_user_attr for typed errors)")
+    }
+
+    fn add_relationship(&mut self, src: NodeId, label: &str, dst: NodeId) {
+        self.try_connect(src, label, dst)
+            .expect("networked add_relationship failed (use try_connect for typed errors)")
+    }
+
+    fn add_resource(&mut self, owner: NodeId) -> ResourceId {
+        self.share(owner)
+    }
+
+    fn add_rule(&mut self, rid: ResourceId, path_text: &str) -> Result<(), EvalError> {
+        self.allow(rid, path_text)
+    }
+}

@@ -1,0 +1,623 @@
+//! The shard server: one process (or thread) owning one partition.
+//!
+//! A server holds a [`SocialGraph`] of home members and ghost replicas
+//! in **shard-local** node ids, a `global → local` translation map,
+//! and a published epoch. It speaks the [`super::proto`] protocol over
+//! the CRC frames of [`super::frame`]: one blocking acceptor thread
+//! plus one worker thread per connection (no async runtime — the
+//! acceptor polls non-blocking so a shutdown flag is honored, workers
+//! poll for each frame's first byte with a short timeout for the same
+//! reason).
+//!
+//! State changes only through the epoch fence: `Prepare` validates and
+//! stages a batch of [`ShardOp`]s, `Commit` applies them atomically
+//! under the core lock and publishes the new epoch (also invalidating
+//! every open evaluation session — their engines were built over the
+//! old topology). Evaluation sessions pin a CSR snapshot and a
+//! round-persistent [`SeededBatchState`], so the rounds of one
+//! cross-shard fixpoint reuse visited state exactly like the
+//! in-process sharded backend.
+
+use super::frame;
+use super::proto::{
+    self, Request, Response, ShardOp, WireHop, WireMatch, WireRefusal, PROTOCOL_VERSION,
+};
+use super::{Conn, Listener, ShardAddr};
+use crate::online::{self, MaskedSeedState, SeededBatchState};
+use crate::path::{parse_path, PathExpr};
+use parking_lot::Mutex;
+use socialreach_graph::csr::CsrSnapshot;
+use socialreach_graph::shard::{MaskedExport, MaskedStateKey};
+use socialreach_graph::{NodeId, SocialGraph};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Read};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often idle workers / the acceptor check the stop flag.
+const POLL: Duration = Duration::from_millis(50);
+/// Patience for the rest of a frame once its first byte arrived — a
+/// client torn mid-frame releases the worker instead of pinning it.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One open masked-fixpoint evaluation.
+struct EvalSession {
+    engine: SeededBatchState,
+    snap: Arc<CsrSnapshot>,
+    path: PathExpr,
+    word: u32,
+}
+
+/// The shard's mutable state, shared by every connection worker.
+struct ShardCore {
+    graph: SocialGraph,
+    /// Local node index → global member id.
+    globals: Vec<NodeId>,
+    /// Local node index → is this copy a ghost replica (the seeded
+    /// BFS's export watch set; ghosts are never reported as matches).
+    ghost: Vec<bool>,
+    /// Global member id → local node id.
+    local_of: HashMap<u32, NodeId>,
+    /// Published epoch (0 = fresh process; the router replays its op
+    /// log to catch a revived shard up).
+    epoch: u64,
+    staged: Option<(u64, Vec<ShardOp>)>,
+    snap: Option<Arc<CsrSnapshot>>,
+    evals: HashMap<u64, EvalSession>,
+}
+
+impl ShardCore {
+    fn new() -> Self {
+        ShardCore {
+            graph: SocialGraph::new(),
+            globals: Vec::new(),
+            ghost: Vec::new(),
+            local_of: HashMap::new(),
+            epoch: 0,
+            staged: None,
+            snap: None,
+            evals: HashMap::new(),
+        }
+    }
+
+    /// The published snapshot for the current topology, patching or
+    /// rebuilding if a commit staled it.
+    fn snapshot(&mut self) -> Arc<CsrSnapshot> {
+        if let Some(s) = &self.snap {
+            if s.matches(&self.graph) {
+                return Arc::clone(s);
+            }
+        }
+        let next = self
+            .snap
+            .as_ref()
+            .and_then(|prev| prev.apply_edge_appends(&self.graph))
+            .unwrap_or_else(|| CsrSnapshot::build(&self.graph));
+        let arc = Arc::new(next);
+        self.snap = Some(Arc::clone(&arc));
+        arc
+    }
+
+    /// Checks a prepare batch without applying it: every referenced
+    /// member must exist (or be added earlier in the batch), no member
+    /// may be materialized twice, and every label/attr name must
+    /// already be interned (the router `Intern`s in master-vocabulary
+    /// order first, so interned ids agree fleet-wide).
+    fn validate(&self, ops: &[ShardOp]) -> Result<(), WireRefusal> {
+        let mut pending: HashSet<u32> = HashSet::new();
+        let known =
+            |m: &u32, pending: &HashSet<u32>| self.local_of.contains_key(m) || pending.contains(m);
+        for op in ops {
+            match op {
+                ShardOp::AddNode { global, .. } => {
+                    if self.local_of.contains_key(global) || !pending.insert(*global) {
+                        return Err(WireRefusal::BadRequest {
+                            detail: format!("member {global} already has a copy on this shard"),
+                        });
+                    }
+                }
+                ShardOp::SetAttr { global, key, .. } => {
+                    if !known(global, &pending) {
+                        return Err(WireRefusal::UnknownMember { member: *global });
+                    }
+                    if self.graph.vocab().attr(key).is_none() {
+                        return Err(WireRefusal::BadRequest {
+                            detail: format!("attr key {key:?} not interned (Intern first)"),
+                        });
+                    }
+                }
+                ShardOp::AddEdge { src, label, dst } => {
+                    for m in [src, dst] {
+                        if !known(m, &pending) {
+                            return Err(WireRefusal::UnknownMember { member: *m });
+                        }
+                    }
+                    if self.graph.vocab().label(label).is_none() {
+                        return Err(WireRefusal::BadRequest {
+                            detail: format!("label {label:?} not interned (Intern first)"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a validated batch (commit path).
+    fn apply(&mut self, ops: Vec<ShardOp>) {
+        for op in ops {
+            match op {
+                ShardOp::AddNode {
+                    global,
+                    name,
+                    ghost,
+                } => {
+                    let local = self.graph.add_node(&name);
+                    self.globals.push(NodeId(global));
+                    self.ghost.push(ghost);
+                    self.local_of.insert(global, local);
+                }
+                ShardOp::SetAttr { global, key, value } => {
+                    let local = self.local_of[&global];
+                    self.graph.set_node_attr(local, &key, value);
+                }
+                ShardOp::AddEdge { src, label, dst } => {
+                    let (ls, ld) = (self.local_of[&src], self.local_of[&dst]);
+                    self.graph.connect(ls, &label, ld);
+                }
+            }
+        }
+    }
+
+    /// Serves one request. Returns the response and whether the server
+    /// should shut down afterwards.
+    fn handle(&mut self, req: Request) -> (Response, bool) {
+        let refuse = |r: WireRefusal| (Response::Refused(r), false);
+        match req {
+            Request::Hello { version } => {
+                if version != PROTOCOL_VERSION {
+                    return refuse(WireRefusal::Version {
+                        shard: PROTOCOL_VERSION,
+                        requested: version,
+                    });
+                }
+                (
+                    Response::Hello {
+                        version: PROTOCOL_VERSION,
+                        epoch: self.epoch,
+                        nodes: self.graph.num_nodes() as u64,
+                    },
+                    false,
+                )
+            }
+            Request::Intern { labels, attrs } => {
+                for name in &labels {
+                    self.graph.intern_label(name);
+                }
+                for name in &attrs {
+                    self.graph.intern_attr(name);
+                }
+                (Response::Ok, false)
+            }
+            Request::Prepare { epoch, ops } => {
+                let replacing = self.staged.as_ref().is_some_and(|(e, _)| *e == epoch);
+                if epoch <= self.epoch {
+                    return refuse(WireRefusal::EpochMismatch {
+                        shard_epoch: self.epoch,
+                        requested: epoch,
+                    });
+                }
+                if !replacing {
+                    if let Some((staged, _)) = &self.staged {
+                        return refuse(WireRefusal::BadRequest {
+                            detail: format!("epoch {staged} is already staged"),
+                        });
+                    }
+                }
+                if let Err(r) = self.validate(&ops) {
+                    return refuse(r);
+                }
+                self.staged = Some((epoch, ops));
+                (Response::Prepared { epoch }, false)
+            }
+            Request::Commit { epoch } => {
+                if epoch == self.epoch {
+                    // Idempotent re-commit (a router retrying after a
+                    // lost acknowledgement).
+                    return (Response::Committed { epoch }, false);
+                }
+                match self.staged.take() {
+                    Some((staged, ops)) if staged == epoch => {
+                        self.apply(ops);
+                        self.epoch = epoch;
+                        // Open sessions were built over the old
+                        // topology; a commit invalidates them so a
+                        // racing read fails typed instead of mixing
+                        // epochs.
+                        self.evals.clear();
+                        (Response::Committed { epoch }, false)
+                    }
+                    other => {
+                        self.staged = other;
+                        refuse(WireRefusal::EpochMismatch {
+                            shard_epoch: self.epoch,
+                            requested: epoch,
+                        })
+                    }
+                }
+            }
+            Request::Abort { epoch } => {
+                if self.staged.as_ref().is_some_and(|(e, _)| *e == epoch) {
+                    self.staged = None;
+                }
+                (Response::Aborted { epoch }, false)
+            }
+            Request::BeginEval {
+                eval,
+                epoch,
+                path,
+                word,
+                parents,
+            } => {
+                if epoch != self.epoch {
+                    return refuse(WireRefusal::EpochMismatch {
+                        shard_epoch: self.epoch,
+                        requested: epoch,
+                    });
+                }
+                // Parse against a throwaway copy of the vocabulary: a
+                // path naming labels/attrs this shard has not interned
+                // means the router skipped `Intern` — refuse rather
+                // than intern out of master order.
+                let mut vocab = self.graph.vocab().clone();
+                let before = (vocab.num_labels(), vocab.num_attrs());
+                let parsed = match parse_path(&path, &mut vocab) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        return refuse(WireRefusal::BadRequest {
+                            detail: format!(
+                                "unparsable path {path:?}: {}",
+                                crate::EvalError::from(e)
+                            ),
+                        })
+                    }
+                };
+                if (vocab.num_labels(), vocab.num_attrs()) != before {
+                    return refuse(WireRefusal::BadRequest {
+                        detail: format!(
+                            "path {path:?} names vocabulary this shard has not interned"
+                        ),
+                    });
+                }
+                if parsed.is_empty() {
+                    return refuse(WireRefusal::BadRequest {
+                        detail: "empty paths are decided router-side".to_owned(),
+                    });
+                }
+                let snap = self.snapshot();
+                let engine = if parents {
+                    SeededBatchState::with_parents(&self.graph, &snap, &parsed)
+                } else {
+                    SeededBatchState::new(&self.graph, &snap, &parsed)
+                };
+                self.evals.insert(
+                    eval,
+                    EvalSession {
+                        engine,
+                        snap,
+                        path: parsed,
+                        word,
+                    },
+                );
+                (Response::EvalOpen { eval }, false)
+            }
+            Request::Round { eval, seeds, stop } => {
+                let Some(sess) = self.evals.get(&eval) else {
+                    return refuse(WireRefusal::UnknownEval { eval });
+                };
+                let word = sess.word;
+                let mut local_seeds: Vec<MaskedSeedState> = Vec::with_capacity(seeds.len());
+                for e in &seeds {
+                    if e.key.word != word {
+                        return refuse(WireRefusal::BadRequest {
+                            detail: format!(
+                                "seed word {} does not match the session's word {word}",
+                                e.key.word
+                            ),
+                        });
+                    }
+                    let Some(&local) = self.local_of.get(&e.key.member) else {
+                        return refuse(WireRefusal::UnknownMember {
+                            member: e.key.member,
+                        });
+                    };
+                    local_seeds.push((local, e.key.step, e.key.depth, e.mask));
+                }
+                let stop_local = match stop {
+                    Some(m) => match self.local_of.get(&m) {
+                        Some(&l) if !self.ghost[l.index()] => Some(l),
+                        Some(_) => {
+                            return refuse(WireRefusal::BadRequest {
+                                detail: format!("stop member {m} is a ghost on this shard"),
+                            })
+                        }
+                        None => return refuse(WireRefusal::UnknownMember { member: m }),
+                    },
+                    None => None,
+                };
+                let ShardCore {
+                    graph,
+                    globals,
+                    ghost,
+                    evals,
+                    ..
+                } = self;
+                let sess = evals.get_mut(&eval).expect("checked above");
+                let out = online::evaluate_audience_batch_seeded_stop(
+                    graph,
+                    &sess.snap,
+                    &sess.path,
+                    &mut sess.engine,
+                    &local_seeds,
+                    ghost,
+                    stop_local,
+                );
+                (
+                    Response::Round {
+                        matched: out
+                            .matched
+                            .iter()
+                            .filter(|(m, _)| !ghost[m.index()])
+                            .map(|&(m, bits)| WireMatch {
+                                member: globals[m.index()].0,
+                                mask: bits,
+                            })
+                            .collect(),
+                        exports: out
+                            .exports
+                            .iter()
+                            .map(|&(m, step, depth, bits)| MaskedExport {
+                                key: MaskedStateKey {
+                                    member: globals[m.index()].0,
+                                    step,
+                                    depth,
+                                    word,
+                                },
+                                mask: bits,
+                            })
+                            .collect(),
+                        hit: out.hit,
+                        states_expanded: out.stats.states_visited as u64,
+                    },
+                    false,
+                )
+            }
+            Request::Trace {
+                eval,
+                member,
+                step,
+                depth,
+            } => {
+                let Some(sess) = self.evals.get(&eval) else {
+                    return refuse(WireRefusal::UnknownEval { eval });
+                };
+                let Some(&local) = self.local_of.get(&member) else {
+                    return refuse(WireRefusal::UnknownMember { member });
+                };
+                match sess.engine.trace(local, step, depth) {
+                    None => refuse(WireRefusal::BadRequest {
+                        detail: format!(
+                            "state (member {member}, step {step}, depth {depth}) has no \
+                             parent-tracked trace on this shard"
+                        ),
+                    }),
+                    Some((hops, (seed_local, seed_step, seed_depth))) => (
+                        Response::Traced {
+                            hops: hops
+                                .iter()
+                                .map(|&(eid, forward)| {
+                                    let rec = self.graph.edge(eid);
+                                    WireHop {
+                                        src: self.globals[rec.src.index()].0,
+                                        dst: self.globals[rec.dst.index()].0,
+                                        label: rec.label.0,
+                                        forward,
+                                    }
+                                })
+                                .collect(),
+                            seed_member: self.globals[seed_local.index()].0,
+                            seed_step,
+                            seed_depth,
+                        },
+                        false,
+                    ),
+                }
+            }
+            Request::EndEval { eval } => {
+                self.evals.remove(&eval);
+                (Response::Ok, false)
+            }
+            Request::Census => (
+                Response::Census {
+                    members: self.ghost.iter().filter(|g| !**g).count() as u64,
+                    ghosts: self.ghost.iter().filter(|g| **g).count() as u64,
+                    edges: self.graph.num_edges() as u64,
+                    epoch: self.epoch,
+                },
+                false,
+            ),
+            Request::Shutdown => (Response::Ok, true),
+        }
+    }
+}
+
+/// A bound, not-yet-serving shard server.
+pub struct ShardServer {
+    listener: Listener,
+    addr: ShardAddr,
+    core: Arc<Mutex<ShardCore>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ShardServer {
+    /// Binds the endpoint (TCP `host:0` picks an ephemeral port; a
+    /// stale UDS socket file is replaced). The server starts empty at
+    /// epoch 0 — the router populates it through the epoch fence.
+    pub fn bind(addr: &ShardAddr) -> io::Result<ShardServer> {
+        let listener = Listener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(ShardServer {
+            listener,
+            addr,
+            core: Arc::new(Mutex::new(ShardCore::new())),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound endpoint (with any ephemeral port resolved).
+    pub fn local_addr(&self) -> &ShardAddr {
+        &self.addr
+    }
+
+    /// Serves until a `Shutdown` request arrives (the
+    /// `serve-shard` CLI verb and drill children block here).
+    pub fn run(self) -> io::Result<()> {
+        self.accept_loop()
+    }
+
+    /// Serves on a background thread — the in-process fleet
+    /// construction tests and benches use. The returned handle kills
+    /// the server on drop.
+    pub fn spawn(self) -> ShardHandle {
+        let addr = self.addr.clone();
+        let stop = Arc::clone(&self.stop);
+        let join = std::thread::spawn(move || {
+            let _ = self.accept_loop();
+        });
+        ShardHandle {
+            addr,
+            stop,
+            join: Some(join),
+        }
+    }
+
+    fn accept_loop(self) -> io::Result<()> {
+        // Non-blocking accept so the stop flag is honored promptly
+        // (std has no way to interrupt a blocking accept).
+        self.listener.set_nonblocking(true)?;
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok(conn) => {
+                    let core = Arc::clone(&self.core);
+                    let stop = Arc::clone(&self.stop);
+                    workers.push(std::thread::spawn(move || serve_conn(conn, core, stop)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    workers.retain(|w| !w.is_finished());
+                    std::thread::sleep(POLL.min(Duration::from_millis(10)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        if let ShardAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+/// A running in-process shard server. Dropping (or [`ShardHandle::kill`])
+/// stops the acceptor and every worker, severing all connections —
+/// the test tier's "kill a shard" lever. All shard state dies with it;
+/// a replacement starts fresh at epoch 0 and is caught up by the
+/// router's op-log replay.
+pub struct ShardHandle {
+    addr: ShardAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle {
+    /// The served endpoint.
+    pub fn addr(&self) -> &ShardAddr {
+        &self.addr
+    }
+
+    /// Stops the server and waits for its threads. Idempotent.
+    pub fn kill(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// One connection worker: poll for a frame's first byte (noticing the
+/// stop flag between requests), read the frame, serve the request
+/// under the core lock, write the response. Any framing failure closes
+/// the connection — the client re-dials.
+fn serve_conn(mut conn: Conn, core: Arc<Mutex<ShardCore>>, stop: Arc<AtomicBool>) {
+    if conn.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut first = [0u8; 1];
+        let first = match conn.read(&mut first) {
+            Ok(0) => return,
+            Ok(_) => first[0],
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(_) => return,
+        };
+        if conn.set_read_timeout(Some(FRAME_TIMEOUT)).is_err() {
+            return;
+        }
+        let payload = match frame::read_frame_resume(&mut conn, first) {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        if conn.set_read_timeout(Some(POLL)).is_err() {
+            return;
+        }
+        let (resp, shutdown) = match proto::decode_request(&payload) {
+            Ok(req) => core.lock().handle(req),
+            Err(e) => (
+                Response::Refused(WireRefusal::BadRequest {
+                    detail: format!("undecodable request: {e}"),
+                }),
+                false,
+            ),
+        };
+        if frame::write_frame(&mut conn, &proto::encode_response(&resp)).is_err() {
+            return;
+        }
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}

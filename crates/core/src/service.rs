@@ -52,6 +52,7 @@
 
 use crate::error::EvalError;
 use crate::policy::{Decision, ResourceId};
+use crate::remote::{NetworkedSystem, ShardAddr};
 use crate::sharded::ShardedSystem;
 use crate::system::{AccessControlSystem, EngineChoice};
 use socialreach_graph::shard::ShardAssignment;
@@ -623,6 +624,23 @@ pub enum Deployment {
     Single(EngineChoice),
     /// Members hash-partitioned across shards under the placement.
     Sharded(ShardAssignment),
+    /// Shards as **processes**: the same hash placement, but each
+    /// shard is a [`crate::remote::ShardServer`] reached over the
+    /// CRC-framed wire protocol. The fleet must already be listening
+    /// on the spec's endpoints when the deployment is built.
+    Networked(NetworkedSpec),
+}
+
+/// Endpoints + placement seed of a networked deployment
+/// ([`Deployment::Networked`]); one endpoint per shard, shard index =
+/// position in `addrs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetworkedSpec {
+    /// One listening endpoint per shard.
+    pub addrs: Vec<ShardAddr>,
+    /// Seed of the hashed placement (must match any in-process twin
+    /// the deployment is compared against).
+    pub seed: u64,
 }
 
 impl Deployment {
@@ -648,11 +666,25 @@ impl Deployment {
         Deployment::Sharded(assignment)
     }
 
+    /// A networked deployment over an already-listening shard fleet
+    /// (placement seed 0). Spawn a local fleet with
+    /// [`crate::remote::spawn_local_fleet`], or point this at
+    /// `socialreach serve-shard` processes.
+    pub fn networked(addrs: Vec<ShardAddr>) -> Self {
+        Self::networked_with(addrs, 0)
+    }
+
+    /// [`Deployment::networked`] with an explicit placement seed.
+    pub fn networked_with(addrs: Vec<ShardAddr>, seed: u64) -> Self {
+        Deployment::Networked(NetworkedSpec { addrs, seed })
+    }
+
     /// Deployment label for logs and benchmark tables.
     pub fn describe(&self) -> String {
         match self {
             Deployment::Single(choice) => format!("single({choice:?})"),
             Deployment::Sharded(a) => format!("sharded(n={})", a.shards()),
+            Deployment::Networked(spec) => format!("networked(n={})", spec.addrs.len()),
         }
     }
 
@@ -665,6 +697,10 @@ impl Deployment {
             Deployment::Sharded(a) => {
                 ServiceInstance::Sharded(ShardedSystem::with_assignment(a.clone()))
             }
+            Deployment::Networked(spec) => ServiceInstance::Networked(
+                NetworkedSystem::connect(&spec.addrs, spec.seed)
+                    .expect("networked deployment: shard fleet unreachable"),
+            ),
         }
     }
 
@@ -689,6 +725,15 @@ impl Deployment {
                 sys.adopt_store(store);
                 ServiceInstance::Sharded(sys)
             }
+            Deployment::Networked(spec) => ServiceInstance::Networked(
+                NetworkedSystem::from_graph(
+                    &spec.addrs,
+                    ShardAssignment::hashed(spec.addrs.len() as u32, spec.seed),
+                    g,
+                    store,
+                )
+                .expect("networked deployment: shard fleet unreachable"),
+            ),
         }
     }
 }
@@ -701,6 +746,8 @@ pub enum ServiceInstance {
     Single(AccessControlSystem),
     /// Hash-partitioned shards ([`ShardedSystem`]).
     Sharded(ShardedSystem),
+    /// Remote shard processes behind a router ([`NetworkedSystem`]).
+    Networked(NetworkedSystem),
 }
 
 impl ServiceInstance {
@@ -709,6 +756,7 @@ impl ServiceInstance {
         match self {
             ServiceInstance::Single(s) => s,
             ServiceInstance::Sharded(s) => s,
+            ServiceInstance::Networked(s) => s,
         }
     }
 
@@ -717,6 +765,7 @@ impl ServiceInstance {
         match self {
             ServiceInstance::Single(s) => s,
             ServiceInstance::Sharded(s) => s,
+            ServiceInstance::Networked(s) => s,
         }
     }
 
@@ -724,15 +773,33 @@ impl ServiceInstance {
     pub fn as_single(&self) -> Option<&AccessControlSystem> {
         match self {
             ServiceInstance::Single(s) => Some(s),
-            ServiceInstance::Sharded(_) => None,
+            _ => None,
         }
     }
 
     /// The wrapped sharded system, if this deployment is one.
     pub fn as_sharded(&self) -> Option<&ShardedSystem> {
         match self {
-            ServiceInstance::Single(_) => None,
             ServiceInstance::Sharded(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The wrapped networked router, if this deployment is one.
+    pub fn as_networked(&self) -> Option<&NetworkedSystem> {
+        match self {
+            ServiceInstance::Networked(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the wrapped networked router (retargeting a
+    /// restarted shard takes `&self`; shrinking the read timeout takes
+    /// `&mut self`).
+    pub fn as_networked_mut(&mut self) -> Option<&mut NetworkedSystem> {
+        match self {
+            ServiceInstance::Networked(s) => Some(s),
+            _ => None,
         }
     }
 }
@@ -758,6 +825,7 @@ impl AccessService for ServiceInstance {
         match self {
             ServiceInstance::Single(s) => s.member_name(member),
             ServiceInstance::Sharded(s) => AccessService::member_name(s, member),
+            ServiceInstance::Networked(s) => AccessService::member_name(s, member),
         }
     }
 
@@ -765,6 +833,7 @@ impl AccessService for ServiceInstance {
         match self {
             ServiceInstance::Single(s) => AccessService::label_name(s, label),
             ServiceInstance::Sharded(s) => AccessService::label_name(s, label),
+            ServiceInstance::Networked(s) => AccessService::label_name(s, label),
         }
     }
 

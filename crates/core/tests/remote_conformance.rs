@@ -1,0 +1,393 @@
+//! Conformance tier for the **networked** deployment: shard servers
+//! behind real sockets must be semantically invisible. The same
+//! trait-level script and the same generic differential harness
+//! (`common::assert_services_agree`) that pin `Deployment::sharded` to
+//! `Deployment::single` here pin `Deployment::networked` — over
+//! loopback TCP *and* Unix domain sockets (test names carry `tcp_` /
+//! `uds_` prefixes so CI can run the legs separately), across fleet
+//! sizes {2, 4}, through mutation streams, and across killing a shard
+//! process mid-stream and restarting it on a fresh endpoint.
+
+mod common;
+
+use proptest::prelude::*;
+use socialreach_core::remote::spawn_local_fleet;
+use socialreach_core::{
+    AccessService, Deployment, EvalError, MutateService, PolicyStore, ServiceInstance, ShardAddr,
+    ShardHandle, ShardServer,
+};
+use socialreach_graph::{NodeId, ShardAssignment, SocialGraph};
+
+const SEED: u64 = 3;
+
+/// Spawns a fleet and returns `(handles, addrs)`; the handles must
+/// stay alive for as long as the deployment is used (dropping one
+/// kills its server).
+fn fleet(n: usize, unix: bool) -> (Vec<ShardHandle>, Vec<ShardAddr>) {
+    let handles = spawn_local_fleet(n, unix).expect("fleet spawns");
+    let addrs = handles.iter().map(|h| h.addr().clone()).collect();
+    (handles, addrs)
+}
+
+/// The scenario script of `service_conformance.rs`, written only
+/// against [`MutateService`]: friendship chain + colleague cluster +
+/// followers + attribute-gated, incoming-direction, disjunctive and
+/// private resources.
+fn apply_script(svc: &mut dyn MutateService) -> Vec<socialreach_core::ResourceId> {
+    let names = [
+        "Ava", "Ben", "Cleo", "Dan", "Edith", "Femi", "Gus", "Hana", "Ivan", "June",
+    ];
+    let m: Vec<NodeId> = names.iter().map(|n| svc.add_user(n)).collect();
+    svc.add_mutual_relationship(m[0], "friend", m[1]);
+    svc.add_mutual_relationship(m[1], "friend", m[2]);
+    svc.add_relationship(m[2], "friend", m[3]);
+    svc.add_mutual_relationship(m[0], "friend", m[4]);
+    svc.add_relationship(m[3], "colleague", m[5]);
+    svc.add_relationship(m[5], "colleague", m[6]);
+    svc.add_mutual_relationship(m[6], "colleague", m[7]);
+    svc.add_relationship(m[8], "follows", m[0]);
+    svc.add_relationship(m[9], "follows", m[8]);
+    for (i, age) in [(0usize, 34i64), (2, 26), (3, 17), (4, 41), (8, 52)] {
+        svc.set_user_attr(m[i], "age", age.into());
+    }
+    let album = svc.add_resource(m[0]);
+    svc.add_rule(album, "friend+[1,2]{age>=18}").unwrap();
+    let feed = svc.add_resource(m[0]);
+    svc.add_rule(feed, "friend+[1..4]").unwrap();
+    svc.add_rule(feed, "follows-[1,2]").unwrap();
+    let memo = svc.add_resource(m[3]);
+    svc.add_rule(memo, "colleague*[1..3]").unwrap();
+    let diary = svc.add_resource(m[4]); // private: no rules
+    let ring = svc.add_resource(m[7]);
+    svc.add_rule(ring, "colleague*[1]/friend+[1]").unwrap();
+    vec![album, feed, memo, diary, ring]
+}
+
+/// Networked(n) over the given transport ≡ the in-process sharded twin
+/// with the identical placement ≡ the single-graph reference, on the
+/// scripted scenario.
+fn networked_matches_twins(n: usize, unix: bool) {
+    let (_handles, addrs) = fleet(n, unix);
+    let mut networked = Deployment::networked_with(addrs, SEED).build();
+    let rids = apply_script(networked.writes());
+
+    let mut single = Deployment::online().build();
+    assert_eq!(apply_script(single.writes()), rids);
+    let mut sharded = Deployment::sharded(n as u32, SEED).build();
+    assert_eq!(apply_script(sharded.writes()), rids);
+
+    assert_eq!(
+        networked.reads().describe(),
+        format!("networked(n={n})"),
+        "the deployment label names the backend"
+    );
+    common::assert_services_agree(single.reads(), networked.reads(), &rids);
+    common::assert_services_agree(sharded.reads(), networked.reads(), &rids);
+}
+
+#[test]
+fn tcp_networked_2_matches_in_process_twins() {
+    networked_matches_twins(2, false);
+}
+
+#[test]
+fn tcp_networked_4_matches_in_process_twins() {
+    networked_matches_twins(4, false);
+}
+
+#[test]
+fn uds_networked_2_matches_in_process_twins() {
+    networked_matches_twins(2, true);
+}
+
+#[test]
+fn uds_networked_4_matches_in_process_twins() {
+    networked_matches_twins(4, true);
+}
+
+/// Interleaved mutation stream: after *every* write the networked
+/// deployment agrees with its in-process twin — each mutation is one
+/// two-phase epoch, so this exercises the fence repeatedly.
+fn mutation_stream_stays_conformant(unix: bool) {
+    let (_handles, addrs) = fleet(3, unix);
+    let mut net = Deployment::networked_with(addrs, SEED).build();
+    let mut twin = Deployment::sharded(3, SEED).build();
+
+    let mut rids = Vec::new();
+    let mut members = Vec::new();
+    for round in 0..12u32 {
+        let name = format!("m{round}");
+        let a = net.writes().add_user(&name);
+        assert_eq!(twin.writes().add_user(&name), a);
+        members.push(a);
+        if round % 3 == 0 {
+            net.writes()
+                .set_user_attr(a, "age", i64::from(20 + round).into());
+            twin.writes()
+                .set_user_attr(a, "age", i64::from(20 + round).into());
+        }
+        if round > 0 {
+            let prev = members[(round as usize) - 1];
+            net.writes().add_relationship(prev, "friend", a);
+            twin.writes().add_relationship(prev, "friend", a);
+        }
+        if round % 4 == 1 {
+            let rid = net.writes().add_resource(members[0]);
+            assert_eq!(twin.writes().add_resource(members[0]), rid);
+            net.writes().add_rule(rid, "friend+[1..3]").unwrap();
+            twin.writes().add_rule(rid, "friend+[1..3]").unwrap();
+            rids.push(rid);
+        }
+        common::assert_services_agree(twin.reads(), net.reads(), &rids);
+    }
+    let net_sys = net.as_networked().expect("networked instance");
+    assert!(
+        net_sys.epoch() > 0,
+        "every committed mutation advanced the epoch"
+    );
+    let census = net_sys.shard_census().expect("fleet is reachable");
+    assert_eq!(census.len(), 3);
+    assert_eq!(
+        census.iter().map(|&(m, _, _, _)| m).sum::<u64>(),
+        12,
+        "every member has exactly one home shard"
+    );
+    for &(_, _, _, epoch) in &census {
+        assert_eq!(epoch, net_sys.epoch(), "no shard lags the fence");
+    }
+}
+
+#[test]
+fn tcp_mutation_stream_stays_conformant() {
+    mutation_stream_stays_conformant(false);
+}
+
+#[test]
+fn uds_mutation_stream_stays_conformant() {
+    mutation_stream_stays_conformant(true);
+}
+
+/// Kill a shard process mid-stream: while it is down every read either
+/// matches the twin or fails with a typed [`EvalError::Remote`] —
+/// never a wrong decision — and after restarting the shard on a
+/// **fresh endpoint** ([`socialreach_core::NetworkedSystem::retarget`]
+/// plus op-log replay) the deployment is fully conformant again,
+/// including for writes committed after the restart.
+fn kill_and_restart_mid_stream(unix: bool) {
+    let (mut handles, addrs) = fleet(3, unix);
+    let mut net = Deployment::networked_with(addrs, SEED).build();
+    let mut twin = Deployment::sharded(3, SEED).build();
+    let rids = apply_script(net.writes());
+    assert_eq!(apply_script(twin.writes()), rids);
+    common::assert_services_agree(twin.reads(), net.reads(), &rids);
+    let epoch_before = net.as_networked().unwrap().epoch();
+
+    // Kill shard 1's server process outright.
+    handles[1].kill();
+
+    // The fleet census cannot complete — and says so, typed.
+    let err = net
+        .as_networked()
+        .unwrap()
+        .shard_census()
+        .expect_err("a killed shard is not silently skipped");
+    assert!(
+        err.retryable(),
+        "a dead server is a retryable transport failure: {err}"
+    );
+
+    // Reads during the outage: correct or typed-Remote, never wrong.
+    // Cached decisions may legitimately still answer; audience reads
+    // always re-evaluate, so at least one of them must hit the hole.
+    let members: Vec<NodeId> = (0..twin.reads().num_members() as u32).map(NodeId).collect();
+    let mut failures = 0usize;
+    for &rid in &rids {
+        match net.reads().audience(rid) {
+            Ok(a) => assert_eq!(a, twin.reads().audience(rid).unwrap()),
+            Err(EvalError::Remote(_)) => failures += 1,
+            Err(other) => panic!("outage must surface as EvalError::Remote, got {other}"),
+        }
+        for &m in &members {
+            match net.reads().check(rid, m) {
+                Ok(d) => assert_eq!(d, twin.reads().check(rid, m).unwrap()),
+                Err(EvalError::Remote(_)) => failures += 1,
+                Err(other) => panic!("outage must surface as EvalError::Remote, got {other}"),
+            }
+        }
+    }
+    assert!(failures > 0, "some evaluation had to touch the dead shard");
+
+    // A mutation cannot commit its epoch while a shard is down; the
+    // fence holds the epoch where it was.
+    let net_sys = net.as_networked_mut().unwrap();
+    let err = net_sys
+        .try_add_user("Zoe")
+        .expect_err("the epoch fence refuses to commit without the whole fleet");
+    assert!(err.retryable(), "{err}");
+    assert_eq!(
+        net_sys.epoch(),
+        epoch_before,
+        "failed commit left the epoch untouched"
+    );
+    assert_eq!(
+        net_sys.num_members(),
+        members.len(),
+        "router metadata rolled back"
+    );
+
+    // Restart the shard on a fresh endpoint (a new ephemeral port /
+    // socket path — restarted processes rarely reclaim the old one)
+    // and re-register it. The next exchange replays the op log.
+    let fresh = if unix {
+        ShardAddr::Unix(std::env::temp_dir().join(format!(
+            "socialreach-restart-{}-{unix}.sock",
+            std::process::id()
+        )))
+    } else {
+        ShardAddr::Tcp("127.0.0.1:0".to_owned())
+    };
+    let server = ShardServer::bind(&fresh).expect("rebind");
+    let revived_addr = server.local_addr().clone();
+    handles[1] = server.spawn();
+    net.as_networked().unwrap().retarget(1, revived_addr);
+
+    // Fully conformant again — and the previously failed mutation now
+    // applies cleanly on both sides.
+    common::assert_services_agree(twin.reads(), net.reads(), &rids);
+    let z_net = net.writes().add_user("Zoe");
+    let z_twin = twin.writes().add_user("Zoe");
+    assert_eq!(z_net, z_twin);
+    net.writes().add_relationship(members[0], "friend", z_net);
+    twin.writes().add_relationship(members[0], "friend", z_twin);
+    common::assert_services_agree(twin.reads(), net.reads(), &rids);
+}
+
+#[test]
+fn tcp_kill_and_restart_mid_stream_preserves_conformance() {
+    kill_and_restart_mid_stream(false);
+}
+
+#[test]
+fn uds_kill_and_restart_mid_stream_preserves_conformance() {
+    kill_and_restart_mid_stream(true);
+}
+
+/// `Deployment::from_graph` parity: ingesting an existing graph +
+/// policy store over the wire preserves ids and semantics.
+#[test]
+fn tcp_from_graph_preserves_ids_and_semantics() {
+    let mut g = SocialGraph::new();
+    for i in 0..12 {
+        g.add_node(&format!("u{i}"));
+    }
+    let friend = g.intern_label("friend");
+    let colleague = g.intern_label("colleague");
+    for i in 0..11u32 {
+        g.add_edge(
+            NodeId(i),
+            NodeId(i + 1),
+            if i % 3 == 0 { colleague } else { friend },
+        );
+    }
+    for i in (0..12u32).step_by(2) {
+        g.set_node_attr(NodeId(i), "age", i64::from(18 + i));
+    }
+    let mut store = PolicyStore::new();
+    let r0 = store.register_resource(NodeId(0));
+    store.allow(r0, "friend+[1..3]", &mut g).unwrap();
+    let r1 = store.register_resource(NodeId(5));
+    store
+        .allow(r1, "colleague*[1..2]{age>=20}", &mut g)
+        .unwrap();
+    let rids = [r0, r1];
+
+    let (_handles, addrs) = fleet(3, false);
+    let net = Deployment::networked_with(addrs, SEED).from_graph(&g, store.clone());
+    let single = Deployment::online().from_graph(&g, store.clone());
+    let sharded = Deployment::sharded_with(ShardAssignment::hashed(3, SEED)).from_graph(&g, store);
+    common::assert_services_agree(single.reads(), net.reads(), &rids);
+    common::assert_services_agree(sharded.reads(), net.reads(), &rids);
+    // Placement agrees with the in-process twin member for member.
+    let (net, sharded) = (net.as_networked().unwrap(), sharded.as_sharded().unwrap());
+    for m in 0..12u32 {
+        assert_eq!(net.member_shard(NodeId(m)), sharded.member_shard(NodeId(m)));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: random workloads through the wire
+// ---------------------------------------------------------------------
+
+const LABELS: [&str; 3] = ["friend", "colleague", "parent"];
+
+fn graph_strategy() -> impl Strategy<Value = SocialGraph> {
+    (3..9usize).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0..3usize, 10..60i64), 0..22).prop_map(
+            move |edges| {
+                let mut g = SocialGraph::new();
+                for i in 0..n {
+                    g.add_node(&format!("u{i}"));
+                }
+                for l in LABELS {
+                    g.intern_label(l);
+                }
+                for (i, (s, t, l, age)) in edges.iter().enumerate() {
+                    let label = g.vocab().label(LABELS[*l]).unwrap();
+                    g.add_edge(NodeId(*s), NodeId(*t), label);
+                    let node = NodeId((i as u32 + s + t) % n as u32);
+                    g.set_node_attr(node, "age", *age);
+                }
+                g
+            },
+        )
+    })
+}
+
+fn path_text_strategy() -> impl Strategy<Value = String> {
+    let step = (0..3usize, 0..3usize, 1..3u32, 0..2u32, 0..5usize).prop_map(
+        |(label, dir, lo, extra, shape)| {
+            let dir = ["+", "-", "*"][dir];
+            let hi = lo + extra;
+            let depths = match shape {
+                0 => format!("[{lo}]"),
+                1 => format!("[{lo}..{hi}]"),
+                2 => format!("[{lo},{}]", hi + 2),
+                3 => format!("[{lo}..]"),
+                _ => format!("[{lo}..{hi}]{{age>=30}}"),
+            };
+            format!("{}{}{}", LABELS[label], dir, depths)
+        },
+    );
+    proptest::collection::vec(step, 1..3).prop_map(|steps| steps.join("/"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The generic differential harness on random graphs × policies,
+    /// instantiated at in-process sharded(2) vs networked(2) over TCP
+    /// (every evaluation crosses the wire).
+    #[test]
+    fn tcp_networked_agrees_on_random_workloads(
+        graph in graph_strategy(),
+        policies in proptest::collection::vec((0..8u32, path_text_strategy()), 1..4),
+    ) {
+        let mut g = graph;
+        let n = g.num_nodes() as u32;
+        let mut store = PolicyStore::new();
+        let mut rids = Vec::new();
+        for (owner_ix, text) in &policies {
+            let rid = store.register_resource(NodeId(owner_ix % n));
+            store.allow(rid, text, &mut g).expect("generated paths parse");
+            rids.push(rid);
+        }
+        let (_handles, addrs) = fleet(2, false);
+        let assignment = ShardAssignment::hashed(2, 17);
+        let net = ServiceInstance::Networked(
+            socialreach_core::NetworkedSystem::from_graph(&addrs, assignment.clone(), &g, store.clone())
+                .expect("fleet reachable"),
+        );
+        let sharded = Deployment::sharded_with(assignment).from_graph(&g, store);
+        common::assert_services_agree(sharded.reads(), net.reads(), &rids);
+    }
+}

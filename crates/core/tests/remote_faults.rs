@@ -1,0 +1,567 @@
+//! Transport fault injection for the networked deployment: a byte-level
+//! TCP proxy sits between the router and one real shard process and
+//! tears frames mid-byte, corrupts payload bytes, and stalls past the
+//! read timeout. Every fault must surface as a **typed**
+//! [`EvalError::Remote`] — never a wrong decision, never a torn epoch —
+//! and once the fault clears, the same router must heal (re-dial,
+//! replay) and agree with an in-process twin again. A second group of
+//! tests speaks the wire protocol raw to a shard server and proves the
+//! round exchange is idempotent under duplicated and reordered export
+//! batch delivery.
+
+mod common;
+
+use socialreach_core::remote::frame::{read_frame, write_frame};
+use socialreach_core::remote::proto::{
+    decode_response, encode_request, Request, Response, ShardOp, WireMatch, PROTOCOL_VERSION,
+};
+use socialreach_core::remote::{spawn_local_fleet, NetworkedSystem};
+use socialreach_core::{
+    AccessService, Deployment, EvalError, RemoteError, ResourceId, ServiceInstance, ShardAddr,
+};
+use socialreach_graph::shard::{MaskedExport, MaskedStateKey};
+use socialreach_graph::NodeId;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// The fault proxy
+// ---------------------------------------------------------------------
+
+/// What the proxy does to the **response** direction (shard → router).
+/// Requests always pass through untouched: the faults under test are
+/// the ones the router must survive while *reading*.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    /// Forward bytes verbatim.
+    Pass,
+    /// Forward the first 4 bytes of the next chunk (half a frame
+    /// header), then sever the connection: a torn frame.
+    Tear,
+    /// Stop forwarding (connection stays open): the router's read must
+    /// give up via its timeout, not hang.
+    Stall,
+    /// Flip one bit in every forwarded chunk: the CRC must catch it.
+    Corrupt,
+}
+
+/// Spawns a TCP proxy in front of `upstream`. Returns the proxy's
+/// address and the shared fault mode. Connections dialed while a fault
+/// mode is active are faulted too (so the router's internal
+/// revive-and-retry cannot silently mask the fault from the test).
+fn spawn_proxy(upstream: String) -> (ShardAddr, Arc<Mutex<Mode>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("proxy binds");
+    let addr = ShardAddr::Tcp(listener.local_addr().unwrap().to_string());
+    let mode = Arc::new(Mutex::new(Mode::Pass));
+    let shared = Arc::clone(&mode);
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(client) = conn else { break };
+            let Ok(server) = TcpStream::connect(&upstream) else {
+                continue;
+            };
+            // Router → shard: verbatim.
+            let (mut c_in, mut s_out) = (
+                client.try_clone().expect("clone"),
+                server.try_clone().expect("clone"),
+            );
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut c_in, &mut s_out);
+                let _ = s_out.shutdown(Shutdown::Both);
+            });
+            // Shard → router: apply the fault mode.
+            let mode = Arc::clone(&shared);
+            std::thread::spawn(move || pump_faulty(server, client, mode));
+        }
+    });
+    (addr, mode)
+}
+
+fn pump_faulty(mut from: TcpStream, mut to: TcpStream, mode: Arc<Mutex<Mode>>) {
+    let mut buf = [0u8; 8192];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        loop {
+            match *mode.lock().unwrap() {
+                Mode::Pass => {
+                    if to.write_all(&buf[..n]).is_err() {
+                        return;
+                    }
+                    break;
+                }
+                Mode::Tear => {
+                    let _ = to.write_all(&buf[..n.min(4)]);
+                    let _ = to.shutdown(Shutdown::Both);
+                    let _ = from.shutdown(Shutdown::Both);
+                    return;
+                }
+                Mode::Corrupt => {
+                    let mut bad = buf[..n].to_vec();
+                    bad[n - 1] ^= 0x20;
+                    if to.write_all(&bad).is_err() {
+                        return;
+                    }
+                    break;
+                }
+                // Re-check the mode until the stall is lifted; the
+                // router gives up on this connection via its read
+                // timeout long before then.
+                Mode::Stall => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+// ---------------------------------------------------------------------
+// Proxied fleet fixture
+// ---------------------------------------------------------------------
+
+/// A 2-shard TCP fleet with shard 0 behind the fault proxy, populated
+/// with a small friendship chain, plus an identical in-process twin.
+/// The proxy handles stay in `Mode::Pass` during population.
+struct Rig {
+    net: NetworkedSystem,
+    twin: ServiceInstance,
+    mode: Arc<Mutex<Mode>>,
+    rid: ResourceId,
+    members: Vec<NodeId>,
+    _handles: Vec<socialreach_core::ShardHandle>,
+}
+
+fn rig() -> Rig {
+    let handles = spawn_local_fleet(2, false).expect("fleet spawns");
+    let ShardAddr::Tcp(upstream) = handles[0].addr().clone() else {
+        panic!("tcp fleet")
+    };
+    let (proxy_addr, mode) = spawn_proxy(upstream);
+    let addrs = vec![proxy_addr, handles[1].addr().clone()];
+    let mut net = NetworkedSystem::connect(&addrs, 7).expect("router connects");
+
+    let mut g = socialreach_graph::SocialGraph::new();
+    let mut members = Vec::new();
+    for i in 0..8u32 {
+        let name = format!("u{i}");
+        members.push(net.try_add_user(&name).expect("add user"));
+        g.add_node(&name);
+    }
+    let friend = g.intern_label("friend");
+    for i in 0..7u32 {
+        net.try_connect(members[i as usize], "friend", members[i as usize + 1])
+            .expect("add edge");
+        g.add_edge(NodeId(i), NodeId(i + 1), friend);
+    }
+    let rid = net.share(members[0]);
+    net.allow(rid, "friend+[1..3]").expect("rule parses");
+    let mut store = socialreach_core::PolicyStore::new();
+    let twin_rid = store.register_resource(NodeId(0));
+    assert_eq!(twin_rid, rid);
+    store.allow(rid, "friend+[1..3]", &mut g).unwrap();
+    let twin = Deployment::online().from_graph(&g, store);
+
+    Rig {
+        net,
+        twin,
+        mode,
+        rid,
+        members,
+        _handles: handles,
+    }
+}
+
+fn set_mode(rig: &Rig, m: Mode) {
+    *rig.mode.lock().unwrap() = m;
+}
+
+// ---------------------------------------------------------------------
+// Faults through the proxy
+// ---------------------------------------------------------------------
+
+/// A frame torn mid-header (proxy severs after 4 bytes) surfaces as a
+/// typed remote error — on the *retry path too*, because revival dials
+/// through the same tearing proxy. Once the fault clears the very same
+/// router heals and agrees with the twin.
+#[test]
+fn torn_mid_frame_is_typed_and_heals() {
+    let rig = rig();
+    let want = rig.twin.reads().audience(rig.rid).unwrap();
+    assert_eq!(rig.net.audience(rig.rid).unwrap(), want, "baseline agrees");
+
+    set_mode(&rig, Mode::Tear);
+    match rig.net.audience(rig.rid) {
+        Err(EvalError::Remote(e)) => {
+            assert!(
+                matches!(
+                    e,
+                    RemoteError::Io { .. }
+                        | RemoteError::ShardDown { .. }
+                        | RemoteError::Connect { .. }
+                ),
+                "torn frame classifies as a transport fault, got {e}"
+            );
+        }
+        Ok(_) => panic!("a torn frame must not produce a decision"),
+        Err(other) => panic!("expected a typed remote error, got {other}"),
+    }
+
+    set_mode(&rig, Mode::Pass);
+    assert_eq!(
+        rig.net.audience(rig.rid).unwrap(),
+        want,
+        "after the fault clears the router re-dials and agrees again"
+    );
+}
+
+/// A stalled shard (connection open, no bytes) must bound the read by
+/// the configured timeout and surface `Timeout`/`ShardDown` — never
+/// hang, never guess.
+#[test]
+fn stall_past_read_timeout_is_typed_and_bounded() {
+    let mut r = rig();
+    let want = r.twin.reads().audience(r.rid).unwrap();
+    r.net.set_read_timeout(Duration::from_millis(250));
+    assert_eq!(
+        r.net.audience(r.rid).unwrap(),
+        want,
+        "short patience is fine"
+    );
+
+    set_mode(&r, Mode::Stall);
+    let t0 = Instant::now();
+    match r.net.audience(r.rid) {
+        Err(EvalError::Remote(e)) => assert!(
+            matches!(
+                e,
+                RemoteError::Timeout { .. }
+                    | RemoteError::ShardDown { .. }
+                    | RemoteError::Io { .. }
+            ),
+            "stall classifies as timeout-flavored, got {e}"
+        ),
+        Ok(_) => panic!("a stalled read must not produce a decision"),
+        Err(other) => panic!("expected a typed remote error, got {other}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "the read timeout bounds a stalled shard; took {:?}",
+        t0.elapsed()
+    );
+
+    set_mode(&r, Mode::Pass);
+    assert_eq!(r.net.audience(r.rid).unwrap(), want, "stall lifted, healed");
+}
+
+/// A flipped payload bit is caught by the frame CRC and classified
+/// `Corrupt` — a non-retryable fault that still never turns into a
+/// decision, and clears once the wire is clean again.
+#[test]
+fn corrupt_byte_is_caught_by_crc() {
+    let rig = rig();
+    let want = rig.twin.reads().audience(rig.rid).unwrap();
+    assert_eq!(rig.net.audience(rig.rid).unwrap(), want);
+
+    set_mode(&rig, Mode::Corrupt);
+    match rig.net.audience(rig.rid) {
+        Err(EvalError::Remote(RemoteError::Corrupt { detail, .. })) => {
+            assert!(!detail.is_empty(), "corruption carries a detail message");
+        }
+        Ok(_) => panic!("a corrupted frame must not produce a decision"),
+        Err(other) => panic!("expected Corrupt, got {other}"),
+    }
+
+    set_mode(&rig, Mode::Pass);
+    assert_eq!(
+        rig.net.audience(rig.rid).unwrap(),
+        want,
+        "the poisoned connection was dropped; a clean re-dial agrees"
+    );
+}
+
+/// A mutation attempted while one shard is unreachable (stalled past
+/// the timeout) must fail typed with **no torn epoch**: the epoch and
+/// the router's member table are unchanged, and retrying after the
+/// fault clears applies the mutation exactly once.
+#[test]
+fn mutation_during_stall_leaves_no_torn_epoch() {
+    let mut r = rig();
+    r.net.set_read_timeout(Duration::from_millis(250));
+    let epoch_before = r.net.epoch();
+    let members_before = r.net.num_members();
+
+    set_mode(&r, Mode::Stall);
+    assert!(
+        r.net.try_add_user("newcomer").is_err(),
+        "a mutation cannot commit through a stalled shard"
+    );
+    assert_eq!(
+        r.net.epoch(),
+        epoch_before,
+        "failed mutation: epoch untouched"
+    );
+    assert_eq!(
+        r.net.num_members(),
+        members_before,
+        "failed mutation: member table untouched"
+    );
+
+    set_mode(&r, Mode::Pass);
+    let noah = r.net.try_add_user("newcomer").expect("retry commits");
+    r.net
+        .try_connect(r.members[0], "friend", noah)
+        .expect("edge commits");
+    assert_eq!(r.net.epoch(), epoch_before + 2, "two committed epochs");
+
+    // The twin applies the same two mutations; full agreement resumes.
+    let mut g2 = socialreach_graph::SocialGraph::new();
+    for i in 0..8 {
+        g2.add_node(&format!("u{i}"));
+    }
+    let friend = g2.intern_label("friend");
+    for i in 0..7u32 {
+        g2.add_edge(NodeId(i), NodeId(i + 1), friend);
+    }
+    g2.add_node("newcomer");
+    g2.add_edge(NodeId(0), NodeId(8), friend);
+    let mut store = socialreach_core::PolicyStore::new();
+    let rid = store.register_resource(NodeId(0));
+    store.allow(rid, "friend+[1..3]", &mut g2).unwrap();
+    let twin = Deployment::online().from_graph(&g2, store);
+    assert_eq!(
+        r.net.audience(r.rid).unwrap(),
+        twin.reads().audience(r.rid).unwrap(),
+        "exactly-once semantics: the retried mutation is not doubled"
+    );
+}
+
+/// Killing a shard process mid-stream (not merely faulting its bytes)
+/// leaves no torn epoch observable: reads fail typed or answer
+/// correctly, the epoch never moves without a commit, and a restarted
+/// process on a fresh port is healed by op-log replay.
+#[test]
+fn killed_shard_mid_fixpoint_has_no_torn_epoch() {
+    let mut r = rig();
+    let want = r.twin.reads().audience(r.rid).unwrap();
+    assert_eq!(r.net.audience(r.rid).unwrap(), want);
+    let epoch_before = r.net.epoch();
+
+    // Kill the *unproxied* shard process outright.
+    let addr_dead = r._handles[1].addr().clone();
+    r._handles[1].kill();
+    drop(std::mem::take(&mut r._handles));
+
+    match r.net.audience(r.rid) {
+        Ok(got) => assert_eq!(got, want, "if a read completes it must be correct"),
+        Err(EvalError::Remote(_)) => {}
+        Err(other) => panic!("expected a typed remote error, got {other}"),
+    }
+    assert!(r.net.try_add_user("ghostwriter").is_err());
+    assert_eq!(r.net.epoch(), epoch_before, "no commit, no epoch movement");
+
+    // Restart shard 1 on a fresh endpoint; replay heals it. (Shard 0's
+    // server died with the fleet handles too, so restart both.)
+    let bind = |old: &ShardAddr| match old {
+        ShardAddr::Tcp(_) => ShardAddr::Tcp("127.0.0.1:0".into()),
+        ShardAddr::Unix(p) => ShardAddr::Unix(p.with_extension("respawn")),
+    };
+    let s1 = socialreach_core::ShardServer::bind(&bind(&addr_dead)).expect("rebind");
+    r.net.retarget(1, s1.local_addr().clone());
+    let _h1 = s1.spawn();
+    let s0 = socialreach_core::ShardServer::bind(&ShardAddr::Tcp("127.0.0.1:0".into()))
+        .expect("rebind shard 0");
+    r.net.retarget(0, s0.local_addr().clone());
+    let _h0 = s0.spawn();
+
+    assert_eq!(
+        r.net.audience(r.rid).unwrap(),
+        want,
+        "op-log replay rebuilds both shards; decisions agree again"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Raw-wire delivery faults: duplication and reordering
+// ---------------------------------------------------------------------
+
+/// A blocking wire client speaking the protocol directly (no router).
+struct RawClient {
+    stream: TcpStream,
+}
+
+impl RawClient {
+    fn dial(addr: &ShardAddr) -> RawClient {
+        let ShardAddr::Tcp(tcp) = addr else {
+            panic!("raw client is TCP-only")
+        };
+        let stream = TcpStream::connect(tcp).expect("dial shard");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        RawClient { stream }
+    }
+
+    fn call(&mut self, req: &Request) -> Response {
+        write_frame(&mut self.stream, &encode_request(req)).expect("write");
+        let payload = read_frame(&mut self.stream).expect("read");
+        decode_response(&payload).expect("decode")
+    }
+
+    fn round(
+        &mut self,
+        eval: u64,
+        seeds: Vec<MaskedExport>,
+    ) -> (Vec<WireMatch>, Vec<MaskedExport>) {
+        match self.call(&Request::Round {
+            eval,
+            seeds,
+            stop: None,
+        }) {
+            Response::Round {
+                matched, exports, ..
+            } => (matched, exports),
+            other => panic!("expected Round, got {other:?}"),
+        }
+    }
+}
+
+/// Populates a single standalone shard with a friend chain over the raw
+/// wire and opens a 2-owner batched evaluation (bit 0 = owner 0,
+/// bit 1 = owner 3). Returns the client and the eval id.
+fn raw_eval_fixture(addr: &ShardAddr) -> (RawClient, u64) {
+    let mut c = RawClient::dial(addr);
+    match c.call(&Request::Hello {
+        version: PROTOCOL_VERSION,
+    }) {
+        Response::Hello { version, .. } => assert_eq!(version, PROTOCOL_VERSION),
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    assert_eq!(
+        c.call(&Request::Intern {
+            labels: vec!["friend".into()],
+            attrs: vec![],
+        }),
+        Response::Ok
+    );
+    let mut ops: Vec<ShardOp> = (0..8u32)
+        .map(|i| ShardOp::AddNode {
+            global: i,
+            name: format!("u{i}"),
+            ghost: false,
+        })
+        .collect();
+    for i in 0..7u32 {
+        ops.push(ShardOp::AddEdge {
+            src: i,
+            label: "friend".into(),
+            dst: i + 1,
+        });
+    }
+    assert_eq!(
+        c.call(&Request::Prepare { epoch: 1, ops }),
+        Response::Prepared { epoch: 1 }
+    );
+    assert_eq!(
+        c.call(&Request::Commit { epoch: 1 }),
+        Response::Committed { epoch: 1 }
+    );
+    let eval = 99;
+    assert_eq!(
+        c.call(&Request::BeginEval {
+            eval,
+            epoch: 1,
+            path: "friend+[1..3]".into(),
+            word: 0,
+            parents: false,
+        }),
+        Response::EvalOpen { eval }
+    );
+    (c, eval)
+}
+
+fn seed(member: u32, mask: u64) -> MaskedExport {
+    MaskedExport {
+        key: MaskedStateKey {
+            member,
+            step: 0,
+            depth: 0,
+            word: 0,
+        },
+        mask,
+    }
+}
+
+fn merge(into: &mut HashMap<u32, u64>, matched: &[WireMatch]) {
+    for m in matched {
+        *into.entry(m.member).or_insert(0) |= m.mask;
+    }
+}
+
+/// Delivering the *same* seed batch twice is a no-op the second time:
+/// the masked fixpoint absorbs already-known bits, so a duplicated
+/// round (retry after a lost response, a replayed packet) can never
+/// double-count or re-export.
+#[test]
+fn duplicated_round_delivery_is_idempotent() {
+    let handles = spawn_local_fleet(1, false).expect("fleet spawns");
+    let (mut c, eval) = raw_eval_fixture(handles[0].addr());
+
+    let seeds = vec![seed(0, 1), seed(3, 2)];
+    let (m1, e1) = c.round(eval, seeds.clone());
+    assert!(!m1.is_empty(), "the chain grants someone");
+
+    let (m2, e2) = c.round(eval, seeds);
+    assert!(
+        m2.is_empty(),
+        "re-delivered seeds add no bits, so no new matches: {m2:?}"
+    );
+    assert!(e2.is_empty(), "and nothing new to export: {e2:?}");
+    drop(e1);
+    assert_eq!(c.call(&Request::EndEval { eval }), Response::Ok);
+}
+
+/// Seed **sub-batch order does not matter**: delivering batch A then B
+/// reaches exactly the same cumulative matches as B then A (the
+/// router's chunked delivery may interleave arbitrarily under
+/// backpressure).
+#[test]
+fn reordered_batch_delivery_converges_identically() {
+    let handles = spawn_local_fleet(1, false).expect("fleet spawns");
+
+    let batch_a = vec![seed(0, 1)];
+    let batch_b = vec![seed(3, 2)];
+
+    let (mut c1, e1) = raw_eval_fixture(handles[0].addr());
+    let mut forward = HashMap::new();
+    let (m, _) = c1.round(e1, batch_a.clone());
+    merge(&mut forward, &m);
+    let (m, _) = c1.round(e1, batch_b.clone());
+    merge(&mut forward, &m);
+
+    let mut c2 = RawClient::dial(handles[0].addr());
+    let eval2 = 123;
+    assert_eq!(
+        c2.call(&Request::BeginEval {
+            eval: eval2,
+            epoch: 1,
+            path: "friend+[1..3]".into(),
+            word: 0,
+            parents: false,
+        }),
+        Response::EvalOpen { eval: eval2 }
+    );
+    let mut reversed = HashMap::new();
+    let (m, _) = c2.round(eval2, batch_b);
+    merge(&mut reversed, &m);
+    let (m, _) = c2.round(eval2, batch_a);
+    merge(&mut reversed, &m);
+
+    assert_eq!(
+        forward, reversed,
+        "cumulative matches are delivery-order independent"
+    );
+}

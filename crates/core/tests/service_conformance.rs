@@ -1,8 +1,9 @@
 //! Trait-level conformance suite for the [`AccessService`] /
 //! [`MutateService`] API: one scenario script, written **only** against
 //! the deployment-agnostic traits, runs against every backend —
-//! `Deployment::single` (both engines) and `Deployment::sharded`
-//! (several shard counts) — and must produce identical decisions,
+//! `Deployment::single` (both engines), `Deployment::sharded`
+//! (several shard counts) and `Deployment::networked` (a live shard
+//! fleet behind loopback TCP) — and must produce identical decisions,
 //! audiences and batch responses, with every granted explain walk
 //! replaying through the path automaton. A proptest instance of the
 //! generic differential harness (`common::assert_services_agree`)
@@ -19,14 +20,21 @@ use socialreach_core::{
 use socialreach_graph::{NodeId, SocialGraph};
 
 /// The deployments every conformance scenario must agree across. The
-/// first entry is the reference.
+/// first entry is the reference. The networked leg spawns a live
+/// in-process shard fleet whose handles are leaked: the servers must
+/// outlive every use of the returned deployment, and test processes
+/// end soon after.
 fn deployments() -> Vec<Deployment> {
+    let fleet = socialreach_core::remote::spawn_local_fleet(3, false).expect("fleet spawns");
+    let addrs = fleet.iter().map(|h| h.addr().clone()).collect();
+    std::mem::forget(fleet);
     vec![
         Deployment::online(),
         Deployment::single(EngineChoice::JoinIndex(JoinEngineConfig::default())),
         Deployment::sharded(1, 3),
         Deployment::sharded(4, 3),
         Deployment::sharded(7, 3),
+        Deployment::networked_with(addrs, 3),
     ]
 }
 

@@ -2,7 +2,8 @@
 //! random graphs × random policies, the sharded deployment must return
 //! exactly the same **decisions**, **audiences** and *valid*
 //! **witnesses** as the single-graph deployment, across shard counts
-//! {1, 2, 4, 7} — partitioning is an implementation detail the
+//! {1, 2, 4, 7} and a networked(2) fleet behind loopback TCP —
+//! partitioning is an implementation detail the
 //! semantics may never observe. The equivalence harness
 //! ([`common::assert_services_agree`]) is generic over any two
 //! [`socialreach_core::AccessService`] implementations; this suite
@@ -137,6 +138,12 @@ proptest! {
                 .from_graph(&g, store.clone());
             common::assert_services_agree(single.reads(), sharded.reads(), &rids);
         }
+        // The networked deployment joins the same matrix: shard
+        // processes behind real sockets may not be observable either.
+        let fleet = socialreach_core::remote::spawn_local_fleet(2, false).expect("fleet spawns");
+        let addrs: Vec<_> = fleet.iter().map(|h| h.addr().clone()).collect();
+        let networked = Deployment::networked_with(addrs, 11).from_graph(&g, store.clone());
+        common::assert_services_agree(single.reads(), networked.reads(), &rids);
     }
 
     /// Witnesses: for every granted condition, the sharded system's

@@ -32,7 +32,13 @@
 //! * [`shard`] — shard placement ([`ShardAssignment`]: deterministic,
 //!   seedable member → shard hashing with explicit pins for tests) and
 //!   the [`BoundaryTable`] of cross-shard relationships, the substrate
-//!   of the core crate's sharded serving layer;
+//!   of the core crate's sharded serving layer. Its masked traversal
+//!   state ([`MaskedStateKey`], [`MaskedExport`], [`MaskedExportSet`])
+//!   doubles as the **wire vocabulary** of the networked deployment:
+//!   the serde encodings are frozen by golden-bytes tests (here and in
+//!   core's `wire_roundtrip` suite) because shard *processes* exchange
+//!   them over sockets — a field reorder is a protocol break, not a
+//!   refactor;
 //! * [`bitset`] — a small dense bit set used by reachability algorithms;
 //! * [`wire`] — CRC-32 and bounds-checked little-endian binary
 //!   primitives for on-disk persistence;

@@ -339,6 +339,49 @@ mod tests {
     use super::*;
 
     #[test]
+    fn golden_wire_encodings_are_frozen() {
+        // These JSON strings are the on-the-wire shape of the masked
+        // traversal state exchanged between shard processes. They are
+        // frozen field order and all: reordering or renaming a field
+        // must fail here, not surface as a mixed-version fleet
+        // misrouting masks.
+        let key = MaskedStateKey {
+            member: 7,
+            step: 2,
+            depth: 9,
+            word: 1,
+        };
+        assert_eq!(
+            serde_json::to_string(&key).unwrap(),
+            r#"{"member":7,"step":2,"depth":9,"word":1}"#
+        );
+        let export = MaskedExport { key, mask: 11 };
+        assert_eq!(
+            serde_json::to_string(&export).unwrap(),
+            r#"{"key":{"member":7,"step":2,"depth":9,"word":1},"mask":11}"#
+        );
+        let edge = BoundaryEdge {
+            src: 3,
+            dst: 8,
+            label: LabelId(1),
+            src_shard: 0,
+            dst_shard: 2,
+        };
+        assert_eq!(
+            serde_json::to_string(&edge).unwrap(),
+            r#"{"src":3,"dst":8,"label":1,"src_shard":0,"dst_shard":2}"#
+        );
+        // And back: decoding the frozen strings reproduces the values.
+        assert_eq!(
+            serde_json::from_str::<MaskedExport>(
+                r#"{"key":{"member":7,"step":2,"depth":9,"word":1},"mask":11}"#
+            )
+            .unwrap(),
+            export
+        );
+    }
+
+    #[test]
     fn hashed_assignment_is_deterministic_across_constructions() {
         let a = ShardAssignment::hashed(4, 99);
         let b = ShardAssignment::hashed(4, 99);

@@ -61,15 +61,43 @@
 //! history below a snapshot-anchored horizon, after which positions
 //! below the new base are typed refusals.
 //!
+//! ## Shards as processes
+//!
+//! Two verbs turn the binary into a distributed deployment:
+//!
+//! ```text
+//! socialreach serve-shard <addr>
+//! socialreach serve-router <addr1,addr2,..> check    <edges.tsv> <owner> <path-expr> <requester>
+//! socialreach serve-router <addr1,addr2,..> audience <edges.tsv> <owner> <path-expr>
+//! socialreach serve-router <addr1,addr2,..> explain  <edges.tsv> <owner> <path-expr> <requester>
+//! ```
+//!
+//! `serve-shard` runs one shard server process on `<addr>` — a TCP
+//! endpoint (`127.0.0.1:0` picks an ephemeral port) or a Unix domain
+//! socket (`unix:/path/sock`). It prints `LISTENING <actual-addr>` on
+//! stdout once bound and serves until a `Shutdown` request arrives.
+//! `serve-router` drives a fleet of such processes as one deployment:
+//! it loads the edge list through the router (two-phase epoch fence per
+//! mutation batch), registers the resource/rule, and answers with the
+//! same outputs and exit codes as the in-process verbs. Each
+//! `serve-router` invocation expects a **freshly started** fleet — a
+//! router refuses shards already ahead of its epoch rather than adopt
+//! state it did not populate (long-lived routers drive a fleet through
+//! the library API instead). See
+//! `examples/distributed_drill.rs` for a scripted populate → kill →
+//! recover → audit drill over these verbs.
+//!
 //! Exit codes: 0 = granted / success, 1 = denied, 2 = usage or input
 //! error.
 
+use socialreach::graph::ShardAssignment;
 use socialreach::workload::read_edge_list;
 use socialreach::{
-    AccessService, Decision, Deployment, DurableService, MutateService, PlannedService,
-    PlannerMode, PolicyStore, ResourceId, ServiceInstance, SocialGraph,
+    AccessService, Decision, Deployment, DurableService, MutateService, NetworkedSystem,
+    PlannedService, PlannerMode, PolicyStore, ResourceId, ServiceInstance, ShardAddr, ShardServer,
+    SocialGraph,
 };
-use std::io::Read as _;
+use std::io::{Read as _, Write as _};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -98,6 +126,8 @@ const USAGE: &str = "usage:
   socialreach stats    <edges.tsv>
   socialreach history  [from [to]]
   socialreach diff     <rid> <k1> <k2>
+  socialreach serve-shard  <addr>
+  socialreach serve-router <addr1,addr2,..> check|audience|explain <edges.tsv> <owner> <path-expr> [requester]
 
 <edges.tsv>: 'src<TAB>label<TAB>dst' lines ('-' reads stdin,
              '@' serves the recovered SOCIALREACH_DATA_DIR state);
@@ -114,7 +144,14 @@ SOCIALREACH_AUDIT_AT=k serves check/audience/explain from the state
 absolute positions; 'diff' shows who entered (+), left (-) and stayed
 (=) in resource <rid>'s audience between positions <k1> and <k2>.
 History below a compaction horizon (DurableService::compact) is a
-typed refusal, never a wrong answer.";
+typed refusal, never a wrong answer.
+
+'serve-shard' runs one shard server process on <addr> ('127.0.0.1:0'
+picks an ephemeral TCP port; 'unix:/path/sock' serves a Unix domain
+socket), prints 'LISTENING <actual-addr>' once bound, and serves until
+a Shutdown request. 'serve-router' drives a comma-separated fleet of
+such processes as one deployment with the in-process verbs' outputs
+and exit codes.";
 
 fn run(args: &[String]) -> Result<bool, String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -226,8 +263,82 @@ fn run(args: &[String]) -> Result<bool, String> {
             }
             Ok(true)
         }
+        "serve-shard" => {
+            let [addr] = take::<1>(&args[1..])?;
+            let server = ShardServer::bind(&ShardAddr::parse(addr))
+                .map_err(|e| format!("binding {addr}: {e}"))?;
+            println!("LISTENING {}", server.local_addr());
+            let _ = std::io::stdout().flush();
+            server.run().map_err(|e| format!("serving {addr}: {e}"))?;
+            Ok(true)
+        }
+        "serve-router" => {
+            let (addrs, rest) = args[1..]
+                .split_first()
+                .ok_or("missing <addr1,addr2,..> fleet list")?;
+            let addrs: Vec<ShardAddr> = addrs.split(',').map(ShardAddr::parse).collect();
+            let verb = rest.first().ok_or("missing router verb")?;
+            match verb.as_str() {
+                "check" => {
+                    let [file, owner, path, requester] = take::<4>(&rest[1..])?;
+                    let (svc, rid) = serve_networked(&addrs, file, owner, path)?;
+                    let requester = resolve(svc.reads(), requester)?;
+                    let granted =
+                        svc.reads().check(rid, requester).map_err(to_msg)? == Decision::Grant;
+                    println!("{}", if granted { "GRANT" } else { "DENY" });
+                    Ok(granted)
+                }
+                "audience" => {
+                    let [file, owner, path] = take::<3>(&rest[1..])?;
+                    let (svc, rid) = serve_networked(&addrs, file, owner, path)?;
+                    let reads = svc.reads();
+                    for n in reads.audience(rid).map_err(to_msg)? {
+                        println!("{}", reads.member_name(n));
+                    }
+                    Ok(true)
+                }
+                "explain" => {
+                    let [file, owner, path, requester] = take::<4>(&rest[1..])?;
+                    let (svc, rid) = serve_networked(&addrs, file, owner, path)?;
+                    let requester = resolve(svc.reads(), requester)?;
+                    match svc.reads().explain_lines(rid, requester).map_err(to_msg)? {
+                        Some(lines) => {
+                            println!("GRANT via {}", lines.join("; "));
+                            Ok(true)
+                        }
+                        None => {
+                            println!("DENY (no walk matches the policy)");
+                            Ok(false)
+                        }
+                    }
+                }
+                other => Err(format!(
+                    "unknown router verb {other:?} (expected check|audience|explain)"
+                )),
+            }
+        }
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Loads the edge list through a router over the shard fleet at
+/// `addrs`, shares one resource owned by `owner` under the `path`
+/// rule, and returns the networked service instance plus the resource.
+fn serve_networked(
+    addrs: &[ShardAddr],
+    file: &str,
+    owner: &str,
+    path: &str,
+) -> Result<(ServiceInstance, ResourceId), String> {
+    let g = load(file)?;
+    let assignment = ShardAssignment::hashed(addrs.len() as u32, 0);
+    let sys = NetworkedSystem::from_graph(addrs, assignment, &g, PolicyStore::new())
+        .map_err(|e| format!("populating the fleet: {e}"))?;
+    let mut svc = ServiceInstance::Networked(sys);
+    let owner = resolve(svc.reads(), owner)?;
+    let rid = svc.writes().add_resource(owner);
+    svc.writes().add_rule(rid, path).map_err(to_msg)?;
+    Ok((svc, rid))
 }
 
 fn parse_position(arg: &str) -> Result<u64, String> {

@@ -77,8 +77,9 @@ pub use socialreach_core::{
     AccessControlSystem, AccessEngine, AccessResponse, AccessRule, AccessService, AudienceDiff,
     AuditError, BundleStrategy, CheckPlan, CompactionReport, Decision, Deployment, DurabilityError,
     DurableService, Enforcer, EngineChoice, EvalError, Explanation, HistoryEntry, JoinEngineConfig,
-    JoinIndexEngine, JoinStrategy, MutateService, OnlineEngine, ParseError, PathExpr,
-    PlannedService, Planner, PlannerMode, PolicyStore, ReadBatch, ReadRequest, ReadStats,
-    RecoveryReport, ResourceId, ServiceInstance, ShardedSystem, WalRecord, WalkHop, WitnessWalk,
+    JoinIndexEngine, JoinStrategy, MutateService, NetworkedSpec, NetworkedSystem, OnlineEngine,
+    ParseError, PathExpr, PlannedService, Planner, PlannerMode, PolicyStore, ReadBatch,
+    ReadRequest, ReadStats, RecoveryReport, RemoteError, ResourceId, ServiceInstance, ShardAddr,
+    ShardHandle, ShardServer, ShardedSystem, WalRecord, WalkHop, WitnessWalk,
 };
 pub use socialreach_graph::{AttrValue, Direction, EdgeId, LabelId, NodeId, SocialGraph};
