@@ -1,0 +1,209 @@
+//! Shared setup for experiment P15 — shared-prefix query-plan sharing.
+//!
+//! The question: what does the **shared-prefix bundle plan** (the
+//! `core::query::plan` trie — one masked fixpoint per 64 conditions,
+//! every shared step prefix entered once with condition masks forked
+//! where paths diverge) buy over the previous **identical-expression
+//! grouping** (one masked fixpoint per *distinct* expression, prefixes
+//! re-walked once per expression)?
+//!
+//! Two bundle regimes over the same cross-heavy
+//! [`CrossShardTopology`] graphs answer it from both sides:
+//!
+//! * **shared** — every condition starts with the same expensive
+//!   two-step `friend+[1,2]/colleague+[1,2]` prefix and diverges only
+//!   in its tail, so the trie walks the fan-out once where grouping
+//!   walks it once per template;
+//! * **disjoint** — no two conditions share even their first step, so
+//!   the trie degenerates to grouping and must not regress.
+//!
+//! The grouping baseline is the engine's own escape hatch
+//! (`SOCIALREACH_BUNDLE_PLAN=grouped`, see
+//! [`socialreach_core::query::grouped_plan_forced`]), so both sides
+//! run the identical seeded-mask machinery and differ only in the
+//! plan. Correctness is asserted before timing
+//! ([`assert_plan_matches_grouped`]): trie ≡ grouped ≡ single-graph
+//! audiences on every measured bundle.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socialreach_core::{
+    AccessService, Deployment, PolicyStore, ReadStats, ResourceId, ServiceInstance,
+};
+use socialreach_graph::{NodeId, ShardAssignment, SocialGraph};
+use socialreach_workload::CrossShardTopology;
+
+/// The six shared-regime templates: one expensive common prefix, six
+/// distinct tails (including the bare prefix itself, accepted at an
+/// inner trie node). Distinct expressions, so identical-expression
+/// grouping cannot merge any of them.
+const SHARED_TEMPLATES: [&str; 6] = [
+    "friend+[1,2]/colleague+[1,2]",
+    "friend+[1,2]/colleague+[1,2]/parent+[1]",
+    "friend+[1,2]/colleague+[1,2]/parent+[1,2]",
+    "friend+[1,2]/colleague+[1,2]/friend+[1]",
+    "friend+[1,2]/colleague+[1,2]/friend+[1,2]",
+    "friend+[1,2]/colleague+[1,2]/parent+[1]/friend+[1]",
+];
+
+/// The six disjoint-regime templates: pairwise-distinct first steps
+/// (label × depth-set), so the trie shares nothing and should match
+/// the grouping baseline. Shapes and depth sets mirror the shared
+/// regime's weight, so both regimes measure traversal, not setup.
+const DISJOINT_TEMPLATES: [&str; 6] = [
+    "friend+[1,2]/parent+[1,2]",
+    "friend+[2]/colleague+[1,2]/parent+[1]",
+    "colleague+[1,2]/friend+[1,2]",
+    "colleague+[2]/friend+[1,2]/parent+[1]",
+    "parent+[1,2]/friend+[1,2]",
+    "parent+[1]/friend+[1,2]/colleague+[1]",
+];
+
+/// One prepared P15 scenario: a cross-heavy graph, policy bundles in
+/// one of the two regimes, and the serving placement.
+pub struct P15Case {
+    /// Scenario name (`{regime}-s{shards}`).
+    pub name: String,
+    /// `"shared"` or `"disjoint"`.
+    pub regime: &'static str,
+    /// Serving shard count.
+    pub shards: u32,
+    /// The social graph (single-system view).
+    pub graph: SocialGraph,
+    /// Policies over it.
+    pub store: PolicyStore,
+    /// The generated bundles (resource-id groups).
+    pub bundles: Vec<Vec<ResourceId>>,
+    /// The placement.
+    pub assignment: ShardAssignment,
+}
+
+/// Builds the P15 scenario for one `(regime, shards)` cell: `bundles`
+/// bundles of `owners × 6` single-rule resources, owners strided
+/// across the member set so every bundle fans out over every shard.
+/// Deterministic in the arguments.
+pub fn case(nodes: usize, shards: u32, regime: &'static str, bundles: usize) -> P15Case {
+    let templates: &[&str] = match regime {
+        "shared" => &SHARED_TEMPLATES,
+        "disjoint" => &DISJOINT_TEMPLATES,
+        other => panic!("unknown P15 regime {other:?}"),
+    };
+    let assignment = ShardAssignment::hashed(shards, 1500);
+    let topo = CrossShardTopology {
+        nodes,
+        edges: nodes * 3,
+        assignment: assignment.clone(),
+        cross_fraction: 0.7,
+    };
+    let mut rng = StdRng::seed_from_u64(1500 + shards as u64);
+    let mut graph = topo.build_graph(&mut rng);
+
+    let owners_per_bundle = 8;
+    let mut store = PolicyStore::new();
+    let mut out = Vec::new();
+    for b in 0..bundles {
+        let mut bundle = Vec::new();
+        for o in 0..owners_per_bundle {
+            // Stride owners across the id space: neighbours in the
+            // bundle land on different shards under hashed placement.
+            let owner = NodeId(((b * owners_per_bundle + o) * 37 % nodes) as u32);
+            for text in templates {
+                let rid = store.register_resource(owner);
+                store.allow(rid, text, &mut graph).expect("valid template");
+                bundle.push(rid);
+            }
+        }
+        out.push(bundle);
+    }
+
+    P15Case {
+        name: format!("{regime}-s{shards}"),
+        regime,
+        shards,
+        graph,
+        store,
+        bundles: out,
+        assignment,
+    }
+}
+
+/// A fresh sharded deployment over the case.
+pub fn build_sharded(case: &P15Case) -> ServiceInstance {
+    Deployment::sharded_with(case.assignment.clone()).from_graph(&case.graph, case.store.clone())
+}
+
+/// A fresh single-graph deployment over the case.
+pub fn build_single(case: &P15Case) -> ServiceInstance {
+    Deployment::online().from_graph(&case.graph, case.store.clone())
+}
+
+/// Runs `f` with the bundle planner pinned to the trie (default) or
+/// to the identical-expression grouping baseline, restoring the
+/// default afterwards. The lever is re-read on every bundle read, so
+/// flipping it between timed passes is exact.
+pub fn with_plan_mode<T>(grouped: bool, f: impl FnOnce() -> T) -> T {
+    if grouped {
+        std::env::set_var("SOCIALREACH_BUNDLE_PLAN", "grouped");
+    } else {
+        std::env::remove_var("SOCIALREACH_BUNDLE_PLAN");
+    }
+    let out = f();
+    std::env::remove_var("SOCIALREACH_BUNDLE_PLAN");
+    out
+}
+
+/// Asserts trie ≡ grouped ≡ single-graph audiences on every bundle
+/// (run once before timing).
+pub fn assert_plan_matches_grouped(
+    case: &P15Case,
+    single: &dyn AccessService,
+    sharded: &dyn AccessService,
+) {
+    for bundle in &case.bundles {
+        let trie =
+            with_plan_mode(false, || sharded.audience_batch(bundle)).expect("bundle evaluates");
+        let grouped =
+            with_plan_mode(true, || sharded.audience_batch(bundle)).expect("bundle evaluates");
+        assert_eq!(trie, grouped, "trie/grouped divergence in {}", case.name);
+        let single_trie =
+            with_plan_mode(false, || single.audience_batch(bundle)).expect("bundle evaluates");
+        assert_eq!(
+            trie, single_trie,
+            "sharded/single divergence in {}",
+            case.name
+        );
+        let single_grouped =
+            with_plan_mode(true, || single.audience_batch(bundle)).expect("bundle evaluates");
+        assert_eq!(
+            single_trie, single_grouped,
+            "single trie/grouped divergence in {}",
+            case.name
+        );
+    }
+}
+
+/// Fixpoint work census over every bundle under one plan mode: sums
+/// of fixpoints, states expanded, and the trie's plan/expression
+/// state counts (the shared-prefix hit rate's raw material; both zero
+/// under grouping).
+pub fn bundle_work_census(case: &P15Case, svc: &dyn AccessService, grouped: bool) -> ReadStats {
+    with_plan_mode(grouped, || {
+        let mut total = ReadStats::default();
+        for bundle in &case.bundles {
+            let (_, stats) = svc
+                .audience_batch_with_stats(bundle)
+                .expect("bundle evaluates");
+            total.absorb(&stats);
+        }
+        total
+    })
+}
+
+/// One pass of every bundle through a deployment's batched read path
+/// (plan mode pinned by the caller via [`with_plan_mode`]).
+pub fn run_bundles(case: &P15Case, svc: &dyn AccessService) {
+    for bundle in &case.bundles {
+        let audiences = svc.audience_batch(bundle).expect("bundle evaluates");
+        std::hint::black_box(audiences.len());
+    }
+}

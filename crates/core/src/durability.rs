@@ -1427,6 +1427,13 @@ impl AccessService for DurableService {
         self.inner.reads().audience_batch_with_stats(rids)
     }
 
+    fn query_audience_bundle(
+        &self,
+        queries: &[(NodeId, &str)],
+    ) -> Result<Vec<Vec<NodeId>>, EvalError> {
+        self.inner.reads().query_audience_bundle(queries)
+    }
+
     fn explain(
         &self,
         resource: ResourceId,

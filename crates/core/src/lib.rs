@@ -49,6 +49,7 @@
 //! | [`joinengine`] | §3.3–3.4 | join pipeline + post-processing |
 //! | [`engine`] | — | engine trait, caching enforcer, per-generation snapshot cache |
 //! | [`service`] | — | the deployment-agnostic serving API: `AccessService` / `MutateService` traits, request/response vocabulary, `Deployment` builder |
+//! | [`query`] | — | openCypher-flavored query front-end + shared-prefix bundle plan compiler and its masked trie engine |
 //! | [`planner`] | — | telemetry-fed adaptive read planner: per-resource decaying profiles pick the winning engine per bundle |
 //! | [`system`] | — | single-graph backend (`AccessControlSystem`) |
 //! | [`sharded`] | — | hash-partitioned multi-shard backend with cross-shard stitching |
@@ -142,6 +143,32 @@
 //! (`tests/wire_roundtrip.rs`, `tests/remote_faults.rs`,
 //! `tests/remote_conformance.rs`) pins the networked deployment to its
 //! in-process twins byte by byte and fault by fault.
+//!
+//! ## Query front-end and bundle-wide plan sharing
+//!
+//! The [`query`] module adds a second policy surface and a second
+//! batch execution strategy. Its front-end parses an
+//! openCypher-flavored query language —
+//! `MATCH (owner)-[:friend*1..2]->(v {age >= 18})` — into the same
+//! [`path::PathExpr`] AST as the classic syntax, with the same caret
+//! errors; [`query::parse_policy`] accepts either grammar, so
+//! `add_rule` and the CLI take both, and ad-hoc audience questions
+//! enter through [`AccessService::query_audience`] without
+//! registering a resource. Its back half replaces the batched read
+//! paths' *identical-expression* grouping key with a **shared-prefix
+//! trie** ([`query::BundlePlan`]): a bundle's distinct conditions
+//! compile into one plan whose nodes are canonicalized steps, the
+//! masked multi-source BFS ([`query::engine`]) walks each shared
+//! prefix once per 64-condition chunk, and condition masks fork only
+//! where paths diverge — on the single graph, inside the sharded
+//! fixpoint, and across the wire (`BeginEvalPlan`). The compression
+//! achieved is reported per read as
+//! [`ReadStats::plan_states`]/[`ReadStats::expr_states`] and feeds the
+//! adaptive planner's per-resource profiles. Setting
+//! `SOCIALREACH_BUNDLE_PLAN=grouped` restores the old grouping key
+//! (the benchmark baseline and differential oracle);
+//! `tests/query_differential.rs` pins both strategies to
+//! per-condition evaluation on all three deployments.
 
 pub mod carminati;
 pub mod durability;
@@ -154,6 +181,7 @@ pub mod online;
 pub mod path;
 pub mod planner;
 pub mod policy;
+pub mod query;
 pub mod remote;
 pub mod service;
 pub mod sharded;
@@ -177,6 +205,7 @@ pub use planner::{
     CostEstimate, PlannedService, Planner, PlannerMode, PlannerTally, ResourceProfile,
 };
 pub use policy::{AccessCondition, AccessRule, Decision, PolicyStore, ResourceId};
+pub use query::{parse_policy, parse_query, render_query, BundlePlan};
 pub use remote::{NetworkedSystem, RemoteError, ShardAddr, ShardHandle, ShardServer};
 pub use service::{
     AccessResponse, AccessService, BundleStrategy, CheckPlan, Deployment, Explanation,

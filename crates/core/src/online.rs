@@ -145,10 +145,10 @@ impl OnlineOutcome {
 
 /// Cap on `layers · |V|` dense state slots (64 MiB of visited stamps).
 /// Above it the reference engine's sparse bookkeeping wins.
-const MAX_FLAT_STATES: u64 = 1 << 24;
+pub(crate) const MAX_FLAT_STATES: u64 = 1 << 24;
 /// Cap on the number of `(step, depth)` layers by themselves, so a
 /// degenerate `label+[1..2^30]` cannot force a huge layer table.
-const MAX_FLAT_LAYERS: u64 = 1 << 20;
+pub(crate) const MAX_FLAT_LAYERS: u64 = 1 << 20;
 /// `parent_hop` packs `edge id << 1 | forward`; this marks ε-moves and
 /// the start state.
 const HOP_NONE: u32 = u32::MAX;

@@ -264,6 +264,35 @@ impl Step {
     }
 }
 
+impl Step {
+    /// Canonical form of the step: attribute predicates sorted by
+    /// `(key, operator, rendered literal)` and exact duplicates
+    /// dropped. Predicates conjoin, so reordering and deduplication
+    /// preserve semantics exactly. Depth sets are already canonical by
+    /// construction ([`DepthSet::from_intervals`] sorts, merges
+    /// overlap/adjacency and drops everything after an unbounded
+    /// interval), and labels/keys are interned ids, so two
+    /// semantically identical steps — however they were written —
+    /// compare equal after this.
+    pub fn canonical(&self) -> Step {
+        let mut conds = self.conds.clone();
+        conds.sort_by(|a, b| {
+            (a.key.0, a.op.symbol(), render_value(&a.value)).cmp(&(
+                b.key.0,
+                b.op.symbol(),
+                render_value(&b.value),
+            ))
+        });
+        conds.dedup();
+        Step {
+            label: self.label,
+            dir: self.dir,
+            depths: self.depths.clone(),
+            conds,
+        }
+    }
+}
+
 /// A full access-condition path: the ordered sequence of steps.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PathExpr {
@@ -298,6 +327,18 @@ impl PathExpr {
     /// True when any step has an unbounded depth set.
     pub fn has_unbounded_depth(&self) -> bool {
         self.steps.iter().any(|s| s.depths.is_unbounded())
+    }
+
+    /// Canonical form of the whole path: every step canonicalized via
+    /// [`Step::canonical`]. Two `PathExpr`s that authorize exactly the
+    /// same walks — regardless of predicate order, duplicate
+    /// predicates, or how their depth intervals were originally spelled
+    /// — compare equal (`==`) after canonicalization, which is what the
+    /// bundle evaluators key traversal sharing on.
+    pub fn canonical(&self) -> PathExpr {
+        PathExpr {
+            steps: self.steps.iter().map(Step::canonical).collect(),
+        }
     }
 
     /// Canonical textual form, resolving interned ids through `vocab`
@@ -349,7 +390,7 @@ impl PathExpr {
     }
 }
 
-fn render_value(v: &AttrValue) -> String {
+pub(crate) fn render_value(v: &AttrValue) -> String {
     match v {
         AttrValue::Text(s) => format!("\"{s}\""),
         other => other.to_string(),
@@ -482,6 +523,37 @@ mod tests {
         assert!(p.needs_reverse());
         assert!(p.has_unbounded_depth());
         assert_eq!(p.to_text(&vocab), "friend*[1..]");
+    }
+
+    #[test]
+    fn canonical_sorts_and_dedups_predicates() {
+        let age_ge = AttrPredicate {
+            key: AttrKey(1),
+            op: CmpOp::Ge,
+            value: AttrValue::Int(18),
+        };
+        let city_eq = AttrPredicate {
+            key: AttrKey(0),
+            op: CmpOp::Eq,
+            value: AttrValue::Text("lyon".into()),
+        };
+        let a = PathExpr::new(vec![Step::out(LabelId(0))
+            .with_cond(age_ge.clone())
+            .with_cond(city_eq.clone())]);
+        let b = PathExpr::new(vec![Step::out(LabelId(0))
+            .with_cond(city_eq.clone())
+            .with_cond(age_ge.clone())
+            .with_cond(age_ge.clone())]);
+        assert_ne!(a, b, "textually different");
+        assert_eq!(a.canonical(), b.canonical(), "semantically identical");
+        assert_eq!(b.canonical().steps[0].conds.len(), 2, "duplicate dropped");
+        // Depth notation is already canonical by construction: [1,2] == [1..2].
+        let c = PathExpr::new(vec![Step::out(LabelId(0))
+            .with_depths(DepthSet::from_intervals(vec![(1, Some(1)), (2, Some(2))]))]);
+        let d = PathExpr::new(vec![
+            Step::out(LabelId(0)).with_depths(DepthSet::range(1, 2))
+        ]);
+        assert_eq!(c, d);
     }
 
     #[test]

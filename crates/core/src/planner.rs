@@ -124,6 +124,17 @@ const TARGETED_MAX_CONDITIONS: f64 = 2.0;
 /// sample must never lock in the losing engine.
 const MIN_ARM_SAMPLES: u64 = 3;
 
+/// Measured bundle costs within this relative margin of each other
+/// count as a tie — timing noise routinely exceeds a 15% gap — and
+/// the audience planner breaks the tie on learned workload *shape*
+/// instead: the batched trie plan wins only when the bundle's learned
+/// [`ResourceProfile::prefix_share`] shows real prefix overlap.
+const NEAR_TIE_MARGIN: f64 = 0.15;
+
+/// The learned prefix-share floor above which a near-tie prefers the
+/// shared (batched) plan: 5% of product states eliminated by sharing.
+const MIN_PREFIX_SHARE: f64 = 0.05;
+
 /// Estimates average their first few samples arithmetically before
 /// switching to the EWMA, so the coldest (first) measurement doesn't
 /// dominate the estimate during warm-up the way first-seeded EWMA
@@ -213,6 +224,16 @@ pub struct ResourceProfile {
     pub boundary_rate: f64,
     /// Product states expanded per deduped condition.
     pub states_per_condition: f64,
+    /// Shared-prefix hit rate of the batched trie plan: the fraction
+    /// of per-condition product states the bundle's shared-prefix
+    /// compilation eliminated (`1 − plan/expr`, from
+    /// [`ReadStats::prefix_share`]). Stays at its default (0) until a
+    /// trie-planned batched read observes it — grouped-mode, targeted
+    /// and per-condition reads leave the EWMA untouched. Near-tie
+    /// audience planning consults this field: the shared plan is only
+    /// preferred over per-condition walks when prefixes actually
+    /// overlap.
+    pub prefix_share: f64,
     /// Shape observations absorbed (any strategy).
     pub shape_samples: u64,
     /// Measured cost per strategy slot: `[batched, per-condition,
@@ -251,6 +272,7 @@ impl ResourceProfile {
             sample.states_per_condition,
             first,
         );
+        blend(&mut self.prefix_share, sample.prefix_share, first);
         self.shape_samples += 1;
     }
 }
@@ -264,6 +286,7 @@ struct ShapeSample {
     rounds: Option<f64>,
     boundary_rate: Option<f64>,
     states_per_condition: Option<f64>,
+    prefix_share: Option<f64>,
 }
 
 impl ShapeSample {
@@ -282,6 +305,7 @@ impl ShapeSample {
             rounds,
             boundary_rate,
             states_per_condition,
+            prefix_share: stats.prefix_share(),
         }
     }
 }
@@ -383,6 +407,17 @@ impl Planner {
             };
         }
         match (batched, per_cond) {
+            // Near-tie: measured costs alone can't separate the arms
+            // (timing noise exceeds the gap), so let the learned
+            // workload shape decide — the batched trie plan only earns
+            // its keep when the bundle's prefixes actually overlap.
+            (Some(b), Some(p)) if (b - p).abs() <= NEAR_TIE_MARGIN * b.max(p) => {
+                if bundle_prefix_share(&profiles, &unique) > MIN_PREFIX_SHARE {
+                    BundleStrategy::Batched
+                } else {
+                    BundleStrategy::PerCondition
+                }
+            }
             (Some(b), Some(p)) if p < b => BundleStrategy::PerCondition,
             _ => BundleStrategy::Batched,
         }
@@ -611,6 +646,23 @@ fn arm_evidence(
         .unwrap_or(0)
 }
 
+/// Mean learned shared-prefix hit rate across the bundle's deduped
+/// resources (unprofiled resources contribute 0 — no evidence of
+/// overlap is treated as no overlap).
+fn bundle_prefix_share(
+    profiles: &HashMap<ResourceId, ResourceProfile>,
+    unique: &[ResourceId],
+) -> f64 {
+    if unique.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = unique
+        .iter()
+        .map(|rid| profiles.get(rid).map_or(0.0, |p| p.prefix_share))
+        .sum();
+    total / unique.len() as f64
+}
+
 /// Total measurement count of one strategy's estimate across the
 /// bundle.
 fn slot_samples(
@@ -778,6 +830,16 @@ impl AccessService for PlannedService {
         Ok((audiences, stats))
     }
 
+    fn query_audience_bundle(
+        &self,
+        queries: &[(NodeId, &str)],
+    ) -> Result<Vec<Vec<NodeId>>, EvalError> {
+        // Read-only ad-hoc queries carry no ResourceId to profile, so
+        // they bypass the planner and ride the backend's default
+        // bundle strategy.
+        self.inner.reads().query_audience_bundle(queries)
+    }
+
     fn explain(
         &self,
         resource: ResourceId,
@@ -880,6 +942,8 @@ mod tests {
             rounds: 1,
             states_expanded: states,
             exported_states: exported,
+            plan_states: 0,
+            expr_states: 0,
         }
     }
 
@@ -939,6 +1003,93 @@ mod tests {
         let prof = p.profile(rid(0)).unwrap();
         assert_eq!(prof.costs[S_BATCHED].cost_ns, 300.0);
         assert_eq!(prof.costs[S_BATCHED].samples, 5);
+    }
+
+    #[test]
+    fn prefix_share_ewma_math_is_exact() {
+        let p = Planner::new(PlannerMode::Adaptive);
+        let audiences = [vec![NodeId(1)]];
+        // First trie-planned census: 100 per-condition states collapsed
+        // to 50 plan states → share 0.5 seeds the field directly.
+        let mut s = stats(2, 40, 0);
+        s.plan_states = 50;
+        s.expr_states = 100;
+        p.observe_audience(&[rid(0)], BundleStrategy::Batched, 100, &s, &audiences);
+        let prof = p.profile(rid(0)).unwrap();
+        assert_eq!(prof.prefix_share, 0.5);
+
+        // Second census at share 0.25 blends with α = ¼:
+        // 0.5 + 0.25·(0.25 − 0.5).
+        s.plan_states = 75;
+        p.observe_audience(&[rid(0)], BundleStrategy::Batched, 100, &s, &audiences);
+        let prof = p.profile(rid(0)).unwrap();
+        assert_eq!(prof.prefix_share, 0.4375);
+
+        // A grouped-mode census (no plan compiled → expr_states == 0)
+        // reports no share and must leave the EWMA untouched.
+        p.observe_audience(
+            &[rid(0)],
+            BundleStrategy::Batched,
+            100,
+            &stats(2, 40, 0),
+            &audiences,
+        );
+        let prof = p.profile(rid(0)).unwrap();
+        assert_eq!(prof.prefix_share, 0.4375);
+    }
+
+    #[test]
+    fn near_tie_breaks_on_learned_prefix_share() {
+        let audiences = [vec![NodeId(1)]];
+        // Costs within the 15% near-tie margin on both planners; only
+        // the learned prefix overlap differs.
+        let learn = |share_states: usize| {
+            let p = Planner::new(PlannerMode::Adaptive);
+            let mut batched_stats = stats(1, 10, 0);
+            batched_stats.plan_states = share_states;
+            batched_stats.expr_states = 100;
+            for _ in 0..MIN_ARM_SAMPLES {
+                p.observe_audience(
+                    &[rid(0)],
+                    BundleStrategy::Batched,
+                    1_000,
+                    &batched_stats,
+                    &audiences,
+                );
+                p.observe_audience(
+                    &[rid(0)],
+                    BundleStrategy::PerCondition,
+                    950,
+                    &stats(1, 10, 0),
+                    &audiences,
+                );
+            }
+            p
+        };
+        // Disjoint bundle: the plan holds exactly the per-condition
+        // states (share 0) — per-condition wins the tie.
+        let disjoint = learn(100);
+        assert_eq!(
+            disjoint.plan_audience(&[rid(0)]),
+            BundleStrategy::PerCondition
+        );
+        // Overlapping bundle: half the states shared — the trie plan
+        // wins the tie even though per-condition measured nominally
+        // cheaper.
+        let shared = learn(50);
+        assert_eq!(shared.plan_audience(&[rid(0)]), BundleStrategy::Batched);
+        // Outside the margin the measured argmin still rules.
+        let p = learn(50);
+        for _ in 0..8 {
+            p.observe_audience(
+                &[rid(0)],
+                BundleStrategy::PerCondition,
+                100,
+                &stats(1, 10, 0),
+                &audiences,
+            );
+        }
+        assert_eq!(p.plan_audience(&[rid(0)]), BundleStrategy::PerCondition);
     }
 
     #[test]

@@ -122,7 +122,9 @@ impl PolicyStore {
     }
 
     /// Convenience: adds a single-condition rule whose owner is the
-    /// resource owner and whose path is parsed from `path_text`.
+    /// resource owner and whose path is parsed from `path_text` — in
+    /// either syntax, classic path notation or the openCypher-flavored
+    /// `MATCH` grammar ([`crate::query::parse_policy`]).
     pub fn allow(
         &mut self,
         rid: ResourceId,
@@ -130,7 +132,7 @@ impl PolicyStore {
         g: &mut SocialGraph,
     ) -> Result<(), EvalError> {
         let owner = self.owner_of(rid)?;
-        let path = parse_path(path_text, g.vocab_mut())?;
+        let path = crate::query::parse_policy(path_text, g.vocab_mut())?;
         self.add_rule(AccessRule {
             resource: rid,
             conditions: vec![AccessCondition { owner, path }],

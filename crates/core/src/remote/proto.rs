@@ -120,6 +120,28 @@ pub enum Request {
         /// targeted check/explain path; enables `Trace`).
         parents: bool,
     },
+    /// Open a masked-fixpoint evaluation session over a **shared-prefix
+    /// trie plan** ([`crate::query::BundlePlan`]) instead of a single
+    /// linear path: `nodes` ships the plan's trie with each node's step
+    /// in canonical text and its per-chunk condition masks baked in,
+    /// and subsequent `Round` seeds carry *plan node ids* in the `step`
+    /// slot of their masked keys. Plan sessions serve batched audience
+    /// fixpoints only — they refuse `Round.stop` and `Trace` (targeted
+    /// check/explain stays on `BeginEval`'s linear engine). Refused
+    /// unless `epoch` matches, exactly like `BeginEval`. Appended in
+    /// protocol version 1: the variant is new but no existing message
+    /// changed shape.
+    BeginEvalPlan {
+        /// Router-unique evaluation id (shared by every shard of one
+        /// evaluation).
+        eval: u64,
+        /// The epoch the router expects the shard to serve.
+        epoch: u64,
+        /// The trie nodes; vector index is the plan node id.
+        nodes: Vec<WirePlanNode>,
+        /// Mask word this evaluation's bits live in.
+        word: u32,
+    },
     /// Deliver one batch of masked seeds to an open evaluation and run
     /// the shard's slice of the fixpoint round. Seeds are
     /// [`MaskedExport`]s in global coordinates; the engine's visited
@@ -156,6 +178,27 @@ pub enum Request {
     Census,
     /// Ask the server process to shut down.
     Shutdown,
+}
+
+/// One trie node of a shipped bundle plan (`BeginEvalPlan`): a
+/// single-step path expression in canonical text plus the trie edges
+/// and this chunk's condition masks. The wire plan is chunk-specific —
+/// one evaluation session serves one 64-condition mask word, so the
+/// masks ride with the nodes instead of a separate message.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WirePlanNode {
+    /// The node's step as a one-step path expression in canonical text
+    /// ([`crate::path::PathExpr::to_text`]); the shard re-parses it
+    /// against its synchronized vocabulary.
+    pub step: String,
+    /// Plan node ids of the trie children (divergence points fork the
+    /// condition masks).
+    pub children: Vec<u16>,
+    /// Condition bits whose chains pass through this node (the ε-fork
+    /// filter).
+    pub mask: u64,
+    /// Condition bits that accept upon completing this node.
+    pub accept: u64,
 }
 
 /// One member that completed the final path step, with the condition
@@ -377,6 +420,25 @@ mod tests {
                         dst: 9,
                     },
                 ],
+            },
+            Request::BeginEvalPlan {
+                eval: 11,
+                epoch: 3,
+                nodes: vec![
+                    WirePlanNode {
+                        step: "friend+[1..2]".into(),
+                        children: vec![1],
+                        mask: 0b11,
+                        accept: 0b01,
+                    },
+                    WirePlanNode {
+                        step: "colleague+[1]".into(),
+                        children: vec![],
+                        mask: 0b10,
+                        accept: 0b10,
+                    },
+                ],
+                word: 0,
             },
             Request::Round {
                 eval: 12,

@@ -33,7 +33,7 @@ use super::frame::{self, FrameError};
 use super::proto::{self, Request, Response, ShardOp, PROTOCOL_VERSION};
 use super::{Conn, RemoteError, ShardAddr, DEFAULT_READ_TIMEOUT, MAX_ROUND_EXPORTS};
 use crate::error::EvalError;
-use crate::path::{parse_path, PathExpr};
+use crate::path::PathExpr;
 use crate::policy::{Decision, PolicyStore, ResourceId};
 use crate::service::{
     AccessService, BundleStrategy, CheckPlan, Explanation, MutateService, ReadStats, WalkHop,
@@ -155,6 +155,10 @@ struct NetStats {
     rounds: usize,
     states_expanded: usize,
     exported_states: usize,
+    /// Shared-trie automaton states (zero in grouped mode).
+    plan_states: usize,
+    /// One-chain-per-condition automaton states (zero in grouped mode).
+    expr_states: usize,
 }
 
 /// Result of one remote round on one shard.
@@ -764,11 +768,13 @@ impl NetworkedSystem {
         self.store.register_resource(owner)
     }
 
-    /// Attaches a single-condition rule parsed from `path_text`.
+    /// Attaches a single-condition rule parsed from `path_text` — in
+    /// either syntax, classic path notation or the openCypher-flavored
+    /// `MATCH` grammar ([`crate::query::parse_policy`]).
     pub fn allow(&mut self, rid: ResourceId, path_text: &str) -> Result<(), EvalError> {
         self.cache.get_mut().clear();
         let owner = self.store.owner_of(rid)?;
-        let path = parse_path(path_text, &mut self.vocab)?;
+        let path = crate::query::parse_policy(path_text, &mut self.vocab)?;
         self.store.add_rule(crate::policy::AccessRule {
             resource: rid,
             conditions: vec![crate::policy::AccessCondition { owner, path }],
@@ -795,32 +801,24 @@ impl NetworkedSystem {
         }
     }
 
-    /// Opens the evaluation on a shard if this is its first activation,
-    /// then delivers the seeds in [`MAX_ROUND_EXPORTS`]-sized
-    /// sub-batches (at most one frame in flight per shard). Returns
-    /// the merged outcome; an early-exit hit stops further delivery.
-    #[allow(clippy::too_many_arguments)]
+    /// Opens the evaluation on a shard if this is its first activation
+    /// (delivering the prebuilt `begin` request — `BeginEval` for the
+    /// linear engine, `BeginEvalPlan` for the shared-trie plan), then
+    /// delivers the seeds in [`MAX_ROUND_EXPORTS`]-sized sub-batches
+    /// (at most one frame in flight per shard). Returns the merged
+    /// outcome; an early-exit hit stops further delivery.
     fn shard_round(
         &self,
         shard: usize,
         eval: u64,
         begun: &mut bool,
         seeds: &[MaskedExport],
-        path_text: &str,
-        word: u32,
-        parents: bool,
+        begin: &Request,
         stop: Option<u32>,
     ) -> Result<RoundOutcome, RemoteError> {
         if !*begun {
             self.ensure_vocab(shard)?;
-            let req = Request::BeginEval {
-                eval,
-                epoch: self.epoch,
-                path: path_text.to_owned(),
-                word,
-                parents,
-            };
-            match self.call_shard(shard, &req)? {
+            match self.call_shard(shard, begin)? {
                 Response::EvalOpen { .. } => *begun = true,
                 other => return Err(self.unexpected(shard, "EvalOpen", &other)),
             }
@@ -862,15 +860,12 @@ impl NetworkedSystem {
     /// scoped threads when several shards are active and the host has
     /// real cores (each thread owns its shard's lane lock), inline
     /// otherwise. Mirrors the in-process driver's fan-out policy.
-    #[allow(clippy::too_many_arguments)]
     fn run_remote_round(
         &self,
         round: &[(usize, Vec<MaskedExport>)],
         begun: &mut [bool],
         eval: u64,
-        path_text: &str,
-        word: u32,
-        parents: bool,
+        begin: &Request,
         stop: Option<(usize, u32)>,
     ) -> Result<Vec<RoundOutcome>, RemoteError> {
         let eval_one = |shard: usize, seeds: &[MaskedExport], begun: &mut bool| {
@@ -879,9 +874,7 @@ impl NetworkedSystem {
                 eval,
                 begun,
                 seeds,
-                path_text,
-                word,
-                parents,
+                begin,
                 stop.filter(|&(s, _)| s == shard).map(|(_, m)| m),
             )
         };
@@ -945,6 +938,12 @@ impl NetworkedSystem {
         &self,
         conds: &[(NodeId, &PathExpr)],
     ) -> Result<(Vec<Vec<NodeId>>, NetStats), RemoteError> {
+        if !crate::query::grouped_plan_forced() {
+            let paths: Vec<&PathExpr> = conds.iter().map(|&(_, p)| p).collect();
+            if let Some(plan) = crate::query::BundlePlan::compile(&paths) {
+                return self.evaluate_conditions_planned(conds, &plan);
+            }
+        }
         let n = self.lanes.len();
         let mut stats = NetStats::default();
         let mut audiences: Vec<Vec<NodeId>> = vec![Vec::new(); conds.len()];
@@ -969,6 +968,13 @@ impl NetworkedSystem {
                 let word = word as u32;
                 stats.fixpoints += 1;
                 let eval = self.eval_counter.fetch_add(1, Ordering::Relaxed);
+                let begin = Request::BeginEval {
+                    eval,
+                    epoch: self.epoch,
+                    path: path_text.clone(),
+                    word,
+                    parents: false,
+                };
                 let mut begun = vec![false; n];
                 let mut pending: Vec<Vec<MaskedExport>> = vec![Vec::new(); n];
                 for (bit, &ci) in chunk.iter().enumerate() {
@@ -996,9 +1002,7 @@ impl NetworkedSystem {
                         return Ok(());
                     }
                     stats.rounds += 1;
-                    let outs = self.run_remote_round(
-                        &round, &mut begun, eval, &path_text, word, false, None,
-                    )?;
+                    let outs = self.run_remote_round(&round, &mut begun, eval, &begin, None)?;
                     for ((_, _), out) in round.iter().zip(outs) {
                         for m in &out.matched {
                             let mut b = m.mask;
@@ -1033,6 +1037,124 @@ impl NetworkedSystem {
         Ok((audiences, stats))
     }
 
+    /// The shared-prefix bundle fixpoint over the wire: the router
+    /// compiles the bundle into one [`crate::query::BundlePlan`] trie
+    /// and ships it to every shard as a [`Request::BeginEvalPlan`]
+    /// (plan nodes travel as canonical one-step path text plus the
+    /// chunk's ε-fork/accept masks), so each shared prefix is entered
+    /// once per shard and condition masks fork where paths diverge.
+    /// Round exchanges, new-bit forwarding, and shard-order merging are
+    /// identical to the grouped path — only the per-group traversals
+    /// collapse into one per 64-condition chunk.
+    fn evaluate_conditions_planned(
+        &self,
+        conds: &[(NodeId, &PathExpr)],
+        plan: &crate::query::BundlePlan,
+    ) -> Result<(Vec<Vec<NodeId>>, NetStats), RemoteError> {
+        let n = self.lanes.len();
+        let mut stats = NetStats {
+            plan_states: plan.plan_states(),
+            expr_states: plan.expr_states(),
+            ..NetStats::default()
+        };
+        let mut audiences: Vec<Vec<NodeId>> = vec![Vec::new(); conds.len()];
+        let mut traversable: Vec<usize> = Vec::new();
+        for (i, &(owner, _)) in conds.iter().enumerate() {
+            match plan.root_of(i) {
+                Some(_) => traversable.push(i),
+                None => audiences[i].push(owner), // empty path: owner only
+            }
+        }
+        if traversable.is_empty() {
+            return Ok((audiences, stats));
+        }
+        // Bits already forwarded, shared across the chunks (the word
+        // index keys them apart).
+        let mut imported = MaskedExportSet::new();
+        for (word, chunk) in traversable.chunks(64).enumerate() {
+            let word = word as u32;
+            stats.fixpoints += 1;
+            let masks = plan.chunk_masks(chunk);
+            let eval = self.eval_counter.fetch_add(1, Ordering::Relaxed);
+            let nodes: Vec<proto::WirePlanNode> = plan
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, node)| proto::WirePlanNode {
+                    step: PathExpr::new(vec![node.step.clone()]).to_text(&self.vocab),
+                    children: node.children.clone(),
+                    mask: masks.node_mask[i],
+                    accept: masks.accept_mask[i],
+                })
+                .collect();
+            let begin = Request::BeginEvalPlan {
+                eval,
+                epoch: self.epoch,
+                nodes,
+                word,
+            };
+            let mut begun = vec![false; n];
+            let mut pending: Vec<Vec<MaskedExport>> = vec![Vec::new(); n];
+            for (bit, &ci) in chunk.iter().enumerate() {
+                let owner = conds[ci].0;
+                let root = plan.root_of(ci).expect("traversable condition");
+                let key = MaskedStateKey {
+                    member: owner.0,
+                    step: root,
+                    depth: 0,
+                    word,
+                };
+                imported.insert(key, 1 << bit);
+                pending[self.members[owner.index()].home as usize].push(MaskedExport {
+                    key,
+                    mask: 1 << bit,
+                });
+            }
+            let result = (|| loop {
+                let round: Vec<(usize, Vec<MaskedExport>)> = pending
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(_, seeds)| !seeds.is_empty())
+                    .map(|(i, seeds)| (i, std::mem::take(seeds)))
+                    .collect();
+                if round.is_empty() {
+                    return Ok(());
+                }
+                stats.rounds += 1;
+                let outs = self.run_remote_round(&round, &mut begun, eval, &begin, None)?;
+                for ((_, _), out) in round.iter().zip(outs) {
+                    for m in &out.matched {
+                        let mut b = m.mask;
+                        while b != 0 {
+                            let bit = b.trailing_zeros() as usize;
+                            b &= b - 1;
+                            audiences[chunk[bit]].push(NodeId(m.member));
+                        }
+                    }
+                    for exp in &out.exports {
+                        let new = imported.insert(exp.key, exp.mask);
+                        if new != 0 {
+                            stats.exported_states += 1;
+                            let home = self.members[exp.key.member as usize].home as usize;
+                            pending[home].push(MaskedExport {
+                                key: exp.key,
+                                mask: new,
+                            });
+                        }
+                    }
+                    stats.states_expanded += out.states_expanded as usize;
+                }
+            })();
+            self.end_eval(eval, &begun);
+            result?;
+        }
+        for audience in &mut audiences {
+            audience.sort_unstable();
+            audience.dedup();
+        }
+        Ok((audiences, stats))
+    }
+
     /// The targeted single-condition fixpoint over the wire (the
     /// `check`/`explain` path): a 1-bit bundle with first-arrival
     /// parent tracking on every shard engine, early exit on the
@@ -1057,6 +1179,13 @@ impl NetworkedSystem {
         let n = self.lanes.len();
         let path_text = path.to_text(&self.vocab);
         let eval = self.eval_counter.fetch_add(1, Ordering::Relaxed);
+        let begin = Request::BeginEval {
+            eval,
+            epoch: self.epoch,
+            path: path_text.clone(),
+            word: 0,
+            parents: true,
+        };
         let mut begun = vec![false; n];
         let stop = (self.members[requester.index()].home as usize, requester.0);
         let mut imported = MaskedExportSet::new();
@@ -1086,15 +1215,7 @@ impl NetworkedSystem {
                     break;
                 }
                 stats.rounds += 1;
-                let outs = self.run_remote_round(
-                    &round,
-                    &mut begun,
-                    eval,
-                    &path_text,
-                    0,
-                    true,
-                    Some(stop),
-                )?;
+                let outs = self.run_remote_round(&round, &mut begun, eval, &begin, Some(stop))?;
                 for ((shard_ix, _), out) in round.iter().zip(outs) {
                     stats.states_expanded += out.states_expanded as usize;
                     if let Some((step, depth)) = out.hit {
@@ -1278,6 +1399,8 @@ impl NetStats {
             rounds: self.rounds,
             states_expanded: self.states_expanded,
             exported_states: self.exported_states,
+            plan_states: self.plan_states,
+            expr_states: self.expr_states,
         }
     }
 }
@@ -1330,6 +1453,31 @@ impl AccessService for NetworkedSystem {
             Ok(audiences)
         })?;
         Ok((audiences, stats))
+    }
+
+    fn query_audience_bundle(
+        &self,
+        queries: &[(NodeId, &str)],
+    ) -> Result<Vec<Vec<NodeId>>, EvalError> {
+        let texts: Vec<&str> = queries.iter().map(|&(_, t)| t).collect();
+        let parsed = crate::query::parse_queries_readonly(&texts, &self.vocab)?;
+        let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); queries.len()];
+        let mut conds: Vec<(NodeId, &PathExpr)> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        for (i, path) in parsed.iter().enumerate() {
+            if let Some(path) = path {
+                conds.push((queries[i].0, path));
+                slots.push(i);
+            }
+        }
+        if conds.is_empty() {
+            return Ok(out);
+        }
+        let (audiences, _) = self.with_read_retry(|| self.evaluate_conditions_batched(&conds))?;
+        for (slot, audience) in slots.into_iter().zip(audiences) {
+            out[slot] = audience;
+        }
+        Ok(out)
     }
 
     fn explain(

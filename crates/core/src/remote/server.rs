@@ -25,6 +25,7 @@ use super::proto::{
 use super::{Conn, Listener, ShardAddr};
 use crate::online::{self, MaskedSeedState, SeededBatchState};
 use crate::path::{parse_path, PathExpr};
+use crate::query::{ChunkMasks, PlanBatchState, PlanNode};
 use parking_lot::Mutex;
 use socialreach_graph::csr::CsrSnapshot;
 use socialreach_graph::shard::{MaskedExport, MaskedStateKey};
@@ -42,11 +43,34 @@ const POLL: Duration = Duration::from_millis(50);
 /// client torn mid-frame releases the worker instead of pinning it.
 const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// The engine behind an open evaluation: the linear path automaton
+/// (`BeginEval` — targeted stop and parent-tracked traces supported)
+/// or the shared-prefix trie plan (`BeginEvalPlan` — batched audience
+/// fixpoints only).
+enum EvalEngine {
+    /// One path expression, seeds carry step indexes.
+    Linear {
+        /// Round-persistent masked visited state.
+        engine: SeededBatchState,
+        /// The re-parsed path the engine runs.
+        path: PathExpr,
+    },
+    /// A shipped bundle plan, seeds carry plan node ids in the `step`
+    /// slot.
+    Plan {
+        /// Round-persistent per-node masked visited state.
+        engine: PlanBatchState,
+        /// The re-parsed trie nodes.
+        nodes: Vec<PlanNode>,
+        /// This chunk's node/accept masks.
+        masks: ChunkMasks,
+    },
+}
+
 /// One open masked-fixpoint evaluation.
 struct EvalSession {
-    engine: SeededBatchState,
+    engine: EvalEngine,
     snap: Arc<CsrSnapshot>,
-    path: PathExpr,
     word: u32,
 }
 
@@ -305,9 +329,89 @@ impl ShardCore {
                 self.evals.insert(
                     eval,
                     EvalSession {
-                        engine,
+                        engine: EvalEngine::Linear {
+                            engine,
+                            path: parsed,
+                        },
                         snap,
-                        path: parsed,
+                        word,
+                    },
+                );
+                (Response::EvalOpen { eval }, false)
+            }
+            Request::BeginEvalPlan {
+                eval,
+                epoch,
+                nodes,
+                word,
+            } => {
+                if epoch != self.epoch {
+                    return refuse(WireRefusal::EpochMismatch {
+                        shard_epoch: self.epoch,
+                        requested: epoch,
+                    });
+                }
+                if nodes.is_empty() {
+                    return refuse(WireRefusal::BadRequest {
+                        detail: "a bundle plan needs at least one node".to_owned(),
+                    });
+                }
+                // Re-parse each node's step against a throwaway copy of
+                // the vocabulary, refusing unknown names exactly like
+                // `BeginEval` does for its one path.
+                let mut vocab = self.graph.vocab().clone();
+                let before = (vocab.num_labels(), vocab.num_attrs());
+                let mut plan_nodes: Vec<PlanNode> = Vec::with_capacity(nodes.len());
+                let mut masks = ChunkMasks::default();
+                for n in &nodes {
+                    let parsed = match parse_path(&n.step, &mut vocab) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            return refuse(WireRefusal::BadRequest {
+                                detail: format!(
+                                    "unparsable plan step {:?}: {}",
+                                    n.step,
+                                    crate::EvalError::from(e)
+                                ),
+                            })
+                        }
+                    };
+                    if (vocab.num_labels(), vocab.num_attrs()) != before {
+                        return refuse(WireRefusal::BadRequest {
+                            detail: format!(
+                                "plan step {:?} names vocabulary this shard has not interned",
+                                n.step
+                            ),
+                        });
+                    }
+                    if parsed.len() != 1 {
+                        return refuse(WireRefusal::BadRequest {
+                            detail: format!("plan node step {:?} is not a single step", n.step),
+                        });
+                    }
+                    if let Some(&c) = n.children.iter().find(|&&c| c as usize >= nodes.len()) {
+                        return refuse(WireRefusal::BadRequest {
+                            detail: format!("plan child id {c} is out of range"),
+                        });
+                    }
+                    plan_nodes.push(PlanNode {
+                        step: parsed.steps[0].canonical(),
+                        children: n.children.clone(),
+                    });
+                    masks.node_mask.push(n.mask);
+                    masks.accept_mask.push(n.accept);
+                }
+                let snap = self.snapshot();
+                let engine = PlanBatchState::new(&self.graph, &snap, &plan_nodes);
+                self.evals.insert(
+                    eval,
+                    EvalSession {
+                        engine: EvalEngine::Plan {
+                            engine,
+                            nodes: plan_nodes,
+                            masks,
+                        },
+                        snap,
                         word,
                     },
                 );
@@ -335,6 +439,12 @@ impl ShardCore {
                     };
                     local_seeds.push((local, e.key.step, e.key.depth, e.mask));
                 }
+                if stop.is_some() && matches!(sess.engine, EvalEngine::Plan { .. }) {
+                    return refuse(WireRefusal::BadRequest {
+                        detail: "plan sessions serve audience fixpoints only (no stop target)"
+                            .to_owned(),
+                    });
+                }
                 let stop_local = match stop {
                     Some(m) => match self.local_of.get(&m) {
                         Some(&l) if !self.ghost[l.index()] => Some(l),
@@ -355,15 +465,32 @@ impl ShardCore {
                     ..
                 } = self;
                 let sess = evals.get_mut(&eval).expect("checked above");
-                let out = online::evaluate_audience_batch_seeded_stop(
-                    graph,
-                    &sess.snap,
-                    &sess.path,
-                    &mut sess.engine,
-                    &local_seeds,
-                    ghost,
-                    stop_local,
-                );
+                let out = match &mut sess.engine {
+                    EvalEngine::Linear { engine, path } => {
+                        online::evaluate_audience_batch_seeded_stop(
+                            graph,
+                            &sess.snap,
+                            path,
+                            engine,
+                            &local_seeds,
+                            ghost,
+                            stop_local,
+                        )
+                    }
+                    EvalEngine::Plan {
+                        engine,
+                        nodes,
+                        masks,
+                    } => crate::query::evaluate_plan_batch_seeded(
+                        graph,
+                        &sess.snap,
+                        nodes,
+                        masks,
+                        engine,
+                        &local_seeds,
+                        ghost,
+                    ),
+                };
                 (
                     Response::Round {
                         matched: out
@@ -406,7 +533,13 @@ impl ShardCore {
                 let Some(&local) = self.local_of.get(&member) else {
                     return refuse(WireRefusal::UnknownMember { member });
                 };
-                match sess.engine.trace(local, step, depth) {
+                let EvalEngine::Linear { engine, .. } = &sess.engine else {
+                    return refuse(WireRefusal::BadRequest {
+                        detail: "plan sessions keep no parent chains (trace a linear session)"
+                            .to_owned(),
+                    });
+                };
+                match engine.trace(local, step, depth) {
                     None => refuse(WireRefusal::BadRequest {
                         detail: format!(
                             "state (member {member}, step {step}, depth {depth}) has no \

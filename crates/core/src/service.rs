@@ -86,6 +86,16 @@ pub struct ReadStats {
     /// Boundary states routed between shards (always zero on
     /// single-graph deployments — a useful sanity probe for tests).
     pub exported_states: usize,
+    /// Automaton layers of the shared-prefix bundle plan
+    /// ([`crate::query::BundlePlan`]) the batched read compiled — each
+    /// shared prefix counted **once**. Zero when no bundle plan was
+    /// compiled (targeted reads, empty bundles).
+    pub plan_states: usize,
+    /// Automaton layers the same bundle occupies with one chain per
+    /// condition (no sharing). `1 − plan_states / expr_states` is the
+    /// bundle's shared-prefix hit rate — the telemetry
+    /// [`crate::planner::PlannedService`] learns from.
+    pub expr_states: usize,
 }
 
 impl ReadStats {
@@ -96,6 +106,18 @@ impl ReadStats {
         self.rounds += other.rounds;
         self.states_expanded += other.states_expanded;
         self.exported_states += other.exported_states;
+        self.plan_states += other.plan_states;
+        self.expr_states += other.expr_states;
+    }
+
+    /// The bundle's shared-prefix hit rate in `[0, 1]` — the fraction
+    /// of per-condition automaton layers the compiled plan elided —
+    /// or `None` when no plan census was recorded.
+    pub fn prefix_share(&self) -> Option<f64> {
+        if self.expr_states == 0 {
+            return None;
+        }
+        Some(1.0 - self.plan_states as f64 / self.expr_states as f64)
     }
 }
 
@@ -473,6 +495,29 @@ pub trait AccessService: Send + Sync {
     ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
         let _ = plan;
         self.check_batch_with_stats(requests, threads)
+    }
+
+    /// Materializes the audiences of a bundle of **ad-hoc queries**,
+    /// in request order: each `(owner, text)` pair is parsed with
+    /// [`crate::query::parse_policy`] (openCypher-flavored `MATCH`
+    /// syntax or classic path syntax) and evaluated as a raw access
+    /// condition anchored at `owner` — the sorted members some
+    /// matching walk reaches. No resource or rule is registered;
+    /// parsing is read-only against the deployment's vocabulary, and a
+    /// query mentioning a relationship type or attribute the graph has
+    /// never seen has an empty audience. Backends share traversal
+    /// across the bundle exactly as registered-rule bundles do.
+    fn query_audience_bundle(
+        &self,
+        queries: &[(NodeId, &str)],
+    ) -> Result<Vec<Vec<NodeId>>, EvalError>;
+
+    /// [`AccessService::query_audience_bundle`] for one query.
+    fn query_audience(&self, owner: NodeId, text: &str) -> Result<Vec<NodeId>, EvalError> {
+        Ok(self
+            .query_audience_bundle(&[(owner, text)])?
+            .pop()
+            .expect("one audience per query"))
     }
 
     /// The full audience of one resource (global member ids, sorted).
@@ -912,6 +957,13 @@ impl AccessService for ServiceInstance {
     ) -> Result<(Vec<Decision>, ReadStats), EvalError> {
         self.reads().check_batch_forced(requests, threads, plan)
     }
+
+    fn query_audience_bundle(
+        &self,
+        queries: &[(NodeId, &str)],
+    ) -> Result<Vec<Vec<NodeId>>, EvalError> {
+        self.reads().query_audience_bundle(queries)
+    }
 }
 
 impl MutateService for ServiceInstance {
@@ -1020,6 +1072,41 @@ mod tests {
             vec!["Alice -friend-> Bob -friend-> Carol".to_owned()]
         );
         assert_eq!(reads.explain_lines(rid, members[3]).unwrap(), None);
+    }
+
+    #[test]
+    fn query_audience_is_deployment_agnostic() {
+        for deployment in [Deployment::online(), Deployment::sharded(3, 7)] {
+            let mut svc = deployment.build();
+            let (members, _) = populate(svc.writes());
+            let reads = svc.reads();
+            let a = reads
+                .query_audience(members[0], "MATCH (owner)-[:friend*1..2]->(v)")
+                .unwrap();
+            assert_eq!(a, vec![members[1], members[2]], "{}", deployment.describe());
+            assert_eq!(
+                a,
+                reads.query_audience(members[0], "friend+[1,2]").unwrap(),
+                "both syntaxes answer alike"
+            );
+            assert!(
+                reads
+                    .query_audience(members[0], "MATCH (o)-[:stranger]->(v)")
+                    .unwrap()
+                    .is_empty(),
+                "unknown relationship type has an empty audience"
+            );
+            let bundled = reads
+                .query_audience_bundle(&[
+                    (members[0], "friend+[1]"),
+                    (members[1], "MATCH (o)-[:friend]->(v)-[:colleague]->(w)"),
+                    (members[2], "MATCH (o)"),
+                ])
+                .unwrap();
+            assert_eq!(bundled[0], vec![members[1]]);
+            assert_eq!(bundled[1], vec![members[3]]);
+            assert_eq!(bundled[2], vec![members[2]], "empty path yields the owner");
+        }
     }
 
     #[test]

@@ -87,7 +87,7 @@ use crate::online::{
     self, MaskedSeedState, SeedState, SeededBatchOutcome, SeededBatchState, SeededOutcome,
     SeededTarget, WitnessHop,
 };
-use crate::path::{parse_path, PathExpr};
+use crate::path::PathExpr;
 use crate::policy::{Decision, PolicyStore, ResourceId};
 use crate::service::{
     AccessService, BundleStrategy, CheckPlan, Explanation, MutateService, ReadStats, WalkHop,
@@ -129,8 +129,10 @@ pub struct ShardedEval {
 /// regression tests.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BundleFixpointStats {
-    /// Masked fixpoints run: one per (path group, 64-condition chunk)
-    /// of the bundle — *not* one per condition.
+    /// Masked fixpoints run: one per 64-condition chunk of the shared
+    /// trie plan (the default), or one per (path group, 64-condition
+    /// chunk) under `SOCIALREACH_BUNDLE_PLAN=grouped` — *not* one per
+    /// condition either way.
     pub fixpoints: usize,
     /// Fixpoint rounds across all of them.
     pub rounds: usize,
@@ -140,15 +142,19 @@ pub struct BundleFixpointStats {
     pub states_expanded: Vec<usize>,
     /// Masked boundary exports the router forwarded (new bits only).
     pub exported_states: usize,
+    /// Automaton states the shared trie plan occupies (zero in grouped
+    /// mode) — see [`crate::query::BundlePlan::plan_states`].
+    pub plan_states: usize,
+    /// Automaton states one-chain-per-condition evaluation would
+    /// occupy (zero in grouped mode).
+    pub expr_states: usize,
 }
 
 impl BundleFixpointStats {
     fn new(shards: usize) -> Self {
         BundleFixpointStats {
-            fixpoints: 0,
-            rounds: 0,
             states_expanded: vec![0; shards],
-            exported_states: 0,
+            ..BundleFixpointStats::default()
         }
     }
 }
@@ -486,12 +492,14 @@ impl ShardedSystem {
         self.store.register_resource(owner)
     }
 
-    /// Attaches a single-condition rule parsed from `path_text` (same
-    /// surface as [`crate::AccessControlSystem::allow`]).
+    /// Attaches a single-condition rule parsed from `path_text` — in
+    /// either syntax, classic path notation or the openCypher-flavored
+    /// `MATCH` grammar (same surface as
+    /// [`crate::AccessControlSystem::allow`]).
     pub fn allow(&mut self, rid: ResourceId, path_text: &str) -> Result<(), EvalError> {
         self.dirty();
         let owner = self.store.owner_of(rid)?;
-        let path = parse_path(path_text, &mut self.vocab)?;
+        let path = crate::query::parse_policy(path_text, &mut self.vocab)?;
         self.sync_vocab();
         self.store.add_rule(crate::policy::AccessRule {
             resource: rid,
@@ -499,9 +507,9 @@ impl ShardedSystem {
         })
     }
 
-    /// Parses a path against the master vocabulary.
+    /// Parses a policy in either syntax against the master vocabulary.
     pub fn parse(&mut self, text: &str) -> Result<PathExpr, EvalError> {
-        let path = parse_path(text, &mut self.vocab)?;
+        let path = crate::query::parse_policy(text, &mut self.vocab)?;
         self.sync_vocab();
         Ok(path)
     }
@@ -929,7 +937,12 @@ impl ShardedSystem {
     }
 
     /// Evaluates a bundle's distinct access conditions through the
-    /// masked batch fixpoint: conditions are grouped by path
+    /// masked batch fixpoint. By default the whole bundle compiles into
+    /// one shared-prefix trie and runs through
+    /// [`ShardedSystem::evaluate_conditions_planned`]: shared prefixes
+    /// traverse once per 64-condition chunk, masks fork at divergence
+    /// points. Under `SOCIALREACH_BUNDLE_PLAN=grouped` (or on `u16`
+    /// plan-node overflow) conditions instead group by identical path
     /// expression; each group's owners become condition bits of a
     /// seeded mask BFS (64 per mask word — wider groups chunk into
     /// further words with no cross-talk), and **one** round-based
@@ -947,6 +960,12 @@ impl ShardedSystem {
         let mut audiences: Vec<Vec<NodeId>> = vec![Vec::new(); conds.len()];
         if conds.is_empty() {
             return (audiences, stats);
+        }
+        if !crate::query::grouped_plan_forced() {
+            let paths: Vec<&PathExpr> = conds.iter().map(|&(_, p)| p).collect();
+            if let Some(plan) = crate::query::BundlePlan::compile(&paths) {
+                return self.evaluate_conditions_planned(conds, &plan);
+            }
         }
         let snaps = self.publish_all();
 
@@ -1060,6 +1079,201 @@ impl ShardedSystem {
             audience.dedup();
         }
         (audiences, stats)
+    }
+
+    /// The trie half of [`ShardedSystem::evaluate_conditions_batched`]:
+    /// runs the whole bundle's compiled shared-prefix plan as **one**
+    /// cross-shard fixpoint per 64-condition chunk. Seeds carry the
+    /// condition's *root plan node* in the `step` slot of the masked
+    /// state key, so exports, imports and re-seeds flow through the
+    /// identical round machinery as the grouped path — the plan node id
+    /// plays the role the linear automaton's step index plays there,
+    /// and per-bit reachability is step-for-step the linear automaton
+    /// of that bit's own chain (see [`crate::query::plan`]).
+    fn evaluate_conditions_planned(
+        &self,
+        conds: &[(NodeId, &PathExpr)],
+        plan: &crate::query::BundlePlan,
+    ) -> (Vec<Vec<NodeId>>, BundleFixpointStats) {
+        let mut stats = BundleFixpointStats::new(self.shards.len());
+        stats.plan_states = plan.plan_states();
+        stats.expr_states = plan.expr_states();
+        let mut audiences: Vec<Vec<NodeId>> = vec![Vec::new(); conds.len()];
+        let mut traversable: Vec<usize> = Vec::new();
+        for (i, &(owner, _)) in conds.iter().enumerate() {
+            match plan.root_of(i) {
+                Some(_) => traversable.push(i),
+                None => audiences[i].push(owner), // empty path: owner only
+            }
+        }
+        if traversable.is_empty() {
+            return (audiences, stats);
+        }
+        let snaps = self.publish_all();
+        // The router-side record of bits already forwarded, shared
+        // across the chunks (the word index keys them apart).
+        let mut imported = MaskedExportSet::new();
+        for (word, chunk) in traversable.chunks(64).enumerate() {
+            let word = word as u32;
+            stats.fixpoints += 1;
+            let masks = plan.chunk_masks(chunk);
+            // Engines materialize lazily, on a shard's first seed
+            // delivery, exactly as in the grouped path.
+            let mut engines: Vec<Option<crate::query::PlanBatchState>> =
+                (0..self.shards.len()).map(|_| None).collect();
+            let mut pending: Vec<Vec<MaskedSeedState>> = vec![Vec::new(); self.shards.len()];
+            for (bit, &ci) in chunk.iter().enumerate() {
+                let owner = conds[ci].0;
+                let root = plan.root_of(ci).expect("traversable condition");
+                let entry = &self.members[owner.index()];
+                imported.insert(
+                    MaskedStateKey {
+                        member: owner.0,
+                        step: root,
+                        depth: 0,
+                        word,
+                    },
+                    1 << bit,
+                );
+                pending[entry.home as usize].push((entry.local, root, 0, 1 << bit));
+            }
+
+            loop {
+                let round: Vec<(usize, Vec<MaskedSeedState>)> = pending
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(_, seeds)| !seeds.is_empty())
+                    .map(|(i, seeds)| (i, std::mem::take(seeds)))
+                    .collect();
+                if round.is_empty() {
+                    break;
+                }
+                stats.rounds += 1;
+                let outs = self.run_masked_plan_round(&round, &mut engines, &snaps, plan, &masks);
+
+                // Merge in shard order: deterministic regardless of the
+                // fan-out interleaving.
+                for ((shard_ix, _), out) in round.iter().zip(outs) {
+                    let shard = &self.shards[*shard_ix];
+                    for &(m, bits) in &out.matched {
+                        if shard.ghost[m.index()] {
+                            continue; // only the home shard speaks
+                        }
+                        let global = shard.globals[m.index()];
+                        let mut b = bits;
+                        while b != 0 {
+                            let bit = b.trailing_zeros() as usize;
+                            b &= b - 1;
+                            audiences[chunk[bit]].push(global);
+                        }
+                    }
+                    for &(m, node, depth, bits) in &out.exports {
+                        let global = shard.globals[m.index()];
+                        let key = MaskedStateKey {
+                            member: global.0,
+                            step: node,
+                            depth,
+                            word,
+                        };
+                        let new = imported.insert(key, bits);
+                        if new != 0 {
+                            stats.exported_states += 1;
+                            let entry = &self.members[global.index()];
+                            pending[entry.home as usize].push((entry.local, node, depth, new));
+                        }
+                    }
+                }
+            }
+
+            for (i, engine) in engines.iter().enumerate() {
+                if let Some(engine) = engine {
+                    stats.states_expanded[i] += engine.states_expanded();
+                }
+            }
+        }
+
+        for audience in &mut audiences {
+            audience.sort_unstable();
+            audience.dedup();
+        }
+        (audiences, stats)
+    }
+
+    /// [`ShardedSystem::run_masked_round`] for the trie plan: each
+    /// active shard drains its seeded frontier through the plan engine
+    /// ([`crate::query::evaluate_plan_batch_seeded`]) over its pinned
+    /// snapshot and round-persistent per-node mask state — on parallel
+    /// scoped threads when several shards are active. The plan path has
+    /// no targeted early-exit and no parent tracking; `check`/`explain`
+    /// stay on the linear engine.
+    fn run_masked_plan_round(
+        &self,
+        round: &[(usize, Vec<MaskedSeedState>)],
+        engines: &mut [Option<crate::query::PlanBatchState>],
+        snaps: &[Arc<CsrSnapshot>],
+        plan: &crate::query::BundlePlan,
+        masks: &crate::query::ChunkMasks,
+    ) -> Vec<SeededBatchOutcome> {
+        // Pair each active shard with the mutable borrow of its engine
+        // (materialized on first activation); `round` is in ascending
+        // shard order, so one pass over `iter_mut` yields the disjoint
+        // borrows.
+        let mut tasks: Vec<(
+            usize,
+            &Vec<MaskedSeedState>,
+            &mut crate::query::PlanBatchState,
+        )> = Vec::with_capacity(round.len());
+        let mut it = engines.iter_mut().enumerate();
+        for (shard_ix, seeds) in round {
+            let slot = loop {
+                let (i, e) = it.next().expect("every active shard has an engine slot");
+                if i == *shard_ix {
+                    break e;
+                }
+            };
+            let engine = slot.get_or_insert_with(|| {
+                let shard = &self.shards[*shard_ix];
+                crate::query::PlanBatchState::new(&shard.graph, &snaps[*shard_ix], &plan.nodes)
+            });
+            tasks.push((*shard_ix, seeds, engine));
+        }
+        let eval = |shard_ix: usize,
+                    seeds: &[MaskedSeedState],
+                    engine: &mut crate::query::PlanBatchState| {
+            let shard = &self.shards[shard_ix];
+            crate::query::evaluate_plan_batch_seeded(
+                &shard.graph,
+                &snaps[shard_ix],
+                &plan.nodes,
+                masks,
+                engine,
+                seeds,
+                &shard.ghost,
+            )
+        };
+        static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let cores = *CORES.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        if tasks.len() == 1 || cores == 1 {
+            return tasks
+                .into_iter()
+                .map(|(shard_ix, seeds, engine)| eval(shard_ix, seeds, engine))
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let eval = &eval;
+            let handles: Vec<_> = tasks
+                .into_iter()
+                .map(|(shard_ix, seeds, engine)| scope.spawn(move || eval(shard_ix, seeds, engine)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard evaluation panicked"))
+                .collect()
+        })
     }
 
     /// Targeted single-condition evaluation through the **masked
@@ -1448,10 +1662,42 @@ impl AccessService for ShardedSystem {
                 rounds: s.rounds,
                 states_expanded: s.states_expanded.iter().sum(),
                 exported_states: s.exported_states,
+                plan_states: s.plan_states,
+                expr_states: s.expr_states,
             };
             Ok(audiences)
         })?;
         Ok((audiences, stats))
+    }
+
+    /// Ad-hoc query bundles run the same masked cross-shard fixpoint
+    /// as registered-rule bundles
+    /// ([`ShardedSystem::evaluate_conditions_batched`]). Parsing is
+    /// read-only against the master vocabulary — a query mentioning a
+    /// never-seen relationship type or attribute is unsatisfiable and
+    /// reports an empty audience without touching any shard.
+    fn query_audience_bundle(
+        &self,
+        queries: &[(NodeId, &str)],
+    ) -> Result<Vec<Vec<NodeId>>, EvalError> {
+        let texts: Vec<&str> = queries.iter().map(|&(_, t)| t).collect();
+        let parsed = crate::query::parse_queries_readonly(&texts, &self.vocab)?;
+        let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); queries.len()];
+        let mut conds: Vec<(NodeId, &PathExpr)> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        for (i, path) in parsed.iter().enumerate() {
+            if let Some(path) = path {
+                conds.push((queries[i].0, path));
+                slots.push(i);
+            }
+        }
+        if !conds.is_empty() {
+            let (audiences, _) = self.evaluate_conditions_batched(&conds);
+            for (slot, audience) in slots.into_iter().zip(audiences) {
+                out[slot] = audience;
+            }
+        }
+        Ok(out)
     }
 
     /// Explains a grant with one stitched cross-shard walk per

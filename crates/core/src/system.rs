@@ -30,12 +30,13 @@
 //! [`CsrSnapshot`]: socialreach_graph::csr::CsrSnapshot
 //! [`CsrSnapshot::apply_edge_appends`]: socialreach_graph::csr::CsrSnapshot::apply_edge_appends
 
-use crate::engine::{Enforcer, OnlineEngine};
+use crate::engine::{AccessEngine, Enforcer, OnlineEngine};
 use crate::error::EvalError;
 use crate::joinengine::{JoinEngineConfig, JoinIndexEngine};
 use crate::online;
-use crate::path::parse_path;
+use crate::path::PathExpr;
 use crate::policy::{Decision, PolicyStore, ResourceId};
+use crate::query::{parse_policy, parse_queries_readonly};
 use crate::service::{
     AccessService, BundleStrategy, CheckPlan, Explanation, MutateService, ReadStats, WalkHop,
     WitnessWalk,
@@ -255,10 +256,11 @@ impl AccessControlSystem {
         AccessService::explain_lines(self, rid, requester)
     }
 
-    /// Parses a path against this system's vocabulary (exposed for
-    /// examples and tests).
+    /// Parses a policy in either syntax — classic path notation or the
+    /// openCypher-flavored `MATCH` grammar — against this system's
+    /// vocabulary (exposed for examples and tests).
     pub fn parse(&mut self, text: &str) -> Result<crate::path::PathExpr, EvalError> {
-        Ok(parse_path(text, self.graph.vocab_mut())?)
+        Ok(parse_policy(text, self.graph.vocab_mut())?)
     }
 
     /// Decision-cache statistics of the active engine `(hits, misses)`.
@@ -365,6 +367,50 @@ impl AccessService for AccessControlSystem {
                     .audience_batch_with_stats(&self.graph, &self.store, rids)
             }
         }
+    }
+
+    /// Ad-hoc query bundles always run on the online engine over the
+    /// published snapshot — they are one-shot reads, so the join
+    /// index's precomputation has nothing to amortize. Parsing is
+    /// read-only against the system's vocabulary: a query mentioning a
+    /// never-seen relationship type or attribute is unsatisfiable and
+    /// reports an empty audience without ever touching the graph.
+    fn query_audience_bundle(
+        &self,
+        queries: &[(NodeId, &str)],
+    ) -> Result<Vec<Vec<NodeId>>, EvalError> {
+        let texts: Vec<&str> = queries.iter().map(|&(_, t)| t).collect();
+        let parsed = parse_queries_readonly(&texts, self.graph.vocab())?;
+        let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); queries.len()];
+        let mut conds: Vec<(NodeId, &PathExpr)> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        for (i, path) in parsed.iter().enumerate() {
+            if let Some(path) = path {
+                conds.push((queries[i].0, path));
+                slots.push(i);
+            }
+        }
+        if conds.is_empty() {
+            return Ok(out);
+        }
+        match self.online.publish_snapshot(&self.graph) {
+            Some(snap) => {
+                let outcomes =
+                    OnlineEngine.audience_batch_with_snapshot(&self.graph, &snap, &conds)?;
+                for (slot, o) in slots.into_iter().zip(outcomes) {
+                    out[slot] = o.members;
+                }
+            }
+            None => {
+                // Edge-free graph: nothing to publish, nothing to walk.
+                for (slot, &(owner, path)) in slots.into_iter().zip(&conds) {
+                    if path.is_empty() {
+                        out[slot] = vec![owner];
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Always uses the online engine (the join index does not keep

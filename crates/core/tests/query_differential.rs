@@ -1,0 +1,337 @@
+//! Differential property tests for the query front-end and the
+//! shared-prefix bundle plan: on random graphs × bundle-shaped random
+//! policies, the trie-planned bundle evaluation (the default) must
+//! agree condition-for-condition with
+//!
+//! 1. the identical-expression grouping it replaced
+//!    (`SOCIALREACH_BUNDLE_PLAN=grouped`),
+//! 2. the per-condition evaluation (reference engine on a single
+//!    graph, per-condition fixpoint on a sharded one), and
+//! 3. itself across deployments — single, sharded(4) and networked(2)
+//!    serve equal answers for the same ad-hoc query bundle.
+//!
+//! The openCypher-flavored front-end rides along: rendering a path
+//! expression into `MATCH` syntax and re-parsing it is the identity
+//! (up to canonicalization), and malformed queries are refused with
+//! pinned caret-annotated errors.
+
+use proptest::prelude::*;
+use socialreach_core::query::{parse_queries_readonly, render_query};
+use socialreach_core::{
+    online, parse_path, parse_query, AccessEngine, Deployment, OnlineEngine, PathExpr,
+    ShardedSystem,
+};
+use socialreach_graph::{NodeId, ShardAssignment, SocialGraph};
+use std::sync::Mutex;
+
+const LABELS: [&str; 3] = ["friend", "colleague", "parent"];
+
+/// `SOCIALREACH_BUNDLE_PLAN` is process-global: every evaluation whose
+/// outcome depends on the plan mode runs under this lock, so the
+/// grouped-mode legs cannot race the trie-mode ones.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the bundle-plan lever forced to `grouped` (true) or
+/// restored to the trie default (false), holding the env lock.
+fn with_mode<T>(grouped: bool, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    if grouped {
+        std::env::set_var("SOCIALREACH_BUNDLE_PLAN", "grouped");
+    } else {
+        std::env::remove_var("SOCIALREACH_BUNDLE_PLAN");
+    }
+    let out = f();
+    std::env::remove_var("SOCIALREACH_BUNDLE_PLAN");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Random bundle-shaped cases (prefix sharing arises naturally from the
+// small step pool)
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Case {
+    graph: SocialGraph,
+    templates: Vec<String>,
+    /// `(owner index, template index)` per condition.
+    picks: Vec<(u32, usize)>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = SocialGraph> {
+    (3..10usize).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0..3usize, 10..60i64), 0..28).prop_map(
+            move |edges| {
+                let mut g = SocialGraph::new();
+                for i in 0..n {
+                    g.add_node(&format!("u{i}"));
+                }
+                for l in LABELS {
+                    g.intern_label(l);
+                }
+                for (i, (s, t, l, age)) in edges.iter().enumerate() {
+                    let label = g.vocab().label(LABELS[*l]).unwrap();
+                    g.add_edge(NodeId(*s), NodeId(*t), label);
+                    let node = NodeId((i as u32 + s + t) % n as u32);
+                    g.set_node_attr(node, "age", *age);
+                }
+                g
+            },
+        )
+    })
+}
+
+/// Step texts drawn from a deliberately small pool, so templates share
+/// prefixes often — the regime the trie plan exists for.
+fn step_text_strategy() -> impl Strategy<Value = String> {
+    (0..3usize, 0..3usize, 1..3u32, 0..4usize).prop_map(|(label, dir, lo, shape)| {
+        let dir = ["+", "-", "*"][dir];
+        let depths = match shape {
+            0 => format!("[{lo}]"),
+            1 => format!("[{lo}..{}]", lo + 1),
+            2 => format!("[{lo}..]"),
+            _ => format!("[{lo}..{}]{{age>=30}}", lo + 1),
+        };
+        format!("{}{}{}", LABELS[label], dir, depths)
+    })
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        graph_strategy(),
+        proptest::collection::vec(proptest::collection::vec(step_text_strategy(), 1..3), 1..4),
+        proptest::collection::vec((0..16u32, 0..4usize), 1..10),
+    )
+        .prop_map(|(graph, step_lists, picks)| {
+            let templates: Vec<String> = step_lists.iter().map(|s| s.join("/")).collect();
+            let picks = picks
+                .into_iter()
+                .map(|(owner, t)| (owner, t % templates.len()))
+                .collect();
+            Case {
+                graph,
+                templates,
+                picks,
+            }
+        })
+}
+
+fn build_conds(g: &mut SocialGraph, case: &Case) -> Vec<(NodeId, PathExpr)> {
+    let n = g.num_nodes() as u32;
+    case.picks
+        .iter()
+        .map(|&(owner_ix, t)| {
+            (
+                NodeId(owner_ix % n),
+                parse_path(&case.templates[t], g.vocab_mut()).expect("generated paths parse"),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Trie-planned bundles ≡ identical-expression grouping ≡ the
+    /// per-condition reference, on single and sharded(4) deployments.
+    #[test]
+    fn trie_plan_matches_grouped_and_per_condition(case in case_strategy()) {
+        let mut g = case.graph.clone();
+        let conds = build_conds(&mut g, &case);
+        let cond_refs: Vec<(NodeId, &PathExpr)> =
+            conds.iter().map(|(o, p)| (*o, p)).collect();
+
+        // Single graph: trie vs grouped vs the reference engine.
+        let snap = g.snapshot();
+        let trie = with_mode(false, || {
+            OnlineEngine
+                .audience_batch_with_snapshot(&g, &snap, &cond_refs)
+                .unwrap()
+        });
+        let grouped = with_mode(true, || {
+            OnlineEngine
+                .audience_batch_with_snapshot(&g, &snap, &cond_refs)
+                .unwrap()
+        });
+        for (i, (owner, path)) in conds.iter().enumerate() {
+            prop_assert_eq!(
+                &trie[i].members, &grouped[i].members,
+                "single trie vs grouped: owner={} path #{}", owner, i
+            );
+            let truth = online::evaluate_reference(&g, *owner, path, None);
+            prop_assert_eq!(
+                &trie[i].members, &truth.matched,
+                "single trie vs reference: owner={}", owner
+            );
+        }
+
+        // Sharded(4): trie vs grouped vs the per-condition fixpoint.
+        let sys = ShardedSystem::from_graph(&g, ShardAssignment::hashed(4, 11));
+        let (trie_a, trie_stats) =
+            with_mode(false, || sys.evaluate_conditions_batched(&cond_refs));
+        let (grouped_a, grouped_stats) =
+            with_mode(true, || sys.evaluate_conditions_batched(&cond_refs));
+        prop_assert_eq!(&trie_a, &grouped_a, "sharded trie vs grouped");
+        for (i, (owner, path)) in conds.iter().enumerate() {
+            let per_cond = sys.evaluate_condition(*owner, path, None);
+            prop_assert_eq!(
+                &trie_a[i], &per_cond.matched,
+                "sharded trie vs per-condition: owner={}", owner
+            );
+        }
+
+        // Census contract: the trie reports its sharing census, the
+        // grouped baseline reports none (prefix_share() → None).
+        prop_assert!(trie_stats.plan_states <= trie_stats.expr_states);
+        prop_assert_eq!(grouped_stats.plan_states, 0);
+        prop_assert_eq!(grouped_stats.expr_states, 0);
+        if conds.iter().any(|(_, p)| !p.is_empty()) {
+            prop_assert!(trie_stats.expr_states > 0, "traversable bundles census the plan");
+        }
+    }
+
+    /// Rendering a path expression into the `MATCH` syntax and
+    /// re-parsing it is the identity, up to canonicalization.
+    #[test]
+    fn query_render_parse_round_trips(steps in proptest::collection::vec(step_text_strategy(), 1..4)) {
+        let mut vocab = socialreach_graph::Vocabulary::new();
+        let path = parse_path(&steps.join("/"), &mut vocab).expect("generated paths parse");
+        // Every generated step has a single depth interval, so the
+        // query syntax can express it.
+        let text = render_query(&path, &vocab).expect("single-interval depths render");
+        let reparsed = parse_query(&text, &mut vocab)
+            .unwrap_or_else(|e| panic!("rendered query must re-parse: {e}\n  {text}"));
+        prop_assert_eq!(reparsed.canonical(), path.canonical(), "query: {}", text);
+    }
+}
+
+/// The same ad-hoc query bundle answers identically on single,
+/// sharded(4) and networked(2) deployments, in both plan modes —
+/// including a query whose relationship type no graph has interned
+/// (empty audience, never an error) and an empty-path `MATCH (owner)`
+/// (owner-only audience).
+#[test]
+fn query_bundles_agree_across_deployments_and_modes() {
+    let handles = socialreach_core::remote::spawn_local_fleet(2, false).expect("fleet spawns");
+    let addrs: Vec<_> = handles.iter().map(|h| h.addr().clone()).collect();
+    let mut backends = vec![
+        Deployment::online().build(),
+        Deployment::sharded(4, 7).build(),
+        Deployment::networked_with(addrs, 7).build(),
+    ];
+
+    let mut members = Vec::new();
+    for svc in &mut backends {
+        let w = svc.writes();
+        let names = ["Ava", "Ben", "Cleo", "Dan", "Edith", "Femi"];
+        let m: Vec<NodeId> = names.iter().map(|n| w.add_user(n)).collect();
+        w.add_mutual_relationship(m[0], "friend", m[1]);
+        w.add_mutual_relationship(m[1], "friend", m[2]);
+        w.add_relationship(m[2], "friend", m[3]);
+        w.add_relationship(m[3], "colleague", m[4]);
+        w.add_relationship(m[5], "follows", m[0]);
+        w.set_user_attr(m[2], "age", 26i64.into());
+        w.set_user_attr(m[3], "age", 17i64.into());
+        members = m;
+    }
+
+    // Shared prefixes across distinct conditions, both syntaxes, one
+    // unknown relationship type, one empty path.
+    let texts = [
+        "MATCH (owner)-[:friend*1..2]->(v)",
+        "MATCH (owner)-[:friend*1..2]->(v)-[:colleague]->(w)",
+        "friend+[1..2]{age>=18}",
+        "MATCH (owner)<-[:follows]-(v)",
+        "MATCH (owner)-[:quarreled_with*1..3]->(v)",
+        "MATCH (owner)",
+    ];
+    let queries: Vec<(NodeId, &str)> = texts
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (members[i % 2], t))
+        .collect();
+
+    let mut seen: Option<Vec<Vec<NodeId>>> = None;
+    for svc in &backends {
+        for grouped in [false, true] {
+            let got = with_mode(grouped, || {
+                svc.reads().query_audience_bundle(&queries).unwrap()
+            });
+            match &seen {
+                None => {
+                    // Spot-check the reference leg before fanning out.
+                    assert_eq!(got[4], vec![], "unknown type → empty audience");
+                    assert_eq!(got[5], vec![members[1]], "empty path → owner only");
+                    assert!(got[0].contains(&members[2]));
+                    seen = Some(got);
+                }
+                Some(expect) => assert_eq!(
+                    &got,
+                    expect,
+                    "{} grouped={} must match the single-graph answers",
+                    svc.reads().describe(),
+                    grouped
+                ),
+            }
+        }
+    }
+}
+
+/// Read-only parsing interns nothing: an unknown label in a query must
+/// not grow the deployment's vocabulary.
+#[test]
+fn readonly_parsing_never_grows_the_vocabulary() {
+    let mut vocab = socialreach_graph::Vocabulary::new();
+    vocab.intern_label("friend");
+    let labels_before = vocab.num_labels();
+    let parsed = parse_queries_readonly(
+        &[
+            "MATCH (owner)-[:friend*1..2]->(v)",
+            "MATCH (owner)-[:stranger]->(v)",
+        ],
+        &vocab,
+    )
+    .unwrap();
+    assert!(parsed[0].is_some(), "known vocabulary parses");
+    assert!(parsed[1].is_none(), "unknown vocabulary is unsatisfiable");
+    assert_eq!(vocab.num_labels(), labels_before, "vocabulary untouched");
+}
+
+/// Caret-annotated parse errors are part of the interface: positions
+/// and messages are pinned golden, in both syntaxes.
+#[test]
+fn caret_errors_are_pinned() {
+    let golden: [(&str, &str); 4] = [
+        (
+            "MATCH (owner)-[:friend*1..2->(v)",
+            "path syntax error at byte 27: expected ']' to close the relationship pattern\n\
+             \x20 MATCH (owner)-[:friend*1..2->(v)\n\
+             \x20                            ^",
+        ),
+        (
+            "MATCH (owner {age>=18})-[:friend]->(v)",
+            "path syntax error at byte 13: properties on the owner anchor are not supported: \
+             the owner is given by the request, not matched\n\
+             \x20 MATCH (owner {age>=18})-[:friend]->(v)\n\
+             \x20              ^",
+        ),
+        (
+            "MATCH (owner)-[friend]->(v)",
+            "path syntax error at byte 15: expected ':' before the relationship type\n\
+             \x20 MATCH (owner)-[friend]->(v)\n\
+             \x20                ^",
+        ),
+        (
+            "friend+[0]",
+            "path syntax error at byte 9: depth levels start at 1\n\
+             \x20 friend+[0]\n\
+             \x20          ^",
+        ),
+    ];
+    let mut vocab = socialreach_graph::Vocabulary::new();
+    for (text, expect) in golden {
+        let err = socialreach_core::parse_policy(text, &mut vocab)
+            .expect_err("malformed query must be refused");
+        assert_eq!(err.to_string(), expect, "golden caret error for {text:?}");
+    }
+}

@@ -185,19 +185,17 @@ proptest! {
                     "reference audience: owner={} shards={}", owner, shards
                 );
             }
-            // One fixpoint per (path group, chunk), never per condition.
-            let distinct_paths = {
-                let mut seen: Vec<&PathExpr> = Vec::new();
-                for (_, p) in &cond_refs {
-                    if !seen.contains(p) {
-                        seen.push(p);
-                    }
-                }
-                seen.len()
-            };
+            // The shared-prefix plan runs one fixpoint per
+            // 64-condition chunk — even across *distinct* paths, which
+            // the old identical-expression grouping kept apart.
+            let traversable = cond_refs.iter().filter(|(_, p)| !p.is_empty()).count();
             prop_assert_eq!(
-                stats.fixpoints, distinct_paths,
-                "≤64 conditions per path share one fixpoint (shards={})", shards
+                stats.fixpoints, traversable.div_ceil(64),
+                "≤64 conditions share one planned fixpoint (shards={})", shards
+            );
+            prop_assert!(
+                stats.plan_states <= stats.expr_states,
+                "prefix sharing can only shrink the plan (shards={})", shards
             );
 
             // Resource-level: batched ≡ per-condition ≡ the single

@@ -1,0 +1,124 @@
+//! Ad-hoc audience queries in the openCypher-flavored syntax, served
+//! identically by every deployment shape.
+//!
+//! A recruiter at a small company wants one-off answers — *"who can my
+//! posting reach through friends-of-friends?"*, *"which adults do my
+//! colleagues' colleagues include?"* — without registering resources
+//! or rewriting policy. The `query` entry point evaluates a `MATCH`
+//! pattern (or a classic path expression) anchored at a member,
+//! read-only: nothing is interned, nothing is logged, and a query
+//! naming a relationship type the graph never saw simply has an empty
+//! audience.
+//!
+//! The whole bundle is compiled into **one shared-prefix plan**, so
+//! queries that start with the same steps share a single traversal.
+//! Three deployments — the single graph, a 3-shard partition, and a
+//! 2-shard networked fleet behind real sockets — must return the same
+//! audiences for the same bundle.
+//!
+//! ```text
+//! cargo run --example audience_queries
+//! ```
+
+use socialreach::core::remote::spawn_local_fleet;
+use socialreach::{AttrValue, Deployment, MutateService, NodeId, ServiceInstance};
+
+/// A small recruiting graph: a friendship chain, a colleague cluster,
+/// and a few followers, with ages on some members.
+fn populate(svc: &mut dyn MutateService) -> Vec<NodeId> {
+    let names = ["Ava", "Ben", "Cleo", "Dan", "Edith", "Femi", "Gus", "Hana"];
+    let m: Vec<NodeId> = names.iter().map(|n| svc.add_user(n)).collect();
+    svc.add_mutual_relationship(m[0], "friend", m[1]);
+    svc.add_mutual_relationship(m[1], "friend", m[2]);
+    svc.add_relationship(m[2], "friend", m[3]);
+    svc.add_relationship(m[1], "colleague", m[4]);
+    svc.add_relationship(m[4], "colleague", m[5]);
+    svc.add_relationship(m[6], "follows", m[0]);
+    svc.add_relationship(m[7], "follows", m[6]);
+    for (i, age) in [(1usize, 34i64), (2, 26), (3, 17), (4, 41), (5, 19)] {
+        svc.set_user_attr(m[i], "age", AttrValue::Int(age));
+    }
+    m
+}
+
+fn main() {
+    // The networked leg: two shard servers on loopback sockets.
+    let handles = spawn_local_fleet(2, false).expect("fleet spawns");
+    let addrs: Vec<_> = handles.iter().map(|h| h.addr().clone()).collect();
+
+    let mut backends: Vec<ServiceInstance> = vec![
+        Deployment::online().build(),
+        Deployment::sharded(3, 7).build(),
+        Deployment::networked_with(addrs, 7).build(),
+    ];
+    let mut members = Vec::new();
+    for svc in &mut backends {
+        members = populate(svc.writes());
+    }
+    let ava = members[0];
+
+    // One bundle, mixed syntaxes. The first three share the
+    // `friend*1..2` prefix — the plan walks it once and forks.
+    let queries: Vec<(NodeId, &str)> = vec![
+        (ava, "MATCH (owner)-[:friend*1..2]->(v)"),
+        (ava, "MATCH (owner)-[:friend*1..2]->(v {age >= 18})"),
+        (
+            ava,
+            "MATCH (owner)-[:friend*1..2]->(v)-[:colleague*1..2]->(w)",
+        ),
+        (ava, "friend+[1,2]/colleague+[1]"),
+        (ava, "MATCH (owner)<-[:follows*1..2]-(v)"),
+        (ava, "MATCH (owner)-[:mentored*1..3]->(v)"), // never interned
+    ];
+
+    let mut all: Vec<Vec<Vec<NodeId>>> = Vec::new();
+    for svc in &backends {
+        let audiences = svc
+            .reads()
+            .query_audience_bundle(&queries)
+            .expect("queries evaluate");
+        all.push(audiences);
+    }
+
+    // Every deployment answers the whole bundle identically.
+    for (svc, audiences) in backends.iter().zip(&all) {
+        assert_eq!(
+            audiences,
+            &all[0],
+            "{} must answer the bundle like the single graph",
+            svc.reads().describe()
+        );
+    }
+
+    // Spot-check the semantics on the single-graph leg.
+    let reads = backends[0].reads();
+    let names = |aud: &[NodeId]| {
+        aud.iter()
+            .map(|&n| reads.member_name(n).to_owned())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    assert!(
+        all[0][0].contains(&members[2]),
+        "friends-of-friends reach Cleo"
+    );
+    assert!(
+        all[0][1].iter().all(|n| all[0][0].contains(n)),
+        "the age gate only narrows the plain audience"
+    );
+    assert!(all[0][4].contains(&members[7]), "follows*2 reaches Hana");
+    assert_eq!(
+        all[0][5],
+        vec![],
+        "unknown relationship type → empty audience"
+    );
+
+    for ((_, text), audience) in queries.iter().zip(&all[0]) {
+        println!("{text}\n  -> [{}]", names(audience));
+    }
+    println!(
+        "AUDIENCE QUERIES PASS ({} deployments agree on {} queries)",
+        backends.len(),
+        queries.len()
+    );
+}

@@ -5,16 +5,27 @@
 //! socialreach check <edges.tsv> <owner> <path-expr> <requester>
 //! socialreach audience <edges.tsv> <owner> <path-expr>
 //! socialreach explain <edges.tsv> <owner> <path-expr> <requester>
+//! socialreach query <edges.tsv> <owner> <query>
 //! socialreach stats <edges.tsv>
 //! ```
 //!
 //! `<edges.tsv>` is an edge list (`src <TAB> label <TAB> dst`, `#`
 //! comments allowed; two-column lines default to the label `follows`),
 //! or `-` for stdin. `<path-expr>` uses the policy grammar, e.g.
-//! `'friend+[1,2]/colleague+[1]'`. Each invocation registers a
-//! resource owned by `<owner>` under that rule and serves the request
-//! with the full policy semantics — so the owner is always granted,
-//! and `audience` always lists the owner.
+//! `'friend+[1,2]/colleague+[1]'` — or, everywhere a policy is
+//! accepted, the openCypher-flavored `MATCH` syntax, e.g.
+//! `'MATCH (owner)-[:friend*1..2]->(v {age >= 18})'`. Each
+//! invocation of `check`/`audience`/`explain` registers a resource
+//! owned by `<owner>` under that rule and serves the request with the
+//! full policy semantics — so the owner is always granted, and
+//! `audience` always lists the owner.
+//!
+//! `query` is the **read-only** entry point: it evaluates `<query>`
+//! (either syntax) anchored at `<owner>` without registering any
+//! resource or rule — nothing is interned, nothing is logged, and a
+//! query naming a relationship type the graph has never seen simply
+//! has an empty audience. Malformed queries are refused with a
+//! caret-annotated parse error.
 //!
 //! Set `SOCIALREACH_SHARDS=N` to serve the same request from an
 //! N-shard deployment instead of the single-graph one; commands,
@@ -123,15 +134,20 @@ const USAGE: &str = "usage:
   socialreach check    <edges.tsv> <owner> <path-expr> <requester>
   socialreach audience <edges.tsv> <owner> <path-expr>
   socialreach explain  <edges.tsv> <owner> <path-expr> <requester>
+  socialreach query    <edges.tsv> <owner> <query>
   socialreach stats    <edges.tsv>
   socialreach history  [from [to]]
   socialreach diff     <rid> <k1> <k2>
   socialreach serve-shard  <addr>
-  socialreach serve-router <addr1,addr2,..> check|audience|explain <edges.tsv> <owner> <path-expr> [requester]
+  socialreach serve-router <addr1,addr2,..> check|audience|explain|query <edges.tsv> <owner> <path-expr> [requester]
 
 <edges.tsv>: 'src<TAB>label<TAB>dst' lines ('-' reads stdin,
              '@' serves the recovered SOCIALREACH_DATA_DIR state);
-<path-expr>: e.g. 'friend+[1,2]/colleague+[1]{age>=18}';
+<path-expr>: e.g. 'friend+[1,2]/colleague+[1]{age>=18}', or openCypher
+  'MATCH (owner)-[:friend*1..2]->(v {age >= 18})' — both
+  syntaxes work wherever a policy or query is accepted;
+<query>: a read-only audience query in either syntax — evaluated
+  anchored at <owner> without registering a resource or rule;
 SOCIALREACH_SHARDS=N serves from an N-shard deployment;
 SOCIALREACH_PLANNER=adaptive|batch|per-condition routes reads through
   the telemetry-fed planner (ephemeral serving only);
@@ -187,6 +203,16 @@ fn run(args: &[String]) -> Result<bool, String> {
                     Ok(false)
                 }
             }
+        }
+        "query" => {
+            let [file, owner, text] = take::<3>(&args[1..])?;
+            let svc = backend(file)?;
+            let reads = svc.reads();
+            let owner = resolve(reads, owner)?;
+            for n in reads.query_audience(owner, text).map_err(to_msg)? {
+                println!("{}", reads.member_name(n));
+            }
+            Ok(true)
         }
         "stats" => {
             let [file] = take::<1>(&args[1..])?;
@@ -312,8 +338,18 @@ fn run(args: &[String]) -> Result<bool, String> {
                         }
                     }
                 }
+                "query" => {
+                    let [file, owner, text] = take::<3>(&rest[1..])?;
+                    let svc = networked(&addrs, file)?;
+                    let reads = svc.reads();
+                    let owner = resolve(reads, owner)?;
+                    for n in reads.query_audience(owner, text).map_err(to_msg)? {
+                        println!("{}", reads.member_name(n));
+                    }
+                    Ok(true)
+                }
                 other => Err(format!(
-                    "unknown router verb {other:?} (expected check|audience|explain)"
+                    "unknown router verb {other:?} (expected check|audience|explain|query)"
                 )),
             }
         }
@@ -330,15 +366,21 @@ fn serve_networked(
     owner: &str,
     path: &str,
 ) -> Result<(ServiceInstance, ResourceId), String> {
-    let g = load(file)?;
-    let assignment = ShardAssignment::hashed(addrs.len() as u32, 0);
-    let sys = NetworkedSystem::from_graph(addrs, assignment, &g, PolicyStore::new())
-        .map_err(|e| format!("populating the fleet: {e}"))?;
-    let mut svc = ServiceInstance::Networked(sys);
+    let mut svc = networked(addrs, file)?;
     let owner = resolve(svc.reads(), owner)?;
     let rid = svc.writes().add_resource(owner);
     svc.writes().add_rule(rid, path).map_err(to_msg)?;
     Ok((svc, rid))
+}
+
+/// Loads the edge list through a router over the shard fleet at
+/// `addrs` with an empty policy store.
+fn networked(addrs: &[ShardAddr], file: &str) -> Result<ServiceInstance, String> {
+    let g = load(file)?;
+    let assignment = ShardAssignment::hashed(addrs.len() as u32, 0);
+    let sys = NetworkedSystem::from_graph(addrs, assignment, &g, PolicyStore::new())
+        .map_err(|e| format!("populating the fleet: {e}"))?;
+    Ok(ServiceInstance::Networked(sys))
 }
 
 fn parse_position(arg: &str) -> Result<u64, String> {
@@ -370,7 +412,31 @@ impl Served {
 /// resource owned by `owner` under the `path` rule, and returns the
 /// serving backend plus the resource.
 fn serve(file: &str, owner: &str, path: &str) -> Result<(Served, ResourceId), String> {
-    let mut svc = if let Some(position) = audit_at()? {
+    let mut svc = backend(file)?;
+    let owner = resolve(svc.reads(), owner)?;
+    let (rid, rule) = match &mut svc {
+        Served::Ephemeral(s) => {
+            let rid = s.writes().add_resource(owner);
+            (rid, s.writes().add_rule(rid, path))
+        }
+        Served::Planned(s) => {
+            let rid = s.add_resource(owner);
+            (rid, s.add_rule(rid, path))
+        }
+        Served::Durable(s) => {
+            let rid = s.writes().add_resource(owner);
+            (rid, s.writes().add_rule(rid, path))
+        }
+    };
+    rule.map_err(to_msg)?;
+    Ok((svc, rid))
+}
+
+/// Builds the configured deployment over the edge list — ephemeral,
+/// planned, durable, or a historical audit read — without registering
+/// any resource or rule.
+fn backend(file: &str) -> Result<Served, String> {
+    let svc = if let Some(position) = audit_at()? {
         // Audit read: recover the durable history to exactly
         // `position`, read-only, into a throwaway backend. The
         // resource/rule registered below stays ephemeral — asking
@@ -409,23 +475,7 @@ fn serve(file: &str, owner: &str, path: &str) -> Result<(Served, ResourceId), St
             }
         }
     };
-    let owner = resolve(svc.reads(), owner)?;
-    let (rid, rule) = match &mut svc {
-        Served::Ephemeral(s) => {
-            let rid = s.writes().add_resource(owner);
-            (rid, s.writes().add_rule(rid, path))
-        }
-        Served::Planned(s) => {
-            let rid = s.add_resource(owner);
-            (rid, s.add_rule(rid, path))
-        }
-        Served::Durable(s) => {
-            let rid = s.writes().add_resource(owner);
-            (rid, s.writes().add_rule(rid, path))
-        }
-    };
-    rule.map_err(to_msg)?;
-    Ok((svc, rid))
+    Ok(svc)
 }
 
 /// Replays an edge-list graph through the durable write path, honoring
